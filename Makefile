@@ -1,0 +1,33 @@
+# Convenience targets for ccured-rs.
+
+.PHONY: all test tables bench doc examples stress clean
+
+all: test
+
+test:
+	cargo test --workspace
+
+# Regenerate every table/figure of the paper (see EXPERIMENTS.md).
+tables:
+	cargo run --release -p ccured-bench --bin tables
+
+bench:
+	cargo bench --workspace
+
+doc:
+	cargo doc --workspace --no-deps
+
+examples:
+	cargo run -p ccured-examples --bin quickstart
+	cargo run -p ccured-examples --bin oop_rtti
+	cargo run -p ccured-examples --bin ftpd_overflow
+	cargo run -p ccured-examples --bin split_hostent
+	cargo run -p ccured-examples --bin wrapper_demo
+	cargo run -p ccured-examples --bin bug_museum
+
+# Large-scale workload runs (not part of `cargo test`).
+stress:
+	cargo test --release -p ccured-integration --test stress -- --ignored
+
+clean:
+	cargo clean

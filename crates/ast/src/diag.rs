@@ -1,0 +1,84 @@
+//! Diagnostics emitted by the lexer, parser and later pipeline stages.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// Severity/category of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    /// A hard error; the producing stage failed.
+    Error,
+    /// A warning; the producing stage continued.
+    Warning,
+}
+
+/// A single diagnostic message anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Error or warning.
+    pub kind: DiagKind,
+    /// Where in the source the problem was detected.
+    pub span: Span,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub msg: String,
+}
+
+impl Diag {
+    /// Creates an error diagnostic.
+    pub fn error(span: Span, msg: impl Into<String>) -> Self {
+        Diag {
+            kind: DiagKind::Error,
+            span,
+            msg: msg.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(span: Span, msg: impl Into<String>) -> Self {
+        Diag {
+            kind: DiagKind::Warning,
+            span,
+            msg: msg.into(),
+        }
+    }
+
+    /// Renders the diagnostic with file/line/column via `map`.
+    pub fn render(&self, map: &SourceMap) -> String {
+        let pos = map.lookup(self.span.lo);
+        let kind = match self.kind {
+            DiagKind::Error => "error",
+            DiagKind::Warning => "warning",
+        };
+        format!("{}:{}: {}: {}", map.name(), pos, kind, self.msg)
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            DiagKind::Error => "error",
+            DiagKind::Warning => "warning",
+        };
+        write!(f, "{} at {}: {}", kind, self.span, self.msg)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_position() {
+        let map = SourceMap::new("f.c", "int\nbad token");
+        let d = Diag::error(Span::new(4, 7), "unexpected token");
+        assert_eq!(d.render(&map), "f.c:2:1: error: unexpected token");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let d = Diag::warning(Span::new(0, 1), "w");
+        assert!(format!("{d}").contains("warning"));
+    }
+}

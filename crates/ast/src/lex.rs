@@ -1,0 +1,1004 @@
+//! Hand-written lexer for the ccured-rs C subset.
+//!
+//! Produces a flat token stream. Comments (`/* */` and `//`) are skipped;
+//! `#pragma` lines are surfaced as [`TokenKind::Pragma`] tokens so the parser
+//! can interpret CCured directives; all other preprocessor directives are
+//! rejected (sources are expected to be preprocessed).
+
+use crate::diag::Diag;
+use crate::span::Span;
+use std::fmt;
+
+/// Keywords of the accepted C subset, including CCured extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    Signed,
+    Unsigned,
+    Float,
+    Double,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    Extern,
+    Static,
+    Const,
+    Volatile,
+    Sizeof,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Goto,
+    // CCured extensions.
+    Safe,
+    Seq,
+    Wild,
+    Rtti,
+    Split,
+    NoSplit,
+    Trusted,
+}
+
+impl Keyword {
+    /// Looks up an identifier as a keyword.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "void" => Void,
+            "char" => Char,
+            "short" => Short,
+            "int" => Int,
+            "long" => Long,
+            "signed" => Signed,
+            "unsigned" => Unsigned,
+            "float" => Float,
+            "double" => Double,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "typedef" => Typedef,
+            "extern" => Extern,
+            "static" => Static,
+            "const" => Const,
+            "volatile" => Volatile,
+            "sizeof" => Sizeof,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "do" => Do,
+            "for" => For,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "break" => Break,
+            "continue" => Continue,
+            "return" => Return,
+            "goto" => Goto,
+            "__SAFE" => Safe,
+            "__SEQ" => Seq,
+            "__WILD" => Wild,
+            "__RTTI" => Rtti,
+            "__SPLIT" => Split,
+            "__NOSPLIT" => NoSplit,
+            "__TRUSTED" => Trusted,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's source spelling.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Void => "void",
+            Char => "char",
+            Short => "short",
+            Int => "int",
+            Long => "long",
+            Signed => "signed",
+            Unsigned => "unsigned",
+            Float => "float",
+            Double => "double",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            Typedef => "typedef",
+            Extern => "extern",
+            Static => "static",
+            Const => "const",
+            Volatile => "volatile",
+            Sizeof => "sizeof",
+            If => "if",
+            Else => "else",
+            While => "while",
+            Do => "do",
+            For => "for",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Break => "break",
+            Continue => "continue",
+            Return => "return",
+            Goto => "goto",
+            Safe => "__SAFE",
+            Seq => "__SEQ",
+            Wild => "__WILD",
+            Rtti => "__RTTI",
+            Split => "__SPLIT",
+            NoSplit => "__NOSPLIT",
+            Trusted => "__TRUSTED",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Inc,
+    Dec,
+    Amp,
+    Star,
+    Plus,
+    Minus,
+    Tilde,
+    Bang,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Caret,
+    Pipe,
+    AmpAmp,
+    PipePipe,
+    Question,
+    Colon,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    ShlEq,
+    ShrEq,
+    AmpEq,
+    CaretEq,
+    PipeEq,
+    Ellipsis,
+}
+
+impl Punct {
+    /// The token's source spelling.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Inc => "++",
+            Dec => "--",
+            Amp => "&",
+            Star => "*",
+            Plus => "+",
+            Minus => "-",
+            Tilde => "~",
+            Bang => "!",
+            Slash => "/",
+            Percent => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            Caret => "^",
+            Pipe => "|",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Question => "?",
+            Colon => ":",
+            Eq => "=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            AmpEq => "&=",
+            CaretEq => "^=",
+            PipeEq => "|=",
+            Ellipsis => "...",
+        }
+    }
+}
+
+/// Suffix recorded on an integer literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IntSuffix {
+    /// `u`/`U` suffix present.
+    pub unsigned: bool,
+    /// `l`/`L` (or `ll`/`LL`) suffix present.
+    pub long: bool,
+}
+
+/// A lexed token's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword.
+    Kw(Keyword),
+    /// An identifier (not a keyword).
+    Ident(String),
+    /// Integer literal with its suffix.
+    IntLit(u64, IntSuffix),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Character constant, already narrowed to its byte value.
+    CharLit(u8),
+    /// String literal contents (escapes resolved, adjacent strings merged,
+    /// no trailing NUL — the consumer appends it).
+    StrLit(Vec<u8>),
+    /// A `#pragma` line; the payload is everything after `#pragma`.
+    Pragma(String),
+    /// Punctuation or operator.
+    P(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Kw(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v, _) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::CharLit(c) => write!(f, "character literal `{}`", *c as char),
+            TokenKind::StrLit(_) => write!(f, "string literal"),
+            TokenKind::Pragma(_) => write!(f, "#pragma"),
+            TokenKind::P(p) => write!(f, "`{}`", p.as_str()),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The payload.
+    pub kind: TokenKind,
+    /// Source range of the token.
+    pub span: Span,
+}
+
+/// Lexes `src` into a token vector ending with a single [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns the first lexical error encountered (unterminated literal, stray
+/// character, unsupported preprocessor directive, malformed number).
+pub fn lex(src: &str) -> Result<Vec<Token>, Diag> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn span_from(&self, lo: usize) -> Span {
+        Span::new(lo as u32, self.pos as u32)
+    }
+
+    fn push(&mut self, kind: TokenKind, lo: usize) {
+        let span = self.span_from(lo);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diag> {
+        loop {
+            self.skip_trivia()?;
+            let lo = self.pos;
+            let c = self.peek();
+            if c == 0 && self.pos >= self.src.len() {
+                self.push(TokenKind::Eof, lo);
+                return Ok(self.tokens);
+            }
+            match c {
+                b'#' => self.directive(lo)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(lo),
+                b'0'..=b'9' => self.number(lo)?,
+                b'.' if self.peek2().is_ascii_digit() => self.number(lo)?,
+                b'\'' => self.char_lit(lo)?,
+                b'"' => self.string_lit(lo)?,
+                _ => self.punct(lo)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diag> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let lo = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(Diag::error(self.span_from(lo), "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn directive(&mut self, lo: usize) -> Result<(), Diag> {
+        // Consume '#'.
+        self.bump();
+        while self.peek() == b' ' || self.peek() == b'\t' {
+            self.bump();
+        }
+        let word_lo = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let word = std::str::from_utf8(&self.src[word_lo..self.pos]).unwrap_or("");
+        if word != "pragma" {
+            return Err(Diag::error(
+                self.span_from(lo),
+                format!("unsupported preprocessor directive `#{word}` (input must be preprocessed)"),
+            ));
+        }
+        let body_lo = self.pos;
+        while self.pos < self.src.len() && self.peek() != b'\n' {
+            self.bump();
+        }
+        let body = std::str::from_utf8(&self.src[body_lo..self.pos])
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        self.push(TokenKind::Pragma(body), lo);
+        Ok(())
+    }
+
+    fn ident(&mut self, lo: usize) {
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[lo..self.pos]).unwrap();
+        let kind = match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_string()),
+        };
+        self.push(kind, lo);
+    }
+
+    fn number(&mut self, lo: usize) -> Result<(), Diag> {
+        let mut is_float = false;
+        if self.peek() == b'0' && (self.peek2() | 0x20) == b'x' {
+            self.bump();
+            self.bump();
+            let digits_lo = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            if self.pos == digits_lo {
+                return Err(Diag::error(self.span_from(lo), "missing digits in hex literal"));
+            }
+            let text = std::str::from_utf8(&self.src[digits_lo..self.pos]).unwrap();
+            let value = u64::from_str_radix(text, 16)
+                .map_err(|_| Diag::error(self.span_from(lo), "hex literal out of range"))?;
+            let suffix = self.int_suffix();
+            self.push(TokenKind::IntLit(value, suffix), lo);
+            return Ok(());
+        }
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if (self.peek() | 0x20) == b'e'
+            && (self.peek2().is_ascii_digit()
+                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+        {
+            is_float = true;
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[lo..self.pos]).unwrap();
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| Diag::error(self.span_from(lo), "malformed float literal"))?;
+            if (self.peek() | 0x20) == b'f' || (self.peek() | 0x20) == b'l' {
+                self.bump();
+            }
+            self.push(TokenKind::FloatLit(value), lo);
+        } else {
+            // Octal if it has a leading zero and more digits; decimal otherwise.
+            let value = if text.len() > 1 && text.starts_with('0') {
+                u64::from_str_radix(&text[1..], 8)
+                    .map_err(|_| Diag::error(self.span_from(lo), "malformed octal literal"))?
+            } else {
+                text.parse::<u64>()
+                    .map_err(|_| Diag::error(self.span_from(lo), "integer literal out of range"))?
+            };
+            let suffix = self.int_suffix();
+            self.push(TokenKind::IntLit(value, suffix), lo);
+        }
+        Ok(())
+    }
+
+    fn int_suffix(&mut self) -> IntSuffix {
+        let mut suffix = IntSuffix::default();
+        loop {
+            match self.peek() | 0x20 {
+                b'u' if !suffix.unsigned => {
+                    suffix.unsigned = true;
+                    self.bump();
+                }
+                b'l' => {
+                    suffix.long = true;
+                    self.bump();
+                    if (self.peek() | 0x20) == b'l' {
+                        self.bump();
+                    }
+                }
+                _ => return suffix,
+            }
+        }
+    }
+
+    fn escape(&mut self, lo: usize) -> Result<u8, Diag> {
+        // Caller consumed the backslash.
+        let c = self.bump();
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0'..=b'7' => {
+                let mut v = (c - b'0') as u32;
+                for _ in 0..2 {
+                    if (b'0'..=b'7').contains(&self.peek()) {
+                        v = v * 8 + (self.bump() - b'0') as u32;
+                    }
+                }
+                if v > 255 {
+                    return Err(Diag::error(self.span_from(lo), "octal escape out of range"));
+                }
+                v as u8
+            }
+            b'x' => {
+                let mut v: u32 = 0;
+                let mut any = false;
+                while self.peek().is_ascii_hexdigit() {
+                    any = true;
+                    let d = self.bump();
+                    let d = match d {
+                        b'0'..=b'9' => d - b'0',
+                        _ => (d | 0x20) - b'a' + 10,
+                    };
+                    v = v.wrapping_mul(16).wrapping_add(d as u32);
+                }
+                if !any {
+                    return Err(Diag::error(self.span_from(lo), "missing digits in hex escape"));
+                }
+                (v & 0xff) as u8
+            }
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'a' => 7,
+            b'b' => 8,
+            b'f' => 12,
+            b'v' => 11,
+            _ => {
+                return Err(Diag::error(
+                    self.span_from(lo),
+                    format!("unknown escape sequence `\\{}`", c as char),
+                ))
+            }
+        })
+    }
+
+    fn char_lit(&mut self, lo: usize) -> Result<(), Diag> {
+        self.bump(); // opening quote
+        let c = match self.peek() {
+            b'\\' => {
+                self.bump();
+                self.escape(lo)?
+            }
+            0 | b'\n' => return Err(Diag::error(self.span_from(lo), "unterminated character literal")),
+            _ => self.bump(),
+        };
+        if self.peek() != b'\'' {
+            return Err(Diag::error(self.span_from(lo), "unterminated character literal"));
+        }
+        self.bump();
+        self.push(TokenKind::CharLit(c), lo);
+        Ok(())
+    }
+
+    fn string_lit(&mut self, lo: usize) -> Result<(), Diag> {
+        let mut bytes = Vec::new();
+        loop {
+            self.bump(); // opening quote
+            loop {
+                match self.peek() {
+                    b'"' => {
+                        self.bump();
+                        break;
+                    }
+                    0 | b'\n' => {
+                        return Err(Diag::error(self.span_from(lo), "unterminated string literal"))
+                    }
+                    b'\\' => {
+                        self.bump();
+                        let b = self.escape(lo)?;
+                        bytes.push(b);
+                    }
+                    _ => bytes.push(self.bump()),
+                }
+            }
+            // Adjacent string literal concatenation.
+            let save = self.pos;
+            self.skip_trivia()?;
+            if self.peek() == b'"' {
+                continue;
+            }
+            self.pos = save;
+            break;
+        }
+        self.push(TokenKind::StrLit(bytes), lo);
+        Ok(())
+    }
+
+    fn punct(&mut self, lo: usize) -> Result<(), Diag> {
+        use Punct::*;
+        let c = self.bump();
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'~' => Tilde,
+            b'?' => Question,
+            b':' => Colon,
+            b'.' => {
+                if self.peek() == b'.' && self.peek2() == b'.' {
+                    self.bump();
+                    self.bump();
+                    Ellipsis
+                } else {
+                    Dot
+                }
+            }
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    Inc
+                }
+                b'=' => {
+                    self.bump();
+                    PlusEq
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    Dec
+                }
+                b'=' => {
+                    self.bump();
+                    MinusEq
+                }
+                b'>' => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    StarEq
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    SlashEq
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    PercentEq
+                } else {
+                    Percent
+                }
+            }
+            b'^' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    CaretEq
+                } else {
+                    Caret
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Ne
+                } else {
+                    Bang
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    EqEq
+                } else {
+                    Eq
+                }
+            }
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.bump();
+                    AmpAmp
+                }
+                b'=' => {
+                    self.bump();
+                    AmpEq
+                }
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.bump();
+                    PipePipe
+                }
+                b'=' => {
+                    self.bump();
+                    PipeEq
+                }
+                _ => Pipe,
+            },
+            b'<' => match self.peek() {
+                b'<' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        ShlEq
+                    } else {
+                        Shl
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                b'>' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        ShrEq
+                    } else {
+                        Shr
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            },
+            other => {
+                return Err(Diag::error(
+                    self.span_from(lo),
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        self.push(TokenKind::P(p), lo);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let ks = kinds("int foo unsigned _bar");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Kw(Keyword::Int),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Kw(Keyword::Unsigned),
+                TokenKind::Ident("_bar".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_ccured_keywords() {
+        let ks = kinds("__SAFE __SEQ __WILD __RTTI __SPLIT __NOSPLIT __TRUSTED");
+        assert_eq!(ks.len(), 8);
+        assert_eq!(ks[0], TokenKind::Kw(Keyword::Safe));
+        assert_eq!(ks[3], TokenKind::Kw(Keyword::Rtti));
+        assert_eq!(ks[6], TokenKind::Kw(Keyword::Trusted));
+    }
+
+    #[test]
+    fn lexes_decimal_hex_octal() {
+        let ks = kinds("42 0x2a 052 0");
+        let values: Vec<u64> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::IntLit(v, _) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![42, 42, 42, 0]);
+    }
+
+    #[test]
+    fn lexes_int_suffixes() {
+        let ks = kinds("1u 2L 3UL 4ll");
+        let suffixes: Vec<IntSuffix> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::IntLit(_, s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert!(suffixes[0].unsigned && !suffixes[0].long);
+        assert!(!suffixes[1].unsigned && suffixes[1].long);
+        assert!(suffixes[2].unsigned && suffixes[2].long);
+        assert!(suffixes[3].long);
+    }
+
+    #[test]
+    fn lexes_floats() {
+        let ks = kinds("1.5 2. .5 1e3 2.5e-2");
+        let values: Vec<f64> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::FloatLit(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![1.5, 2.0, 0.5, 1000.0, 0.025]);
+    }
+
+    #[test]
+    fn float_vs_member_access_dot() {
+        // `x.y` must not lex the dot as a float start.
+        let ks = kinds("x.y");
+        assert_eq!(ks[1], TokenKind::P(Punct::Dot));
+    }
+
+    #[test]
+    fn lexes_char_literals() {
+        let ks = kinds(r"'a' '\n' '\0' '\x41' '\''");
+        let values: Vec<u8> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::CharLit(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![b'a', b'\n', 0, 0x41, b'\'']);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        // NB: `\x20b` would consume `b` as a hex digit (C semantics), so the
+        // space escape is isolated in its own literal here.
+        let ks = kinds(r#""hi\n" "a\x20" "b" "oct\101""#);
+        // Adjacent strings concatenate into one literal.
+        assert_eq!(ks.len(), 2);
+        match &ks[0] {
+            TokenKind::StrLit(b) => assert_eq!(b, b"hi\na boctA"),
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_concat_does_not_merge_across_other_tokens() {
+        let ks = kinds(r#""a" ; "b""#);
+        assert_eq!(ks.len(), 4); // "a" ; "b" EOF
+    }
+
+    #[test]
+    fn lexes_three_char_operators() {
+        let ks = kinds("<<= >>= ...");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::P(Punct::ShlEq),
+                TokenKind::P(Punct::ShrEq),
+                TokenKind::P(Punct::Ellipsis),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let ks = kinds("a->b ++x && || != <= >= == += -=");
+        assert!(ks.contains(&TokenKind::P(Punct::Arrow)));
+        assert!(ks.contains(&TokenKind::P(Punct::Inc)));
+        assert!(ks.contains(&TokenKind::P(Punct::AmpAmp)));
+        assert!(ks.contains(&TokenKind::P(Punct::PipePipe)));
+        assert!(ks.contains(&TokenKind::P(Punct::Ne)));
+        assert!(ks.contains(&TokenKind::P(Punct::Le)));
+        assert!(ks.contains(&TokenKind::P(Punct::Ge)));
+        assert!(ks.contains(&TokenKind::P(Punct::EqEq)));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("a /* comment */ b // line\nc");
+        assert_eq!(ks.len(), 4);
+    }
+
+    #[test]
+    fn pragma_is_a_token() {
+        let ks = kinds("#pragma ccuredWrapperOf(\"w\", \"f\")\nint x;");
+        match &ks[0] {
+            TokenKind::Pragma(s) => assert!(s.starts_with("ccuredWrapperOf")),
+            other => panic!("expected pragma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_other_directives() {
+        assert!(lex("#include <stdio.h>").is_err());
+        assert!(lex("#define X 1").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("'x").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("int @ x;").is_err());
+        assert!(lex("$foo").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("int  foo;").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(5, 8));
+        assert_eq!(toks[2].span, Span::new(8, 9));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        let toks = lex("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ccured-ast
+//!
+//! Frontend for the C subset accepted by `ccured-rs`: lexer, recursive-descent
+//! parser, abstract syntax tree, source map and diagnostics.
+//!
+//! The subset is large enough to express the workloads of *CCured in the Real
+//! World* (PLDI 2003): the full expression and statement grammar of C89
+//! (without the preprocessor), `struct`/`union`/`enum`/`typedef`, function
+//! pointers, variadic functions, initializers, and the CCured-specific
+//! annotations:
+//!
+//! * pointer-kind assertions `__SAFE`, `__SEQ`, `__WILD`, `__RTTI`,
+//! * representation qualifiers `__SPLIT` / `__NOSPLIT`,
+//! * `__TRUSTED` casts (`(int * __TRUSTED) e` or `#pragma ccured_trusted`),
+//! * wrapper declarations `#pragma ccuredWrapperOf("wrapper", "external")`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccured_ast::parse_translation_unit;
+//!
+//! let tu = parse_translation_unit("int main(void) { return 0; }").unwrap();
+//! assert_eq!(tu.decls.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lex;
+pub mod parse;
+pub mod pretty;
+pub mod span;
+
+pub use ast::TranslationUnit;
+pub use diag::{Diag, DiagKind};
+pub use parse::{parse_translation_unit, Parser};
+pub use span::{SourceMap, Span};

@@ -1,0 +1,60 @@
+//! Ablation benchmarks (E9/E10): the RTTI encoding (parent-chain walk vs
+//! O(1) interval test) and per-pointer metadata vs a global registry
+//! (curing excluded from the measured loops).
+
+use ccured::Hierarchy;
+use ccured_infer::InferOptions;
+use ccured_rt::{ExecMode, Interp};
+use ccured_workloads::{micro, runner, spec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_subtype_encodings(c: &mut Criterion) {
+    let w = spec::ijpeg_oo(40, 1);
+    let tu = ccured_ast::parse_translation_unit(&w.source).unwrap();
+    let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
+    let hier = Hierarchy::build(&prog);
+    let deepest = (hier.len() - 1) as u32;
+    let mut g = c.benchmark_group("rtti_encoding");
+    g.bench_function("walk", |b| {
+        b.iter(|| {
+            let mut t = 0u32;
+            for n in 1..hier.len() as u32 {
+                t += hier.is_subtype_walk(deepest, n).0 as u32;
+            }
+            t
+        })
+    });
+    g.bench_function("interval", |b| {
+        b.iter(|| {
+            let mut t = 0u32;
+            for n in 1..hier.len() as u32 {
+                t += hier.is_subtype_interval(deepest, n) as u32;
+            }
+            t
+        })
+    });
+    g.finish();
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metadata_lookup");
+    g.sample_size(10);
+    let w = micro::ptr_store(40);
+    let tu = ccured_ast::parse_translation_unit(&w.source).unwrap();
+    let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
+    let cured = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+    g.bench_function("fat_pointers", |b| {
+        b.iter(|| {
+            Interp::new(&cured.program, ExecMode::cured(&cured))
+                .run()
+                .unwrap()
+        })
+    });
+    g.bench_function("global_registry", |b| {
+        b.iter(|| Interp::new(&orig, ExecMode::JonesKelly).run().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_subtype_encodings, bench_metadata);
+criterion_main!(benches);

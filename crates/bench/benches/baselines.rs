@@ -1,0 +1,39 @@
+//! Wall-clock benchmark for E6: CCured vs Purify/Valgrind/Jones–Kelly on a
+//! CPU-bound suite workload (curing excluded from the measured loop).
+
+use ccured_infer::InferOptions;
+use ccured_rt::{ExecMode, Interp};
+use ccured_workloads::{runner, spec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    let w = spec::compress_like(6, 2);
+    let tu = ccured_ast::parse_translation_unit(&w.source).unwrap();
+    let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
+    let cured = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+    g.bench_function("original", |b| {
+        b.iter(|| Interp::new(&orig, ExecMode::Original).run().unwrap())
+    });
+    g.bench_function("ccured", |b| {
+        b.iter(|| {
+            Interp::new(&cured.program, ExecMode::cured(&cured))
+                .run()
+                .unwrap()
+        })
+    });
+    for (name, mode) in [
+        ("purify", ExecMode::Purify),
+        ("valgrind", ExecMode::Valgrind),
+        ("joneskelly", ExecMode::JonesKelly),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| Interp::new(&orig, mode).run().unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

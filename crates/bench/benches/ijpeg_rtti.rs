@@ -1,0 +1,40 @@
+//! Wall-clock benchmark for E4: executing the ijpeg OO workload with and
+//! without the paper's extensions (curing excluded from the measured loop).
+
+use ccured_infer::InferOptions;
+use ccured_rt::{ExecMode, Interp};
+use ccured_workloads::{runner, spec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ijpeg_rtti");
+    g.sample_size(10);
+    let w = spec::ijpeg_oo(24, 8);
+    let tu = ccured_ast::parse_translation_unit(&w.source).unwrap();
+    let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
+    let with_rtti = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+    let old_ccured = runner::run_cured(&w, &InferOptions::original_ccured())
+        .unwrap()
+        .cured;
+    g.bench_function("original_program", |b| {
+        b.iter(|| Interp::new(&orig, ExecMode::Original).run().unwrap())
+    });
+    g.bench_function("cured_with_rtti", |b| {
+        b.iter(|| {
+            Interp::new(&with_rtti.program, ExecMode::cured(&with_rtti))
+                .run()
+                .unwrap()
+        })
+    });
+    g.bench_function("cured_original_ccured", |b| {
+        b.iter(|| {
+            Interp::new(&old_ccured.program, ExecMode::cured(&old_ccured))
+                .run()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

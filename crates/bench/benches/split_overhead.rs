@@ -1,0 +1,39 @@
+//! Wall-clock benchmark for E7: the compatible (split) representation
+//! overhead on the pointer-heavy em3d vs the scalar-heavy anagram (curing
+//! excluded from the measured loop).
+
+use ccured_infer::InferOptions;
+use ccured_rt::{ExecMode, Interp};
+use ccured_workloads::{olden, ptrdist, runner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("split_overhead");
+    g.sample_size(10);
+    let split = InferOptions {
+        split_everything: true,
+        ..InferOptions::default()
+    };
+    for w in [olden::em3d(24, 4, 8), ptrdist::anagram(24)] {
+        let nosplit = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+        let allsplit = runner::run_cured(&w, &split).unwrap().cured;
+        g.bench_function(format!("{}_nosplit", w.name), |b| {
+            b.iter(|| {
+                Interp::new(&nosplit.program, ExecMode::cured(&nosplit))
+                    .run()
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("{}_allsplit", w.name), |b| {
+            b.iter(|| {
+                Interp::new(&allsplit.program, ExecMode::cured(&allsplit))
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

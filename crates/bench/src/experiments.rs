@@ -1,0 +1,506 @@
+//! One function per reproduced table/figure (experiment ids E1–E10 in
+//! DESIGN.md). All ratios come from the shared deterministic cost model.
+
+use ccured_infer::InferOptions;
+use ccured_rt::{CostModel, ExecMode};
+use ccured_workloads::runner::{self, measure, Ratios};
+use ccured_workloads::{apache, daemons, micro, olden, ptrdist, spec, Workload};
+
+/// One row of the Figure 8 (Apache modules) table.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Module name.
+    pub name: String,
+    /// Our measured lines of code.
+    pub lines: usize,
+    /// Measured `sf/sq/w/rt` percentages.
+    pub pct: (u32, u32, u32, u32),
+    /// Measured CCured ratio.
+    pub ratio: f64,
+    /// Paper LoC.
+    pub paper_loc: Option<u32>,
+    /// Paper `sf/sq/w/rt`.
+    pub paper_pct: Option<(u32, u32, u32, u32)>,
+    /// Paper ratio.
+    pub paper_ratio: Option<f64>,
+}
+
+/// E1 (Figure 8): the nine Apache modules under the request driver.
+pub fn fig8(requests: u32) -> Vec<Fig8Row> {
+    apache::all_modules(requests)
+        .into_iter()
+        .map(|w| {
+            let r = measure(&w, &InferOptions::default()).expect("fig8 workload");
+            Fig8Row {
+                name: w.name.clone(),
+                lines: r.lines,
+                pct: r.kind_pct,
+                ratio: r.ccured,
+                paper_loc: w.paper.loc,
+                paper_pct: w.paper.pct,
+                paper_ratio: w.paper.ccured_ratio,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Figure 9 (system software) table.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Program name.
+    pub name: String,
+    /// Our measured LoC.
+    pub lines: usize,
+    /// Measured `sf/sq/w/rt`.
+    pub pct: (u32, u32, u32, u32),
+    /// Measured CCured ratio.
+    pub ccured: f64,
+    /// Measured Valgrind ratio.
+    pub valgrind: f64,
+    /// Paper's CCured ratio.
+    pub paper_ccured: Option<f64>,
+    /// Paper's Valgrind ratio.
+    pub paper_valgrind: Option<f64>,
+    /// Paper's `sf/sq/w/rt`.
+    pub paper_pct: Option<(u32, u32, u32, u32)>,
+}
+
+/// E2 (Figure 9): drivers, daemons and crypto kernels.
+pub fn fig9() -> Vec<Fig9Row> {
+    daemons::figure9_corpus()
+        .into_iter()
+        .map(|w| {
+            let r = measure(&w, &InferOptions::default()).expect("fig9 workload");
+            Fig9Row {
+                name: w.name.clone(),
+                lines: r.lines,
+                pct: r.kind_pct,
+                ccured: r.ccured,
+                valgrind: r.valgrind,
+                paper_ccured: w.paper.ccured_ratio,
+                paper_valgrind: w.paper.valgrind_ratio,
+                paper_pct: w.paper.pct,
+            }
+        })
+        .collect()
+}
+
+/// E3: the corpus-wide cast census (paper Section 3 statistics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CastTotals {
+    /// Total pointer-to-pointer casts.
+    pub ptr_casts: usize,
+    /// % of pointer casts between physically equal types.
+    pub pct_identical: f64,
+    /// Of the non-identical casts, % verified as upcasts.
+    pub pct_upcasts: f64,
+    /// Of the non-identical casts, % checked as downcasts.
+    pub pct_downcasts: f64,
+    /// Of the non-identical casts, % left bad/trusted.
+    pub pct_bad: f64,
+    /// % of all pointer casts verifiable without WILD.
+    pub pct_verified: f64,
+}
+
+/// Aggregates the cast census over the whole corpus.
+pub fn cast_census() -> CastTotals {
+    let mut agg = ccured_infer::CastCensus::default();
+    let mut corpus = ccured_workloads::suite_corpus();
+    corpus.extend(apache::all_modules(1));
+    corpus.extend(daemons::figure9_corpus());
+    for w in &corpus {
+        let cured = runner::run_cured(w, &InferOptions::default()).expect("census workload");
+        let c = cured.cured.report.census;
+        agg.identical += c.identical;
+        agg.upcast += c.upcast;
+        agg.downcast += c.downcast;
+        agg.bad += c.bad;
+        agg.trusted += c.trusted;
+        agg.scalar += c.scalar;
+        agg.null_ptr += c.null_ptr;
+        agg.int_to_ptr += c.int_to_ptr;
+        agg.ptr_to_int += c.ptr_to_int;
+        agg.alloc += c.alloc;
+    }
+    CastTotals {
+        ptr_casts: agg.ptr_casts(),
+        pct_identical: agg.pct_identical(),
+        pct_upcasts: agg.pct_upcasts_of_nonidentical(),
+        pct_downcasts: agg.pct_downcasts_of_nonidentical(),
+        pct_bad: agg.pct_bad_of_nonidentical(),
+        pct_verified: agg.pct_verified(),
+    }
+}
+
+/// E4: the ijpeg RTTI experiment (old CCured vs this paper).
+#[derive(Debug, Clone, Copy)]
+pub struct IjpegResult {
+    /// WILD percentage without physical subtyping/RTTI (paper: ~60%).
+    pub old_wild_pct: u32,
+    /// Slowdown without the extensions (paper: 2.15x).
+    pub old_ratio: f64,
+    /// WILD percentage with RTTI (paper: 0%).
+    pub new_wild_pct: u32,
+    /// RTTI percentage with RTTI (paper: ~1%).
+    pub new_rtti_pct: u32,
+    /// Slowdown with the extensions (paper: 1.45x).
+    pub new_ratio: f64,
+    /// Downcast sites in the program.
+    pub downcasts: usize,
+}
+
+/// Runs the ijpeg experiment at the given scale.
+pub fn ijpeg_experiment(types: u32, rounds: u32) -> IjpegResult {
+    let w = spec::ijpeg_oo(types, rounds);
+    let new = measure(&w, &InferOptions::default()).expect("ijpeg new");
+    let old = measure(&w, &InferOptions::original_ccured()).expect("ijpeg old");
+    let cured_new = runner::run_cured(&w, &InferOptions::default()).expect("census");
+    let cured_old = runner::run_cured(&w, &InferOptions::original_ccured()).expect("census");
+    let pct_old = cured_old.cured.report.kind_counts.percentages();
+    let pct_new = cured_new.cured.report.kind_counts.percentages();
+    IjpegResult {
+        old_wild_pct: pct_old.2,
+        old_ratio: old.ccured,
+        new_wild_pct: pct_new.2,
+        new_rtti_pct: pct_new.3,
+        new_ratio: new.ccured,
+        downcasts: cured_new.cured.report.census.downcast,
+    }
+}
+
+/// E5: the bind cast statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct BindStats {
+    /// Total pointer casts.
+    pub ptr_casts: usize,
+    /// Upcasts handled by physical subtyping.
+    pub upcasts: usize,
+    /// Downcasts checked with RTTI.
+    pub downcasts: usize,
+    /// Trusted casts (the code-review surface; paper: 380 of 530).
+    pub trusted: usize,
+    /// WILD percentage without RTTI.
+    pub wild_pct_without_rtti: u32,
+    /// WILD percentage with RTTI + trusted casts.
+    pub wild_pct_with_rtti: u32,
+}
+
+/// Runs the bind census at the given scale.
+pub fn bind_experiment(queries: u32, rrtypes: u32) -> BindStats {
+    let w = daemons::bind_like(queries, rrtypes);
+    let with = runner::run_cured(&w, &InferOptions::default()).expect("bind with rtti");
+    let without = runner::run_cured(&w, &InferOptions::original_ccured()).expect("bind without");
+    let c = with.cured.report.census;
+    BindStats {
+        ptr_casts: c.ptr_casts(),
+        upcasts: c.upcast,
+        downcasts: c.downcast,
+        trusted: c.trusted,
+        wild_pct_without_rtti: without.cured.report.kind_counts.percentages().2,
+        wild_pct_with_rtti: with.cured.report.kind_counts.percentages().2,
+    }
+}
+
+/// One row of the suites table (E6).
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// Benchmark name.
+    pub name: String,
+    /// CCured ratio (paper band: 1.07–1.56).
+    pub ccured: f64,
+    /// Purify ratio (paper band: 25–100).
+    pub purify: f64,
+    /// Valgrind ratio (paper band: 9–130).
+    pub valgrind: f64,
+}
+
+/// E6: the Spec/Olden/Ptrdist suite with all baselines.
+pub fn suites() -> Vec<SuiteRow> {
+    ccured_workloads::suite_corpus()
+        .into_iter()
+        .map(|w| {
+            let r = measure(&w, &InferOptions::default()).expect("suite workload");
+            SuiteRow {
+                name: w.name.clone(),
+                ccured: r.ccured,
+                purify: r.purify,
+                valgrind: r.valgrind,
+            }
+        })
+        .collect()
+}
+
+/// One row of the split-overhead table (E7).
+#[derive(Debug, Clone)]
+pub struct SplitRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Cured ratio with the default (NOSPLIT) representation.
+    pub nosplit: f64,
+    /// Cured ratio with everything SPLIT.
+    pub allsplit: f64,
+    /// The extra overhead attributable to splitting (allsplit/nosplit).
+    pub split_cost: f64,
+}
+
+/// E7a: the all-split overhead experiment over olden/ptrdist/ijpeg.
+pub fn split_overhead() -> Vec<SplitRow> {
+    let corpus = vec![
+        olden::em3d(48, 6, 24),
+        olden::treeadd(10),
+        ptrdist::anagram(40),
+        ptrdist::ks(26),
+        spec::ijpeg_oo(24, 16),
+    ];
+    corpus
+        .into_iter()
+        .map(|w| {
+            let base = measure(&w, &InferOptions::default()).expect("split base");
+            let split = measure(
+                &w,
+                &InferOptions {
+                    split_everything: true,
+                    ..InferOptions::default()
+                },
+            )
+            .expect("split all");
+            SplitRow {
+                name: w.name.clone(),
+                nosplit: base.ccured,
+                allsplit: split.ccured,
+                split_cost: split.ccured / base.ccured,
+            }
+        })
+        .collect()
+}
+
+/// E7b: boundary-seeded split statistics (bind/OpenSSH style).
+#[derive(Debug, Clone)]
+pub struct SplitBoundaryRow {
+    /// Program name.
+    pub name: String,
+    /// Percentage of qualifiers that became SPLIT.
+    pub split_pct: f64,
+    /// Of the split pointers, the percentage carrying a metadata pointer.
+    pub meta_pct: f64,
+}
+
+/// Measures boundary-seeded SPLIT spread for the daemons.
+pub fn split_boundary() -> Vec<SplitBoundaryRow> {
+    let corpus = vec![
+        daemons::bind_like(10, 12),
+        daemons::openssh_like(10, false),
+        daemons::openssh_like(10, true),
+        daemons::ssh_client_uncured_ssl(10),
+    ];
+    corpus
+        .into_iter()
+        .map(|w| {
+            let opts = InferOptions {
+                split_at_boundaries: true,
+                ..InferOptions::default()
+            };
+            let cured = runner::run_cured(&w, &opts).expect("boundary split");
+            let sol = &cured.cured.solution;
+            let prog = &cured.cured.program;
+            let total = sol.len().max(1);
+            let split = sol.split_count();
+            // Of the split pointer quals, how many need a metadata pointer.
+            let mut st = ccured::split::SplitTypes::new(&prog.types, sol);
+            let mut types = prog.types.clone();
+            let mut split_ptrs = 0usize;
+            let mut with_meta = 0usize;
+            for i in 0..prog.types.len() {
+                let t = ccured_cil::types::TypeId(i as u32);
+                if let Some((_, q)) = prog.types.ptr_parts(t) {
+                    if sol.is_split(q) {
+                        split_ptrs += 1;
+                        if st.needs_meta_ptr(&mut types, t) {
+                            with_meta += 1;
+                        }
+                    }
+                }
+            }
+            SplitBoundaryRow {
+                name: w.name.clone(),
+                split_pct: split as f64 * 100.0 / total as f64,
+                meta_pct: if split_ptrs == 0 {
+                    0.0
+                } else {
+                    with_meta as f64 * 100.0 / split_ptrs as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// One row of the security table (E8).
+#[derive(Debug, Clone)]
+pub struct SecurityRow {
+    /// Scenario name.
+    pub name: String,
+    /// What happened in plain C.
+    pub original: String,
+    /// What happened under CCured.
+    pub cured: String,
+    /// Whether CCured stopped the attack.
+    pub prevented: bool,
+}
+
+/// E8: known-vulnerability scenarios.
+pub fn security() -> Vec<SecurityRow> {
+    let scenarios = vec![daemons::ftpd(4, true), daemons::sendmail_like(6, true)];
+    scenarios
+        .into_iter()
+        .map(|w| {
+            let o = runner::run_original(&w).expect("frontend");
+            let original = match &o.error {
+                None if o.exit == 42 => "exploited silently (admin granted)".to_string(),
+                None if o.exit == 43 => "exploited silently (relay state corrupted)".to_string(),
+                None => format!("ran to completion (exit {})", o.exit),
+                Some(e) => format!("crashed: {e}"),
+            };
+            let c = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+            let (cured_out, prevented) = match &c.stats.error {
+                Some(e) if e.is_check_failure() => (format!("stopped by {e}"), true),
+                Some(e) => (format!("failed: {e}"), false),
+                None => (format!("ran (exit {})", c.stats.exit), c.stats.exit != 42),
+            };
+            SecurityRow {
+                name: w.name.clone(),
+                original,
+                cured: cured_out,
+                prevented,
+            }
+        })
+        .collect()
+}
+
+/// One row of the ablation staircase (E9).
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration name.
+    pub config: String,
+    /// WILD percentage.
+    pub wild_pct: u32,
+    /// RTTI percentage.
+    pub rtti_pct: u32,
+    /// Overhead ratio.
+    pub ratio: f64,
+}
+
+/// E9: WILD-everything vs physical subtyping vs +RTTI on the OO workload.
+pub fn ablation(types: u32, rounds: u32) -> Vec<AblationRow> {
+    let w = spec::ijpeg_oo(types, rounds);
+    let configs = vec![
+        ("original CCured (no phys-sub, no RTTI)", InferOptions::original_ccured()),
+        (
+            "physical subtyping only",
+            InferOptions {
+                rtti: false,
+                ..InferOptions::default()
+            },
+        ),
+        ("physical subtyping + RTTI", InferOptions::default()),
+    ];
+    configs
+        .into_iter()
+        .map(|(name, opts)| {
+            let r = measure(&w, &opts).expect("ablation");
+            let cured = runner::run_cured(&w, &opts).expect("ablation cure");
+            let pct = cured.cured.report.kind_counts.percentages();
+            AblationRow {
+                config: name.to_string(),
+                wild_pct: pct.2,
+                rtti_pct: pct.3,
+                ratio: r.ccured,
+            }
+        })
+        .collect()
+}
+
+/// E9b: the RTTI `isSubtype` encoding ablation at run time — the paper's
+/// parent-chain walk vs an O(1) interval test, on the deep-hierarchy OO
+/// workload. Returns `(walk_steps, walk_ratio, interval_ratio)`.
+pub fn rtti_encoding(types: u32, rounds: u32) -> (u64, f64, f64) {
+    use ccured_rt::Interp;
+    let w = spec::ijpeg_oo(types, rounds);
+    let model = CostModel::default();
+    let base = runner::run_original(&w).expect("frontend");
+    let cured = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+    let walk_steps = cured.stats.counters.rtti_walk_steps;
+    let walk_ratio = model.ratio(&cured.stats.counters, &base.counters);
+    let mut interp = Interp::new(&cured.cured.program, ExecMode::cured(&cured.cured));
+    interp.set_interval_rtti(true);
+    interp.run().expect("interval run");
+    let interval_ratio = model.ratio(&interp.counters, &base.counters);
+    assert_eq!(interp.counters.rtti_walk_steps, 0, "interval mode walks no chains");
+    (walk_steps, walk_ratio, interval_ratio)
+}
+
+/// E10: fat pointers vs a global object registry (Jones–Kelly) on the
+/// pointer-heavy microbenchmark. Returns `(ccured_ratio, joneskelly_ratio)`.
+pub fn metadata_lookup(iters: u32) -> (f64, f64) {
+    let w = micro::ptr_store(iters);
+    let model = CostModel::default();
+    let base = runner::run_original(&w).expect("frontend");
+    let cured = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+    let jk = runner::run_baseline(&w, ExecMode::JonesKelly).expect("jk");
+    (
+        model.ratio(&cured.stats.counters, &base.counters),
+        model.ratio(&jk.counters, &base.counters),
+    )
+}
+
+/// Convenience: measured ratios for an arbitrary workload (used by benches).
+pub fn quick_ratio(w: &Workload) -> Ratios {
+    measure(w, &InferOptions::default()).expect("workload measures")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ijpeg_shape_matches_paper() {
+        let r = ijpeg_experiment(12, 4);
+        assert!(
+            r.old_wild_pct >= 30,
+            "original CCured drowns in WILD: {}",
+            r.old_wild_pct
+        );
+        assert_eq!(r.new_wild_pct, 0, "RTTI eliminates WILD");
+        assert!(r.new_rtti_pct > 0);
+        assert!(
+            r.old_ratio > r.new_ratio,
+            "RTTI reduces the slowdown: {} -> {}",
+            r.old_ratio,
+            r.new_ratio
+        );
+    }
+
+    #[test]
+    fn security_scenarios_prevented() {
+        for row in security() {
+            assert!(row.prevented, "{}: {}", row.name, row.cured);
+        }
+    }
+
+    #[test]
+    fn metadata_lookup_favors_fat_pointers() {
+        let (ccured, jk) = metadata_lookup(30);
+        assert!(
+            jk > ccured,
+            "per-pointer metadata beats the global registry: {ccured} vs {jk}"
+        );
+    }
+
+    #[test]
+    fn ablation_is_a_staircase() {
+        let rows = ablation(8, 3);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].wild_pct > rows[2].wild_pct);
+        assert!(rows[0].ratio >= rows[2].ratio);
+        assert_eq!(rows[2].wild_pct, 0);
+    }
+}

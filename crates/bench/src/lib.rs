@@ -1,0 +1,11 @@
+//! # ccured-bench
+//!
+//! The experiment harness: one function per table/figure of *CCured in the
+//! Real World* (see the experiment index in `DESIGN.md`). Each returns
+//! structured rows; the `tables` binary renders them next to the paper's
+//! numbers, and the Criterion benches wall-clock the same runs.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

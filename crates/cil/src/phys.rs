@@ -1,0 +1,750 @@
+//! Physical type equality and physical subtyping (paper Section 3.1).
+//!
+//! Types are compared by their *flattened layout*: a sequence of scalar atoms
+//! at byte offsets, with arrays expanded and nested aggregates inlined. This
+//! realizes the paper's equational theory directly:
+//!
+//! * `t[1] ≍ t` and `t[n1+n2] ≍ struct{t[n1]; t[n2]}` — array expansion,
+//! * `struct{t1; void} ≍ t1` and `void` as the empty aggregate,
+//! * struct associativity — both sides flatten to the same atom stream,
+//! * structure padding is accounted for: atoms carry their real offsets.
+//!
+//! **Equality** (`phys_eq`) requires equal total size and identical atoms at
+//! identical offsets. **Prefix subtyping** (`is_prefix_of`) requires every
+//! atom of the smaller type to match an identically-placed atom of the larger
+//! type; padding in the smaller type is a "don't care" region (it is never
+//! accessed through that view), which admits the real-world upcasts where the
+//! subtype packs data into the supertype's trailing padding.
+//!
+//! Pointer atoms compare by *coinductive* physical equality of their pointee
+//! types, so recursive structures (linked lists) compare correctly.
+//!
+//! The SEQ cast rule (`seq_cast_ok`) implements the paper's side condition
+//! `t[n'] ≍ t'[n]` for the least `n·sizeof(t) = n'·sizeof(t')`.
+
+use crate::types::{FuncSig, QualId, Type, TypeId, TypeTable};
+use std::collections::{HashMap, HashSet};
+
+/// Budget on flattened atoms per type; exceeding it makes comparisons
+/// conservatively fail (never unsound: the cast is then treated as bad).
+const ATOM_BUDGET: usize = 4096;
+
+/// One scalar atom of a flattened layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Piece {
+    /// An integer of the given byte size (sign-insensitive).
+    Int(u64),
+    /// A float of the given byte size.
+    Float(u64),
+    /// A pointer; compared by coinductive pointee equality.
+    Ptr(TypeId, QualId),
+    /// An opaque union; compared by identity.
+    Union(crate::types::CompId),
+}
+
+/// A flattened layout: non-padding atoms at offsets, plus the total size.
+#[derive(Debug, Clone)]
+struct AtomStream {
+    atoms: Vec<(u64, Piece)>,
+    size: u64,
+}
+
+/// How a pointer cast classifies under the extended CCured type system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastClass {
+    /// Between physically equal pointee types; kinds unify.
+    Identical,
+    /// The target pointee is a physical prefix of the source pointee
+    /// (statically safe for SAFE pointers).
+    Upcast,
+    /// The source pointee is a physical prefix of the target pointee
+    /// (checkable at run time with RTTI).
+    Downcast,
+    /// Neither an upcast nor a downcast: forces WILD (unless trusted).
+    Bad,
+    /// Arithmetic-to-arithmetic conversion, no pointers involved.
+    Scalar,
+    /// An integer (possibly zero) cast to a pointer.
+    IntToPtr,
+    /// A pointer cast to an integer.
+    PtrToInt,
+}
+
+/// Physical-type comparison context with memoization.
+///
+/// Create one per analysis pass; memo tables make repeated queries cheap.
+///
+/// # Examples
+///
+/// ```
+/// use ccured_cil::{lower_translation_unit, phys::PhysCtx};
+///
+/// let tu = ccured_ast::parse_translation_unit(
+///     "struct A { int x; }; struct B { int x; int y; };
+///      struct A *pa; struct B *pb;",
+/// ).unwrap();
+/// let prog = lower_translation_unit(&tu).unwrap();
+/// let a = prog.globals[0].ty;
+/// let b = prog.globals[1].ty;
+/// let mut ctx = PhysCtx::new(&prog.types);
+/// let (pa, _) = prog.types.ptr_parts(a).unwrap();
+/// let (pb, _) = prog.types.ptr_parts(b).unwrap();
+/// assert!(ctx.is_prefix_of(pa, pb), "A is a prefix of B");
+/// assert!(!ctx.is_prefix_of(pb, pa));
+/// ```
+pub struct PhysCtx<'a> {
+    types: &'a TypeTable,
+    eq_memo: HashMap<(TypeId, TypeId), bool>,
+    stream_memo: HashMap<TypeId, Option<AtomStream>>,
+    quals_memo: HashMap<TypeId, std::rc::Rc<Vec<QualId>>>,
+}
+
+impl<'a> PhysCtx<'a> {
+    /// Creates a comparison context over a type table.
+    pub fn new(types: &'a TypeTable) -> Self {
+        PhysCtx {
+            types,
+            eq_memo: HashMap::new(),
+            stream_memo: HashMap::new(),
+            quals_memo: HashMap::new(),
+        }
+    }
+
+    /// Flattens `t` into its atom stream (cached).
+    fn stream(&mut self, t: TypeId) -> Option<AtomStream> {
+        if let Some(s) = self.stream_memo.get(&t) {
+            return s.clone();
+        }
+        let mut atoms = Vec::new();
+        let size = self.flatten(t, 0, &mut atoms);
+        let result = size.map(|size| AtomStream { atoms, size });
+        self.stream_memo.insert(t, result.clone());
+        result
+    }
+
+    /// Appends the atoms of `t` at base offset `off`; returns `t`'s size.
+    fn flatten(&self, t: TypeId, off: u64, out: &mut Vec<(u64, Piece)>) -> Option<u64> {
+        if out.len() > ATOM_BUDGET {
+            return None;
+        }
+        match self.types.get(t) {
+            Type::Void => Some(0),
+            Type::Int(k) => {
+                let s = self.types.machine.int_size(*k);
+                out.push((off, Piece::Int(s)));
+                Some(s)
+            }
+            Type::Float(k) => {
+                let s = self.types.machine.float_size(*k);
+                out.push((off, Piece::Float(s)));
+                Some(s)
+            }
+            Type::Ptr(base, q) => {
+                out.push((off, Piece::Ptr(*base, *q)));
+                Some(self.types.machine.ptr_bytes)
+            }
+            Type::Array(elem, Some(n)) => {
+                let es = self.types.size_of(*elem).ok()?;
+                let mut cur = off;
+                for _ in 0..*n {
+                    if out.len() > ATOM_BUDGET {
+                        return None;
+                    }
+                    self.flatten(*elem, cur, out)?;
+                    cur += es;
+                }
+                Some(es * n)
+            }
+            Type::Array(_, None) => None,
+            Type::Comp(cid) => {
+                let info = self.types.comp(*cid);
+                if !info.defined {
+                    return None;
+                }
+                if info.is_union {
+                    out.push((off, Piece::Union(*cid)));
+                    return Some(info.size);
+                }
+                for f in &info.fields {
+                    self.flatten(f.ty, off + f.offset, out)?;
+                }
+                Some(info.size)
+            }
+            Type::Func(_) => None,
+        }
+    }
+
+    /// Physical type equality `a ≍ b` (paper Section 3.1).
+    pub fn phys_eq(&mut self, a: TypeId, b: TypeId) -> bool {
+        if self.types.same_type(a, b) {
+            return true;
+        }
+        // Function types compare structurally (they only occur behind
+        // pointers and have no layout).
+        if let (Type::Func(fa), Type::Func(fb)) = (self.types.get(a), self.types.get(b)) {
+            let (fa, fb) = (fa.clone(), fb.clone());
+            return self.func_eq(&fa, &fb);
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = self.eq_memo.get(&key) {
+            return r;
+        }
+        // Coinductive hypothesis: assume equal while comparing (recursive
+        // structures through pointers).
+        self.eq_memo.insert(key, true);
+        let result = self.phys_eq_uncached(a, b);
+        self.eq_memo.insert(key, result);
+        result
+    }
+
+    fn func_eq(&mut self, fa: &FuncSig, fb: &FuncSig) -> bool {
+        fa.varargs == fb.varargs
+            && fa.params.len() == fb.params.len()
+            && self.phys_eq(fa.ret, fb.ret)
+            && fa
+                .params
+                .clone()
+                .iter()
+                .zip(fb.params.clone().iter())
+                .all(|(p, q)| self.phys_eq(*p, *q))
+    }
+
+    fn phys_eq_uncached(&mut self, a: TypeId, b: TypeId) -> bool {
+        let (sa, sb) = match (self.stream(a), self.stream(b)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        if sa.size != sb.size || sa.atoms.len() != sb.atoms.len() {
+            return false;
+        }
+        for ((oa, pa), (ob, pb)) in sa.atoms.iter().zip(sb.atoms.iter()) {
+            if oa != ob || !self.piece_eq(pa, pb) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn piece_eq(&mut self, a: &Piece, b: &Piece) -> bool {
+        match (a, b) {
+            (Piece::Int(x), Piece::Int(y)) => x == y,
+            (Piece::Float(x), Piece::Float(y)) => x == y,
+            (Piece::Union(x), Piece::Union(y)) => x == y,
+            (Piece::Ptr(x, _), Piece::Ptr(y, _)) => self.phys_eq(*x, *y),
+            _ => false,
+        }
+    }
+
+    /// Physical prefix: every atom of `sup` matches an identically placed
+    /// atom of `sub` (so a `sub` object can be viewed as a `sup`).
+    ///
+    /// `void` is the empty aggregate, so `is_prefix_of(void, t)` holds for
+    /// every `t` — any pointer can be upcast to `void*`.
+    pub fn is_prefix_of(&mut self, sup: TypeId, sub: TypeId) -> bool {
+        if self.phys_eq(sup, sub) {
+            return true;
+        }
+        // Function "prefixes" make no sense.
+        if matches!(self.types.get(sup), Type::Func(_)) || matches!(self.types.get(sub), Type::Func(_)) {
+            return false;
+        }
+        let (ssup, ssub) = match (self.stream(sup), self.stream(sub)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        if ssup.size > ssub.size {
+            return false;
+        }
+        // Two-pointer walk: each sup atom must find its twin in sub.
+        let mut j = 0;
+        for (oa, pa) in &ssup.atoms {
+            while j < ssub.atoms.len() && ssub.atoms[j].0 < *oa {
+                j += 1;
+            }
+            if j >= ssub.atoms.len() || ssub.atoms[j].0 != *oa {
+                return false;
+            }
+            let pb = ssub.atoms[j].1.clone();
+            if !self.piece_eq(pa, &pb) {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// Whether `sub` strictly extends `sup` (a proper subtype).
+    pub fn is_proper_subtype(&mut self, sub: TypeId, sup: TypeId) -> bool {
+        self.is_prefix_of(sup, sub) && !self.phys_eq(sup, sub)
+    }
+
+    /// The paper's SEQ-cast side condition: with the least `n, n'` such that
+    /// `n·sizeof(from) = n'·sizeof(to)`, require `from[n'] ≍ to[n]` — i.e.
+    /// the two element types tile memory identically.
+    pub fn seq_cast_ok(&mut self, from: TypeId, to: TypeId) -> bool {
+        if self.phys_eq(from, to) {
+            return true;
+        }
+        // `void` is the empty aggregate: nothing can be accessed at type
+        // `void`, so the tiling side condition is vacuous. A later cast to a
+        // concrete type is a downcast and re-checks.
+        if matches!(self.types.get(from), Type::Void) || matches!(self.types.get(to), Type::Void) {
+            return true;
+        }
+        let (sf, st) = match (self.types.size_of(from), self.types.size_of(to)) {
+            (Ok(a), Ok(b)) if a > 0 && b > 0 => (a, b),
+            _ => return false,
+        };
+        let l = lcm(sf, st);
+        let reps_from = (l / sf) as usize;
+        let reps_to = (l / st) as usize;
+        if reps_from.max(reps_to) > ATOM_BUDGET {
+            return false;
+        }
+        let (mut fa, mut ta) = (Vec::new(), Vec::new());
+        let mut off = 0;
+        for _ in 0..reps_from {
+            if self.flatten(from, off, &mut fa).is_none() {
+                return false;
+            }
+            off += sf;
+        }
+        off = 0;
+        for _ in 0..reps_to {
+            if self.flatten(to, off, &mut ta).is_none() {
+                return false;
+            }
+            off += st;
+        }
+        if fa.len() != ta.len() {
+            return false;
+        }
+        for ((oa, pa), (ob, pb)) in fa.iter().zip(ta.clone().iter()) {
+            if oa != ob || !self.piece_eq(pa, pb) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Classifies a cast between two types (paper Section 3).
+    ///
+    /// `from`/`to` are the full cast types (often pointers). Integer-to-
+    /// pointer nullness is the caller's concern ([`CastClass::IntToPtr`] is
+    /// returned regardless of the operand value).
+    pub fn classify_cast(&mut self, from: TypeId, to: TypeId) -> CastClass {
+        let fp = self.types.ptr_parts(from);
+        let tp = self.types.ptr_parts(to);
+        match (fp, tp) {
+            (Some((fb, _)), Some((tb, _))) => {
+                if self.phys_eq(fb, tb) {
+                    CastClass::Identical
+                } else if self.is_prefix_of(tb, fb) {
+                    CastClass::Upcast
+                } else if self.is_prefix_of(fb, tb) {
+                    CastClass::Downcast
+                } else {
+                    CastClass::Bad
+                }
+            }
+            (Some(_), None) => CastClass::PtrToInt,
+            (None, Some(_)) => CastClass::IntToPtr,
+            (None, None) => CastClass::Scalar,
+        }
+    }
+
+    /// Collects the qualifier-variable pairs that must unify when two
+    /// physically equal types alias (deep, through pointers and functions).
+    ///
+    /// Returns `None` if the types are not physically equal.
+    pub fn eq_qual_pairs(&mut self, a: TypeId, b: TypeId) -> Option<Vec<(QualId, QualId)>> {
+        if !self.phys_eq(a, b) {
+            return None;
+        }
+        let mut pairs = Vec::new();
+        let mut seen = HashSet::new();
+        self.collect_pairs(a, b, &mut pairs, &mut seen);
+        Some(pairs)
+    }
+
+    /// Collects qualifier pairs for the overlapping prefix of an upcast from
+    /// `sub` to `sup`. Returns `None` if `sup` is not a prefix of `sub`.
+    pub fn prefix_qual_pairs(&mut self, sup: TypeId, sub: TypeId) -> Option<Vec<(QualId, QualId)>> {
+        if !self.is_prefix_of(sup, sub) {
+            return None;
+        }
+        let ssup = self.stream(sup)?;
+        let ssub = self.stream(sub)?;
+        let mut pairs = Vec::new();
+        let mut seen = HashSet::new();
+        let mut j = 0;
+        for (oa, pa) in &ssup.atoms {
+            while j < ssub.atoms.len() && ssub.atoms[j].0 < *oa {
+                j += 1;
+            }
+            if j >= ssub.atoms.len() {
+                break;
+            }
+            if let (Piece::Ptr(ba, qa), Piece::Ptr(bb, qb)) = (pa, &ssub.atoms[j].1) {
+                pairs.push((*qa, *qb));
+                let (ba, bb) = (*ba, *bb);
+                self.collect_pairs(ba, bb, &mut pairs, &mut seen);
+            }
+            j += 1;
+        }
+        Some(pairs)
+    }
+
+    fn collect_pairs(
+        &mut self,
+        a: TypeId,
+        b: TypeId,
+        pairs: &mut Vec<(QualId, QualId)>,
+        seen: &mut HashSet<(TypeId, TypeId)>,
+    ) {
+        if !seen.insert((a, b)) {
+            return;
+        }
+        if let (Type::Func(fa), Type::Func(fb)) = (self.types.get(a), self.types.get(b)) {
+            let (fa, fb) = (fa.clone(), fb.clone());
+            self.collect_pairs(fa.ret, fb.ret, pairs, seen);
+            for (p, q) in fa.params.iter().zip(fb.params.iter()) {
+                self.collect_pairs(*p, *q, pairs, seen);
+            }
+            return;
+        }
+        let (sa, sb) = match (self.stream(a), self.stream(b)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return,
+        };
+        for ((_, pa), (_, pb)) in sa.atoms.iter().zip(sb.atoms.iter()) {
+            if let (Piece::Ptr(ba, qa), Piece::Ptr(bb, qb)) = (pa, pb) {
+                pairs.push((*qa, *qb));
+                let (ba, bb) = (*ba, *bb);
+                self.collect_pairs(ba, bb, pairs, seen);
+            }
+        }
+    }
+
+    /// All qualifier variables occurring anywhere inside `t` (used for WILD
+    /// poisoning: a WILD type contaminates its whole base type). Memoized —
+    /// the SPLIT and WILD fixpoints query the same types repeatedly.
+    pub fn quals_in_type(&mut self, t: TypeId) -> std::rc::Rc<Vec<QualId>> {
+        if let Some(q) = self.quals_memo.get(&t) {
+            return q.clone();
+        }
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        self.quals_rec(t, &mut out, &mut seen);
+        let rc = std::rc::Rc::new(out);
+        self.quals_memo.insert(t, rc.clone());
+        rc
+    }
+
+    fn quals_rec(&mut self, t: TypeId, out: &mut Vec<QualId>, seen: &mut HashSet<TypeId>) {
+        if !seen.insert(t) {
+            return;
+        }
+        match self.types.get(t).clone() {
+            Type::Ptr(base, q) => {
+                out.push(q);
+                self.quals_rec(base, out, seen);
+            }
+            Type::Array(elem, _) => self.quals_rec(elem, out, seen),
+            Type::Comp(cid) => {
+                let fields: Vec<TypeId> = self.types.comp(cid).fields.iter().map(|f| f.ty).collect();
+                for f in fields {
+                    self.quals_rec(f, out, seen);
+                }
+            }
+            Type::Func(sig) => {
+                self.quals_rec(sig.ret, out, seen);
+                for p in sig.params {
+                    self.quals_rec(p, out, seen);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_translation_unit;
+    use crate::ir::Program;
+
+    fn prog(src: &str) -> Program {
+        let tu = ccured_ast::parse_translation_unit(src).expect("parse");
+        lower_translation_unit(&tu).expect("lower")
+    }
+
+    /// Pointee type of the global named `name`.
+    fn pointee(p: &Program, name: &str) -> TypeId {
+        let g = p.find_global(name).unwrap_or_else(|| panic!("global {name}"));
+        let ty = p.globals[g.idx()].ty;
+        p.types.ptr_parts(ty).expect("pointer global").0
+    }
+
+    #[test]
+    fn identical_scalars_are_equal() {
+        let p = prog("int *a; int *b; char *c;");
+        let mut ctx = PhysCtx::new(&p.types);
+        let (ta, tb, tc) = (pointee(&p, "a"), pointee(&p, "b"), pointee(&p, "c"));
+        assert!(ctx.phys_eq(ta, tb));
+        assert!(!ctx.phys_eq(ta, tc));
+    }
+
+    #[test]
+    fn signedness_is_layout_irrelevant() {
+        let p = prog("int *a; unsigned int *b;");
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")));
+    }
+
+    #[test]
+    fn struct_assoc_rule() {
+        let p = prog(
+            "struct I { int a; int b; };\n\
+             struct L { struct I i; int c; } *x;\n\
+             struct R { int a; struct J { int b; int c; } j; } *y;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(ctx.phys_eq(pointee(&p, "x"), pointee(&p, "y")));
+    }
+
+    #[test]
+    fn unit_array_rule() {
+        let p = prog("int (*a)[1]; int *b;");
+        // a: pointer to int[1]; b: pointer to int. int[1] ≍ int.
+        let pa = pointee(&p, "a");
+        let pb = pointee(&p, "b");
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(ctx.phys_eq(pa, pb));
+    }
+
+    #[test]
+    fn array_split_rule() {
+        let p = prog(
+            "int (*a)[4];\n\
+             struct S { int x[2]; int y[2]; } *b;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")));
+    }
+
+    #[test]
+    fn void_is_empty_and_universal_super() {
+        let p = prog("void *v; int *i; struct S { int a; double b; } *s;");
+        let mut ctx = PhysCtx::new(&p.types);
+        let (tv, ti, ts) = (pointee(&p, "v"), pointee(&p, "i"), pointee(&p, "s"));
+        assert!(ctx.is_prefix_of(tv, ti), "void prefix of int");
+        assert!(ctx.is_prefix_of(tv, ts), "void prefix of struct");
+        assert!(!ctx.phys_eq(tv, ti));
+        assert!(!ctx.is_prefix_of(ti, tv), "int not prefix of void");
+    }
+
+    #[test]
+    fn figure_circle_subtyping() {
+        let p = prog(
+            "struct Figure { double (*area)(struct Figure *obj); } *f;\n\
+             struct Circle { double (*area)(struct Figure *obj); int radius; } *c;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        let (tf, tc) = (pointee(&p, "f"), pointee(&p, "c"));
+        assert!(ctx.is_prefix_of(tf, tc), "Figure is a prefix of Circle");
+        assert!(!ctx.is_prefix_of(tc, tf));
+        assert!(ctx.is_proper_subtype(tc, tf));
+        assert!(!ctx.is_proper_subtype(tf, tc));
+    }
+
+    #[test]
+    fn prefix_tolerates_supertype_trailing_padding() {
+        // Figure: ptr + int + (4 bytes trailing pad). Circle packs radius
+        // into that padding; upcast must still be accepted.
+        let p = prog(
+            "struct Figure { void *vt; int tag; } *f;\n\
+             struct Circle { void *vt; int tag; int radius; } *c;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(ctx.is_prefix_of(pointee(&p, "f"), pointee(&p, "c")));
+    }
+
+    #[test]
+    fn mismatched_pointer_atoms_fail() {
+        // A function pointer where the other has an int: unsound cast.
+        let p = prog(
+            "struct A { void (*f)(void); } *a;\n\
+             struct B { long x; } *b;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(!ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")));
+        assert!(!ctx.is_prefix_of(pointee(&p, "a"), pointee(&p, "b")));
+        // But an int where the other has an int-sized int is fine.
+    }
+
+    #[test]
+    fn recursive_types_compare_coinductively() {
+        let p = prog(
+            "struct L1 { int v; struct L1 *next; } *a;\n\
+             struct L2 { int v; struct L2 *next; } *b;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")));
+    }
+
+    #[test]
+    fn mutually_recursive_vs_plain_differ() {
+        let p = prog(
+            "struct L { int v; struct L *next; } *a;\n\
+             struct M { int v; int *next; } *b;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        // L's next points to {int, ptr}, M's to int: not equal.
+        assert!(!ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")));
+    }
+
+    #[test]
+    fn classify_cast_cases() {
+        let p = prog(
+            "struct Figure { void *vt; } *f;\n\
+             struct Circle { void *vt; int radius; } *c;\n\
+             int *i; long n; double *d;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        let gty = |name: &str| {
+            let g = p.find_global(name).unwrap();
+            p.globals[g.idx()].ty
+        };
+        assert_eq!(ctx.classify_cast(gty("c"), gty("f")), CastClass::Upcast);
+        assert_eq!(ctx.classify_cast(gty("f"), gty("c")), CastClass::Downcast);
+        assert_eq!(ctx.classify_cast(gty("i"), gty("d")), CastClass::Bad);
+        assert_eq!(ctx.classify_cast(gty("n"), gty("i")), CastClass::IntToPtr);
+        assert_eq!(ctx.classify_cast(gty("i"), gty("n")), CastClass::PtrToInt);
+        assert_eq!(ctx.classify_cast(gty("n"), gty("n")), CastClass::Scalar);
+        assert_eq!(ctx.classify_cast(gty("i"), gty("i")), CastClass::Identical);
+    }
+
+    #[test]
+    fn seq_cast_multidim_arrays() {
+        // Casting int(*)[2] SEQ to int* SEQ: sizes 8 vs 4, lcm 8:
+        // (int[2])[1] vs int[2] — equal tiling.
+        let p = prog("int (*a)[2]; int *b;");
+        let mut ctx = PhysCtx::new(&p.types);
+        let (ta, tb) = (pointee(&p, "a"), pointee(&p, "b"));
+        assert!(ctx.seq_cast_ok(ta, tb));
+        assert!(ctx.seq_cast_ok(tb, ta));
+    }
+
+    #[test]
+    fn seq_cast_incompatible_tiling() {
+        // struct{double} tiles 8 bytes as F64; long tiles as I64: mismatch.
+        let p = prog("double *d; long *l;");
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(!ctx.seq_cast_ok(pointee(&p, "d"), pointee(&p, "l")));
+    }
+
+    #[test]
+    fn seq_cast_struct_vs_scalar_tiling() {
+        // struct{int;int} (8 bytes) vs int (4 bytes): lcm 8 — int[2] vs S[1]
+        // tile identically.
+        let p = prog("struct S { int a; int b; } *s; int *i;");
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(ctx.seq_cast_ok(pointee(&p, "s"), pointee(&p, "i")));
+    }
+
+    #[test]
+    fn seq_cast_unsound_circle_figure() {
+        // The paper's example: Circle* SEQ to Figure* SEQ is unsound because
+        // (Figure SEQ + 1) would alias Circle's radius as a function pointer.
+        let p = prog(
+            "struct Figure { double (*area)(struct Figure *obj); } *f;\n\
+             struct Circle { double (*area)(struct Figure *obj); long radius; } *c;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(!ctx.seq_cast_ok(pointee(&p, "c"), pointee(&p, "f")));
+    }
+
+    #[test]
+    fn unions_compare_by_identity() {
+        let p = prog(
+            "union U1 { int i; char c[4]; } *a;\n\
+             union U2 { int i; char c[4]; } *b;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(!ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")), "distinct unions are opaque");
+        assert!(ctx.phys_eq(pointee(&p, "a"), pointee(&p, "a")));
+    }
+
+    #[test]
+    fn eq_qual_pairs_are_collected() {
+        let p = prog("int **a; int **b;");
+        let mut ctx = PhysCtx::new(&p.types);
+        let (ta, tb) = (pointee(&p, "a"), pointee(&p, "b"));
+        let pairs = ctx.eq_qual_pairs(ta, tb).expect("equal");
+        assert_eq!(pairs.len(), 1, "one nested pointer pair");
+    }
+
+    #[test]
+    fn prefix_qual_pairs_cover_common_prefix() {
+        let p = prog(
+            "struct A { char *s; } *a;\n\
+             struct B { char *s; int extra; } *b;",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        let pairs = ctx
+            .prefix_qual_pairs(pointee(&p, "a"), pointee(&p, "b"))
+            .expect("prefix");
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn quals_in_type_walks_deep() {
+        let p = prog("struct S { int *p; char **q; } *s;");
+        let mut ctx = PhysCtx::new(&p.types);
+        let g = p.find_global("s").unwrap();
+        let quals = ctx.quals_in_type(p.globals[g.idx()].ty);
+        // s's own qual + p + q (outer) + q (inner) = 4.
+        assert_eq!(quals.len(), 4);
+    }
+
+    #[test]
+    fn function_pointer_compatibility() {
+        let p = prog(
+            "int (*f)(int, char *);\n\
+             int (*g)(int, char *);\n\
+             int (*h)(long);",
+        );
+        let mut ctx = PhysCtx::new(&p.types);
+        let (tf, tg, th) = (pointee(&p, "f"), pointee(&p, "g"), pointee(&p, "h"));
+        assert!(ctx.phys_eq(tf, tg));
+        assert!(!ctx.phys_eq(tf, th));
+    }
+
+    #[test]
+    fn huge_array_fast_path() {
+        let p = prog("int (*a)[1000000]; int (*b)[1000000];");
+        let mut ctx = PhysCtx::new(&p.types);
+        // Identical via the structural fast path despite the atom budget.
+        assert!(ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_conservative() {
+        let p = prog("int (*a)[100000]; long (*b)[50000];");
+        let mut ctx = PhysCtx::new(&p.types);
+        assert!(!ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")));
+    }
+}

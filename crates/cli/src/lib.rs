@@ -1,0 +1,506 @@
+//! # ccured-cli
+//!
+//! The command-line driver: cure a C file, inspect the inference results,
+//! and run the program on the ccured-rs abstract machine in any
+//! instrumentation mode.
+//!
+//! ```text
+//! ccured <file.c> [options]
+//!
+//!   --run                 execute after curing (default mode: cured)
+//!   --mode <m>            original | cured | purify | valgrind | joneskelly
+//!   --input <file>        bytes for the input builtins (getchar/net_recv)
+//!   --report              print the cure report (kinds, casts, checks)
+//!   --review              print the code-review surface (trusted/bad casts)
+//!   --counters            print event counters after --run
+//!   --emit-ir             dump the (instrumented) CIL
+//!   --wrappers            prepend the stdlib wrapper prelude
+//!   --strict-link         fail on link-audit findings
+//!   --original-ccured     disable physical subtyping and RTTI
+//!   --no-rtti             disable RTTI only
+//!   --split-everything    force the SPLIT representation everywhere
+//!   --split-at-boundaries seed SPLIT at external-call boundaries
+//!   --fuel <n>            instruction budget for --run
+//! ```
+//!
+//! The library half exists so the argument parser and driver can be unit
+//! tested; `main.rs` is a thin wrapper.
+
+use ccured::{CureError, Cured, Curer};
+use ccured_rt::{ExecMode, Interp};
+use std::fmt;
+
+/// Execution mode selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Cured execution (default).
+    #[default]
+    Cured,
+    /// Plain C semantics.
+    Original,
+    /// Purify-style baseline.
+    Purify,
+    /// Valgrind-style baseline.
+    Valgrind,
+    /// Jones–Kelly-style baseline.
+    JonesKelly,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// The C source file.
+    pub file: String,
+    /// Execute after curing.
+    pub run: bool,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Input file for the input builtins.
+    pub input: Option<String>,
+    /// Print the cure report.
+    pub report: bool,
+    /// Print the code-review surface (trusted and bad casts).
+    pub review: bool,
+    /// Print counters after a run.
+    pub counters: bool,
+    /// Dump the instrumented IR.
+    pub emit_ir: bool,
+    /// Prepend the stdlib wrappers.
+    pub wrappers: bool,
+    /// Fail on link-audit findings.
+    pub strict_link: bool,
+    /// Original-CCured configuration.
+    pub original_ccured: bool,
+    /// Disable RTTI only.
+    pub no_rtti: bool,
+    /// Force SPLIT everywhere.
+    pub split_everything: bool,
+    /// Seed SPLIT at boundaries.
+    pub split_at_boundaries: bool,
+    /// Instruction budget.
+    pub fuel: Option<u64>,
+}
+
+/// A usage/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parses argv (without the program name).
+///
+/// # Errors
+///
+/// [`UsageError`] for unknown flags, missing values, or a missing file.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, UsageError> {
+    let mut o = Options::default();
+    let mut it = args.into_iter();
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next()
+            .ok_or_else(|| UsageError(format!("{flag} requires a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--run" => o.run = true,
+            "--report" => o.report = true,
+            "--review" => o.review = true,
+            "--counters" => o.counters = true,
+            "--emit-ir" => o.emit_ir = true,
+            "--wrappers" => o.wrappers = true,
+            "--strict-link" => o.strict_link = true,
+            "--original-ccured" => o.original_ccured = true,
+            "--no-rtti" => o.no_rtti = true,
+            "--split-everything" => o.split_everything = true,
+            "--split-at-boundaries" => o.split_at_boundaries = true,
+            "--mode" => {
+                let v = need(&mut it, "--mode")?;
+                o.mode = match v.as_str() {
+                    "cured" => Mode::Cured,
+                    "original" => Mode::Original,
+                    "purify" => Mode::Purify,
+                    "valgrind" => Mode::Valgrind,
+                    "joneskelly" => Mode::JonesKelly,
+                    other => {
+                        return Err(UsageError(format!(
+                            "unknown mode `{other}` (expected cured|original|purify|valgrind|joneskelly)"
+                        )))
+                    }
+                };
+            }
+            "--input" => o.input = Some(need(&mut it, "--input")?),
+            "--fuel" => {
+                let v = need(&mut it, "--fuel")?;
+                o.fuel = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--fuel: `{v}` is not a number")))?,
+                );
+            }
+            "--help" | "-h" => return Err(UsageError(USAGE.to_string())),
+            flag if flag.starts_with('-') => {
+                return Err(UsageError(format!("unknown flag `{flag}`\n{USAGE}")))
+            }
+            file => {
+                if o.file.is_empty() {
+                    o.file = file.to_string();
+                } else {
+                    return Err(UsageError(format!("unexpected extra argument `{file}`")));
+                }
+            }
+        }
+    }
+    if o.file.is_empty() {
+        return Err(UsageError(format!("no input file\n{USAGE}")));
+    }
+    Ok(o)
+}
+
+/// The usage string.
+pub const USAGE: &str = "usage: ccured <file.c> [--run] [--mode cured|original|purify|valgrind|joneskelly]
+              [--input FILE] [--report] [--review] [--counters] [--emit-ir] [--wrappers]
+              [--strict-link] [--original-ccured] [--no-rtti]
+              [--split-everything] [--split-at-boundaries] [--fuel N]";
+
+/// What a driver invocation produced (for testing and for `main`).
+#[derive(Debug)]
+pub struct Outcome {
+    /// Exit code to report.
+    pub exit: i32,
+    /// Everything that should go to stdout.
+    pub stdout: String,
+}
+
+/// Runs the driver on the given source text.
+///
+/// # Errors
+///
+/// Cure errors are returned; run-time errors become part of the outcome
+/// (non-zero exit with a message), matching what a compiler driver does.
+pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureError> {
+    let mut out = String::new();
+
+    // Baseline/original modes skip the cure (they run the plain program).
+    if o.run && o.mode != Mode::Cured {
+        if o.report || o.emit_ir {
+            out.push_str(
+                "ccured: note: --report/--emit-ir apply to cured mode only and are ignored here
+",
+            );
+        }
+        let full = with_prelude(o, source);
+        let tu = ccured_ast::parse_translation_unit(&full)?;
+        let prog = ccured_cil::lower_translation_unit(&tu)?;
+        let mode = match o.mode {
+            Mode::Original => ExecMode::Original,
+            Mode::Purify => ExecMode::Purify,
+            Mode::Valgrind => ExecMode::Valgrind,
+            Mode::JonesKelly => ExecMode::JonesKelly,
+            Mode::Cured => unreachable!(),
+        };
+        return Ok(execute(&prog, mode, o, input, out));
+    }
+
+    let cured = curer(o).cure_source(source)?;
+    if o.report {
+        render_report(&cured, &mut out);
+    }
+    if o.review {
+        // Build the map over the parsed text but attribute positions to the
+        // user's file, shifting out the wrapper prelude's lines.
+        let full = with_prelude(o, source);
+        let shift = prelude_lines(o);
+        let map = ccured_ast::SourceMap::new(&o.file, full);
+        let surface = cured.review_surface_shifted(&map, shift);
+        if surface.is_empty() {
+            out.push_str("review surface: empty (no trusted or bad casts)\n");
+        } else {
+            out.push_str(&format!("review surface ({} casts to audit):\n", surface.len()));
+            for line in surface {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    if o.emit_ir {
+        out.push_str(&ccured_cil::pretty::dump_program(&cured.program));
+    }
+    if o.run {
+        return Ok(execute(
+            &cured.program,
+            ExecMode::cured(&cured),
+            o,
+            input,
+            out,
+        ));
+    }
+    Ok(Outcome { exit: 0, stdout: out })
+}
+
+/// The exact text the pipeline parses: the wrapper prelude (when enabled)
+/// followed by the user's source. Diagnostics and review positions are
+/// relative to this text; [`prelude_lines`] lets callers re-map them.
+pub fn with_prelude(o: &Options, source: &str) -> String {
+    if o.wrappers {
+        format!("{}\n{source}", ccured::wrappers::stdlib_wrapper_source())
+    } else {
+        source.to_string()
+    }
+}
+
+/// Number of lines the prelude contributes before the user's first line.
+pub fn prelude_lines(o: &Options) -> u32 {
+    if o.wrappers {
+        ccured::wrappers::stdlib_wrapper_source().lines().count() as u32 + 1
+    } else {
+        0
+    }
+}
+
+fn curer(o: &Options) -> Curer {
+    let mut c = if o.original_ccured {
+        Curer::original_ccured()
+    } else {
+        Curer::new()
+    };
+    if o.no_rtti {
+        c.rtti(false);
+    }
+    c.split_everything(o.split_everything);
+    c.split_at_boundaries(o.split_at_boundaries);
+    c.strict_link(o.strict_link);
+    if o.wrappers {
+        c.with_stdlib_wrappers();
+    }
+    c
+}
+
+fn execute(
+    prog: &ccured_cil::Program,
+    mode: ExecMode<'_>,
+    o: &Options,
+    input: &[u8],
+    mut out: String,
+) -> Outcome {
+    let mut interp = Interp::new(prog, mode);
+    interp.set_input(input.to_vec());
+    if let Some(f) = o.fuel {
+        interp.set_fuel(f);
+    }
+    let result = interp.run();
+    out.push_str(&String::from_utf8_lossy(interp.output()));
+    let exit = match result {
+        Ok(code) => code as i32,
+        Err(e) => {
+            out.push_str(&format!("ccured: runtime error: {e}\n"));
+            if e.is_check_failure() {
+                3
+            } else {
+                4
+            }
+        }
+    };
+    if o.counters {
+        let c = &interp.counters;
+        out.push_str(&format!(
+            "-- counters: instrs={} loads={} stores={} checks={} (null={} seq={} wild={} rtti={} index={}) meta_ops={}\n",
+            c.instrs,
+            c.loads,
+            c.stores,
+            c.total_checks(),
+            c.null_checks,
+            c.seq_bounds_checks,
+            c.wild_bounds_checks + c.wild_tag_checks,
+            c.rtti_checks,
+            c.index_checks,
+            c.meta_ops,
+        ));
+    }
+    Outcome { exit, stdout: out }
+}
+
+fn render_report(cured: &Cured, out: &mut String) {
+    let r = &cured.report;
+    let (sf, sq, w, rt) = r.kind_counts.percentages();
+    out.push_str(&format!(
+        "pointer kinds: {sf}% SAFE, {sq}% SEQ, {w}% WILD, {rt}% RTTI ({} declared pointers)\n",
+        r.kind_counts.total()
+    ));
+    let c = &r.census;
+    out.push_str(&format!(
+        "casts: {} pointer casts ({} identical, {} upcast, {} downcast, {} bad, {} trusted, {} alloc)\n",
+        c.ptr_casts(),
+        c.identical,
+        c.upcast,
+        c.downcast,
+        c.bad,
+        c.trusted,
+        c.alloc
+    ));
+    let k = &r.checks_inserted;
+    out.push_str(&format!(
+        "checks inserted: {} (null={} seq={} seq2safe={} wild={} tag={} rtti={} escape={} index={})\n",
+        k.total(),
+        k.null,
+        k.seq_bounds,
+        k.seq_to_safe,
+        k.wild_bounds,
+        k.wild_tag,
+        k.rtti,
+        k.no_stack_escape,
+        k.index_bound
+    ));
+    if !r.wrappers_applied.is_empty() {
+        out.push_str(&format!(
+            "wrappers applied: {}\n",
+            r.wrappers_applied
+                .iter()
+                .map(|(w, x)| format!("{x}->{w}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    for v in &r.annotation_violations {
+        out.push_str(&format!(
+            "warning: annotation violated: qualifier q{} asserted {:?} but inferred {}\n",
+            v.qual.0, v.annotated, v.inferred
+        ));
+    }
+    for i in &r.link_issues {
+        out.push_str(&format!(
+            "warning: link: {} -> {}: {}\n",
+            i.caller, i.external, i.detail
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Result<Options, UsageError> {
+        parse_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_typical_invocation() {
+        let o = args("prog.c --run --report --mode cured --fuel 1000").unwrap();
+        assert_eq!(o.file, "prog.c");
+        assert!(o.run && o.report);
+        assert_eq!(o.mode, Mode::Cured);
+        assert_eq!(o.fuel, Some(1000));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_mode() {
+        assert!(args("prog.c --frobnicate").is_err());
+        assert!(args("prog.c --mode turbo").is_err());
+        assert!(args("--run").is_err(), "missing file");
+        assert!(args("a.c b.c").is_err(), "two files");
+        assert!(args("prog.c --fuel abc").is_err());
+        assert!(args("prog.c --mode").is_err(), "missing value");
+    }
+
+    #[test]
+    fn drive_cures_and_runs() {
+        let o = args("mem.c --run --report").unwrap();
+        let r = drive(
+            &o,
+            "int main(void) { int a[4]; for (int i = 0; i < 4; i++) a[i] = i; return a[3]; }",
+            b"",
+        )
+        .unwrap();
+        assert_eq!(r.exit, 3, "main returns a[3]");
+        assert!(r.stdout.contains("pointer kinds:"));
+        assert!(r.stdout.contains("checks inserted:"));
+    }
+
+    #[test]
+    fn drive_reports_check_failures_with_exit_3() {
+        let o = args("mem.c --run").unwrap();
+        let r = drive(
+            &o,
+            "int main(void) { int a[2]; a[0] = 1; a[1] = 2; int i = 5; return a[i]; }",
+            b"",
+        )
+        .unwrap();
+        assert_eq!(r.exit, 3);
+        assert!(r.stdout.contains("ccured check"));
+    }
+
+    #[test]
+    fn drive_original_mode_runs_plain() {
+        let o = args("mem.c --run --mode original --counters").unwrap();
+        let r = drive(&o, "int main(void) { return 5; }", b"").unwrap();
+        assert_eq!(r.exit, 5);
+        assert!(r.stdout.contains("-- counters:"));
+    }
+
+    #[test]
+    fn drive_emit_ir_dumps_checks() {
+        let o = args("mem.c --emit-ir").unwrap();
+        let r = drive(&o, "int f(int *p) { return *p; }", b"").unwrap();
+        assert!(r.stdout.contains("CHECK_NULL"));
+    }
+
+    #[test]
+    fn drive_wrappers_and_input() {
+        let o = args("mem.c --run --wrappers").unwrap();
+        let r = drive(
+            &o,
+            "extern int getchar(void);\n\
+             int main(void) { char b[8]; b[0] = (char)getchar(); b[1] = 0; return (int)strlen(b); }",
+            b"x",
+        )
+        .unwrap();
+        assert_eq!(r.exit, 1);
+    }
+
+    #[test]
+    fn drive_original_ccured_ablation() {
+        let src = "struct F { void *vt; } gf;\n\
+                   struct C { void *vt; int r; } gc;\n\
+                   int g(struct F *f) { struct C *c; c = (struct C *)f; return c->r; }\n\
+                   int main(void) { struct C c; c.vt = 0; c.r = 5; return g((struct F *)&c); }";
+        let modern = drive(&args("m.c --run --report").unwrap(), src, b"").unwrap();
+        assert_eq!(modern.exit, 5);
+        assert!(modern.stdout.contains("0% WILD"), "{}", modern.stdout);
+        let old = drive(&args("m.c --run --report --original-ccured").unwrap(), src, b"").unwrap();
+        assert_eq!(old.exit, 5, "WILD pointers still execute correctly");
+        assert!(!old.stdout.contains(" 0% WILD"), "{}", old.stdout);
+    }
+
+    #[test]
+    fn drive_split_everything_flag() {
+        let src = "extern void *malloc(unsigned long n);\n\
+                   int main(void) {\n\
+                     int **pp = (int **)malloc(8 * sizeof(int *));\n\
+                     int *cell = (int *)malloc(4);\n\
+                     *cell = 6;\n\
+                     for (int i = 0; i < 8; i++) pp[i] = cell;\n\
+                     return *pp[7];\n\
+                   }";
+        let plain = drive(&args("m.c --run --counters").unwrap(), src, b"").unwrap();
+        assert_eq!(plain.exit, 6);
+        assert!(plain.stdout.contains("meta_ops=0"), "{}", plain.stdout);
+        let split = drive(&args("m.c --run --counters --split-everything").unwrap(), src, b"").unwrap();
+        assert_eq!(split.exit, 6);
+        assert!(!split.stdout.contains("meta_ops=0"), "{}", split.stdout);
+    }
+
+    #[test]
+    fn strict_link_reported_as_error() {
+        let o = args("mem.c --strict-link").unwrap();
+        let e = drive(
+            &o,
+            "extern void use_buf(char *b);\n\
+             void f(char *b, int i) { b = b + i; use_buf(b); }\n\
+             int main(void) { return 0; }",
+            b"",
+        );
+        assert!(matches!(e, Err(CureError::Link(_))));
+    }
+}

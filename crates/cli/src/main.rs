@@ -1,0 +1,63 @@
+//! `ccured` — cure a C file and optionally run it (see crate docs).
+
+use ccured_cli::{drive, parse_args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccured: cannot read `{}`: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let input = match &opts.input {
+        Some(path) => match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ccured: cannot read input `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Vec::new(),
+    };
+    match drive(&opts, &source, &input) {
+        Ok(outcome) => {
+            print!("{}", outcome.stdout);
+            // POSIX semantics: the shell sees the low byte of the status.
+            ExitCode::from((outcome.exit & 0xff) as u8)
+        }
+        Err(e) => {
+            // Render frontend errors with file/line/column. Spans are
+            // relative to the parsed text (prelude + source); shift the
+            // line number back into the user's file.
+            if let ccured::CureError::Frontend(d) = &e {
+                let full = ccured_cli::with_prelude(&opts, &source);
+                let shift = ccured_cli::prelude_lines(&opts);
+                let map = ccured_ast::SourceMap::new(&opts.file, full);
+                let pos = map.lookup(d.span.lo);
+                if pos.line > shift {
+                    eprintln!(
+                        "{}:{}:{}: error: {}",
+                        opts.file,
+                        pos.line - shift,
+                        pos.col,
+                        d.msg
+                    );
+                } else {
+                    eprintln!("<wrappers>:{}:{}: error: {}", pos.line, pos.col, d.msg);
+                }
+            } else {
+                eprintln!("ccured: {e}");
+            }
+            ExitCode::from(1)
+        }
+    }
+}

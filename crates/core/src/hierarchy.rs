@@ -1,0 +1,298 @@
+//! The global physical-subtype hierarchy used by RTTI pointers
+//! (paper Section 3.2).
+//!
+//! Nodes are the (structurally deduplicated) pointee types of the program's
+//! pointer types. Because prefixes of a type are totally ordered, the
+//! "longest proper prefix" parent relation forms a forest; we add a virtual
+//! `void` root (every type is a physical subtype of `void`).
+//!
+//! `isSubtype` is answered two ways: a parent-chain walk (the paper's
+//! run-time function) and an O(1) Cohen-style pre/post interval check, used
+//! as an ablation in the benchmarks.
+
+use ccured_cil::ir::Program;
+use ccured_cil::phys::PhysCtx;
+use ccured_cil::types::{Type, TypeId};
+
+/// Identifier of a node in the hierarchy.
+pub type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct HNode {
+    ty: Option<TypeId>,
+    parent: Option<NodeId>,
+    pre: u32,
+    post: u32,
+    depth: u32,
+}
+
+/// The physical-subtype tree of a program's pointee types.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    nodes: Vec<HNode>,
+}
+
+/// The virtual root node representing `void` (the empty aggregate).
+pub const VOID_NODE: NodeId = 0;
+
+impl Hierarchy {
+    /// Builds the hierarchy for a program.
+    pub fn build(prog: &Program) -> Hierarchy {
+        let mut phys = PhysCtx::new(&prog.types);
+        // Collect representative pointee types, deduplicated by *physical*
+        // equality (distinct struct tags with identical layout share a node:
+        // they are indistinguishable to the checked-downcast machinery).
+        let mut reps: Vec<TypeId> = Vec::new();
+        for i in 0..prog.types.len() {
+            if let Type::Ptr(base, _) = prog.types.get(TypeId(i as u32)) {
+                if matches!(prog.types.get(*base), Type::Void | Type::Func(_)) {
+                    continue;
+                }
+                let base = *base;
+                if !reps
+                    .iter()
+                    .any(|r| prog.types.same_type(*r, base) || phys.phys_eq(*r, base))
+                {
+                    reps.push(base);
+                }
+            }
+        }
+        // Deterministic order (registration order is already stable).
+        reps.sort_by_key(|t| (prog.types.size_of(*t).unwrap_or(0), t.0));
+
+        // Parent selection: the *closest* proper supertype. The prefixes of
+        // a type are totally ordered by the prefix relation (note that a
+        // supertype can have the same byte size when the subtype fills its
+        // trailing padding), so the closest one is the candidate that is a
+        // subtype of every other candidate.
+        let mut nodes = vec![HNode {
+            ty: None,
+            parent: None,
+            pre: 0,
+            post: 0,
+            depth: 0,
+        }];
+        let mut parents: Vec<NodeId> = vec![VOID_NODE; reps.len()];
+        for (i, t) in reps.iter().enumerate() {
+            let mut best: Option<usize> = None;
+            for (j, u) in reps.iter().enumerate() {
+                if i == j || !phys.is_proper_subtype(*t, *u) {
+                    continue;
+                }
+                best = match best {
+                    None => Some(j),
+                    Some(b) if phys.is_proper_subtype(*u, reps[b]) => Some(j),
+                    other => other,
+                };
+            }
+            if let Some(b) = best {
+                parents[i] = (b + 1) as NodeId;
+            }
+        }
+        for (i, t) in reps.iter().enumerate() {
+            nodes.push(HNode {
+                ty: Some(*t),
+                parent: Some(parents[i]),
+                pre: 0,
+                post: 0,
+                depth: 0,
+            });
+        }
+
+        let mut h = Hierarchy { nodes };
+        h.number();
+        h
+    }
+
+    /// Assigns pre/post interval numbers and depths via DFS from the root.
+    fn number(&mut self) {
+        let n = self.nodes.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                children[p as usize].push(i);
+            }
+        }
+        let mut clock = 0u32;
+        // Iterative DFS from the void root.
+        let mut stack: Vec<(usize, usize, u32)> = vec![(0, 0, 0)];
+        self.nodes[0].pre = 0;
+        while let Some((node, child_idx, depth)) = stack.pop() {
+            if child_idx == 0 {
+                self.nodes[node].pre = clock;
+                self.nodes[node].depth = depth;
+                clock += 1;
+            }
+            if child_idx < children[node].len() {
+                stack.push((node, child_idx + 1, depth));
+                stack.push((children[node][child_idx], 0, depth + 1));
+            } else {
+                self.nodes[node].post = clock;
+                clock += 1;
+            }
+        }
+    }
+
+    /// Number of nodes, including the `void` root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the `void` root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Maximum depth of the tree (root = 0).
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// `rttiOf`: the node for a static type, using structural then physical
+    /// equality. `void` maps to the root.
+    pub fn node_of(&self, prog: &Program, t: TypeId) -> Option<NodeId> {
+        if matches!(prog.types.get(t), Type::Void) {
+            return Some(VOID_NODE);
+        }
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if prog.types.same_type(n.ty.expect("typed node"), t) {
+                return Some(i as NodeId);
+            }
+        }
+        let mut phys = PhysCtx::new(&prog.types);
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if phys.phys_eq(n.ty.expect("typed node"), t) {
+                return Some(i as NodeId);
+            }
+        }
+        None
+    }
+
+    /// `isSubtype(a, b)` via the parent-chain walk (the paper's run-time
+    /// check). Returns the number of steps walked alongside the answer, for
+    /// the cost model.
+    pub fn is_subtype_walk(&self, a: NodeId, b: NodeId) -> (bool, u32) {
+        let mut cur = Some(a);
+        let mut steps = 0;
+        while let Some(i) = cur {
+            if i == b {
+                return (true, steps);
+            }
+            steps += 1;
+            cur = self.nodes[i as usize].parent;
+        }
+        (false, steps)
+    }
+
+    /// `isSubtype(a, b)` via O(1) interval containment (ablation encoding).
+    pub fn is_subtype_interval(&self, a: NodeId, b: NodeId) -> bool {
+        let (na, nb) = (&self.nodes[a as usize], &self.nodes[b as usize]);
+        nb.pre <= na.pre && na.post <= nb.post
+    }
+
+    /// The parent of a node.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n as usize].parent
+    }
+
+    /// The type a node stands for (`None` for the void root).
+    pub fn type_of(&self, n: NodeId) -> Option<TypeId> {
+        self.nodes[n as usize].ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> (Program, Hierarchy) {
+        let tu = ccured_ast::parse_translation_unit(src).expect("parse");
+        let prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
+        let h = Hierarchy::build(&prog);
+        (prog, h)
+    }
+
+    #[test]
+    fn empty_program_has_root_only() {
+        let (_, h) = build("int x;");
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn figure_circle_tree() {
+        let (p, h) = build(
+            "struct Figure { void *vt; } *f;\n\
+             struct Circle { void *vt; int radius; } *c;\n\
+             struct Square { void *vt; int side; int area; } *s;",
+        );
+        let tf = p.types.ptr_parts(p.globals[p.find_global("f").unwrap().idx()].ty).unwrap().0;
+        let tc = p.types.ptr_parts(p.globals[p.find_global("c").unwrap().idx()].ty).unwrap().0;
+        let ts = p.types.ptr_parts(p.globals[p.find_global("s").unwrap().idx()].ty).unwrap().0;
+        let nf = h.node_of(&p, tf).unwrap();
+        let nc = h.node_of(&p, tc).unwrap();
+        let ns = h.node_of(&p, ts).unwrap();
+        // Circle's parent is Figure; Square's parent is Circle (its layout
+        // extends Circle's: ptr, int, int vs ptr, int).
+        assert_eq!(h.parent(nc), Some(nf));
+        assert!(h.is_subtype_walk(nc, nf).0);
+        assert!(h.is_subtype_walk(ns, nf).0);
+        assert!(!h.is_subtype_walk(nf, nc).0);
+        // Interval encoding agrees with the walk.
+        assert!(h.is_subtype_interval(nc, nf));
+        assert!(h.is_subtype_interval(ns, nf));
+        assert!(!h.is_subtype_interval(nf, nc));
+    }
+
+    #[test]
+    fn every_node_is_subtype_of_void() {
+        let (p, h) = build("struct A { int x; } *a; double *d;");
+        for name in ["a", "d"] {
+            let t = p
+                .types
+                .ptr_parts(p.globals[p.find_global(name).unwrap().idx()].ty)
+                .unwrap()
+                .0;
+            let n = h.node_of(&p, t).unwrap();
+            assert!(h.is_subtype_walk(n, VOID_NODE).0);
+            assert!(h.is_subtype_interval(n, VOID_NODE));
+        }
+    }
+
+    #[test]
+    fn unrelated_types_are_not_subtypes() {
+        let (p, h) = build("long *l; double *d;");
+        let tl = p.types.ptr_parts(p.globals[p.find_global("l").unwrap().idx()].ty).unwrap().0;
+        let td = p.types.ptr_parts(p.globals[p.find_global("d").unwrap().idx()].ty).unwrap().0;
+        let nl = h.node_of(&p, tl).unwrap();
+        let nd = h.node_of(&p, td).unwrap();
+        assert!(!h.is_subtype_walk(nl, nd).0);
+        assert!(!h.is_subtype_interval(nl, nd));
+    }
+
+    #[test]
+    fn node_of_dedups_structurally() {
+        let (p, h) = build("int *a; int *b;");
+        let ta = p.types.ptr_parts(p.globals[0].ty).unwrap().0;
+        let tb = p.types.ptr_parts(p.globals[1].ty).unwrap().0;
+        assert_eq!(h.node_of(&p, ta), h.node_of(&p, tb));
+        assert_eq!(h.len(), 2, "root + one int node");
+    }
+
+    #[test]
+    fn walk_reports_steps() {
+        let (p, h) = build(
+            "struct A { long x; } *a;\n\
+             struct B { long x; long y; } *b;\n\
+             struct C { long x; long y; long z; } *c;",
+        );
+        let tc = p.types.ptr_parts(p.globals[p.find_global("c").unwrap().idx()].ty).unwrap().0;
+        let ta = p.types.ptr_parts(p.globals[p.find_global("a").unwrap().idx()].ty).unwrap().0;
+        let nc = h.node_of(&p, tc).unwrap();
+        let na = h.node_of(&p, ta).unwrap();
+        let (ok, steps) = h.is_subtype_walk(nc, na);
+        assert!(ok);
+        assert_eq!(steps, 2, "C -> B -> A");
+        assert_eq!(h.max_depth(), 3, "void -> A -> B -> C");
+    }
+}

@@ -1,0 +1,497 @@
+//! Instrumentation: inserts the run-time checks of paper Figures 10–11
+//! according to the inferred pointer kinds.
+//!
+//! * SAFE/RTTI dereferences get null checks,
+//! * SEQ dereferences get bounds checks against the carried `b`/`e` fields,
+//! * WILD dereferences get header bounds checks, and pointer reads through
+//!   WILD pointers get tag checks,
+//! * static array indexing gets a bound check against the declared length,
+//! * SEQ-to-SAFE conversions get a "full element in bounds" check,
+//! * checked downcasts get `isSubtype` RTTI checks,
+//! * pointer stores to the heap or globals get stack-escape checks.
+//!
+//! The representation changes themselves (fat pointers, tags, RTTI words)
+//! are value-level and are carried out by the `ccured-rt` interpreter, which
+//! consults the same [`Solution`].
+
+use crate::hierarchy::Hierarchy;
+use ccured_cil::ir::*;
+use ccured_cil::phys::{CastClass, PhysCtx};
+use ccured_cil::types::Type;
+use ccured_infer::gen::lval_type;
+use ccured_infer::{PtrKind, Solution};
+
+/// Static counts of inserted checks, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct CheckCounts {
+    pub null: usize,
+    pub seq_bounds: usize,
+    pub seq_to_safe: usize,
+    pub wild_bounds: usize,
+    pub wild_tag: usize,
+    pub rtti: usize,
+    pub no_stack_escape: usize,
+    pub index_bound: usize,
+}
+
+impl CheckCounts {
+    /// Total checks inserted.
+    pub fn total(&self) -> usize {
+        self.null
+            + self.seq_bounds
+            + self.seq_to_safe
+            + self.wild_bounds
+            + self.wild_tag
+            + self.rtti
+            + self.no_stack_escape
+            + self.index_bound
+    }
+
+    fn bump(&mut self, c: &Check) {
+        match c {
+            Check::Null { .. } => self.null += 1,
+            Check::SeqBounds { .. } => self.seq_bounds += 1,
+            Check::SeqToSafe { .. } => self.seq_to_safe += 1,
+            Check::WildBounds { .. } => self.wild_bounds += 1,
+            Check::WildTag { .. } => self.wild_tag += 1,
+            Check::Rtti { .. } => self.rtti += 1,
+            Check::NoStackEscape { .. } => self.no_stack_escape += 1,
+            Check::IndexBound { .. } => self.index_bound += 1,
+        }
+    }
+}
+
+/// Instruments every function body in `prog` in place; returns the static
+/// check counts.
+pub fn instrument(prog: &mut Program, sol: &Solution, hier: &Hierarchy) -> CheckCounts {
+    // `#pragma ccured_trusted(fn)` marks a function as part of the trusted
+    // interface: its body gets no checks (the programmer vouches for it).
+    let trusted: std::collections::HashSet<&str> = prog
+        .pragmas
+        .iter()
+        .filter_map(|p| match p {
+            ccured_cil::ir::CcuredPragma::TrustedFn(name) => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let (new_bodies, counts): (Vec<Option<Vec<Stmt>>>, CheckCounts) = {
+        let mut ctx = Ctx {
+            prog,
+            sol,
+            hier,
+            phys: PhysCtx::new(&prog.types),
+            counts: CheckCounts::default(),
+        };
+        let bodies = prog
+            .functions
+            .iter()
+            .map(|f| {
+                if trusted.contains(f.name.as_str()) {
+                    None
+                } else {
+                    Some(ctx.rewrite_stmts(f, &f.body))
+                }
+            })
+            .collect();
+        (bodies, ctx.counts)
+    };
+    for (f, body) in prog.functions.iter_mut().zip(new_bodies) {
+        if let Some(body) = body {
+            f.body = body;
+        }
+    }
+    counts
+}
+
+struct Ctx<'a> {
+    prog: &'a Program,
+    sol: &'a Solution,
+    hier: &'a Hierarchy,
+    phys: PhysCtx<'a>,
+    counts: CheckCounts,
+}
+
+impl<'a> Ctx<'a> {
+    fn rewrite_stmts(&mut self, f: &Function, stmts: &[Stmt]) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            match s {
+                Stmt::Instr(is) => {
+                    let mut list = Vec::with_capacity(is.len());
+                    for i in is {
+                        self.checks_for_instr(f, i, &mut list);
+                        list.push(i.clone());
+                    }
+                    out.push(Stmt::Instr(list));
+                }
+                Stmt::If(c, t, e) => {
+                    self.flush_exp_checks(f, c, &mut out);
+                    out.push(Stmt::If(
+                        c.clone(),
+                        self.rewrite_stmts(f, t),
+                        self.rewrite_stmts(f, e),
+                    ));
+                }
+                Stmt::Loop(b) => out.push(Stmt::Loop(self.rewrite_stmts(f, b))),
+                Stmt::Block(b) => out.push(Stmt::Block(self.rewrite_stmts(f, b))),
+                Stmt::Return(Some(e)) => {
+                    self.flush_exp_checks(f, e, &mut out);
+                    out.push(Stmt::Return(Some(e.clone())));
+                }
+                Stmt::Switch(e, arms) => {
+                    self.flush_exp_checks(f, e, &mut out);
+                    let arms = arms
+                        .iter()
+                        .map(|a| SwitchArm {
+                            values: a.values.clone(),
+                            body: self.rewrite_stmts(f, &a.body),
+                        })
+                        .collect();
+                    out.push(Stmt::Switch(e.clone(), arms));
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        out
+    }
+
+    fn flush_exp_checks(&mut self, f: &Function, e: &Exp, out: &mut Vec<Stmt>) {
+        let mut list = Vec::new();
+        self.checks_for_exp(f, e, &mut list);
+        if !list.is_empty() {
+            out.push(Stmt::Instr(list));
+        }
+    }
+
+    fn push(&mut self, c: Check, out: &mut Vec<Instr>) {
+        self.counts.bump(&c);
+        out.push(Instr::Check(c, ccured_ast::Span::DUMMY));
+    }
+
+    fn checks_for_instr(&mut self, f: &Function, i: &Instr, out: &mut Vec<Instr>) {
+        match i {
+            Instr::Set(lv, e, _) => {
+                self.checks_for_lval(f, lv, out);
+                self.checks_for_exp(f, e, out);
+                // Pointer stores to memory must not leak stack addresses
+                // (Appendix A: write checks).
+                let stored_to_memory =
+                    lv.is_deref() || matches!(lv.base, LvBase::Global(_));
+                if stored_to_memory && self.prog.types.is_ptr(e.ty()) {
+                    self.push(
+                        Check::NoStackEscape { value: e.clone() },
+                        out,
+                    );
+                }
+            }
+            Instr::Call(ret, callee, args, _) => {
+                for a in args {
+                    self.checks_for_exp(f, a, out);
+                }
+                if let Some(lv) = ret {
+                    self.checks_for_lval(f, lv, out);
+                }
+                if let Callee::Ptr(e) = callee {
+                    self.checks_for_exp(f, e, out);
+                    self.push(Check::Null { ptr: e.clone() }, out);
+                }
+            }
+            Instr::Check(..) => {}
+        }
+    }
+
+    fn checks_for_exp(&mut self, f: &Function, e: &Exp, out: &mut Vec<Instr>) {
+        match e {
+            Exp::Load(lv, ty) => {
+                self.checks_for_lval(f, lv, out);
+                // Reading a pointer out of a WILD area needs a tag check.
+                if self.prog.types.is_ptr(*ty) {
+                    if let LvBase::Deref(p) = &lv.base {
+                        if let Some((_, q)) = self.prog.types.ptr_parts(p.ty()) {
+                            if self.sol.kind(q) == PtrKind::Wild {
+                                self.push(Check::WildTag { ptr: (**p).clone() }, out);
+                            }
+                        }
+                    }
+                }
+            }
+            Exp::AddrOf(lv, _) | Exp::StartOf(lv, _) => {
+                self.checks_for_lval(f, lv, out);
+            }
+            Exp::Unop(_, x, _) => self.checks_for_exp(f, x, out),
+            Exp::Binop(_, a, b, _) => {
+                self.checks_for_exp(f, a, out);
+                self.checks_for_exp(f, b, out);
+            }
+            Exp::Cast(id, x, _) => {
+                self.checks_for_exp(f, x, out);
+                self.cast_checks(*id, x, out);
+            }
+            Exp::Const(..) | Exp::FnAddr(..) | Exp::SizeOf(..) => {}
+        }
+    }
+
+    fn checks_for_lval(&mut self, f: &Function, lv: &Lval, out: &mut Vec<Instr>) {
+        if let LvBase::Deref(p) = &lv.base {
+            self.checks_for_exp(f, p, out);
+            if let Some((pointee, q)) = self.prog.types.ptr_parts(p.ty()) {
+                let size = self.prog.types.size_of(pointee).unwrap_or(1);
+                match self.sol.kind(q) {
+                    PtrKind::Safe => {
+                        self.push(Check::Null { ptr: (**p).clone() }, out);
+                    }
+                    PtrKind::Seq => {
+                        self.push(
+                            Check::SeqBounds {
+                                ptr: (**p).clone(),
+                                access_size: size,
+                            },
+                            out,
+                        );
+                    }
+                    PtrKind::Wild => {
+                        self.push(
+                            Check::WildBounds {
+                                ptr: (**p).clone(),
+                                access_size: size,
+                            },
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+        // Walk offsets for index checks (need the running type).
+        let mut ty = match &lv.base {
+            LvBase::Local(l) => f.locals[l.idx()].ty,
+            LvBase::Global(g) => self.prog.globals[g.idx()].ty,
+            LvBase::Deref(e) => match self.prog.types.ptr_parts(e.ty()) {
+                Some((base, _)) => base,
+                None => return,
+            },
+        };
+        for off in &lv.offsets {
+            match off {
+                Offset::Field(cid, idx) => {
+                    ty = self.prog.types.comp(*cid).fields[*idx].ty;
+                }
+                Offset::Index(i) => {
+                    self.checks_for_exp(f, i, out);
+                    let (elem, len) = match self.prog.types.get(ty) {
+                        Type::Array(elem, len) => (*elem, *len),
+                        _ => return,
+                    };
+                    if let Some(n) = len {
+                        // Constant in-bounds indexes need no dynamic check.
+                        let statically_ok = matches!(
+                            i,
+                            Exp::Const(Const::Int(v, _), _) if *v >= 0 && (*v as u64) < n
+                        );
+                        if !statically_ok {
+                            self.push(
+                                Check::IndexBound {
+                                    index: i.clone(),
+                                    len: n,
+                                },
+                                out,
+                            );
+                        }
+                    }
+                    ty = elem;
+                }
+            }
+        }
+        let _ = lval_type; // typing retained via the walk above
+    }
+
+    fn cast_checks(&mut self, id: CastId, x: &Exp, out: &mut Vec<Instr>) {
+        let site = &self.prog.casts[id.idx()];
+        if site.trusted || site.alloc {
+            return;
+        }
+        let (fp, tp) = (
+            self.prog.types.ptr_parts(site.from),
+            self.prog.types.ptr_parts(site.to),
+        );
+        let ((fb, fq), (tb, tq)) = match (fp, tp) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return,
+        };
+        let (kf, kt) = (self.sol.kind(fq), self.sol.kind(tq));
+        let class = self.phys.classify_cast(site.from, site.to);
+        // SEQ to thin: the pointer must address a whole target element.
+        if kf == PtrKind::Seq && kt == PtrKind::Safe {
+            let size = self.prog.types.size_of(tb).unwrap_or(1);
+            self.push(
+                Check::SeqToSafe {
+                    ptr: x.clone(),
+                    access_size: size,
+                },
+                out,
+            );
+        }
+        // Checked downcast (Figure 2): source carries RTTI.
+        if class == CastClass::Downcast && kf == PtrKind::Safe && self.sol.is_rtti(fq) {
+            let node = self
+                .hier
+                .node_of(self.prog, tb)
+                .expect("downcast target type is registered in the hierarchy");
+            self.push(
+                Check::Rtti {
+                    ptr: x.clone(),
+                    target_node: node,
+                },
+                out,
+            );
+        }
+        let _ = fb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccured_infer::{infer, InferOptions};
+
+    fn instrumented(src: &str) -> (Program, CheckCounts) {
+        let tu = ccured_ast::parse_translation_unit(src).expect("parse");
+        let mut prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
+        let res = infer(&prog, &InferOptions::default());
+        let hier = Hierarchy::build(&prog);
+        let counts = instrument(&mut prog, &res.solution, &hier);
+        (prog, counts)
+    }
+
+    #[test]
+    fn safe_deref_gets_null_check() {
+        let (_, c) = instrumented("int f(int *p) { return *p; }");
+        assert_eq!(c.null, 1);
+        assert_eq!(c.seq_bounds, 0);
+    }
+
+    #[test]
+    fn seq_deref_gets_bounds_check() {
+        let (_, c) = instrumented("int f(int *p, int i) { return p[i]; }");
+        assert!(c.seq_bounds >= 1);
+        assert_eq!(c.null, 0);
+    }
+
+    #[test]
+    fn static_array_index_checked() {
+        let (_, c) = instrumented("int f(int i) { int a[10]; a[0] = 1; return a[i]; }");
+        // a[0] is statically in bounds; a[i] needs a dynamic check.
+        assert_eq!(c.index_bound, 1);
+    }
+
+    #[test]
+    fn wild_deref_gets_wild_checks() {
+        let (_, c) = instrumented(
+            "int f(double *d) { int **pp; int *q; pp = (int **)d; q = *pp; return *q; }",
+        );
+        assert!(c.wild_bounds >= 1);
+        assert!(c.wild_tag >= 1, "reading a pointer through WILD needs a tag check");
+    }
+
+    #[test]
+    fn downcast_gets_rtti_check() {
+        let (_, c) = instrumented(
+            "struct F { void *vt; } gf;\n\
+             struct C { void *vt; int r; } gc;\n\
+             int g(struct F *f) { struct C *c; c = (struct C *)f; return c->r; }",
+        );
+        assert_eq!(c.rtti, 1);
+    }
+
+    #[test]
+    fn upcast_gets_no_check() {
+        let (_, c) = instrumented(
+            "struct F { void *vt; } gf;\n\
+             struct C { void *vt; int r; } gc;\n\
+             void take(struct F *f) { }\n\
+             void g(struct C *c) { take((struct F *)c); }",
+        );
+        assert_eq!(c.rtti, 0);
+        assert_eq!(c.seq_to_safe, 0);
+    }
+
+    #[test]
+    fn pointer_store_to_heap_gets_escape_check() {
+        let (_, c) = instrumented("void f(int **pp, int *v) { *pp = v; }");
+        assert!(c.no_stack_escape >= 1);
+    }
+
+    #[test]
+    fn pointer_store_to_local_gets_no_escape_check() {
+        let (_, c) = instrumented("void f(int *v) { int *q; q = v; }");
+        assert_eq!(c.no_stack_escape, 0);
+    }
+
+    #[test]
+    fn indirect_call_gets_null_check() {
+        let (_, c) = instrumented(
+            "int apply(int (*fp)(int), int x) { return fp(x); }",
+        );
+        assert!(c.null >= 1);
+    }
+
+    #[test]
+    fn condition_checks_precede_if() {
+        let (p, c) = instrumented("int f(int *p) { if (*p) return 1; return 0; }");
+        assert_eq!(c.null, 1);
+        // The check must be a statement before the If in the body.
+        let f = &p.functions[0];
+        let has_check_stmt = f.body.iter().any(|s| match s {
+            Stmt::Instr(is) => is.iter().any(|i| matches!(i, Instr::Check(..))),
+            _ => false,
+        });
+        assert!(has_check_stmt);
+    }
+
+    #[test]
+    fn trusted_cast_unchecked() {
+        let (_, c) = instrumented(
+            "int f(double *d) { int *q; q = (int * __TRUSTED)d; return *q; }",
+        );
+        assert_eq!(c.rtti, 0);
+        assert_eq!(c.seq_to_safe, 0);
+        // The SAFE deref of q still gets its null check.
+        assert!(c.null >= 1);
+    }
+
+    #[test]
+    fn trusted_functions_are_left_unchecked() {
+        let (p, c) = instrumented(
+            "#pragma ccured_trusted(raw_peek)\n\
+             int raw_peek(int *p) { return *p; }\n\
+             int checked_peek(int *p) { return *p; }",
+        );
+        // Only checked_peek gets the null check.
+        assert_eq!(c.null, 1);
+        let raw = p.find_function("raw_peek").unwrap();
+        let has_check = p.functions[raw.idx()].body.iter().any(|s| match s {
+            Stmt::Instr(is) => is.iter().any(|i| matches!(i, Instr::Check(..))),
+            _ => false,
+        });
+        assert!(!has_check, "trusted function must stay unchecked");
+    }
+
+    #[test]
+    fn check_totals_add_up() {
+        let (_, c) = instrumented(
+            "int f(int *p, int i) { int a[4]; a[i] = *p; return a[i] + p[i]; }",
+        );
+        assert_eq!(
+            c.total(),
+            c.null
+                + c.seq_bounds
+                + c.seq_to_safe
+                + c.wild_bounds
+                + c.wild_tag
+                + c.rtti
+                + c.no_stack_escape
+                + c.index_bound
+        );
+        assert!(c.total() >= 4);
+    }
+}

@@ -1,0 +1,425 @@
+//! The end-to-end CCured pipeline: parse → lower → infer → wrap →
+//! instrument → audit.
+
+use crate::hierarchy::Hierarchy;
+use crate::instrument::{instrument, CheckCounts};
+use crate::wrappers::{apply_wrappers, check_link, LinkIssue};
+use ccured_cil::ir::Program;
+use ccured_infer::solve::AnnotationViolation;
+use ccured_infer::{infer, CastCensus, InferOptions, KindCounts, Solution};
+use std::fmt;
+
+/// Errors produced while curing a program.
+#[derive(Debug, Clone)]
+pub enum CureError {
+    /// Lexing, parsing, lowering, or type-checking failed.
+    Frontend(ccured_ast::Diag),
+    /// The strict link audit found incompatible external calls.
+    Link(Vec<LinkIssue>),
+}
+
+impl fmt::Display for CureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CureError::Frontend(d) => write!(f, "frontend error: {d}"),
+            CureError::Link(issues) => {
+                writeln!(f, "link audit failed ({} issues):", issues.len())?;
+                for i in issues {
+                    writeln!(f, "  {} -> {}: {}", i.caller, i.external, i.detail)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CureError {}
+
+impl From<ccured_ast::Diag> for CureError {
+    fn from(d: ccured_ast::Diag) -> Self {
+        CureError::Frontend(d)
+    }
+}
+
+/// Summary of what the cure did — the numbers the paper reports per
+/// program (kind percentages, cast census, check counts).
+#[derive(Debug, Clone)]
+pub struct CureReport {
+    /// Qualifier counts per effective kind (the `sf/sq/w/rt` columns).
+    pub kind_counts: KindCounts,
+    /// Cast classification census.
+    pub census: CastCensus,
+    /// Static counts of inserted run-time checks.
+    pub checks_inserted: CheckCounts,
+    /// `(wrapper, external)` pairs applied.
+    pub wrappers_applied: Vec<(String, String)>,
+    /// Trusted casts in the program (the code-review surface).
+    pub trusted_casts: usize,
+    /// SPLIT qualifier count.
+    pub split_quals: usize,
+    /// Annotation assertions violated by the inference.
+    pub annotation_violations: Vec<AnnotationViolation>,
+    /// Link-audit findings (fatal only in strict mode).
+    pub link_issues: Vec<LinkIssue>,
+    /// Validate-and-retry iterations the solver used.
+    pub solver_iterations: usize,
+}
+
+/// A cured program, ready for execution by `ccured-rt`.
+#[derive(Debug, Clone)]
+pub struct Cured {
+    /// The instrumented program.
+    pub program: Program,
+    /// Pointer-kind solution consulted by the runtime for representations.
+    pub solution: Solution,
+    /// The physical-subtype hierarchy for RTTI checks.
+    pub hierarchy: Hierarchy,
+    /// Cure summary.
+    pub report: CureReport,
+}
+
+/// Builder for the CCured transformation (non-consuming, [`Default`]).
+///
+/// # Examples
+///
+/// ```
+/// use ccured::Curer;
+///
+/// let cured = Curer::new()
+///     .rtti(true)
+///     .cure_source("int f(int *p) { return *p; }")
+///     .unwrap();
+/// assert_eq!(cured.report.checks_inserted.null, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Curer {
+    options: InferOptions,
+    strict_link: bool,
+    prelude: Option<String>,
+}
+
+impl Default for Curer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Curer {
+    /// A curer with the paper's default configuration (physical subtyping
+    /// and RTTI on, SPLIT only where annotated).
+    pub fn new() -> Self {
+        Curer {
+            options: InferOptions::default(),
+            strict_link: false,
+            prelude: None,
+        }
+    }
+
+    /// A curer mimicking the original (POPL 2002) CCured: no physical
+    /// subtyping, no RTTI.
+    pub fn original_ccured() -> Self {
+        Curer {
+            options: InferOptions::original_ccured(),
+            strict_link: false,
+            prelude: None,
+        }
+    }
+
+    /// Enables/disables the RTTI pointer kind.
+    pub fn rtti(&mut self, on: bool) -> &mut Self {
+        self.options.rtti = on;
+        self
+    }
+
+    /// Enables/disables physical subtyping for upcasts.
+    pub fn physical_subtyping(&mut self, on: bool) -> &mut Self {
+        self.options.physical_subtyping = on;
+        self
+    }
+
+    /// Seeds SPLIT automatically at external-call boundaries.
+    pub fn split_at_boundaries(&mut self, on: bool) -> &mut Self {
+        self.options.split_at_boundaries = on;
+        self
+    }
+
+    /// Forces the SPLIT representation everywhere (overhead experiment).
+    pub fn split_everything(&mut self, on: bool) -> &mut Self {
+        self.options.split_everything = on;
+        self
+    }
+
+    /// Makes link-audit findings fatal ([`CureError::Link`]).
+    pub fn strict_link(&mut self, on: bool) -> &mut Self {
+        self.strict_link = on;
+        self
+    }
+
+    /// Prepends the standard-library wrapper prelude
+    /// ([`crate::wrappers::stdlib_wrapper_source`]) to cured sources.
+    pub fn with_stdlib_wrappers(&mut self) -> &mut Self {
+        self.prelude = Some(crate::wrappers::stdlib_wrapper_source().to_string());
+        self
+    }
+
+    /// The current inference options.
+    pub fn options(&self) -> &InferOptions {
+        &self.options
+    }
+
+    /// Cures a C source string.
+    ///
+    /// # Errors
+    ///
+    /// [`CureError::Frontend`] on parse/type errors; [`CureError::Link`] in
+    /// strict mode when the link audit fails.
+    pub fn cure_source(&self, src: &str) -> Result<Cured, CureError> {
+        let full = match &self.prelude {
+            Some(p) => format!("{p}\n{src}"),
+            None => src.to_string(),
+        };
+        let tu = ccured_ast::parse_translation_unit(&full)?;
+        let prog = ccured_cil::lower_translation_unit(&tu)?;
+        self.cure_program(prog)
+    }
+
+    /// Cures an already-lowered program.
+    ///
+    /// # Errors
+    ///
+    /// [`CureError::Link`] in strict mode when the link audit fails.
+    pub fn cure_program(&self, mut prog: Program) -> Result<Cured, CureError> {
+        // Wrappers first: redirected calls change what the inference sees
+        // at library boundaries.
+        let wrappers_applied = apply_wrappers(&mut prog);
+
+        let result = infer(&prog, &self.options);
+
+        let meta = ccured_infer::split::compute_meta_types(&prog, &result.solution);
+        let link_issues = check_link(&prog, &result.solution, &meta);
+        if self.strict_link && !link_issues.is_empty() {
+            return Err(CureError::Link(link_issues));
+        }
+
+        let hierarchy = Hierarchy::build(&prog);
+        let checks_inserted = instrument(&mut prog, &result.solution, &hierarchy);
+
+        let trusted_casts = prog.casts.iter().filter(|c| c.trusted).count();
+        let report = CureReport {
+            kind_counts: declared_kind_counts(&prog, &result.solution),
+            census: result.census,
+            checks_inserted,
+            wrappers_applied,
+            trusted_casts,
+            split_quals: result.solution.split_count(),
+            annotation_violations: result.annotation_violations,
+            link_issues,
+            solver_iterations: result.iterations,
+        };
+
+        Ok(Cured {
+            program: prog,
+            solution: result.solution,
+            hierarchy,
+            report,
+        })
+    }
+}
+
+impl Cured {
+    /// The code-review surface (paper Section 5: "A security code review of
+    /// bind should start with these 380 casts"): every trusted cast and
+    /// every residual bad cast, rendered with source positions.
+    pub fn review_surface(&self, map: &ccured_ast::SourceMap) -> Vec<String> {
+        self.review_surface_shifted(map, 0)
+    }
+
+    /// Like [`Cured::review_surface`], shifting reported line numbers down
+    /// by `prelude_lines` (casts inside a prepended prelude are attributed
+    /// to `<wrappers>`).
+    pub fn review_surface_shifted(
+        &self,
+        map: &ccured_ast::SourceMap,
+        prelude_lines: u32,
+    ) -> Vec<String> {
+        let mut phys = ccured_cil::phys::PhysCtx::new(&self.program.types);
+        let mut out = Vec::new();
+        for site in self.program.casts.iter() {
+            let interesting = site.trusted
+                || (!site.alloc
+                    && matches!(
+                        phys.classify_cast(site.from, site.to),
+                        ccured_cil::phys::CastClass::Bad
+                    ));
+            if !interesting {
+                continue;
+            }
+            let pos = map.lookup(site.span.lo);
+            let label = if site.trusted { "trusted cast" } else { "BAD cast (WILD)" };
+            let location = if pos.line > prelude_lines {
+                format!("{}:{}:{}", map.name(), pos.line - prelude_lines, pos.col)
+            } else {
+                format!("<wrappers>:{}:{}", pos.line, pos.col)
+            };
+            out.push(format!(
+                "{location}: {label} from `{}` to `{}`",
+                self.program.types.display(site.from),
+                self.program.types.display(site.to)
+            ));
+        }
+        out
+    }
+}
+
+/// Counts pointer kinds over *declared* pointers — named locals, globals
+/// and struct fields — matching the paper's "% of static pointer
+/// declarations" metric (compiler temporaries are excluded; they would
+/// dilute the percentages).
+fn declared_kind_counts(prog: &Program, sol: &Solution) -> KindCounts {
+    use ccured_cil::types::{Type, TypeId};
+    let mut counts = KindCounts::default();
+    let mut bump = |sol: &Solution, q: ccured_cil::types::QualId| {
+        match sol.effective(q) {
+            ccured_infer::EffectiveKind::Safe => counts.safe += 1,
+            ccured_infer::EffectiveKind::Seq => counts.seq += 1,
+            ccured_infer::EffectiveKind::Wild => counts.wild += 1,
+            ccured_infer::EffectiveKind::Rtti => counts.rtti += 1,
+        }
+    };
+    // Walk a declared type: its own pointer levels (but not into comps,
+    // whose fields are counted once below).
+    fn quals_of(prog: &Program, t: TypeId, out: &mut Vec<ccured_cil::types::QualId>) {
+        match prog.types.get(t) {
+            Type::Ptr(base, q) => {
+                out.push(*q);
+                quals_of(prog, *base, out);
+            }
+            Type::Array(elem, _) => quals_of(prog, *elem, out),
+            Type::Func(sig) => {
+                quals_of(prog, sig.ret, out);
+                for p in &sig.params {
+                    quals_of(prog, *p, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    // The wrapper library ships with the curer; its pointers are not part
+    // of the program under measurement (the paper reports per-program
+    // percentages with the wrappers as given infrastructure).
+    let wrapper_fns: std::collections::HashSet<&str> = prog
+        .pragmas
+        .iter()
+        .filter_map(|p| match p {
+            ccured_cil::ir::CcuredPragma::WrapperOf { wrapper, .. } => Some(wrapper.as_str()),
+            _ => None,
+        })
+        .collect();
+    let mut quals = Vec::new();
+    for g in &prog.globals {
+        quals_of(prog, g.ty, &mut quals);
+    }
+    for f in &prog.functions {
+        if wrapper_fns.contains(f.name.as_str()) {
+            continue;
+        }
+        for l in &f.locals {
+            if !l.is_temp {
+                quals_of(prog, l.ty, &mut quals);
+            }
+        }
+    }
+    for c in prog.types.comps() {
+        if c.name.starts_with("__meta") {
+            continue;
+        }
+        for fld in &c.fields {
+            quals_of(prog, fld.ty, &mut quals);
+        }
+    }
+    for q in quals {
+        bump(sol, q);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cure_simple_program() {
+        let cured = Curer::new()
+            .cure_source("int f(int *p) { return *p; }")
+            .expect("cure");
+        assert_eq!(cured.report.checks_inserted.null, 1);
+        assert_eq!(cured.report.kind_counts.wild, 0);
+    }
+
+    #[test]
+    fn cure_reports_kind_percentages() {
+        let cured = Curer::new()
+            .cure_source(
+                "int f(int *p, char *s, int n) { return p[n] + *s; }",
+            )
+            .expect("cure");
+        let (sf, sq, w, rt) = cured.report.kind_counts.percentages();
+        assert!(sf > 0);
+        assert!(sq > 0);
+        assert_eq!(w, 0);
+        assert_eq!(rt, 0);
+    }
+
+    #[test]
+    fn strict_link_rejects_wide_external_arg() {
+        let err = Curer::new()
+            .strict_link(true)
+            .cure_source(
+                "extern void use_buf(char *b);\n\
+                 void f(char *b, int i) { b = b + i; use_buf(b); }",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CureError::Link(_)));
+    }
+
+    #[test]
+    fn wrappers_fix_the_link() {
+        let cured = Curer::new()
+            .strict_link(true)
+            .with_stdlib_wrappers()
+            .cure_source(
+                "int f(char *b, int i) { b = b + i; return (int)strlen(b); }",
+            )
+            .expect("wrapped strlen call must link");
+        assert!(cured
+            .report
+            .wrappers_applied
+            .iter()
+            .any(|(w, x)| w == "strlen_wrapper" && x == "strlen"));
+    }
+
+    #[test]
+    fn frontend_errors_surface() {
+        let err = Curer::new().cure_source("int f( {").unwrap_err();
+        assert!(matches!(err, CureError::Frontend(_)));
+    }
+
+    #[test]
+    fn original_ccured_mode_is_wilder() {
+        let src = "struct F { void *vt; } gf;\n\
+                   struct C { void *vt; int r; } gc;\n\
+                   int g(struct F *f) { struct C *c; c = (struct C *)f; return c->r; }";
+        let new = Curer::new().cure_source(src).expect("cure");
+        let old = Curer::original_ccured().cure_source(src).expect("cure");
+        assert!(old.report.kind_counts.wild > new.report.kind_counts.wild);
+        assert_eq!(new.report.kind_counts.wild, 0);
+    }
+
+    #[test]
+    fn report_counts_trusted_casts() {
+        let cured = Curer::new()
+            .cure_source("int f(double *d) { return *((int * __TRUSTED)d); }")
+            .expect("cure");
+        assert_eq!(cured.report.trusted_casts, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! The solved pointer-kind assignment.
+
+use ccured_cil::types::QualId;
+
+/// The base pointer-kind lattice: `SAFE < SEQ < WILD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PtrKind {
+    /// Null or a valid reference; only a null check on dereference.
+    Safe,
+    /// Carries array bounds; pointer arithmetic allowed.
+    Seq,
+    /// Untyped; carries a base pointer, with tags in the referenced area.
+    Wild,
+}
+
+impl PtrKind {
+    /// Lattice join.
+    pub fn join(self, other: PtrKind) -> PtrKind {
+        self.max(other)
+    }
+}
+
+/// The effective kind of a qualifier after RTTI resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectiveKind {
+    /// Thin checked reference.
+    Safe,
+    /// Fat pointer with bounds.
+    Seq,
+    /// Tagged untyped pointer.
+    Wild,
+    /// Two-word pointer carrying run-time type information (Section 3.2).
+    Rtti,
+}
+
+/// Counts of qualifier variables per effective kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindCounts {
+    /// Number of SAFE qualifiers.
+    pub safe: usize,
+    /// Number of SEQ qualifiers.
+    pub seq: usize,
+    /// Number of WILD qualifiers.
+    pub wild: usize,
+    /// Number of RTTI qualifiers.
+    pub rtti: usize,
+}
+
+impl KindCounts {
+    /// Total number of qualifiers.
+    pub fn total(&self) -> usize {
+        self.safe + self.seq + self.wild + self.rtti
+    }
+
+    /// Percentages `(safe, seq, wild, rtti)` rounded to whole percent, as in
+    /// the paper's `sf/sq/w/rt` columns.
+    pub fn percentages(&self) -> (u32, u32, u32, u32) {
+        let t = self.total().max(1) as f64;
+        let pct = |n: usize| ((n as f64) * 100.0 / t).round() as u32;
+        (pct(self.safe), pct(self.seq), pct(self.wild), pct(self.rtti))
+    }
+}
+
+/// The inference result for every qualifier variable.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    kinds: Vec<PtrKind>,
+    rtti: Vec<bool>,
+    split: Vec<bool>,
+}
+
+impl Solution {
+    /// Creates an all-SAFE, no-RTTI, no-SPLIT solution over `n` qualifiers.
+    pub fn new(n: usize) -> Self {
+        Solution {
+            kinds: vec![PtrKind::Safe; n],
+            rtti: vec![false; n],
+            split: vec![false; n],
+        }
+    }
+
+    /// Number of qualifier variables covered.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the solution covers no qualifiers.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The base kind of a qualifier.
+    pub fn kind(&self, q: QualId) -> PtrKind {
+        self.kinds[q.0 as usize]
+    }
+
+    pub(crate) fn set_kind(&mut self, q: QualId, k: PtrKind) {
+        self.kinds[q.0 as usize] = k;
+    }
+
+    /// Whether the qualifier carries run-time type information.
+    pub fn is_rtti(&self, q: QualId) -> bool {
+        self.rtti[q.0 as usize]
+    }
+
+    pub(crate) fn set_rtti(&mut self, q: QualId, v: bool) {
+        self.rtti[q.0 as usize] = v;
+    }
+
+    /// Whether the qualifier uses the compatible (split) representation.
+    pub fn is_split(&self, q: QualId) -> bool {
+        self.split[q.0 as usize]
+    }
+
+    pub(crate) fn set_split(&mut self, q: QualId, v: bool) {
+        self.split[q.0 as usize] = v;
+    }
+
+    /// The effective kind: RTTI overrides SAFE when flagged.
+    pub fn effective(&self, q: QualId) -> EffectiveKind {
+        match self.kind(q) {
+            PtrKind::Safe if self.is_rtti(q) => EffectiveKind::Rtti,
+            PtrKind::Safe => EffectiveKind::Safe,
+            PtrKind::Seq => EffectiveKind::Seq,
+            PtrKind::Wild => EffectiveKind::Wild,
+        }
+    }
+
+    /// Counts qualifiers by effective kind.
+    pub fn kind_counts(&self) -> KindCounts {
+        let mut c = KindCounts::default();
+        for i in 0..self.kinds.len() {
+            match self.effective(QualId(i as u32)) {
+                EffectiveKind::Safe => c.safe += 1,
+                EffectiveKind::Seq => c.seq += 1,
+                EffectiveKind::Wild => c.wild += 1,
+                EffectiveKind::Rtti => c.rtti += 1,
+            }
+        }
+        c
+    }
+
+    /// Number of SPLIT qualifiers.
+    pub fn split_count(&self) -> usize {
+        self.split.iter().filter(|&&s| s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_join() {
+        assert_eq!(PtrKind::Safe.join(PtrKind::Seq), PtrKind::Seq);
+        assert_eq!(PtrKind::Seq.join(PtrKind::Wild), PtrKind::Wild);
+        assert_eq!(PtrKind::Safe.join(PtrKind::Safe), PtrKind::Safe);
+    }
+
+    #[test]
+    fn effective_kind_resolution() {
+        let mut s = Solution::new(3);
+        s.set_rtti(QualId(0), true);
+        s.set_kind(QualId(1), PtrKind::Seq);
+        assert_eq!(s.effective(QualId(0)), EffectiveKind::Rtti);
+        assert_eq!(s.effective(QualId(1)), EffectiveKind::Seq);
+        assert_eq!(s.effective(QualId(2)), EffectiveKind::Safe);
+    }
+
+    #[test]
+    fn counts_and_percentages() {
+        let mut s = Solution::new(4);
+        s.set_kind(QualId(0), PtrKind::Wild);
+        s.set_kind(QualId(1), PtrKind::Seq);
+        s.set_rtti(QualId(2), true);
+        let c = s.kind_counts();
+        assert_eq!(c.safe, 1);
+        assert_eq!(c.seq, 1);
+        assert_eq!(c.wild, 1);
+        assert_eq!(c.rtti, 1);
+        assert_eq!(c.percentages(), (25, 25, 25, 25));
+    }
+}

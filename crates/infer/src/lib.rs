@@ -1,0 +1,36 @@
+//! # ccured-infer
+//!
+//! CCured's whole-program pointer-kind inference, extended with physical
+//! subtyping, run-time type information (RTTI), and the SPLIT compatible-
+//! representation inference — the algorithms of Sections 2.1, 3 and 4.2 of
+//! *CCured in the Real World* (PLDI 2003).
+//!
+//! The entry point is [`infer`], which takes a lowered [`ccured_cil::Program`]
+//! and produces a [`Solution`] assigning every qualifier variable a
+//! [`PtrKind`], an RTTI flag and a SPLIT flag, together with the cast census
+//! used throughout the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccured_infer::{infer, InferOptions};
+//!
+//! let tu = ccured_ast::parse_translation_unit(
+//!     "int f(int *p, int n) { int *q = p; return q[n]; }",
+//! ).unwrap();
+//! let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
+//! let result = infer(&prog, &InferOptions::default());
+//! // `q` is indexed, so `q` (and by unification `p`) become SEQ.
+//! assert!(result.solution.kind_counts().seq >= 1);
+//! ```
+
+pub mod gen;
+pub mod kinds;
+pub mod solve;
+pub mod split;
+pub mod stats;
+
+pub use gen::Constraints;
+pub use kinds::{EffectiveKind, KindCounts, PtrKind, Solution};
+pub use solve::{infer, InferOptions, InferResult};
+pub use stats::{CastCensus, CastKind};

@@ -1,0 +1,260 @@
+//! Event counters and the deterministic abstract cost model.
+//!
+//! Every run of the interpreter tallies [`Counters`]; a [`CostModel`]
+//! converts them to abstract cycles. **Calibration policy** (see DESIGN.md):
+//! the constants are chosen once, globally — never per experiment — so that
+//! the *shape* of the paper's results (CCured ≈ 1.0–1.9×, Purify ≈ 25–100×,
+//! Valgrind ≈ 9–130×, I/O-bound daemons ≈ 1.0×) emerges from the check
+//! counts each workload actually incurs.
+
+/// Event counts for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct Counters {
+    /// Instructions executed (Set/Call, plus expression evaluation steps).
+    pub instrs: u64,
+    /// Memory loads.
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Function calls (defined functions).
+    pub calls: u64,
+    /// External/builtin calls.
+    pub extern_calls: u64,
+    /// I/O operations performed by builtins (dominates daemon workloads).
+    pub io_ops: u64,
+    /// Bytes moved by I/O builtins.
+    pub io_bytes: u64,
+
+    // CCured checks, executed dynamically.
+    pub null_checks: u64,
+    pub seq_bounds_checks: u64,
+    pub seq_to_safe_checks: u64,
+    pub wild_bounds_checks: u64,
+    pub wild_tag_checks: u64,
+    pub rtti_checks: u64,
+    /// Total parent-chain steps walked by RTTI checks.
+    pub rtti_walk_steps: u64,
+    pub escape_checks: u64,
+    pub index_checks: u64,
+    /// WILD tag updates on stores through WILD pointers.
+    pub tag_updates: u64,
+    /// Fat-pointer representation conversions at casts.
+    pub fat_converts: u64,
+    /// SPLIT metadata maintenance operations (parallel-structure upkeep).
+    pub meta_ops: u64,
+
+    // Baseline instrumentation work.
+    /// Purify/Valgrind shadow-memory byte operations.
+    pub shadow_ops: u64,
+    /// Valgrind per-instruction JIT dispatch events.
+    pub jit_instrs: u64,
+    /// Purify per-instruction binary-translation dispatch events.
+    pub bt_instrs: u64,
+    /// Jones–Kelly object-registry lookups.
+    pub registry_lookups: u64,
+}
+
+impl Counters {
+    /// Total dynamic CCured checks executed.
+    pub fn total_checks(&self) -> u64 {
+        self.null_checks
+            + self.seq_bounds_checks
+            + self.seq_to_safe_checks
+            + self.wild_bounds_checks
+            + self.wild_tag_checks
+            + self.rtti_checks
+            + self.escape_checks
+            + self.index_checks
+    }
+}
+
+/// Abstract per-event cycle costs.
+///
+/// The defaults model a simple in-order machine: ALU ops cost 1, memory
+/// ops 1 (cache-friendly interpretive abstraction), calls 5. Check costs
+/// reflect their instruction footprints in the real CCured (a null check is
+/// a compare+branch; a SEQ bounds check is two compares on in-register
+/// metadata; WILD checks touch the area header and tag bitmap). Baseline
+/// costs reflect published behaviour: Purify pays per-byte shadow updates on
+/// every access; Valgrind pays JIT dispatch per instruction plus 9-bit
+/// shadow per byte; Jones–Kelly pays a registry (splay) lookup per pointer
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub struct CostModel {
+    pub instr: f64,
+    pub load: f64,
+    pub store: f64,
+    pub call: f64,
+    pub extern_call: f64,
+    /// Per I/O operation (syscall-scale; dwarfs compute in daemons).
+    pub io_op: f64,
+    pub io_byte: f64,
+
+    pub null_check: f64,
+    pub seq_bounds_check: f64,
+    pub seq_to_safe_check: f64,
+    pub wild_bounds_check: f64,
+    pub wild_tag_check: f64,
+    pub rtti_check: f64,
+    pub rtti_walk_step: f64,
+    pub escape_check: f64,
+    pub index_check: f64,
+    pub tag_update: f64,
+    pub fat_convert: f64,
+    pub meta_op: f64,
+
+    pub shadow_op: f64,
+    pub jit_instr: f64,
+    pub bt_instr: f64,
+    pub registry_lookup: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            instr: 1.0,
+            load: 1.0,
+            store: 1.0,
+            call: 5.0,
+            extern_call: 10.0,
+            io_op: 2_500.0,
+            io_byte: 2.0,
+
+            null_check: 1.0,
+            seq_bounds_check: 4.0,
+            seq_to_safe_check: 3.0,
+            wild_bounds_check: 9.0,
+            wild_tag_check: 9.0,
+            rtti_check: 3.0,
+            rtti_walk_step: 2.0,
+            escape_check: 1.0,
+            index_check: 0.4,
+            tag_update: 9.0,
+            fat_convert: 1.0,
+            meta_op: 4.0,
+
+            shadow_op: 6.0,
+            jit_instr: 9.0,
+            bt_instr: 22.0,
+            registry_lookup: 35.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total abstract cycles for a run.
+    pub fn cycles(&self, c: &Counters) -> f64 {
+        self.instr * c.instrs as f64
+            + self.load * c.loads as f64
+            + self.store * c.stores as f64
+            + self.call * c.calls as f64
+            + self.extern_call * c.extern_calls as f64
+            + self.io_op * c.io_ops as f64
+            + self.io_byte * c.io_bytes as f64
+            + self.null_check * c.null_checks as f64
+            + self.seq_bounds_check * c.seq_bounds_checks as f64
+            + self.seq_to_safe_check * c.seq_to_safe_checks as f64
+            + self.wild_bounds_check * c.wild_bounds_checks as f64
+            + self.wild_tag_check * c.wild_tag_checks as f64
+            + self.rtti_check * c.rtti_checks as f64
+            + self.rtti_walk_step * c.rtti_walk_steps as f64
+            + self.escape_check * c.escape_checks as f64
+            + self.index_check * c.index_checks as f64
+            + self.tag_update * c.tag_updates as f64
+            + self.fat_convert * c.fat_converts as f64
+            + self.meta_op * c.meta_ops as f64
+            + self.shadow_op * c.shadow_ops as f64
+            + self.jit_instr * c.jit_instrs as f64
+            + self.bt_instr * c.bt_instrs as f64
+            + self.registry_lookup * c.registry_lookups as f64
+    }
+
+    /// Overhead ratio of `instrumented` relative to `baseline`.
+    pub fn ratio(&self, instrumented: &Counters, baseline: &Counters) -> f64 {
+        let b = self.cycles(baseline);
+        if b == 0.0 {
+            1.0
+        } else {
+            self.cycles(instrumented) / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_run_costs_its_instructions() {
+        let model = CostModel::default();
+        let c = Counters {
+            instrs: 100,
+            ..Counters::default()
+        };
+        assert_eq!(model.cycles(&c), 100.0);
+    }
+
+    #[test]
+    fn checks_add_cost() {
+        let model = CostModel::default();
+        let base = Counters {
+            instrs: 1000,
+            loads: 100,
+            ..Counters::default()
+        };
+        let mut cured = base;
+        cured.null_checks = 100;
+        cured.seq_bounds_checks = 50;
+        let r = model.ratio(&cured, &base);
+        assert!(r > 1.0 && r < 2.0, "modest CCured-style overhead, got {r}");
+    }
+
+    #[test]
+    fn valgrind_style_dominates() {
+        let model = CostModel::default();
+        let base = Counters {
+            instrs: 1000,
+            loads: 200,
+            stores: 100,
+            ..Counters::default()
+        };
+        let mut vg = base;
+        vg.jit_instrs = base.instrs;
+        vg.shadow_ops = (base.loads + base.stores) * 9;
+        let r = model.ratio(&vg, &base);
+        assert!(r > 8.0, "valgrind-style overhead must be an order of magnitude, got {r}");
+    }
+
+    #[test]
+    fn io_dominates_daemons() {
+        let model = CostModel::default();
+        let mut base = Counters {
+            instrs: 10_000,
+            io_ops: 400,
+            ..Counters::default()
+        };
+        let mut cured = base;
+        cured.null_checks = 5_000;
+        cured.seq_bounds_checks = 2_000;
+        let r = model.ratio(&cured, &base);
+        assert!(r < 1.05, "I/O-bound workloads show negligible overhead, got {r}");
+        base.io_ops = 0;
+        let mut cured2 = base;
+        cured2.null_checks = 5_000;
+        cured2.seq_bounds_checks = 2_000;
+        assert!(model.ratio(&cured2, &base) > 1.2, "CPU-bound overhead must be visible");
+    }
+
+    #[test]
+    fn total_checks_sums() {
+        let c = Counters {
+            null_checks: 1,
+            seq_bounds_checks: 2,
+            index_checks: 3,
+            ..Counters::default()
+        };
+        assert_eq!(c.total_checks(), 6);
+    }
+}

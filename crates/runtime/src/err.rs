@@ -1,0 +1,142 @@
+//! Run-time error taxonomy.
+//!
+//! Two layers matter for the soundness experiments:
+//!
+//! * [`RtError::CheckFailed`] — a **CCured check** caught the violation
+//!   before any memory was harmed: the defined, graceful outcome of a cured
+//!   program.
+//! * The remaining memory variants are **ground truth** from the memory
+//!   model: in real C these would be undefined behaviour. A cured program
+//!   must never produce them (tested by the soundness property tests).
+
+use std::fmt;
+
+/// A run-time error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// A CCured run-time check failed (graceful, defined behaviour).
+    CheckFailed {
+        /// Stable check name (e.g. `seq_bounds`).
+        check: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Dereference of a null pointer.
+    NullDeref,
+    /// Access outside an allocation.
+    OutOfBounds {
+        /// Offset of the attempted access.
+        offset: i64,
+        /// Size of the attempted access.
+        size: u64,
+        /// Size of the allocation.
+        alloc_size: u64,
+    },
+    /// Access to a freed heap allocation.
+    UseAfterFree,
+    /// Access to a stack allocation whose frame has returned.
+    UseAfterReturn,
+    /// Read of an uninitialized location.
+    UninitRead,
+    /// A non-pointer value was used as a pointer.
+    InvalidPointer(String),
+    /// Called something that is not a function.
+    NotAFunction,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// The program called an unknown external function.
+    UnknownExternal(String),
+    /// An external was called with an incompatible representation
+    /// (the "fails to link" guarantee of paper Section 4.1).
+    LinkError(String),
+    /// The instruction budget was exhausted (runaway loop guard).
+    OutOfFuel,
+    /// The program called `abort()` or an assertion builtin failed.
+    Abort(String),
+    /// A construct the interpreter does not support.
+    Unsupported(String),
+    /// The program called `exit(code)` (not an error; unwinds the run).
+    Exit(i64),
+}
+
+impl RtError {
+    /// True when a CCured check (not the raw memory model) caught the error.
+    pub fn is_check_failure(&self) -> bool {
+        matches!(self, RtError::CheckFailed { .. })
+    }
+
+    /// True for ground-truth memory errors (undefined behaviour in real C).
+    pub fn is_memory_error(&self) -> bool {
+        matches!(
+            self,
+            RtError::NullDeref
+                | RtError::OutOfBounds { .. }
+                | RtError::UseAfterFree
+                | RtError::UseAfterReturn
+                | RtError::UninitRead
+                | RtError::InvalidPointer(_)
+        )
+    }
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::CheckFailed { check, detail } => {
+                write!(f, "ccured check `{check}` failed: {detail}")
+            }
+            RtError::NullDeref => write!(f, "null pointer dereference"),
+            RtError::OutOfBounds {
+                offset,
+                size,
+                alloc_size,
+            } => write!(
+                f,
+                "out-of-bounds access at offset {offset} (size {size}) in allocation of {alloc_size} bytes"
+            ),
+            RtError::UseAfterFree => write!(f, "use after free"),
+            RtError::UseAfterReturn => write!(f, "use of stack memory after return"),
+            RtError::UninitRead => write!(f, "read of uninitialized memory"),
+            RtError::InvalidPointer(d) => write!(f, "invalid pointer: {d}"),
+            RtError::NotAFunction => write!(f, "called value is not a function"),
+            RtError::DivByZero => write!(f, "division by zero"),
+            RtError::UnknownExternal(n) => write!(f, "unknown external function `{n}`"),
+            RtError::LinkError(d) => write!(f, "link error: {d}"),
+            RtError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            RtError::Abort(d) => write!(f, "program aborted: {d}"),
+            RtError::Unsupported(d) => write!(f, "unsupported: {d}"),
+            RtError::Exit(code) => write!(f, "exit({code})"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(RtError::CheckFailed {
+            check: "null",
+            detail: String::new()
+        }
+        .is_check_failure());
+        assert!(RtError::NullDeref.is_memory_error());
+        assert!(RtError::UseAfterFree.is_memory_error());
+        assert!(!RtError::DivByZero.is_memory_error());
+        assert!(!RtError::NullDeref.is_check_failure());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = RtError::OutOfBounds {
+            offset: 12,
+            size: 4,
+            alloc_size: 8,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("12") && s.contains("8"));
+    }
+}

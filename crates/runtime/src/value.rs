@@ -1,0 +1,190 @@
+//! Runtime values, including the CCured fat-pointer representations of
+//! paper Figure 1 (and the RTTI representation of Section 3.2).
+
+use crate::mem::Pointer;
+use ccured_cil::ir::FnRef;
+
+/// A pointer value in one of the CCured representations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PtrVal {
+    /// The null pointer (all representations share it).
+    Null,
+    /// A thin SAFE pointer.
+    Safe(Pointer),
+    /// A SEQ fat pointer: the pointer plus its home-area byte range
+    /// `[lo, hi)` within the same allocation. The pointer may stray outside
+    /// the range (legal until dereferenced).
+    Seq {
+        /// Current position.
+        p: Pointer,
+        /// Inclusive lower bound offset of the home area.
+        lo: i64,
+        /// Exclusive upper bound offset of the home area.
+        hi: i64,
+    },
+    /// A WILD pointer: position plus home-area range, with tags maintained
+    /// in the referenced allocation.
+    Wild {
+        /// Current position.
+        p: Pointer,
+        /// Inclusive lower bound offset of the home area.
+        lo: i64,
+        /// Exclusive upper bound offset of the home area.
+        hi: i64,
+    },
+    /// An RTTI pointer: position plus the node of its dynamic type in the
+    /// physical-subtype hierarchy.
+    Rtti {
+        /// Current position.
+        p: Pointer,
+        /// Hierarchy node of the value's dynamic (allocation-time) type.
+        node: u32,
+    },
+    /// A function pointer.
+    Fn(FnRef),
+    /// An integer disguised as a pointer (the `b = null` case of Figure 10):
+    /// representable but never dereferenceable.
+    IntVal(u64),
+}
+
+impl PtrVal {
+    /// The thin view of this pointer: its current memory position, if any.
+    pub fn thin(&self) -> Option<Pointer> {
+        match self {
+            PtrVal::Safe(p)
+            | PtrVal::Seq { p, .. }
+            | PtrVal::Wild { p, .. }
+            | PtrVal::Rtti { p, .. } => Some(*p),
+            PtrVal::Null | PtrVal::Fn(_) | PtrVal::IntVal(_) => None,
+        }
+    }
+
+    /// Whether this value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, PtrVal::Null)
+    }
+
+    /// Moves the pointer by `delta` bytes, preserving the representation.
+    pub fn offset_by(&self, delta: i64) -> PtrVal {
+        match *self {
+            PtrVal::Safe(p) => PtrVal::Safe(p.offset_by(delta)),
+            PtrVal::Seq { p, lo, hi } => PtrVal::Seq {
+                p: p.offset_by(delta),
+                lo,
+                hi,
+            },
+            PtrVal::Wild { p, lo, hi } => PtrVal::Wild {
+                p: p.offset_by(delta),
+                lo,
+                hi,
+            },
+            PtrVal::Rtti { p, node } => PtrVal::Rtti {
+                p: p.offset_by(delta),
+                node,
+            },
+            other => other,
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An integer (width/signedness normalized on store by the target kind).
+    Int(i128),
+    /// A floating-point value.
+    Float(f64),
+    /// A pointer.
+    Ptr(PtrVal),
+}
+
+impl Value {
+    /// The null pointer value.
+    pub const NULL: Value = Value::Ptr(PtrVal::Null);
+
+    /// Truthiness for conditions (C semantics).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Ptr(PtrVal::Null) => false,
+            Value::Ptr(PtrVal::IntVal(v)) => *v != 0,
+            Value::Ptr(_) => true,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The pointer payload, if this is a pointer.
+    pub fn as_ptr(&self) -> Option<PtrVal> {
+        match self {
+            Value::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::AllocId;
+
+    fn ptr(off: i64) -> Pointer {
+        Pointer {
+            alloc: AllocId(1),
+            offset: off,
+        }
+    }
+
+    #[test]
+    fn thin_views() {
+        assert_eq!(PtrVal::Null.thin(), None);
+        assert_eq!(PtrVal::Safe(ptr(4)).thin(), Some(ptr(4)));
+        assert_eq!(
+            PtrVal::Seq {
+                p: ptr(8),
+                lo: 0,
+                hi: 16
+            }
+            .thin(),
+            Some(ptr(8))
+        );
+        assert_eq!(PtrVal::IntVal(42).thin(), None);
+    }
+
+    #[test]
+    fn offset_preserves_bounds() {
+        let s = PtrVal::Seq {
+            p: ptr(4),
+            lo: 0,
+            hi: 16,
+        };
+        match s.offset_by(8) {
+            PtrVal::Seq { p, lo, hi } => {
+                assert_eq!(p.offset, 12);
+                assert_eq!((lo, hi), (0, 16));
+            }
+            other => panic!("wrong representation: {other:?}"),
+        }
+        // Straying past the bounds is representable.
+        match s.offset_by(100) {
+            PtrVal::Seq { p, .. } => assert_eq!(p.offset, 104),
+            other => panic!("wrong representation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::NULL.is_truthy());
+        assert!(Value::Int(3).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Ptr(PtrVal::Safe(ptr(0))).is_truthy());
+        assert!(!Value::Ptr(PtrVal::IntVal(0)).is_truthy());
+    }
+}

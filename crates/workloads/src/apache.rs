@@ -1,0 +1,398 @@
+//! The Apache-module workloads of paper Figure 8: nine request-processing
+//! modules behind a shared server driver. Requests arrive through
+//! `net_recv` and responses leave through `net_send`, so — as the paper
+//! observes — the run-time checks are dwarfed by I/O for most modules.
+
+use crate::{PaperStats, Workload};
+
+/// Fixed request size used by the driver (one `net_recv` per request).
+pub const REQ_BYTES: usize = 128;
+
+fn driver(handler_body: &str, extra_decls: &str) -> String {
+    format!
+    (
+        "{extra_decls}\n\
+         extern long net_recv(char *buf, long cap);\n\
+         extern long net_send(char *buf, long n);\n\
+         extern long sim_rand(void);\n\
+         extern void *malloc(unsigned long n);\n\
+         /* Apache-style module registry: SAFE pointer scaffolding (config\n\
+            chains are dereferenced, never indexed). */\n\
+         struct ModuleConfig {{\n\
+           int flags;\n\
+           int priority;\n\
+           struct ModuleConfig *next;\n\
+           struct ModuleConfig *fallback;\n\
+         }};\n\
+         struct ServerRec {{\n\
+           struct ModuleConfig *conf;\n\
+           struct ServerRec *peer;\n\
+           long served;\n\
+           long bytes;\n\
+         }};\n\
+         struct ModuleConfig *mk_conf(int flags, struct ModuleConfig *next) {{\n\
+           struct ModuleConfig *c = (struct ModuleConfig *)malloc(sizeof(struct ModuleConfig));\n\
+           c->flags = flags;\n\
+           c->priority = flags * 2;\n\
+           c->next = next;\n\
+           c->fallback = next;\n\
+           return c;\n\
+         }}\n\
+         int conf_flags(struct ServerRec *s) {{\n\
+           struct ModuleConfig *c = s->conf;\n\
+           int acc = 0;\n\
+           while (c != 0) {{ acc |= c->flags; c = c->next; }}\n\
+           return acc;\n\
+         }}\n\
+         int handle(char *req, int len, char *resp, int cap) {{\n\
+         {handler_body}\n\
+         }}\n\
+         int main(void) {{\n\
+           struct ServerRec server;\n\
+           struct ServerRec *srv = &server;\n\
+           srv->conf = mk_conf(1, mk_conf(2, mk_conf(4, 0)));\n\
+           srv->peer = srv;\n\
+           srv->served = 0;\n\
+           srv->bytes = 0;\n\
+           char req[{REQ_BYTES}];\n\
+           char resp[512];\n\
+           long n;\n\
+           int mask = conf_flags(srv);\n\
+           while ((n = net_recv(req, {REQ_BYTES})) > 0) {{\n\
+             int m = handle(req, (int)n, resp, 512);\n\
+             if (m > 0 && (mask & 7) != 0) net_send(resp, m);\n\
+             srv->peer->served++;\n\
+             srv->bytes += n;\n\
+           }}\n\
+           return srv->served > 0 ? 0 : 1;\n\
+         }}"
+    )
+}
+
+/// Builds the input stream: `requests` fixed-size request records.
+fn requests(requests: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(requests as usize * REQ_BYTES);
+    for i in 0..requests {
+        let line = format!(
+            "GET /site/page{:03}.html?user=u{:02}&q=term{} HTTP/1.0\r\nHost: example\r\nCookie: track=tk{:04}\r\n\r\n",
+            i % 200,
+            i % 37,
+            i % 11,
+            i * 7 % 9973
+        );
+        let mut rec = line.into_bytes();
+        rec.resize(REQ_BYTES - 1, b' ');
+        rec.push(0);
+        out.extend_from_slice(&rec);
+    }
+    out
+}
+
+fn module(name: &str, body: &str, decls: &str, n: u32, paper: PaperStats) -> Workload {
+    Workload::new(name, driver(body, decls))
+        .with_input(requests(n))
+        .with_paper(paper)
+}
+
+fn paper(loc: u32, pct: (u32, u32, u32, u32), ratio: f64) -> PaperStats {
+    PaperStats {
+        loc: Some(loc),
+        pct: Some(pct),
+        ccured_ratio: Some(ratio),
+        valgrind_ratio: None,
+    }
+}
+
+/// `mod_asis`: sends the stored document as-is (straight copy).
+pub fn asis(n: u32) -> Workload {
+    module(
+        "asis",
+        "  /* the body send itself happens in Apache's (uncured) core */\n\
+           int m = len < 32 ? len : 32;\n\
+           for (int i = 0; i < m; i++) resp[i] = req[i];\n\
+           return m;",
+        "",
+        n,
+        paper(149, (72, 28, 0, 0), 0.96),
+    )
+}
+
+/// `mod_expires`: appends an Expires header.
+pub fn expires(n: u32) -> Workload {
+    module(
+        "expires",
+        "  int m = len < 40 ? len : 40;\n\
+           for (int i = 0; i < m; i++) resp[i] = req[i];\n\
+           resp[m] = 0;\n\
+           strcat(resp, \"Expires: Thu, 01 Dec 2033 16:00:00 GMT\\r\\n\");\n\
+           return (int)strlen(resp);",
+        "",
+        n,
+        paper(525, (77, 23, 0, 0), 1.00),
+    )
+}
+
+/// `mod_gzip`: the CPU-heavy outlier — run-length "compression" per request.
+pub fn gzip(n: u32) -> Workload {
+    module(
+        "gzip",
+        "  char *o = resp;\n\
+           char *p = req;\n\
+           char *end = req + len;\n\
+           int emitted = 0;\n\
+           /* several passes to model deflate's work factor */\n\
+           for (int pass = 0; pass < 6; pass++) {\n\
+             p = req;\n\
+             o = resp;\n\
+             emitted = 0;\n\
+             while (p < end && emitted + 2 < cap) {\n\
+               char c = *p;\n\
+               int run = 1;\n\
+               p++;\n\
+               while (p < end && *p == c && run < 250) { run++; p++; }\n\
+               *o = c; o++;\n\
+               *o = (char)run; o++;\n\
+               emitted += 2;\n\
+             }\n\
+           }\n\
+           return emitted;",
+        "",
+        n,
+        paper(11648, (85, 15, 0, 0), 0.94),
+    )
+}
+
+/// `mod_headers`: counts and normalizes header lines.
+pub fn headers(n: u32) -> Workload {
+    module(
+        "headers",
+        "  int lines = 0;\n\
+           for (int i = 0; i + 1 < len; i++)\n\
+             if (req[i] == '\\r' && req[i + 1] == '\\n') lines++;\n\
+           return sprintf(resp, \"X-Header-Count: %d\\r\\n\", lines);",
+        "extern int sprintf(char *buf, char *fmt, ...);",
+        n,
+        paper(281, (90, 10, 0, 0), 1.00),
+    )
+}
+
+/// `mod_info`: formats a small status report.
+pub fn info(n: u32) -> Workload {
+    module(
+        "info",
+        "  int bytes = len;\n\
+           int q = 0;\n\
+           for (int i = 0; i < len; i++) if (req[i] == '?') q = 1;\n\
+           return sprintf(resp, \"Info: %d bytes, query=%d\\r\\n\", bytes, q);",
+        "extern int sprintf(char *buf, char *fmt, ...);",
+        n,
+        paper(786, (86, 14, 0, 0), 1.00),
+    )
+}
+
+/// `mod_layout`: wraps the body with a site-wide prefix and suffix.
+pub fn layout(n: u32) -> Workload {
+    module(
+        "layout",
+        "  resp[0] = 0;\n\
+           strcat(resp, \"<header/>\\n\");\n\
+           int base = (int)strlen(resp);\n\
+           int m = len < 80 ? len : 80;\n\
+           for (int i = 0; i < m; i++) resp[base + i] = req[i];\n\
+           resp[base + m] = 0;\n\
+           strcat(resp, \"\\n<footer/>\\n\");\n\
+           return (int)strlen(resp);",
+        "",
+        n,
+        paper(309, (82, 18, 0, 0), 1.01),
+    )
+}
+
+/// `mod_random`: picks a pseudo-random page id.
+pub fn random(n: u32) -> Workload {
+    module(
+        "random",
+        "  long r = sim_rand();\n\
+           return sprintf(resp, \"Location: /rand/%d\\r\\n\", (int)(r % 100));",
+        "extern int sprintf(char *buf, char *fmt, ...);",
+        n,
+        paper(131, (85, 15, 0, 0), 0.94),
+    )
+}
+
+/// `mod_urlcount`: tallies URL path segments (string scanning).
+pub fn urlcount(n: u32) -> Workload {
+    module(
+        "urlcount",
+        "  int slashes = 0;\n\
+           int depth = 0;\n\
+           for (int i = 0; i < len; i++) {\n\
+             if (req[i] == '/') { slashes++; depth++; }\n\
+             if (req[i] == ' ' && depth > 0) break;\n\
+           }\n\
+           return sprintf(resp, \"X-Url-Depth: %d\\r\\n\", slashes);",
+        "extern int sprintf(char *buf, char *fmt, ...);",
+        n,
+        paper(702, (87, 13, 0, 0), 1.02),
+    )
+}
+
+/// `mod_usertrack`: extracts and hashes the tracking cookie.
+pub fn usertrack(n: u32) -> Workload {
+    module(
+        "usertrack",
+        "  int h = 5381;\n\
+           char *c = strchr(req, 't');\n\
+           if (c != 0) {\n\
+             int i = 0;\n\
+             while (c[i] != 0 && c[i] != '\\r' && i < 24) {\n\
+               h = ((h << 5) + h + c[i]) & 0x7fffffff;\n\
+               i++;\n\
+             }\n\
+           }\n\
+           return sprintf(resp, \"Set-Cookie: track=%x\\r\\n\", h);",
+        "extern int sprintf(char *buf, char *fmt, ...);",
+        n,
+        paper(409, (81, 19, 0, 0), 1.00),
+    )
+}
+
+/// The WebStone row of Figure 8: "100 iterations of the WebStone 2.5
+/// manyfiles benchmark with every request affected by the expires, gzip,
+/// headers, urlcount and usertrack modules" — one driver pushing each
+/// request through all five handlers.
+pub fn webstone(n: u32) -> Workload {
+    let src = "extern long net_recv(char *buf, long cap);\n\
+extern long net_send(char *buf, long n);\n\
+extern int sprintf(char *buf, char *fmt, ...);\n\
+int h_expires(char *req, int len, char *resp, int cap) {\n\
+    int m = len < 40 ? len : 40;\n\
+    for (int i = 0; i < m; i++) resp[i] = req[i];\n\
+    resp[m] = 0;\n\
+    strcat(resp, \"Expires: never\\r\\n\");\n\
+    return (int)strlen(resp);\n\
+}\n\
+int h_gzip(char *req, int len, char *resp, int cap) {\n\
+    char *o = resp;\n\
+    char *p = req;\n\
+    char *end = req + len;\n\
+    int emitted = 0;\n\
+    while (p < end && emitted + 2 < cap) {\n\
+        char c = *p;\n\
+        int run = 1;\n\
+        p++;\n\
+        while (p < end && *p == c && run < 250) { run++; p++; }\n\
+        *o = c; o++;\n\
+        *o = (char)run; o++;\n\
+        emitted += 2;\n\
+    }\n\
+    return emitted;\n\
+}\n\
+int h_headers(char *req, int len, char *resp, int cap) {\n\
+    int lines = 0;\n\
+    for (int i = 0; i + 1 < len; i++)\n\
+        if (req[i] == '\\r' && req[i + 1] == '\\n') lines++;\n\
+    return sprintf(resp, \"X-Header-Count: %d\\r\\n\", lines);\n\
+}\n\
+int h_urlcount(char *req, int len, char *resp, int cap) {\n\
+    int slashes = 0;\n\
+    for (int i = 0; i < len; i++) if (req[i] == '/') slashes++;\n\
+    return sprintf(resp, \"X-Url-Depth: %d\\r\\n\", slashes);\n\
+}\n\
+int h_usertrack(char *req, int len, char *resp, int cap) {\n\
+    int h = 5381;\n\
+    char *c = strchr(req, 't');\n\
+    if (c != 0) {\n\
+        int i = 0;\n\
+        while (c[i] != 0 && c[i] != '\\r' && i < 24) {\n\
+            h = ((h << 5) + h + c[i]) & 0x7fffffff;\n\
+            i++;\n\
+        }\n\
+    }\n\
+    return sprintf(resp, \"Set-Cookie: track=%x\\r\\n\", h);\n\
+}\n\
+int main(void) {\n\
+    char req[128];\n\
+    char resp[512];\n\
+    long n;\n\
+    int served = 0;\n\
+    while ((n = net_recv(req, 128)) > 0) {\n\
+        int m = h_expires(req, (int)n, resp, 512);\n\
+        net_send(resp, m);\n\
+        m = h_gzip(req, (int)n, resp, 512);\n\
+        net_send(resp, m);\n\
+        m = h_headers(req, (int)n, resp, 512);\n\
+        net_send(resp, m);\n\
+        m = h_urlcount(req, (int)n, resp, 512);\n\
+        net_send(resp, m);\n\
+        m = h_usertrack(req, (int)n, resp, 512);\n\
+        net_send(resp, m);\n\
+        served++;\n\
+    }\n\
+    return served > 0 ? 0 : 1;\n\
+}\n";
+    Workload::new("webstone", src)
+        .with_input(requests(n))
+        .with_paper(PaperStats {
+            loc: None,
+            pct: None,
+            ccured_ratio: Some(1.04),
+            valgrind_ratio: None,
+        })
+}
+
+/// All nine Figure 8 modules at the given request count.
+pub fn all_modules(n: u32) -> Vec<Workload> {
+    vec![
+        asis(n),
+        expires(n),
+        gzip(n),
+        headers(n),
+        info(n),
+        layout(n),
+        random(n),
+        urlcount(n),
+        usertrack(n),
+        webstone(n),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use ccured_infer::InferOptions;
+
+    #[test]
+    fn all_modules_run_in_both_modes() {
+        for w in all_modules(3) {
+            let o = runner::run_original(&w).expect("frontend");
+            assert!(o.ok(), "{}: original failed: {:?}", w.name, o.error);
+            assert_eq!(o.exit, 0, "{}", w.name);
+            let c = runner::run_cured(&w, &InferOptions::default())
+                .unwrap_or_else(|e| panic!("{}: cure failed: {e}", w.name));
+            assert!(c.stats.ok(), "{}: cured failed: {:?}", w.name, c.stats.error);
+            assert_eq!(c.stats.exit, 0, "{}", w.name);
+            assert_eq!(o.output, c.stats.output, "{}: outputs differ", w.name);
+            assert_eq!(c.cured.report.kind_counts.wild, 0, "{}: no WILD", w.name);
+        }
+    }
+
+    #[test]
+    fn request_stream_shape() {
+        let input = requests(5);
+        assert_eq!(input.len(), 5 * REQ_BYTES);
+    }
+
+    #[test]
+    fn modules_are_io_bound() {
+        // The defining property of Figure 8: check cost is dwarfed by I/O.
+        let w = asis(5);
+        let r = runner::measure(&w, &InferOptions::default()).expect("measure");
+        assert!(
+            r.ccured < 1.15,
+            "asis must be near 1.0 like the paper's 0.96: {}",
+            r.ccured
+        );
+    }
+}

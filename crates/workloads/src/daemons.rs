@@ -1,0 +1,763 @@
+//! The security-critical network daemons of paper Figure 9: `ftpd` (with
+//! its real `replydirname` buffer overflow), a `sendmail`-style queue
+//! daemon (with a crackaddr-style header overflow), a cast-heavy
+//! `bind`-style resolver, the two OpenSSL kernels (`cast` cipher and `bn`
+//! bignum), and an `OpenSSH`-style packet layer.
+//!
+//! Each daemon reads fixed-size records via `net_recv` and answers via
+//! `net_send`, so I/O dominates exactly where the paper reports ratios
+//! near 1.0, while the CPU kernels (OpenSSL) expose the check overhead.
+
+use crate::{PaperStats, Workload};
+use std::fmt::Write as _;
+
+/// Record size for daemon command streams.
+pub const CMD_BYTES: usize = 64;
+
+fn commands(cmds: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for c in cmds {
+        let mut rec = c.clone().into_bytes();
+        rec.resize(CMD_BYTES, 0);
+        out.extend_from_slice(&rec);
+    }
+    out
+}
+
+/// The ftpd analogue. `replydirname` copies a client-controlled path into a
+/// fixed buffer that sits next to the session's privilege flag — the
+/// documented ftpd-BSD 0.3.2 vulnerability class. With `exploit`, the input
+/// contains an oversized path: in original mode the overflow silently
+/// flips `is_admin`; cured, the wrapper's bounds check stops it.
+pub fn ftpd(sessions: u32, exploit: bool) -> Workload {
+    let src = r#"
+extern long net_recv(char *buf, long cap);
+extern long net_send(char *buf, long n);
+extern int sprintf(char *buf, char *fmt, ...);
+
+struct glob_res { long count; char **paths; };
+extern int glob(char *pattern, struct glob_res *out);
+
+struct Session {
+    char cwd[24];
+    int is_admin;
+    int commands;
+};
+
+void replydirname(struct Session *s, char *path, char *resp) {
+    /* The vulnerable pattern: no length check before the copy. */
+    strcpy(s->cwd, path);
+    strcat(s->cwd, "/");
+    sprintf(resp, "257 \"%s\" created%s\r\n", s->cwd, s->is_admin ? " [ADMIN]" : "");
+}
+
+int handle(struct Session *s, char *cmd, char *resp) {
+    s->commands++;
+    if (strncmp(cmd, "USER ", 5) == 0) {
+        return sprintf(resp, "331 need password for %s\r\n", cmd + 5);
+    }
+    if (strncmp(cmd, "PASS ", 5) == 0) {
+        return sprintf(resp, "230 logged in\r\n");
+    }
+    if (strncmp(cmd, "CWD ", 4) == 0) {
+        replydirname(s, cmd + 4, resp);
+        return (int)strlen(resp);
+    }
+    if (strncmp(cmd, "LIST", 4) == 0) {
+        /* The library expands the pattern and hands back an array of
+           strings it allocated itself (the glob compatibility story). */
+        struct glob_res g;
+        glob("data*", &g);
+        int m = sprintf(resp, "150 listing %s:", s->cwd);
+        for (long i = 0; i < g.count; i++)
+            m += sprintf(resp + m, " %s", g.paths[i]);
+        m += sprintf(resp + m, "\r\n");
+        return m;
+    }
+    if (strncmp(cmd, "QUIT", 4) == 0) {
+        return sprintf(resp, "221 bye (%d commands)\r\n", s->commands);
+    }
+    return sprintf(resp, "500 unknown\r\n");
+}
+
+int main(void) {
+    struct Session sess;
+    char cmd[64];
+    char resp[192];
+    sess.cwd[0] = '/';
+    sess.cwd[1] = 0;
+    sess.is_admin = 0;
+    sess.commands = 0;
+    long n;
+    int served = 0;
+    while ((n = net_recv(cmd, 64)) > 0) {
+        cmd[63] = 0;
+        int m = handle(&sess, cmd, resp);
+        if (m > 0) net_send(resp, m);
+        served++;
+    }
+    return sess.is_admin ? 42 : (served > 0 ? 0 : 1);
+}
+"#;
+    let mut cmds = Vec::new();
+    for s in 0..sessions {
+        cmds.push(format!("USER user{s}"));
+        cmds.push("PASS secret".to_string());
+        cmds.push(format!("CWD /home/u{s}"));
+        if exploit && s == sessions / 2 {
+            // 25 path bytes + NUL: overruns cwd[24] into is_admin while
+            // staying inside struct Session (a silent flip in plain C).
+            cmds.push(format!("CWD /{}", "A".repeat(24)));
+        }
+        cmds.push("LIST".to_string());
+        cmds.push("QUIT".to_string());
+    }
+    let w = Workload::new(if exploit { "ftpd_exploit" } else { "ftpd" }, src)
+        .with_input(commands(&cmds))
+        .with_paper(PaperStats {
+            loc: Some(6553),
+            pct: Some((79, 12, 9, 0)),
+            ccured_ratio: Some(1.01),
+            valgrind_ratio: Some(9.42),
+        });
+    if exploit {
+        // In original mode the overflow silently grants admin: exit 42.
+        w.expecting(42)
+    } else {
+        w
+    }
+}
+
+/// The sendmail analogue: parses envelopes, rewrites headers into a fixed
+/// buffer adjacent to routing state (the crackaddr pattern), queues bodies
+/// on the heap, and acknowledges each message.
+pub fn sendmail_like(messages: u32, exploit: bool) -> Workload {
+    let src = r#"
+extern long net_recv(char *buf, long cap);
+extern long net_send(char *buf, long n);
+extern void *malloc(unsigned long n);
+extern void free(void *p);
+extern int sprintf(char *buf, char *fmt, ...);
+
+struct Envelope {
+    char rewritten[32];
+    int hops;
+    int queue_id;
+};
+
+int rewrite_header(struct Envelope *e, char *from) {
+    /* Vulnerable: comment expansion can exceed the fixed buffer. */
+    e->rewritten[0] = 0;
+    strcat(e->rewritten, "<");
+    strcat(e->rewritten, from);
+    strcat(e->rewritten, ">");
+    return (int)strlen(e->rewritten);
+}
+
+int checksum(char *buf, int n) {
+    int h = 0;
+    for (int i = 0; i < n; i++) h = (h * 31 + buf[i]) & 0x7fffffff;
+    return h;
+}
+
+int main(void) {
+    char msg[64];
+    char resp[128];
+    struct Envelope env;
+    env.hops = 0;
+    env.queue_id = 0;
+    long n;
+    int delivered = 0;
+    while ((n = net_recv(msg, 64)) > 0) {
+        msg[63] = 0;
+        env.queue_id++;
+        /* FROM is the first token. */
+        char *from = msg;
+        if (strncmp(msg, "MAIL ", 5) == 0) from = msg + 5;
+        rewrite_header(&env, from);
+        /* Queue the body on the heap. */
+        char *entry = (char *)malloc(64);
+        memcpy(entry, msg, (unsigned long)n);
+        int h = checksum(entry, (int)n);
+        free(entry);
+        int m = sprintf(resp, "250 q%d %s hash=%x hops=%d\r\n",
+                        env.queue_id, env.rewritten, h, env.hops);
+        net_send(resp, m);
+        delivered++;
+    }
+    /* hops is only ever incremented by trusted relays; a nonzero value
+       here means the header rewrite overran into it. */
+    if (env.hops != 0) return 43;
+    return delivered > 0 ? 0 : 1;
+}
+"#;
+    let mut cmds = Vec::new();
+    for i in 0..messages {
+        cmds.push(format!("MAIL user{i}@host{}", i % 7));
+        if exploit && i == messages / 2 {
+            // 34 payload bytes expand to "<"+34+">"+NUL = 37 > rewritten[32],
+            // overrunning into `hops` while staying inside struct Envelope.
+            cmds.push(format!("MAIL {}", "B".repeat(34)));
+        }
+    }
+    Workload::new(
+        if exploit { "sendmail_exploit" } else { "sendmail" },
+        src,
+    )
+    .with_input(commands(&cmds))
+    .with_paper(PaperStats {
+        loc: Some(105_432),
+        pct: Some((65, 34, 0, 1)),
+        ccured_ratio: Some(1.46),
+        valgrind_ratio: Some(122.0),
+    })
+}
+
+/// The bind analogue: a resolver over a zone of `rrtypes` record variants
+/// (a physical-subtype family with checked downcasts), wire-format parsing
+/// through a `__TRUSTED` header cast (the custom-allocator pattern the
+/// paper trusts during the bind port), and label-by-label name hashing.
+pub fn bind_like(queries: u32, rrtypes: u32) -> Workload {
+    let rrtypes = rrtypes.clamp(2, 16);
+    let mut src = String::new();
+    let _ = writeln!(
+        src,
+        "extern long net_recv(char *buf, long cap);\n\
+         extern long net_send(char *buf, long n);\n\
+         extern void *malloc(unsigned long n);\n\
+         extern int sprintf(char *buf, char *fmt, ...);\n\
+         struct Hdr {{ int id; int qcount; }};\n\
+         struct RR {{ int rrtype; int ttl; }};"
+    );
+    for t in 1..=rrtypes {
+        let mut fields = String::from("int rrtype; int ttl;");
+        for i in 1..=t {
+            let _ = write!(fields, " int d{i};");
+        }
+        let _ = writeln!(src, "struct RR{t} {{ {fields} }};");
+    }
+    for t in 1..=rrtypes {
+        let _ = writeln!(
+            src,
+            "int serialize_{t}(struct RR *r) {{\n\
+               /* identity casts through the generic view, as real resolver\n\
+                  code does constantly (the paper's 63% identical casts) */\n\
+               struct RR *g = (struct RR *)r;\n\
+               struct RR{t} *a = (struct RR{t} *)g;\n\
+               struct RR{t} *same = (struct RR{t} *)a;\n\
+               struct RR{t} *view = (struct RR{t} *)same;\n\
+               struct RR{t} *alias = (struct RR{t} *)view;\n\
+               return alias->d1 + a->d{t} + ((struct RR *)r)->ttl;\n\
+             }}"
+        );
+        let mut inits = String::new();
+        for i in 1..=t {
+            let _ = write!(inits, "a->d{i} = {i} * 3; ");
+        }
+        let _ = writeln!(
+            src,
+            "struct RR *mk_rr_{t}(void) {{\n\
+               struct RR{t} *a = (struct RR{t} *)malloc(sizeof(struct RR{t}));\n\
+               a->rrtype = {t}; a->ttl = 300; {inits}\n\
+               return (struct RR *)a;\n\
+             }}"
+        );
+    }
+    // Legacy glue: wire-format views through trusted casts (the paper's
+    // 380-of-530 trusted casts in bind, scaled down proportionally).
+    for t in (1..=rrtypes).step_by(4) {
+        let _ = writeln!(
+            src,
+            "int legacy_peek_{t}(char *wire) {{\n\
+               struct RR{t} *v = (struct RR{t} * __TRUSTED)wire;\n\
+               return v->rrtype;\n\
+             }}"
+        );
+    }
+    // The bulk of a real resolver: per-record helpers full of identity
+    // casts through generic views and upcasts into container interfaces.
+    for t in 1..=rrtypes {
+        for r in 0..4 {
+            let _ = writeln!(
+                src,
+                "int audit_{t}_{r}(struct RR{t} *a) {{\n\
+                   struct RR{t} *x1 = (struct RR{t} *)a;\n\
+                   struct RR{t} *x2 = (struct RR{t} *)x1;\n\
+                   struct RR{t} *x3 = (struct RR{t} *)x2;\n\
+                   struct RR{t} *x4 = (struct RR{t} *)x3;\n\
+                   struct RR{t} *x5 = (struct RR{t} *)x4;\n\
+                   struct RR{t} *x6 = (struct RR{t} *)x5;\n\
+                   struct RR{t} *x7 = (struct RR{t} *)x6;\n\
+                   struct RR{t} *x8 = (struct RR{t} *)x7;\n\
+                   struct RR *u1 = (struct RR *)a;\n\
+                   struct RR *u2 = (struct RR *)x3;\n\
+                   struct RR *u3 = (struct RR *)x6;\n\
+                   void *g1 = (void *)a;\n\
+                   void *g2 = (void *)u1;\n\
+                   return x8->ttl + u2->rrtype + u3->rrtype + (g1 != 0) + (g2 != 0);\n\
+                 }}"
+            );
+        }
+    }
+    let _ = writeln!(
+        src,
+        "int serialize(struct RR *r) {{\n  switch (r->rrtype) {{"
+    );
+    for t in 1..=rrtypes {
+        let _ = writeln!(src, "    case {t}: return serialize_{t}(r);");
+    }
+    let _ = writeln!(src, "    default: return 0;\n  }}\n}}");
+    let _ = writeln!(
+        src,
+        "struct msghdr {{ char *base; long len; }};\n\
+         extern long sendmsg_like(struct msghdr *m);\n\
+         int name_hash(char *q, int len) {{\n\
+           int h = 0;\n\
+           /* several passes model compression-pointer chasing */\n\
+           for (int pass = 0; pass < 8; pass++) {{\n\
+             int label = 0;\n\
+             for (int i = 0; i < len; i++) {{\n\
+               if (q[i] == '.') {{ label++; continue; }}\n\
+               if (q[i] == 0) break;\n\
+               h = (h * 131 + q[i] + label + pass) & 0x7fffffff;\n\
+             }}\n\
+           }}\n\
+           return h;\n\
+         }}\n\
+         int main(void) {{\n\
+           struct RR *zone[{rrtypes}];\n\
+           {ctors}\n\
+           char query[64];\n\
+           char resp[128];\n\
+           long n;\n\
+           int answered = 0;\n\
+           while ((n = net_recv(query, 64)) > 0) {{\n\
+             /* Wire-format header view of the raw packet (trusted cast, as\n\
+                in the paper's bind port). */\n\
+             struct Hdr *h = (struct Hdr * __TRUSTED)query;\n\
+             int id = h->id;\n\
+             int hash = name_hash(query + 8, (int)n - 8);\n\
+             int idx = hash % {rrtypes};\n\
+             if (idx < 0) idx = -idx;\n\
+             int rdata = serialize(zone[idx]) + legacy_peek_1(query);\n\
+             int m = sprintf(resp, \"%x: ans type=%d rdata=%d\\r\\n\", id, zone[idx]->rrtype, rdata);\n\
+             struct msghdr mh;\n\
+             mh.base = resp + 0;\n\
+             mh.len = m;\n\
+             sendmsg_like(&mh);\n\
+             answered++;\n\
+           }}\n\
+           return answered > 0 ? 0 : 1;\n\
+         }}",
+        rrtypes = rrtypes,
+        ctors = (1..=rrtypes)
+            .map(|t| format!("zone[{}] = mk_rr_{t}();", t - 1))
+            .collect::<Vec<_>>()
+            .join("\n           ")
+    );
+    let mut qs = Vec::new();
+    for i in 0..queries {
+        qs.push(format!(
+            "QQQQQQQQwww.host{}.example{}.com",
+            i % 23,
+            i % 5
+        ));
+    }
+    Workload::new("bind", src)
+        .with_input(commands(&qs))
+        .with_paper(PaperStats {
+            loc: Some(336_660),
+            pct: Some((79, 21, 0, 0)),
+            ccured_ratio: Some(1.81),
+            valgrind_ratio: Some(129.0),
+        })
+}
+
+/// The OpenSSL `cast` cipher kernel: byte-pointer Feistel rounds with S-box
+/// lookups — the paper's heaviest CPU ratio (1.87).
+pub fn openssl_cast(blocks: u32) -> Workload {
+    let src = format!(
+        "extern long sim_rand(void);\n\
+         extern void *malloc(unsigned long n);\n\
+         unsigned int sbox[256];\n\
+         void init_sbox(void) {{\n\
+           for (int i = 0; i < 256; i++)\n\
+             sbox[i] = (unsigned int)((i * 2654435761u) ^ (i << 13));\n\
+         }}\n\
+         void encrypt_block(char *blk, unsigned int k0, unsigned int k1) {{\n\
+           /* Feistel-style rounds chained through the byte buffer, as in\n\
+              OpenSSL's block-mode glue (byte-pointer heavy). */\n\
+           for (int round = 0; round < 8; round++) {{\n\
+             char prev = blk[7];\n\
+             for (int i = 0; i < 8; i++) {{\n\
+               unsigned int f = sbox[(unsigned int)(blk[i] ^ prev ^ (char)k0) & 0xff];\n\
+               prev = blk[i];\n\
+               blk[i] = (char)(f ^ (f >> 8) ^ k1);\n\
+             }}\n\
+           }}\n\
+         }}\n\
+         int main(void) {{\n\
+           init_sbox();\n\
+           char *buf = (char *)malloc(8 * {blocks});\n\
+           for (int i = 0; i < 8 * {blocks}; i++) buf[i] = (char)(sim_rand() & 0x7f);\n\
+           for (int b = 0; b < {blocks}; b++) encrypt_block(buf + 8 * b, 0xA5A5A5A5u, 0x5A5A5A5Au);\n\
+           int h = 0;\n\
+           for (int i = 0; i < 8 * {blocks}; i++) h = (h * 31 + buf[i]) & 0x7fffffff;\n\
+           return h >= 0 ? 0 : 1;\n\
+         }}"
+    );
+    Workload::new("openssl_cast", src)
+        .without_wrappers()
+        .with_paper(PaperStats {
+            loc: Some(177_426),
+            pct: Some((67, 27, 0, 6)),
+            ccured_ratio: Some(1.87),
+            valgrind_ratio: Some(48.7),
+        })
+}
+
+/// The OpenSSL `bn` bignum kernel: limb-array multiply/reduce — word
+/// arithmetic with little pointer traffic (paper ratio 1.01).
+pub fn openssl_bn(ops: u32) -> Workload {
+    let src = format!(
+        "extern long sim_rand(void);\n\
+         int main(void) {{\n\
+           unsigned long a[8];\n\
+           unsigned long b[8];\n\
+           unsigned long r[16];\n\
+           for (int i = 0; i < 8; i++) {{\n\
+             a[i] = (unsigned long)sim_rand() | 1;\n\
+             b[i] = (unsigned long)sim_rand() | 1;\n\
+           }}\n\
+           unsigned long acc = 0;\n\
+           for (int op = 0; op < {ops}; op++) {{\n\
+             for (int i = 0; i < 16; i++) r[i] = 0;\n\
+             for (int i = 0; i < 8; i++) {{\n\
+               unsigned long carry = 0;\n\
+               unsigned long ai = a[i];\n\
+               for (int j = 0; j < 8; j++) {{\n\
+                 unsigned long t = ai * b[j] + r[i + j] + carry;\n\
+                 r[i + j] = t & 0xfffffffful;\n\
+                 carry = t >> 32;\n\
+               }}\n\
+               r[i + 8] += carry;\n\
+             }}\n\
+             acc ^= r[7];\n\
+             a[op % 8] = (r[3] | 1);\n\
+           }}\n\
+           return acc != 0 ? 0 : 1;\n\
+         }}"
+    );
+    Workload::new("openssl_bn", src)
+        .without_wrappers()
+        .with_paper(PaperStats {
+            ccured_ratio: Some(1.01),
+            valgrind_ratio: Some(72.0),
+            ..PaperStats::default()
+        })
+}
+
+/// The OpenSSH analogue: a packet layer (length framing, running MAC)
+/// that encrypts payloads with the cipher kernel; `server` answers echo
+/// requests, the client generates them.
+pub fn openssh_like(packets: u32, server: bool) -> Workload {
+    let role = if server { "server" } else { "client" };
+    let src = format!(
+        "extern long net_recv(char *buf, long cap);\n\
+         extern long net_send(char *buf, long n);\n\
+         extern long sim_rand(void);\n\
+         struct msghdr {{ char *base; long len; }};\n\
+         extern long sendmsg_like(struct msghdr *m);\n\
+         unsigned int mac_state;\n\
+         void mac_update(char *buf, int n) {{\n\
+           for (int i = 0; i < n; i++)\n\
+             mac_state = (mac_state * 33 + (unsigned int)(buf[i] & 0xff)) & 0x7fffffffu;\n\
+         }}\n\
+         void xor_crypt(char *buf, int n, unsigned int key) {{\n\
+           for (int i = 0; i < n; i++)\n\
+             buf[i] = (char)(buf[i] ^ (char)((key >> (8 * (i % 4))) & 0x3f));\n\
+         }}\n\
+         int main(void) {{\n\
+           char pkt[64];\n\
+           mac_state = 5381;\n\
+           long n;\n\
+           int handled = 0;\n\
+           while ((n = net_recv(pkt, 64)) > 0) {{\n\
+             xor_crypt(pkt, (int)n, 0x1B2E3C4Du);\n\
+             mac_update(pkt, (int)n);\n\
+             xor_crypt(pkt, (int)n, 0x1B2E3C4Du);\n\
+             struct msghdr mh;\n\
+             mh.base = pkt + 0;\n\
+             mh.len = n;\n\
+             sendmsg_like(&mh);\n\
+             handled++;\n\
+           }}\n\
+           return handled > 0 ? 0 : 1;\n\
+         }}"
+    );
+    let mut pkts = Vec::new();
+    for i in 0..packets {
+        pkts.push(format!("SSH2 {role} packet {i:04} payload {}", i * 37 % 911));
+    }
+    Workload::new(format!("openssh_{role}"), src)
+        .with_input(commands(&pkts))
+        .with_paper(PaperStats {
+            loc: Some(65_250),
+            pct: Some((70, 28, 0, 3)),
+            ccured_ratio: Some(if server { 1.15 } else { 1.22 }),
+            valgrind_ratio: Some(22.1),
+        })
+}
+
+/// The Linux-driver rows of Figure 9: a `pcnet32`-style ring-buffer NIC
+/// driver analogue moving packets through DMA-style descriptor rings.
+pub fn pcnet32(packets: u32) -> Workload {
+    let src = r#"
+extern long net_recv(char *buf, long cap);
+extern long net_send(char *buf, long n);
+
+struct Desc {
+    char data[64];
+    int len;
+    int owned;
+};
+
+int main(void) {
+    struct Desc ring[8];
+    for (int i = 0; i < 8; i++) { ring[i].owned = 0; ring[i].len = 0; }
+    int head = 0;
+    long n;
+    int moved = 0;
+    while ((n = net_recv(ring[head].data, 64)) > 0) {
+        ring[head].len = (int)n;
+        ring[head].owned = 1;
+        /* "interrupt handler": drain owned descriptors */
+        for (int i = 0; i < 8; i++) {
+            if (ring[i].owned) {
+                net_send(ring[i].data, ring[i].len);
+                ring[i].owned = 0;
+                moved++;
+            }
+        }
+        head = (head + 1) % 8;
+    }
+    return moved > 0 ? 0 : 1;
+}
+"#;
+    let mut pkts = Vec::new();
+    for i in 0..packets {
+        pkts.push(format!("frame {i} {}", "ab".repeat((i as usize % 8) + 4)));
+    }
+    Workload::new("pcnet32", src)
+        .with_input(commands(&pkts))
+        .with_paper(PaperStats {
+            loc: Some(1661),
+            pct: Some((92, 8, 0, 0)),
+            ccured_ratio: Some(0.99),
+            valgrind_ratio: None,
+        })
+}
+
+/// The `sbull` ramdisk block-driver analogue: sector reads/writes over a
+/// byte store.
+pub fn sbull(ops: u32) -> Workload {
+    let src = format!(
+        "extern void *malloc(unsigned long n);\n\
+         extern long sim_rand(void);\n\
+         extern void sim_io(long units);\n\
+         int main(void) {{\n\
+           char *disk = (char *)malloc(64 * 16);\n\
+           for (int i = 0; i < 64 * 16; i++) disk[i] = 0;\n\
+           char sector[16];\n\
+           int h = 0;\n\
+           for (int op = 0; op < {ops}; op++) {{\n\
+             int s = (int)(sim_rand() % 64);\n\
+             if (op % 2 == 0) {{\n\
+               for (int i = 0; i < 16; i++) sector[i] = (char)((op + i) & 0x7f);\n\
+               for (int i = 0; i < 16; i++) disk[s * 16 + i] = sector[i];\n\
+             }} else {{\n\
+               for (int i = 0; i < 16; i++) sector[i] = disk[s * 16 + i];\n\
+               for (int i = 0; i < 16; i++) h = (h * 31 + sector[i]) & 0x7fffffff;\n\
+             }}\n\
+             sim_io(1);\n\
+           }}\n\
+           return h >= 0 ? 0 : 1;\n\
+         }}"
+    );
+    Workload::new("sbull", src)
+        .without_wrappers()
+        .with_paper(PaperStats {
+            loc: Some(1013),
+            pct: Some((85, 15, 0, 0)),
+            ccured_ratio: Some(1.00),
+            valgrind_ratio: None,
+        })
+}
+
+/// The paper's "ssh client without curing the OpenSSL library"
+/// experiment: the client is cured, the SSL library is not; its interface
+/// passes structures with nested pointers in both directions, handled by
+/// the compatible SPLIT representation instead of wrappers.
+pub fn ssh_client_uncured_ssl(packets: u32) -> Workload {
+    let src = r#"
+extern long net_recv(char *buf, long cap);
+extern long net_send(char *buf, long n);
+
+/* The uncured library's own structures (native C layout). */
+struct sslbuf { char *data; long len; };
+struct ssl { struct sslbuf *in; struct sslbuf *out; int state; };
+extern struct ssl *SSL_new(void);
+extern long SSL_write(struct ssl *s, char *buf, long n);
+extern long SSL_read(struct ssl *s, char *buf, long cap);
+
+int main(void) {
+    struct ssl *s = SSL_new();
+    if (s == 0) return 1;
+    char pkt[64];
+    char clear[64];
+    long n;
+    int exchanged = 0;
+    while ((n = net_recv(pkt, 64)) > 0) {
+        SSL_write(s, pkt, n);
+        /* Peek directly into the library's buffer chain: the cured client
+           walks ssl -> out -> data without deep copies (SPLIT types). */
+        if (s->out->len != n) return 2;
+        if (s->out->data[0] == pkt[0]) return 3; /* must be ciphered */
+        long m = SSL_read(s, clear, 64);
+        if (m != n) return 4;
+        for (long i = 0; i < m; i++)
+            if (clear[i] != pkt[i]) return 5;
+        net_send(clear, m);
+        exchanged++;
+    }
+    return exchanged > 0 ? 0 : 1;
+}
+"#;
+    let mut pkts = Vec::new();
+    for i in 0..packets {
+        pkts.push(format!("handshake {i} payload {:04}", i * 31 % 7919));
+    }
+    Workload::new("ssh_uncured_ssl", src)
+        .with_input(commands(&pkts))
+        .with_paper(PaperStats {
+            ccured_ratio: None,
+            valgrind_ratio: None,
+            loc: None,
+            pct: None,
+        })
+}
+
+/// The Figure 9 corpus at bench scale.
+pub fn figure9_corpus() -> Vec<Workload> {
+    vec![
+        pcnet32(40),
+        sbull(60),
+        ftpd(10, false),
+        openssl_cast(40),
+        openssl_bn(30),
+        openssh_like(40, false),
+        openssh_like(40, true),
+        sendmail_like(30, false),
+        bind_like(40, 12),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use ccured_infer::InferOptions;
+
+    fn roundtrip(w: &Workload) {
+        let o = runner::run_original(w).expect("frontend");
+        assert!(o.ok(), "{}: original failed: {:?}", w.name, o.error);
+        assert_eq!(o.exit, w.expect_exit, "{}", w.name);
+        let c = runner::run_cured(w, &InferOptions::default())
+            .unwrap_or_else(|e| panic!("{}: cure failed: {e}", w.name));
+        assert!(c.stats.ok(), "{}: cured failed: {:?}", w.name, c.stats.error);
+        assert_eq!(c.stats.exit, w.expect_exit, "{}", w.name);
+        assert_eq!(o.output, c.stats.output, "{}: outputs differ", w.name);
+    }
+
+    #[test]
+    fn ftpd_benign_roundtrips() {
+        roundtrip(&ftpd(3, false));
+    }
+
+    #[test]
+    fn ftpd_exploit_flips_admin_in_original_but_not_cured() {
+        let w = ftpd(3, true);
+        // Original: the overflow silently grants admin (exit 42).
+        let o = runner::run_original(&w).expect("frontend");
+        assert!(o.ok(), "original must run to completion: {:?}", o.error);
+        assert_eq!(o.exit, 42, "the exploit silently succeeds in plain C");
+        // Cured: the wrapper bounds check stops the overflow.
+        let c = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+        let e = c.stats.error.expect("cured must stop the exploit");
+        assert!(e.is_check_failure(), "stopped by a CCured check: {e}");
+    }
+
+    #[test]
+    fn sendmail_benign_roundtrips() {
+        roundtrip(&sendmail_like(4, false));
+    }
+
+    #[test]
+    fn sendmail_exploit_caught_when_cured() {
+        let w = sendmail_like(4, true);
+        let c = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+        let e = c.stats.error.expect("cured must stop the header overflow");
+        assert!(e.is_check_failure(), "{e}");
+    }
+
+    #[test]
+    fn bind_roundtrips_with_trusted_cast() {
+        let w = bind_like(5, 6);
+        roundtrip(&w);
+        let c = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+        // Trusted wire casts: the header view plus one legacy peek per four
+        // record types (rrtypes=6 -> t in {1, 5}).
+        assert_eq!(c.cured.report.trusted_casts, 3);
+        assert!(c.cured.report.census.downcast >= 6);
+        assert!(c.cured.report.census.identical >= 6 * 4, "identity casts counted");
+        assert_eq!(c.cured.report.kind_counts.wild, 0);
+    }
+
+    #[test]
+    fn openssl_kernels_roundtrip() {
+        roundtrip(&openssl_cast(6));
+        roundtrip(&openssl_bn(4));
+    }
+
+    #[test]
+    fn openssh_roundtrips() {
+        roundtrip(&openssh_like(4, true));
+        roundtrip(&openssh_like(4, false));
+    }
+
+    #[test]
+    fn ssh_uncured_ssl_walks_library_structures() {
+        let w = ssh_client_uncured_ssl(4);
+        let o = runner::run_original(&w).expect("frontend");
+        assert!(o.ok(), "original failed: {:?}", o.error);
+        assert_eq!(o.exit, 0);
+        let opts = InferOptions {
+            split_at_boundaries: true,
+            ..InferOptions::default()
+        };
+        let c = runner::run_cured(&w, &opts).expect("cure");
+        assert!(c.stats.ok(), "cured failed: {:?}", c.stats.error);
+        assert_eq!(c.stats.exit, 0);
+        assert_eq!(o.output, c.stats.output);
+        // The boundary seeds a small number of split qualifiers (the
+        // paper's "only 3% of pointers had split types").
+        assert!(c.cured.solution.split_count() > 0, "split types in use");
+        assert!(c.stats.counters.meta_ops > 0, "metadata maintained at the boundary");
+    }
+
+    #[test]
+    fn drivers_roundtrip() {
+        roundtrip(&pcnet32(4));
+        roundtrip(&sbull(6));
+    }
+}

@@ -1,0 +1,160 @@
+//! Olden-style linked-structure workloads: `em3d` (electromagnetic wave
+//! propagation over irregular node graphs — the pointer-store-heavy outlier
+//! of the paper's split-overhead experiment, +58%) and `treeadd`.
+
+use crate::{PaperStats, Workload};
+
+/// `em3d`: two node lists (E and H fields); each node's value is updated
+/// from a list of pointers into the other list. Dominated by loads and
+/// stores of pointers — the worst case for SPLIT metadata upkeep.
+pub fn em3d(nodes: u32, degree: u32, iters: u32) -> Workload {
+    let src = format!(
+        "extern void *malloc(unsigned long n);\n\
+         extern long sim_rand(void);\n\
+         struct Node {{\n\
+           double value;\n\
+           struct Node **from;\n\
+           double *coeffs;\n\
+           int degree;\n\
+           struct Node *next;\n\
+         }};\n\
+         struct Node *build_list(int n, int degree) {{\n\
+           struct Node *head = 0;\n\
+           for (int i = 0; i < n; i++) {{\n\
+             struct Node *node = (struct Node *)malloc(sizeof(struct Node));\n\
+             node->value = (double)(i + 1);\n\
+             node->degree = degree;\n\
+             node->from = (struct Node **)malloc(degree * sizeof(struct Node *));\n\
+             node->coeffs = (double *)malloc(degree * sizeof(double));\n\
+             for (int d = 0; d < degree; d++) {{\n\
+               node->from[d] = 0;\n\
+               node->coeffs[d] = 0.5;\n\
+             }}\n\
+             node->next = head;\n\
+             head = node;\n\
+           }}\n\
+           return head;\n\
+         }}\n\
+         void wire(struct Node *dst, struct Node *src_list, int n) {{\n\
+           for (struct Node *d = dst; d != 0; d = d->next) {{\n\
+             for (int i = 0; i < d->degree; i++) {{\n\
+               int hop = (int)(sim_rand() % n);\n\
+               struct Node *s = src_list;\n\
+               for (int j = 0; j < hop && s->next != 0; j++) s = s->next;\n\
+               d->from[i] = s;\n\
+             }}\n\
+           }}\n\
+         }}\n\
+         void propagate(struct Node *list) {{\n\
+           for (struct Node *n = list; n != 0; n = n->next) {{\n\
+             double acc = n->value;\n\
+             for (int i = 0; i < n->degree; i++)\n\
+               acc = acc - n->coeffs[i] * n->from[i]->value;\n\
+             n->value = acc;\n\
+           }}\n\
+         }}\n\
+         int main(void) {{\n\
+           struct Node *e = build_list({nodes}, {degree});\n\
+           struct Node *h = build_list({nodes}, {degree});\n\
+           wire(e, h, {nodes});\n\
+           wire(h, e, {nodes});\n\
+           for (int it = 0; it < {iters}; it++) {{\n\
+             propagate(e);\n\
+             propagate(h);\n\
+           }}\n\
+           double total = 0.0;\n\
+           for (struct Node *n = e; n != 0; n = n->next) total = total + n->value;\n\
+           return total == 0.0 ? 1 : 0;\n\
+         }}"
+    );
+    Workload::new("em3d", src)
+        .without_wrappers()
+        .with_paper(PaperStats {
+            ccured_ratio: Some(1.58),
+            ..PaperStats::default()
+        })
+}
+
+/// `treeadd`: builds a binary tree on the heap and sums it recursively.
+pub fn treeadd(depth: u32) -> Workload {
+    let src = format!(
+        "extern void *malloc(unsigned long n);\n\
+         struct Tree {{\n\
+           int value;\n\
+           struct Tree *left;\n\
+           struct Tree *right;\n\
+         }};\n\
+         struct Tree *build(int depth) {{\n\
+           struct Tree *t = (struct Tree *)malloc(sizeof(struct Tree));\n\
+           t->value = 1;\n\
+           if (depth <= 1) {{\n\
+             t->left = 0;\n\
+             t->right = 0;\n\
+           }} else {{\n\
+             t->left = build(depth - 1);\n\
+             t->right = build(depth - 1);\n\
+           }}\n\
+           return t;\n\
+         }}\n\
+         int add(struct Tree *t) {{\n\
+           if (t == 0) return 0;\n\
+           return t->value + add(t->left) + add(t->right);\n\
+         }}\n\
+         int main(void) {{\n\
+           struct Tree *t = build({depth});\n\
+           int total = add(t);\n\
+           int expect = (1 << {depth}) - 1;\n\
+           return total == expect ? 0 : 1;\n\
+         }}"
+    );
+    Workload::new("treeadd", src).without_wrappers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use ccured_infer::InferOptions;
+
+    #[test]
+    fn em3d_runs_both_modes() {
+        let w = em3d(12, 3, 3);
+        let o = runner::run_original(&w).expect("frontend");
+        assert!(o.ok(), "{:?}", o.error);
+        assert_eq!(o.exit, 0);
+        let c = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+        assert!(c.stats.ok(), "{:?}", c.stats.error);
+        assert_eq!(c.stats.exit, 0);
+        assert_eq!(c.cured.report.kind_counts.wild, 0);
+    }
+
+    #[test]
+    fn em3d_split_everything_pays_meta_ops() {
+        let w = em3d(12, 3, 3);
+        let plain = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+        let split = runner::run_cured(
+            &w,
+            &InferOptions {
+                split_everything: true,
+                ..InferOptions::default()
+            },
+        )
+        .expect("cure");
+        assert_eq!(plain.stats.counters.meta_ops, 0);
+        assert!(
+            split.stats.counters.meta_ops > 100,
+            "pointer-heavy em3d pays heavy metadata upkeep: {}",
+            split.stats.counters.meta_ops
+        );
+    }
+
+    #[test]
+    fn treeadd_runs() {
+        let w = treeadd(6);
+        let o = runner::run_original(&w).expect("frontend");
+        assert!(o.ok(), "{:?}", o.error);
+        assert_eq!(o.exit, 0);
+        let c = runner::run_cured(&w, &InferOptions::default()).expect("cure");
+        assert_eq!(c.stats.exit, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's security story, live: the ftpd `replydirname` buffer
+//! overflow. In plain C the oversized path silently overruns `cwd[24]` into
+//! the adjacent `is_admin` flag — privilege escalation with no crash. Under
+//! CCured, the `strcpy` wrapper's bounds check stops the attack cold.
+//!
+//! ```sh
+//! cargo run -p ccured-examples --bin ftpd_overflow
+//! ```
+
+use ccured_infer::InferOptions;
+use ccured_workloads::daemons;
+use ccured_workloads::runner;
+
+fn main() {
+    let benign = daemons::ftpd(2, false);
+    let exploit = daemons::ftpd(2, true);
+
+    println!("== benign session ==");
+    let o = runner::run_original(&benign).expect("frontend");
+    println!("plain C: exit {} ({} bytes of replies)", o.exit, o.output.len());
+    let c = runner::run_cured(&benign, &InferOptions::default()).expect("cure");
+    println!("cured:   exit {} — outputs identical: {}", c.stats.exit, o.output == c.stats.output);
+
+    println!("\n== exploit session (oversized CWD path) ==");
+    let o = runner::run_original(&exploit).expect("frontend");
+    match o.exit {
+        42 => println!("plain C: EXPLOITED — overflow silently set is_admin (exit 42)"),
+        other => println!("plain C: exit {other}"),
+    }
+    let reply = String::from_utf8_lossy(&o.output);
+    if let Some(line) = reply.lines().find(|l| l.contains("ADMIN")) {
+        println!("plain C reply shows the escalation: {line:?}");
+    }
+
+    let c = runner::run_cured(&exploit, &InferOptions::default()).expect("cure");
+    match c.stats.error {
+        Some(e) if e.is_check_failure() => {
+            println!("cured:   PREVENTED — {e}");
+        }
+        Some(e) => println!("cured:   failed differently: {e}"),
+        None => println!("cured:   exit {} (?!)", c.stats.exit),
+    }
+}

@@ -1,0 +1,74 @@
+//! Library wrappers (paper Section 4.1): the program calls `strcpy` and
+//! `strchr`; CCured routes the calls through checked wrappers that strip
+//! and rebuild fat pointers at the library boundary. The link audit shows
+//! what would happen without them.
+//!
+//! ```sh
+//! cargo run -p ccured-examples --bin wrapper_demo
+//! ```
+
+use ccured::Curer;
+use ccured_rt::{ExecMode, Interp};
+
+const PROGRAM: &str = r#"
+extern int printf(char *fmt, ...);
+
+int main(void) {
+    char path[32];
+    strcpy(path, "/usr/local/bin");
+    char *slash = strchr(path + 1, '/');
+    if (slash == 0) return 1;
+    /* The pointer returned by the wrapper carries the buffer's bounds,
+       so this write is checked against `path`, not blindly trusted. */
+    slash[1] = 'X';
+    printf("%s\n", path);
+    return 0;
+}
+"#;
+
+fn main() {
+    // Without wrappers, the strict link audit refuses the program: its
+    // pointers are fat (SEQ) and the raw library cannot receive them.
+    let bare = format!(
+        "extern char *strcpy(char *d, char *s);\n\
+         extern char *strchr(char *s, int c);\n{PROGRAM}"
+    );
+    match Curer::new().strict_link(true).cure_source(&bare) {
+        Err(e) => println!("without wrappers the link audit rejects it:\n{e}"),
+        Ok(_) => println!("unexpectedly linked"),
+    }
+
+    // With the stdlib wrappers it links, runs, and is checked.
+    let cured = Curer::new()
+        .strict_link(true)
+        .with_stdlib_wrappers()
+        .cure_source(PROGRAM)
+        .expect("wrapped program links");
+    println!(
+        "\nwith wrappers: {} applied ({} casts trusted)",
+        cured.report.wrappers_applied.len(),
+        cured.report.trusted_casts
+    );
+    let mut interp = Interp::new(&cured.program, ExecMode::cured(&cured));
+    let exit = interp.run().expect("run");
+    print!("{}", String::from_utf8_lossy(interp.output()));
+    println!("exit = {exit}");
+
+    // And the reason the wrappers exist: an overflowing strcpy is caught.
+    let overflow = r#"
+int main(void) {
+    char small[4];
+    strcpy(small, "far too long for four bytes");
+    return 0;
+}
+"#;
+    let cured = Curer::new()
+        .with_stdlib_wrappers()
+        .cure_source(overflow)
+        .expect("cure");
+    let mut interp = Interp::new(&cured.program, ExecMode::cured(&cured));
+    match interp.run() {
+        Err(e) => println!("\noverflowing strcpy: {e}"),
+        Ok(x) => println!("\noverflowing strcpy unexpectedly exited {x}"),
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests for the physical type algebra (paper Section 3.1) and
+//! its agreement with the RTTI hierarchy (Section 3.2).
+
+use ccured::Hierarchy;
+use ccured_cil::phys::PhysCtx;
+use ccured_cil::types::TypeId;
+use proptest::prelude::*;
+
+/// A tiny generator of C type declarations: builds a program declaring a
+/// family of struct types plus pointers to them, from a recipe of field
+/// lists. Each recipe entry is a sequence of field codes:
+/// 0=int, 1=long, 2=double, 3=char, 4=ptr-to-int.
+fn program_from_recipes(recipes: &[Vec<u8>]) -> String {
+    let mut src = String::new();
+    for (i, fields) in recipes.iter().enumerate() {
+        let mut body = String::new();
+        for (j, f) in fields.iter().enumerate() {
+            let field = match f % 5 {
+                0 => format!("int f{j};"),
+                1 => format!("long f{j};"),
+                2 => format!("double f{j};"),
+                3 => format!("char f{j};"),
+                _ => format!("int *f{j};"),
+            };
+            body.push_str(&field);
+            body.push(' ');
+        }
+        if fields.is_empty() {
+            body.push_str("int f0;");
+        }
+        src.push_str(&format!("struct S{i} {{ {body} }};\n"));
+        src.push_str(&format!("struct S{i} *p{i};\n"));
+    }
+    src
+}
+
+fn pointees(src: &str) -> (ccured_cil::Program, Vec<TypeId>) {
+    let tu = ccured_ast::parse_translation_unit(src).expect("parse");
+    let prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
+    let ts: Vec<TypeId> = prog
+        .globals
+        .iter()
+        .filter_map(|g| prog.types.ptr_parts(g.ty).map(|(b, _)| b))
+        .collect();
+    (prog, ts)
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..5, 1..6), 2..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn phys_eq_is_reflexive_and_symmetric(recipes in recipe_strategy()) {
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ts {
+            prop_assert!(ctx.phys_eq(a, a), "reflexivity");
+            for &b in &ts {
+                prop_assert_eq!(ctx.phys_eq(a, b), ctx.phys_eq(b, a), "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn phys_eq_is_transitive(recipes in recipe_strategy()) {
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ts {
+            for &b in &ts {
+                for &c in &ts {
+                    if ctx.phys_eq(a, b) && ctx.phys_eq(b, c) {
+                        prop_assert!(ctx.phys_eq(a, c), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_is_reflexive_and_transitive(recipes in recipe_strategy()) {
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ts {
+            prop_assert!(ctx.is_prefix_of(a, a), "prefix reflexivity");
+            for &b in &ts {
+                for &c in &ts {
+                    if ctx.is_prefix_of(a, b) && ctx.is_prefix_of(b, c) {
+                        prop_assert!(ctx.is_prefix_of(a, c), "prefix transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_antisymmetry_up_to_phys_eq(recipes in recipe_strategy()) {
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ts {
+            for &b in &ts {
+                if ctx.is_prefix_of(a, b) && ctx.is_prefix_of(b, a) {
+                    prop_assert!(ctx.phys_eq(a, b), "mutual prefixes are physically equal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_implies_size_ordering(recipes in recipe_strategy()) {
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ts {
+            for &b in &ts {
+                if ctx.is_prefix_of(a, b) {
+                    let sa = prog.types.size_of(a).unwrap_or(0);
+                    let sb = prog.types.size_of(b).unwrap_or(0);
+                    prop_assert!(sa <= sb, "a prefix is never larger");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_agrees_with_prefix(recipes in recipe_strategy()) {
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        let hier = Hierarchy::build(&prog);
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ts {
+            for &b in &ts {
+                let (na, nb) = match (hier.node_of(&prog, a), hier.node_of(&prog, b)) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => continue,
+                };
+                let walk = hier.is_subtype_walk(na, nb).0;
+                let interval = hier.is_subtype_interval(na, nb);
+                prop_assert_eq!(walk, interval, "the two encodings agree");
+                if walk {
+                    prop_assert!(
+                        ctx.is_prefix_of(b, a),
+                        "isSubtype(a, b) implies b is a physical prefix of a"
+                    );
+                }
+                // The converse within the registered node set.
+                if ctx.is_prefix_of(b, a) {
+                    prop_assert!(
+                        walk,
+                        "prefix relation must be reflected in the hierarchy"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seq_cast_ok_is_symmetric_for_equal_tiles(recipes in recipe_strategy()) {
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ts {
+            prop_assert!(ctx.seq_cast_ok(a, a), "seq tiling is reflexive");
+            for &b in &ts {
+                prop_assert_eq!(
+                    ctx.seq_cast_ok(a, b),
+                    ctx.seq_cast_ok(b, a),
+                    "seq tiling is symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_exclusive(recipes in recipe_strategy()) {
+        use ccured_cil::phys::CastClass;
+        let src = program_from_recipes(&recipes);
+        let (prog, ts) = pointees(&src);
+        // classify the pointer types, not the pointees.
+        let ptrs: Vec<TypeId> = prog
+            .globals
+            .iter()
+            .map(|g| g.ty)
+            .collect();
+        let mut ctx = PhysCtx::new(&prog.types);
+        for &a in &ptrs {
+            for &b in &ptrs {
+                let class = ctx.classify_cast(a, b);
+                let (pa, pb) = (
+                    prog.types.ptr_parts(a).unwrap().0,
+                    prog.types.ptr_parts(b).unwrap().0,
+                );
+                match class {
+                    CastClass::Identical => prop_assert!(ctx.phys_eq(pa, pb)),
+                    CastClass::Upcast => {
+                        prop_assert!(ctx.is_prefix_of(pb, pa) && !ctx.phys_eq(pa, pb))
+                    }
+                    CastClass::Downcast => {
+                        prop_assert!(ctx.is_prefix_of(pa, pb) && !ctx.phys_eq(pa, pb))
+                    }
+                    CastClass::Bad => {
+                        prop_assert!(!ctx.is_prefix_of(pa, pb) && !ctx.is_prefix_of(pb, pa))
+                    }
+                    other => prop_assert!(false, "pointer cast classified {other:?}"),
+                }
+            }
+        }
+        let _ = ts;
+    }
+}

@@ -1,0 +1,39 @@
+//! Large-scale stress runs, excluded from the default test pass
+//! (`make stress` / `cargo test --release --test stress -- --ignored`).
+
+use ccured_infer::InferOptions;
+use ccured_workloads::{daemons, olden, runner, spec};
+
+#[test]
+#[ignore = "large-scale run; use `make stress`"]
+fn ijpeg_full_scale() {
+    let w = spec::ijpeg_oo(40, 200);
+    let r = runner::measure(&w, &InferOptions::default()).expect("measure");
+    assert!(r.ccured >= 1.0 && r.ccured < 2.5, "ratio {}", r.ccured);
+}
+
+#[test]
+#[ignore = "large-scale run; use `make stress`"]
+fn bind_full_scale() {
+    let w = daemons::bind_like(500, 16);
+    let r = runner::measure(&w, &InferOptions::default()).expect("measure");
+    assert!(r.ccured >= 1.0 && r.ccured < 2.5, "ratio {}", r.ccured);
+}
+
+#[test]
+#[ignore = "large-scale run; use `make stress`"]
+fn em3d_full_scale() {
+    let w = olden::em3d(400, 10, 60);
+    let base = runner::run_original(&w).expect("frontend");
+    assert!(base.ok(), "{:?}", base.error);
+    let split = runner::run_cured(
+        &w,
+        &InferOptions {
+            split_everything: true,
+            ..InferOptions::default()
+        },
+    )
+    .expect("cure");
+    assert!(split.stats.ok(), "{:?}", split.stats.error);
+    assert!(split.stats.counters.meta_ops > 10_000);
+}
