@@ -1,11 +1,20 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test tables bench doc examples stress clean
+.PHONY: all test lint tables bench doc examples smoke stress clean
 
 all: test
 
 test:
 	cargo test --workspace
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+	cargo fmt --check
+
+# Quick sanity pass: cure + explain the example C sources via the CLI.
+smoke:
+	cargo run -q -p ccured-cli --bin ccured -- examples/c/quickstart.c --report --run
+	cargo run -q -p ccured-cli --bin ccured -- explain examples/c/bad_cast.c
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 tables:

@@ -1,0 +1,179 @@
+//! A generic intraprocedural forward-dataflow framework.
+//!
+//! Facts live on a meet-semilattice ([`Lattice`]); an [`Analysis`] supplies
+//! the entry fact and a per-instruction transfer function; [`forward`] runs
+//! a worklist to fixpoint over a [`Cfg`] and returns the fact at entry to
+//! every block. Unreachable blocks get `None` (the implicit top element), so
+//! must-analyses stay precise on the reachable portion without a special
+//! "unreachable" value inside every fact type.
+
+use crate::cfg::{BlockId, Cfg, InstrId};
+use ccured_cil::ir::Instr;
+use std::collections::VecDeque;
+
+/// A meet-semilattice of dataflow facts.
+///
+/// For a must-analysis the meet is set intersection: a fact survives a join
+/// point only when it holds on every incoming path. `meet` must be
+/// commutative, associative, and idempotent, and the lattice must have no
+/// infinite descending chains reachable from the facts a program generates
+/// (all our facts are finite sets drawn from the program text).
+pub trait Lattice: Clone + PartialEq {
+    /// Greatest lower bound of two facts.
+    fn meet(&self, other: &Self) -> Self;
+}
+
+/// A forward dataflow analysis: an entry fact plus a transfer function.
+pub trait Analysis {
+    /// The fact type.
+    type Fact: Lattice;
+
+    /// The fact holding at function entry.
+    fn entry_fact(&self) -> Self::Fact;
+
+    /// Transforms `fact` (the state *before* `instr`) into the state after.
+    fn transfer(&mut self, id: InstrId, instr: &Instr, fact: &mut Self::Fact);
+}
+
+/// Runs `analysis` forward over `cfg` to fixpoint.
+///
+/// Returns the fact at the *entry* of each block; `None` means the block is
+/// unreachable from the function entry. To obtain the state at a particular
+/// instruction, re-apply the transfer function from the block entry (see
+/// [`crate::elim`] for the pattern).
+pub fn forward<A: Analysis>(cfg: &Cfg, analysis: &mut A) -> Vec<Option<A::Fact>> {
+    let n = cfg.blocks.len();
+    let mut entry: Vec<Option<A::Fact>> = vec![None; n];
+    entry[cfg.entry.idx()] = Some(analysis.entry_fact());
+
+    let mut queue: VecDeque<BlockId> = VecDeque::new();
+    let mut queued = vec![false; n];
+    queue.push_back(cfg.entry);
+    queued[cfg.entry.idx()] = true;
+
+    while let Some(b) = queue.pop_front() {
+        queued[b.idx()] = false;
+        let Some(mut fact) = entry[b.idx()].clone() else {
+            continue;
+        };
+        for (id, instr) in &cfg.blocks[b.idx()].instrs {
+            analysis.transfer(*id, instr, &mut fact);
+        }
+        for &s in &cfg.blocks[b.idx()].succs {
+            let merged = match &entry[s.idx()] {
+                None => fact.clone(),
+                Some(old) => old.meet(&fact),
+            };
+            if entry[s.idx()].as_ref() != Some(&merged) {
+                entry[s.idx()] = Some(merged);
+                if !queued[s.idx()] {
+                    queue.push_back(s);
+                    queued[s.idx()] = true;
+                }
+            }
+        }
+    }
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use ccured_cil::ir::{Instr, LvBase};
+    use std::collections::BTreeSet;
+
+    /// A toy must-analysis: the set of locals assigned on *every* path.
+    #[derive(Default)]
+    struct MustAssigned;
+
+    #[derive(Clone, PartialEq, Eq, Debug, Default)]
+    struct Assigned(BTreeSet<u32>);
+
+    impl Lattice for Assigned {
+        fn meet(&self, other: &Self) -> Self {
+            Assigned(self.0.intersection(&other.0).cloned().collect())
+        }
+    }
+
+    impl Analysis for MustAssigned {
+        type Fact = Assigned;
+
+        fn entry_fact(&self) -> Assigned {
+            Assigned::default()
+        }
+
+        fn transfer(&mut self, _id: InstrId, instr: &Instr, fact: &mut Assigned) {
+            if let Instr::Set(lv, _, _) = instr {
+                if lv.offsets.is_empty() {
+                    if let LvBase::Local(l) = &lv.base {
+                        fact.0.insert(l.0);
+                    }
+                }
+            }
+        }
+    }
+
+    fn cfg_of(src: &str) -> Cfg {
+        let tu = ccured_ast::parse_translation_unit(src).expect("parse");
+        let prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
+        Cfg::build(&prog.functions[0])
+    }
+
+    /// Collects the fixpoint fact at every reachable block exit.
+    fn exits(src: &str) -> Vec<Assigned> {
+        let cfg = cfg_of(src);
+        let mut a = MustAssigned;
+        let entries = forward(&cfg, &mut a);
+        cfg.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let mut f = entries[i].clone()?;
+                for (id, instr) in &b.instrs {
+                    a.transfer(*id, instr, &mut f);
+                }
+                Some(f)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_arms_must_assign() {
+        // x is assigned on both paths, y only on one: at the join, the
+        // must-set contains x's slot but not y's.
+        let outs = exits(
+            "int main(void) { int c; int x; int y; c = 1;\n\
+             if (c) { x = 1; y = 1; } else { x = 2; }\n\
+             return x; }",
+        );
+        // The largest exit set on a path through the then-branch holds both;
+        // some reachable block (the join) holds x but must have dropped y.
+        let max = outs.iter().map(|a| a.0.len()).max().unwrap();
+        assert!(max >= 3, "then-branch sees c, x, y");
+        let has_intersected = outs.iter().any(|a| a.0.len() == 2);
+        assert!(has_intersected, "join intersects away the one-armed y");
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint() {
+        let outs = exits(
+            "int main(void) { int i; i = 0;\n\
+             while (i < 10) { i = i + 1; }\n\
+             return i; }",
+        );
+        assert!(!outs.is_empty());
+        // Every reachable exit fact contains i (slot of the only local that
+        // is assigned before and inside the loop).
+        assert!(outs.iter().all(|a| !a.0.is_empty()));
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_none() {
+        let cfg = cfg_of("int main(void) { int x; x = 0; goto done; x = 1; done: return x; }");
+        let mut a = MustAssigned;
+        let entries = forward(&cfg, &mut a);
+        let unreachable = entries.iter().filter(|e| e.is_none()).count();
+        assert!(unreachable >= 1, "the dead store block is never reached");
+    }
+}

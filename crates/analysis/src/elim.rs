@@ -1,0 +1,951 @@
+//! Redundant-check elimination (dataflow client) and the static failure
+//! detector.
+//!
+//! A must-analysis tracks, per scalar pointer variable, what the checks that
+//! already executed have established: non-nullness, verified SEQ/WILD
+//! bounds (valid while the pointer is unmoved), verified WILD tags, and
+//! verified RTTI downcast targets. A [`Check`](ccured_cil::ir::Check) whose
+//! fact already holds on every path is deleted — the run-time cost counters
+//! drop, the verdict never changes, because a passing check is a pure
+//! verification (the fat-pointer conversions happen at cast evaluation, not
+//! in the check).
+//!
+//! The same facts power the static failure detector: a check that provably
+//! *always* fails (constant out-of-bounds index, dereference of a pointer
+//! that is null on every path) is reported as a compile-time diagnostic.
+//! The check itself is kept so the run-time behaviour is unchanged.
+
+use crate::cfg::{for_each_instr_mut, Cfg, InstrId};
+use crate::dataflow::{forward, Analysis, Lattice};
+use ccured_ast::Span;
+use ccured_cil::ir::*;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// How many checks of each kind the optimizer deleted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElisionStats {
+    /// Elided null checks.
+    pub null: u64,
+    /// Elided SEQ bounds checks.
+    pub seq_bounds: u64,
+    /// Elided SEQ-to-SAFE conversion checks.
+    pub seq_to_safe: u64,
+    /// Elided WILD bounds checks.
+    pub wild_bounds: u64,
+    /// Elided WILD tag checks.
+    pub wild_tag: u64,
+    /// Elided RTTI downcast checks.
+    pub rtti: u64,
+    /// Elided constant-index bounds checks.
+    pub index_bound: u64,
+}
+
+impl ElisionStats {
+    /// Total number of deleted checks.
+    pub fn total(&self) -> u64 {
+        self.null
+            + self.seq_bounds
+            + self.seq_to_safe
+            + self.wild_bounds
+            + self.wild_tag
+            + self.rtti
+            + self.index_bound
+    }
+
+    /// Accumulates another function's stats.
+    pub fn add(&mut self, o: &ElisionStats) {
+        self.null += o.null;
+        self.seq_bounds += o.seq_bounds;
+        self.seq_to_safe += o.seq_to_safe;
+        self.wild_bounds += o.wild_bounds;
+        self.wild_tag += o.wild_tag;
+        self.rtti += o.rtti;
+        self.index_bound += o.index_bound;
+    }
+
+    fn bump(&mut self, c: &Check) {
+        match c {
+            Check::Null { .. } => self.null += 1,
+            Check::SeqBounds { .. } => self.seq_bounds += 1,
+            Check::SeqToSafe { .. } => self.seq_to_safe += 1,
+            Check::WildBounds { .. } => self.wild_bounds += 1,
+            Check::WildTag { .. } => self.wild_tag += 1,
+            Check::Rtti { .. } => self.rtti += 1,
+            Check::IndexBound { .. } => self.index_bound += 1,
+            Check::NoStackEscape { .. } => {}
+        }
+    }
+}
+
+/// A check that is statically guaranteed to fail whenever it executes.
+#[derive(Debug, Clone)]
+pub struct StaticFailure {
+    /// Enclosing function.
+    pub func: String,
+    /// The check kind ([`Check::name`]).
+    pub check: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Source location of the offending instruction.
+    pub span: Span,
+}
+
+/// The result of running the optimizer over a program.
+#[derive(Debug, Clone, Default)]
+pub struct ElisionResult {
+    /// Deleted-check counts.
+    pub stats: ElisionStats,
+    /// Checks that provably always fail (kept in the program; reported).
+    pub failures: Vec<StaticFailure>,
+}
+
+/// A trackable place: a whole scalar variable whose address is never taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Place {
+    Local(u32),
+    Global(u32),
+}
+
+/// The must-facts holding at a program point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Facts {
+    /// Places verified non-null.
+    nonnull: BTreeSet<Place>,
+    /// Places that are null on every path (for the failure detector).
+    null: BTreeSet<Place>,
+    /// Largest verified SEQ access size per unmoved place.
+    bounds: BTreeMap<Place, u64>,
+    /// Largest verified WILD access size per unmoved place.
+    wild_bounds: BTreeMap<Place, u64>,
+    /// Places whose pointed-to word has a verified pointer tag.
+    wild_tag: BTreeSet<Place>,
+    /// Verified RTTI downcast target node per place.
+    rtti: BTreeMap<Place, u32>,
+}
+
+fn meet_sets(a: &BTreeSet<Place>, b: &BTreeSet<Place>) -> BTreeSet<Place> {
+    a.intersection(b).cloned().collect()
+}
+
+fn meet_min(a: &BTreeMap<Place, u64>, b: &BTreeMap<Place, u64>) -> BTreeMap<Place, u64> {
+    a.iter()
+        .filter_map(|(k, va)| b.get(k).map(|vb| (*k, (*va).min(*vb))))
+        .collect()
+}
+
+impl Lattice for Facts {
+    fn meet(&self, other: &Self) -> Self {
+        Facts {
+            nonnull: meet_sets(&self.nonnull, &other.nonnull),
+            null: meet_sets(&self.null, &other.null),
+            bounds: meet_min(&self.bounds, &other.bounds),
+            wild_bounds: meet_min(&self.wild_bounds, &other.wild_bounds),
+            wild_tag: meet_sets(&self.wild_tag, &other.wild_tag),
+            rtti: self
+                .rtti
+                .iter()
+                .filter(|(k, v)| other.rtti.get(k) == Some(v))
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+        }
+    }
+}
+
+impl Facts {
+    fn kill(&mut self, p: Place) {
+        self.nonnull.remove(&p);
+        self.null.remove(&p);
+        self.bounds.remove(&p);
+        self.wild_bounds.remove(&p);
+        self.wild_tag.remove(&p);
+        self.rtti.remove(&p);
+    }
+
+    /// A store through a pointer or into an aggregate/untracked variable:
+    /// globals may alias the written memory, and WILD heap facts (tags,
+    /// area headers) can no longer be trusted.
+    fn kill_memory_write(&mut self) {
+        let keep = |p: &Place| matches!(p, Place::Local(_));
+        self.nonnull.retain(keep);
+        self.null.retain(keep);
+        self.bounds.retain(|p, _| matches!(p, Place::Local(_)));
+        self.rtti.retain(|p, _| matches!(p, Place::Local(_)));
+        self.wild_tag.clear();
+        self.wild_bounds.clear();
+    }
+
+    /// A call: the callee may write any global or any heap cell.
+    fn kill_call(&mut self) {
+        self.kill_memory_write();
+    }
+
+    fn copy_all(&mut self, src: Place, dst: Place) {
+        if self.nonnull.contains(&src) {
+            self.nonnull.insert(dst);
+        }
+        if self.null.contains(&src) {
+            self.null.insert(dst);
+        }
+        if let Some(v) = self.bounds.get(&src).copied() {
+            self.bounds.insert(dst, v);
+        }
+        if let Some(v) = self.wild_bounds.get(&src).copied() {
+            self.wild_bounds.insert(dst, v);
+        }
+        if self.wild_tag.contains(&src) {
+            self.wild_tag.insert(dst);
+        }
+        if let Some(v) = self.rtti.get(&src).copied() {
+            self.rtti.insert(dst, v);
+        }
+    }
+
+    /// Copy across a pointer cast: only value facts survive (the fat
+    /// representation may differ, but the address — hence nullness — is
+    /// preserved).
+    fn copy_nullness(&mut self, src: Place, dst: Place) {
+        if self.nonnull.contains(&src) {
+            self.nonnull.insert(dst);
+        }
+        if self.null.contains(&src) {
+            self.null.insert(dst);
+        }
+    }
+}
+
+/// Strips `Cast` layers off an expression.
+fn strip_casts(e: &Exp) -> &Exp {
+    match e {
+        Exp::Cast(_, inner, _) => strip_casts(inner),
+        _ => e,
+    }
+}
+
+struct ElimAnalysis<'a> {
+    prog: &'a Program,
+    /// Locals of the current function whose address is never taken.
+    tracked_locals: HashSet<u32>,
+    /// Globals whose address is never taken anywhere in the program.
+    tracked_globals: &'a HashSet<u32>,
+}
+
+impl ElimAnalysis<'_> {
+    fn place_of_lval(&self, lv: &Lval) -> Option<Place> {
+        if !lv.offsets.is_empty() {
+            return None;
+        }
+        match &lv.base {
+            LvBase::Local(l) if self.tracked_locals.contains(&l.0) => Some(Place::Local(l.0)),
+            LvBase::Global(g) if self.tracked_globals.contains(&g.0) => Some(Place::Global(g.0)),
+            _ => None,
+        }
+    }
+
+    /// The tracked place an expression reads directly (no casts).
+    fn direct_place(&self, e: &Exp) -> Option<Place> {
+        match e {
+            Exp::Load(lv, _) => self.place_of_lval(lv),
+            _ => None,
+        }
+    }
+
+    /// The tracked place behind any chain of casts.
+    fn stripped_place(&self, e: &Exp) -> Option<Place> {
+        self.direct_place(strip_casts(e))
+    }
+
+    fn is_ptr(&self, t: ccured_cil::types::TypeId) -> bool {
+        self.prog.types.ptr_parts(t).is_some()
+    }
+
+    /// Applies the fact consequences of a *passing* check. Sound because a
+    /// failing check aborts: the state after the instruction only exists on
+    /// the passing outcome.
+    fn gen_check(&self, c: &Check, fact: &mut Facts) {
+        match c {
+            Check::Null { ptr } => {
+                if let Some(p) = self.stripped_place(ptr) {
+                    fact.nonnull.insert(p);
+                    fact.null.remove(&p);
+                }
+            }
+            Check::SeqBounds { ptr, access_size } | Check::SeqToSafe { ptr, access_size } => {
+                if let Some(p) = self.direct_place(ptr) {
+                    let e = fact.bounds.entry(p).or_insert(0);
+                    *e = (*e).max(*access_size);
+                    fact.nonnull.insert(p);
+                    fact.null.remove(&p);
+                }
+            }
+            Check::WildBounds { ptr, access_size } => {
+                if let Some(p) = self.direct_place(ptr) {
+                    let e = fact.wild_bounds.entry(p).or_insert(0);
+                    *e = (*e).max(*access_size);
+                    fact.nonnull.insert(p);
+                    fact.null.remove(&p);
+                }
+            }
+            Check::WildTag { ptr } => {
+                if let Some(p) = self.direct_place(ptr) {
+                    fact.wild_tag.insert(p);
+                }
+            }
+            Check::Rtti { ptr, target_node } => {
+                if let Some(p) = self.stripped_place(ptr) {
+                    fact.rtti.insert(p, *target_node);
+                }
+            }
+            Check::NoStackEscape { .. } | Check::IndexBound { .. } => {}
+        }
+    }
+
+    fn set_transfer(&self, lv: &Lval, e: &Exp, fact: &mut Facts) {
+        let Some(dst) = self.place_of_lval(lv) else {
+            // Store through a pointer, into an aggregate, or into an
+            // address-taken/untracked variable.
+            fact.kill_memory_write();
+            return;
+        };
+        fact.kill(dst);
+        let stripped = strip_casts(e);
+        if stripped.is_zero() {
+            fact.null.insert(dst);
+            return;
+        }
+        match stripped {
+            Exp::AddrOf(..) | Exp::StartOf(..) | Exp::FnAddr(..) => {
+                fact.nonnull.insert(dst);
+            }
+            Exp::Load(..) => {
+                if let Some(src) = self.direct_place(e) {
+                    // `p = q` with identical representation: everything
+                    // established about q holds for p.
+                    fact.copy_all(src, dst);
+                } else if let Some(src) = self.stripped_place(e) {
+                    if self.is_ptr(e.ty()) && self.is_ptr(stripped.ty()) {
+                        // `p = (T *)q`: the address is preserved, the fat
+                        // representation may not be.
+                        fact.copy_nullness(src, dst);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn call_transfer(&self, ret: &Option<Lval>, fact: &mut Facts) {
+        fact.kill_call();
+        if let Some(lv) = ret {
+            match self.place_of_lval(lv) {
+                Some(dst) => fact.kill(dst),
+                None => fact.kill_memory_write(),
+            }
+        }
+    }
+}
+
+impl Analysis for ElimAnalysis<'_> {
+    type Fact = Facts;
+
+    fn entry_fact(&self) -> Facts {
+        Facts::default()
+    }
+
+    fn transfer(&mut self, _id: InstrId, instr: &Instr, fact: &mut Facts) {
+        match instr {
+            Instr::Check(c, _) => self.gen_check(c, fact),
+            Instr::Set(lv, e, _) => self.set_transfer(lv, e, fact),
+            Instr::Call(ret, _, _, _) => self.call_transfer(ret, fact),
+        }
+    }
+}
+
+/// Deletes provably redundant checks from every function body of `prog` and
+/// reports checks that provably always fail.
+pub fn eliminate_checks(prog: &mut Program) -> ElisionResult {
+    let tracked_globals = tracked_globals(prog);
+    let mut result = ElisionResult::default();
+    for fi in 0..prog.functions.len() {
+        let plan = plan_function(prog, fi, &tracked_globals);
+        result.stats.add(&plan.stats);
+        result.failures.extend(plan.failures);
+        let body = &mut prog.functions[fi].body;
+        let delete = plan.delete;
+        for_each_instr_mut(body, &mut |id, _| !delete.contains(&id));
+    }
+    result
+}
+
+struct Plan {
+    delete: HashSet<InstrId>,
+    stats: ElisionStats,
+    failures: Vec<StaticFailure>,
+}
+
+fn plan_function(prog: &Program, fi: usize, tracked_globals: &HashSet<u32>) -> Plan {
+    let func = &prog.functions[fi];
+    let cfg = Cfg::build(func);
+    let mut analysis = ElimAnalysis {
+        prog,
+        tracked_locals: tracked_locals(func),
+        tracked_globals,
+    };
+    let entries = forward(&cfg, &mut analysis);
+
+    let mut plan = Plan {
+        delete: HashSet::new(),
+        stats: ElisionStats::default(),
+        failures: Vec::new(),
+    };
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        // Unreachable blocks keep their checks: we have no facts there and
+        // deleting dead code is not this pass's job.
+        let Some(mut fact) = entries[bi].clone() else {
+            continue;
+        };
+        for (id, instr) in &block.instrs {
+            if let Instr::Check(c, span) = instr {
+                match decide(&analysis, func, c, &fact) {
+                    Decision::Keep => {}
+                    Decision::Elide => {
+                        plan.delete.insert(*id);
+                        plan.stats.bump(c);
+                    }
+                    Decision::AlwaysFails(message) => plan.failures.push(StaticFailure {
+                        func: func.name.clone(),
+                        check: c.name(),
+                        message,
+                        span: *span,
+                    }),
+                }
+            }
+            analysis.transfer(*id, instr, &mut fact);
+        }
+    }
+    plan
+}
+
+enum Decision {
+    Keep,
+    Elide,
+    AlwaysFails(String),
+}
+
+fn decide(a: &ElimAnalysis<'_>, func: &Function, c: &Check, fact: &Facts) -> Decision {
+    match c {
+        Check::Null { ptr } => {
+            let stripped = strip_casts(ptr);
+            if matches!(
+                stripped,
+                Exp::AddrOf(..) | Exp::StartOf(..) | Exp::FnAddr(..)
+            ) {
+                // The address of a variable or function is never null.
+                return Decision::Elide;
+            }
+            if let Some(p) = a.stripped_place(ptr) {
+                if fact.nonnull.contains(&p) {
+                    return Decision::Elide;
+                }
+                if fact.null.contains(&p) {
+                    return Decision::AlwaysFails(format!(
+                        "dereference of `{}`, which is null on every path here",
+                        place_name(a, func, p)
+                    ));
+                }
+            }
+            Decision::Keep
+        }
+        Check::SeqBounds { ptr, access_size } | Check::SeqToSafe { ptr, access_size } => {
+            match a.direct_place(ptr) {
+                Some(p) if fact.bounds.get(&p).is_some_and(|v| v >= access_size) => Decision::Elide,
+                _ => Decision::Keep,
+            }
+        }
+        Check::WildBounds { ptr, access_size } => match a.direct_place(ptr) {
+            Some(p) if fact.wild_bounds.get(&p).is_some_and(|v| v >= access_size) => {
+                Decision::Elide
+            }
+            _ => Decision::Keep,
+        },
+        Check::WildTag { ptr } => match a.direct_place(ptr) {
+            Some(p) if fact.wild_tag.contains(&p) => Decision::Elide,
+            _ => Decision::Keep,
+        },
+        Check::Rtti { ptr, target_node } => match a.stripped_place(ptr) {
+            Some(p) if fact.rtti.get(&p) == Some(target_node) => Decision::Elide,
+            _ => Decision::Keep,
+        },
+        Check::IndexBound { index, len } => {
+            if let Exp::Const(Const::Int(v, _), _) = index {
+                if *v < 0 || *v as u128 >= *len as u128 {
+                    return Decision::AlwaysFails(format!(
+                        "index {v} is always out of bounds for an array of length {len}"
+                    ));
+                }
+                // A constant in-bounds index cannot fail.
+                return Decision::Elide;
+            }
+            Decision::Keep
+        }
+        Check::NoStackEscape { .. } => Decision::Keep,
+    }
+}
+
+fn place_name(a: &ElimAnalysis<'_>, func: &Function, p: Place) -> String {
+    match p {
+        Place::Local(l) => func.locals[l as usize].name.clone(),
+        Place::Global(g) => a.prog.globals[g as usize].name.clone(),
+    }
+}
+
+/// Locals of `func` whose address is never taken.
+fn tracked_locals(func: &Function) -> HashSet<u32> {
+    let mut taken = HashSet::new();
+    visit_stmts(&func.body, &mut |e| {
+        mark_addr_taken(e, &mut taken, &mut HashSet::new())
+    });
+    (0..func.locals.len() as u32)
+        .filter(|l| !taken.contains(l))
+        .collect()
+}
+
+/// Globals whose address is never taken anywhere in the program.
+fn tracked_globals(prog: &Program) -> HashSet<u32> {
+    let mut taken_locals = HashSet::new();
+    let mut taken = HashSet::new();
+    for f in &prog.functions {
+        visit_stmts(&f.body, &mut |e| {
+            mark_addr_taken(e, &mut taken_locals, &mut taken)
+        });
+    }
+    for g in &prog.globals {
+        if let Some(init) = &g.init {
+            visit_init(init, &mut |e| {
+                mark_addr_taken(e, &mut taken_locals, &mut taken)
+            });
+        }
+    }
+    (0..prog.globals.len() as u32)
+        .filter(|g| !taken.contains(g))
+        .collect()
+}
+
+fn mark_addr_taken(e: &Exp, locals: &mut HashSet<u32>, globals: &mut HashSet<u32>) {
+    if let Exp::AddrOf(lv, _) | Exp::StartOf(lv, _) = e {
+        match &lv.base {
+            LvBase::Local(l) => {
+                locals.insert(l.0);
+            }
+            LvBase::Global(g) => {
+                globals.insert(g.0);
+            }
+            LvBase::Deref(_) => {}
+        }
+    }
+}
+
+/// Calls `f` on every expression node (including subexpressions) in `body`.
+fn visit_stmts(body: &[Stmt], f: &mut impl FnMut(&Exp)) {
+    for s in body {
+        match s {
+            Stmt::Instr(is) => {
+                for i in is {
+                    match i {
+                        Instr::Set(lv, e, _) => {
+                            visit_lval(lv, f);
+                            visit_exp(e, f);
+                        }
+                        Instr::Call(ret, callee, args, _) => {
+                            if let Some(lv) = ret {
+                                visit_lval(lv, f);
+                            }
+                            if let Callee::Ptr(e) = callee {
+                                visit_exp(e, f);
+                            }
+                            for a in args {
+                                visit_exp(a, f);
+                            }
+                        }
+                        Instr::Check(c, _) => match c {
+                            Check::Null { ptr }
+                            | Check::SeqBounds { ptr, .. }
+                            | Check::SeqToSafe { ptr, .. }
+                            | Check::WildBounds { ptr, .. }
+                            | Check::WildTag { ptr }
+                            | Check::Rtti { ptr, .. } => visit_exp(ptr, f),
+                            Check::NoStackEscape { value } => visit_exp(value, f),
+                            Check::IndexBound { index, .. } => visit_exp(index, f),
+                        },
+                    }
+                }
+            }
+            Stmt::If(c, t, e) => {
+                visit_exp(c, f);
+                visit_stmts(t, f);
+                visit_stmts(e, f);
+            }
+            Stmt::Loop(b) | Stmt::Block(b) => visit_stmts(b, f),
+            Stmt::Return(Some(e)) => visit_exp(e, f),
+            Stmt::Switch(e, arms) => {
+                visit_exp(e, f);
+                for arm in arms {
+                    visit_stmts(&arm.body, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn visit_exp(e: &Exp, f: &mut impl FnMut(&Exp)) {
+    f(e);
+    match e {
+        Exp::Load(lv, _) | Exp::AddrOf(lv, _) | Exp::StartOf(lv, _) => visit_lval(lv, f),
+        Exp::Unop(_, x, _) | Exp::Cast(_, x, _) => visit_exp(x, f),
+        Exp::Binop(_, x, y, _) => {
+            visit_exp(x, f);
+            visit_exp(y, f);
+        }
+        _ => {}
+    }
+}
+
+fn visit_lval(lv: &Lval, f: &mut impl FnMut(&Exp)) {
+    if let LvBase::Deref(e) = &lv.base {
+        visit_exp(e, f);
+    }
+    for off in &lv.offsets {
+        if let Offset::Index(e) = off {
+            visit_exp(e, f);
+        }
+    }
+}
+
+fn visit_init(init: &Init, f: &mut impl FnMut(&Exp)) {
+    match init {
+        Init::Scalar(e) => visit_exp(e, f),
+        Init::Compound(items) => {
+            for i in items {
+                visit_init(i, f);
+            }
+        }
+        Init::String(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccured_cil::ir::{Check, Instr, Stmt};
+
+    fn lower(src: &str) -> Program {
+        let tu = ccured_ast::parse_translation_unit(src).expect("parse");
+        ccured_cil::lower_translation_unit(&tu).expect("lower")
+    }
+
+    /// `Load` of a named local of function 0.
+    fn load(prog: &Program, name: &str) -> Exp {
+        let f = &prog.functions[0];
+        let (i, l) = f
+            .locals
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.name == name)
+            .expect("local");
+        Exp::Load(Box::new(Lval::local(LocalId(i as u32))), l.ty)
+    }
+
+    fn null_check(prog: &Program, name: &str) -> Instr {
+        Instr::Check(
+            Check::Null {
+                ptr: load(prog, name),
+            },
+            Span::DUMMY,
+        )
+    }
+
+    fn count_checks(prog: &Program) -> usize {
+        let mut n = 0;
+        for f in &prog.functions {
+            visit_checks(&f.body, &mut n);
+        }
+        n
+    }
+
+    fn visit_checks(body: &[Stmt], n: &mut usize) {
+        for s in body {
+            match s {
+                Stmt::Instr(is) => {
+                    *n += is.iter().filter(|i| matches!(i, Instr::Check(..))).count()
+                }
+                Stmt::If(_, t, e) => {
+                    visit_checks(t, n);
+                    visit_checks(e, n);
+                }
+                Stmt::Loop(b) | Stmt::Block(b) => visit_checks(b, n),
+                Stmt::Switch(_, arms) => {
+                    for arm in arms {
+                        visit_checks(&arm.body, n);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dominated_null_check_is_elided() {
+        let mut prog = lower("int f(int *p) { return 0; }");
+        let c1 = null_check(&prog, "p");
+        let c2 = null_check(&prog, "p");
+        prog.functions[0].body.insert(0, Stmt::Instr(vec![c1, c2]));
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 1, "the second identical check is redundant");
+        assert_eq!(count_checks(&prog), 1);
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn check_after_both_armed_if_is_elided() {
+        let mut prog = lower("int f(int *p, int c) { return 0; }");
+        let cond = load(&prog, "c");
+        let both = Stmt::If(
+            cond.clone(),
+            vec![Stmt::Instr(vec![null_check(&prog, "p")])],
+            vec![Stmt::Instr(vec![null_check(&prog, "p")])],
+        );
+        let after = Stmt::Instr(vec![null_check(&prog, "p")]);
+        prog.functions[0].body.splice(0..0, [both, after]);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 1, "only the join check is dominated");
+        assert_eq!(count_checks(&prog), 2);
+    }
+
+    #[test]
+    fn check_after_one_armed_if_is_kept() {
+        let mut prog = lower("int f(int *p, int c) { return 0; }");
+        let cond = load(&prog, "c");
+        let one = Stmt::If(
+            cond,
+            vec![Stmt::Instr(vec![null_check(&prog, "p")])],
+            vec![],
+        );
+        let after = Stmt::Instr(vec![null_check(&prog, "p")]);
+        prog.functions[0].body.splice(0..0, [one, after]);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 0, "the fact does not hold on the else path");
+        assert_eq!(count_checks(&prog), 2);
+    }
+
+    #[test]
+    fn reassignment_kills_the_fact() {
+        let mut prog = lower("int f(int *p, int *q) { p = q; return 0; }");
+        // check p; p = q; check p  — the second check must survive.
+        let assign = prog.functions[0]
+            .body
+            .iter()
+            .position(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Set(..)))),
+            )
+            .expect("assignment stmt");
+        let c1 = Stmt::Instr(vec![null_check(&prog, "p")]);
+        let c2 = Stmt::Instr(vec![null_check(&prog, "p")]);
+        prog.functions[0].body.insert(assign + 1, c2);
+        prog.functions[0].body.insert(assign, c1);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 0);
+        assert_eq!(count_checks(&prog), 2);
+    }
+
+    #[test]
+    fn copy_propagates_nonnull() {
+        let mut prog = lower("int f(int *p, int *q) { q = p; return 0; }");
+        // check p; q = p; check q  — q inherits p's fact.
+        let assign = prog.functions[0]
+            .body
+            .iter()
+            .position(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Set(..)))),
+            )
+            .expect("assignment stmt");
+        let c1 = Stmt::Instr(vec![null_check(&prog, "p")]);
+        let c2 = Stmt::Instr(vec![null_check(&prog, "q")]);
+        prog.functions[0].body.insert(assign + 1, c2);
+        prog.functions[0].body.insert(assign, c1);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 1, "q = p transfers p's nonnull fact");
+        assert_eq!(count_checks(&prog), 1);
+    }
+
+    #[test]
+    fn seq_bounds_elided_only_up_to_verified_size() {
+        let mut prog = lower("int f(int *p) { return 0; }");
+        let mk = |prog: &Program, size| {
+            Instr::Check(
+                Check::SeqBounds {
+                    ptr: load(prog, "p"),
+                    access_size: size,
+                },
+                Span::DUMMY,
+            )
+        };
+        let c8 = mk(&prog, 8);
+        let c4 = mk(&prog, 4);
+        let c16 = mk(&prog, 16);
+        prog.functions[0]
+            .body
+            .insert(0, Stmt::Instr(vec![c8, c4, c16]));
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(
+            r.stats.seq_bounds, 1,
+            "only the smaller re-check is covered"
+        );
+        assert_eq!(count_checks(&prog), 2);
+    }
+
+    #[test]
+    fn must_null_deref_is_a_static_failure() {
+        let mut prog = lower("int f(void) { int *p; p = 0; return 0; }");
+        let assign = prog.functions[0]
+            .body
+            .iter()
+            .position(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Set(..)))),
+            )
+            .expect("assignment stmt");
+        let c = Stmt::Instr(vec![null_check(&prog, "p")]);
+        prog.functions[0].body.insert(assign + 1, c);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].message.contains("null on every path"));
+        assert_eq!(count_checks(&prog), 1, "the failing check is kept");
+    }
+
+    #[test]
+    fn constant_oob_index_is_a_static_failure() {
+        let mut prog = lower("int f(int i) { return 0; }");
+        let idx = load(&prog, "i");
+        let int_ty = idx.ty();
+        let c = Instr::Check(
+            Check::IndexBound {
+                index: Exp::int(7, ccured_cil::types::IntKind::Int, int_ty),
+                len: 4,
+            },
+            Span::DUMMY,
+        );
+        prog.functions[0].body.insert(0, Stmt::Instr(vec![c]));
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn call_preserves_local_facts_but_kills_globals() {
+        let mut prog = lower(
+            "int *gp;\n\
+             void g(void) { }\n\
+             int f(int *p) { g(); return 0; }",
+        );
+        // f is function index 1 here; rebuild helpers against it.
+        let fidx = prog.find_function("f").unwrap().idx();
+        let (pi, pl) = prog.functions[fidx]
+            .locals
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.name == "p")
+            .unwrap();
+        let pload = Exp::Load(Box::new(Lval::local(LocalId(pi as u32))), pl.ty);
+        let gid = prog.find_global("gp").unwrap();
+        let gty = prog.globals[gid.idx()].ty;
+        let gload = Exp::Load(Box::new(Lval::global(gid)), gty);
+        let chk = |e: &Exp| Instr::Check(Check::Null { ptr: e.clone() }, Span::DUMMY);
+        let call = prog.functions[fidx]
+            .body
+            .iter()
+            .position(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Call(..)))),
+            )
+            .expect("call stmt");
+        prog.functions[fidx]
+            .body
+            .insert(call + 1, Stmt::Instr(vec![chk(&pload), chk(&gload)]));
+        prog.functions[fidx]
+            .body
+            .insert(call, Stmt::Instr(vec![chk(&pload), chk(&gload)]));
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 1, "p's fact survives the call, gp's does not");
+    }
+
+    #[test]
+    fn address_of_is_never_null() {
+        let mut prog = lower("int f(void) { int x; x = 1; return x; }");
+        let f = &prog.functions[0];
+        let (xi, xl) = f
+            .locals
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.name == "x")
+            .unwrap();
+        let ptr_ty = xl.ty; // type is irrelevant to the decision
+        let c = Instr::Check(
+            Check::Null {
+                ptr: Exp::AddrOf(Box::new(Lval::local(LocalId(xi as u32))), ptr_ty),
+            },
+            Span::DUMMY,
+        );
+        prog.functions[0].body.insert(0, Stmt::Instr(vec![c]));
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 1);
+        assert_eq!(count_checks(&prog), 0);
+    }
+
+    #[test]
+    fn address_taken_local_is_untracked() {
+        let mut prog = lower("int f(int *p) { int **pp; pp = &p; return 0; }");
+        let c1 = Stmt::Instr(vec![null_check(&prog, "p")]);
+        let c2 = Stmt::Instr(vec![null_check(&prog, "p")]);
+        prog.functions[0].body.splice(0..0, [c1, c2]);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 0, "&p escapes: p is not trackable");
+        assert_eq!(count_checks(&prog), 2);
+    }
+
+    #[test]
+    fn loop_body_check_of_loop_invariant_pointer_is_kept_first_elided_after() {
+        // check p inside a loop: the back edge carries the fact, so the
+        // in-loop check is elided only if it also holds on loop entry.
+        let mut prog =
+            lower("int f(int *p, int n) { int i; i = 0; while (i < n) { i = i + 1; } return 0; }");
+        let pre = Stmt::Instr(vec![null_check(&prog, "p")]);
+        // Insert the pre-loop check at the very start, and one inside the
+        // loop body.
+        let inner = null_check(&prog, "p");
+        // Clippy's guard suggestion needs a mutable borrow in the pattern
+        // guard, which does not borrow-check.
+        #[allow(clippy::collapsible_match)]
+        fn push_into_loop(body: &mut [Stmt], inner: &Instr) -> bool {
+            for s in body {
+                match s {
+                    Stmt::Loop(b) => {
+                        b.insert(0, Stmt::Instr(vec![inner.clone()]));
+                        return true;
+                    }
+                    Stmt::Block(b) | Stmt::If(_, b, _) => {
+                        if push_into_loop(b, inner) {
+                            return true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        assert!(push_into_loop(&mut prog.functions[0].body, &inner));
+        prog.functions[0].body.insert(0, pre);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(
+            r.stats.null, 1,
+            "the in-loop check is dominated by the pre-loop check"
+        );
+    }
+}

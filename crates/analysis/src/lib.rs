@@ -1,0 +1,24 @@
+//! # ccured-analysis
+//!
+//! Static analyses over the CIL IR:
+//!
+//! * [`cfg`] — control-flow graphs for the structured statement tree, with
+//!   a stable instruction numbering shared by analysis and rewriting;
+//! * [`dataflow`] — a generic intraprocedural forward-dataflow framework
+//!   (meet-semilattice facts, worklist fixpoint);
+//! * [`elim`] — redundant-check elimination: dominated `CHECK_NULL`s,
+//!   re-verified SEQ/WILD bounds on unmoved pointers, and repeated RTTI
+//!   downcasts are deleted after instrumentation, plus a static failure
+//!   detector for checks that provably always fail;
+//! * [`blame`] — the WILD/SEQ blame explainer: shortest provenance path
+//!   from any poisoned pointer back to the cast that caused it.
+
+pub mod blame;
+pub mod cfg;
+pub mod dataflow;
+pub mod elim;
+
+pub use blame::{blame_path, qual_names, render_blame, Blame, BlameStep};
+pub use cfg::{BasicBlock, BlockId, Cfg, InstrId};
+pub use dataflow::{forward, Analysis, Lattice};
+pub use elim::{eliminate_checks, ElisionResult, ElisionStats, StaticFailure};

@@ -55,6 +55,8 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up an identifier as a keyword.
+    // Not the `FromStr` trait: lookup is infallible-by-Option, not Result.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
@@ -399,7 +401,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     loop {
                         if self.pos >= self.src.len() {
-                            return Err(Diag::error(self.span_from(lo), "unterminated block comment"));
+                            return Err(Diag::error(
+                                self.span_from(lo),
+                                "unterminated block comment",
+                            ));
                         }
                         if self.peek() == b'*' && self.peek2() == b'/' {
                             self.bump();
@@ -428,7 +433,9 @@ impl<'a> Lexer<'a> {
         if word != "pragma" {
             return Err(Diag::error(
                 self.span_from(lo),
-                format!("unsupported preprocessor directive `#{word}` (input must be preprocessed)"),
+                format!(
+                    "unsupported preprocessor directive `#{word}` (input must be preprocessed)"
+                ),
             ));
         }
         let body_lo = self.pos;
@@ -465,7 +472,10 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             if self.pos == digits_lo {
-                return Err(Diag::error(self.span_from(lo), "missing digits in hex literal"));
+                return Err(Diag::error(
+                    self.span_from(lo),
+                    "missing digits in hex literal",
+                ));
             }
             let text = std::str::from_utf8(&self.src[digits_lo..self.pos]).unwrap();
             let value = u64::from_str_radix(text, 16)
@@ -486,7 +496,8 @@ impl<'a> Lexer<'a> {
         }
         if (self.peek() | 0x20) == b'e'
             && (self.peek2().is_ascii_digit()
-                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+                || ((self.peek2() == b'+' || self.peek2() == b'-')
+                    && self.peek3().is_ascii_digit()))
         {
             is_float = true;
             self.bump();
@@ -573,7 +584,10 @@ impl<'a> Lexer<'a> {
                     v = v.wrapping_mul(16).wrapping_add(d as u32);
                 }
                 if !any {
-                    return Err(Diag::error(self.span_from(lo), "missing digits in hex escape"));
+                    return Err(Diag::error(
+                        self.span_from(lo),
+                        "missing digits in hex escape",
+                    ));
                 }
                 (v & 0xff) as u8
             }
@@ -600,11 +614,19 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 self.escape(lo)?
             }
-            0 | b'\n' => return Err(Diag::error(self.span_from(lo), "unterminated character literal")),
+            0 | b'\n' => {
+                return Err(Diag::error(
+                    self.span_from(lo),
+                    "unterminated character literal",
+                ))
+            }
             _ => self.bump(),
         };
         if self.peek() != b'\'' {
-            return Err(Diag::error(self.span_from(lo), "unterminated character literal"));
+            return Err(Diag::error(
+                self.span_from(lo),
+                "unterminated character literal",
+            ));
         }
         self.bump();
         self.push(TokenKind::CharLit(c), lo);
@@ -622,7 +644,10 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                     0 | b'\n' => {
-                        return Err(Diag::error(self.span_from(lo), "unterminated string literal"))
+                        return Err(Diag::error(
+                            self.span_from(lo),
+                            "unterminated string literal",
+                        ))
                     }
                     b'\\' => {
                         self.bump();

@@ -112,7 +112,10 @@ impl Parser {
                 let span = self.bump().span;
                 Ok((name, span))
             }
-            other => Err(Diag::error(self.span(), format!("expected identifier, found {other}"))),
+            other => Err(Diag::error(
+                self.span(),
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
@@ -180,7 +183,10 @@ impl Parser {
                 TokenKind::Pragma(_) => {
                     let tok = self.bump();
                     if let TokenKind::Pragma(raw) = tok.kind {
-                        decls.push(ExtDecl::Pragma(PragmaDirective { raw, span: tok.span }));
+                        decls.push(ExtDecl::Pragma(PragmaDirective {
+                            raw,
+                            span: tok.span,
+                        }));
                     }
                 }
                 TokenKind::P(Punct::Semi) => {
@@ -426,7 +432,10 @@ impl Parser {
 
     fn set_base(&self, base: &mut Option<TypeSpec>, ts: TypeSpec) -> Result<(), Diag> {
         if base.is_some() {
-            return Err(Diag::error(self.span(), "multiple base types in declaration"));
+            return Err(Diag::error(
+                self.span(),
+                "multiple base types in declaration",
+            ));
         }
         *base = Some(ts);
         Ok(())
@@ -467,7 +476,10 @@ impl Parser {
             Some(groups)
         } else {
             if tag.is_none() {
-                return Err(Diag::error(start, "anonymous struct/union requires a definition"));
+                return Err(Diag::error(
+                    start,
+                    "anonymous struct/union requires a definition",
+                ));
             }
             None
         };
@@ -743,7 +755,8 @@ impl Parser {
         let start = self.span();
         // Label: `ident :` (but not `default:`/`case`).
         if let TokenKind::Ident(name) = self.peek().clone() {
-            if matches!(self.peek_nth(1), TokenKind::P(Punct::Colon)) && !self.is_typedef_name(&name)
+            if matches!(self.peek_nth(1), TokenKind::P(Punct::Colon))
+                && !self.is_typedef_name(&name)
             {
                 self.bump();
                 self.bump();
@@ -760,6 +773,19 @@ impl Parser {
                 span: decl.span,
                 kind: StmtKind::Decl(decl),
             });
+        }
+        // `size_t n = 0;` — an undeclared name in type position would
+        // otherwise fall through to the expression parser and produce a
+        // misleading `expected \`;\`` at the second identifier.
+        if let (TokenKind::Ident(name), TokenKind::Ident(_)) =
+            (self.peek().clone(), self.peek_nth(1).clone())
+        {
+            if !self.is_typedef_name(&name) {
+                return Err(Diag::error(
+                    self.span(),
+                    format!("unknown type name `{name}`"),
+                ));
+            }
         }
         match self.peek().clone() {
             TokenKind::P(Punct::LBrace) => {
@@ -1263,7 +1289,10 @@ impl Parser {
                 self.expect_punct(Punct::RParen)?;
                 Ok(e)
             }
-            other => Err(Diag::error(span, format!("expected expression, found {other}"))),
+            other => Err(Diag::error(
+                span,
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 }

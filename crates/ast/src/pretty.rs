@@ -128,7 +128,8 @@ impl Printer {
             TypeSpec::Float => self.out.push_str("float"),
             TypeSpec::Double => self.out.push_str("double"),
             TypeSpec::Comp(c) => {
-                self.out.push_str(if c.is_union { "union" } else { "struct" });
+                self.out
+                    .push_str(if c.is_union { "union" } else { "struct" });
                 if let Some(tag) = &c.tag {
                     let _ = write!(self.out, " {tag}");
                 }
@@ -189,7 +190,7 @@ impl Printer {
                 }
             }
             Some(Derived::Pointer(q)) => {
-                self.out.push_str("*");
+                self.out.push('*');
                 if let Some(k) = q.kind {
                     self.out.push_str(match k {
                         PtrKindAnnot::Safe => " __SAFE",

@@ -42,7 +42,9 @@ fn bench_metadata(c: &mut Criterion) {
     let w = micro::ptr_store(40);
     let tu = ccured_ast::parse_translation_unit(&w.source).unwrap();
     let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
-    let cured = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+    let cured = runner::run_cured(&w, &InferOptions::default())
+        .unwrap()
+        .cured;
     g.bench_function("fat_pointers", |b| {
         b.iter(|| {
             Interp::new(&cured.program, ExecMode::cured(&cured))

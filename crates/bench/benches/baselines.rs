@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let w = spec::compress_like(6, 2);
     let tu = ccured_ast::parse_translation_unit(&w.source).unwrap();
     let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
-    let cured = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+    let cured = runner::run_cured(&w, &InferOptions::default())
+        .unwrap()
+        .cured;
     g.bench_function("original", |b| {
         b.iter(|| Interp::new(&orig, ExecMode::Original).run().unwrap())
     });
@@ -28,9 +30,7 @@ fn bench(c: &mut Criterion) {
         ("valgrind", ExecMode::Valgrind),
         ("joneskelly", ExecMode::JonesKelly),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| Interp::new(&orig, mode).run().unwrap())
-        });
+        g.bench_function(name, |b| b.iter(|| Interp::new(&orig, mode).run().unwrap()));
     }
     g.finish();
 }

@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
         );
         let tu = ccured_ast::parse_translation_unit(&full).unwrap();
         let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
-        let cured = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+        let cured = runner::run_cured(&w, &InferOptions::default())
+            .unwrap()
+            .cured;
         g.bench_function(format!("{}_original", w.name), |b| {
             b.iter(|| {
                 let mut i = Interp::new(&orig, ExecMode::Original);

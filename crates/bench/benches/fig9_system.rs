@@ -21,11 +21,20 @@ fn bench(c: &mut Criterion) {
             ccured::wrappers::stdlib_wrapper_source(),
             w.source
         );
-        let src = if w.with_wrappers { full } else { w.source.clone() };
+        let src = if w.with_wrappers {
+            full
+        } else {
+            w.source.clone()
+        };
         let tu = ccured_ast::parse_translation_unit(&src).unwrap();
         let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
-        let cured = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
-        for (label, mode) in [("original", ExecMode::Original), ("valgrind", ExecMode::Valgrind)] {
+        let cured = runner::run_cured(&w, &InferOptions::default())
+            .unwrap()
+            .cured;
+        for (label, mode) in [
+            ("original", ExecMode::Original),
+            ("valgrind", ExecMode::Valgrind),
+        ] {
             g.bench_function(format!("{}_{label}", w.name), |b| {
                 b.iter(|| {
                     let mut i = Interp::new(&orig, mode);

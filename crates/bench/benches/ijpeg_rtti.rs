@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let w = spec::ijpeg_oo(24, 8);
     let tu = ccured_ast::parse_translation_unit(&w.source).unwrap();
     let orig = ccured_cil::lower_translation_unit(&tu).unwrap();
-    let with_rtti = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+    let with_rtti = runner::run_cured(&w, &InferOptions::default())
+        .unwrap()
+        .cured;
     let old_ccured = runner::run_cured(&w, &InferOptions::original_ccured())
         .unwrap()
         .cured;

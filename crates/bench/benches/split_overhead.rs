@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
         ..InferOptions::default()
     };
     for w in [olden::em3d(24, 4, 8), ptrdist::anagram(24)] {
-        let nosplit = runner::run_cured(&w, &InferOptions::default()).unwrap().cured;
+        let nosplit = runner::run_cured(&w, &InferOptions::default())
+            .unwrap()
+            .cured;
         let allsplit = runner::run_cured(&w, &split).unwrap().cured;
         g.bench_function(format!("{}_nosplit", w.name), |b| {
             b.iter(|| {

@@ -16,7 +16,10 @@ const TABLES: &[&str] = &[
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if !TABLES.contains(&which.as_str()) {
-        eprintln!("unknown table `{which}`; expected one of: {}", TABLES.join(", "));
+        eprintln!(
+            "unknown table `{which}`; expected one of: {}",
+            TABLES.join(", ")
+        );
         std::process::exit(2);
     }
     let all = which == "all";
@@ -72,7 +75,14 @@ fn fig8_table() {
     println!(
         "{}",
         render(
-            &["module", "lines", "sf/sq/w/rt", "ratio", "paper sf/sq/w/rt", "paper ratio"],
+            &[
+                "module",
+                "lines",
+                "sf/sq/w/rt",
+                "ratio",
+                "paper sf/sq/w/rt",
+                "paper ratio"
+            ],
             &rows
         )
     );
@@ -179,7 +189,11 @@ fn bind_table() {
     println!("== Section 5: bind cast statistics ==\n");
     let b = bind_experiment(40, 14);
     let rows = vec![
-        vec!["pointer casts".to_string(), b.ptr_casts.to_string(), "82000".to_string()],
+        vec![
+            "pointer casts".to_string(),
+            b.ptr_casts.to_string(),
+            "82000".to_string(),
+        ],
         vec![
             "upcasts (physical subtyping)".to_string(),
             b.upcasts.to_string(),
@@ -254,7 +268,10 @@ fn split_tables() {
         .collect();
     println!(
         "{}",
-        render(&["program", "split quals", "of those, with meta ptr"], &rows)
+        render(
+            &["program", "split quals", "of those, with meta ptr"],
+            &rows
+        )
     );
 }
 
@@ -290,7 +307,10 @@ fn ablation_table() {
             ]
         })
         .collect();
-    println!("{}", render(&["configuration", "wild", "rtti", "ratio"], &rows));
+    println!(
+        "{}",
+        render(&["configuration", "wild", "rtti", "ratio"], &rows)
+    );
     let (cc, jk) = metadata_lookup(60);
     println!(
         "metadata ablation (ptr-heavy loop): fat pointers {}x vs global-registry lookup {}x",

@@ -393,7 +393,10 @@ pub struct AblationRow {
 pub fn ablation(types: u32, rounds: u32) -> Vec<AblationRow> {
     let w = spec::ijpeg_oo(types, rounds);
     let configs = vec![
-        ("original CCured (no phys-sub, no RTTI)", InferOptions::original_ccured()),
+        (
+            "original CCured (no phys-sub, no RTTI)",
+            InferOptions::original_ccured(),
+        ),
         (
             "physical subtyping only",
             InferOptions {
@@ -434,7 +437,10 @@ pub fn rtti_encoding(types: u32, rounds: u32) -> (u64, f64, f64) {
     interp.set_interval_rtti(true);
     interp.run().expect("interval run");
     let interval_ratio = model.ratio(&interp.counters, &base.counters);
-    assert_eq!(interp.counters.rtti_walk_steps, 0, "interval mode walks no chains");
+    assert_eq!(
+        interp.counters.rtti_walk_steps, 0,
+        "interval mode walks no chains"
+    );
     (walk_steps, walk_ratio, interval_ratio)
 }
 

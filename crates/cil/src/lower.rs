@@ -57,7 +57,8 @@ impl BlockBuilder {
 
     fn flush(&mut self) {
         if !self.instrs.is_empty() {
-            self.stmts.push(Stmt::Instr(std::mem::take(&mut self.instrs)));
+            self.stmts
+                .push(Stmt::Instr(std::mem::take(&mut self.instrs)));
         }
     }
 
@@ -322,7 +323,8 @@ impl Lowerer {
                     let mut ptypes = Vec::new();
                     for p in params {
                         let pbase = self.type_from_specs(&p.specs)?;
-                        let (_, pty) = self.apply_declarator(pbase, &p.declarator, p.specs.split)?;
+                        let (_, pty) =
+                            self.apply_declarator(pbase, &p.declarator, p.specs.split)?;
                         ptypes.push(self.decay_param_type(pty));
                     }
                     self.types.mk_func(FuncSig {
@@ -408,7 +410,8 @@ impl Lowerer {
                 let (_, ty) = self.apply_declarator(base, &tn.declarator, None)?;
                 self.types
                     .size_of(ty)
-                    .map_err(|err| Diag::error(e.span, format!("sizeof: {err}")))? as i128
+                    .map_err(|err| Diag::error(e.span, format!("sizeof: {err}")))?
+                    as i128
             }
             _ => return self.err(e.span, "expression is not an integer constant"),
         })
@@ -430,10 +433,8 @@ impl Lowerer {
     fn pragma(&mut self, p: &ast::PragmaDirective) {
         let raw = p.raw.trim();
         let parsed = if let Some(rest) = raw.strip_prefix("ccuredWrapperOf") {
-            parse_two_strings(rest).map(|(wrapper, external)| CcuredPragma::WrapperOf {
-                wrapper,
-                external,
-            })
+            parse_two_strings(rest)
+                .map(|(wrapper, external)| CcuredPragma::WrapperOf { wrapper, external })
         } else if let Some(rest) = raw.strip_prefix("ccured_split") {
             parse_ident_arg(rest).map(CcuredPragma::SplitVar)
         } else if let Some(rest) = raw.strip_prefix("ccured_trusted") {
@@ -512,7 +513,10 @@ impl Lowerer {
             _ => return self.err(f.span, "declarator does not declare a function"),
         };
         if sig.varargs {
-            return self.err(f.span, "defining variadic functions is not supported (declare them extern)");
+            return self.err(
+                f.span,
+                "defining variadic functions is not supported (declare them extern)",
+            );
         }
         if matches!(self.types.get(sig.ret), Type::Comp(_)) {
             return self.err(
@@ -726,9 +730,10 @@ impl Lowerer {
                 self.emit_stmt(Stmt::Switch(e, arms));
                 Ok(())
             }
-            K::Case(_, _) | K::Default(_) => {
-                self.err(s.span, "case/default labels must appear at the top level of a switch body")
-            }
+            K::Case(_, _) | K::Default(_) => self.err(
+                s.span,
+                "case/default labels must appear at the top level of a switch body",
+            ),
             K::Break => {
                 self.emit_stmt(Stmt::Break);
                 Ok(())
@@ -805,7 +810,9 @@ impl Lowerer {
             }
             let target = match arms.last_mut() {
                 Some(arm) => arm,
-                None => return self.err(st.span, "statement before the first case label in switch"),
+                None => {
+                    return self.err(st.span, "statement before the first case label in switch")
+                }
             };
             // Lower the (label-stripped) statement into the current arm.
             let lowered = self.in_block(|lw| lw.stmt(cur))?;
@@ -908,7 +915,12 @@ impl Lowerer {
     }
 
     /// Flattens a local initializer into `Set` instructions.
-    fn assign_initializer(&mut self, lv: Lval, ty: TypeId, init: &ast::Initializer) -> Result<(), Diag> {
+    fn assign_initializer(
+        &mut self,
+        lv: Lval,
+        ty: TypeId,
+        init: &ast::Initializer,
+    ) -> Result<(), Diag> {
         match init {
             ast::Initializer::Expr(e) => {
                 // Special-case `char buf[] = "str"` / `char buf[n] = "str"`.
@@ -921,8 +933,16 @@ impl Lowerer {
                             let b = bytes.get(i as usize).copied().unwrap_or(0);
                             let mut l = lv.clone();
                             let int_ty = self.types.mk_int(IntKind::Int);
-                            l.offsets.push(Offset::Index(Exp::int(i as i128, IntKind::Int, int_ty)));
-                            self.emit(Instr::Set(l, Exp::int(b as i128, IntKind::Char, char_ty), e.span));
+                            l.offsets.push(Offset::Index(Exp::int(
+                                i as i128,
+                                IntKind::Int,
+                                int_ty,
+                            )));
+                            self.emit(Instr::Set(
+                                l,
+                                Exp::int(b as i128, IntKind::Char, char_ty),
+                                e.span,
+                            ));
                         }
                         return Ok(());
                     }
@@ -1076,7 +1096,9 @@ impl Lowerer {
                 self.lower_call(e, true)?;
                 Ok(())
             }
-            K::Assign(..) | K::PostIncDec(..) | K::Unary(ast::UnOp::PreInc | ast::UnOp::PreDec, _) => {
+            K::Assign(..)
+            | K::PostIncDec(..)
+            | K::Unary(ast::UnOp::PreInc | ast::UnOp::PreDec, _) => {
                 self.lower_rvalue(e)?;
                 Ok(())
             }
@@ -1193,7 +1215,11 @@ impl Lowerer {
                     return self.err(e.span, "++/-- requires scalar type");
                 }
                 let old = self.fresh_temp(ty);
-                self.emit(Instr::Set(Lval::local(old), Exp::Load(Box::new(lv.clone()), ty), e.span));
+                self.emit(Instr::Set(
+                    Lval::local(old),
+                    Exp::Load(Box::new(lv.clone()), ty),
+                    e.span,
+                ));
                 let updated = self.incdec_value(&lv, ty, *inc, e.span)?;
                 self.emit(Instr::Set(lv, updated, e.span));
                 Ok(Exp::Load(Box::new(Lval::local(old)), ty))
@@ -1305,7 +1331,11 @@ impl Lowerer {
             let op = if inc { BinOp::PlusPI } else { BinOp::MinusPI };
             Ok(Exp::Binop(op, Box::new(cur), Box::new(one), ty))
         } else {
-            let op = if inc { ast::BinOp::Add } else { ast::BinOp::Sub };
+            let op = if inc {
+                ast::BinOp::Add
+            } else {
+                ast::BinOp::Sub
+            };
             let v = self.build_binop(op, cur, one, span)?;
             self.coerce(v, ty, span)
         }
@@ -1394,7 +1424,12 @@ impl Lowerer {
             };
             let pty = self.types.mk_ptr(elem);
             let start = Exp::StartOf(Box::new(base_lv), pty);
-            return Ok(Exp::Binop(BinOp::PlusPI, Box::new(start), Box::new(idx), pty));
+            return Ok(Exp::Binop(
+                BinOp::PlusPI,
+                Box::new(start),
+                Box::new(idx),
+                pty,
+            ));
         }
         // `&*p` == p.
         if lv.offsets.is_empty() {
@@ -1526,8 +1561,10 @@ impl Lowerer {
             B::Shl | B::Shr | B::LogAnd | B::LogOr => unreachable!("handled above"),
             _ => return self.err(span, "invalid operand types"),
         };
-        if matches!(bop, BinOp::Rem | BinOp::BitAnd | BinOp::BitXor | BinOp::BitOr)
-            && !self.types.is_integer(ty)
+        if matches!(
+            bop,
+            BinOp::Rem | BinOp::BitAnd | BinOp::BitXor | BinOp::BitOr
+        ) && !self.types.is_integer(ty)
         {
             return self.err(span, "operator requires integer operands");
         }
@@ -1539,9 +1576,11 @@ impl Lowerer {
         let ty = x.ty();
         if let Type::Int(k) = self.types.get(ty) {
             let promoted = match k {
-                IntKind::Char | IntKind::SChar | IntKind::UChar | IntKind::Short | IntKind::UShort => {
-                    Some(IntKind::Int)
-                }
+                IntKind::Char
+                | IntKind::SChar
+                | IntKind::UChar
+                | IntKind::Short
+                | IntKind::UShort => Some(IntKind::Int),
                 _ => None,
             };
             if let Some(pk) = promoted {
@@ -1603,7 +1642,9 @@ impl Lowerer {
         if self.types.is_ptr(a) && self.types.is_ptr(b) {
             // Prefer the non-void side; otherwise the first.
             let av = matches!(
-                self.types.ptr_parts(a).map(|(b, _)| self.types.get(b).clone()),
+                self.types
+                    .ptr_parts(a)
+                    .map(|(b, _)| self.types.get(b).clone()),
                 Some(Type::Void)
             );
             return Ok(if av { b } else { a });
@@ -1664,7 +1705,9 @@ impl Lowerer {
         // Reject nonsensical casts early; pointer<->pointer, pointer<->int
         // and arith<->arith are all allowed.
         let ok = (self.types.is_arith(from) || self.types.is_ptr(from))
-            && (self.types.is_arith(to) || self.types.is_ptr(to) || matches!(self.types.get(to), Type::Void));
+            && (self.types.is_arith(to)
+                || self.types.is_ptr(to)
+                || matches!(self.types.get(to), Type::Void));
         if !ok {
             return self.err(span, "invalid cast");
         }
@@ -1790,7 +1833,12 @@ impl Lowerer {
         }
     }
 
-    fn index_lval(&mut self, a: &ast::Expr, i: &ast::Expr, span: Span) -> Result<(Lval, TypeId), Diag> {
+    fn index_lval(
+        &mut self,
+        a: &ast::Expr,
+        i: &ast::Expr,
+        span: Span,
+    ) -> Result<(Lval, TypeId), Diag> {
         let ix = self.lower_rvalue(i)?;
         if !self.types.is_integer(ix.ty()) {
             return self.err(span, "array index must have integer type");
@@ -1844,7 +1892,10 @@ impl Lowerer {
             _ => return self.err(span, "member access on non-struct"),
         };
         if !self.types.comp(cid).defined {
-            return self.err(span, format!("struct `{}` is incomplete here", self.types.comp(cid).name));
+            return self.err(
+                span,
+                format!("struct `{}` is incomplete here", self.types.comp(cid).name),
+            );
         }
         let idx = match self.types.field_index(cid, field) {
             Some(i) => i,
@@ -1902,8 +1953,7 @@ impl Lowerer {
                 (Callee::Ptr(x), sig)
             }
         };
-        if args_ast.len() < sig.params.len()
-            || (args_ast.len() > sig.params.len() && !sig.varargs)
+        if args_ast.len() < sig.params.len() || (args_ast.len() > sig.params.len() && !sig.varargs)
         {
             return self.err(
                 e.span,
@@ -2160,10 +2210,14 @@ mod tests {
     }
 
     fn lower_err(src: &str) -> String {
-        let tu = ccured_ast::parse_translation_unit(src).expect("parse");
-        match lower_translation_unit(&tu) {
+        // Either frontend stage may reject: the parser catches malformed
+        // declarations (e.g. unknown type names), lowering catches the rest.
+        match ccured_ast::parse_translation_unit(src) {
             Err(d) => d.msg,
-            Ok(_) => panic!("expected a lowering error for:\n{src}"),
+            Ok(tu) => match lower_translation_unit(&tu) {
+                Err(d) => d.msg,
+                Ok(_) => panic!("expected a frontend error for:\n{src}"),
+            },
         }
     }
 
@@ -2211,7 +2265,8 @@ mod tests {
 
     #[test]
     fn reports_struct_redefinition() {
-        let msg = lower_err("struct S { int a; }; struct S { int b; }; int main(void) { return 0; }");
+        let msg =
+            lower_err("struct S { int a; }; struct S { int b; }; int main(void) { return 0; }");
         assert!(msg.contains("redefinition"), "{msg}");
     }
 
@@ -2242,7 +2297,10 @@ mod tests {
             "struct A { int x; };\n\
              int main(void) { struct A a; int *p; p = a; return 0; }",
         );
-        assert!(msg.contains("incompatible") || msg.contains("not an lvalue"), "{msg}");
+        assert!(
+            msg.contains("incompatible") || msg.contains("not an lvalue"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -2263,7 +2321,11 @@ mod tests {
             "char *a = \"dup\"; char *b = \"dup\"; char *c = \"other\";\n\
              int main(void) { return 0; }",
         );
-        let strs = p.globals.iter().filter(|g| g.name.starts_with("__str")).count();
+        let strs = p
+            .globals
+            .iter()
+            .filter(|g| g.name.starts_with("__str"))
+            .count();
         assert_eq!(strs, 2, "identical literals share a global");
     }
 
@@ -2292,8 +2354,10 @@ mod tests {
              #pragma something_else entirely\n\
              int main(void) { return 0; }",
         );
-        assert!(matches!(&p.pragmas[0], CcuredPragma::WrapperOf { wrapper, external }
-            if wrapper == "w" && external == "f"));
+        assert!(
+            matches!(&p.pragmas[0], CcuredPragma::WrapperOf { wrapper, external }
+            if wrapper == "w" && external == "f")
+        );
         assert!(matches!(&p.pragmas[1], CcuredPragma::SplitVar(n) if n == "g"));
         assert!(matches!(&p.pragmas[2], CcuredPragma::TrustedFn(n) if n == "t"));
         assert!(matches!(&p.pragmas[3], CcuredPragma::Unknown(_)));

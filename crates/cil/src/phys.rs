@@ -245,7 +245,9 @@ impl<'a> PhysCtx<'a> {
             return true;
         }
         // Function "prefixes" make no sense.
-        if matches!(self.types.get(sup), Type::Func(_)) || matches!(self.types.get(sub), Type::Func(_)) {
+        if matches!(self.types.get(sup), Type::Func(_))
+            || matches!(self.types.get(sub), Type::Func(_))
+        {
             return false;
         }
         let (ssup, ssub) = match (self.stream(sup), self.stream(sub)) {
@@ -452,7 +454,8 @@ impl<'a> PhysCtx<'a> {
             }
             Type::Array(elem, _) => self.quals_rec(elem, out, seen),
             Type::Comp(cid) => {
-                let fields: Vec<TypeId> = self.types.comp(cid).fields.iter().map(|f| f.ty).collect();
+                let fields: Vec<TypeId> =
+                    self.types.comp(cid).fields.iter().map(|f| f.ty).collect();
                 for f in fields {
                     self.quals_rec(f, out, seen);
                 }
@@ -483,8 +486,8 @@ fn lcm(a: u64, b: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lower::lower_translation_unit;
     use crate::ir::Program;
+    use crate::lower::lower_translation_unit;
 
     fn prog(src: &str) -> Program {
         let tu = ccured_ast::parse_translation_unit(src).expect("parse");
@@ -493,7 +496,9 @@ mod tests {
 
     /// Pointee type of the global named `name`.
     fn pointee(p: &Program, name: &str) -> TypeId {
-        let g = p.find_global(name).unwrap_or_else(|| panic!("global {name}"));
+        let g = p
+            .find_global(name)
+            .unwrap_or_else(|| panic!("global {name}"));
         let ty = p.globals[g.idx()].ty;
         p.types.ptr_parts(ty).expect("pointer global").0
     }
@@ -684,7 +689,10 @@ mod tests {
              union U2 { int i; char c[4]; } *b;",
         );
         let mut ctx = PhysCtx::new(&p.types);
-        assert!(!ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")), "distinct unions are opaque");
+        assert!(
+            !ctx.phys_eq(pointee(&p, "a"), pointee(&p, "b")),
+            "distinct unions are opaque"
+        );
         assert!(ctx.phys_eq(pointee(&p, "a"), pointee(&p, "a")));
     }
 

@@ -188,7 +188,11 @@ pub fn dump_exp(p: &Program, e: &Exp) -> String {
             format!("({} {} {})", dump_exp(p, a), binop_str(*op), dump_exp(p, b))
         }
         Exp::Cast(id, x, t) => {
-            let trusted = if p.casts[id.idx()].trusted { " trusted" } else { "" };
+            let trusted = if p.casts[id.idx()].trusted {
+                " trusted"
+            } else {
+                ""
+            };
             format!("({}{})({})", p.types.display(*t), trusted, dump_exp(p, x))
         }
         Exp::SizeOf(t, n, _) => format!("sizeof({} /* {n} */)", p.types.display(*t)),

@@ -43,7 +43,12 @@ impl IntKind {
     pub fn is_signed(self) -> bool {
         matches!(
             self,
-            IntKind::Char | IntKind::SChar | IntKind::Short | IntKind::Int | IntKind::Long | IntKind::LongLong
+            IntKind::Char
+                | IntKind::SChar
+                | IntKind::Short
+                | IntKind::Int
+                | IntKind::Long
+                | IntKind::LongLong
         )
     }
 }
@@ -471,7 +476,11 @@ impl TypeTable {
             Type::Array(elem, None) => format!("{}[]", self.display(*elem)),
             Type::Comp(c) => {
                 let info = self.comp(*c);
-                format!("{} {}", if info.is_union { "union" } else { "struct" }, info.name)
+                format!(
+                    "{} {}",
+                    if info.is_union { "union" } else { "struct" },
+                    info.name
+                )
             }
             Type::Func(sig) => {
                 let params: Vec<String> = sig.params.iter().map(|p| self.display(*p)).collect();

@@ -6,22 +6,32 @@
 //!
 //! ```text
 //! ccured <file.c> [options]
+//! ccured explain <file.c> [--sym name] [options]
 //!
 //!   --run                 execute after curing (default mode: cured)
 //!   --mode <m>            original | cured | purify | valgrind | joneskelly
 //!   --input <file>        bytes for the input builtins (getchar/net_recv)
 //!   --report              print the cure report (kinds, casts, checks)
-//!   --review              print the code-review surface (trusted/bad casts)
+//!   --review              print the code-review surface (trusted/bad casts
+//!                         plus WILD blame paths)
+//!   --sym <name>          `explain`: only this symbol (local as `f::p`
+//!                         or plain `p`, global by name)
 //!   --counters            print event counters after --run
 //!   --emit-ir             dump the (instrumented) CIL
 //!   --wrappers            prepend the stdlib wrapper prelude
 //!   --strict-link         fail on link-audit findings
 //!   --original-ccured     disable physical subtyping and RTTI
 //!   --no-rtti             disable RTTI only
+//!   --no-opt              disable redundant-check elimination (ablation)
 //!   --split-everything    force the SPLIT representation everywhere
 //!   --split-at-boundaries seed SPLIT at external-call boundaries
 //!   --fuel <n>            instruction budget for --run
 //! ```
+//!
+//! `ccured explain` prints, for every WILD pointer (or the one named by
+//! `--sym`), the shortest chain of value flows from that pointer back to
+//! the cast or operation that poisoned it — the paper's "browser" workflow
+//! for auditing why inference made a pointer WILD.
 //!
 //! The library half exists so the argument parser and driver can be unit
 //! tested; `main.rs` is a thin wrapper.
@@ -51,6 +61,10 @@ pub enum Mode {
 pub struct Options {
     /// The C source file.
     pub file: String,
+    /// `explain` subcommand: print blame paths for WILD pointers.
+    pub explain: bool,
+    /// `--sym`: restrict `explain` to one symbol.
+    pub sym: Option<String>,
     /// Execute after curing.
     pub run: bool,
     /// Execution mode.
@@ -73,6 +87,8 @@ pub struct Options {
     pub original_ccured: bool,
     /// Disable RTTI only.
     pub no_rtti: bool,
+    /// Disable redundant-check elimination.
+    pub no_opt: bool,
     /// Force SPLIT everywhere.
     pub split_everything: bool,
     /// Seed SPLIT at boundaries.
@@ -105,8 +121,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
         it.next()
             .ok_or_else(|| UsageError(format!("{flag} requires a value")))
     };
+    let mut first_positional = true;
     while let Some(a) = it.next() {
         match a.as_str() {
+            // Subcommand form: `ccured explain <file.c> [--sym name]`.
+            "explain" if first_positional => {
+                first_positional = false;
+                o.explain = true;
+            }
             "--run" => o.run = true,
             "--report" => o.report = true,
             "--review" => o.review = true,
@@ -116,6 +138,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--strict-link" => o.strict_link = true,
             "--original-ccured" => o.original_ccured = true,
             "--no-rtti" => o.no_rtti = true,
+            "--no-opt" => o.no_opt = true,
+            "--sym" => o.sym = Some(need(&mut it, "--sym")?),
             "--split-everything" => o.split_everything = true,
             "--split-at-boundaries" => o.split_at_boundaries = true,
             "--mode" => {
@@ -146,6 +170,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                 return Err(UsageError(format!("unknown flag `{flag}`\n{USAGE}")))
             }
             file => {
+                first_positional = false;
                 if o.file.is_empty() {
                     o.file = file.to_string();
                 } else {
@@ -157,14 +182,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
     if o.file.is_empty() {
         return Err(UsageError(format!("no input file\n{USAGE}")));
     }
+    if o.sym.is_some() && !o.explain {
+        return Err(UsageError(
+            "--sym only applies to the `explain` subcommand".into(),
+        ));
+    }
     Ok(o)
 }
 
 /// The usage string.
-pub const USAGE: &str = "usage: ccured <file.c> [--run] [--mode cured|original|purify|valgrind|joneskelly]
+pub const USAGE: &str =
+    "usage: ccured <file.c> [--run] [--mode cured|original|purify|valgrind|joneskelly]
               [--input FILE] [--report] [--review] [--counters] [--emit-ir] [--wrappers]
-              [--strict-link] [--original-ccured] [--no-rtti]
-              [--split-everything] [--split-at-boundaries] [--fuel N]";
+              [--strict-link] [--original-ccured] [--no-rtti] [--no-opt]
+              [--split-everything] [--split-at-boundaries] [--fuel N]
+       ccured explain <file.c> [--sym NAME] [other options]";
 
 /// What a driver invocation produced (for testing and for `main`).
 #[derive(Debug)]
@@ -206,6 +238,22 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
     }
 
     let cured = curer(o).cure_source(source)?;
+    // Static failure diagnostics are warnings: the check provably fails on
+    // every execution that reaches it (the run still aborts safely).
+    for sf in &cured.report.static_failures {
+        let pos = if sf.span == ccured_ast::Span::DUMMY {
+            String::new()
+        } else {
+            let full = with_prelude(o, source);
+            let map = ccured_ast::SourceMap::new(&o.file, full);
+            let lc = map.lookup(sf.span.lo);
+            format!("{}:{lc}: ", o.file)
+        };
+        out.push_str(&format!(
+            "{pos}warning: in `{}`: {} ({} check always fails)\n",
+            sf.func, sf.message, sf.check
+        ));
+    }
     if o.report {
         render_report(&cured, &mut out);
     }
@@ -219,11 +267,19 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
         if surface.is_empty() {
             out.push_str("review surface: empty (no trusted or bad casts)\n");
         } else {
-            out.push_str(&format!("review surface ({} casts to audit):\n", surface.len()));
+            out.push_str(&format!(
+                "review surface ({} casts to audit):\n",
+                surface.len()
+            ));
             for line in surface {
                 out.push_str(&format!("  {line}\n"));
             }
         }
+    }
+    if o.explain || o.review {
+        let full = with_prelude(o, source);
+        let map = ccured_ast::SourceMap::new(&o.file, full);
+        render_explanations(&cured, o, &map, &mut out);
     }
     if o.emit_ir {
         out.push_str(&ccured_cil::pretty::dump_program(&cured.program));
@@ -237,7 +293,10 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
             out,
         ));
     }
-    Ok(Outcome { exit: 0, stdout: out })
+    Ok(Outcome {
+        exit: 0,
+        stdout: out,
+    })
 }
 
 /// The exact text the pipeline parses: the wrapper prelude (when enabled)
@@ -269,6 +328,7 @@ fn curer(o: &Options) -> Curer {
     if o.no_rtti {
         c.rtti(false);
     }
+    c.optimize(!o.no_opt);
     c.split_everything(o.split_everything);
     c.split_at_boundaries(o.split_at_boundaries);
     c.strict_link(o.strict_link);
@@ -276,6 +336,66 @@ fn curer(o: &Options) -> Curer {
         c.with_stdlib_wrappers();
     }
     c
+}
+
+/// Prints blame paths: every WILD pointer in `explain` mode (and appended
+/// to `--review` output), or just the `--sym` symbol when given.
+fn render_explanations(cured: &Cured, o: &Options, map: &ccured_ast::SourceMap, out: &mut String) {
+    use ccured_analysis::{blame_path, qual_names, render_blame};
+    use ccured_cil::types::QualId;
+    use ccured_infer::PtrKind;
+    let names = qual_names(&cured.program);
+    let quals = (0..cured.program.types.qual_count()).map(QualId);
+    let mut explained = 0usize;
+    match &o.sym {
+        Some(sym) => {
+            let suffix = format!("::{sym}");
+            let matching: Vec<QualId> = quals
+                .filter(|q| {
+                    names
+                        .get(q)
+                        .is_some_and(|n| n == sym || n.ends_with(&suffix))
+                })
+                .collect();
+            if matching.is_empty() {
+                out.push_str(&format!("explain: no pointer named `{sym}`\n"));
+                return;
+            }
+            for q in matching {
+                let kind = cured.solution.kind(q);
+                match kind {
+                    PtrKind::Safe => {
+                        out.push_str(&format!("`{}` is Safe — nothing to explain\n", names[&q]))
+                    }
+                    PtrKind::Seq | PtrKind::Wild => match blame_path(&cured.provenance, q, kind) {
+                        Some(b) => out.push_str(&render_blame(&names, Some(map), &b)),
+                        None => out.push_str(&format!(
+                            "`{}` is {kind:?} (no recorded provenance)\n",
+                            names[&q]
+                        )),
+                    },
+                }
+            }
+        }
+        None => {
+            for q in quals {
+                if cured.solution.kind(q) != PtrKind::Wild || !names.contains_key(&q) {
+                    continue;
+                }
+                explained += 1;
+                match blame_path(&cured.provenance, q, PtrKind::Wild) {
+                    Some(b) => out.push_str(&render_blame(&names, Some(map), &b)),
+                    None => out.push_str(&format!(
+                        "`{}` is Wild (no recorded provenance)\n",
+                        names[&q]
+                    )),
+                }
+            }
+            if explained == 0 && o.explain {
+                out.push_str("explain: no WILD pointers — nothing to explain\n");
+            }
+        }
+    }
 }
 
 fn execute(
@@ -353,6 +473,18 @@ fn render_report(cured: &Cured, out: &mut String) {
         k.no_stack_escape,
         k.index_bound
     ));
+    let e = &r.checks_elided;
+    out.push_str(&format!(
+        "checks elided: {} (null={} seq={} seq2safe={} wild={} tag={} rtti={} index={})\n",
+        e.total(),
+        e.null,
+        e.seq_bounds,
+        e.seq_to_safe,
+        e.wild_bounds,
+        e.wild_tag,
+        e.rtti,
+        e.index_bound
+    ));
     if !r.wrappers_applied.is_empty() {
         out.push_str(&format!(
             "wrappers applied: {}\n",
@@ -402,6 +534,93 @@ mod tests {
         assert!(args("a.c b.c").is_err(), "two files");
         assert!(args("prog.c --fuel abc").is_err());
         assert!(args("prog.c --mode").is_err(), "missing value");
+    }
+
+    #[test]
+    fn parses_explain_subcommand() {
+        let o = args("explain prog.c --sym p").unwrap();
+        assert!(o.explain);
+        assert_eq!(o.sym.as_deref(), Some("p"));
+        assert_eq!(o.file, "prog.c");
+        assert!(args("prog.c --sym p").is_err(), "--sym requires explain");
+        assert!(args("explain").is_err(), "explain still needs a file");
+        let plain = args("prog.c --no-opt").unwrap();
+        assert!(plain.no_opt && !plain.explain);
+    }
+
+    #[test]
+    fn drive_explain_names_the_poisoning_cast() {
+        let o = args("explain t.c").unwrap();
+        let r = drive(
+            &o,
+            "int f(double *d) { int *q; q = (int *)d; return *q; }",
+            b"",
+        )
+        .unwrap();
+        assert_eq!(r.exit, 0);
+        assert!(r.stdout.contains("is Wild"), "{}", r.stdout);
+        assert!(r.stdout.contains("bad cast"), "{}", r.stdout);
+        assert!(r.stdout.contains("t.c:1:"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn drive_explain_sym_filters_and_handles_safe() {
+        let src = "int f(double *d, int *ok) { int *q; q = (int *)d; return *q + *ok; }";
+        let r = drive(&args("explain t.c --sym ok").unwrap(), src, b"").unwrap();
+        assert!(r.stdout.contains("`f::ok` is Safe"), "{}", r.stdout);
+        assert!(!r.stdout.contains("is Wild"), "{}", r.stdout);
+        let r = drive(&args("explain t.c --sym nosuch").unwrap(), src, b"").unwrap();
+        assert!(r.stdout.contains("no pointer named"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn drive_explain_reports_nothing_wild() {
+        let r = drive(
+            &args("explain t.c").unwrap(),
+            "int f(int *p) { return *p; }",
+            b"",
+        )
+        .unwrap();
+        assert!(r.stdout.contains("no WILD pointers"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn drive_review_includes_blame() {
+        let src = "int f(double *d) { int *q; q = (int *)d; return *q; }";
+        let r = drive(&args("t.c --review").unwrap(), src, b"").unwrap();
+        assert!(r.stdout.contains("BAD cast"), "{}", r.stdout);
+        assert!(r.stdout.contains("root cause"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn drive_report_shows_elision_and_no_opt_disables_it() {
+        let src = "int main(void) { int x; int *p; x = 1; p = &x; return *p + *p; }";
+        let opt = drive(&args("t.c --report").unwrap(), src, b"").unwrap();
+        assert!(opt.stdout.contains("checks elided:"), "{}", opt.stdout);
+        assert!(!opt.stdout.contains("checks elided: 0 "), "{}", opt.stdout);
+        let noopt = drive(&args("t.c --report --no-opt").unwrap(), src, b"").unwrap();
+        assert!(
+            noopt.stdout.contains("checks elided: 0 "),
+            "{}",
+            noopt.stdout
+        );
+    }
+
+    #[test]
+    fn drive_warns_on_static_failures() {
+        let r = drive(
+            &args("t.c").unwrap(),
+            "int main(void) { int *p; p = 0; return *p; }",
+            b"",
+        )
+        .unwrap();
+        assert!(r.stdout.contains("warning:"), "{}", r.stdout);
+        assert!(r.stdout.contains("null"), "{}", r.stdout);
+        assert!(
+            r.stdout.contains("t.c:1:"),
+            "position attached: {}",
+            r.stdout
+        );
     }
 
     #[test]
@@ -468,7 +687,12 @@ mod tests {
         let modern = drive(&args("m.c --run --report").unwrap(), src, b"").unwrap();
         assert_eq!(modern.exit, 5);
         assert!(modern.stdout.contains("0% WILD"), "{}", modern.stdout);
-        let old = drive(&args("m.c --run --report --original-ccured").unwrap(), src, b"").unwrap();
+        let old = drive(
+            &args("m.c --run --report --original-ccured").unwrap(),
+            src,
+            b"",
+        )
+        .unwrap();
         assert_eq!(old.exit, 5, "WILD pointers still execute correctly");
         assert!(!old.stdout.contains(" 0% WILD"), "{}", old.stdout);
     }
@@ -486,7 +710,12 @@ mod tests {
         let plain = drive(&args("m.c --run --counters").unwrap(), src, b"").unwrap();
         assert_eq!(plain.exit, 6);
         assert!(plain.stdout.contains("meta_ops=0"), "{}", plain.stdout);
-        let split = drive(&args("m.c --run --counters --split-everything").unwrap(), src, b"").unwrap();
+        let split = drive(
+            &args("m.c --run --counters --split-everything").unwrap(),
+            src,
+            b"",
+        )
+        .unwrap();
         assert_eq!(split.exit, 6);
         assert!(!split.stdout.contains("meta_ops=0"), "{}", split.stdout);
     }

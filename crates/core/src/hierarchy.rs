@@ -226,9 +226,21 @@ mod tests {
              struct Circle { void *vt; int radius; } *c;\n\
              struct Square { void *vt; int side; int area; } *s;",
         );
-        let tf = p.types.ptr_parts(p.globals[p.find_global("f").unwrap().idx()].ty).unwrap().0;
-        let tc = p.types.ptr_parts(p.globals[p.find_global("c").unwrap().idx()].ty).unwrap().0;
-        let ts = p.types.ptr_parts(p.globals[p.find_global("s").unwrap().idx()].ty).unwrap().0;
+        let tf = p
+            .types
+            .ptr_parts(p.globals[p.find_global("f").unwrap().idx()].ty)
+            .unwrap()
+            .0;
+        let tc = p
+            .types
+            .ptr_parts(p.globals[p.find_global("c").unwrap().idx()].ty)
+            .unwrap()
+            .0;
+        let ts = p
+            .types
+            .ptr_parts(p.globals[p.find_global("s").unwrap().idx()].ty)
+            .unwrap()
+            .0;
         let nf = h.node_of(&p, tf).unwrap();
         let nc = h.node_of(&p, tc).unwrap();
         let ns = h.node_of(&p, ts).unwrap();
@@ -262,8 +274,16 @@ mod tests {
     #[test]
     fn unrelated_types_are_not_subtypes() {
         let (p, h) = build("long *l; double *d;");
-        let tl = p.types.ptr_parts(p.globals[p.find_global("l").unwrap().idx()].ty).unwrap().0;
-        let td = p.types.ptr_parts(p.globals[p.find_global("d").unwrap().idx()].ty).unwrap().0;
+        let tl = p
+            .types
+            .ptr_parts(p.globals[p.find_global("l").unwrap().idx()].ty)
+            .unwrap()
+            .0;
+        let td = p
+            .types
+            .ptr_parts(p.globals[p.find_global("d").unwrap().idx()].ty)
+            .unwrap()
+            .0;
         let nl = h.node_of(&p, tl).unwrap();
         let nd = h.node_of(&p, td).unwrap();
         assert!(!h.is_subtype_walk(nl, nd).0);
@@ -286,8 +306,16 @@ mod tests {
              struct B { long x; long y; } *b;\n\
              struct C { long x; long y; long z; } *c;",
         );
-        let tc = p.types.ptr_parts(p.globals[p.find_global("c").unwrap().idx()].ty).unwrap().0;
-        let ta = p.types.ptr_parts(p.globals[p.find_global("a").unwrap().idx()].ty).unwrap().0;
+        let tc = p
+            .types
+            .ptr_parts(p.globals[p.find_global("c").unwrap().idx()].ty)
+            .unwrap()
+            .0;
+        let ta = p
+            .types
+            .ptr_parts(p.globals[p.find_global("a").unwrap().idx()].ty)
+            .unwrap()
+            .0;
         let nc = h.node_of(&p, tc).unwrap();
         let na = h.node_of(&p, ta).unwrap();
         let (ok, steps) = h.is_subtype_walk(nc, na);

@@ -82,6 +82,7 @@ pub fn instrument(prog: &mut Program, sol: &Solution, hier: &Hierarchy) -> Check
             hier,
             phys: PhysCtx::new(&prog.types),
             counts: CheckCounts::default(),
+            span: ccured_ast::Span::DUMMY,
         };
         let bodies = prog
             .functions
@@ -110,6 +111,9 @@ struct Ctx<'a> {
     hier: &'a Hierarchy,
     phys: PhysCtx<'a>,
     counts: CheckCounts,
+    // Span of the instruction currently being instrumented; inserted checks
+    // inherit it so diagnostics and blame output have source positions.
+    span: ccured_ast::Span,
 }
 
 impl<'a> Ctx<'a> {
@@ -157,6 +161,9 @@ impl<'a> Ctx<'a> {
     }
 
     fn flush_exp_checks(&mut self, f: &Function, e: &Exp, out: &mut Vec<Stmt>) {
+        // Conditions and return expressions have no instruction span; fall
+        // back to the enclosing function's so diagnostics stay anchored.
+        self.span = f.span;
         let mut list = Vec::new();
         self.checks_for_exp(f, e, &mut list);
         if !list.is_empty() {
@@ -166,23 +173,22 @@ impl<'a> Ctx<'a> {
 
     fn push(&mut self, c: Check, out: &mut Vec<Instr>) {
         self.counts.bump(&c);
-        out.push(Instr::Check(c, ccured_ast::Span::DUMMY));
+        out.push(Instr::Check(c, self.span));
     }
 
     fn checks_for_instr(&mut self, f: &Function, i: &Instr, out: &mut Vec<Instr>) {
+        if let Instr::Set(_, _, s) | Instr::Call(_, _, _, s) = i {
+            self.span = *s;
+        }
         match i {
             Instr::Set(lv, e, _) => {
                 self.checks_for_lval(f, lv, out);
                 self.checks_for_exp(f, e, out);
                 // Pointer stores to memory must not leak stack addresses
                 // (Appendix A: write checks).
-                let stored_to_memory =
-                    lv.is_deref() || matches!(lv.base, LvBase::Global(_));
+                let stored_to_memory = lv.is_deref() || matches!(lv.base, LvBase::Global(_));
                 if stored_to_memory && self.prog.types.is_ptr(e.ty()) {
-                    self.push(
-                        Check::NoStackEscape { value: e.clone() },
-                        out,
-                    );
+                    self.push(Check::NoStackEscape { value: e.clone() }, out);
                 }
             }
             Instr::Call(ret, callee, args, _) => {
@@ -390,7 +396,10 @@ mod tests {
             "int f(double *d) { int **pp; int *q; pp = (int **)d; q = *pp; return *q; }",
         );
         assert!(c.wild_bounds >= 1);
-        assert!(c.wild_tag >= 1, "reading a pointer through WILD needs a tag check");
+        assert!(
+            c.wild_tag >= 1,
+            "reading a pointer through WILD needs a tag check"
+        );
     }
 
     #[test]
@@ -429,9 +438,7 @@ mod tests {
 
     #[test]
     fn indirect_call_gets_null_check() {
-        let (_, c) = instrumented(
-            "int apply(int (*fp)(int), int x) { return fp(x); }",
-        );
+        let (_, c) = instrumented("int apply(int (*fp)(int), int x) { return fp(x); }");
         assert!(c.null >= 1);
     }
 
@@ -450,9 +457,8 @@ mod tests {
 
     #[test]
     fn trusted_cast_unchecked() {
-        let (_, c) = instrumented(
-            "int f(double *d) { int *q; q = (int * __TRUSTED)d; return *q; }",
-        );
+        let (_, c) =
+            instrumented("int f(double *d) { int *q; q = (int * __TRUSTED)d; return *q; }");
         assert_eq!(c.rtti, 0);
         assert_eq!(c.seq_to_safe, 0);
         // The SAFE deref of q still gets its null check.
@@ -478,9 +484,8 @@ mod tests {
 
     #[test]
     fn check_totals_add_up() {
-        let (_, c) = instrumented(
-            "int f(int *p, int i) { int a[4]; a[i] = *p; return a[i] + p[i]; }",
-        );
+        let (_, c) =
+            instrumented("int f(int *p, int i) { int a[4]; a[i] = *p; return a[i] + p[i]; }");
         assert_eq!(
             c.total(),
             c.null

@@ -12,7 +12,9 @@
 //! 4. construction of the global physical-subtype hierarchy used by RTTI
 //!    checks (Section 3.2),
 //! 5. instrumentation with run-time checks (Figures 10–11),
-//! 6. a link audit that flags incompatible external calls (Section 4).
+//! 6. redundant-check elimination (`ccured-analysis`): dataflow facts
+//!    delete checks an earlier check already proved,
+//! 7. a link audit that flags incompatible external calls (Section 4).
 //!
 //! The result is a [`Cured`] program that `ccured-rt` can execute with full
 //! memory-safety guarantees.
@@ -36,3 +38,6 @@ pub mod wrappers;
 
 pub use hierarchy::Hierarchy;
 pub use pipeline::{CureError, CureReport, Cured, Curer};
+// Re-exported so downstream users of the report types need not name the
+// analysis crate directly.
+pub use ccured_analysis::{ElisionStats, StaticFailure};

@@ -1,12 +1,13 @@
 //! The end-to-end CCured pipeline: parse → lower → infer → wrap →
-//! instrument → audit.
+//! instrument → optimize → audit.
 
 use crate::hierarchy::Hierarchy;
 use crate::instrument::{instrument, CheckCounts};
 use crate::wrappers::{apply_wrappers, check_link, LinkIssue};
+use ccured_analysis::{eliminate_checks, ElisionResult, ElisionStats, StaticFailure};
 use ccured_cil::ir::Program;
 use ccured_infer::solve::AnnotationViolation;
-use ccured_infer::{infer, CastCensus, InferOptions, KindCounts, Solution};
+use ccured_infer::{infer, CastCensus, InferOptions, KindCounts, Provenance, Solution};
 use std::fmt;
 
 /// Errors produced while curing a program.
@@ -49,8 +50,14 @@ pub struct CureReport {
     pub kind_counts: KindCounts,
     /// Cast classification census.
     pub census: CastCensus,
-    /// Static counts of inserted run-time checks.
+    /// Static counts of inserted run-time checks (before elimination).
     pub checks_inserted: CheckCounts,
+    /// Static counts of checks the optimizer proved redundant and deleted.
+    pub checks_elided: ElisionStats,
+    /// Checks provable to *always* fail at run time (compile-time
+    /// diagnostics; the checks themselves are kept so behaviour is
+    /// unchanged).
+    pub static_failures: Vec<StaticFailure>,
     /// `(wrapper, external)` pairs applied.
     pub wrappers_applied: Vec<(String, String)>,
     /// Trusted casts in the program (the code-review surface).
@@ -74,6 +81,9 @@ pub struct Cured {
     pub solution: Solution,
     /// The physical-subtype hierarchy for RTTI checks.
     pub hierarchy: Hierarchy,
+    /// Qualifier-promotion provenance recorded by the solver, consumed by
+    /// the blame explainer (`ccured-analysis`).
+    pub provenance: Provenance,
     /// Cure summary.
     pub report: CureReport,
 }
@@ -95,6 +105,7 @@ pub struct Cured {
 pub struct Curer {
     options: InferOptions,
     strict_link: bool,
+    optimize: bool,
     prelude: Option<String>,
 }
 
@@ -111,6 +122,7 @@ impl Curer {
         Curer {
             options: InferOptions::default(),
             strict_link: false,
+            optimize: true,
             prelude: None,
         }
     }
@@ -121,6 +133,7 @@ impl Curer {
         Curer {
             options: InferOptions::original_ccured(),
             strict_link: false,
+            optimize: true,
             prelude: None,
         }
     }
@@ -152,6 +165,13 @@ impl Curer {
     /// Makes link-audit findings fatal ([`CureError::Link`]).
     pub fn strict_link(&mut self, on: bool) -> &mut Self {
         self.strict_link = on;
+        self
+    }
+
+    /// Enables/disables redundant-check elimination (on by default; the
+    /// CLI's `--no-opt` ablation flag turns it off).
+    pub fn optimize(&mut self, on: bool) -> &mut Self {
+        self.optimize = on;
         self
     }
 
@@ -203,12 +223,21 @@ impl Curer {
 
         let hierarchy = Hierarchy::build(&prog);
         let checks_inserted = instrument(&mut prog, &result.solution, &hierarchy);
+        // Redundant-check elimination (the real CCured's optimizer): facts
+        // established by earlier checks delete dominated ones.
+        let elision = if self.optimize {
+            eliminate_checks(&mut prog)
+        } else {
+            ElisionResult::default()
+        };
 
         let trusted_casts = prog.casts.iter().filter(|c| c.trusted).count();
         let report = CureReport {
             kind_counts: declared_kind_counts(&prog, &result.solution),
             census: result.census,
             checks_inserted,
+            checks_elided: elision.stats,
+            static_failures: elision.failures,
             wrappers_applied,
             trusted_casts,
             split_quals: result.solution.split_count(),
@@ -221,6 +250,7 @@ impl Curer {
             program: prog,
             solution: result.solution,
             hierarchy,
+            provenance: result.provenance,
             report,
         })
     }
@@ -255,7 +285,11 @@ impl Cured {
                 continue;
             }
             let pos = map.lookup(site.span.lo);
-            let label = if site.trusted { "trusted cast" } else { "BAD cast (WILD)" };
+            let label = if site.trusted {
+                "trusted cast"
+            } else {
+                "BAD cast (WILD)"
+            };
             let location = if pos.line > prelude_lines {
                 format!("{}:{}:{}", map.name(), pos.line - prelude_lines, pos.col)
             } else {
@@ -278,13 +312,11 @@ impl Cured {
 fn declared_kind_counts(prog: &Program, sol: &Solution) -> KindCounts {
     use ccured_cil::types::{Type, TypeId};
     let mut counts = KindCounts::default();
-    let mut bump = |sol: &Solution, q: ccured_cil::types::QualId| {
-        match sol.effective(q) {
-            ccured_infer::EffectiveKind::Safe => counts.safe += 1,
-            ccured_infer::EffectiveKind::Seq => counts.seq += 1,
-            ccured_infer::EffectiveKind::Wild => counts.wild += 1,
-            ccured_infer::EffectiveKind::Rtti => counts.rtti += 1,
-        }
+    let mut bump = |sol: &Solution, q: ccured_cil::types::QualId| match sol.effective(q) {
+        ccured_infer::EffectiveKind::Safe => counts.safe += 1,
+        ccured_infer::EffectiveKind::Seq => counts.seq += 1,
+        ccured_infer::EffectiveKind::Wild => counts.wild += 1,
+        ccured_infer::EffectiveKind::Rtti => counts.rtti += 1,
     };
     // Walk a declared type: its own pointer levels (but not into comps,
     // whose fields are counted once below).
@@ -359,9 +391,7 @@ mod tests {
     #[test]
     fn cure_reports_kind_percentages() {
         let cured = Curer::new()
-            .cure_source(
-                "int f(int *p, char *s, int n) { return p[n] + *s; }",
-            )
+            .cure_source("int f(int *p, char *s, int n) { return p[n] + *s; }")
             .expect("cure");
         let (sf, sq, w, rt) = cured.report.kind_counts.percentages();
         assert!(sf > 0);
@@ -387,9 +417,7 @@ mod tests {
         let cured = Curer::new()
             .strict_link(true)
             .with_stdlib_wrappers()
-            .cure_source(
-                "int f(char *b, int i) { b = b + i; return (int)strlen(b); }",
-            )
+            .cure_source("int f(char *b, int i) { b = b + i; return (int)strlen(b); }")
             .expect("wrapped strlen call must link");
         assert!(cured
             .report
@@ -413,6 +441,77 @@ mod tests {
         let old = Curer::original_ccured().cure_source(src).expect("cure");
         assert!(old.report.kind_counts.wild > new.report.kind_counts.wild);
         assert_eq!(new.report.kind_counts.wild, 0);
+    }
+
+    #[test]
+    fn redundant_checks_are_elided_by_default() {
+        // Two SAFE derefs of an unchanged `p`: the second null check is
+        // dominated by the first and must be deleted.
+        let cured = Curer::new()
+            .cure_source("int f(int *p) { int a; a = *p; a = a + *p; return a; }")
+            .expect("cure");
+        assert_eq!(cured.report.checks_inserted.null, 2);
+        assert_eq!(cured.report.checks_elided.null, 1);
+        // The surviving program really has one check fewer.
+        let remaining = count_checks(&cured.program);
+        assert_eq!(
+            remaining as u64,
+            cured.report.checks_inserted.total() as u64 - cured.report.checks_elided.total()
+        );
+    }
+
+    #[test]
+    fn no_opt_keeps_every_check() {
+        let src = "int f(int *p) { int a; a = *p; a = a + *p; return a; }";
+        let cured = Curer::new().optimize(false).cure_source(src).expect("cure");
+        assert_eq!(cured.report.checks_elided.total(), 0);
+        assert_eq!(
+            count_checks(&cured.program),
+            cured.report.checks_inserted.total()
+        );
+    }
+
+    #[test]
+    fn static_failures_surface_in_the_report() {
+        let cured = Curer::new()
+            .cure_source("int main(void) { int *p; p = 0; return *p; }")
+            .expect("cure");
+        assert_eq!(
+            cured.report.static_failures.len(),
+            1,
+            "{:?}",
+            cured.report.static_failures
+        );
+        assert!(cured.report.static_failures[0].message.contains("null"));
+    }
+
+    fn count_checks(prog: &Program) -> usize {
+        use ccured_cil::ir::{Instr, Stmt};
+        fn walk(stmts: &[Stmt], n: &mut usize) {
+            for s in stmts {
+                match s {
+                    Stmt::Instr(is) => {
+                        *n += is.iter().filter(|i| matches!(i, Instr::Check(..))).count()
+                    }
+                    Stmt::If(_, t, e) => {
+                        walk(t, n);
+                        walk(e, n);
+                    }
+                    Stmt::Loop(b) | Stmt::Block(b) => walk(b, n),
+                    Stmt::Switch(_, arms) => {
+                        for a in arms {
+                            walk(&a.body, n);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut n = 0;
+        for f in &prog.functions {
+            walk(&f.body, &mut n);
+        }
+        n
     }
 
     #[test]

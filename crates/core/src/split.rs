@@ -126,10 +126,8 @@ impl<'s> SplitTypes<'s> {
                         let eq = types.fresh_qual();
                         let ep = types.mk_ptr_with_qual(cb, eq);
                         let (fqb, fqe) = (types.fresh_qual(), types.fresh_qual());
-                        let mut fields = vec![
-                            ("b".to_string(), bp, fqb),
-                            ("e".to_string(), ep, fqe),
-                        ];
+                        let mut fields =
+                            vec![("b".to_string(), bp, fqb), ("e".to_string(), ep, fqe)];
                         if let Some(bm) = base_meta {
                             let mq = types.fresh_qual();
                             let mp = types.mk_ptr_with_qual(bm, mq);
@@ -211,11 +209,7 @@ pub fn qual_of(types: &TypeTable, t: TypeId) -> Option<QualId> {
 /// Builds the `FuncSig`-shaped metadata summary used by the runtime when
 /// calling split-typed functions: per parameter, whether metadata travels
 /// alongside.
-pub fn param_meta_shape(
-    types: &mut TypeTable,
-    sol: &Solution,
-    sig: &FuncSig,
-) -> Vec<bool> {
+pub fn param_meta_shape(types: &mut TypeTable, sol: &Solution, sig: &FuncSig) -> Vec<bool> {
     let mut st = SplitTypes::new(types, sol);
     sig.params
         .iter()
@@ -254,7 +248,10 @@ mod tests {
         let (mut prog, sol) = setup("int *p; int f(void) { return *p; }");
         let mut st = SplitTypes::new(&prog.types, &sol);
         let tp = prog.globals[0].ty;
-        assert!(st.meta_type(&mut prog.types, tp).is_none(), "Meta(int *SAFE) = void");
+        assert!(
+            st.meta_type(&mut prog.types, tp).is_none(),
+            "Meta(int *SAFE) = void"
+        );
     }
 
     #[test]
@@ -288,7 +285,9 @@ mod tests {
         let cid = prog.types.find_comp("hostent", false).unwrap();
         let t = prog.types.mk_comp(cid);
         let mut st = SplitTypes::new(&prog.types, &sol);
-        let m = st.meta_type(&mut prog.types, t).expect("hostent has metadata");
+        let m = st
+            .meta_type(&mut prog.types, t)
+            .expect("hostent has metadata");
         match prog.types.get(m) {
             Type::Comp(mc) => {
                 let info = prog.types.comp(*mc);

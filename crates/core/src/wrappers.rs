@@ -148,10 +148,7 @@ fn audit_stmt(
                     if let Some((pointee, q)) = prog.types.ptr_parts(a.ty()) {
                         let kind = sol.kind(q);
                         let wide = kind != PtrKind::Safe || sol.is_rtti(q);
-                        let deep_meta = meta
-                            .get(pointee.0 as usize)
-                            .copied()
-                            .unwrap_or(false);
+                        let deep_meta = meta.get(pointee.0 as usize).copied().unwrap_or(false);
                         let compatible = (!wide && !deep_meta) || sol.is_split(q);
                         if !compatible {
                             issues.push(LinkIssue {
@@ -368,7 +365,10 @@ mod tests {
         // `use` now calls my_wrap...
         let use_fn = prog.find_function("use").unwrap();
         let called_wrapper = calls_function(&prog.functions[use_fn.idx()], "my_wrap", &prog);
-        assert!(called_wrapper, "call site must be redirected to the wrapper");
+        assert!(
+            called_wrapper,
+            "call site must be redirected to the wrapper"
+        );
         // ...while the wrapper still calls the raw external.
         let w = prog.find_function("my_wrap").unwrap();
         let raw = calls_extern(&prog.functions[w.idx()], "strchr", &prog);
@@ -414,7 +414,11 @@ mod tests {
         let res = infer(&prog, &InferOptions::default());
         let meta = ccured_infer::split::compute_meta_types(&prog, &res.solution);
         let issues = check_link(&prog, &res.solution, &meta);
-        assert_eq!(issues.len(), 1, "SEQ argument to an external must be flagged");
+        assert_eq!(
+            issues.len(),
+            1,
+            "SEQ argument to an external must be flagged"
+        );
         assert_eq!(issues[0].external, "use_buf");
     }
 

@@ -13,6 +13,8 @@
 //!   subtypes in the program" for upcasts).
 
 use crate::kinds::PtrKind;
+use crate::provenance::Origin;
+use ccured_ast::Span;
 use ccured_cil::ir::*;
 use ccured_cil::phys::{CastClass, PhysCtx};
 use ccured_cil::types::{QualId, Type, TypeId};
@@ -34,11 +36,15 @@ pub struct RttiBack {
 pub struct Constraints {
     /// Lower bounds on qualifier kinds.
     pub at_least: Vec<(QualId, PtrKind)>,
+    /// Provenance of each lower bound, parallel to `at_least`.
+    pub at_least_origin: Vec<Origin>,
     /// Kind (and representation) unification pairs.
     pub eq: Vec<(QualId, QualId)>,
     /// "WILD on either side implies WILD on both" pairs (casts whose kinds
     /// need not otherwise unify, i.e. upcasts and downcasts).
     pub wild_eq: Vec<(QualId, QualId)>,
+    /// Source span of each `wild_eq` cast site, parallel to `wild_eq`.
+    pub wild_eq_span: Vec<Span>,
     /// Qualifiers that must carry RTTI (downcast sources).
     pub rtti_sources: Vec<QualId>,
     /// Backward RTTI propagation edges.
@@ -59,6 +65,7 @@ pub fn generate(prog: &Program, rtti_enabled: bool) -> Constraints {
         phys: PhysCtx::new(&prog.types),
         out: Constraints::default(),
         cur: None,
+        span: Span::DUMMY,
         rtti_enabled,
     };
     g.run();
@@ -92,10 +99,22 @@ struct Gen<'a> {
     phys: PhysCtx<'a>,
     out: Constraints,
     cur: Option<FuncId>,
+    /// Span of the instruction being walked, for constraint provenance.
+    span: Span,
     rtti_enabled: bool,
 }
 
 impl<'a> Gen<'a> {
+    fn at_least(&mut self, q: QualId, k: PtrKind, origin: Origin) {
+        self.out.at_least.push((q, k));
+        self.out.at_least_origin.push(origin);
+    }
+
+    fn wild_eq(&mut self, a: QualId, b: QualId, span: Span) {
+        self.out.wild_eq.push((a, b));
+        self.out.wild_eq_span.push(span);
+    }
+
     fn run(&mut self) {
         // 1. Cast sites.
         for site in &self.prog.casts {
@@ -103,9 +122,9 @@ impl<'a> Gen<'a> {
         }
         // 2. Explicit WILD annotations force WILD; the rest are checked
         //    after solving.
-        for (q, k) in &self.prog.annots.qual_kinds {
-            if *k == KindAnnot::Wild {
-                self.out.at_least.push((*q, PtrKind::Wild));
+        for (q, k) in self.prog.annots.qual_kinds.clone() {
+            if k == KindAnnot::Wild {
+                self.at_least(q, PtrKind::Wild, Origin::Annotation);
             }
         }
         // 3. Function bodies.
@@ -136,7 +155,7 @@ impl<'a> Gen<'a> {
             CastClass::IntToPtr => {
                 if !site.from_zero {
                     if let Some((_, q)) = self.prog.types.ptr_parts(site.to) {
-                        self.out.at_least.push((q, PtrKind::Seq));
+                        self.at_least(q, PtrKind::Seq, Origin::IntToPtr(site.span));
                     }
                 }
             }
@@ -157,7 +176,7 @@ impl<'a> Gen<'a> {
                 let (tb, tq) = self.prog.types.ptr_parts(site.to).expect("ptr cast");
                 self.out.cast_pointees.push(fb);
                 self.out.cast_pointees.push(tb);
-                self.out.wild_eq.push((fq, tq));
+                self.wild_eq(fq, tq, site.span);
                 if let Some(pairs) = self.phys.prefix_qual_pairs(tb, fb) {
                     for (a, b) in pairs {
                         self.out.eq.push((a, b));
@@ -176,7 +195,7 @@ impl<'a> Gen<'a> {
                 self.out.cast_pointees.push(fb);
                 self.out.cast_pointees.push(tb);
                 if self.rtti_enabled {
-                    self.out.wild_eq.push((fq, tq));
+                    self.wild_eq(fq, tq, site.span);
                     self.out.rtti_sources.push(fq);
                     // The overlapping prefix (all of `from`'s layout) aliases.
                     if let Some(pairs) = self.phys.prefix_qual_pairs(fb, tb) {
@@ -187,8 +206,8 @@ impl<'a> Gen<'a> {
                     }
                 } else {
                     // Original CCured: downcasts are bad casts.
-                    self.out.at_least.push((fq, PtrKind::Wild));
-                    self.out.at_least.push((tq, PtrKind::Wild));
+                    self.at_least(fq, PtrKind::Wild, Origin::Downcast(site.span));
+                    self.at_least(tq, PtrKind::Wild, Origin::Downcast(site.span));
                 }
             }
             CastClass::Bad => {
@@ -196,8 +215,8 @@ impl<'a> Gen<'a> {
                 let (tb, tq) = self.prog.types.ptr_parts(site.to).expect("ptr cast");
                 self.out.cast_pointees.push(fb);
                 self.out.cast_pointees.push(tb);
-                self.out.at_least.push((fq, PtrKind::Wild));
-                self.out.at_least.push((tq, PtrKind::Wild));
+                self.at_least(fq, PtrKind::Wild, Origin::BadCast(site.span));
+                self.at_least(tq, PtrKind::Wild, Origin::BadCast(site.span));
             }
         }
     }
@@ -259,6 +278,10 @@ impl<'a> Gen<'a> {
 
     fn instr(&mut self, f: &Function, i: &Instr) {
         match i {
+            Instr::Set(_, _, s) | Instr::Call(_, _, _, s) => self.span = *s,
+            Instr::Check(..) => {}
+        }
+        match i {
             Instr::Check(..) => {}
             Instr::Set(lv, e, _) => {
                 self.lval(lv);
@@ -294,13 +317,12 @@ impl<'a> Gen<'a> {
                     }
                     Callee::Ptr(e) => {
                         self.exp(e);
-                        self.prog
-                            .types
-                            .ptr_parts(e.ty())
-                            .and_then(|(base, _)| match self.prog.types.get(base) {
+                        self.prog.types.ptr_parts(e.ty()).and_then(|(base, _)| {
+                            match self.prog.types.get(base) {
                                 Type::Func(s) => Some(s.clone()),
                                 _ => None,
-                            })
+                            }
+                        })
                     }
                 };
                 if let Some(sig) = sig {
@@ -321,10 +343,11 @@ impl<'a> Gen<'a> {
     fn helper_call(&mut self, f: &Function, name: &str, ret: &Option<Lval>, args: &[Exp]) {
         // Helpers that consult bounds metadata require fat (SEQ) arguments:
         // a wrapper using them declares that it needs the caller's bounds.
+        let here = self.span;
         if name.starts_with("__verify_nul") || name.starts_with("__bounds_check_n") {
             if let Some(a) = args.first() {
                 if let Some((_, q)) = self.prog.types.ptr_parts(a.ty()) {
-                    self.out.at_least.push((q, PtrKind::Seq));
+                    self.at_least(q, PtrKind::Seq, Origin::HelperBounds(here));
                 }
             }
         }
@@ -332,7 +355,7 @@ impl<'a> Gen<'a> {
             // The donor must carry bounds too.
             if let Some(within) = args.get(1) {
                 if let Some((_, q)) = self.prog.types.ptr_parts(within.ty()) {
-                    self.out.at_least.push((q, PtrKind::Seq));
+                    self.at_least(q, PtrKind::Seq, Origin::HelperBounds(here));
                 }
             }
         }
@@ -392,7 +415,8 @@ impl<'a> Gen<'a> {
                 self.exp(b);
                 if op.is_pointer_arith() {
                     if let Some((_, q)) = self.prog.types.ptr_parts(a.ty()) {
-                        self.out.at_least.push((q, PtrKind::Seq));
+                        let here = self.span;
+                        self.at_least(q, PtrKind::Seq, Origin::PtrArith(here));
                     }
                 }
             }
@@ -507,7 +531,13 @@ mod tests {
         let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
         let c = generate(&prog, false);
         assert!(c.rtti_sources.is_empty());
-        assert!(c.at_least.iter().filter(|(_, k)| *k == PtrKind::Wild).count() >= 2);
+        assert!(
+            c.at_least
+                .iter()
+                .filter(|(_, k)| *k == PtrKind::Wild)
+                .count()
+                >= 2
+        );
     }
 
     #[test]

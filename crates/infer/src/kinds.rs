@@ -57,7 +57,12 @@ impl KindCounts {
     pub fn percentages(&self) -> (u32, u32, u32, u32) {
         let t = self.total().max(1) as f64;
         let pct = |n: usize| ((n as f64) * 100.0 / t).round() as u32;
-        (pct(self.safe), pct(self.seq), pct(self.wild), pct(self.rtti))
+        (
+            pct(self.safe),
+            pct(self.seq),
+            pct(self.wild),
+            pct(self.rtti),
+        )
     }
 }
 

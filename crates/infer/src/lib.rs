@@ -26,11 +26,13 @@
 
 pub mod gen;
 pub mod kinds;
+pub mod provenance;
 pub mod solve;
 pub mod split;
 pub mod stats;
 
 pub use gen::Constraints;
 pub use kinds::{EffectiveKind, KindCounts, PtrKind, Solution};
+pub use provenance::{BlameEdge, EdgeWhy, Origin, Provenance};
 pub use solve::{infer, InferOptions, InferResult};
 pub use stats::{CastCensus, CastKind};

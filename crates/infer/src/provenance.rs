@@ -1,0 +1,196 @@
+//! Provenance recording for the solver: why did a qualifier's kind rise?
+//!
+//! Every direct kind promotion keeps its originating constraint and source
+//! span ([`Origin`]); every flow that can carry a promotion between
+//! qualifiers (unification, WILD spreading across a cast, pointee
+//! poisoning) is kept as an undirected [`BlameEdge`]. The blame analysis in
+//! `ccured-analysis` runs a breadth-first search over this graph to produce
+//! the shortest explanation path from any WILD or SEQ pointer back to the
+//! root cause — typically the one bad cast that poisoned a whole data
+//! structure.
+
+use crate::kinds::PtrKind;
+use ccured_ast::Span;
+use ccured_cil::types::QualId;
+
+/// The constraint that directly forced a kind promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Pointer arithmetic on the qualifier's pointer.
+    PtrArith(Span),
+    /// A non-null integer-to-pointer cast.
+    IntToPtr(Span),
+    /// A bad cast (incompatible pointer types).
+    BadCast(Span),
+    /// A downcast with RTTI disabled (original-CCured mode).
+    Downcast(Span),
+    /// A `__WILD`/`__SEQ` source annotation.
+    Annotation,
+    /// A wrapper helper (`__bounds_check_n`, `__mkptr`, ...) that requires
+    /// the argument to carry bounds.
+    HelperBounds(Span),
+    /// Physical subtyping disabled: any non-identical cast is bad.
+    NonPhysEq(Span),
+    /// The validate-and-retry loop widened this qualifier (the named rule
+    /// failed at the cast site).
+    Validation(&'static str, Span),
+}
+
+impl Origin {
+    /// The source span of the originating constraint (`Span::DUMMY` when
+    /// the constraint has no source location).
+    pub fn span(&self) -> Span {
+        match self {
+            Origin::PtrArith(s)
+            | Origin::IntToPtr(s)
+            | Origin::BadCast(s)
+            | Origin::Downcast(s)
+            | Origin::HelperBounds(s)
+            | Origin::NonPhysEq(s)
+            | Origin::Validation(_, s) => *s,
+            Origin::Annotation => Span::DUMMY,
+        }
+    }
+
+    /// A short human-readable description (without the location).
+    pub fn describe(&self) -> String {
+        match self {
+            Origin::PtrArith(_) => "pointer arithmetic".into(),
+            Origin::IntToPtr(_) => "cast of a non-null integer to a pointer".into(),
+            Origin::BadCast(_) => "bad cast between incompatible pointer types".into(),
+            Origin::Downcast(_) => "downcast (RTTI disabled: treated as a bad cast)".into(),
+            Origin::Annotation => "explicit source annotation".into(),
+            Origin::HelperBounds(_) => "wrapper helper requiring bounds metadata".into(),
+            Origin::NonPhysEq(_) => {
+                "cast between non-identical types (physical subtyping disabled)".into()
+            }
+            Origin::Validation(rule, _) => format!("cast validation failed ({rule})"),
+        }
+    }
+}
+
+/// Why a promotion can flow between two qualifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeWhy {
+    /// The two qualifiers were unified (assignment, call, return, or
+    /// physical-prefix aliasing): they share one kind.
+    Unified,
+    /// A cast at `Span` whose sides need not share a kind, except that WILD
+    /// on either side spreads to the other.
+    CastWild(Span),
+    /// `b` lives inside the base type of WILD pointer `a` (poisoning).
+    Pointee,
+}
+
+/// One undirected provenance edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlameEdge {
+    /// One endpoint.
+    pub a: QualId,
+    /// The other endpoint.
+    pub b: QualId,
+    /// Why a promotion crosses this edge.
+    pub why: EdgeWhy,
+}
+
+impl EdgeWhy {
+    /// Whether a promotion to `kind` flows across this edge. Unification
+    /// shares every kind; WILD spreading and pointee poisoning carry only
+    /// WILD.
+    pub fn carries(&self, kind: PtrKind) -> bool {
+        match self {
+            EdgeWhy::Unified => true,
+            EdgeWhy::CastWild(_) | EdgeWhy::Pointee => kind == PtrKind::Wild,
+        }
+    }
+}
+
+/// The complete provenance record of one inference run.
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    /// Per qualifier: the first direct constraint that promoted its
+    /// equivalence class, with the kind it forced.
+    roots: Vec<Option<(PtrKind, Origin)>>,
+    /// All recorded flow edges.
+    pub edges: Vec<BlameEdge>,
+}
+
+impl Provenance {
+    /// An empty record over `n` qualifiers.
+    pub fn new(n: usize) -> Self {
+        Provenance {
+            roots: vec![None; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Records a direct promotion of `q` to `kind`; the first cause per
+    /// qualifier wins (later, weaker constraints never overwrite it).
+    pub fn record_root(&mut self, q: QualId, kind: PtrKind, origin: Origin) {
+        let slot = &mut self.roots[q.0 as usize];
+        match slot {
+            Some((k, _)) if *k >= kind => {}
+            _ => *slot = Some((kind, origin)),
+        }
+    }
+
+    /// Records a flow edge.
+    pub fn record_edge(&mut self, a: QualId, b: QualId, why: EdgeWhy) {
+        self.edges.push(BlameEdge { a, b, why });
+    }
+
+    /// The direct cause recorded for `q`, if any, provided it forced a kind
+    /// of at least `kind`.
+    pub fn root_for(&self, q: QualId, kind: PtrKind) -> Option<(PtrKind, Origin)> {
+        match self.roots.get(q.0 as usize)? {
+            Some((k, o)) if *k >= kind => Some((*k, *o)),
+            _ => None,
+        }
+    }
+
+    /// Number of qualifiers covered.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether no qualifiers are covered.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_stronger_cause_wins() {
+        let mut p = Provenance::new(4);
+        p.record_root(QualId(1), PtrKind::Seq, Origin::PtrArith(Span::new(1, 2)));
+        p.record_root(QualId(1), PtrKind::Seq, Origin::PtrArith(Span::new(9, 10)));
+        let (k, o) = p.root_for(QualId(1), PtrKind::Seq).unwrap();
+        assert_eq!(k, PtrKind::Seq);
+        assert_eq!(o.span(), Span::new(1, 2), "first cause is kept");
+        // A WILD promotion outranks the SEQ record.
+        p.record_root(QualId(1), PtrKind::Wild, Origin::BadCast(Span::new(5, 6)));
+        let (k, _) = p.root_for(QualId(1), PtrKind::Wild).unwrap();
+        assert_eq!(k, PtrKind::Wild);
+    }
+
+    #[test]
+    fn root_for_respects_requested_kind() {
+        let mut p = Provenance::new(2);
+        p.record_root(QualId(0), PtrKind::Seq, Origin::Annotation);
+        assert!(p.root_for(QualId(0), PtrKind::Seq).is_some());
+        assert!(p.root_for(QualId(0), PtrKind::Wild).is_none());
+    }
+
+    #[test]
+    fn edge_kind_filtering() {
+        assert!(EdgeWhy::Unified.carries(PtrKind::Seq));
+        assert!(EdgeWhy::Unified.carries(PtrKind::Wild));
+        assert!(!EdgeWhy::CastWild(Span::DUMMY).carries(PtrKind::Seq));
+        assert!(EdgeWhy::CastWild(Span::DUMMY).carries(PtrKind::Wild));
+        assert!(!EdgeWhy::Pointee.carries(PtrKind::Seq));
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::gen::{generate, Constraints};
 use crate::kinds::{PtrKind, Solution};
+use crate::provenance::{EdgeWhy, Origin, Provenance};
 use crate::split;
 use crate::stats::{self, CastCensus};
 use ccured_cil::ir::{KindAnnot, Program};
@@ -83,6 +84,8 @@ pub struct InferResult {
     pub annotation_violations: Vec<AnnotationViolation>,
     /// Outer validate-and-retry iterations used.
     pub iterations: usize,
+    /// Why each qualifier's kind rose: blame roots and flow edges.
+    pub provenance: Provenance,
 }
 
 /// Runs whole-program pointer-kind inference.
@@ -94,7 +97,7 @@ pub fn infer(prog: &Program, opts: &InferOptions) -> InferResult {
 
     // In original-CCured mode, physical subtyping is off: treat every
     // non-identical pointer cast as bad by adding WILD bounds up front.
-    let mut extra_wild: Vec<QualId> = Vec::new();
+    let mut extra_wild: Vec<(QualId, Origin)> = Vec::new();
     if !opts.physical_subtyping {
         for site in &prog.casts {
             // Allocator casts were special-cased by the original CCured's
@@ -107,8 +110,8 @@ pub fn infer(prog: &Program, opts: &InferOptions) -> InferResult {
                 prog.types.ptr_parts(site.to),
             ) {
                 if !phys.phys_eq(fb, tb) {
-                    extra_wild.push(fq);
-                    extra_wild.push(tq);
+                    extra_wild.push((fq, Origin::NonPhysEq(site.span)));
+                    extra_wild.push((tq, Origin::NonPhysEq(site.span)));
                 }
             }
         }
@@ -141,12 +144,14 @@ pub fn infer(prog: &Program, opts: &InferOptions) -> InferResult {
 
     let census = stats::census(prog, &solution);
     let annotation_violations = check_annotations(prog, &solution);
+    let provenance = std::mem::take(&mut solver.prov);
 
     InferResult {
         solution,
         census,
         annotation_violations,
         iterations,
+        provenance,
     }
 }
 
@@ -157,6 +162,8 @@ struct Solver<'c> {
     rank: Vec<u8>,
     kind: Vec<PtrKind>,
     constraints: &'c Constraints,
+    /// Blame roots and flow edges recorded while solving.
+    prov: Provenance,
 }
 
 impl<'c> Solver<'c> {
@@ -166,6 +173,7 @@ impl<'c> Solver<'c> {
             rank: vec![0; n],
             kind: vec![PtrKind::Safe; n],
             constraints,
+            prov: Provenance::new(n),
         }
     }
 
@@ -189,6 +197,12 @@ impl<'c> Solver<'c> {
         if ra == rb {
             return;
         }
+        // First actual merge of these classes: keep a provenance edge
+        // between the syntactic quals so blame paths can cross it. Repeat
+        // eq pairs (later solve iterations) hit `ra == rb` and record
+        // nothing, so the edge set is a spanning forest per class.
+        self.prov
+            .record_edge(QualId(a), QualId(b), EdgeWhy::Unified);
         let joined = self.kind[ra as usize].join(self.kind[rb as usize]);
         let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
             (ra, rb)
@@ -218,37 +232,53 @@ impl<'c> Solver<'c> {
     }
 
     /// Runs the kind fixpoint, including the WILD poisoning closure.
-    fn solve(&mut self, pointee_map: &[(QualId, std::rc::Rc<Vec<QualId>>)], extra_wild: &[QualId]) {
+    fn solve(
+        &mut self,
+        pointee_map: &[(QualId, std::rc::Rc<Vec<QualId>>)],
+        extra_wild: &[(QualId, Origin)],
+    ) {
         for (a, b) in &self.constraints.eq {
             self.union(a.0, b.0);
         }
-        for (q, k) in &self.constraints.at_least {
-            self.raise(*q, *k);
+        for (i, (q, k)) in self.constraints.at_least.iter().enumerate() {
+            if self.raise(*q, *k) {
+                let origin = self.constraints.at_least_origin[i];
+                self.prov.record_root(*q, *k, origin);
+            }
         }
-        for q in extra_wild {
-            self.raise(*q, PtrKind::Wild);
+        for (q, origin) in extra_wild {
+            if self.raise(*q, PtrKind::Wild) {
+                self.prov.record_root(*q, PtrKind::Wild, *origin);
+            }
         }
         // Fixpoint: WILD spreads through wild_eq pairs and poisons pointee
         // types. Base-type poisoning needs the pointee map.
         let mut changed = true;
         while changed {
             changed = false;
-            for (a, b) in &self.constraints.wild_eq {
+            for (i, (a, b)) in self.constraints.wild_eq.iter().enumerate() {
                 let ka = self.kind_of(*a);
                 let kb = self.kind_of(*b);
                 if ka == PtrKind::Wild && kb != PtrKind::Wild {
                     self.raise(*b, PtrKind::Wild);
+                    let span = self.constraints.wild_eq_span[i];
+                    self.prov.record_edge(*a, *b, EdgeWhy::CastWild(span));
                     changed = true;
                 }
                 if kb == PtrKind::Wild && ka != PtrKind::Wild {
                     self.raise(*a, PtrKind::Wild);
+                    let span = self.constraints.wild_eq_span[i];
+                    self.prov.record_edge(*a, *b, EdgeWhy::CastWild(span));
                     changed = true;
                 }
             }
             for (q, inner) in pointee_map {
                 if self.kind_of(*q) == PtrKind::Wild {
                     for iq in inner.iter() {
-                        changed |= self.raise(*iq, PtrKind::Wild);
+                        if self.raise(*iq, PtrKind::Wild) {
+                            self.prov.record_edge(*q, *iq, EdgeWhy::Pointee);
+                            changed = true;
+                        }
                     }
                 }
             }
@@ -402,13 +432,13 @@ fn run_rtti_pass(
 // -------------------------------------------------------------- validation
 
 /// Re-checks every cast site against the solved kinds; returns qualifiers
-/// that must be widened to WILD.
+/// that must be widened to WILD, each with the rule that fired.
 fn validate(
     prog: &Program,
     phys: &mut PhysCtx<'_>,
     sol: &Solution,
     opts: &InferOptions,
-) -> Vec<QualId> {
+) -> Vec<(QualId, Origin)> {
     let mut widen = Vec::new();
     for site in &prog.casts {
         if site.trusted || site.alloc {
@@ -428,30 +458,38 @@ fn validate(
         }
         if kf == PtrKind::Wild || kt == PtrKind::Wild {
             if std::env::var("CCURED_DEBUG_WIDEN").is_ok() {
-                eprintln!("widen mixed-wild: {} -> {}", prog.types.display(site.from), prog.types.display(site.to));
+                eprintln!(
+                    "widen mixed-wild: {} -> {}",
+                    prog.types.display(site.from),
+                    prog.types.display(site.to)
+                );
             }
             // wild_eq should have caught this; widen the other side.
-            widen.push(fq);
-            widen.push(tq);
+            widen.push((fq, Origin::Validation("mixed-wild cast", site.span)));
+            widen.push((tq, Origin::Validation("mixed-wild cast", site.span)));
             continue;
         }
         match phys.classify_cast(site.from, site.to) {
             CastClass::Identical => {
                 // Kinds are unified; if SEQ, tiling holds trivially.
             }
-            CastClass::Upcast => {
-                if (kf == PtrKind::Seq || kt == PtrKind::Seq) && !phys.seq_cast_ok(fb, tb) {
-                    if std::env::var("CCURED_DEBUG_WIDEN").is_ok() {
-                        eprintln!("widen upcast: {} -> {} (kf={kf:?} kt={kt:?})", prog.types.display(site.from), prog.types.display(site.to));
-                    }
-                    widen.push(fq);
-                    widen.push(tq);
+            CastClass::Upcast
+                if (kf == PtrKind::Seq || kt == PtrKind::Seq) && !phys.seq_cast_ok(fb, tb) =>
+            {
+                if std::env::var("CCURED_DEBUG_WIDEN").is_ok() {
+                    eprintln!(
+                        "widen upcast: {} -> {} (kf={kf:?} kt={kt:?})",
+                        prog.types.display(site.from),
+                        prog.types.display(site.to)
+                    );
                 }
+                widen.push((fq, Origin::Validation("SEQ upcast tiling", site.span)));
+                widen.push((tq, Origin::Validation("SEQ upcast tiling", site.span)));
             }
             CastClass::Downcast => {
                 if !opts.rtti {
-                    widen.push(fq);
-                    widen.push(tq);
+                    widen.push((fq, Origin::Downcast(site.span)));
+                    widen.push((tq, Origin::Downcast(site.span)));
                     continue;
                 }
                 // The source must be a SAFE pointer carrying RTTI; the
@@ -459,22 +497,28 @@ fn validate(
                 let src_ok = kf == PtrKind::Safe && sol.is_rtti(fq);
                 let dst_ok = kt == PtrKind::Safe;
                 if !src_ok || !dst_ok {
-                    widen.push(fq);
-                    widen.push(tq);
+                    widen.push((
+                        fq,
+                        Origin::Validation("downcast needs SAFE+RTTI", site.span),
+                    ));
+                    widen.push((
+                        tq,
+                        Origin::Validation("downcast needs SAFE+RTTI", site.span),
+                    ));
                 }
             }
             CastClass::Bad => {
-                widen.push(fq);
-                widen.push(tq);
+                widen.push((fq, Origin::BadCast(site.span)));
+                widen.push((tq, Origin::BadCast(site.span)));
             }
             _ => {}
         }
     }
     // Only report qualifiers that are not already WILD (guarantees that the
     // outer loop strictly increases and thus terminates).
-    widen.retain(|q| sol.kind(*q) != PtrKind::Wild);
-    widen.sort();
-    widen.dedup();
+    widen.retain(|(q, _)| sol.kind(*q) != PtrKind::Wild);
+    widen.sort_by_key(|(q, _)| *q);
+    widen.dedup_by_key(|(q, _)| *q);
     widen
 }
 
@@ -567,23 +611,19 @@ mod tests {
 
     #[test]
     fn upcast_stays_safe() {
-        let (p, r) = run(
-            "struct F { void *vt; } gf;\n\
+        let (p, r) = run("struct F { void *vt; } gf;\n\
              struct C { void *vt; int radius; } gc;\n\
              void use_f(struct F *f) { }\n\
-             void g(struct C *c) { use_f((struct F *)c); }",
-        );
+             void g(struct C *c) { use_f((struct F *)c); }");
         assert_eq!(local_kind(&p, &r, "g", "c"), EffectiveKind::Safe);
         assert_eq!(local_kind(&p, &r, "use_f", "f"), EffectiveKind::Safe);
     }
 
     #[test]
     fn downcast_makes_source_rtti() {
-        let (p, r) = run(
-            "struct F { void *vt; } gf;\n\
+        let (p, r) = run("struct F { void *vt; } gf;\n\
              struct C { void *vt; int radius; } gc;\n\
-             int g(struct F *f) { struct C *c; c = (struct C *)f; return c->radius; }",
-        );
+             int g(struct F *f) { struct C *c; c = (struct C *)f; return c->radius; }");
         assert_eq!(local_kind(&p, &r, "g", "f"), EffectiveKind::Rtti);
         assert_eq!(local_kind(&p, &r, "g", "c"), EffectiveKind::Safe);
     }
@@ -593,8 +633,7 @@ mod tests {
         // Circle* q1 -> Figure* q2 -> void* q3 -> Circle* q4 (paper §3.2):
         // q3 RTTI (downcast source), q2 RTTI (upcast backprop, Figure has
         // subtypes), q1 SAFE (Circle has no subtypes), q4 SAFE.
-        let (p, r) = run(
-            "struct Figure { void *vt; } gf;\n\
+        let (p, r) = run("struct Figure { void *vt; } gf;\n\
              struct Circle { void *vt; int radius; } gc;\n\
              int g(struct Circle *q1) {\n\
                struct Figure *q2; void *q3; struct Circle *q4;\n\
@@ -602,8 +641,7 @@ mod tests {
                q3 = (void *)q2;\n\
                q4 = (struct Circle *)q3;\n\
                return q4->radius;\n\
-             }",
-        );
+             }");
         assert_eq!(local_kind(&p, &r, "g", "q1"), EffectiveKind::Safe);
         assert_eq!(local_kind(&p, &r, "g", "q2"), EffectiveKind::Rtti);
         assert_eq!(local_kind(&p, &r, "g", "q3"), EffectiveKind::Rtti);
@@ -637,13 +675,11 @@ mod tests {
     fn seq_downcast_is_widened_to_wild() {
         // A downcast whose source also does arithmetic cannot be RTTI
         // (RTTI requires SAFE); validation widens it to WILD.
-        let (p, r) = run(
-            "struct F { void *vt; } gf;\n\
+        let (p, r) = run("struct F { void *vt; } gf;\n\
              struct C { void *vt; int radius; } gc;\n\
              int g(struct F *f) {\n\
                struct C *c; f = f + 1; c = (struct C *)f; return c->radius;\n\
-             }",
-        );
+             }");
         assert_eq!(local_kind(&p, &r, "g", "f"), EffectiveKind::Wild);
     }
 
@@ -667,13 +703,11 @@ mod tests {
 
     #[test]
     fn iterations_terminate() {
-        let (_, r) = run(
-            "struct F { void *vt; } gf;\n\
+        let (_, r) = run("struct F { void *vt; } gf;\n\
              struct C { void *vt; int radius; } gc;\n\
              int g(struct F *f) {\n\
                struct C *c; f = f + 1; c = (struct C *)f; return c->radius;\n\
-             }",
-        );
+             }");
         assert!(r.iterations <= 64);
     }
 

@@ -31,9 +31,7 @@ pub fn infer_split(
     let mut phys = PhysCtx::new(&prog.types);
 
     if opts.split_everything {
-        for i in 0..n {
-            split[i] = true;
-        }
+        split.fill(true);
     } else {
         // Seeds: explicit pointer-level annotations.
         for (q, s) in &prog.annots.qual_splits {
@@ -109,9 +107,9 @@ pub fn infer_split(
     }
 
     // WILD does not support the compatible representation.
-    for i in 0..n {
-        if split[i] && solution.kind(QualId(i as u32)) == PtrKind::Wild {
-            split[i] = false;
+    for (i, s) in split.iter_mut().enumerate() {
+        if *s && solution.kind(QualId(i as u32)) == PtrKind::Wild {
+            *s = false;
         }
     }
 

@@ -170,16 +170,14 @@ mod tests {
 
     #[test]
     fn census_counts_upcast_downcast() {
-        let c = run(
-            "struct F { void *vt; } gf;\n\
+        let c = run("struct F { void *vt; } gf;\n\
              struct C { void *vt; int r; } gc;\n\
              int g(struct C *c) {\n\
                struct F *f; struct C *c2;\n\
                f = (struct F *)c;\n\
                c2 = (struct C *)f;\n\
                return c2->r;\n\
-             }",
-        );
+             }");
         assert_eq!(c.upcast, 1);
         assert_eq!(c.downcast, 1);
         assert_eq!(c.bad, 0);
@@ -187,14 +185,12 @@ mod tests {
 
     #[test]
     fn census_counts_bad_and_trusted() {
-        let c = run(
-            "int f(double *d) {\n\
+        let c = run("int f(double *d) {\n\
                int *a; long *b;\n\
                a = (int *)d;\n\
                b = (long * __TRUSTED)d;\n\
                return *a + (int)*b;\n\
-             }",
-        );
+             }");
         assert_eq!(c.bad, 1);
         // (long*)d is layout-compatible? double vs long: different atoms, so
         // it would be bad — but it is trusted.
@@ -210,16 +206,14 @@ mod tests {
 
     #[test]
     fn percentages_are_sane() {
-        let c = run(
-            "struct F { void *vt; } gf;\n\
+        let c = run("struct F { void *vt; } gf;\n\
              struct C { void *vt; int r; } gc;\n\
              void take(struct F *f) { }\n\
              void g(struct C *a, struct C *b, struct C *d) {\n\
                struct C *x;\n\
                x = a; x = b; x = d;\n\
                take((struct F *)a);\n\
-             }",
-        );
+             }");
         assert!(c.pct_verified() > 99.0);
         let sum = c.pct_upcasts_of_nonidentical()
             + c.pct_downcasts_of_nonidentical()

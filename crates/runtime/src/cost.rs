@@ -67,6 +67,18 @@ impl Counters {
             + self.escape_checks
             + self.index_checks
     }
+
+    /// Dynamic `CHECK_NULL` + `CHECK_BOUNDS` events — the subset the
+    /// redundant-check eliminator (`ccured-analysis`) targets. Optimized
+    /// runs must execute strictly fewer of these than `--no-opt` runs on
+    /// workloads with any intraprocedural redundancy, and never more.
+    pub fn null_bounds_checks(&self) -> u64 {
+        self.null_checks
+            + self.seq_bounds_checks
+            + self.seq_to_safe_checks
+            + self.wild_bounds_checks
+            + self.index_checks
+    }
 }
 
 /// Abstract per-event cycle costs.
@@ -224,7 +236,10 @@ mod tests {
         vg.jit_instrs = base.instrs;
         vg.shadow_ops = (base.loads + base.stores) * 9;
         let r = model.ratio(&vg, &base);
-        assert!(r > 8.0, "valgrind-style overhead must be an order of magnitude, got {r}");
+        assert!(
+            r > 8.0,
+            "valgrind-style overhead must be an order of magnitude, got {r}"
+        );
     }
 
     #[test]
@@ -239,12 +254,18 @@ mod tests {
         cured.null_checks = 5_000;
         cured.seq_bounds_checks = 2_000;
         let r = model.ratio(&cured, &base);
-        assert!(r < 1.05, "I/O-bound workloads show negligible overhead, got {r}");
+        assert!(
+            r < 1.05,
+            "I/O-bound workloads show negligible overhead, got {r}"
+        );
         base.io_ops = 0;
         let mut cured2 = base;
         cured2.null_checks = 5_000;
         cured2.seq_bounds_checks = 2_000;
-        assert!(model.ratio(&cured2, &base) > 1.2, "CPU-bound overhead must be visible");
+        assert!(
+            model.ratio(&cured2, &base) > 1.2,
+            "CPU-bound overhead must be visible"
+        );
     }
 
     #[test]
@@ -256,5 +277,17 @@ mod tests {
             ..Counters::default()
         };
         assert_eq!(c.total_checks(), 6);
+        assert_eq!(c.null_bounds_checks(), 6);
+        let w = Counters {
+            wild_tag_checks: 4,
+            rtti_checks: 2,
+            ..c
+        };
+        assert_eq!(w.total_checks(), 12);
+        assert_eq!(
+            w.null_bounds_checks(),
+            6,
+            "tag/RTTI checks are not bounds checks"
+        );
     }
 }

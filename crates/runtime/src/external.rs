@@ -60,7 +60,13 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
                     });
                 }
                 it.counters.instrs += 1;
-                let b = it.mem.read_bytes(Pointer { alloc: p.alloc, offset: off }, 1)?[0];
+                let b = it.mem.read_bytes(
+                    Pointer {
+                        alloc: p.alloc,
+                        offset: off,
+                    },
+                    1,
+                )?[0];
                 if b == 0 {
                     return Ok(None);
                 }
@@ -90,7 +96,10 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             let n = int_arg(args, if name == "ap_palloc" { 1 } else { 0 })?.max(1) as u64;
             let id = it.mem.alloc(n, AllocKind::Heap)?;
             it.register_alloc(id);
-            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer { alloc: id, offset: 0 }))))
+            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer {
+                alloc: id,
+                offset: 0,
+            }))))
         }
         "calloc" | "xcalloc" | "ap_pcalloc" => {
             let (a, b) = if name == "ap_pcalloc" {
@@ -102,7 +111,10 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             let id = it.mem.alloc(n, AllocKind::Heap)?;
             it.mem.mark_init(id);
             it.register_alloc(id);
-            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer { alloc: id, offset: 0 }))))
+            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer {
+                alloc: id,
+                offset: 0,
+            }))))
         }
         "realloc" => {
             let pv = ptr_arg(args, 0)?;
@@ -112,13 +124,25 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             if let Some(p) = pv.thin() {
                 let old = it.mem.allocation(p.alloc).size();
                 let copy = old.min(n);
-                it.mem
-                    .copy_region(Pointer { alloc: id, offset: 0 }, Pointer { alloc: p.alloc, offset: 0 }, copy)?;
+                it.mem.copy_region(
+                    Pointer {
+                        alloc: id,
+                        offset: 0,
+                    },
+                    Pointer {
+                        alloc: p.alloc,
+                        offset: 0,
+                    },
+                    copy,
+                )?;
                 if !it.gc_mode() {
                     it.mem.free(p.alloc)?;
                 }
             }
-            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer { alloc: id, offset: 0 }))))
+            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer {
+                alloc: id,
+                offset: 0,
+            }))))
         }
         "free" => {
             // CCured links against a conservative garbage collector: `free`
@@ -195,7 +219,8 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             it.counters.instrs += (dst_str.len() + src_str.len()) as u64;
             let mut data = src_str;
             data.push(0);
-            it.mem.write_bytes(d.offset_by(dst_str.len() as i64), &data)?;
+            it.mem
+                .write_bytes(d.offset_by(dst_str.len() as i64), &data)?;
             Ok(Some(Value::Ptr(PtrVal::Safe(d))))
         }
         "strcmp" | "strncmp" => {
@@ -203,10 +228,7 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             let b = it.mem.read_c_string(thin_arg(args, 1)?)?;
             let (a, b) = if name == "strncmp" {
                 let n = int_arg(args, 2)? as usize;
-                (
-                    a[..a.len().min(n)].to_vec(),
-                    b[..b.len().min(n)].to_vec(),
-                )
+                (a[..a.len().min(n)].to_vec(), b[..b.len().min(n)].to_vec())
             } else {
                 (a, b)
             };
@@ -279,7 +301,8 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             it.counters.instrs += (dst_str.len() + n) as u64;
             let mut data: Vec<u8> = src_str.into_iter().take(n).collect();
             data.push(0);
-            it.mem.write_bytes(d.offset_by(dst_str.len() as i64), &data)?;
+            it.mem
+                .write_bytes(d.offset_by(dst_str.len() as i64), &data)?;
             Ok(Some(Value::Ptr(PtrVal::Safe(d))))
         }
         "memchr" => {
@@ -301,8 +324,17 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             it.register_alloc(id);
             let mut data = s;
             data.push(0);
-            it.mem.write_bytes(Pointer { alloc: id, offset: 0 }, &data)?;
-            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer { alloc: id, offset: 0 }))))
+            it.mem.write_bytes(
+                Pointer {
+                    alloc: id,
+                    offset: 0,
+                },
+                &data,
+            )?;
+            Ok(Some(Value::Ptr(PtrVal::Safe(Pointer {
+                alloc: id,
+                offset: 0,
+            }))))
         }
         // ctype/stdlib scalar helpers: no pointers, callable directly.
         "isdigit" => Ok(Some(Value::Int(
@@ -481,7 +513,9 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
                     n
                 })
                 .collect();
-            let arr = it.mem.alloc((names.len() as u64 + 1) * word, AllocKind::Heap)?;
+            let arr = it
+                .mem
+                .alloc((names.len() as u64 + 1) * word, AllocKind::Heap)?;
             it.mem.mark_init(arr);
             it.register_alloc(arr);
             for (i, name) in names.iter().enumerate() {
@@ -490,11 +524,23 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
                 it.register_alloc(s);
                 let mut data = name.clone();
                 data.push(0);
-                it.mem.write_bytes(Pointer { alloc: s, offset: 0 }, &data)?;
+                it.mem.write_bytes(
+                    Pointer {
+                        alloc: s,
+                        offset: 0,
+                    },
+                    &data,
+                )?;
                 it.mem.write_ptr(
-                    Pointer { alloc: arr, offset: (i as u64 * word) as i64 },
+                    Pointer {
+                        alloc: arr,
+                        offset: (i as u64 * word) as i64,
+                    },
                     PtrVal::Seq {
-                        p: Pointer { alloc: s, offset: 0 },
+                        p: Pointer {
+                            alloc: s,
+                            offset: 0,
+                        },
                         lo: 0,
                         hi: name.len() as i64 + 1,
                     },
@@ -503,18 +549,25 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
                 it.counters.meta_ops += 1;
             }
             it.mem.write_int(
-                Pointer { alloc: arr, offset: (names.len() as u64 * word) as i64 },
+                Pointer {
+                    alloc: arr,
+                    offset: (names.len() as u64 * word) as i64,
+                },
                 word,
                 0,
             )?;
             // out->count = n; out->paths = arr (fat); fields by name.
             let count_off = field_offset(it, "glob_res", "count")?;
             let paths_off = field_offset(it, "glob_res", "paths")?;
-            it.mem.write_int(out.offset_by(count_off), 8, names.len() as i128)?;
+            it.mem
+                .write_int(out.offset_by(count_off), 8, names.len() as i128)?;
             it.mem.write_ptr(
                 out.offset_by(paths_off),
                 PtrVal::Seq {
-                    p: Pointer { alloc: arr, offset: 0 },
+                    p: Pointer {
+                        alloc: arr,
+                        offset: 0,
+                    },
                     lo: 0,
                     hi: ((names.len() as u64 + 1) * word) as i64,
                 },
@@ -603,10 +656,19 @@ fn gethostbyname(it: &mut Interp<'_>, args: &[Value]) -> Result<Option<Value>, R
         it.register_alloc(id);
         let mut data = s.to_vec();
         data.push(0);
-        it.mem.write_bytes(Pointer { alloc: id, offset: 0 }, &data)?;
+        it.mem.write_bytes(
+            Pointer {
+                alloc: id,
+                offset: 0,
+            },
+            &data,
+        )?;
         it.counters.meta_ops += 1; // metadata generated at the boundary
         Ok(PtrVal::Seq {
-            p: Pointer { alloc: id, offset: 0 },
+            p: Pointer {
+                alloc: id,
+                offset: 0,
+            },
             lo: 0,
             hi: s.len() as i64 + 1,
         })
@@ -619,9 +681,22 @@ fn gethostbyname(it: &mut Interp<'_>, args: &[Value]) -> Result<Option<Value>, R
     let arr = it.mem.alloc(3 * word, AllocKind::Heap)?;
     it.mem.mark_init(arr);
     it.register_alloc(arr);
-    it.mem.write_ptr(Pointer { alloc: arr, offset: 0 }, alias1, word)?;
-    it.mem
-        .write_ptr(Pointer { alloc: arr, offset: word as i64 }, alias2, word)?;
+    it.mem.write_ptr(
+        Pointer {
+            alloc: arr,
+            offset: 0,
+        },
+        alias1,
+        word,
+    )?;
+    it.mem.write_ptr(
+        Pointer {
+            alloc: arr,
+            offset: word as i64,
+        },
+        alias2,
+        word,
+    )?;
     it.mem.write_int(
         Pointer {
             alloc: arr,
@@ -646,7 +721,10 @@ fn gethostbyname(it: &mut Interp<'_>, args: &[Value]) -> Result<Option<Value>, R
             ("h_aliases", _) => it.mem.write_ptr(
                 at,
                 PtrVal::Seq {
-                    p: Pointer { alloc: arr, offset: 0 },
+                    p: Pointer {
+                        alloc: arr,
+                        offset: 0,
+                    },
                     lo: 0,
                     hi: 3 * word as i64,
                 },
@@ -660,7 +738,10 @@ fn gethostbyname(it: &mut Interp<'_>, args: &[Value]) -> Result<Option<Value>, R
         }
     }
     Ok(Some(Value::Ptr(PtrVal::Seq {
-        p: Pointer { alloc: host, offset: 0 },
+        p: Pointer {
+            alloc: host,
+            offset: 0,
+        },
         lo: 0,
         hi: struct_size as i64,
     })))
@@ -687,19 +768,34 @@ fn ssl_new(it: &mut Interp<'_>) -> Result<Option<Value>, RtError> {
         it.mem.mark_init(buf);
         it.register_alloc(buf);
         it.mem.write_ptr(
-            Pointer { alloc: buf, offset: 0 },
+            Pointer {
+                alloc: buf,
+                offset: 0,
+            },
             PtrVal::Seq {
-                p: Pointer { alloc: data, offset: 0 },
+                p: Pointer {
+                    alloc: data,
+                    offset: 0,
+                },
                 lo: 0,
                 hi: 512,
             },
             word,
         )?;
-        it.mem
-            .write_int(Pointer { alloc: buf, offset: word as i64 }, 8, 0)?;
+        it.mem.write_int(
+            Pointer {
+                alloc: buf,
+                offset: word as i64,
+            },
+            8,
+            0,
+        )?;
         it.counters.meta_ops += 1; // boundary metadata generation
         Ok(PtrVal::Seq {
-            p: Pointer { alloc: buf, offset: 0 },
+            p: Pointer {
+                alloc: buf,
+                offset: 0,
+            },
             lo: 0,
             hi: 2 * word as i64,
         })
@@ -710,7 +806,10 @@ fn ssl_new(it: &mut Interp<'_>) -> Result<Option<Value>, RtError> {
     it.mem.mark_init(s);
     it.register_alloc(s);
     for f in &ssl_info.fields {
-        let at = Pointer { alloc: s, offset: f.offset as i64 };
+        let at = Pointer {
+            alloc: s,
+            offset: f.offset as i64,
+        };
         match f.name.as_str() {
             "in" => it.mem.write_ptr(at, inbuf, word)?,
             "out" => it.mem.write_ptr(at, outbuf, word)?,
@@ -718,7 +817,10 @@ fn ssl_new(it: &mut Interp<'_>) -> Result<Option<Value>, RtError> {
         }
     }
     Ok(Some(Value::Ptr(PtrVal::Seq {
-        p: Pointer { alloc: s, offset: 0 },
+        p: Pointer {
+            alloc: s,
+            offset: 0,
+        },
         lo: 0,
         hi: ssl_info.size as i64,
     })))
@@ -729,18 +831,17 @@ fn ssl_new(it: &mut Interp<'_>) -> Result<Option<Value>, RtError> {
 /// does not matter.
 fn field_offset(it: &Interp<'_>, comp: &str, field: &str) -> Result<i64, RtError> {
     let prog = it.program();
-    let cid = prog.types.find_comp(comp, false).ok_or_else(|| {
-        RtError::Unsupported(format!("program does not declare struct {comp}"))
-    })?;
+    let cid = prog
+        .types
+        .find_comp(comp, false)
+        .ok_or_else(|| RtError::Unsupported(format!("program does not declare struct {comp}")))?;
     prog.types
         .comp(cid)
         .fields
         .iter()
         .find(|f| f.name == field)
         .map(|f| f.offset as i64)
-        .ok_or_else(|| {
-            RtError::Unsupported(format!("struct {comp} has no field `{field}`"))
-        })
+        .ok_or_else(|| RtError::Unsupported(format!("struct {comp} has no field `{field}`")))
 }
 
 fn ptr_arg(args: &[Value], i: usize) -> Result<PtrVal, RtError> {
@@ -812,7 +913,10 @@ fn format_c(it: &Interp<'_>, fmt: &[u8], args: &[Value]) -> Result<Vec<u8>, RtEr
         }
         i += 1;
         // Skip flags/width/precision/length modifiers.
-        while i < fmt.len() && (fmt[i].is_ascii_digit() || matches!(fmt[i], b'-' | b'+' | b'.' | b' ' | b'l' | b'h' | b'z')) {
+        while i < fmt.len()
+            && (fmt[i].is_ascii_digit()
+                || matches!(fmt[i], b'-' | b'+' | b'.' | b' ' | b'l' | b'h' | b'z'))
+        {
             i += 1;
         }
         if i >= fmt.len() {
@@ -894,8 +998,8 @@ fn format_c(it: &Interp<'_>, fmt: &[u8], args: &[Value]) -> Result<Vec<u8>, RtEr
 
 #[cfg(test)]
 mod tests {
-    use crate::interp::{ExecMode, Interp};
     use crate::err::RtError;
+    use crate::interp::{ExecMode, Interp};
 
     fn run(src: &str) -> (Result<i64, RtError>, Vec<u8>) {
         let tu = ccured_ast::parse_translation_unit(src).expect("parse");
@@ -1092,6 +1196,9 @@ mod tests {
         let src = "extern void frobnicate(void);\n\
                    int main(void) { frobnicate(); return 0; }";
         let (r, _) = run(src);
-        assert_eq!(r.unwrap_err(), RtError::UnknownExternal("frobnicate".into()));
+        assert_eq!(
+            r.unwrap_err(),
+            RtError::UnknownExternal("frobnicate".into())
+        );
     }
 }

@@ -19,8 +19,8 @@ use crate::value::{PtrVal, Value};
 use ccured::hierarchy::Hierarchy;
 use ccured::Cured;
 use ccured_cil::ir::*;
-use ccured_cil::types::{IntKind, Type, TypeId};
 use ccured_cil::phys::CastClass;
+use ccured_cil::types::{IntKind, Type, TypeId};
 use ccured_infer::{PtrKind, Solution};
 use std::collections::{BTreeMap, HashMap};
 
@@ -166,7 +166,7 @@ impl<'p> Interp<'p> {
 
     pub(crate) fn gc_mode(&self) -> bool {
         self.gc_override
-            .unwrap_or_else(|| matches!(self.mode, ExecMode::Cured { .. }))
+            .unwrap_or(matches!(self.mode, ExecMode::Cured { .. }))
     }
 
     /// Provides bytes for the input builtins (`getchar`, `net_recv`, ...).
@@ -207,11 +207,7 @@ impl<'p> Interp<'p> {
     /// # Errors
     ///
     /// Any [`RtError`].
-    pub fn call_by_name(
-        &mut self,
-        name: &str,
-        args: Vec<Value>,
-    ) -> Result<Option<Value>, RtError> {
+    pub fn call_by_name(&mut self, name: &str, args: Vec<Value>) -> Result<Option<Value>, RtError> {
         let f = self
             .prog
             .find_function(name)
@@ -299,9 +295,7 @@ impl<'p> Interp<'p> {
                     }
                     Ok(())
                 }
-                _ =>
-
-                {
+                _ => {
                     if let Some(first) = items.first() {
                         self.run_init(at, ty, first)
                     } else {
@@ -321,10 +315,7 @@ impl<'p> Interp<'p> {
         let func = &self.prog.functions[f.idx()];
         let mut need = vec![false; func.locals.len()];
         for (i, l) in func.locals.iter().enumerate() {
-            if matches!(
-                self.prog.types.get(l.ty),
-                Type::Comp(_) | Type::Array(..)
-            ) {
+            if matches!(self.prog.types.get(l.ty), Type::Comp(_) | Type::Array(..)) {
                 need[i] = true;
             }
         }
@@ -474,12 +465,10 @@ impl<'p> Interp<'p> {
         while i < stmts.len() {
             match self.exec_stmt(&stmts[i])? {
                 Flow::Normal => i += 1,
-                Flow::Goto(label) => {
-                    match find_label(stmts, &label) {
-                        Some(j) => i = j,
-                        None => return Ok(Flow::Goto(label)),
-                    }
-                }
+                Flow::Goto(label) => match find_label(stmts, &label) {
+                    Some(j) => i = j,
+                    None => return Ok(Flow::Goto(label)),
+                },
                 other => return Ok(other),
             }
         }
@@ -561,10 +550,7 @@ impl<'p> Interp<'p> {
                 for a in args {
                     // Aggregates pass by value: hand the callee the source
                     // address; parameter binding performs the copy.
-                    if matches!(
-                        self.prog.types.get(a.ty()),
-                        Type::Comp(_) | Type::Array(..)
-                    ) {
+                    if matches!(self.prog.types.get(a.ty()), Type::Comp(_) | Type::Array(..)) {
                         let lv = match a {
                             Exp::Load(lv, _) => lv,
                             _ => {
@@ -621,7 +607,11 @@ impl<'p> Interp<'p> {
     fn copy_aggregate(&mut self, lv: &Lval, e: &Exp, ty: TypeId) -> Result<(), RtError> {
         let src = match e {
             Exp::Load(src_lv, _) => src_lv,
-            _ => return Err(RtError::Unsupported("aggregate rvalue is not an lvalue".into())),
+            _ => {
+                return Err(RtError::Unsupported(
+                    "aggregate rvalue is not an lvalue".into(),
+                ))
+            }
         };
         let size = self
             .prog
@@ -765,7 +755,10 @@ impl<'p> Interp<'p> {
                             )
                         }
                     }
-                    _ => fail("rtti", "downcast of a pointer without run-time type info".into()),
+                    _ => fail(
+                        "rtti",
+                        "downcast of a pointer without run-time type info".into(),
+                    ),
                 }
             }
             Check::NoStackEscape { value } => {
@@ -782,7 +775,10 @@ impl<'p> Interp<'p> {
                     .as_int()
                     .ok_or_else(|| RtError::Unsupported("non-integer index".into()))?;
                 if v < 0 || v as u64 >= *len {
-                    fail("index_bound", format!("index {v} out of bounds for array of {len}"))
+                    fail(
+                        "index_bound",
+                        format!("index {v} out of bounds for array of {len}"),
+                    )
                 } else {
                     Ok(())
                 }
@@ -845,9 +841,7 @@ impl<'p> Interp<'p> {
                 let arr_ty = self.lval_type(lv);
                 let p = match self.resolve_lval(lv)? {
                     Place::Mem(p) => p,
-                    Place::Reg(_) => {
-                        return Err(RtError::Unsupported("array in register".into()))
-                    }
+                    Place::Reg(_) => return Err(RtError::Unsupported("array in register".into())),
                 };
                 let extent = match self.prog.types.get(arr_ty) {
                     Type::Array(elem, Some(n)) => {
@@ -943,11 +937,7 @@ impl<'p> Interp<'p> {
             (UnOp::Neg, Value::Float(x)) => Value::Float(-x),
             (UnOp::BitNot, Value::Int(x)) => Value::Int(self.trunc_to(ty, !x)),
             (UnOp::Not, v) => Value::Int(if v.is_truthy() { 0 } else { 1 }),
-            (op, v) => {
-                return Err(RtError::Unsupported(format!(
-                    "unary {op:?} on {v:?}"
-                )))
-            }
+            (op, v) => return Err(RtError::Unsupported(format!("unary {op:?} on {v:?}"))),
         })
     }
 
@@ -962,12 +952,12 @@ impl<'p> Interp<'p> {
         use BinOp::*;
         match op {
             PlusPI | MinusPI => {
-                let pv = a
-                    .as_ptr()
-                    .ok_or_else(|| RtError::Unsupported("pointer arithmetic on non-pointer".into()))?;
-                let n = b
-                    .as_int()
-                    .ok_or_else(|| RtError::Unsupported("pointer arithmetic with non-integer".into()))?;
+                let pv = a.as_ptr().ok_or_else(|| {
+                    RtError::Unsupported("pointer arithmetic on non-pointer".into())
+                })?;
+                let n = b.as_int().ok_or_else(|| {
+                    RtError::Unsupported("pointer arithmetic with non-integer".into())
+                })?;
                 let elem = self
                     .prog
                     .types
@@ -989,9 +979,7 @@ impl<'p> Interp<'p> {
                     .map(|(t, _)| self.prog.types.size_of(t).unwrap_or(1))
                     .unwrap_or(1) as i128;
                 let diff = match (pa, pb) {
-                    (Some(x), Some(y)) if x.alloc == y.alloc => {
-                        (x.offset - y.offset) as i128
-                    }
+                    (Some(x), Some(y)) if x.alloc == y.alloc => (x.offset - y.offset) as i128,
                     _ => {
                         let va = a.as_ptr().map(|p| self.mem.va_of(&p)).unwrap_or(0) as i128;
                         let vb = b.as_ptr().map(|p| self.mem.va_of(&p)).unwrap_or(0) as i128;
@@ -1029,9 +1017,7 @@ impl<'p> Interp<'p> {
                             Mul => x * y,
                             Div => x / y,
                             _ => {
-                                return Err(RtError::Unsupported(format!(
-                                    "float operator {op:?}"
-                                )))
+                                return Err(RtError::Unsupported(format!("float operator {op:?}")))
                             }
                         };
                         Ok(Value::Float(r))
@@ -1092,9 +1078,7 @@ impl<'p> Interp<'p> {
                     (Type::Int(k), Value::Float(f)) => {
                         Value::Int(trunc_int(f as i128, *k, &types.machine))
                     }
-                    (Type::Int(k), Value::Int(x)) => {
-                        Value::Int(trunc_int(x, *k, &types.machine))
-                    }
+                    (Type::Int(k), Value::Int(x)) => Value::Int(trunc_int(x, *k, &types.machine)),
                     (Type::Float(_), Value::Int(x)) => Value::Float(x as f64),
                     (Type::Float(fk), Value::Float(f)) => {
                         if matches!(fk, ccured_cil::types::FloatKind::Float) {
@@ -1250,10 +1234,6 @@ impl<'p> Interp<'p> {
                 }
             },
         })
-        .map(|out| {
-            let _ = tb;
-            out
-        })
     }
 
     // ------------------------------------------------------------- lvalues
@@ -1279,7 +1259,10 @@ impl<'p> Interp<'p> {
                         ));
                     }
                     LocalSlot::Mem(a) => {
-                        cur = Place::Mem(Pointer { alloc: a, offset: 0 });
+                        cur = Place::Mem(Pointer {
+                            alloc: a,
+                            offset: 0,
+                        });
                     }
                 }
             }
@@ -1308,7 +1291,9 @@ impl<'p> Interp<'p> {
                         )))
                     }
                     PtrVal::Fn(_) => {
-                        return Err(RtError::InvalidPointer("function pointer dereferenced".into()))
+                        return Err(RtError::InvalidPointer(
+                            "function pointer dereferenced".into(),
+                        ))
                     }
                     other => other.thin().expect("memory pointer"),
                 };
@@ -1347,8 +1332,7 @@ impl<'p> Interp<'p> {
 
     fn load_place(&mut self, place: Place, ty: TypeId) -> Result<Value, RtError> {
         match place {
-            Place::Reg(l) => self.frame().regs[l.idx()]
-                .ok_or(RtError::UninitRead),
+            Place::Reg(l) => self.frame().regs[l.idx()].ok_or(RtError::UninitRead),
             Place::Mem(p) => {
                 let size = self.prog.types.size_of(ty).unwrap_or(self.word);
                 self.access_hook(p, size, false)?;
@@ -1389,7 +1373,10 @@ impl<'p> Interp<'p> {
                 Ok(())
             }
             LocalSlot::Mem(a) => {
-                let p = Pointer { alloc: a, offset: 0 };
+                let p = Pointer {
+                    alloc: a,
+                    offset: 0,
+                };
                 // By-value aggregate binding: the caller passed the source
                 // address; materialize the copy into the fresh local.
                 if matches!(self.prog.types.get(ty), Type::Comp(_) | Type::Array(..)) {
@@ -1457,9 +1444,7 @@ impl<'p> Interp<'p> {
     /// Normalizes a scalar value to its declared type (integer truncation).
     fn normalize_scalar(&self, ty: TypeId, v: Value) -> Value {
         match (self.prog.types.get(ty), v) {
-            (Type::Int(k), Value::Int(x)) => {
-                Value::Int(trunc_int(x, *k, &self.prog.types.machine))
-            }
+            (Type::Int(k), Value::Int(x)) => Value::Int(trunc_int(x, *k, &self.prog.types.machine)),
             (Type::Int(k), Value::Float(f)) => {
                 Value::Int(trunc_int(f as i128, *k, &self.prog.types.machine))
             }
@@ -1796,7 +1781,10 @@ mod tests {
         let (o, c) = run_both(src);
         assert!(o.unwrap_err().is_memory_error());
         let ce = c.unwrap_err();
-        assert!(ce.is_check_failure(), "cured must fail via a check, got {ce}");
+        assert!(
+            ce.is_check_failure(),
+            "cured must fail via a check, got {ce}"
+        );
     }
 
     #[test]
@@ -1815,7 +1803,10 @@ mod tests {
         let o = o.unwrap();
         assert_ne!(o, 7, "original mode silently corrupts the neighbour");
         let ce = c.unwrap_err();
-        assert!(ce.is_check_failure(), "cured must catch the overflow, got {ce}");
+        assert!(
+            ce.is_check_failure(),
+            "cured must catch the overflow, got {ce}"
+        );
     }
 
     #[test]
@@ -1885,7 +1876,10 @@ mod tests {
                      return get_radius(&g);\n\
                    }";
         let c = run_cured(bad).unwrap_err();
-        assert!(c.is_check_failure(), "bad downcast must fail the RTTI check, got {c}");
+        assert!(
+            c.is_check_failure(),
+            "bad downcast must fail the RTTI check, got {c}"
+        );
     }
 
     #[test]

@@ -399,7 +399,10 @@ impl Memory {
             PtrVal::IntVal(x) => *x,
             PtrVal::Fn(ccured_cil::ir::FnRef::Def(f)) => 0xF000_0000_0000_0000 | f.0 as u64,
             PtrVal::Fn(ccured_cil::ir::FnRef::Ext(x)) => 0xF100_0000_0000_0000 | x.0 as u64,
-            PtrVal::Safe(p) | PtrVal::Seq { p, .. } | PtrVal::Wild { p, .. } | PtrVal::Rtti { p, .. } => {
+            PtrVal::Safe(p)
+            | PtrVal::Seq { p, .. }
+            | PtrVal::Wild { p, .. }
+            | PtrVal::Rtti { p, .. } => {
                 ((p.alloc.0 as u64 + 1) << 32).wrapping_add(p.offset as u64 & 0xffff_ffff)
             }
         }
@@ -436,7 +439,10 @@ mod tests {
     fn alloc_read_write_int() {
         let mut m = mem();
         let a = m.alloc(16, AllocKind::Heap).unwrap();
-        let p = Pointer { alloc: a, offset: 4 };
+        let p = Pointer {
+            alloc: a,
+            offset: 4,
+        };
         m.write_int(p, 4, -7).unwrap();
         assert_eq!(m.read_int(p, 4, true).unwrap(), -7);
         assert_eq!(m.read_int(p, 4, false).unwrap(), 0xffff_fff9);
@@ -446,7 +452,10 @@ mod tests {
     fn uninit_read_is_detected() {
         let mut m = mem();
         let a = m.alloc(8, AllocKind::Heap).unwrap();
-        let p = Pointer { alloc: a, offset: 0 };
+        let p = Pointer {
+            alloc: a,
+            offset: 0,
+        };
         assert_eq!(m.read_int(p, 4, true), Err(RtError::UninitRead));
         m.write_int(p, 2, 1).unwrap();
         // Partially initialized word still errors.
@@ -457,17 +466,32 @@ mod tests {
     fn out_of_bounds_detected() {
         let mut m = mem();
         let a = m.alloc(8, AllocKind::Heap).unwrap();
-        let p = Pointer { alloc: a, offset: 6 };
-        assert!(matches!(m.write_int(p, 4, 0), Err(RtError::OutOfBounds { .. })));
-        let neg = Pointer { alloc: a, offset: -1 };
-        assert!(matches!(m.read_int(neg, 1, false), Err(RtError::OutOfBounds { .. })));
+        let p = Pointer {
+            alloc: a,
+            offset: 6,
+        };
+        assert!(matches!(
+            m.write_int(p, 4, 0),
+            Err(RtError::OutOfBounds { .. })
+        ));
+        let neg = Pointer {
+            alloc: a,
+            offset: -1,
+        };
+        assert!(matches!(
+            m.read_int(neg, 1, false),
+            Err(RtError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
     fn use_after_free_detected() {
         let mut m = mem();
         let a = m.alloc(8, AllocKind::Heap).unwrap();
-        let p = Pointer { alloc: a, offset: 0 };
+        let p = Pointer {
+            alloc: a,
+            offset: 0,
+        };
         m.write_int(p, 4, 1).unwrap();
         m.free(a).unwrap();
         assert_eq!(m.read_int(p, 4, true), Err(RtError::UseAfterFree));
@@ -478,7 +502,10 @@ mod tests {
     fn use_after_return_detected() {
         let mut m = mem();
         let a = m.alloc(8, AllocKind::Stack { frame: 3 }).unwrap();
-        let p = Pointer { alloc: a, offset: 0 };
+        let p = Pointer {
+            alloc: a,
+            offset: 0,
+        };
         m.write_int(p, 4, 1).unwrap();
         m.kill_frame(3);
         assert_eq!(m.read_int(p, 4, true), Err(RtError::UseAfterReturn));
@@ -489,8 +516,14 @@ mod tests {
         let mut m = mem();
         let a = m.alloc(16, AllocKind::Heap).unwrap();
         let b = m.alloc(8, AllocKind::Heap).unwrap();
-        let slot = Pointer { alloc: a, offset: 8 };
-        let target = PtrVal::Safe(Pointer { alloc: b, offset: 4 });
+        let slot = Pointer {
+            alloc: a,
+            offset: 8,
+        };
+        let target = PtrVal::Safe(Pointer {
+            alloc: b,
+            offset: 4,
+        });
         m.write_ptr(slot, target, 8).unwrap();
         assert_eq!(m.read_ptr(slot, 8).unwrap(), target);
         assert!(m.has_ptr_tag(slot));
@@ -501,12 +534,30 @@ mod tests {
         let mut m = mem();
         let a = m.alloc(16, AllocKind::Heap).unwrap();
         let b = m.alloc(8, AllocKind::Heap).unwrap();
-        let slot = Pointer { alloc: a, offset: 0 };
-        m.write_ptr(slot, PtrVal::Safe(Pointer { alloc: b, offset: 0 }), 8)
-            .unwrap();
+        let slot = Pointer {
+            alloc: a,
+            offset: 0,
+        };
+        m.write_ptr(
+            slot,
+            PtrVal::Safe(Pointer {
+                alloc: b,
+                offset: 0,
+            }),
+            8,
+        )
+        .unwrap();
         assert!(m.has_ptr_tag(slot));
         // Clobber one byte in the middle: the tag must clear.
-        m.write_int(Pointer { alloc: a, offset: 4 }, 1, 0xAA).unwrap();
+        m.write_int(
+            Pointer {
+                alloc: a,
+                offset: 4,
+            },
+            1,
+            0xAA,
+        )
+        .unwrap();
         assert!(!m.has_ptr_tag(slot));
         // Reading the slot now yields a disguised integer, not a pointer.
         assert!(matches!(m.read_ptr(slot, 8).unwrap(), PtrVal::IntVal(_)));
@@ -516,7 +567,10 @@ mod tests {
     fn null_reads_as_null() {
         let mut m = mem();
         let a = m.alloc(8, AllocKind::Heap).unwrap();
-        let slot = Pointer { alloc: a, offset: 0 };
+        let slot = Pointer {
+            alloc: a,
+            offset: 0,
+        };
         m.write_int(slot, 8, 0).unwrap();
         assert_eq!(m.read_ptr(slot, 8).unwrap(), PtrVal::Null);
     }
@@ -526,34 +580,86 @@ mod tests {
         let mut m = mem();
         let a = m.alloc(32, AllocKind::Heap).unwrap();
         let b = m.alloc(8, AllocKind::Heap).unwrap();
-        let src = Pointer { alloc: a, offset: 0 };
+        let src = Pointer {
+            alloc: a,
+            offset: 0,
+        };
         m.write_int(src, 4, 42).unwrap();
-        m.write_ptr(src.offset_by(8), PtrVal::Safe(Pointer { alloc: b, offset: 0 }), 8)
-            .unwrap();
-        let dst = Pointer { alloc: a, offset: 16 };
+        m.write_ptr(
+            src.offset_by(8),
+            PtrVal::Safe(Pointer {
+                alloc: b,
+                offset: 0,
+            }),
+            8,
+        )
+        .unwrap();
+        let dst = Pointer {
+            alloc: a,
+            offset: 16,
+        };
         m.copy_region(dst, src, 16).unwrap();
         assert_eq!(m.read_int(dst, 4, true).unwrap(), 42);
-        assert!(matches!(m.read_ptr(dst.offset_by(8), 8).unwrap(), PtrVal::Safe(_)));
+        assert!(matches!(
+            m.read_ptr(dst.offset_by(8), 8).unwrap(),
+            PtrVal::Safe(_)
+        ));
     }
 
     #[test]
     fn c_string_reading() {
         let mut m = mem();
         let a = m.alloc(8, AllocKind::Global).unwrap();
-        m.write_bytes(Pointer { alloc: a, offset: 0 }, b"hi\0").unwrap();
-        assert_eq!(m.read_c_string(Pointer { alloc: a, offset: 0 }).unwrap(), b"hi");
-        assert_eq!(m.read_c_string(Pointer { alloc: a, offset: 1 }).unwrap(), b"i");
+        m.write_bytes(
+            Pointer {
+                alloc: a,
+                offset: 0,
+            },
+            b"hi\0",
+        )
+        .unwrap();
+        assert_eq!(
+            m.read_c_string(Pointer {
+                alloc: a,
+                offset: 0
+            })
+            .unwrap(),
+            b"hi"
+        );
+        assert_eq!(
+            m.read_c_string(Pointer {
+                alloc: a,
+                offset: 1
+            })
+            .unwrap(),
+            b"i"
+        );
         // A string without NUL runs off the allocation.
         let b = m.alloc(2, AllocKind::Global).unwrap();
-        m.write_bytes(Pointer { alloc: b, offset: 0 }, b"xy").unwrap();
-        assert!(m.read_c_string(Pointer { alloc: b, offset: 0 }).is_err());
+        m.write_bytes(
+            Pointer {
+                alloc: b,
+                offset: 0,
+            },
+            b"xy",
+        )
+        .unwrap();
+        assert!(m
+            .read_c_string(Pointer {
+                alloc: b,
+                offset: 0
+            })
+            .is_err());
     }
 
     #[test]
     fn va_roundtrip() {
         let mut m = mem();
         let a = m.alloc(16, AllocKind::Heap).unwrap();
-        let p = Pointer { alloc: a, offset: 12 };
+        let p = Pointer {
+            alloc: a,
+            offset: 12,
+        };
         let va = m.va_of(&PtrVal::Safe(p));
         assert_eq!(m.ptr_of_va(va), Some(p));
         assert_eq!(m.va_of(&PtrVal::Null), 0);
@@ -563,7 +669,10 @@ mod tests {
     fn floats_roundtrip() {
         let mut m = mem();
         let a = m.alloc(16, AllocKind::Heap).unwrap();
-        let p = Pointer { alloc: a, offset: 0 };
+        let p = Pointer {
+            alloc: a,
+            offset: 0,
+        };
         m.write_float(p, 8, 2.5).unwrap();
         assert_eq!(m.read_float(p, 8).unwrap(), 2.5);
         m.write_float(p, 4, 1.25).unwrap();

@@ -9,8 +9,7 @@ use crate::{PaperStats, Workload};
 pub const REQ_BYTES: usize = 128;
 
 fn driver(handler_body: &str, extra_decls: &str) -> String {
-    format!
-    (
+    format!(
         "{extra_decls}\n\
          extern long net_recv(char *buf, long cap);\n\
          extern long net_send(char *buf, long n);\n\
@@ -371,7 +370,12 @@ mod tests {
             assert_eq!(o.exit, 0, "{}", w.name);
             let c = runner::run_cured(&w, &InferOptions::default())
                 .unwrap_or_else(|e| panic!("{}: cure failed: {e}", w.name));
-            assert!(c.stats.ok(), "{}: cured failed: {:?}", w.name, c.stats.error);
+            assert!(
+                c.stats.ok(),
+                "{}: cured failed: {:?}",
+                w.name,
+                c.stats.error
+            );
             assert_eq!(c.stats.exit, 0, "{}", w.name);
             assert_eq!(o.output, c.stats.output, "{}: outputs differ", w.name);
             assert_eq!(c.cured.report.kind_counts.wild, 0, "{}: no WILD", w.name);

@@ -201,7 +201,11 @@ int main(void) {
         }
     }
     Workload::new(
-        if exploit { "sendmail_exploit" } else { "sendmail" },
+        if exploit {
+            "sendmail_exploit"
+        } else {
+            "sendmail"
+        },
         src,
     )
     .with_input(commands(&cmds))
@@ -357,11 +361,7 @@ pub fn bind_like(queries: u32, rrtypes: u32) -> Workload {
     );
     let mut qs = Vec::new();
     for i in 0..queries {
-        qs.push(format!(
-            "QQQQQQQQwww.host{}.example{}.com",
-            i % 23,
-            i % 5
-        ));
+        qs.push(format!("QQQQQQQQwww.host{}.example{}.com", i % 23, i % 5));
     }
     Workload::new("bind", src)
         .with_input(commands(&qs))
@@ -462,27 +462,26 @@ pub fn openssl_bn(ops: u32) -> Workload {
 /// requests, the client generates them.
 pub fn openssh_like(packets: u32, server: bool) -> Workload {
     let role = if server { "server" } else { "client" };
-    let src = format!(
-        "extern long net_recv(char *buf, long cap);\n\
+    let src = "extern long net_recv(char *buf, long cap);\n\
          extern long net_send(char *buf, long n);\n\
          extern long sim_rand(void);\n\
-         struct msghdr {{ char *base; long len; }};\n\
+         struct msghdr { char *base; long len; };\n\
          extern long sendmsg_like(struct msghdr *m);\n\
          unsigned int mac_state;\n\
-         void mac_update(char *buf, int n) {{\n\
+         void mac_update(char *buf, int n) {\n\
            for (int i = 0; i < n; i++)\n\
              mac_state = (mac_state * 33 + (unsigned int)(buf[i] & 0xff)) & 0x7fffffffu;\n\
-         }}\n\
-         void xor_crypt(char *buf, int n, unsigned int key) {{\n\
+         }\n\
+         void xor_crypt(char *buf, int n, unsigned int key) {\n\
            for (int i = 0; i < n; i++)\n\
              buf[i] = (char)(buf[i] ^ (char)((key >> (8 * (i % 4))) & 0x3f));\n\
-         }}\n\
-         int main(void) {{\n\
+         }\n\
+         int main(void) {\n\
            char pkt[64];\n\
            mac_state = 5381;\n\
            long n;\n\
            int handled = 0;\n\
-           while ((n = net_recv(pkt, 64)) > 0) {{\n\
+           while ((n = net_recv(pkt, 64)) > 0) {\n\
              xor_crypt(pkt, (int)n, 0x1B2E3C4Du);\n\
              mac_update(pkt, (int)n);\n\
              xor_crypt(pkt, (int)n, 0x1B2E3C4Du);\n\
@@ -491,13 +490,16 @@ pub fn openssh_like(packets: u32, server: bool) -> Workload {
              mh.len = n;\n\
              sendmsg_like(&mh);\n\
              handled++;\n\
-           }}\n\
+           }\n\
            return handled > 0 ? 0 : 1;\n\
-         }}"
-    );
+         }"
+    .to_string();
     let mut pkts = Vec::new();
     for i in 0..packets {
-        pkts.push(format!("SSH2 {role} packet {i:04} payload {}", i * 37 % 911));
+        pkts.push(format!(
+            "SSH2 {role} packet {i:04} payload {}",
+            i * 37 % 911
+        ));
     }
     Workload::new(format!("openssh_{role}"), src)
         .with_input(commands(&pkts))
@@ -674,7 +676,12 @@ mod tests {
         assert_eq!(o.exit, w.expect_exit, "{}", w.name);
         let c = runner::run_cured(w, &InferOptions::default())
             .unwrap_or_else(|e| panic!("{}: cure failed: {e}", w.name));
-        assert!(c.stats.ok(), "{}: cured failed: {:?}", w.name, c.stats.error);
+        assert!(
+            c.stats.ok(),
+            "{}: cured failed: {:?}",
+            w.name,
+            c.stats.error
+        );
         assert_eq!(c.stats.exit, w.expect_exit, "{}", w.name);
         assert_eq!(o.output, c.stats.output, "{}: outputs differ", w.name);
     }
@@ -719,7 +726,10 @@ mod tests {
         // record types (rrtypes=6 -> t in {1, 5}).
         assert_eq!(c.cured.report.trusted_casts, 3);
         assert!(c.cured.report.census.downcast >= 6);
-        assert!(c.cured.report.census.identical >= 6 * 4, "identity casts counted");
+        assert!(
+            c.cured.report.census.identical >= 6 * 4,
+            "identity casts counted"
+        );
         assert_eq!(c.cured.report.kind_counts.wild, 0);
     }
 
@@ -752,7 +762,10 @@ mod tests {
         // The boundary seeds a small number of split qualifiers (the
         // paper's "only 3% of pointers had split types").
         assert!(c.cured.solution.split_count() > 0, "split types in use");
-        assert!(c.stats.counters.meta_ops > 0, "metadata maintained at the boundary");
+        assert!(
+            c.stats.counters.meta_ops > 0,
+            "metadata maintained at the boundary"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod apache;
 pub mod daemons;
 pub mod micro;
 pub mod olden;
+pub mod prng;
 pub mod ptrdist;
 pub mod runner;
 pub mod spec;

@@ -116,9 +116,18 @@ mod tests {
         assert!(orig.ok(), "{}: original failed: {:?}", w.name, orig.error);
         assert_eq!(orig.exit, w.expect_exit, "{}", w.name);
         let cured = runner::run_cured(w, &InferOptions::default()).expect("cure");
-        assert!(cured.stats.ok(), "{}: cured failed: {:?}", w.name, cured.stats.error);
+        assert!(
+            cured.stats.ok(),
+            "{}: cured failed: {:?}",
+            w.name,
+            cured.stats.error
+        );
         assert_eq!(cured.stats.exit, w.expect_exit, "{}", w.name);
-        assert_eq!(orig.output, cured.stats.output, "{}: outputs differ", w.name);
+        assert_eq!(
+            orig.output, cured.stats.output,
+            "{}: outputs differ",
+            w.name
+        );
     }
 
     #[test]
@@ -146,7 +155,10 @@ mod tests {
         let w = rtti_dispatch(10);
         check(&w);
         let cured = runner::run_cured(&w, &InferOptions::default()).unwrap();
-        assert!(cured.cured.report.kind_counts.rtti > 0, "must use RTTI pointers");
+        assert!(
+            cured.cured.report.kind_counts.rtti > 0,
+            "must use RTTI pointers"
+        );
         assert!(cured.stats.counters.rtti_checks > 0);
         assert_eq!(cured.cured.report.kind_counts.wild, 0);
     }

@@ -53,7 +53,11 @@ fn execute(prog: &ccured_cil::Program, mode: ExecMode<'_>, input: &[u8]) -> RunS
 
 fn lower(w: &Workload) -> Result<ccured_cil::Program, CureError> {
     let full = if w.with_wrappers {
-        format!("{}\n{}", ccured::wrappers::stdlib_wrapper_source(), w.source)
+        format!(
+            "{}\n{}",
+            ccured::wrappers::stdlib_wrapper_source(),
+            w.source
+        )
     } else {
         w.source.clone()
     };
@@ -82,18 +86,33 @@ pub fn run_baseline(w: &Workload, mode: ExecMode<'static>) -> Result<RunStats, C
     Ok(execute(&prog, mode, &w.input))
 }
 
-/// Cures the workload and runs it.
+/// Cures the workload and runs it (redundant-check elimination on).
 ///
 /// # Errors
 ///
 /// Cure errors (frontend or strict-link).
 pub fn run_cured(w: &Workload, opts: &InferOptions) -> Result<CuredRun, CureError> {
+    run_cured_opt(w, opts, true)
+}
+
+/// Like [`run_cured`], with explicit control over the optimizer — the
+/// `--no-opt` ablation used by the differential soundness harness.
+///
+/// # Errors
+///
+/// Cure errors (frontend or strict-link).
+pub fn run_cured_opt(
+    w: &Workload,
+    opts: &InferOptions,
+    optimize: bool,
+) -> Result<CuredRun, CureError> {
     let mut curer = Curer::new();
     curer
         .rtti(opts.rtti)
         .physical_subtyping(opts.physical_subtyping)
         .split_at_boundaries(opts.split_at_boundaries)
-        .split_everything(opts.split_everything);
+        .split_everything(opts.split_everything)
+        .optimize(optimize);
     if w.with_wrappers {
         curer.with_stdlib_wrappers();
     }

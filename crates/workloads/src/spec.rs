@@ -148,7 +148,10 @@ pub fn ijpeg_oo(types: u32, rounds: u32) -> Workload {
     // Dynamic dispatch on the kind tag. Each case also downcasts to an
     // *ancestor* of the dynamic type (real OO code checks against base
     // classes), which makes the RTTI subtype walk traverse real chains.
-    let _ = writeln!(src, "long process(struct Node *n) {{\n  switch (n->kind) {{");
+    let _ = writeln!(
+        src,
+        "long process(struct Node *n) {{\n  switch (n->kind) {{"
+    );
     for d in 1..=types {
         let anc = (d / 2).max(1);
         let _ = writeln!(
@@ -180,9 +183,7 @@ pub fn ijpeg_oo(types: u32, rounds: u32) -> Workload {
            return s > 0 ? 0 : 1;\n\
          }}",
         stages = (1..=types)
-            .map(|d| format!(
-                "acc += stage_{d}(front, back, n); acc += stage_{d}(back, front, n);"
-            ))
+            .map(|d| format!("acc += stage_{d}(front, back, n); acc += stage_{d}(back, front, n);"))
             .collect::<Vec<_>>()
             .join("\n           ")
     );

@@ -80,7 +80,9 @@ fn main() {
         println!("   paper: {}", e.paper);
         let (orig, _) = run(e.source, false);
         match &orig {
-            Ok(code) => println!("   plain C: ran to completion, exit {code} (corruption unnoticed)"),
+            Ok(code) => {
+                println!("   plain C: ran to completion, exit {code} (corruption unnoticed)")
+            }
             Err(err) => println!("   plain C: {err}"),
         }
         let (cured, _) = run(e.source, true);

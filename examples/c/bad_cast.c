@@ -1,0 +1,24 @@
+/* A pointer poisoned by a bad cast, for the blame explainer:
+ *
+ *   cargo run -p ccured-cli --bin ccured -- explain examples/c/bad_cast.c
+ *
+ * `q` (and everything it flows into) is WILD because of the (int *) cast
+ * from a double*; `explain` walks the provenance back to that cast.
+ */
+extern int printf(char *fmt, ...);
+
+double store;
+
+int peek(double *d) {
+    int *q;
+    int *r;
+    q = (int *)d;          /* the poisoning cast */
+    r = q;                 /* WILD spreads by assignment */
+    return *r;
+}
+
+int main(void) {
+    store = 1.0;
+    printf("low word = %d\n", peek(&store) != 0);
+    return 0;
+}

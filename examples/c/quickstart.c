@@ -1,0 +1,19 @@
+/* Standalone copy of the quickstart program, for driving the `ccured`
+ * CLI directly:
+ *
+ *   cargo run -p ccured-cli --bin ccured -- examples/c/quickstart.c --report --run
+ */
+extern int printf(char *fmt, ...);
+
+int sum(int *a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += a[i];
+    return s;
+}
+
+int main(void) {
+    int data[8];
+    for (int i = 0; i < 8; i++) data[i] = i * i;
+    printf("sum = %d\n", sum(data, 8));
+    return 0;
+}

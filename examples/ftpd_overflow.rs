@@ -17,9 +17,17 @@ fn main() {
 
     println!("== benign session ==");
     let o = runner::run_original(&benign).expect("frontend");
-    println!("plain C: exit {} ({} bytes of replies)", o.exit, o.output.len());
+    println!(
+        "plain C: exit {} ({} bytes of replies)",
+        o.exit,
+        o.output.len()
+    );
     let c = runner::run_cured(&benign, &InferOptions::default()).expect("cure");
-    println!("cured:   exit {} — outputs identical: {}", c.stats.exit, o.output == c.stats.output);
+    println!(
+        "cured:   exit {} — outputs identical: {}",
+        c.stats.exit,
+        o.output == c.stats.output
+    );
 
     println!("\n== exploit session (oversized CWD path) ==");
     let o = runner::run_original(&exploit).expect("frontend");

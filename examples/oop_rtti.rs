@@ -47,19 +47,31 @@ int main(void) {
 fn main() {
     let cured = Curer::new().cure_source(PROGRAM).expect("cure");
     let census = cured.report.census;
-    println!("cast census: {} upcasts, {} downcasts, {} bad", census.upcast, census.downcast, census.bad);
+    println!(
+        "cast census: {} upcasts, {} downcasts, {} bad",
+        census.upcast, census.downcast, census.bad
+    );
     let (sf, sq, w, rt) = cured.report.kind_counts.percentages();
     println!("pointer kinds: {sf}% SAFE, {sq}% SEQ, {w}% WILD, {rt}% RTTI");
-    println!("subtype hierarchy: {} nodes, depth {}", cured.hierarchy.len(), cured.hierarchy.max_depth());
+    println!(
+        "subtype hierarchy: {} nodes, depth {}",
+        cured.hierarchy.len(),
+        cured.hierarchy.max_depth()
+    );
 
     let mut interp = Interp::new(&cured.program, ExecMode::cured(&cured));
     let exit = interp.run().expect("run");
     print!("{}", String::from_utf8_lossy(interp.output()));
-    println!("exit = {exit}; RTTI checks executed: {}", interp.counters.rtti_checks);
+    println!(
+        "exit = {exit}; RTTI checks executed: {}",
+        interp.counters.rtti_checks
+    );
 
     // And the comparison the paper makes: the same program under the
     // original CCured (no physical subtyping, no RTTI) drowns in WILD.
-    let old = ccured::Curer::original_ccured().cure_source(PROGRAM).expect("cure");
+    let old = ccured::Curer::original_ccured()
+        .cure_source(PROGRAM)
+        .expect("cure");
     let (_, _, w_old, _) = old.report.kind_counts.percentages();
     println!("under the original CCured this program is {w_old}% WILD");
 }

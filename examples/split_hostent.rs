@@ -61,5 +61,8 @@ fn main() {
     let mut interp = Interp::new(&cured.program, ExecMode::cured(&cured));
     let exit = interp.run().expect("run");
     print!("{}", String::from_utf8_lossy(interp.output()));
-    println!("exit = {exit}; metadata operations: {}", interp.counters.meta_ops);
+    println!(
+        "exit = {exit}; metadata operations: {}",
+        interp.counters.meta_ops
+    );
 }

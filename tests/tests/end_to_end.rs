@@ -109,10 +109,7 @@ int main(void) {
         .expect("cure");
     let mut i = Interp::new(&cured.program, ExecMode::cured(&cured));
     assert_eq!(i.run().unwrap(), 0);
-    assert_eq!(
-        String::from_utf8_lossy(i.output()),
-        "4 words, 19 chars\n"
-    );
+    assert_eq!(String::from_utf8_lossy(i.output()), "4 words, 19 chars\n");
 }
 
 #[test]
@@ -155,7 +152,12 @@ fn whole_corpus_runs_equivalently() {
         assert!(o.ok(), "{}: original failed: {:?}", w.name, o.error);
         let c = runner::run_cured(&w, &InferOptions::default())
             .unwrap_or_else(|e| panic!("{}: cure failed: {e}", w.name));
-        assert!(c.stats.ok(), "{}: cured failed: {:?}", w.name, c.stats.error);
+        assert!(
+            c.stats.ok(),
+            "{}: cured failed: {:?}",
+            w.name,
+            c.stats.error
+        );
         assert_eq!(o.exit, c.stats.exit, "{}: exit codes differ", w.name);
         assert_eq!(o.output, c.stats.output, "{}: outputs differ", w.name);
     }
@@ -273,8 +275,10 @@ int main(void) {
     assert!(r.unwrap_err().is_check_failure());
     // ...but a trusted-interface function is exempt (the paper's kernel
     // macros): the overflow proceeds exactly as in plain C.
-    let trusted = format!("#pragma ccured_trusted(poke)
-{body}");
+    let trusted = format!(
+        "#pragma ccured_trusted(poke)
+{body}"
+    );
     let (r, _) = run_cured(&trusted);
     let v = r.expect("trusted function runs unchecked");
     assert_ne!(v, 7, "the overflow silently corrupted the sentinel");

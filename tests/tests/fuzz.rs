@@ -141,10 +141,7 @@ impl E {
 }
 
 fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(E::Num),
-        (0usize..4).prop_map(E::Var),
-    ];
+    let leaf = prop_oneof![any::<i8>().prop_map(E::Num), (0usize..4).prop_map(E::Var),];
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
@@ -157,8 +154,11 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(a.into(), b.into())),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| E::Cond(c.into(), t.into(), f.into())),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| E::Cond(
+                c.into(),
+                t.into(),
+                f.into()
+            )),
         ]
     })
 }

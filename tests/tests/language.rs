@@ -274,7 +274,7 @@ fn global_initializer_shapes() {
         int main(void) {
             return table[1] + table[3] + cfg.a + cfg.b + banner[1] + banner[3];
         }"#,
-        4 + 0 + 7 + 0 + 'i' as i64 + 0,
+        4 + 7 + 'i' as i64,
     );
 }
 
@@ -492,7 +492,10 @@ fn out_of_bounds_2d_row_caught_when_cured() {
     let (ro, _) = run_original(src);
     assert_eq!(ro.unwrap(), 203, "plain C reads into row 2 silently");
     let (rc, _) = run_cured(src);
-    assert!(rc.unwrap_err().is_check_failure(), "cured catches the row overflow");
+    assert!(
+        rc.unwrap_err().is_check_failure(),
+        "cured catches the row overflow"
+    );
 }
 
 #[test]

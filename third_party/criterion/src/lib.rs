@@ -1,0 +1,131 @@
+//! A self-contained, registry-free stand-in for the `criterion` crate.
+//!
+//! The workspace must build with **no network access**, so the real
+//! `criterion` cannot be downloaded. This shim implements the subset of its
+//! API the `ccured-bench` benches use — `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — with plain wall-clock timing and stdout reporting
+//! (no statistics, plots, or baselines).
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut samples = 0u32;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters == 0 {
+                continue;
+            }
+            let per_iter = b.elapsed / b.iters as u32;
+            best = best.min(per_iter);
+            total += per_iter;
+            samples += 1;
+        }
+        if samples > 0 {
+            let mean = total / samples;
+            println!(
+                "{}/{}: mean {:?}, best {:?} ({} samples)",
+                self.name, id, mean, best, samples
+            );
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}
