@@ -11,10 +11,11 @@ lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 	cargo fmt --check
 
-# Quick sanity pass: cure + explain the example C sources via the CLI.
+# Quick sanity pass: cure + explain + crash-test the example C sources.
 smoke:
 	cargo run -q -p ccured-cli --bin ccured -- examples/c/quickstart.c --report --run
 	cargo run -q -p ccured-cli --bin ccured -- explain examples/c/bad_cast.c
+	cargo run -q -p ccured-cli --bin ccured -- crash-test examples/c/quickstart.c --mutants 25
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 tables:

@@ -99,6 +99,7 @@ fn fig9_table() {
                 pct_str(r.pct),
                 ratio(r.ccured),
                 ratio(r.valgrind),
+                format!("{:.2}%", r.sandbox_overhead * 100.0),
                 paper_ratio(r.paper_ccured),
                 paper_ratio(r.paper_valgrind),
             ]
@@ -113,6 +114,7 @@ fn fig9_table() {
                 "sf/sq/w/rt",
                 "ccured",
                 "valgrind",
+                "sandbox",
                 "paper ccured",
                 "paper valgrind"
             ],

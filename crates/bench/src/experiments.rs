@@ -57,6 +57,10 @@ pub struct Fig9Row {
     pub ccured: f64,
     /// Measured Valgrind ratio.
     pub valgrind: f64,
+    /// Fraction of cured-run cost spent on sandbox limit accounting
+    /// (fuel/stack/heap/deadline checks) — the price of the hardened
+    /// interpreter, which must stay under 2%.
+    pub sandbox_overhead: f64,
     /// Paper's CCured ratio.
     pub paper_ccured: Option<f64>,
     /// Paper's Valgrind ratio.
@@ -67,6 +71,7 @@ pub struct Fig9Row {
 
 /// E2 (Figure 9): drivers, daemons and crypto kernels.
 pub fn fig9() -> Vec<Fig9Row> {
+    let model = CostModel::default();
     daemons::figure9_corpus()
         .into_iter()
         .map(|w| {
@@ -77,6 +82,7 @@ pub fn fig9() -> Vec<Fig9Row> {
                 pct: r.kind_pct,
                 ccured: r.ccured,
                 valgrind: r.valgrind,
+                sandbox_overhead: model.sandbox_overhead(&r.cured_counters),
                 paper_ccured: w.paper.ccured_ratio,
                 paper_valgrind: w.paper.valgrind_ratio,
                 paper_pct: w.paper.pct,
@@ -483,6 +489,18 @@ mod tests {
             r.old_ratio,
             r.new_ratio
         );
+    }
+
+    #[test]
+    fn fig9_sandbox_overhead_is_under_two_percent() {
+        for row in fig9() {
+            assert!(
+                row.sandbox_overhead < 0.02,
+                "{}: sandbox accounting costs {:.2}% of the cured run",
+                row.name,
+                row.sandbox_overhead * 100.0
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ```text
 //! ccured <file.c> [options]
 //! ccured explain <file.c> [--sym name] [options]
+//! ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
 //!
 //!   --run                 execute after curing (default mode: cured)
 //!   --mode <m>            original | cured | purify | valgrind | joneskelly
@@ -26,12 +27,21 @@
 //!   --split-everything    force the SPLIT representation everywhere
 //!   --split-at-boundaries seed SPLIT at external-call boundaries
 //!   --fuel <n>            instruction budget for --run
+//!   --mutants <n>         `crash-test`: number of mutants (default 60)
+//!   --seed <s>            `crash-test`: batch seed (default 1)
+//!   --json                `crash-test`: machine-readable report
 //! ```
 //!
 //! `ccured explain` prints, for every WILD pointer (or the one named by
 //! `--sym`), the shortest chain of value flows from that pointer back to
 //! the cast or operation that poisoned it — the paper's "browser" workflow
 //! for auditing why inference made a pointer WILD.
+//!
+//! `ccured crash-test` seeds memory-safety faults into the program with the
+//! deterministic mutation engine (`ccured-faultinject`), cures each mutant,
+//! runs it in the sandbox, and prints a per-class catch-rate matrix. Exit is
+//! 5 when any mutant **escapes** (a ground-truth memory error survives the
+//! cure — a soundness bug), 0 otherwise.
 //!
 //! The library half exists so the argument parser and driver can be unit
 //! tested; `main.rs` is a thin wrapper.
@@ -63,6 +73,14 @@ pub struct Options {
     pub file: String,
     /// `explain` subcommand: print blame paths for WILD pointers.
     pub explain: bool,
+    /// `crash-test` subcommand: run the fault-injection harness.
+    pub crash_test: bool,
+    /// `--mutants`: crash-test batch size.
+    pub mutants: Option<usize>,
+    /// `--seed`: crash-test batch seed.
+    pub seed: Option<u64>,
+    /// `--json`: machine-readable crash-test report.
+    pub json: bool,
     /// `--sym`: restrict `explain` to one symbol.
     pub sym: Option<String>,
     /// Execute after curing.
@@ -129,6 +147,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                 first_positional = false;
                 o.explain = true;
             }
+            // `ccured crash-test <file.c> [--mutants N] [--seed S] [--json]`.
+            "crash-test" if first_positional => {
+                first_positional = false;
+                o.crash_test = true;
+            }
             "--run" => o.run = true,
             "--report" => o.report = true,
             "--review" => o.review = true,
@@ -140,6 +163,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--no-rtti" => o.no_rtti = true,
             "--no-opt" => o.no_opt = true,
             "--sym" => o.sym = Some(need(&mut it, "--sym")?),
+            "--json" => o.json = true,
+            "--mutants" => {
+                let v = need(&mut it, "--mutants")?;
+                o.mutants = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--mutants: `{v}` is not a number")))?,
+                );
+            }
+            "--seed" => {
+                let v = need(&mut it, "--seed")?;
+                o.seed = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--seed: `{v}` is not a number")))?,
+                );
+            }
             "--split-everything" => o.split_everything = true,
             "--split-at-boundaries" => o.split_at_boundaries = true,
             "--mode" => {
@@ -187,6 +225,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--sym only applies to the `explain` subcommand".into(),
         ));
     }
+    if (o.mutants.is_some() || o.seed.is_some() || o.json) && !o.crash_test {
+        return Err(UsageError(
+            "--mutants/--seed/--json only apply to the `crash-test` subcommand".into(),
+        ));
+    }
     Ok(o)
 }
 
@@ -196,7 +239,8 @@ pub const USAGE: &str =
               [--input FILE] [--report] [--review] [--counters] [--emit-ir] [--wrappers]
               [--strict-link] [--original-ccured] [--no-rtti] [--no-opt]
               [--split-everything] [--split-at-boundaries] [--fuel N]
-       ccured explain <file.c> [--sym NAME] [other options]";
+       ccured explain <file.c> [--sym NAME] [other options]
+       ccured crash-test <file.c> [--mutants N] [--seed S] [--json]";
 
 /// What a driver invocation produced (for testing and for `main`).
 #[derive(Debug)]
@@ -215,6 +259,24 @@ pub struct Outcome {
 /// (non-zero exit with a message), matching what a compiler driver does.
 pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureError> {
     let mut out = String::new();
+
+    if o.crash_test {
+        let mut cfg =
+            ccured_faultinject::CrashTest::new(o.mutants.unwrap_or(60), o.seed.unwrap_or(1));
+        if let Some(f) = o.fuel {
+            cfg.limits.fuel = f;
+        }
+        let rep = ccured_faultinject::harness::crash_test_source(&o.file, source, input, &cfg)?;
+        if o.json {
+            out.push_str(&rep.to_json());
+            out.push('\n');
+        } else {
+            out.push_str(&rep.render());
+        }
+        // Any escape is a soundness bug: distinct exit code so CI trips.
+        let exit = if rep.escaped().is_empty() { 0 } else { 5 };
+        return Ok(Outcome { exit, stdout: out });
+    }
 
     // Baseline/original modes skip the cure (they run the plain program).
     if o.run && o.mode != Mode::Cured {
@@ -546,6 +608,41 @@ mod tests {
         assert!(args("explain").is_err(), "explain still needs a file");
         let plain = args("prog.c --no-opt").unwrap();
         assert!(plain.no_opt && !plain.explain);
+    }
+
+    #[test]
+    fn parses_crash_test_subcommand() {
+        let o = args("crash-test prog.c --mutants 30 --seed 9 --json").unwrap();
+        assert!(o.crash_test && o.json);
+        assert_eq!(o.mutants, Some(30));
+        assert_eq!(o.seed, Some(9));
+        assert_eq!(o.file, "prog.c");
+        assert!(args("prog.c --mutants 5").is_err(), "needs crash-test");
+        assert!(args("prog.c --json").is_err(), "needs crash-test");
+        assert!(args("crash-test prog.c --mutants x").is_err());
+        assert!(args("crash-test").is_err(), "still needs a file");
+    }
+
+    #[test]
+    fn drive_crash_test_prints_matrix_and_exits_clean() {
+        let src = "int main(void) { int a[6]; int i; int s; s = 0;\n\
+                   for (i = 0; i < 6; i++) a[i] = i;\n\
+                   for (i = 0; i < 6; i++) s = s + a[i];\n\
+                   return s; }";
+        let o = args("crash-test t.c --mutants 12 --seed 5").unwrap();
+        let r = drive(&o, src, b"").unwrap();
+        assert_eq!(r.exit, 0, "no escapes expected:\n{}", r.stdout);
+        assert!(r.stdout.contains("fault class"), "{}", r.stdout);
+        assert!(r.stdout.contains("no escapes"), "{}", r.stdout);
+        let j = drive(
+            &args("crash-test t.c --mutants 6 --json").unwrap(),
+            src,
+            b"",
+        )
+        .unwrap();
+        assert_eq!(j.exit, 0);
+        assert!(j.stdout.trim_end().starts_with('{'), "{}", j.stdout);
+        assert!(j.stdout.contains("\"escaped\":[]"), "{}", j.stdout);
     }
 
     #[test]

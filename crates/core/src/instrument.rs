@@ -176,6 +176,21 @@ impl<'a> Ctx<'a> {
         out.push(Instr::Check(c, self.span));
     }
 
+    /// Access size for a bounds check on `pointee`. `void` accesses are
+    /// byte-granular (GNU semantics, matching the interpreter); any other
+    /// unsized type here is a frontend invariant violation — panic rather
+    /// than emit a check with a made-up size (the pipeline's panic
+    /// isolation turns this into `CureError::Internal`).
+    fn access_size(&self, pointee: ccured_cil::types::TypeId) -> u64 {
+        if matches!(self.prog.types.get(pointee), Type::Void) {
+            return 1;
+        }
+        match self.prog.types.size_of(pointee) {
+            Ok(s) => s,
+            Err(e) => panic!("cannot instrument access to unsized type: {e}"),
+        }
+    }
+
     fn checks_for_instr(&mut self, f: &Function, i: &Instr, out: &mut Vec<Instr>) {
         if let Instr::Set(_, _, s) | Instr::Call(_, _, _, s) = i {
             self.span = *s;
@@ -242,7 +257,7 @@ impl<'a> Ctx<'a> {
         if let LvBase::Deref(p) = &lv.base {
             self.checks_for_exp(f, p, out);
             if let Some((pointee, q)) = self.prog.types.ptr_parts(p.ty()) {
-                let size = self.prog.types.size_of(pointee).unwrap_or(1);
+                let size = self.access_size(pointee);
                 match self.sol.kind(q) {
                     PtrKind::Safe => {
                         self.push(Check::Null { ptr: (**p).clone() }, out);
@@ -328,7 +343,7 @@ impl<'a> Ctx<'a> {
         let class = self.phys.classify_cast(site.from, site.to);
         // SEQ to thin: the pointer must address a whole target element.
         if kf == PtrKind::Seq && kt == PtrKind::Safe {
-            let size = self.prog.types.size_of(tb).unwrap_or(1);
+            let size = self.access_size(tb);
             self.push(
                 Check::SeqToSafe {
                     ptr: x.clone(),

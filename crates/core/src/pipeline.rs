@@ -17,6 +17,11 @@ pub enum CureError {
     Frontend(ccured_ast::Diag),
     /// The strict link audit found incompatible external calls.
     Link(Vec<LinkIssue>),
+    /// The pipeline itself panicked — a curer bug, not a program error.
+    /// Produced only by [`isolated`], which converts panics into errors so
+    /// one hostile input cannot abort a whole batch (fault injection,
+    /// fuzzing).
+    Internal(String),
 }
 
 impl fmt::Display for CureError {
@@ -30,6 +35,29 @@ impl fmt::Display for CureError {
                 }
                 Ok(())
             }
+            CureError::Internal(d) => write!(f, "internal curer error: {d}"),
+        }
+    }
+}
+
+/// Runs `f` with panic isolation: any panic inside becomes
+/// [`CureError::Internal`] instead of unwinding into (and aborting) the
+/// caller's batch. Used by the fault-injection harness and the fuzz driver,
+/// where one pathological mutant must not take down the whole run.
+///
+/// # Errors
+///
+/// Whatever `f` returns, plus [`CureError::Internal`] if `f` panicked.
+pub fn isolated<T>(f: impl FnOnce() -> Result<T, CureError>) -> Result<T, CureError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(CureError::Internal(msg))
         }
     }
 }
@@ -512,6 +540,16 @@ mod tests {
             walk(&f.body, &mut n);
         }
         n
+    }
+
+    #[test]
+    fn isolated_converts_panics_to_internal_errors() {
+        let err = isolated::<()>(|| panic!("boom {}", 42)).unwrap_err();
+        assert!(
+            matches!(&err, CureError::Internal(m) if m.contains("boom 42")),
+            "{err}"
+        );
+        assert_eq!(isolated(|| Ok(7)).unwrap(), 7);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! # ccured-faultinject
+//!
+//! A deterministic fault-injection crash-test harness: the adversarial
+//! complement to the soundness property tests. It seeds classic C
+//! memory-safety faults into lowered (pre-cure) CIL programs, cures each
+//! mutant, and runs it under the hardened interpreter, verifying that every
+//! injected fault is either **caught** by a CCured run-time check,
+//! **neutralized** by the cured semantics (the GC-backed `free`, the zeroing
+//! allocator), or **masked** (never triggered) — and never **escapes** as a
+//! raw memory error, which would be a soundness bug in the cure.
+//!
+//! The fault classes mirror the bug taxonomy of the paper's evaluation
+//! (Section 5's ftpd/bind/sendmail bugs and the Figure 2 downcast idiom):
+//!
+//! | class | seeded fault | expected cured outcome |
+//! |---|---|---|
+//! | `off_by_one` | `<` weakened to `<=`, or `[i]` bumped to `[i+1]` | bounds check fails |
+//! | `null_guard` | null guard dropped / pointer nulled | null check fails |
+//! | `bad_downcast` | struct downcast to a wider type | RTTI/WILD check fails |
+//! | `premature_free` | `free` before last use | neutralized (GC `free` no-op) |
+//! | `uninit_read` | an initializing store deleted | neutralized (zeroing allocator) |
+//! | `ptr_smuggle` | integer smuggled into a pointer | WILD/null check fails |
+//!
+//! Everything is seeded: mutant `i` of seed `s` is reproduced exactly by
+//! re-running with the same seed, making every reported escape a one-line
+//! repro.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccured_faultinject::{crash_test, CrashTest};
+//! use ccured_workloads::micro;
+//!
+//! let report = crash_test(&[micro::seq_index(8)], &CrashTest::new(12, 42)).unwrap();
+//! assert_eq!(report.runs.len(), 12);
+//! assert!(report.escaped().is_empty(), "{}", report.render());
+//! ```
+
+pub mod harness;
+pub mod mutate;
+pub mod report;
+
+pub use harness::{crash_test, CrashTest};
+pub use mutate::{mutate, FaultClass, Mutation};
+pub use report::{CrashTestReport, MutantRun, Outcome};

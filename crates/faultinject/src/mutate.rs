@@ -1,0 +1,693 @@
+//! The mutation engine: seeds one memory-safety fault into a lowered
+//! (pre-cure) CIL program.
+//!
+//! Two families of operators:
+//!
+//! * **Surgical** operators mutate IR the program already has: weakening a
+//!   comparison, bumping an array index, dropping a null guard, nulling a
+//!   pointer assignment, deleting an initializing store. They return `None`
+//!   when the program has no candidate site.
+//! * **Synthetic** operators inject a short self-contained faulty snippet
+//!   into `main` at a seeded position: a bad struct downcast, a
+//!   malloc/free/use triple, an integer smuggled into a pointer. They apply
+//!   to any program with a `main`.
+//!
+//! All randomness comes from the caller's [`SplitMix64`], so a `(seed,
+//! mutant-index)` pair reproduces the exact mutation.
+
+use ccured_ast::Span;
+use ccured_cil::ir::*;
+use ccured_cil::types::{FuncSig, IntKind, TypeId, TypeTable};
+use ccured_workloads::prng::SplitMix64;
+
+/// The classes of memory-safety faults the harness can seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A loop/array bound weakened by one (`<` → `<=`, or `[i]` → `[i+1]`).
+    OffByOne,
+    /// A null guard dropped, or a pointer assignment replaced with null.
+    NullGuard,
+    /// A struct pointer downcast to a physically wider type, then used.
+    BadDowncast,
+    /// Heap memory freed before its last use.
+    PrematureFree,
+    /// An initializing store deleted, leaving a later read uninitialized.
+    UninitRead,
+    /// An integer value smuggled into a pointer and dereferenced.
+    PtrSmuggle,
+}
+
+impl FaultClass {
+    /// Every fault class, in the round-robin order the harness uses.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::OffByOne,
+        FaultClass::NullGuard,
+        FaultClass::BadDowncast,
+        FaultClass::PrematureFree,
+        FaultClass::UninitRead,
+        FaultClass::PtrSmuggle,
+    ];
+
+    /// Stable snake_case name (report rows, JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::OffByOne => "off_by_one",
+            FaultClass::NullGuard => "null_guard",
+            FaultClass::BadDowncast => "bad_downcast",
+            FaultClass::PrematureFree => "premature_free",
+            FaultClass::UninitRead => "uninit_read",
+            FaultClass::PtrSmuggle => "ptr_smuggle",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fault successfully seeded into a program.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// The class of the seeded fault.
+    pub class: FaultClass,
+    /// Human-readable description of what was changed, and where.
+    pub description: String,
+}
+
+/// Seeds one fault of `class` into `prog`, choosing among candidate sites
+/// with `rng`. Returns `None` when the program offers no site for this
+/// class (synthetic classes only fail when there is no `main`).
+pub fn mutate(prog: &mut Program, class: FaultClass, rng: &mut SplitMix64) -> Option<Mutation> {
+    let description = match class {
+        FaultClass::OffByOne => surgical(prog, Op::OffByOne, rng),
+        FaultClass::NullGuard => surgical(prog, Op::NullGuard, rng),
+        FaultClass::UninitRead => surgical(prog, Op::DropInit, rng),
+        FaultClass::BadDowncast => inject_bad_downcast(prog, rng),
+        FaultClass::PrematureFree => inject_premature_free(prog, rng),
+        FaultClass::PtrSmuggle => inject_ptr_smuggle(prog, rng),
+    }?;
+    Some(Mutation { class, description })
+}
+
+// ------------------------------------------------------- surgical operators
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    OffByOne,
+    NullGuard,
+    DropInit,
+}
+
+/// Per-function context threaded through the walk (avoids borrowing the
+/// function mutably and immutably at once).
+struct Cx<'f> {
+    fname: &'f str,
+    locals: &'f [Local],
+}
+
+/// Two-pass site picker: pass 1 (`target == None`) counts candidate sites
+/// without touching anything; pass 2 applies the mutation at the chosen
+/// index. Both passes run the same walk, so the site numbering is identical.
+struct Surgeon<'a> {
+    op: Op,
+    types: &'a TypeTable,
+    casts: &'a mut Vec<CastSite>,
+    int_ty: TypeId,
+    seen: usize,
+    target: Option<usize>,
+    done: Option<String>,
+}
+
+fn surgical(prog: &mut Program, op: Op, rng: &mut SplitMix64) -> Option<String> {
+    let int_ty = prog.types.mk_int(IntKind::Int);
+    // Wrapper and trusted functions are the trusted computing base: the
+    // curer deliberately does not check their bodies, so a fault seeded
+    // there says nothing about the soundness of the cure. Skip them.
+    let excluded: std::collections::HashSet<String> = prog
+        .pragmas
+        .iter()
+        .filter_map(|p| match p {
+            CcuredPragma::WrapperOf { wrapper, .. } => Some(wrapper.clone()),
+            CcuredPragma::TrustedFn(name) => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    let Program {
+        types,
+        casts,
+        functions,
+        ..
+    } = prog;
+    let mut s = Surgeon {
+        op,
+        types,
+        casts,
+        int_ty,
+        seen: 0,
+        target: None,
+        done: None,
+    };
+    for f in functions.iter_mut().filter(|f| !excluded.contains(&f.name)) {
+        s.walk_function(f);
+    }
+    if s.seen == 0 {
+        return None;
+    }
+    s.target = Some(rng.below(s.seen as u64) as usize);
+    s.seen = 0;
+    for f in functions.iter_mut().filter(|f| !excluded.contains(&f.name)) {
+        s.walk_function(f);
+        if s.done.is_some() {
+            break;
+        }
+    }
+    s.done.take()
+}
+
+impl Surgeon<'_> {
+    /// Increments the site counter; true exactly when this site is the
+    /// apply-pass target.
+    fn claim(&mut self) -> bool {
+        let mine = self.target == Some(self.seen);
+        self.seen += 1;
+        mine
+    }
+
+    fn walk_function(&mut self, f: &mut Function) {
+        let Function {
+            name, locals, body, ..
+        } = f;
+        let cx = Cx {
+            fname: name,
+            locals,
+        };
+        for s in body.iter_mut() {
+            self.walk_stmt(s, &cx);
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &mut Stmt, cx: &Cx<'_>) {
+        if self.done.is_some() {
+            return;
+        }
+        match s {
+            Stmt::Instr(is) => {
+                if self.op == Op::DropInit {
+                    self.drop_init_in(is, cx);
+                } else {
+                    for i in is {
+                        self.walk_instr(i, cx);
+                    }
+                }
+            }
+            Stmt::If(c, t, e) => {
+                if self.op == Op::NullGuard {
+                    if let Some(force) = self.guard_polarity(c) {
+                        if self.claim() {
+                            *c = Exp::int(i128::from(force), IntKind::Int, self.int_ty);
+                            self.done = Some(format!(
+                                "{}: null guard forced {}",
+                                cx.fname,
+                                if force { "through" } else { "around" }
+                            ));
+                            return;
+                        }
+                    }
+                }
+                self.walk_exp(c, cx);
+                for st in t.iter_mut().chain(e.iter_mut()) {
+                    self.walk_stmt(st, cx);
+                }
+            }
+            Stmt::Loop(b) | Stmt::Block(b) => {
+                for st in b {
+                    self.walk_stmt(st, cx);
+                }
+            }
+            Stmt::Return(Some(e)) => self.walk_exp(e, cx),
+            Stmt::Switch(e, arms) => {
+                self.walk_exp(e, cx);
+                for a in arms {
+                    for st in &mut a.body {
+                        self.walk_stmt(st, cx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// `DropInit`: a candidate is a whole-variable store to a named
+    /// (non-temporary, non-parameter) local — the shape of `x = init;`.
+    fn drop_init_in(&mut self, is: &mut Vec<Instr>, cx: &Cx<'_>) {
+        for idx in 0..is.len() {
+            let Instr::Set(lv, _, _) = &is[idx] else {
+                continue;
+            };
+            if !lv.offsets.is_empty() {
+                continue;
+            }
+            let LvBase::Local(l) = lv.base else {
+                continue;
+            };
+            let loc = &cx.locals[l.idx()];
+            if loc.is_temp || loc.is_param {
+                continue;
+            }
+            if self.claim() {
+                self.done = Some(format!(
+                    "{}: deleted initialization of `{}`",
+                    cx.fname, loc.name
+                ));
+                is.remove(idx);
+                return;
+            }
+        }
+    }
+
+    /// Recognizes a null-guard condition and returns the constant that
+    /// *drops* the guard: `if (p)` / `if (p != 0)` forced true executes the
+    /// guarded use even when `p` is null; `if (!p)` / `if (p == 0)` forced
+    /// false skips the bail-out branch.
+    fn guard_polarity(&self, c: &Exp) -> Option<bool> {
+        let is_null_const = |e: &Exp| e.is_zero() || matches!(e, Exp::Cast(_, x, _) if x.is_zero());
+        match c {
+            Exp::Load(_, t) if self.types.is_ptr(*t) => Some(true),
+            Exp::Unop(UnOp::Not, x, _) if self.types.is_ptr(x.ty()) => Some(false),
+            Exp::Binop(op @ (BinOp::Eq | BinOp::Ne), a, b, _)
+                if (self.types.is_ptr(a.ty()) && is_null_const(b))
+                    || (self.types.is_ptr(b.ty()) && is_null_const(a)) =>
+            {
+                Some(*op == BinOp::Ne)
+            }
+            _ => None,
+        }
+    }
+
+    fn walk_instr(&mut self, i: &mut Instr, cx: &Cx<'_>) {
+        if self.done.is_some() {
+            return;
+        }
+        match i {
+            Instr::Set(lv, e, span) => {
+                if self.op == Op::NullGuard
+                    && self.types.is_ptr(e.ty())
+                    && !e.is_zero()
+                    && self.claim()
+                {
+                    let to = e.ty();
+                    let cid = CastId(self.casts.len() as u32);
+                    self.casts.push(CastSite {
+                        from: self.int_ty,
+                        to,
+                        trusted: false,
+                        implicit: true,
+                        from_zero: true,
+                        alloc: false,
+                        span: *span,
+                    });
+                    *e = Exp::Cast(cid, Box::new(Exp::int(0, IntKind::Int, self.int_ty)), to);
+                    self.done = Some(format!("{}: pointer assignment nulled", cx.fname));
+                    return;
+                }
+                self.walk_lval(lv, cx);
+                self.walk_exp(e, cx);
+            }
+            Instr::Call(ret, callee, args, _) => {
+                if let Some(lv) = ret {
+                    self.walk_lval(lv, cx);
+                }
+                if let Callee::Ptr(e) = callee {
+                    self.walk_exp(e, cx);
+                }
+                for a in args {
+                    self.walk_exp(a, cx);
+                }
+            }
+            Instr::Check(..) => {}
+        }
+    }
+
+    fn walk_lval(&mut self, lv: &mut Lval, cx: &Cx<'_>) {
+        if self.done.is_some() {
+            return;
+        }
+        if let LvBase::Deref(e) = &mut lv.base {
+            self.walk_exp(e, cx);
+        }
+        for off in &mut lv.offsets {
+            let Offset::Index(ie) = off else { continue };
+            if self.op == Op::OffByOne && self.claim() {
+                let t = ie.ty();
+                let bumped = Exp::Binop(
+                    BinOp::Add,
+                    Box::new(ie.clone()),
+                    Box::new(Exp::int(1, IntKind::Int, t)),
+                    t,
+                );
+                *ie = bumped;
+                self.done = Some(format!(
+                    "{}: array index incremented past the end",
+                    cx.fname
+                ));
+                return;
+            }
+            self.walk_exp(ie, cx);
+        }
+    }
+
+    fn walk_exp(&mut self, e: &mut Exp, cx: &Cx<'_>) {
+        if self.done.is_some() {
+            return;
+        }
+        if self.op == Op::OffByOne {
+            if let Exp::Binop(bop @ (BinOp::Lt | BinOp::Gt), a, _, _) = e {
+                if self.types.is_integer(a.ty()) && self.claim() {
+                    let (old, new) = match bop {
+                        BinOp::Lt => ("<", "<="),
+                        _ => (">", ">="),
+                    };
+                    *bop = if *bop == BinOp::Lt {
+                        BinOp::Le
+                    } else {
+                        BinOp::Ge
+                    };
+                    self.done = Some(format!(
+                        "{}: comparison `{old}` weakened to `{new}`",
+                        cx.fname
+                    ));
+                    return;
+                }
+            }
+        }
+        match e {
+            Exp::Load(lv, _) | Exp::AddrOf(lv, _) | Exp::StartOf(lv, _) => self.walk_lval(lv, cx),
+            Exp::Unop(_, x, _) | Exp::Cast(_, x, _) => self.walk_exp(x, cx),
+            Exp::Binop(_, a, b, _) => {
+                self.walk_exp(a, cx);
+                self.walk_exp(b, cx);
+            }
+            Exp::Const(..) | Exp::FnAddr(..) | Exp::SizeOf(..) => {}
+        }
+    }
+}
+
+// ------------------------------------------------------ synthetic operators
+
+/// Adds a named, non-temporary local to `f` and returns its id.
+fn add_local(f: &mut Function, name: &str, ty: TypeId, q: ccured_cil::types::QualId) -> LocalId {
+    let id = LocalId(f.locals.len() as u32);
+    f.locals.push(Local {
+        name: name.to_string(),
+        ty,
+        addr_qual: q,
+        is_param: false,
+        is_temp: false,
+    });
+    id
+}
+
+/// Inserts `stmt` at a seeded position in the top-level body of `main`
+/// (statement boundaries are always safe insertion points in this IR).
+fn insert_in_main(prog: &mut Program, rng: &mut SplitMix64, stmt: Stmt) -> Option<usize> {
+    let mi = prog.find_function("main")?.idx();
+    let body = &mut prog.functions[mi].body;
+    let pos = rng.below(body.len() as u64 + 1) as usize;
+    body.insert(pos, stmt);
+    Some(pos)
+}
+
+fn load(lv: Lval, ty: TypeId) -> Exp {
+    Exp::Load(Box::new(lv), ty)
+}
+
+/// Figure 2's unsound idiom: take a `Small*` to a `Small`, downcast it to a
+/// physically wider `Big*`, and write the field beyond the common prefix.
+/// Cured, the RTTI (or WILD bounds) check fails; original, the write lands
+/// out of bounds.
+fn inject_bad_downcast(prog: &mut Program, rng: &mut SplitMix64) -> Option<String> {
+    let mi = prog.find_function("main")?.idx();
+    let int_ty = prog.types.mk_int(IntKind::Int);
+    let cs = prog.types.declare_comp("__fi_small", false);
+    let q = prog.types.fresh_qual();
+    prog.types
+        .define_comp(cs, vec![("a".to_string(), int_ty, q)])
+        .ok()?;
+    let cb = prog.types.declare_comp("__fi_big", false);
+    let (qa, qb) = (prog.types.fresh_qual(), prog.types.fresh_qual());
+    prog.types
+        .define_comp(
+            cb,
+            vec![("a".to_string(), int_ty, qa), ("b".to_string(), int_ty, qb)],
+        )
+        .ok()?;
+    let small_t = prog.types.mk_comp(cs);
+    let big_t = prog.types.mk_comp(cb);
+    let sp_t = prog.types.mk_ptr(small_t);
+    let bp_t = prog.types.mk_ptr(big_t);
+    let (qs, qsp, qbp) = (
+        prog.types.fresh_qual(),
+        prog.types.fresh_qual(),
+        prog.types.fresh_qual(),
+    );
+
+    let f = &mut prog.functions[mi];
+    let s = add_local(f, "__fi_s", small_t, qs);
+    let sp = add_local(f, "__fi_sp", sp_t, qsp);
+    let bp = add_local(f, "__fi_bp", bp_t, qbp);
+
+    let cid = CastId(prog.casts.len() as u32);
+    prog.casts.push(CastSite {
+        from: sp_t,
+        to: bp_t,
+        trusted: false,
+        implicit: false,
+        from_zero: false,
+        alloc: false,
+        span: Span::DUMMY,
+    });
+
+    let sp_lv = Lval::local(sp);
+    let s_field_a = Lval {
+        base: LvBase::Local(s),
+        offsets: vec![Offset::Field(cs, 0)],
+    };
+    let big_field_b = Lval {
+        base: LvBase::Deref(Box::new(load(Lval::local(bp), bp_t))),
+        offsets: vec![Offset::Field(cb, 1)],
+    };
+    let stmt = Stmt::Instr(vec![
+        Instr::Set(s_field_a, Exp::int(0, IntKind::Int, int_ty), Span::DUMMY),
+        Instr::Set(
+            sp_lv.clone(),
+            Exp::AddrOf(Box::new(Lval::local(s)), sp_t),
+            Span::DUMMY,
+        ),
+        Instr::Set(
+            Lval::local(bp),
+            Exp::Cast(cid, Box::new(load(sp_lv, sp_t)), bp_t),
+            Span::DUMMY,
+        ),
+        Instr::Set(big_field_b, Exp::int(1, IntKind::Int, int_ty), Span::DUMMY),
+    ]);
+    let pos = insert_in_main(prog, rng, stmt)?;
+    Some(format!(
+        "main: injected Small*→Big* downcast and wrote past the prefix (stmt {pos})"
+    ))
+}
+
+/// The use-after-free triple: `p = malloc(..); free(p); *p = ..;`. Original
+/// semantics fault with a use-after-free; the cured runtime's GC-backed
+/// `free` is a no-op, neutralizing the fault by construction.
+fn inject_premature_free(prog: &mut Program, rng: &mut SplitMix64) -> Option<String> {
+    let mi = prog.find_function("main")?.idx();
+    let int_ty = prog.types.mk_int(IntKind::Int);
+    let ulong_ty = prog.types.mk_int(IntKind::ULong);
+    let void_ty = prog.types.mk_void();
+    let voidp_t = prog.types.mk_ptr(void_ty);
+    let intp_t = prog.types.mk_ptr(int_ty);
+    let malloc_ty = {
+        let sig = FuncSig {
+            ret: voidp_t,
+            params: vec![ulong_ty],
+            varargs: false,
+        };
+        prog.types.mk_func(sig)
+    };
+    let free_ty = {
+        let sig = FuncSig {
+            ret: void_ty,
+            params: vec![voidp_t],
+            varargs: false,
+        };
+        prog.types.mk_func(sig)
+    };
+    let malloc_id = prog.find_external("malloc").unwrap_or_else(|| {
+        prog.externals.push(ExternDecl {
+            name: "malloc".to_string(),
+            ty: malloc_ty,
+            span: Span::DUMMY,
+        });
+        ExternId(prog.externals.len() as u32 - 1)
+    });
+    let free_id = prog.find_external("free").unwrap_or_else(|| {
+        prog.externals.push(ExternDecl {
+            name: "free".to_string(),
+            ty: free_ty,
+            span: Span::DUMMY,
+        });
+        ExternId(prog.externals.len() as u32 - 1)
+    });
+    let (qv_q, q_q) = (prog.types.fresh_qual(), prog.types.fresh_qual());
+    let f = &mut prog.functions[mi];
+    let qv = add_local(f, "__fi_raw", voidp_t, qv_q);
+    let q = add_local(f, "__fi_p", intp_t, q_q);
+
+    let cid = CastId(prog.casts.len() as u32);
+    prog.casts.push(CastSite {
+        from: voidp_t,
+        to: intp_t,
+        trusted: false,
+        implicit: false,
+        from_zero: false,
+        alloc: true,
+        span: Span::DUMMY,
+    });
+
+    let stmt = Stmt::Instr(vec![
+        Instr::Call(
+            Some(Lval::local(qv)),
+            Callee::Extern(malloc_id),
+            vec![Exp::int(16, IntKind::ULong, ulong_ty)],
+            Span::DUMMY,
+        ),
+        Instr::Set(
+            Lval::local(q),
+            Exp::Cast(cid, Box::new(load(Lval::local(qv), voidp_t)), intp_t),
+            Span::DUMMY,
+        ),
+        Instr::Call(
+            None,
+            Callee::Extern(free_id),
+            vec![load(Lval::local(qv), voidp_t)],
+            Span::DUMMY,
+        ),
+        Instr::Set(
+            Lval::deref(load(Lval::local(q), intp_t)),
+            Exp::int(7, IntKind::Int, int_ty),
+            Span::DUMMY,
+        ),
+    ]);
+    let pos = insert_in_main(prog, rng, stmt)?;
+    Some(format!(
+        "main: injected malloc/free/store use-after-free triple (stmt {pos})"
+    ))
+}
+
+/// Smuggles a plain integer into a pointer (`p = (int*)0x7EADBEEF; *p = ..`).
+/// Cured, the pointer is a disguised integer that every check rejects;
+/// original, the dereference is an invalid-pointer fault.
+fn inject_ptr_smuggle(prog: &mut Program, rng: &mut SplitMix64) -> Option<String> {
+    let mi = prog.find_function("main")?.idx();
+    let int_ty = prog.types.mk_int(IntKind::Int);
+    let intp_t = prog.types.mk_ptr(int_ty);
+    let (qx, qp) = (prog.types.fresh_qual(), prog.types.fresh_qual());
+    let f = &mut prog.functions[mi];
+    let x = add_local(f, "__fi_x", int_ty, qx);
+    let p = add_local(f, "__fi_q", intp_t, qp);
+
+    let cid = CastId(prog.casts.len() as u32);
+    prog.casts.push(CastSite {
+        from: int_ty,
+        to: intp_t,
+        trusted: false,
+        implicit: false,
+        from_zero: false,
+        alloc: false,
+        span: Span::DUMMY,
+    });
+
+    let stmt = Stmt::Instr(vec![
+        Instr::Set(
+            Lval::local(x),
+            Exp::int(0x7EAD_BEEF, IntKind::Int, int_ty),
+            Span::DUMMY,
+        ),
+        Instr::Set(
+            Lval::local(p),
+            Exp::Cast(cid, Box::new(load(Lval::local(x), int_ty)), intp_t),
+            Span::DUMMY,
+        ),
+        Instr::Set(
+            Lval::deref(load(Lval::local(p), intp_t)),
+            Exp::int(7, IntKind::Int, int_ty),
+            Span::DUMMY,
+        ),
+    ]);
+    let pos = insert_in_main(prog, rng, stmt)?;
+    Some(format!(
+        "main: injected integer→pointer smuggle and store (stmt {pos})"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower(src: &str) -> Program {
+        let tu = ccured_ast::parse_translation_unit(src).unwrap();
+        ccured_cil::lower_translation_unit(&tu).unwrap()
+    }
+
+    #[test]
+    fn surgical_classes_find_sites_and_are_deterministic() {
+        let src = "int main(void) {\n\
+                     int a[4]; int x; int *p; x = 0; p = &x;\n\
+                     for (int i = 0; i < 4; i++) a[i] = i;\n\
+                     if (p) x = *p;\n\
+                     return a[3] + x;\n\
+                   }";
+        for class in [
+            FaultClass::OffByOne,
+            FaultClass::NullGuard,
+            FaultClass::UninitRead,
+        ] {
+            let mut p1 = lower(src);
+            let m1 = mutate(&mut p1, class, &mut SplitMix64::new(7)).expect("site exists");
+            let mut p2 = lower(src);
+            let m2 = mutate(&mut p2, class, &mut SplitMix64::new(7)).unwrap();
+            assert_eq!(m1.description, m2.description, "deterministic per seed");
+            assert_eq!(m1.class, class);
+        }
+    }
+
+    #[test]
+    fn surgical_returns_none_without_sites() {
+        let mut p = lower("int main(void) { return 0; }");
+        assert!(mutate(&mut p, FaultClass::NullGuard, &mut SplitMix64::new(1)).is_none());
+    }
+
+    #[test]
+    fn synthetic_classes_always_apply_with_main() {
+        for class in [
+            FaultClass::BadDowncast,
+            FaultClass::PrematureFree,
+            FaultClass::PtrSmuggle,
+        ] {
+            let mut p = lower("int main(void) { return 0; }");
+            let funcs_before = p.functions[0].body.len();
+            let m = mutate(&mut p, class, &mut SplitMix64::new(3)).expect("injectable");
+            assert_eq!(m.class, class);
+            assert_eq!(p.functions[0].body.len(), funcs_before + 1);
+        }
+        let mut no_main = lower("int f(void) { return 0; }");
+        assert!(mutate(
+            &mut no_main,
+            FaultClass::PtrSmuggle,
+            &mut SplitMix64::new(3)
+        )
+        .is_none());
+    }
+}

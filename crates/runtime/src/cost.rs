@@ -44,6 +44,15 @@ pub struct Counters {
     /// SPLIT metadata maintenance operations (parallel-structure upkeep).
     pub meta_ops: u64,
 
+    // Sandbox (execution-limit) accounting.
+    /// Limit consultations: one per frame push, per allocation, and per
+    /// deadline poll. These model the compare-and-branch the sandbox adds.
+    pub limit_checks: u64,
+    /// High-water mark of the guest call-stack depth.
+    pub peak_stack_depth: u64,
+    /// High-water mark of live guest heap bytes.
+    pub peak_heap_bytes: u64,
+
     // Baseline instrumentation work.
     /// Purify/Valgrind shadow-memory byte operations.
     pub shadow_ops: u64,
@@ -121,6 +130,9 @@ pub struct CostModel {
     pub jit_instr: f64,
     pub bt_instr: f64,
     pub registry_lookup: f64,
+
+    /// Per limit consultation (a compare-and-branch on cached state).
+    pub limit_check: f64,
 }
 
 impl Default for CostModel {
@@ -151,6 +163,8 @@ impl Default for CostModel {
             jit_instr: 9.0,
             bt_instr: 22.0,
             registry_lookup: 35.0,
+
+            limit_check: 1.0,
         }
     }
 }
@@ -181,6 +195,7 @@ impl CostModel {
             + self.jit_instr * c.jit_instrs as f64
             + self.bt_instr * c.bt_instrs as f64
             + self.registry_lookup * c.registry_lookups as f64
+            + self.limit_check * c.limit_checks as f64
     }
 
     /// Overhead ratio of `instrumented` relative to `baseline`.
@@ -190,6 +205,18 @@ impl CostModel {
             1.0
         } else {
             self.cycles(instrumented) / b
+        }
+    }
+
+    /// Fraction of a run's cycles spent on sandbox limit consultations —
+    /// the price of the hardened interpreter, reported alongside fig9
+    /// (target: well under 2% on every workload).
+    pub fn sandbox_overhead(&self, c: &Counters) -> f64 {
+        let total = self.cycles(c);
+        if total == 0.0 {
+            0.0
+        } else {
+            self.limit_check * c.limit_checks as f64 / total
         }
     }
 }
@@ -266,6 +293,20 @@ mod tests {
             model.ratio(&cured2, &base) > 1.2,
             "CPU-bound overhead must be visible"
         );
+    }
+
+    #[test]
+    fn sandbox_overhead_is_a_small_fraction() {
+        let model = CostModel::default();
+        let c = Counters {
+            instrs: 100_000,
+            calls: 500,
+            limit_checks: 510,
+            ..Counters::default()
+        };
+        let o = model.sandbox_overhead(&c);
+        assert!(o > 0.0 && o < 0.02, "sandbox overhead {o} out of range");
+        assert_eq!(model.sandbox_overhead(&Counters::default()), 0.0);
     }
 
     #[test]

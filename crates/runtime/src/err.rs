@@ -51,6 +51,18 @@ pub enum RtError {
     LinkError(String),
     /// The instruction budget was exhausted (runaway loop guard).
     OutOfFuel,
+    /// A sandbox resource limit was hit (graceful, defined behaviour —
+    /// see [`crate::Limits`]).
+    LimitExceeded {
+        /// Stable limit name: `stack_limit`, `heap_limit`, or `deadline`.
+        limit: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An internal interpreter invariant was violated (a bug in *us*, or a
+    /// malformed program slipping past the frontend). Reported instead of
+    /// panicking so one poisoned input cannot take down a batch.
+    Internal(String),
     /// The program called `abort()` or an assertion builtin failed.
     Abort(String),
     /// A construct the interpreter does not support.
@@ -76,6 +88,13 @@ impl RtError {
                 | RtError::UninitRead
                 | RtError::InvalidPointer(_)
         )
+    }
+
+    /// True when a sandbox resource limit (fuel, stack, heap, or wall-clock
+    /// deadline) stopped the run — neither a caught violation nor a memory
+    /// error, but a defined, graceful outcome.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(self, RtError::OutOfFuel | RtError::LimitExceeded { .. })
     }
 }
 
@@ -103,6 +122,10 @@ impl fmt::Display for RtError {
             RtError::UnknownExternal(n) => write!(f, "unknown external function `{n}`"),
             RtError::LinkError(d) => write!(f, "link error: {d}"),
             RtError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            RtError::LimitExceeded { limit, detail } => {
+                write!(f, "resource limit `{limit}` exceeded: {detail}")
+            }
+            RtError::Internal(d) => write!(f, "internal interpreter error: {d}"),
             RtError::Abort(d) => write!(f, "program aborted: {d}"),
             RtError::Unsupported(d) => write!(f, "unsupported: {d}"),
             RtError::Exit(code) => write!(f, "exit({code})"),
@@ -127,6 +150,15 @@ mod tests {
         assert!(RtError::UseAfterFree.is_memory_error());
         assert!(!RtError::DivByZero.is_memory_error());
         assert!(!RtError::NullDeref.is_check_failure());
+        assert!(RtError::OutOfFuel.is_resource_limit());
+        let stack = RtError::LimitExceeded {
+            limit: "stack_limit",
+            detail: String::new(),
+        };
+        assert!(stack.is_resource_limit());
+        assert!(!stack.is_memory_error() && !stack.is_check_failure());
+        let internal = RtError::Internal("invariant".into());
+        assert!(!internal.is_resource_limit() && !internal.is_memory_error());
     }
 
     #[test]

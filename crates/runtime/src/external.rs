@@ -861,7 +861,9 @@ fn thin_arg(args: &[Value], i: usize) -> Result<Pointer, RtError> {
             "library call with integer {x:#x} as pointer"
         ))),
         PtrVal::Fn(_) => Err(RtError::InvalidPointer("function pointer as data".into())),
-        other => Ok(other.thin().expect("memory pointer")),
+        other => other
+            .thin()
+            .ok_or_else(|| RtError::Internal("library pointer has no memory position".into())),
     }
 }
 

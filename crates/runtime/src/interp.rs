@@ -14,6 +14,7 @@
 use crate::cost::Counters;
 use crate::err::RtError;
 use crate::external;
+use crate::limits::Limits;
 use crate::mem::{AllocId, AllocKind, Memory, Pointer};
 use crate::value::{PtrVal, Value};
 use ccured::hierarchy::Hierarchy;
@@ -23,6 +24,7 @@ use ccured_cil::phys::CastClass;
 use ccured_cil::types::{IntKind, Type, TypeId};
 use ccured_infer::{PtrKind, Solution};
 use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 /// How the program is executed.
 #[derive(Clone, Copy)]
@@ -99,7 +101,12 @@ pub struct Interp<'p> {
     pub(crate) out: Vec<u8>,
     pub(crate) input: Vec<u8>,
     pub(crate) input_pos: usize,
-    fuel: u64,
+    limits: Limits,
+    /// Armed from `limits.deadline` when execution starts.
+    deadline_at: Option<Instant>,
+    /// Model CCured's zeroing allocator: fresh memory reads as zero instead
+    /// of tripping the ground-truth uninitialized-read detector.
+    zero_init: bool,
     word: u64,
     globals_ready: bool,
     /// Which locals of each function need memory (vs register) slots.
@@ -121,10 +128,13 @@ pub struct Interp<'p> {
 impl<'p> Interp<'p> {
     /// Creates an interpreter for `prog` in the given mode.
     pub fn new(prog: &'p Program, mode: ExecMode<'p>) -> Self {
+        let limits = Limits::default();
+        let mut mem = Memory::new();
+        mem.set_heap_limit(limits.max_heap_bytes);
         Interp {
             prog,
             mode,
-            mem: Memory::new(),
+            mem,
             globals: Vec::new(),
             frames: Vec::new(),
             next_frame_seq: 0,
@@ -132,7 +142,9 @@ impl<'p> Interp<'p> {
             out: Vec::new(),
             input: Vec::new(),
             input_pos: 0,
-            fuel: 500_000_000,
+            limits,
+            deadline_at: None,
+            zero_init: false,
             word: prog.types.machine.ptr_bytes,
             globals_ready: false,
             mem_locals: HashMap::new(),
@@ -147,7 +159,29 @@ impl<'p> Interp<'p> {
 
     /// Caps the number of evaluation steps.
     pub fn set_fuel(&mut self, fuel: u64) {
-        self.fuel = fuel;
+        self.limits.fuel = fuel;
+    }
+
+    /// Installs a full set of sandbox [`Limits`] (fuel, stack depth, heap
+    /// cap, deadline). [`Limits::default`] is already in force for every
+    /// fresh interpreter; this tightens or relaxes it.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+        self.mem.set_heap_limit(limits.max_heap_bytes);
+    }
+
+    /// The limits currently in force.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Models CCured's zeroing allocator (and the BDW collector backing it):
+    /// fresh allocations and register locals read as zero instead of
+    /// tripping the ground-truth uninitialized-read detector. The
+    /// fault-injection harness enables this for cured runs, because a real
+    /// cured program never sees garbage memory — see DESIGN.md.
+    pub fn set_zero_init(&mut self, on: bool) {
+        self.zero_init = on;
     }
 
     /// Selects the O(1) interval `isSubtype` encoding for RTTI checks
@@ -195,7 +229,10 @@ impl<'p> Interp<'p> {
             .prog
             .find_function("main")
             .ok_or_else(|| RtError::Unsupported("no `main` function".into()))?;
-        match self.run_function(main, Vec::new()) {
+        self.arm_deadline();
+        let r = self.run_function(main, Vec::new());
+        self.sync_peaks();
+        match r {
             Ok(v) => Ok(v.and_then(|v| v.as_int()).unwrap_or(0) as i64),
             Err(RtError::Exit(code)) => Ok(code),
             Err(e) => Err(e),
@@ -212,7 +249,20 @@ impl<'p> Interp<'p> {
             .prog
             .find_function(name)
             .ok_or_else(|| RtError::Unsupported(format!("no function `{name}`")))?;
-        self.run_function(f, args)
+        self.arm_deadline();
+        let r = self.run_function(f, args);
+        self.sync_peaks();
+        r
+    }
+
+    /// Starts the wall-clock countdown, if a deadline is configured.
+    fn arm_deadline(&mut self) {
+        self.deadline_at = self.limits.deadline.map(|d| Instant::now() + d);
+    }
+
+    /// Copies memory high-water marks into the public counters.
+    fn sync_peaks(&mut self) {
+        self.counters.peak_heap_bytes = self.mem.peak_live_bytes;
     }
 
     fn run_function(&mut self, f: FuncId, args: Vec<Value>) -> Result<Option<Value>, RtError> {
@@ -223,7 +273,10 @@ impl<'p> Interp<'p> {
         self.push_frame(f, args)?;
         let func = &self.prog.functions[f.idx()];
         let flow = self.run_block(&func.body);
-        let seq = self.frames.last().expect("frame pushed").seq;
+        let seq = match self.frames.last() {
+            Some(fr) => fr.seq,
+            None => return Err(no_frame()),
+        };
         self.mem.kill_frame(seq);
         self.frames.pop();
         let flow = flow?;
@@ -253,7 +306,7 @@ impl<'p> Interp<'p> {
 
     fn init_globals(&mut self) -> Result<(), RtError> {
         for g in &self.prog.globals {
-            let size = self.prog.types.size_of(g.ty).unwrap_or(self.word);
+            let size = self.sized(g.ty, &format!("global `{}`", g.name))?;
             let id = self.mem.alloc(size.max(1), AllocKind::Global)?;
             // C zero-initializes globals.
             self.mem.mark_init(id);
@@ -281,7 +334,7 @@ impl<'p> Interp<'p> {
             }
             Init::Compound(items) => match self.prog.types.get(ty).clone() {
                 Type::Array(elem, _) => {
-                    let es = self.prog.types.size_of(elem).unwrap_or(1);
+                    let es = self.sized(elem, "array initializer element")?;
                     for (i, item) in items.iter().enumerate() {
                         self.run_init(at.offset_by((i as u64 * es) as i64), elem, item)?;
                     }
@@ -413,8 +466,17 @@ impl<'p> Interp<'p> {
     }
 
     fn push_frame(&mut self, f: FuncId, args: Vec<Value>) -> Result<(), RtError> {
-        if self.frames.len() > 4096 {
-            return Err(RtError::Unsupported("call stack overflow".into()));
+        // The interpreter recurses on guest calls, so this cap also protects
+        // the *host* stack: it must trip well before the process would.
+        self.counters.limit_checks += 1;
+        if self.frames.len() >= self.limits.max_stack_depth {
+            return Err(RtError::LimitExceeded {
+                limit: "stack_limit",
+                detail: format!(
+                    "call depth exceeded the {}-frame stack cap",
+                    self.limits.max_stack_depth
+                ),
+            });
         }
         let need_mem = self.locals_needing_memory(f);
         let func = &self.prog.functions[f.idx()];
@@ -425,7 +487,7 @@ impl<'p> Interp<'p> {
         let local_tys: Vec<TypeId> = func.locals.iter().map(|l| l.ty).collect();
         for (i, ty) in local_tys.iter().enumerate() {
             if need_mem[i] {
-                let size = self.prog.types.size_of(*ty).unwrap_or(self.word).max(1);
+                let size = self.sized(*ty, "stack local")?.max(1);
                 let id = self.mem.alloc(size, AllocKind::Stack { frame: seq })?;
                 self.register_alloc(id);
                 slots.push(LocalSlot::Mem(id));
@@ -441,6 +503,8 @@ impl<'p> Interp<'p> {
             slots,
         });
         self.counters.calls += 1;
+        self.counters.peak_stack_depth =
+            self.counters.peak_stack_depth.max(self.frames.len() as u64);
         // Bind parameters.
         let param_count = self.prog.functions[f.idx()].param_count;
         for (i, v) in args.into_iter().enumerate().take(param_count) {
@@ -450,12 +514,16 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn frame(&self) -> &Frame {
-        self.frames.last().expect("no active frame")
+    fn frame(&self) -> Result<&Frame, RtError> {
+        self.frames.last().ok_or_else(no_frame)
     }
 
-    fn cur_func(&self) -> &'p Function {
-        &self.prog.functions[self.frame().func.idx()]
+    fn frame_mut(&mut self) -> Result<&mut Frame, RtError> {
+        self.frames.last_mut().ok_or_else(no_frame)
+    }
+
+    fn cur_func(&self) -> Result<&'p Function, RtError> {
+        Ok(&self.prog.functions[self.frame()?.func.idx()])
     }
 
     // --------------------------------------------------------------- blocks
@@ -538,7 +606,7 @@ impl<'p> Interp<'p> {
         self.step()?;
         match i {
             Instr::Set(lv, e, _) => {
-                let ty = self.lval_type(lv);
+                let ty = self.lval_type(lv)?;
                 if matches!(self.prog.types.get(ty), Type::Comp(_) | Type::Array(..)) {
                     return self.copy_aggregate(lv, e, ty);
                 }
@@ -594,7 +662,7 @@ impl<'p> Interp<'p> {
                     }
                 };
                 if let Some(lv) = ret {
-                    let ty = self.lval_type(lv);
+                    let ty = self.lval_type(lv)?;
                     let v = result.unwrap_or(Value::Int(0));
                     self.store_lval(lv, ty, v)?;
                 }
@@ -809,8 +877,24 @@ impl<'p> Interp<'p> {
             }
             _ => {}
         }
-        if self.counters.instrs > self.fuel {
+        if self.counters.instrs > self.limits.fuel {
             return Err(RtError::OutOfFuel);
+        }
+        // Poll the wall-clock deadline sparsely: an `Instant::now()` per
+        // instruction would dominate the interpreter loop.
+        if self.counters.instrs & 0x3FFF == 0 {
+            if let Some(t) = self.deadline_at {
+                self.counters.limit_checks += 1;
+                if Instant::now() > t {
+                    return Err(RtError::LimitExceeded {
+                        limit: "deadline",
+                        detail: format!(
+                            "wall-clock deadline of {:?} passed",
+                            self.limits.deadline.unwrap_or_default()
+                        ),
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -835,22 +919,19 @@ impl<'p> Interp<'p> {
                         ))
                     }
                 };
-                Ok(Value::Ptr(self.make_ptr(p, *ty, None)))
+                Ok(Value::Ptr(self.make_ptr(p, *ty, None)?))
             }
             Exp::StartOf(lv, ty) => {
-                let arr_ty = self.lval_type(lv);
+                let arr_ty = self.lval_type(lv)?;
                 let p = match self.resolve_lval(lv)? {
                     Place::Mem(p) => p,
                     Place::Reg(_) => return Err(RtError::Unsupported("array in register".into())),
                 };
                 let extent = match self.prog.types.get(arr_ty) {
-                    Type::Array(elem, Some(n)) => {
-                        let es = self.prog.types.size_of(*elem).unwrap_or(1);
-                        Some(n * es)
-                    }
+                    Type::Array(elem, Some(n)) => Some(n * self.elem_size(*elem)?),
                     _ => None,
                 };
-                Ok(Value::Ptr(self.make_ptr(p, *ty, extent)))
+                Ok(Value::Ptr(self.make_ptr(p, *ty, extent)?))
             }
             Exp::Unop(op, x, ty) => {
                 let v = self.eval(x)?;
@@ -883,14 +964,19 @@ impl<'p> Interp<'p> {
 
     /// Builds a pointer value for `&lval`/`startof(lval)` according to the
     /// target pointer type's inferred kind.
-    fn make_ptr(&mut self, p: Pointer, ptr_ty: TypeId, extent: Option<u64>) -> PtrVal {
+    fn make_ptr(
+        &mut self,
+        p: Pointer,
+        ptr_ty: TypeId,
+        extent: Option<u64>,
+    ) -> Result<PtrVal, RtError> {
         let (pointee, q) = match self.prog.types.ptr_parts(ptr_ty) {
             Some(x) => x,
-            None => return PtrVal::Safe(p),
+            None => return Ok(PtrVal::Safe(p)),
         };
-        match self.mode {
+        Ok(match self.mode {
             ExecMode::Cured { sol, hier } => {
-                let size = self.prog.types.size_of(pointee).unwrap_or(1);
+                let size = self.elem_size(pointee)?;
                 match sol.kind(q) {
                     PtrKind::Safe if sol.is_rtti(q) => {
                         let node = self.node_of_cached(hier, pointee);
@@ -928,7 +1014,7 @@ impl<'p> Interp<'p> {
                 }
             }
             _ => PtrVal::Safe(p),
-        }
+        })
     }
 
     fn apply_unop(&mut self, op: UnOp, v: Value, ty: TypeId) -> Result<Value, RtError> {
@@ -958,12 +1044,10 @@ impl<'p> Interp<'p> {
                 let n = b.as_int().ok_or_else(|| {
                     RtError::Unsupported("pointer arithmetic with non-integer".into())
                 })?;
-                let elem = self
-                    .prog
-                    .types
-                    .ptr_parts(a_ty)
-                    .map(|(t, _)| self.prog.types.size_of(t).unwrap_or(1))
-                    .unwrap_or(1);
+                let elem = match self.prog.types.ptr_parts(a_ty) {
+                    Some((t, _)) => self.elem_size(t)?,
+                    None => 1,
+                };
                 let delta = (n as i64).wrapping_mul(elem as i64);
                 let delta = if op == MinusPI { -delta } else { delta };
                 self.ptr_arith_hook(&pv)?;
@@ -972,12 +1056,10 @@ impl<'p> Interp<'p> {
             MinusPP => {
                 let pa = a.as_ptr().and_then(|p| p.thin());
                 let pb = b.as_ptr().and_then(|p| p.thin());
-                let elem = self
-                    .prog
-                    .types
-                    .ptr_parts(a_ty)
-                    .map(|(t, _)| self.prog.types.size_of(t).unwrap_or(1))
-                    .unwrap_or(1) as i128;
+                let elem = match self.prog.types.ptr_parts(a_ty) {
+                    Some((t, _)) => self.elem_size(t)?,
+                    None => 1,
+                } as i128;
                 let diff = match (pa, pb) {
                     (Some(x), Some(y)) if x.alloc == y.alloc => (x.offset - y.offset) as i128,
                     _ => {
@@ -1054,6 +1136,26 @@ impl<'p> Interp<'p> {
                 }
             }
         }
+    }
+
+    /// Size of a type that must be sized to execute this operation; a
+    /// genuinely unsized or incomplete type surfaces as a graceful
+    /// [`RtError::Unsupported`] instead of a silently guessed size.
+    fn sized(&self, ty: TypeId, what: &str) -> Result<u64, RtError> {
+        self.prog
+            .types
+            .size_of(ty)
+            .map_err(|e| RtError::Unsupported(format!("{what}: {e}")))
+    }
+
+    /// Element size for pointer arithmetic and extent math. `void *`
+    /// arithmetic deliberately uses 1-byte elements (the GNU C semantics the
+    /// corpus relies on); any other unsized element type is an error.
+    fn elem_size(&self, ty: TypeId) -> Result<u64, RtError> {
+        if matches!(self.prog.types.get(ty), Type::Void) {
+            return Ok(1);
+        }
+        self.sized(ty, "pointer arithmetic element")
     }
 
     /// Truncates an integer to the width/signedness of `ty`.
@@ -1168,7 +1270,9 @@ impl<'p> Interp<'p> {
         if let PtrVal::IntVal(x) = pv {
             return Ok(PtrVal::IntVal(x));
         }
-        let p = pv.thin().expect("memory pointer");
+        let p = pv
+            .thin()
+            .ok_or_else(|| RtError::Internal("cast of a pointer with no memory position".into()))?;
         // Trusted and allocator casts may fabricate metadata from the
         // actual allocation (the runtime knows the real extent).
         let alloc_extent = || {
@@ -1215,7 +1319,7 @@ impl<'p> Interp<'p> {
                             hi: alloc.size() as i64,
                         }
                     } else {
-                        let size = self.prog.types.size_of(fb).unwrap_or(1) as i64;
+                        let size = self.elem_size(fb)? as i64;
                         PtrVal::Seq {
                             p,
                             lo: p.offset,
@@ -1239,8 +1343,12 @@ impl<'p> Interp<'p> {
     // ------------------------------------------------------------- lvalues
 
     /// The static type of an lvalue in the current frame.
-    fn lval_type(&self, lv: &Lval) -> TypeId {
-        ccured_infer::gen::lval_type(self.prog, self.cur_func(), lv)
+    fn lval_type(&self, lv: &Lval) -> Result<TypeId, RtError> {
+        Ok(ccured_infer::gen::lval_type(
+            self.prog,
+            self.cur_func()?,
+            lv,
+        ))
     }
 
     fn resolve_lval(&mut self, lv: &Lval) -> Result<Place, RtError> {
@@ -1248,8 +1356,8 @@ impl<'p> Interp<'p> {
         let mut ty: TypeId;
         match &lv.base {
             LvBase::Local(l) => {
-                ty = self.cur_func().locals[l.idx()].ty;
-                match self.frame().slots[l.idx()] {
+                ty = self.cur_func()?.locals[l.idx()].ty;
+                match self.frame()?.slots[l.idx()] {
                     LocalSlot::Reg => {
                         if lv.offsets.is_empty() {
                             return Ok(Place::Reg(*l));
@@ -1295,7 +1403,9 @@ impl<'p> Interp<'p> {
                             "function pointer dereferenced".into(),
                         ))
                     }
-                    other => other.thin().expect("memory pointer"),
+                    other => other.thin().ok_or_else(|| {
+                        RtError::Internal("dereferenced pointer has no memory position".into())
+                    })?,
                 };
                 cur = Place::Mem(p);
             }
@@ -1313,9 +1423,7 @@ impl<'p> Interp<'p> {
                 }
                 Offset::Index(e) => {
                     let (elem, es) = match self.prog.types.get(ty) {
-                        Type::Array(elem, _) => {
-                            (*elem, self.prog.types.size_of(*elem).unwrap_or(1))
-                        }
+                        Type::Array(elem, _) => (*elem, self.sized(*elem, "array element")?),
                         _ => return Err(RtError::Unsupported("index into non-array".into())),
                     };
                     let i = self
@@ -1332,9 +1440,15 @@ impl<'p> Interp<'p> {
 
     fn load_place(&mut self, place: Place, ty: TypeId) -> Result<Value, RtError> {
         match place {
-            Place::Reg(l) => self.frame().regs[l.idx()].ok_or(RtError::UninitRead),
+            Place::Reg(l) => match self.frame()?.regs[l.idx()] {
+                Some(v) => Ok(v),
+                // The zeroing allocator extends to register-allocated
+                // locals: real CCured programs never observe garbage.
+                None if self.zero_init => Ok(self.zero_value(ty)),
+                None => Err(RtError::UninitRead),
+            },
             Place::Mem(p) => {
-                let size = self.prog.types.size_of(ty).unwrap_or(self.word);
+                let size = self.sized(ty, "load")?;
                 self.access_hook(p, size, false)?;
                 self.counters.loads += 1;
                 match self.prog.types.get(ty) {
@@ -1366,10 +1480,10 @@ impl<'p> Interp<'p> {
     }
 
     fn store_local(&mut self, l: LocalId, ty: TypeId, v: Value) -> Result<(), RtError> {
-        match self.frame().slots[l.idx()] {
+        match self.frame()?.slots[l.idx()] {
             LocalSlot::Reg => {
                 let v = self.normalize_scalar(ty, v);
-                self.frames.last_mut().expect("frame").regs[l.idx()] = Some(v);
+                self.frame_mut()?.regs[l.idx()] = Some(v);
                 Ok(())
             }
             LocalSlot::Mem(a) => {
@@ -1388,7 +1502,7 @@ impl<'p> Interp<'p> {
                             ))
                         }
                     };
-                    let size = self.prog.types.size_of(ty).unwrap_or(0);
+                    let size = self.sized(ty, "aggregate parameter")?;
                     self.counters.loads += 1;
                     self.counters.stores += 1;
                     return self.mem.copy_region(p, src, size);
@@ -1402,7 +1516,7 @@ impl<'p> Interp<'p> {
         match self.resolve_lval(lv)? {
             Place::Reg(l) => {
                 let v = self.normalize_scalar(ty, v);
-                self.frames.last_mut().expect("frame").regs[l.idx()] = Some(v);
+                self.frame_mut()?.regs[l.idx()] = Some(v);
                 Ok(())
             }
             Place::Mem(p) => {
@@ -1441,6 +1555,15 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// The zero value of a scalar type (zeroing-allocator semantics).
+    fn zero_value(&self, ty: TypeId) -> Value {
+        match self.prog.types.get(ty) {
+            Type::Float(_) => Value::Float(0.0),
+            Type::Ptr(..) => Value::NULL,
+            _ => Value::Int(0),
+        }
+    }
+
     /// Normalizes a scalar value to its declared type (integer truncation).
     fn normalize_scalar(&self, ty: TypeId, v: Value) -> Value {
         match (self.prog.types.get(ty), v) {
@@ -1457,7 +1580,7 @@ impl<'p> Interp<'p> {
     }
 
     pub(crate) fn store_typed(&mut self, p: Pointer, ty: TypeId, v: Value) -> Result<(), RtError> {
-        let size = self.prog.types.size_of(ty).unwrap_or(self.word);
+        let size = self.sized(ty, "store")?;
         self.access_hook(p, size, true)?;
         self.counters.stores += 1;
         match (self.prog.types.get(ty), v) {
@@ -1506,8 +1629,16 @@ impl<'p> Interp<'p> {
 
     // -------------------------------------------------------- baseline hooks
 
-    /// Registers an allocation in baseline shadow structures.
+    /// Registers an allocation in baseline shadow structures. Every
+    /// allocation the interpreter or a builtin makes flows through here, so
+    /// this is also where the zeroing-allocator mode marks fresh memory
+    /// initialized, and where the per-allocation limit consultation is
+    /// tallied for the sandbox-overhead accounting.
     pub(crate) fn register_alloc(&mut self, id: AllocId) {
+        self.counters.limit_checks += 1;
+        if self.zero_init {
+            self.mem.mark_init(id);
+        }
         match self.mode {
             ExecMode::Purify | ExecMode::Valgrind => {
                 let size = self.mem.allocation(id).size() as usize;
@@ -1580,6 +1711,10 @@ impl<'p> Interp<'p> {
     fn ptr_arith_hook(&mut self, pv: &PtrVal) -> Result<(), RtError> {
         self.deref_hook(pv)
     }
+}
+
+fn no_frame() -> RtError {
+    RtError::Internal("no active frame".into())
 }
 
 fn find_label(stmts: &[Stmt], label: &str) -> Option<usize> {
@@ -1946,6 +2081,101 @@ mod tests {
                    int main(void) { int *p = f(); return *p; }";
         let o = run_original(src).unwrap_err();
         assert_eq!(o, RtError::UseAfterReturn);
+    }
+
+    #[test]
+    fn runaway_recursion_trips_stack_limit_not_host_stack() {
+        // The regression the sandbox exists for: before Limits landed this
+        // blew the *host* stack. It must now return a graceful error with
+        // the stable name `stack_limit`, in both modes, under the DEFAULT
+        // limits (i.e. inside an ordinary 2 MiB test thread).
+        let src = "int f(void) { return f(); }\n\
+                   int main(void) { return f(); }";
+        let (o, c) = run_both(src);
+        for r in [o, c] {
+            let e = r.unwrap_err();
+            assert!(
+                matches!(&e, RtError::LimitExceeded { limit, .. } if *limit == "stack_limit"),
+                "got {e}"
+            );
+            assert!(e.is_resource_limit());
+        }
+    }
+
+    #[test]
+    fn heap_cap_trips_gracefully() {
+        let src = "extern void *malloc(unsigned long n);\n\
+                   int main(void) {\n\
+                     while (1) { char *p = (char *)malloc(4096); *p = 1; }\n\
+                     return 0;\n\
+                   }";
+        let tu = ccured_ast::parse_translation_unit(src).unwrap();
+        let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
+        let mut i = Interp::new(&prog, ExecMode::Original);
+        i.set_limits(Limits {
+            max_heap_bytes: 1 << 20,
+            ..Limits::default()
+        });
+        let e = i.run().unwrap_err();
+        assert!(
+            matches!(&e, RtError::LimitExceeded { limit, .. } if *limit == "heap_limit"),
+            "got {e}"
+        );
+        assert!(i.counters.peak_heap_bytes <= 1 << 20);
+        assert!(i.counters.limit_checks > 0);
+    }
+
+    #[test]
+    fn peak_counters_track_stack_and_heap() {
+        let src = "extern void *malloc(unsigned long n);\n\
+                   int down(int n) { if (n == 0) return 0; return down(n - 1); }\n\
+                   int main(void) {\n\
+                     char *p = (char *)malloc(1000);\n\
+                     p[0] = 1;\n\
+                     return down(20);\n\
+                   }";
+        let tu = ccured_ast::parse_translation_unit(src).unwrap();
+        let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
+        let mut i = Interp::new(&prog, ExecMode::Original);
+        assert_eq!(i.run().unwrap(), 0);
+        assert!(i.counters.peak_stack_depth >= 21, "main + 21 nested calls");
+        assert!(i.counters.peak_heap_bytes >= 1000);
+    }
+
+    #[test]
+    fn zero_init_models_the_zeroing_allocator() {
+        // A register local and a malloc'd cell, both read uninitialized:
+        // ground truth flags them; the zeroing allocator reads zero.
+        let src = "extern void *malloc(unsigned long n);\n\
+                   int main(void) {\n\
+                     int x;\n\
+                     int *p = (int *)malloc(sizeof(int));\n\
+                     return x + *p;\n\
+                   }";
+        let tu = ccured_ast::parse_translation_unit(src).unwrap();
+        let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
+        let mut plain = Interp::new(&prog, ExecMode::Original);
+        assert_eq!(plain.run().unwrap_err(), RtError::UninitRead);
+        let mut zeroed = Interp::new(&prog, ExecMode::Original);
+        zeroed.set_zero_init(true);
+        assert_eq!(zeroed.run().unwrap(), 0);
+    }
+
+    #[test]
+    fn deadline_expires_on_infinite_loop() {
+        let src = "int main(void) { while (1) { } return 0; }";
+        let tu = ccured_ast::parse_translation_unit(src).unwrap();
+        let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
+        let mut i = Interp::new(&prog, ExecMode::Original);
+        i.set_limits(Limits {
+            deadline: Some(std::time::Duration::from_millis(20)),
+            ..Limits::default()
+        });
+        let e = i.run().unwrap_err();
+        assert!(
+            matches!(&e, RtError::LimitExceeded { limit, .. } if *limit == "deadline"),
+            "got {e}"
+        );
     }
 
     #[test]

@@ -34,11 +34,13 @@ pub mod cost;
 pub mod err;
 pub mod external;
 pub mod interp;
+pub mod limits;
 pub mod mem;
 pub mod value;
 
 pub use cost::{CostModel, Counters};
 pub use err::RtError;
 pub use interp::{ExecMode, Interp};
+pub use limits::Limits;
 pub use mem::{AllocId, AllocKind, Memory, Pointer};
 pub use value::{PtrVal, Value};

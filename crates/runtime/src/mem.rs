@@ -81,11 +81,26 @@ impl Allocation {
 }
 
 /// The whole memory.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Memory {
     allocs: Vec<Allocation>,
     /// Total bytes currently live (heap accounting for reports).
     pub live_bytes: u64,
+    /// High-water mark of `live_bytes` over the run.
+    pub peak_live_bytes: u64,
+    /// Sandbox cap on total live bytes (see [`crate::Limits`]).
+    heap_limit: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            allocs: Vec::new(),
+            live_bytes: 0,
+            peak_live_bytes: 0,
+            heap_limit: u64::MAX,
+        }
+    }
 }
 
 /// Maximum size of one allocation (runaway guard).
@@ -97,14 +112,31 @@ impl Memory {
         Memory::default()
     }
 
+    /// Caps the total live bytes; further allocations past the cap fail
+    /// gracefully with `RtError::LimitExceeded { limit: "heap_limit" }`.
+    pub fn set_heap_limit(&mut self, bytes: u64) {
+        self.heap_limit = bytes;
+    }
+
     /// Allocates `size` zero-filled-but-uninitialized bytes.
     ///
     /// # Errors
     ///
-    /// Fails with [`RtError::Unsupported`] for absurd sizes.
+    /// Fails with [`RtError::Unsupported`] for absurd sizes and with
+    /// [`RtError::LimitExceeded`] when the sandbox heap cap would be passed.
     pub fn alloc(&mut self, size: u64, kind: AllocKind) -> Result<AllocId, RtError> {
         if size > MAX_ALLOC {
             return Err(RtError::Unsupported(format!("allocation of {size} bytes")));
+        }
+        if self.live_bytes.saturating_add(size) > self.heap_limit {
+            return Err(RtError::LimitExceeded {
+                limit: "heap_limit",
+                detail: format!(
+                    "allocation of {size} bytes would exceed the {}-byte heap cap \
+                     ({} bytes live)",
+                    self.heap_limit, self.live_bytes
+                ),
+            });
         }
         let id = AllocId(self.allocs.len() as u32);
         self.allocs.push(Allocation {
@@ -115,6 +147,7 @@ impl Memory {
             live: true,
         });
         self.live_bytes += size;
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
         Ok(id)
     }
 
@@ -683,5 +716,29 @@ mod tests {
     fn absurd_allocation_rejected() {
         let mut m = mem();
         assert!(m.alloc(1 << 40, AllocKind::Heap).is_err());
+    }
+
+    #[test]
+    fn heap_cap_enforced_and_peak_tracked() {
+        let mut m = mem();
+        m.set_heap_limit(100);
+        let a = m.alloc(60, AllocKind::Heap).unwrap();
+        assert_eq!(m.peak_live_bytes, 60);
+        let over = m.alloc(60, AllocKind::Heap);
+        assert!(
+            matches!(
+                over,
+                Err(RtError::LimitExceeded {
+                    limit: "heap_limit",
+                    ..
+                })
+            ),
+            "{over:?}"
+        );
+        // Freeing makes room again; peak stays at the high-water mark.
+        m.free(a).unwrap();
+        let b = m.alloc(90, AllocKind::Heap).unwrap();
+        assert!(m.allocation(b).live);
+        assert_eq!(m.peak_live_bytes, 90);
     }
 }

@@ -1,0 +1,90 @@
+//! Differential fault-injection crash test (tier 2).
+//!
+//! Seeds a large deterministic batch of memory-safety faults across the
+//! micro and Olden workloads, cures every mutant, and verifies the central
+//! soundness claim end-to-end: **no seeded fault ever escapes** the cured
+//! program as a raw memory error. Every mutant must instead be caught by a
+//! CCured check, neutralized by the cured semantics (GC-backed `free`,
+//! zeroing allocator), masked, or stopped by a sandbox limit.
+
+use ccured_faultinject::{crash_test, CrashTest, FaultClass, Outcome};
+use ccured_workloads::{micro, olden, Workload};
+
+/// Small-parameter corpus: every workload finishes well inside the
+/// harness's per-mutant fuel budget, so runaway mutants (not slow
+/// workloads) are the only source of `ResourceExhausted`.
+fn corpus() -> Vec<Workload> {
+    vec![
+        micro::seq_index(8),
+        micro::ptr_store(4),
+        micro::safe_deref(4),
+        micro::rtti_dispatch(3),
+        olden::treeadd(4),
+        olden::em3d(8, 3, 2),
+    ]
+}
+
+#[test]
+fn no_fault_escapes_the_cure_across_the_corpus() {
+    let ws = corpus();
+    let rep = crash_test(&ws, &CrashTest::new(216, 0xCC)).expect("corpus lowers");
+    assert_eq!(rep.runs.len(), 216);
+
+    // The one outcome that must never happen: a ground-truth memory error
+    // surviving the cure.
+    assert!(
+        rep.escaped().is_empty(),
+        "soundness bug — seeded fault escaped the cure:\n{}",
+        rep.render()
+    );
+
+    // Every fault class must actually be exercised by the batch.
+    assert_eq!(
+        rep.classes_present(),
+        FaultClass::ALL.to_vec(),
+        "fault class missing from the batch:\n{}",
+        rep.render()
+    );
+
+    // The harness must be *detecting* faults, not just masking them: the
+    // always-triggering synthetic classes have to show real catches.
+    for class in [FaultClass::BadDowncast, FaultClass::PtrSmuggle] {
+        assert!(
+            rep.count(class, Outcome::Caught) > 0,
+            "{class} mutants were never caught:\n{}",
+            rep.render()
+        );
+    }
+
+    // And the harness itself must stay healthy: mutants it could not
+    // assess (cure errors, panics) would silently shrink coverage.
+    let invalid: usize = FaultClass::ALL
+        .iter()
+        .map(|c| rep.count(*c, Outcome::Invalid))
+        .sum();
+    assert_eq!(invalid, 0, "unassessable mutants:\n{}", rep.render());
+}
+
+#[test]
+fn batches_are_deterministic_per_seed() {
+    let ws = vec![micro::seq_index(8), olden::treeadd(4)];
+    let a = crash_test(&ws, &CrashTest::new(36, 7)).expect("lowers");
+    let b = crash_test(&ws, &CrashTest::new(36, 7)).expect("lowers");
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.class, y.class, "mutant #{}", x.id);
+        assert_eq!(x.description, y.description, "mutant #{}", x.id);
+        assert_eq!(x.outcome, y.outcome, "mutant #{}", x.id);
+        assert_eq!(x.ground_truth, y.ground_truth, "mutant #{}", x.id);
+        assert_eq!(x.cured, y.cured, "mutant #{}", x.id);
+    }
+    // A different seed picks different sites somewhere in the batch.
+    let c = crash_test(&ws, &CrashTest::new(36, 8)).expect("lowers");
+    assert!(
+        a.runs
+            .iter()
+            .zip(&c.runs)
+            .any(|(x, y)| x.description != y.description),
+        "seed change did not move any mutation site"
+    );
+}

@@ -1,9 +1,10 @@
 //! Robustness fuzzing: the frontend must never panic on arbitrary input,
-//! and lowering+execution must agree with an independent Rust oracle on
-//! randomly generated arithmetic programs.
+//! lowering+execution must agree with an independent Rust oracle on
+//! randomly generated arithmetic programs, and the interpreter must honour
+//! its sandbox ([`Limits`]) on everything the fuzzer can construct.
 
 use ccured::Curer;
-use ccured_rt::{ExecMode, Interp};
+use ccured_rt::{ExecMode, Interp, Limits};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------- frontend
@@ -35,14 +36,17 @@ proptest! {
     }
 
     /// Anything that parses must also lower-or-reject without panicking,
-    /// and anything that lowers must cure without panicking.
+    /// and anything that lowers must cure without panicking. Whatever
+    /// cures must then *run* inside the default sandbox without panicking
+    /// and without the heap ever exceeding the configured cap — the
+    /// hardened-interpreter guarantee, checked on adversarial inputs.
     #[test]
     fn pipeline_never_panics_on_parsed_soup(
         toks in prop::collection::vec(
             prop::sample::select(vec![
                 "int", "f", "g", "(", ")", "{", "}", ";", "*", "p", "q",
                 "=", "+", "-", "return", "0", "1", "&", ",", "void", "[", "]",
-                "2", "if", "(", ")", "char",
+                "2", "if", "(", ")", "char", "main", "while",
             ]),
             0..48,
         )
@@ -50,7 +54,24 @@ proptest! {
         let src = toks.join(" ");
         if let Ok(tu) = ccured_ast::parse_translation_unit(&src) {
             if let Ok(prog) = ccured_cil::lower_translation_unit(&tu) {
-                let _ = Curer::new().cure_program(prog);
+                if let Ok(cured) = Curer::new().cure_program(prog) {
+                    let limits = Limits { fuel: 200_000, ..Limits::default() };
+                    let mut i = Interp::new(&cured.program, ExecMode::cured(&cured));
+                    i.set_limits(limits);
+                    // Errors (including limit trips) are fine; panics are
+                    // not, and proptest reports them as failures here.
+                    let _ = i.run();
+                    prop_assert!(
+                        i.counters.peak_heap_bytes <= limits.max_heap_bytes,
+                        "heap cap exceeded: {} > {} on:\n{}",
+                        i.counters.peak_heap_bytes, limits.max_heap_bytes, src
+                    );
+                    prop_assert!(
+                        i.counters.peak_stack_depth <= limits.max_stack_depth as u64,
+                        "stack cap exceeded: {} > {} on:\n{}",
+                        i.counters.peak_stack_depth, limits.max_stack_depth, src
+                    );
+                }
             }
         }
     }
