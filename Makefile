@@ -1,6 +1,6 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test lint tables bench doc examples smoke stress clean
+.PHONY: all test lint tables bench bless doc examples smoke stress clean
 
 all: test
 
@@ -11,11 +11,17 @@ lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 	cargo fmt --check
 
-# Quick sanity pass: cure + explain + crash-test the example C sources.
+# Quick sanity pass: cure + explain + crash-test + batch the example C sources.
 smoke:
 	cargo run -q -p ccured-cli --bin ccured -- examples/c/quickstart.c --report --run
 	cargo run -q -p ccured-cli --bin ccured -- explain examples/c/bad_cast.c
 	cargo run -q -p ccured-cli --bin ccured -- crash-test examples/c/quickstart.c --mutants 25
+	cargo run -q -p ccured-cli --bin ccured -- batch examples/c --jobs 4
+
+# Regenerate the pretty-printer golden files after an intentional change
+# (review the diff before committing; see tests/tests/golden.rs).
+bless:
+	BLESS=1 cargo test -q -p ccured-integration --test golden
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 tables:

@@ -449,9 +449,9 @@ impl Printer {
             }
             ExprKind::Binary(op, l, r) => {
                 self.out.push('(');
-                self.expr(l);
+                self.operand(l);
                 let _ = write!(self.out, " {} ", binop_str(*op));
-                self.expr(r);
+                self.operand(r);
                 self.out.push(')');
             }
             ExprKind::Assign(op, l, r) => {
@@ -466,11 +466,11 @@ impl Printer {
             }
             ExprKind::Cond(c, t, e2) => {
                 self.out.push('(');
-                self.expr(c);
+                self.operand(c);
                 self.out.push_str(" ? ");
                 self.expr(t);
                 self.out.push_str(" : ");
-                self.expr(e2);
+                self.operand(e2);
                 self.out.push(')');
             }
             ExprKind::Cast(tn, inner) => {
@@ -503,7 +503,7 @@ impl Printer {
                 self.out.push(')');
             }
             ExprKind::Call(f, args) => {
-                self.expr(f);
+                self.postfix_operand(f);
                 self.out.push('(');
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -514,17 +514,17 @@ impl Printer {
                 self.out.push(')');
             }
             ExprKind::Index(a, i) => {
-                self.expr(a);
+                self.postfix_operand(a);
                 self.out.push('[');
                 self.expr(i);
                 self.out.push(']');
             }
             ExprKind::Member(obj, field) => {
-                self.expr(obj);
+                self.postfix_operand(obj);
                 let _ = write!(self.out, ".{field}");
             }
             ExprKind::Arrow(obj, field) => {
-                self.expr(obj);
+                self.postfix_operand(obj);
                 let _ = write!(self.out, "->{field}");
             }
             ExprKind::Comma(l, r) => {
@@ -534,6 +534,42 @@ impl Printer {
                 self.expr(r);
                 self.out.push(')');
             }
+        }
+    }
+
+    /// Prints a subexpression in an operand position. Every composite form
+    /// already parenthesizes itself except assignment, whose precedence is
+    /// below everything — printed bare inside e.g. a comparison it would
+    /// re-parse with the wrong structure (`(n = f()) > 0` is not
+    /// `n = (f() > 0)`), so it gets explicit parentheses here.
+    fn operand(&mut self, e: &Expr) {
+        if matches!(e.kind, ExprKind::Assign(..)) {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        } else {
+            self.expr(e);
+        }
+    }
+
+    /// Prints the base of a postfix form (`[]`, `.`, `->`, a call).
+    /// Prefix forms — casts, unary operators, `sizeof`, assignment — bind
+    /// looser than postfix, so printed bare they would capture the postfix
+    /// tail on re-parse (`(T)(r)->f` re-parses as `(T)(r->f)`); wrap them.
+    fn postfix_operand(&mut self, e: &Expr) {
+        if matches!(
+            e.kind,
+            ExprKind::Assign(..)
+                | ExprKind::Cast(..)
+                | ExprKind::Unary(..)
+                | ExprKind::SizeofExpr(..)
+                | ExprKind::SizeofType(..)
+        ) {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        } else {
+            self.expr(e);
         }
     }
 }

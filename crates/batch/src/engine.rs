@@ -1,0 +1,417 @@
+//! The work-stealing parallel cure engine.
+//!
+//! Units are distributed round-robin across per-worker deques; each worker
+//! pops from the front of its own deque and, when empty, steals from the
+//! *back* of its siblings' — the classic work-stealing shape, with plain
+//! `Mutex<VecDeque>`s instead of lock-free deques (unit granularity is a
+//! whole cure, so queue contention is negligible).
+//!
+//! Every cure runs inside [`ccured::isolated`], so one poisoned input
+//! becomes a per-unit `internal-error` verdict instead of sinking the
+//! batch, and each worker thread gets a bounded stack sized from the
+//! configured [`ccured_rt::Limits`] so a pathological unit cannot blow the
+//! host stack either.
+
+use crate::cache::{Cache, CachedUnit};
+use crate::hash::fnv1a;
+use crate::report::{BatchReport, UnitOutcome, UnitReport, Verdict};
+use ccured::{isolated, CureError, Curer, StageTimings};
+use ccured_rt::Limits;
+use std::collections::VecDeque;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Configuration for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// The curer every unit is cured with (its
+    /// [`Curer::config_fingerprint`] is part of the cache key).
+    pub curer: Curer,
+    /// Worker threads; 0 means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Cache directory (created on demand).
+    pub cache_dir: PathBuf,
+    /// Whether to consult/populate the cache (`--no-cache` turns this off).
+    pub use_cache: bool,
+    /// Per-worker resource bounds. Curing is static, so only
+    /// `max_stack_depth` applies here: it sizes each worker's thread stack
+    /// (the same cliff the interpreter sandbox guards; see
+    /// `ccured_rt::Limits`). Runs of cured programs launched from a batch
+    /// should reuse these limits.
+    pub limits: Limits,
+}
+
+impl BatchConfig {
+    /// A batch configuration with the default curer, cache at
+    /// `.ccured-cache/`, and one worker per core.
+    pub fn new(curer: Curer) -> Self {
+        BatchConfig {
+            curer,
+            jobs: 0,
+            cache_dir: PathBuf::from(".ccured-cache"),
+            use_cache: true,
+            limits: Limits::default(),
+        }
+    }
+
+    /// The effective worker count for `n_units` units.
+    pub fn effective_jobs(&self, n_units: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let requested = if self.jobs == 0 { hw } else { self.jobs };
+        requested.clamp(1, n_units.max(1))
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::new(Curer::new())
+    }
+}
+
+/// Expands a batch input path into the list of units to cure.
+///
+/// A **directory** yields every `*.c` file directly inside it, sorted by
+/// name. A **file** is a manifest: one unit path per line (relative paths
+/// resolve against the manifest's directory), blank lines and `#` comments
+/// ignored.
+///
+/// # Errors
+///
+/// I/O errors reading the directory or manifest, or an empty unit list.
+pub fn discover_units(path: &Path) -> io::Result<Vec<PathBuf>> {
+    let meta = fs::metadata(path)?;
+    let mut units = Vec::new();
+    if meta.is_dir() {
+        for entry in fs::read_dir(path)? {
+            let p = entry?.path();
+            if p.extension().is_some_and(|e| e == "c") && p.is_file() {
+                units.push(p);
+            }
+        }
+        units.sort();
+    } else {
+        let base = path.parent().unwrap_or(Path::new("."));
+        for line in fs::read_to_string(path)?.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let p = PathBuf::from(line);
+            units.push(if p.is_absolute() { p } else { base.join(p) });
+        }
+    }
+    if units.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("no units found in `{}`", path.display()),
+        ));
+    }
+    Ok(units)
+}
+
+/// Cures every unit and assembles the aggregate report.
+///
+/// # Errors
+///
+/// Only infrastructure failures (cache directory creation, worker spawn);
+/// per-unit cure failures are verdicts inside the report.
+pub fn run_batch(cfg: &BatchConfig, units: &[PathBuf]) -> io::Result<BatchReport> {
+    let cache = if cfg.use_cache {
+        Some(Cache::open(&cfg.cache_dir)?)
+    } else {
+        None
+    };
+    let config_fp = cfg.curer.config_fingerprint();
+    let jobs = cfg.effective_jobs(units.len());
+
+    // Round-robin seeding: unit i starts on worker i % jobs.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| {
+            Mutex::new(
+                (0..units.len())
+                    .filter(|i| i % jobs == w)
+                    .collect::<VecDeque<_>>(),
+            )
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<UnitOutcome>>> = units.iter().map(|_| Mutex::new(None)).collect();
+
+    // Workers recurse while parsing/lowering deep inputs; give them the
+    // same healthy margin per guest frame the interpreter sandbox assumes.
+    let stack_bytes = (cfg.limits.max_stack_depth * 64 * 1024).max(8 << 20);
+
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut handles = Vec::with_capacity(jobs);
+        for w in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            let cache = cache.as_ref();
+            let curer = &cfg.curer;
+            let config_fp = config_fp.as_str();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ccured-batch-{w}"))
+                    .stack_size(stack_bytes)
+                    .spawn_scoped(scope, move || {
+                        while let Some(i) = next_unit(queues, w) {
+                            let out = cure_unit(&units[i], curer, config_fp, cache);
+                            *slots[i].lock().unwrap() = Some(out);
+                        }
+                    })?,
+            );
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| io::Error::other("batch worker panicked outside a cure"))?;
+        }
+        Ok(())
+    })?;
+    let wall = wall_start.elapsed();
+
+    let outcomes: Vec<UnitOutcome> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("every queued unit produced an outcome")
+        })
+        .collect();
+    Ok(BatchReport::new(outcomes, jobs, wall, cfg.use_cache))
+}
+
+/// Convenience entry point: discover units under `path` and run the batch.
+///
+/// # Errors
+///
+/// As [`discover_units`] and [`run_batch`].
+pub fn run_path(cfg: &BatchConfig, path: &Path) -> io::Result<BatchReport> {
+    let units = discover_units(path)?;
+    run_batch(cfg, &units)
+}
+
+/// Pop from our own deque's front, else steal from a sibling's back.
+fn next_unit(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(i) = queues[me].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    let n = queues.len();
+    for d in 1..n {
+        let victim = (me + d) % n;
+        if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Cures one unit: cache probe, then an isolated live cure on a miss.
+fn cure_unit(path: &Path, curer: &Curer, config_fp: &str, cache: Option<&Cache>) -> UnitOutcome {
+    let started = Instant::now();
+    let display = path.display().to_string();
+    let mut out = UnitOutcome {
+        path: display,
+        verdict: Verdict::Cured,
+        from_cache: false,
+        cured_text: String::new(),
+        report: None,
+        report_digest: 0,
+        cure_timings: StageTimings::default(),
+        elapsed: std::time::Duration::ZERO,
+    };
+
+    let source = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            out.verdict = Verdict::Unreadable(e.to_string());
+            out.elapsed = started.elapsed();
+            return out;
+        }
+    };
+
+    let key = Cache::unit_key(&source, config_fp);
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.load(key) {
+            out.from_cache = true;
+            out.cured_text = hit.cured_text;
+            out.report = Some(hit.report);
+            out.report_digest = hit.report_digest;
+            out.cure_timings = StageTimings::from_ns(hit.timings_ns);
+            out.elapsed = started.elapsed();
+            return out;
+        }
+    }
+
+    match isolated(|| curer.cure_source(&source)) {
+        Ok(cured) => {
+            out.cured_text = ccured_cil::pretty::dump_program(&cured.program);
+            out.report_digest = fnv1a(cured.report.canonical().as_bytes());
+            out.report = Some(UnitReport::from_cure(&cured.report));
+            out.cure_timings = cured.timings;
+            if let Some(cache) = cache {
+                // A failed write only costs future hit-rate, not this run.
+                let _ = cache.store(
+                    key,
+                    &CachedUnit {
+                        cured_text: out.cured_text.clone(),
+                        report: out.report.unwrap(),
+                        report_digest: out.report_digest,
+                        timings_ns: out.cure_timings.as_ns(),
+                    },
+                );
+            }
+        }
+        Err(CureError::Frontend(d)) => out.verdict = Verdict::Frontend(d.to_string()),
+        Err(CureError::Link(issues)) => out.verdict = Verdict::Link(issues.len()),
+        Err(CureError::Internal(m)) => out.verdict = Verdict::Internal(m),
+    }
+    out.elapsed = started.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("ccured-batch-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+        let p = dir.join(name);
+        fs::write(&p, text).unwrap();
+        p
+    }
+
+    #[test]
+    fn discovers_directory_sorted_and_manifest_relative() {
+        let d = scratch("discover");
+        write(&d, "b.c", "int main(void){return 0;}");
+        write(&d, "a.c", "int main(void){return 0;}");
+        write(&d, "notes.txt", "not a unit");
+        let units = discover_units(&d).unwrap();
+        assert_eq!(units.len(), 2);
+        assert!(units[0].ends_with("a.c") && units[1].ends_with("b.c"));
+
+        let m = write(&d, "manifest.txt", "# comment\n\nb.c\na.c\n");
+        let units = discover_units(&m).unwrap();
+        assert_eq!(units.len(), 2, "manifest preserves listed order");
+        assert!(units[0].ends_with("b.c"));
+
+        let empty = scratch("discover-empty");
+        assert!(discover_units(&empty).is_err(), "no units is an error");
+        let _ = fs::remove_dir_all(&d);
+        let _ = fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn batch_cures_units_and_reports_failures_individually() {
+        let d = scratch("mixed");
+        write(
+            &d,
+            "good.c",
+            "int main(void) { int x; int *p; p = &x; *p = 3; return *p; }",
+        );
+        write(&d, "bad.c", "int main( {");
+        let mut cfg = BatchConfig::new(Curer::new());
+        cfg.cache_dir = d.join("cache");
+        cfg.jobs = 2;
+        let rep = run_path(&cfg, &d).unwrap();
+        assert_eq!(rep.units.len(), 2);
+        assert_eq!(rep.cured(), 1);
+        assert_eq!(rep.failed(), 1);
+        assert!(rep.units[0].path.ends_with("bad.c"));
+        assert!(matches!(rep.units[0].verdict, Verdict::Frontend(_)));
+        let good = &rep.units[1];
+        assert!(good.verdict.is_cured());
+        assert!(!good.cured_text.is_empty());
+        assert!(good.report.unwrap().checks_inserted > 0);
+        assert!(good.cure_timings.total().as_nanos() > 0, "stages timed");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn second_run_is_served_from_cache_with_identical_bytes() {
+        let d = scratch("warm");
+        write(
+            &d,
+            "u.c",
+            "int f(int *p) { return *p; }\nint main(void) { int x; x = 4; return f(&x); }",
+        );
+        let mut cfg = BatchConfig {
+            jobs: 1,
+            ..BatchConfig::default()
+        };
+        cfg.cache_dir = d.join("cache");
+        let cold = run_path(&cfg, &d).unwrap();
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.entries_written, 1);
+        let warm = run_path(&cfg, &d).unwrap();
+        assert_eq!(warm.cache.hits, 1);
+        assert!((warm.hit_rate() - 1.0).abs() < 1e-9);
+        assert!(warm.units[0].from_cache);
+        assert_eq!(warm.units[0].cured_text, cold.units[0].cured_text);
+        assert_eq!(warm.units[0].report, cold.units[0].report);
+        assert_eq!(warm.units[0].report_digest, cold.units[0].report_digest);
+        // A config change re-keys every unit.
+        let mut ablated = cfg.clone();
+        ablated.curer.optimize(false);
+        let rekeyed = run_path(&ablated, &d).unwrap();
+        assert_eq!(rekeyed.cache.hits, 0, "config is part of the key");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn no_cache_disables_lookups_and_writes() {
+        let d = scratch("nocache");
+        write(&d, "u.c", "int main(void) { return 0; }");
+        let mut cfg = BatchConfig {
+            use_cache: false,
+            ..BatchConfig::default()
+        };
+        cfg.cache_dir = d.join("cache");
+        let rep = run_path(&cfg, &d).unwrap();
+        assert!(!rep.cache.enabled);
+        assert_eq!(rep.cache.lookups, 0);
+        assert!(!cfg.cache_dir.exists(), "no cache dir created");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn work_stealing_queue_drains_exactly_once() {
+        let queues: Vec<Mutex<VecDeque<usize>>> = vec![
+            Mutex::new((0..7).collect()),
+            Mutex::new(VecDeque::new()),
+            Mutex::new(VecDeque::new()),
+        ];
+        let mut seen = Vec::new();
+        // Worker 2 owns nothing and must steal everything from worker 0.
+        while let Some(i) = next_unit(&queues, 2) {
+            seen.push(i);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert!(next_unit(&queues, 0).is_none());
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_units() {
+        let mut cfg = BatchConfig {
+            jobs: 8,
+            ..BatchConfig::default()
+        };
+        assert_eq!(cfg.effective_jobs(3), 3);
+        assert_eq!(cfg.effective_jobs(0), 1);
+        cfg.jobs = 0;
+        assert!(cfg.effective_jobs(64) >= 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Stable content hashing for cache keys and report digests.
+//!
+//! `std::hash` is deliberately avoided: `DefaultHasher` is documented to be
+//! allowed to change between releases, and `RandomState` is seeded per
+//! process — both would make on-disk cache keys meaningless. FNV-1a is
+//! tiny, stable, and fast enough for whole-file hashing.
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Fixed-width lowercase hex rendering, used for cache file names.
+pub fn hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Parses [`hex`] output back to the hash value.
+pub fn from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_across_calls_and_sensitive_to_content() {
+        let a = fnv1a(b"int main(void) { return 0; }");
+        assert_eq!(a, fnv1a(b"int main(void) { return 0; }"));
+        assert_ne!(a, fnv1a(b"int main(void) { return 1; }"));
+        // Known FNV-1a vector: the empty string hashes to the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for h in [0u64, 1, 0xdead_beef, u64::MAX, fnv1a(b"x")] {
+            assert_eq!(from_hex(&hex(h)), Some(h));
+        }
+        assert_eq!(from_hex("xyz"), None);
+        assert_eq!(from_hex("00"), None, "wrong width rejected");
+    }
+}

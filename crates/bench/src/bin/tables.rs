@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|all]`
+//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|all]`
 //!
 //! Each table prints our measurement next to the paper's reported value
 //! (absolute numbers are not comparable — the substrate is an interpreter —
@@ -10,7 +10,17 @@ use ccured_bench::table::{paper_ratio, ratio, render};
 use ccured_bench::*;
 
 const TABLES: &[&str] = &[
-    "fig8", "fig9", "casts", "ijpeg", "bind", "suites", "split", "security", "ablation", "all",
+    "fig8",
+    "fig9",
+    "casts",
+    "ijpeg",
+    "bind",
+    "suites",
+    "split",
+    "security",
+    "ablation",
+    "fig-batch",
+    "all",
 ];
 
 fn main() {
@@ -49,6 +59,9 @@ fn main() {
     }
     if all || which == "ablation" {
         ablation_table();
+    }
+    if all || which == "fig-batch" {
+        fig_batch_table();
     }
 }
 
@@ -326,4 +339,40 @@ fn ablation_table() {
         steps,
         ratio(interval)
     );
+}
+
+fn fig_batch_table() {
+    println!("== E12: batch-engine speedup (micro+Olden corpus) ==\n");
+    let f = match fig_batch(0) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fig-batch failed: {e}");
+            return;
+        }
+    };
+    let ms = |d: std::time::Duration| format!("{:.1} ms", d.as_secs_f64() * 1e3);
+    let rows = vec![
+        vec![
+            "sequential, no cache".to_string(),
+            ms(f.sequential),
+            ratio(1.0),
+        ],
+        vec![
+            format!("parallel x{}, cold cache", f.jobs),
+            ms(f.parallel_cold),
+            ratio(f.parallel_speedup()),
+        ],
+        vec![
+            format!("parallel x{}, warm cache", f.jobs),
+            ms(f.warm),
+            ratio(f.warm_speedup()),
+        ],
+    ];
+    println!(
+        "{} units; warm hit rate {:.0}%; achieved parallelism {:.2}\n",
+        f.units,
+        f.warm_hit_rate * 100.0,
+        f.parallel_cpu_ratio
+    );
+    println!("{}", render(&["configuration", "wall", "speedup"], &rows));
 }

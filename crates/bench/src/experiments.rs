@@ -4,7 +4,7 @@
 use ccured_infer::InferOptions;
 use ccured_rt::{CostModel, ExecMode};
 use ccured_workloads::runner::{self, measure, Ratios};
-use ccured_workloads::{apache, daemons, micro, olden, ptrdist, spec, Workload};
+use ccured_workloads::{apache, batch_corpus, daemons, micro, olden, ptrdist, spec, Workload};
 
 /// One row of the Figure 8 (Apache modules) table.
 #[derive(Debug, Clone)]
@@ -469,6 +469,79 @@ pub fn quick_ratio(w: &Workload) -> Ratios {
     measure(w, &InferOptions::default()).expect("workload measures")
 }
 
+/// E12 (`fig-batch`): batch-engine timings over the micro+Olden corpus.
+///
+/// Three configurations over the same units: sequential with the cache
+/// disabled, parallel on a cold cache, and the same parallel run repeated
+/// on the now-warm cache.
+#[derive(Debug, Clone)]
+pub struct BatchFig {
+    /// Units in the corpus.
+    pub units: usize,
+    /// Worker threads for the parallel/warm runs.
+    pub jobs: usize,
+    /// Wall-clock, sequential (`--jobs 1 --no-cache`).
+    pub sequential: std::time::Duration,
+    /// Wall-clock, parallel on an empty cache.
+    pub parallel_cold: std::time::Duration,
+    /// Wall-clock, parallel on the warm cache.
+    pub warm: std::time::Duration,
+    /// Whole-unit hit rate of the warm run (1.0 when nothing changed).
+    pub warm_hit_rate: f64,
+    /// Achieved parallelism of the cold parallel run (`cpu / wall`).
+    pub parallel_cpu_ratio: f64,
+}
+
+impl BatchFig {
+    /// `sequential / parallel_cold` — how much the thread pool buys.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.parallel_cold.as_secs_f64().max(1e-9)
+    }
+
+    /// `sequential / warm` — how much the cache buys.
+    pub fn warm_speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.warm.as_secs_f64().max(1e-9)
+    }
+}
+
+/// E12 (`fig-batch`): measure the batch engine at `jobs` workers
+/// (0 = one per core) over [`ccured_workloads::batch_corpus`].
+///
+/// # Errors
+///
+/// I/O errors writing the corpus or reading it back.
+pub fn fig_batch(jobs: usize) -> std::io::Result<BatchFig> {
+    use ccured_batch::{run_batch, BatchConfig};
+
+    let dir = std::env::temp_dir().join(format!("ccured-fig-batch-{}", std::process::id()));
+    let result = (|| {
+        let units = ccured_workloads::write_units(&dir.join("src"), &batch_corpus())?;
+
+        let mut seq = BatchConfig::new(ccured::Curer::new());
+        seq.jobs = 1;
+        seq.use_cache = false;
+        let sequential = run_batch(&seq, &units)?;
+
+        let mut par = BatchConfig::new(ccured::Curer::new());
+        par.jobs = jobs;
+        par.cache_dir = dir.join("cache");
+        let cold = run_batch(&par, &units)?;
+        let warm = run_batch(&par, &units)?;
+
+        Ok(BatchFig {
+            units: units.len(),
+            jobs: cold.jobs,
+            sequential: sequential.wall,
+            parallel_cold: cold.wall,
+            warm: warm.wall,
+            warm_hit_rate: warm.hit_rate(),
+            parallel_cpu_ratio: cold.cpu.as_secs_f64() / cold.wall.as_secs_f64().max(1e-9),
+        })
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +561,22 @@ mod tests {
             "RTTI reduces the slowdown: {} -> {}",
             r.old_ratio,
             r.new_ratio
+        );
+    }
+
+    #[test]
+    fn fig_batch_warm_cache_wins() {
+        let f = fig_batch(2).expect("fig-batch runs");
+        assert_eq!(f.units, ccured_workloads::batch_corpus().len());
+        assert!(
+            (f.warm_hit_rate - 1.0).abs() < f64::EPSILON,
+            "warm run must be all hits, got {}",
+            f.warm_hit_rate
+        );
+        assert!(
+            f.warm_speedup() >= 5.0,
+            "warm-cache rerun must be ≥5× faster, got {:.2}×",
+            f.warm_speedup()
         );
     }
 

@@ -8,6 +8,7 @@
 //! ccured <file.c> [options]
 //! ccured explain <file.c> [--sym name] [options]
 //! ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
+//! ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--json]
 //!
 //!   --run                 execute after curing (default mode: cured)
 //!   --mode <m>            original | cured | purify | valgrind | joneskelly
@@ -29,7 +30,10 @@
 //!   --fuel <n>            instruction budget for --run
 //!   --mutants <n>         `crash-test`: number of mutants (default 60)
 //!   --seed <s>            `crash-test`: batch seed (default 1)
-//!   --json                `crash-test`: machine-readable report
+//!   --json                `crash-test`/`batch`: machine-readable report
+//!   --jobs <n>            `batch`: worker threads (default: one per core)
+//!   --cache-dir <d>       `batch`: cache directory (default .ccured-cache)
+//!   --no-cache            `batch`: disable the content-addressed cache
 //! ```
 //!
 //! `ccured explain` prints, for every WILD pointer (or the one named by
@@ -42,6 +46,13 @@
 //! runs it in the sandbox, and prints a per-class catch-rate matrix. Exit is
 //! 5 when any mutant **escapes** (a ground-truth memory error survives the
 //! cure — a soundness bug), 0 otherwise.
+//!
+//! `ccured batch` cures every `.c` file under a directory (or listed in a
+//! manifest file) on a work-stealing thread pool, serving unchanged units
+//! from the content-addressed cache (`ccured-batch`). Cure flags
+//! (`--wrappers`, `--no-opt`, `--original-ccured`, …) apply to every unit
+//! and participate in the cache key. Exit is 1 when any unit fails to
+//! cure, 0 otherwise.
 //!
 //! The library half exists so the argument parser and driver can be unit
 //! tested; `main.rs` is a thin wrapper.
@@ -75,6 +86,14 @@ pub struct Options {
     pub explain: bool,
     /// `crash-test` subcommand: run the fault-injection harness.
     pub crash_test: bool,
+    /// `batch` subcommand: cure a directory/manifest of units in parallel.
+    pub batch: bool,
+    /// `--jobs`: batch worker threads (None: one per core).
+    pub jobs: Option<usize>,
+    /// `--cache-dir`: batch cache directory.
+    pub cache_dir: Option<String>,
+    /// `--no-cache`: disable the batch cache.
+    pub no_cache: bool,
     /// `--mutants`: crash-test batch size.
     pub mutants: Option<usize>,
     /// `--seed`: crash-test batch seed.
@@ -152,6 +171,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                 first_positional = false;
                 o.crash_test = true;
             }
+            // `ccured batch <dir|manifest> [--jobs N] [--cache-dir D] ...`.
+            "batch" if first_positional => {
+                first_positional = false;
+                o.batch = true;
+            }
+            "--no-cache" => o.no_cache = true,
+            "--cache-dir" => o.cache_dir = Some(need(&mut it, "--cache-dir")?),
+            "--jobs" => {
+                let v = need(&mut it, "--jobs")?;
+                o.jobs = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--jobs: `{v}` is not a number")))?,
+                );
+            }
             "--run" => o.run = true,
             "--report" => o.report = true,
             "--review" => o.review = true,
@@ -225,9 +258,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--sym only applies to the `explain` subcommand".into(),
         ));
     }
-    if (o.mutants.is_some() || o.seed.is_some() || o.json) && !o.crash_test {
+    if (o.mutants.is_some() || o.seed.is_some()) && !o.crash_test {
         return Err(UsageError(
-            "--mutants/--seed/--json only apply to the `crash-test` subcommand".into(),
+            "--mutants/--seed only apply to the `crash-test` subcommand".into(),
+        ));
+    }
+    if o.json && !(o.crash_test || o.batch) {
+        return Err(UsageError(
+            "--json only applies to the `crash-test` and `batch` subcommands".into(),
+        ));
+    }
+    if (o.jobs.is_some() || o.cache_dir.is_some() || o.no_cache) && !o.batch {
+        return Err(UsageError(
+            "--jobs/--cache-dir/--no-cache only apply to the `batch` subcommand".into(),
         ));
     }
     Ok(o)
@@ -240,7 +283,8 @@ pub const USAGE: &str =
               [--strict-link] [--original-ccured] [--no-rtti] [--no-opt]
               [--split-everything] [--split-at-boundaries] [--fuel N]
        ccured explain <file.c> [--sym NAME] [other options]
-       ccured crash-test <file.c> [--mutants N] [--seed S] [--json]";
+       ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
+       ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--json]";
 
 /// What a driver invocation produced (for testing and for `main`).
 #[derive(Debug)]
@@ -358,6 +402,42 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
     Ok(Outcome {
         exit: 0,
         stdout: out,
+    })
+}
+
+/// Runs the `batch` subcommand: cure every unit under `o.file` (a
+/// directory of `.c` files or a manifest) on the parallel engine. Unlike
+/// [`drive`], this reads sources itself — a batch has many inputs.
+///
+/// # Errors
+///
+/// [`CureError::Internal`] for infrastructure failures (unreadable input
+/// path, cache directory creation); per-unit cure failures are verdicts in
+/// the rendered report and exit code 1.
+pub fn drive_batch(o: &Options) -> Result<Outcome, CureError> {
+    let mut cfg = ccured_batch::BatchConfig::new(curer(o));
+    if let Some(j) = o.jobs {
+        cfg.jobs = j;
+    }
+    if let Some(d) = &o.cache_dir {
+        cfg.cache_dir = d.into();
+    }
+    cfg.use_cache = !o.no_cache;
+    if let Some(f) = o.fuel {
+        cfg.limits.fuel = f;
+    }
+    let report = ccured_batch::run_path(&cfg, std::path::Path::new(&o.file))
+        .map_err(|e| CureError::Internal(format!("batch: {e}")))?;
+    let stdout = if o.json {
+        let mut j = report.to_json();
+        j.push('\n');
+        j
+    } else {
+        report.render()
+    };
+    Ok(Outcome {
+        exit: if report.failed() == 0 { 0 } else { 1 },
+        stdout,
     })
 }
 
@@ -621,6 +701,59 @@ mod tests {
         assert!(args("prog.c --json").is_err(), "needs crash-test");
         assert!(args("crash-test prog.c --mutants x").is_err());
         assert!(args("crash-test").is_err(), "still needs a file");
+    }
+
+    #[test]
+    fn parses_batch_subcommand() {
+        let o = args("batch examples/c --jobs 4 --cache-dir /tmp/cc --no-cache --json").unwrap();
+        assert!(o.batch && o.json && o.no_cache);
+        assert_eq!(o.jobs, Some(4));
+        assert_eq!(o.cache_dir.as_deref(), Some("/tmp/cc"));
+        assert_eq!(o.file, "examples/c");
+        assert!(args("prog.c --jobs 2").is_err(), "--jobs needs batch");
+        assert!(args("prog.c --no-cache").is_err(), "--no-cache needs batch");
+        assert!(args("batch").is_err(), "batch still needs a path");
+        assert!(args("batch dir --jobs x").is_err());
+        assert!(args("prog.c --json").is_err(), "--json needs a subcommand");
+    }
+
+    #[test]
+    fn drive_batch_cures_directory_with_cache() {
+        let dir = std::env::temp_dir().join(format!("ccured-cli-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.c"), "int main(void) { return 0; }").unwrap();
+        std::fs::write(
+            dir.join("b.c"),
+            "int f(int *p) { return *p; }\nint main(void) { int x; x = 2; return f(&x); }",
+        )
+        .unwrap();
+        let cache = dir.join("cache");
+        let argv = format!(
+            "batch {} --jobs 2 --cache-dir {}",
+            dir.display(),
+            cache.display()
+        );
+        let o = args(&argv).unwrap();
+        let cold = drive_batch(&o).unwrap();
+        assert_eq!(cold.exit, 0, "{}", cold.stdout);
+        assert!(cold.stdout.contains("2 units"), "{}", cold.stdout);
+        let jo = args(&format!("{argv} --json")).unwrap();
+        let warm = drive_batch(&jo).unwrap();
+        assert_eq!(warm.exit, 0);
+        assert!(
+            warm.stdout.contains("\"hit_rate\":1.000000"),
+            "{}",
+            warm.stdout
+        );
+        assert!(warm.stdout.contains("\"failed\":0"), "{}", warm.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drive_batch_missing_path_is_an_error() {
+        let o = args("batch /nonexistent-ccured-dir").unwrap();
+        assert!(matches!(drive_batch(&o), Err(CureError::Internal(_))));
     }
 
     #[test]

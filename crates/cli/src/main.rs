@@ -11,6 +11,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Batch mode reads its own inputs (the positional arg is a directory
+    // or manifest, not a single source file).
+    if opts.batch {
+        return match ccured_cli::drive_batch(&opts) {
+            Ok(outcome) => {
+                print!("{}", outcome.stdout);
+                ExitCode::from((outcome.exit & 0xff) as u8)
+            }
+            Err(e) => {
+                eprintln!("ccured: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {

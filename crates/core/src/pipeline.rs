@@ -9,6 +9,7 @@ use ccured_cil::ir::Program;
 use ccured_infer::solve::AnnotationViolation;
 use ccured_infer::{infer, CastCensus, InferOptions, KindCounts, Provenance, Solution};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Errors produced while curing a program.
 #[derive(Debug, Clone)]
@@ -70,6 +71,58 @@ impl From<ccured_ast::Diag> for CureError {
     }
 }
 
+/// Wall-clock time attributed to each pipeline stage by the timing hooks
+/// in [`Curer::cure_source`]. Consumed by the batch engine's per-stage
+/// cache counters and the `fig-batch` speedup table.
+///
+/// Timings are observability data, *not* part of [`CureReport`]: two cures
+/// of the same unit must produce identical reports even though their
+/// timings differ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Lexing + parsing to the AST.
+    pub parse: Duration,
+    /// Lowering the AST to CIL.
+    pub lower: Duration,
+    /// Wrapper application, pointer-kind inference, and the link audit.
+    pub infer: Duration,
+    /// Hierarchy construction + run-time check insertion.
+    pub instrument: Duration,
+    /// Redundant-check elimination (zero when the optimizer is off).
+    pub optimize: Duration,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        self.parse + self.lower + self.infer + self.instrument + self.optimize
+    }
+
+    /// The stage durations as nanoseconds, in pipeline order
+    /// (parse, lower, infer, instrument, optimize).
+    pub fn as_ns(&self) -> [u64; 5] {
+        [
+            self.parse.as_nanos() as u64,
+            self.lower.as_nanos() as u64,
+            self.infer.as_nanos() as u64,
+            self.instrument.as_nanos() as u64,
+            self.optimize.as_nanos() as u64,
+        ]
+    }
+
+    /// Rebuilds timings from [`StageTimings::as_ns`] output (cache entries
+    /// store the original cure's timings to compute time saved on hits).
+    pub fn from_ns(ns: [u64; 5]) -> Self {
+        StageTimings {
+            parse: Duration::from_nanos(ns[0]),
+            lower: Duration::from_nanos(ns[1]),
+            infer: Duration::from_nanos(ns[2]),
+            instrument: Duration::from_nanos(ns[3]),
+            optimize: Duration::from_nanos(ns[4]),
+        }
+    }
+}
+
 /// Summary of what the cure did — the numbers the paper reports per
 /// program (kind percentages, cast census, check counts).
 #[derive(Debug, Clone)]
@@ -100,6 +153,18 @@ pub struct CureReport {
     pub solver_iterations: usize,
 }
 
+impl CureReport {
+    /// A canonical, fully deterministic rendering of the report, suitable
+    /// for content digests (the batch cache) and differential comparison.
+    /// Two cures of the same source under the same configuration must
+    /// produce byte-identical canonical forms regardless of thread
+    /// interleaving or hash-map iteration order — the report vectors are
+    /// sorted by [`Curer::cure_program`] before this is called.
+    pub fn canonical(&self) -> String {
+        format!("{self:#?}")
+    }
+}
+
 /// A cured program, ready for execution by `ccured-rt`.
 #[derive(Debug, Clone)]
 pub struct Cured {
@@ -114,6 +179,9 @@ pub struct Cured {
     pub provenance: Provenance,
     /// Cure summary.
     pub report: CureReport,
+    /// Per-stage wall-clock attribution for this cure (zero for `parse`
+    /// and `lower` when entering via [`Curer::cure_program`]).
+    pub timings: StageTimings,
 }
 
 /// Builder for the CCured transformation (non-consuming, [`Default`]).
@@ -215,6 +283,23 @@ impl Curer {
         &self.options
     }
 
+    /// A stable, human-readable rendering of everything that influences the
+    /// cure's output: inference options, optimizer and link-audit settings,
+    /// and the prelude text. Part of the batch cache key — two curers with
+    /// equal fingerprints produce byte-identical cures for equal sources.
+    pub fn config_fingerprint(&self) -> String {
+        format!(
+            "rtti={} phys={} split_bound={} split_all={} strict_link={} optimize={} prelude={:?}",
+            self.options.rtti,
+            self.options.physical_subtyping,
+            self.options.split_at_boundaries,
+            self.options.split_everything,
+            self.strict_link,
+            self.optimize,
+            self.prelude.as_deref().unwrap_or("")
+        )
+    }
+
     /// Cures a C source string.
     ///
     /// # Errors
@@ -226,9 +311,16 @@ impl Curer {
             Some(p) => format!("{p}\n{src}"),
             None => src.to_string(),
         };
+        let t = Instant::now();
         let tu = ccured_ast::parse_translation_unit(&full)?;
+        let parse = t.elapsed();
+        let t = Instant::now();
         let prog = ccured_cil::lower_translation_unit(&tu)?;
-        self.cure_program(prog)
+        let lower = t.elapsed();
+        let mut cured = self.cure_program(prog)?;
+        cured.timings.parse = parse;
+        cured.timings.lower = lower;
+        Ok(cured)
     }
 
     /// Cures an already-lowered program.
@@ -239,25 +331,43 @@ impl Curer {
     pub fn cure_program(&self, mut prog: Program) -> Result<Cured, CureError> {
         // Wrappers first: redirected calls change what the inference sees
         // at library boundaries.
-        let wrappers_applied = apply_wrappers(&mut prog);
+        let t = Instant::now();
+        let mut wrappers_applied = apply_wrappers(&mut prog);
 
         let result = infer(&prog, &self.options);
 
         let meta = ccured_infer::split::compute_meta_types(&prog, &result.solution);
-        let link_issues = check_link(&prog, &result.solution, &meta);
+        let mut link_issues = check_link(&prog, &result.solution, &meta);
+        sort_link_issues(&mut link_issues);
         if self.strict_link && !link_issues.is_empty() {
             return Err(CureError::Link(link_issues));
         }
+        let infer_time = t.elapsed();
 
+        let t = Instant::now();
         let hierarchy = Hierarchy::build(&prog);
         let checks_inserted = instrument(&mut prog, &result.solution, &hierarchy);
+        let instrument_time = t.elapsed();
         // Redundant-check elimination (the real CCured's optimizer): facts
         // established by earlier checks delete dominated ones.
-        let elision = if self.optimize {
+        let t = Instant::now();
+        let mut elision = if self.optimize {
             eliminate_checks(&mut prog)
         } else {
             ElisionResult::default()
         };
+        let optimize_time = t.elapsed();
+
+        // Canonical report ordering: every user-visible vector is sorted by
+        // (span, symbol) so parallel batch workers and hash-map iteration
+        // order can never reorder diagnostics between two cures of the same
+        // unit (asserted by the differential batch test).
+        elision
+            .failures
+            .sort_by(|a, b| key_of_failure(a).cmp(&key_of_failure(b)));
+        wrappers_applied.sort();
+        let mut annotation_violations = result.annotation_violations;
+        annotation_violations.sort_by_key(|v| v.qual.0);
 
         let trusted_casts = prog.casts.iter().filter(|c| c.trusted).count();
         let report = CureReport {
@@ -269,7 +379,7 @@ impl Curer {
             wrappers_applied,
             trusted_casts,
             split_quals: result.solution.split_count(),
-            annotation_violations: result.annotation_violations,
+            annotation_violations,
             link_issues,
             solver_iterations: result.iterations,
         };
@@ -280,6 +390,13 @@ impl Curer {
             hierarchy,
             provenance: result.provenance,
             report,
+            timings: StageTimings {
+                parse: Duration::ZERO,
+                lower: Duration::ZERO,
+                infer: infer_time,
+                instrument: instrument_time,
+                optimize: optimize_time,
+            },
         })
     }
 }
@@ -331,6 +448,22 @@ impl Cured {
         }
         out
     }
+}
+
+fn key_of_failure(f: &StaticFailure) -> (u32, u32, String, &'static str, String) {
+    (
+        f.span.lo,
+        f.span.hi,
+        f.func.clone(),
+        f.check,
+        f.message.clone(),
+    )
+}
+
+fn sort_link_issues(issues: &mut [LinkIssue]) {
+    issues.sort_by(|a, b| {
+        (&a.caller, &a.external, &a.detail).cmp(&(&b.caller, &b.external, &b.detail))
+    });
 }
 
 /// Counts pointer kinds over *declared* pointers — named locals, globals

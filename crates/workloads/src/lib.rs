@@ -122,6 +122,50 @@ pub fn suite_corpus() -> Vec<Workload> {
     ]
 }
 
+/// The micro+Olden corpus the batch engine is benchmarked and tested over
+/// (`fig-batch`, `tests/tests/batch.rs`): enough independent units, at two
+/// sizes each for the Olden programs, to make parallel fan-out and cache
+/// reuse measurable.
+pub fn batch_corpus() -> Vec<Workload> {
+    vec![
+        micro::safe_deref(100),
+        micro::seq_index(50),
+        micro::wild_loop(25),
+        micro::rtti_dispatch(50),
+        micro::ptr_store(50),
+        olden::em3d(48, 6, 24),
+        olden::em3d(24, 4, 12),
+        olden::treeadd(11),
+        olden::treeadd(8),
+        ptrdist::anagram(40),
+        ptrdist::ks(26),
+        spec::compress_like(24, 6),
+        spec::ijpeg_oo(40, 28),
+    ]
+}
+
+/// Writes each workload's source as `<index>_<name>.c` under `dir`
+/// (creating it), returning the paths — the on-disk shape the batch engine
+/// consumes. Indexing keeps file names unique when a corpus contains the
+/// same workload at two sizes.
+///
+/// # Errors
+///
+/// I/O errors creating the directory or writing a unit.
+pub fn write_units(
+    dir: &std::path::Path,
+    corpus: &[Workload],
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(corpus.len());
+    for (i, w) in corpus.iter().enumerate() {
+        let p = dir.join(format!("{i:02}_{}.c", w.name));
+        std::fs::write(&p, &w.source)?;
+        paths.push(p);
+    }
+    Ok(paths)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

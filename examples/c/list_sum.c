@@ -1,0 +1,27 @@
+/* A heap-allocated singly linked list, built and summed through SAFE
+ * pointers — the no-arithmetic, no-cast case where curing only needs
+ * null checks:
+ *
+ *   cargo run -p ccured-cli --bin ccured -- examples/c/list_sum.c --report --run
+ */
+extern void *malloc(unsigned long n);
+
+struct Cell {
+    int value;
+    struct Cell *next;
+};
+
+struct Cell *push(struct Cell *head, int value) {
+    struct Cell *cell = (struct Cell *)malloc(sizeof(struct Cell));
+    cell->value = value;
+    cell->next = head;
+    return cell;
+}
+
+int main(void) {
+    struct Cell *head = 0;
+    for (int i = 1; i <= 10; i++) head = push(head, i);
+    int sum = 0;
+    for (struct Cell *c = head; c != 0; c = c->next) sum += c->value;
+    return sum == 55 ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+/* A heap matrix behind an int** row table: the row table and each row are
+ * indexed, so both levels become SEQ and every access is bounds-checked:
+ *
+ *   cargo run -p ccured-cli --bin ccured -- examples/c/matrix.c --report --run
+ */
+extern void *malloc(unsigned long n);
+
+int main(void) {
+    int **m = (int **)malloc(4 * sizeof(int *));
+    for (int r = 0; r < 4; r++) {
+        m[r] = (int *)malloc(4 * sizeof(int));
+        for (int c = 0; c < 4; c++) m[r][c] = r * 4 + c;
+    }
+    int trace = 0;
+    for (int r = 0; r < 4; r++) trace += m[r][r];
+    return trace == 30 ? 0 : 1;
+}

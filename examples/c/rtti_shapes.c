@@ -1,0 +1,25 @@
+/* A small Shape hierarchy with checked downcasts: the (struct Circle *)
+ * and (struct Square *) casts from the common prefix type make the
+ * pointers RTTI instead of WILD (the paper's ijpeg pattern):
+ *
+ *   cargo run -p ccured-cli --bin ccured -- examples/c/rtti_shapes.c --report --run
+ */
+struct Shape { int kind; int tag; };
+struct Circle { int kind; int tag; int radius; };
+struct Square { int kind; int tag; int side; };
+
+int area(struct Shape *s) {
+    if (s->kind == 1) {
+        struct Circle *c = (struct Circle *)s;
+        return 3 * c->radius * c->radius;
+    }
+    struct Square *q = (struct Square *)s;
+    return q->side * q->side;
+}
+
+int main(void) {
+    struct Circle c; c.kind = 1; c.tag = 0; c.radius = 2;
+    struct Square q; q.kind = 2; q.tag = 0; q.side = 3;
+    int total = area((struct Shape *)&c) + area((struct Shape *)&q);
+    return total == 21 ? 0 : 1;
+}

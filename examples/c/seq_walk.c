@@ -1,0 +1,19 @@
+/* Sequential pointer arithmetic: `p` is advanced through a heap buffer,
+ * so inference makes it SEQ (bounds-carrying) while `buf` stays SAFE at
+ * its uses. Good for watching CHECK_BOUNDS placement:
+ *
+ *   cargo run -p ccured-cli --bin ccured -- examples/c/seq_walk.c --report --run
+ */
+extern void *malloc(unsigned long n);
+
+int main(void) {
+    int *buf = (int *)malloc(16 * sizeof(int));
+    for (int i = 0; i < 16; i++) buf[i] = i;
+    int sum = 0;
+    int *p = buf;
+    for (int i = 0; i < 16; i++) {
+        sum += *p;
+        p = p + 1;
+    }
+    return sum == 120 ? 0 : 1;
+}
