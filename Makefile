@@ -1,6 +1,6 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test lint tables bench bless doc examples smoke stress clean
+.PHONY: all test lint tables bench bench-interp bless doc examples smoke stress clean
 
 all: test
 
@@ -11,9 +11,12 @@ lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 	cargo fmt --check
 
-# Quick sanity pass: cure + explain + crash-test + batch the example C sources.
+# Quick sanity pass: cure + explain + crash-test + batch the example C
+# sources, on both execution engines (vm is the default; the tree run is
+# the reference-semantics cross-check).
 smoke:
-	cargo run -q -p ccured-cli --bin ccured -- examples/c/quickstart.c --report --run
+	cargo run -q -p ccured-cli --bin ccured -- examples/c/quickstart.c --report --run --engine vm
+	cargo run -q -p ccured-cli --bin ccured -- examples/c/quickstart.c --run --engine tree
 	cargo run -q -p ccured-cli --bin ccured -- explain examples/c/bad_cast.c
 	cargo run -q -p ccured-cli --bin ccured -- crash-test examples/c/quickstart.c --mutants 25
 	cargo run -q -p ccured-cli --bin ccured -- batch examples/c --jobs 4
@@ -29,6 +32,10 @@ tables:
 
 bench:
 	cargo bench --workspace
+
+# E13: tree-vs-VM throughput table; writes BENCH_interp.json.
+bench-interp:
+	cargo run --release -p ccured-bench --bin tables -- fig-interp
 
 doc:
 	cargo doc --workspace --no-deps

@@ -1,6 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|all]`
+//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|all] [--smoke]`
+//!
+//! `fig-interp` also writes `BENCH_interp.json` to the working directory;
+//! `--smoke` shrinks its workloads for CI.
 //!
 //! Each table prints our measurement next to the paper's reported value
 //! (absolute numbers are not comparable — the substrate is an interpreter —
@@ -20,11 +23,15 @@ const TABLES: &[&str] = &[
     "security",
     "ablation",
     "fig-batch",
+    "fig-interp",
     "all",
 ];
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
     if !TABLES.contains(&which.as_str()) {
         eprintln!(
             "unknown table `{which}`; expected one of: {}",
@@ -62,6 +69,9 @@ fn main() {
     }
     if all || which == "fig-batch" {
         fig_batch_table();
+    }
+    if all || which == "fig-interp" {
+        fig_interp_table(smoke);
     }
 }
 
@@ -113,6 +123,7 @@ fn fig9_table() {
                 ratio(r.ccured),
                 ratio(r.valgrind),
                 format!("{:.2}%", r.sandbox_overhead * 100.0),
+                format!("{:.1}x", r.vm_speedup),
                 paper_ratio(r.paper_ccured),
                 paper_ratio(r.paper_valgrind),
             ]
@@ -128,6 +139,7 @@ fn fig9_table() {
                 "ccured",
                 "valgrind",
                 "sandbox",
+                "vm",
                 "paper ccured",
                 "paper valgrind"
             ],
@@ -375,4 +387,39 @@ fn fig_batch_table() {
         f.parallel_cpu_ratio
     );
     println!("{}", render(&["configuration", "wall", "speedup"], &rows));
+}
+
+fn fig_interp_table(smoke: bool) {
+    println!(
+        "== E13: execution-engine throughput, tree vs bytecode VM{} ==\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let f = fig_interp(smoke);
+    let us = |d: std::time::Duration| format!("{:.0} us", d.as_secs_f64() * 1e6);
+    let rows: Vec<Vec<String>> = f
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.steps.to_string(),
+                us(r.tree),
+                us(r.vm),
+                format!("{:.1}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["workload", "steps", "tree", "vm", "speedup"], &rows)
+    );
+    println!(
+        "geomean speedup: {:.2}x (best of {} runs)",
+        f.geomean_speedup(),
+        f.reps
+    );
+    match std::fs::write("BENCH_interp.json", f.to_json()) {
+        Ok(()) => println!("wrote BENCH_interp.json"),
+        Err(e) => eprintln!("could not write BENCH_interp.json: {e}"),
+    }
 }

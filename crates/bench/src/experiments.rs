@@ -61,6 +61,9 @@ pub struct Fig9Row {
     /// (fuel/stack/heap/deadline checks) — the price of the hardened
     /// interpreter, which must stay under 2%.
     pub sandbox_overhead: f64,
+    /// Wall-clock speedup of the bytecode VM over the tree-walking
+    /// reference engine on this workload's cured run.
+    pub vm_speedup: f64,
     /// Paper's CCured ratio.
     pub paper_ccured: Option<f64>,
     /// Paper's Valgrind ratio.
@@ -76,6 +79,13 @@ pub fn fig9() -> Vec<Fig9Row> {
         .into_iter()
         .map(|w| {
             let r = measure(&w, &InferOptions::default()).expect("fig9 workload");
+            let mut curer = ccured::Curer::new();
+            if w.with_wrappers {
+                curer.with_stdlib_wrappers();
+            }
+            let cured = curer.cure_source(&w.source).expect("fig9 cure");
+            let (tree, _) = time_cured(&cured, ccured_rt::Engine::Tree, &w.input, 2);
+            let (vm, _) = time_cured(&cured, ccured_rt::Engine::Vm, &w.input, 2);
             Fig9Row {
                 name: w.name.clone(),
                 lines: r.lines,
@@ -83,6 +93,7 @@ pub fn fig9() -> Vec<Fig9Row> {
                 ccured: r.ccured,
                 valgrind: r.valgrind,
                 sandbox_overhead: model.sandbox_overhead(&r.cured_counters),
+                vm_speedup: tree.as_secs_f64() / vm.as_secs_f64().max(1e-9),
                 paper_ccured: w.paper.ccured_ratio,
                 paper_valgrind: w.paper.valgrind_ratio,
                 paper_pct: w.paper.pct,
@@ -542,9 +553,177 @@ pub fn fig_batch(jobs: usize) -> std::io::Result<BatchFig> {
     result
 }
 
+/// E13 (`fig-interp`): one workload's tree-vs-VM wall-clock comparison.
+#[derive(Debug, Clone)]
+pub struct InterpRow {
+    /// Workload name.
+    pub name: String,
+    /// Guest instruction steps of the cured run (identical on both engines).
+    pub steps: u64,
+    /// Best-of-`reps` wall-clock on the tree-walking reference engine.
+    pub tree: std::time::Duration,
+    /// Best-of-`reps` wall-clock on the bytecode VM.
+    pub vm: std::time::Duration,
+}
+
+impl InterpRow {
+    /// `tree / vm` — how much the bytecode engine buys on this workload.
+    pub fn speedup(&self) -> f64 {
+        self.tree.as_secs_f64() / self.vm.as_secs_f64().max(1e-9)
+    }
+}
+
+/// E13 (`fig-interp`): the whole comparison.
+#[derive(Debug, Clone)]
+pub struct InterpFig {
+    /// Per-workload timings.
+    pub rows: Vec<InterpRow>,
+    /// Timing repetitions per engine (best-of).
+    pub reps: u32,
+}
+
+impl InterpFig {
+    /// Geometric mean of the per-workload speedups.
+    pub fn geomean_speedup(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        (self.rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / n).exp()
+    }
+
+    /// `BENCH_interp.json` — machine-readable record for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"experiment\": \"fig-interp\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"steps\": {}, \"tree_us\": {}, \"vm_us\": {}, \"speedup\": {:.3}}}{}\n",
+                r.name,
+                r.steps,
+                r.tree.as_micros(),
+                r.vm.as_micros(),
+                r.speedup(),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"reps\": {},\n  \"geomean_speedup\": {:.3}\n}}\n",
+            self.reps,
+            self.geomean_speedup()
+        ));
+        s
+    }
+}
+
+/// Times one cured run on `engine`, returning the best wall-clock of
+/// `reps` runs and the (engine-independent) counters.
+fn time_cured(
+    cured: &ccured::Cured,
+    engine: ccured_rt::Engine,
+    input: &[u8],
+    reps: u32,
+) -> (std::time::Duration, u64) {
+    use ccured_rt::Interp;
+    let mut best = std::time::Duration::MAX;
+    let mut steps = 0;
+    for _ in 0..reps.max(1) {
+        let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
+        interp.set_engine(engine);
+        interp.set_input(input.to_vec());
+        let t0 = std::time::Instant::now();
+        interp.run().expect("fig-interp workload runs clean");
+        best = best.min(t0.elapsed());
+        steps = interp.counters.instrs;
+    }
+    (best, steps)
+}
+
+/// E13 (`fig-interp`): tree-vs-VM throughput over the micro + Olden +
+/// Ptrdist corpus, cured once per workload and executed on both engines.
+/// `smoke` shrinks the workloads for CI.
+pub fn fig_interp(smoke: bool) -> InterpFig {
+    use ccured_workloads::{olden, ptrdist, spec};
+    let (ws, reps) = if smoke {
+        (
+            vec![
+                micro::safe_deref(400),
+                micro::seq_index(200),
+                micro::wild_loop(60),
+                micro::rtti_dispatch(150),
+                micro::ptr_store(200),
+                olden::em3d(32, 4, 12),
+                olden::treeadd(9),
+                ptrdist::anagram(40),
+            ],
+            2,
+        )
+    } else {
+        (
+            vec![
+                micro::safe_deref(4000),
+                micro::seq_index(1500),
+                micro::wild_loop(500),
+                micro::rtti_dispatch(1200),
+                micro::ptr_store(1500),
+                olden::em3d(64, 6, 48),
+                olden::treeadd(12),
+                ptrdist::anagram(80),
+                ptrdist::ks(30),
+                spec::compress_like(32, 8),
+                spec::ijpeg_oo(48, 40),
+            ],
+            3,
+        )
+    };
+    let rows = ws
+        .iter()
+        .map(|w| {
+            let mut curer = ccured::Curer::new();
+            if w.with_wrappers {
+                curer.with_stdlib_wrappers();
+            }
+            let cured = curer.cure_source(&w.source).expect("fig-interp cure");
+            let (tree, tree_steps) = time_cured(&cured, ccured_rt::Engine::Tree, &w.input, reps);
+            let (vm, vm_steps) = time_cured(&cured, ccured_rt::Engine::Vm, &w.input, reps);
+            assert_eq!(
+                tree_steps, vm_steps,
+                "{}: engines disagree on instruction steps",
+                w.name
+            );
+            InterpRow {
+                name: w.name.clone(),
+                steps: vm_steps,
+                tree,
+                vm,
+            }
+        })
+        .collect();
+    InterpFig { rows, reps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// E13: the bytecode VM must beat the tree-walking reference engine by
+    /// a clear margin on the micro + Olden corpus. The measured geomean is
+    /// ~2×; the assertion sits at 1.5× to stay out of the timing-noise
+    /// band (the design target of 5× is unreachable while both engines
+    /// execute the identical check/metadata machinery — see EXPERIMENTS.md
+    /// E13 for the accounting).
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "wall-clock ratio is only meaningful in release"
+    )]
+    fn fig_interp_vm_beats_tree() {
+        let f = fig_interp(true);
+        for r in &f.rows {
+            assert!(r.steps > 0, "{}: no guest steps recorded", r.name);
+        }
+        let g = f.geomean_speedup();
+        assert!(
+            g >= 1.5,
+            "bytecode VM must be ≥1.5× the tree engine (geomean), got {g:.2}×"
+        );
+    }
 
     #[test]
     fn ijpeg_shape_matches_paper() {

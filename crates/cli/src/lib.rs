@@ -58,7 +58,7 @@
 //! tested; `main.rs` is a thin wrapper.
 
 use ccured::{CureError, Cured, Curer};
-use ccured_rt::{ExecMode, Interp};
+use ccured_rt::{Engine, ExecMode, Interp};
 use std::fmt;
 
 /// Execution mode selected on the command line.
@@ -132,6 +132,9 @@ pub struct Options {
     pub split_at_boundaries: bool,
     /// Instruction budget.
     pub fuel: Option<u64>,
+    /// Execution engine (`vm` is the default; `tree` is the reference
+    /// tree-walking oracle).
+    pub engine: Engine,
 }
 
 /// A usage/parse error.
@@ -228,6 +231,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                     }
                 };
             }
+            "--engine" => {
+                let v = need(&mut it, "--engine")?;
+                o.engine = v.parse().map_err(|e: String| UsageError(e))?;
+            }
             "--input" => o.input = Some(need(&mut it, "--input")?),
             "--fuel" => {
                 let v = need(&mut it, "--fuel")?;
@@ -281,7 +288,7 @@ pub const USAGE: &str =
     "usage: ccured <file.c> [--run] [--mode cured|original|purify|valgrind|joneskelly]
               [--input FILE] [--report] [--review] [--counters] [--emit-ir] [--wrappers]
               [--strict-link] [--original-ccured] [--no-rtti] [--no-opt]
-              [--split-everything] [--split-at-boundaries] [--fuel N]
+              [--split-everything] [--split-at-boundaries] [--fuel N] [--engine vm|tree]
        ccured explain <file.c> [--sym NAME] [other options]
        ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
        ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--json]";
@@ -306,7 +313,8 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
 
     if o.crash_test {
         let mut cfg =
-            ccured_faultinject::CrashTest::new(o.mutants.unwrap_or(60), o.seed.unwrap_or(1));
+            ccured_faultinject::CrashTest::new(o.mutants.unwrap_or(60), o.seed.unwrap_or(1))
+                .with_engine(o.engine);
         if let Some(f) = o.fuel {
             cfg.limits.fuel = f;
         }
@@ -474,6 +482,7 @@ fn curer(o: &Options) -> Curer {
     c.split_everything(o.split_everything);
     c.split_at_boundaries(o.split_at_boundaries);
     c.strict_link(o.strict_link);
+    c.engine(o.engine);
     if o.wrappers {
         c.with_stdlib_wrappers();
     }
@@ -548,6 +557,7 @@ fn execute(
     mut out: String,
 ) -> Outcome {
     let mut interp = Interp::new(prog, mode);
+    interp.set_engine(o.engine);
     interp.set_input(input.to_vec());
     if let Some(f) = o.fuel {
         interp.set_fuel(f);
@@ -666,6 +676,24 @@ mod tests {
         assert!(o.run && o.report);
         assert_eq!(o.mode, Mode::Cured);
         assert_eq!(o.fuel, Some(1000));
+    }
+
+    #[test]
+    fn parses_engine_selection() {
+        // The bytecode VM is the default; `tree` selects the reference
+        // tree-walking engine.
+        assert_eq!(args("prog.c --run").unwrap().engine, Engine::Vm);
+        assert_eq!(
+            args("prog.c --run --engine tree").unwrap().engine,
+            Engine::Tree
+        );
+        assert_eq!(args("prog.c --run --engine vm").unwrap().engine, Engine::Vm);
+        let e = args("prog.c --run --engine jit").unwrap_err();
+        assert!(
+            e.0.contains("unknown engine `jit`"),
+            "unexpected error: {}",
+            e.0
+        );
     }
 
     #[test]

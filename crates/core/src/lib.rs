@@ -37,7 +37,7 @@ pub mod split;
 pub mod wrappers;
 
 pub use hierarchy::Hierarchy;
-pub use pipeline::{isolated, CureError, CureReport, Cured, Curer, StageTimings};
+pub use pipeline::{isolated, CureError, CureReport, Cured, Curer, Engine, StageTimings};
 // Re-exported so downstream users of the report types need not name the
 // analysis crate directly.
 pub use ccured_analysis::{ElisionStats, StaticFailure};

@@ -165,6 +165,52 @@ impl CureReport {
     }
 }
 
+/// Which execution engine `ccured_rt` should run the program on. The cure
+/// itself is engine-independent (the fingerprint and report ignore this);
+/// the selector merely travels with the [`Cured`] artifact so drivers pick
+/// the same engine everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The recursive tree-walking interpreter: the reference semantics and
+    /// the differential oracle for the bytecode engine.
+    Tree,
+    /// The bytecode register VM: identical observable behaviour (output,
+    /// exit codes, errors, counters), much faster dispatch.
+    #[default]
+    Vm,
+}
+
+impl Engine {
+    /// Both engines, oracle first.
+    pub const ALL: [Engine; 2] = [Engine::Tree, Engine::Vm];
+
+    /// The CLI flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Vm => "vm",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tree" => Ok(Engine::Tree),
+            "vm" => Ok(Engine::Vm),
+            other => Err(format!("unknown engine `{other}` (expected tree|vm)")),
+        }
+    }
+}
+
 /// A cured program, ready for execution by `ccured-rt`.
 #[derive(Debug, Clone)]
 pub struct Cured {
@@ -182,6 +228,8 @@ pub struct Cured {
     /// Per-stage wall-clock attribution for this cure (zero for `parse`
     /// and `lower` when entering via [`Curer::cure_program`]).
     pub timings: StageTimings,
+    /// The execution engine drivers should run this program on.
+    pub engine: Engine,
 }
 
 /// Builder for the CCured transformation (non-consuming, [`Default`]).
@@ -203,6 +251,7 @@ pub struct Curer {
     strict_link: bool,
     optimize: bool,
     prelude: Option<String>,
+    engine: Engine,
 }
 
 impl Default for Curer {
@@ -220,6 +269,7 @@ impl Curer {
             strict_link: false,
             optimize: true,
             prelude: None,
+            engine: Engine::default(),
         }
     }
 
@@ -231,6 +281,7 @@ impl Curer {
             strict_link: false,
             optimize: true,
             prelude: None,
+            engine: Engine::default(),
         }
     }
 
@@ -268,6 +319,14 @@ impl Curer {
     /// CLI's `--no-opt` ablation flag turns it off).
     pub fn optimize(&mut self, on: bool) -> &mut Self {
         self.optimize = on;
+        self
+    }
+
+    /// Selects the execution engine recorded on the [`Cured`] artifact
+    /// (default [`Engine::Vm`]; `tree` is the reference oracle). Does not
+    /// affect the cure output or the cache fingerprint.
+    pub fn engine(&mut self, engine: Engine) -> &mut Self {
+        self.engine = engine;
         self
     }
 
@@ -397,6 +456,7 @@ impl Curer {
                 instrument: instrument_time,
                 optimize: optimize_time,
             },
+            engine: self.engine,
         })
     }
 }

@@ -21,7 +21,7 @@
 
 use ccured::{isolated, CureError, Curer};
 use ccured_cil::Program;
-use ccured_rt::{ExecMode, Interp, Limits, RtError};
+use ccured_rt::{Engine, ExecMode, Interp, Limits, RtError};
 use ccured_workloads::prng::SplitMix64;
 use ccured_workloads::Workload;
 
@@ -41,6 +41,9 @@ pub struct CrashTest {
     pub seed: u64,
     /// Sandbox limits for both the ground-truth and the cured run.
     pub limits: Limits,
+    /// Execution engine for both runs (the differential suite holds the
+    /// two engines to identical verdicts, so the default VM is safe here).
+    pub engine: Engine,
 }
 
 impl CrashTest {
@@ -57,12 +60,19 @@ impl CrashTest {
                 max_heap_bytes: 32 << 20,
                 deadline: None,
             },
+            engine: Engine::default(),
         }
     }
 
     /// Replaces the sandbox limits (e.g. for larger workloads).
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Selects the execution engine (`tree` is the reference oracle).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -121,7 +131,14 @@ pub fn crash_test(ws: &[Workload], cfg: &CrashTest) -> Result<CrashTestReport, C
         };
 
         // Ground truth: plain C semantics, no zeroing allocator.
-        let gt = run_prog(&prog, ExecMode::Original, input, cfg.limits, false);
+        let gt = run_prog(
+            &prog,
+            ExecMode::Original,
+            cfg.engine,
+            input,
+            cfg.limits,
+            false,
+        );
         let gt_memory_error = matches!(&gt, Ok(Err(e)) if e.is_memory_error());
 
         // Cure (isolated: a curer panic becomes CureError::Internal), then
@@ -130,7 +147,14 @@ pub fn crash_test(ws: &[Workload], cfg: &CrashTest) -> Result<CrashTestReport, C
         let (outcome, cured_str) = match &cured {
             Err(e) => (Outcome::Invalid, format!("cure failed: {e}")),
             Ok(c) => {
-                let r = run_prog(&c.program, ExecMode::cured(c), input, cfg.limits, true);
+                let r = run_prog(
+                    &c.program,
+                    ExecMode::cured(c),
+                    cfg.engine,
+                    input,
+                    cfg.limits,
+                    true,
+                );
                 (classify(&r), fmt_run(&r))
             }
         };
@@ -191,12 +215,14 @@ fn lower(w: &Workload) -> Result<Program, CureError> {
 fn run_prog(
     prog: &Program,
     mode: ExecMode<'_>,
+    engine: Engine,
     input: &[u8],
     limits: Limits,
     zero_init: bool,
 ) -> Result<Result<i64, RtError>, String> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut interp = Interp::new(prog, mode);
+        interp.set_engine(engine);
         interp.set_limits(limits);
         interp.set_zero_init(zero_init);
         interp.set_input(input.to_vec());

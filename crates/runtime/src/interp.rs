@@ -24,7 +24,10 @@ use ccured_cil::phys::CastClass;
 use ccured_cil::types::{IntKind, Type, TypeId};
 use ccured_infer::{PtrKind, Solution};
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 use std::time::Instant;
+
+pub use ccured::Engine;
 
 /// How the program is executed.
 #[derive(Clone, Copy)]
@@ -67,50 +70,76 @@ enum Flow {
     Break,
     Continue,
     Return(Option<Value>),
-    Goto(String),
+    /// A pending goto, carrying the interned label id (see [`FnInfo`]).
+    Goto(u32),
 }
 
-enum LocalSlot {
+pub(crate) enum LocalSlot {
     Reg,
     Mem(AllocId),
 }
 
-struct Frame {
-    func: FuncId,
-    seq: u64,
-    regs: Vec<Option<Value>>,
-    slots: Vec<LocalSlot>,
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
+    pub(crate) seq: u64,
+    pub(crate) regs: Vec<Option<Value>>,
+    pub(crate) slots: Vec<LocalSlot>,
+    pub(crate) info: Rc<FnInfo>,
 }
 
 /// A resolved storage location.
-enum Place {
+pub(crate) enum Place {
     Reg(LocalId),
     Mem(Pointer),
 }
 
+/// Per-function static facts, computed once per interpreter and shared by
+/// refcount (never cloned per call): which locals need memory slots, plus
+/// pre-resolved goto/label tables so jumps cost a hash probe instead of a
+/// linear statement scan and a `String` clone.
+pub(crate) struct FnInfo {
+    /// Which locals of the function need memory (vs register) slots.
+    pub(crate) mem_locals: Rc<[bool]>,
+    /// Interned label names (id -> name), for diagnostics.
+    labels: Vec<String>,
+    /// Statement index of each label within its enclosing block slice,
+    /// keyed by (slice address, label id). Slice addresses are stable: the
+    /// program is borrowed immutably for the interpreter's lifetime.
+    label_pos: HashMap<(usize, u32), usize>,
+    /// Interned label id of every `Stmt::Goto`, keyed by statement address.
+    goto_ids: HashMap<usize, u32>,
+}
+
 /// The interpreter. Create one per run; counters and output accumulate.
 pub struct Interp<'p> {
-    prog: &'p Program,
-    mode: ExecMode<'p>,
+    pub(crate) prog: &'p Program,
+    pub(crate) mode: ExecMode<'p>,
     pub(crate) mem: Memory,
-    globals: Vec<AllocId>,
-    frames: Vec<Frame>,
+    pub(crate) globals: Vec<AllocId>,
+    pub(crate) frames: Vec<Frame>,
     next_frame_seq: u64,
     /// Event counters for the cost model.
     pub counters: Counters,
     pub(crate) out: Vec<u8>,
     pub(crate) input: Vec<u8>,
     pub(crate) input_pos: usize,
-    limits: Limits,
+    pub(crate) limits: Limits,
     /// Armed from `limits.deadline` when execution starts.
-    deadline_at: Option<Instant>,
+    pub(crate) deadline_at: Option<Instant>,
     /// Model CCured's zeroing allocator: fresh memory reads as zero instead
     /// of tripping the ground-truth uninitialized-read detector.
-    zero_init: bool,
-    word: u64,
-    globals_ready: bool,
-    /// Which locals of each function need memory (vs register) slots.
-    mem_locals: HashMap<u32, Vec<bool>>,
+    pub(crate) zero_init: bool,
+    pub(crate) word: u64,
+    pub(crate) globals_ready: bool,
+    /// Which execution engine `run`/`call_by_name` dispatch to.
+    engine: Engine,
+    /// Per-function static facts (memory locals, goto/label tables).
+    fn_info: HashMap<u32, Rc<FnInfo>>,
+    /// Per-function compiled bytecode (the VM engine's cache).
+    pub(crate) compiled: Vec<Option<Rc<crate::bytecode::CompiledFn<'p>>>>,
+    /// Snapshot of (instrs, loads) while a VM check operand re-evaluates,
+    /// restored when the check completes or its evaluation aborts.
+    pub(crate) vm_check_save: Option<(u64, u64)>,
     /// Purify/Valgrind shadow bytes per allocation.
     shadow: HashMap<u32, Vec<u8>>,
     /// Jones–Kelly object registry: VA base -> size.
@@ -147,7 +176,10 @@ impl<'p> Interp<'p> {
             zero_init: false,
             word: prog.types.machine.ptr_bytes,
             globals_ready: false,
-            mem_locals: HashMap::new(),
+            engine: Engine::Tree,
+            fn_info: HashMap::new(),
+            compiled: Vec::new(),
+            vm_check_save: None,
             shadow: HashMap::new(),
             registry: BTreeMap::new(),
             node_cache: HashMap::new(),
@@ -155,6 +187,19 @@ impl<'p> Interp<'p> {
             gc_override: None,
             rng: 0x9E3779B97F4A7C15,
         }
+    }
+
+    /// Selects the execution engine. [`Interp::new`] starts on
+    /// [`Engine::Tree`] — the reference tree-walking semantics; switch to
+    /// [`Engine::Vm`] for the bytecode engine (identical observable
+    /// behaviour, including [`Counters`], but much faster dispatch).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The engine `run`/`call_by_name` will dispatch to.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Caps the number of evaluation steps.
@@ -230,12 +275,20 @@ impl<'p> Interp<'p> {
             .find_function("main")
             .ok_or_else(|| RtError::Unsupported("no `main` function".into()))?;
         self.arm_deadline();
-        let r = self.run_function(main, Vec::new());
+        let r = self.dispatch(main, Vec::new());
         self.sync_peaks();
         match r {
             Ok(v) => Ok(v.and_then(|v| v.as_int()).unwrap_or(0) as i64),
             Err(RtError::Exit(code)) => Ok(code),
             Err(e) => Err(e),
+        }
+    }
+
+    /// Runs `f` on the selected engine.
+    fn dispatch(&mut self, f: FuncId, args: Vec<Value>) -> Result<Option<Value>, RtError> {
+        match self.engine {
+            Engine::Tree => self.run_function(f, args),
+            Engine::Vm => self.vm_call(f, args),
         }
     }
 
@@ -250,7 +303,7 @@ impl<'p> Interp<'p> {
             .find_function(name)
             .ok_or_else(|| RtError::Unsupported(format!("no function `{name}`")))?;
         self.arm_deadline();
-        let r = self.run_function(f, args);
+        let r = self.dispatch(f, args);
         self.sync_peaks();
         r
     }
@@ -283,9 +336,15 @@ impl<'p> Interp<'p> {
         let ret_ty = func.ret_type(&self.prog.types);
         Ok(match flow {
             Flow::Return(v) => v,
-            Flow::Goto(label) => {
+            Flow::Goto(id) => {
                 // The label exists somewhere deeper than any block the goto
                 // can reach (e.g. inside a sibling nested block).
+                let label = self
+                    .fn_info(f)
+                    .labels
+                    .get(id as usize)
+                    .cloned()
+                    .unwrap_or_else(|| "?".into());
                 return Err(RtError::Unsupported(format!(
                     "goto to label `{label}` that is not visible from the jump site"
                 )));
@@ -304,7 +363,7 @@ impl<'p> Interp<'p> {
 
     // -------------------------------------------------------------- globals
 
-    fn init_globals(&mut self) -> Result<(), RtError> {
+    pub(crate) fn init_globals(&mut self) -> Result<(), RtError> {
         for g in &self.prog.globals {
             let size = self.sized(g.ty, &format!("global `{}`", g.name))?;
             let id = self.mem.alloc(size.max(1), AllocKind::Global)?;
@@ -332,7 +391,9 @@ impl<'p> Interp<'p> {
                 let v = self.eval(e)?;
                 self.store_typed(at, ty, v)
             }
-            Init::Compound(items) => match self.prog.types.get(ty).clone() {
+            // `self.prog` is a shared `&'p` borrow independent of `&mut
+            // self`, so type-table lookups need no defensive clones.
+            Init::Compound(items) => match *{ self.prog }.types.get(ty) {
                 Type::Array(elem, _) => {
                     let es = self.sized(elem, "array initializer element")?;
                     for (i, item) in items.iter().enumerate() {
@@ -341,7 +402,7 @@ impl<'p> Interp<'p> {
                     Ok(())
                 }
                 Type::Comp(cid) => {
-                    let fields = self.prog.types.comp(cid).fields.clone();
+                    let fields = &{ self.prog }.types.comp(cid).fields;
                     for (i, item) in items.iter().enumerate() {
                         let f = &fields[i];
                         self.run_init(at.offset_by(f.offset as i64), f.ty, item)?;
@@ -361,10 +422,9 @@ impl<'p> Interp<'p> {
 
     // --------------------------------------------------------------- frames
 
-    fn locals_needing_memory(&mut self, f: FuncId) -> Vec<bool> {
-        if let Some(v) = self.mem_locals.get(&f.0) {
-            return v.clone();
-        }
+    /// Computes [`FnInfo`] for `f`: which locals need memory slots (vs
+    /// registers), plus the goto/label resolution tables.
+    fn build_fn_info(&self, f: FuncId) -> FnInfo {
         let func = &self.prog.functions[f.idx()];
         let mut need = vec![false; func.locals.len()];
         for (i, l) in func.locals.iter().enumerate() {
@@ -461,11 +521,80 @@ impl<'p> Interp<'p> {
         for s in &func.body {
             scan_stmt(s, &mut need);
         }
-        self.mem_locals.insert(f.0, need.clone());
-        need
+        // Goto/label tables: intern label names and record, per block slice,
+        // where each label sits, so a jump is a hash probe instead of a
+        // linear scan with `String` comparisons.
+        struct Labels {
+            names: Vec<String>,
+            by_name: HashMap<String, u32>,
+            label_pos: HashMap<(usize, u32), usize>,
+            goto_ids: HashMap<usize, u32>,
+        }
+        impl Labels {
+            fn intern(&mut self, name: &str) -> u32 {
+                if let Some(&id) = self.by_name.get(name) {
+                    return id;
+                }
+                let id = self.names.len() as u32;
+                self.names.push(name.to_string());
+                self.by_name.insert(name.to_string(), id);
+                id
+            }
+            fn walk(&mut self, stmts: &[Stmt]) {
+                let slice = stmts.as_ptr() as usize;
+                for (i, s) in stmts.iter().enumerate() {
+                    match s {
+                        Stmt::Label(name) => {
+                            let id = self.intern(name);
+                            // First occurrence wins, like the old linear scan.
+                            self.label_pos.entry((slice, id)).or_insert(i);
+                        }
+                        Stmt::Goto(name) => {
+                            let id = self.intern(name);
+                            self.goto_ids.insert(s as *const Stmt as usize, id);
+                        }
+                        Stmt::If(_, t, e) => {
+                            self.walk(t);
+                            self.walk(e);
+                        }
+                        Stmt::Loop(b) | Stmt::Block(b) => self.walk(b),
+                        Stmt::Switch(_, arms) => {
+                            for a in arms {
+                                self.walk(&a.body);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let mut lb = Labels {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            label_pos: HashMap::new(),
+            goto_ids: HashMap::new(),
+        };
+        lb.walk(&func.body);
+        FnInfo {
+            mem_locals: need.into(),
+            labels: lb.names,
+            label_pos: lb.label_pos,
+            goto_ids: lb.goto_ids,
+        }
     }
 
-    fn push_frame(&mut self, f: FuncId, args: Vec<Value>) -> Result<(), RtError> {
+    /// The cached [`FnInfo`] for `f`, computing it on first use. The `Rc`
+    /// is shared — callers never clone the underlying tables.
+    pub(crate) fn fn_info(&mut self, f: FuncId) -> Rc<FnInfo> {
+        if let Some(info) = self.fn_info.get(&f.0) {
+            return Rc::clone(info);
+        }
+        let info = Rc::new(self.build_fn_info(f));
+        self.fn_info.insert(f.0, Rc::clone(&info));
+        info
+    }
+
+    pub(crate) fn push_frame(&mut self, f: FuncId, args: Vec<Value>) -> Result<(), RtError> {
         // The interpreter recurses on guest calls, so this cap also protects
         // the *host* stack: it must trip well before the process would.
         self.counters.limit_checks += 1;
@@ -478,16 +607,15 @@ impl<'p> Interp<'p> {
                 ),
             });
         }
-        let need_mem = self.locals_needing_memory(f);
-        let func = &self.prog.functions[f.idx()];
+        let info = self.fn_info(f);
+        let func: &'p Function = &self.prog.functions[f.idx()];
         let seq = self.next_frame_seq;
         self.next_frame_seq += 1;
         let mut regs = Vec::with_capacity(func.locals.len());
         let mut slots = Vec::with_capacity(func.locals.len());
-        let local_tys: Vec<TypeId> = func.locals.iter().map(|l| l.ty).collect();
-        for (i, ty) in local_tys.iter().enumerate() {
-            if need_mem[i] {
-                let size = self.sized(*ty, "stack local")?.max(1);
+        for (i, l) in func.locals.iter().enumerate() {
+            if info.mem_locals[i] {
+                let size = self.sized(l.ty, "stack local")?.max(1);
                 let id = self.mem.alloc(size, AllocKind::Stack { frame: seq })?;
                 self.register_alloc(id);
                 slots.push(LocalSlot::Mem(id));
@@ -501,24 +629,23 @@ impl<'p> Interp<'p> {
             seq,
             regs,
             slots,
+            info,
         });
         self.counters.calls += 1;
         self.counters.peak_stack_depth =
             self.counters.peak_stack_depth.max(self.frames.len() as u64);
         // Bind parameters.
-        let param_count = self.prog.functions[f.idx()].param_count;
-        for (i, v) in args.into_iter().enumerate().take(param_count) {
-            let ty = local_tys[i];
-            self.store_local(LocalId(i as u32), ty, v)?;
+        for (i, v) in args.into_iter().enumerate().take(func.param_count) {
+            self.store_local(LocalId(i as u32), func.locals[i].ty, v)?;
         }
         Ok(())
     }
 
-    fn frame(&self) -> Result<&Frame, RtError> {
+    pub(crate) fn frame(&self) -> Result<&Frame, RtError> {
         self.frames.last().ok_or_else(no_frame)
     }
 
-    fn frame_mut(&mut self) -> Result<&mut Frame, RtError> {
+    pub(crate) fn frame_mut(&mut self) -> Result<&mut Frame, RtError> {
         self.frames.last_mut().ok_or_else(no_frame)
     }
 
@@ -533,10 +660,13 @@ impl<'p> Interp<'p> {
         while i < stmts.len() {
             match self.exec_stmt(&stmts[i])? {
                 Flow::Normal => i += 1,
-                Flow::Goto(label) => match find_label(stmts, &label) {
-                    Some(j) => i = j,
-                    None => return Ok(Flow::Goto(label)),
-                },
+                Flow::Goto(id) => {
+                    let key = (stmts.as_ptr() as usize, id);
+                    match self.frame()?.info.label_pos.get(&key).copied() {
+                        Some(j) => i = j,
+                        None => return Ok(Flow::Goto(id)),
+                    }
+                }
                 other => return Ok(other),
             }
         }
@@ -577,7 +707,16 @@ impl<'p> Interp<'p> {
                 };
                 Ok(Flow::Return(v))
             }
-            Stmt::Goto(l) => Ok(Flow::Goto(l.clone())),
+            Stmt::Goto(_) => {
+                let id = self
+                    .frame()?
+                    .info
+                    .goto_ids
+                    .get(&(s as *const Stmt as usize))
+                    .copied()
+                    .unwrap_or(u32::MAX);
+                Ok(Flow::Goto(id))
+            }
             Stmt::Label(_) => Ok(Flow::Normal),
             Stmt::Switch(scrut, arms) => {
                 let v = self
@@ -716,28 +855,52 @@ impl<'p> Interp<'p> {
     }
 
     fn exec_check_inner(&mut self, c: &Check) -> Result<(), RtError> {
+        self.bump_check_counter(c);
+        let v = self.eval(check_operand(c))?;
+        self.check_verdict(c, v)
+    }
+
+    /// Counts the check in the per-kind cost counters (before the operand is
+    /// evaluated, matching compiled CCured where the check instruction itself
+    /// is the unit of cost). Shared by both engines.
+    pub(crate) fn bump_check_counter(&mut self, c: &Check) {
+        match c {
+            Check::Null { .. } => self.counters.null_checks += 1,
+            Check::SeqBounds { .. } => self.counters.seq_bounds_checks += 1,
+            Check::SeqToSafe { .. } => self.counters.seq_to_safe_checks += 1,
+            Check::WildBounds { .. } => self.counters.wild_bounds_checks += 1,
+            Check::WildTag { .. } => self.counters.wild_tag_checks += 1,
+            Check::Rtti { .. } => self.counters.rtti_checks += 1,
+            Check::NoStackEscape { .. } => self.counters.escape_checks += 1,
+            Check::IndexBound { .. } => self.counters.index_checks += 1,
+        }
+    }
+
+    /// Judges an already-evaluated check operand. Shared by both engines.
+    pub(crate) fn check_verdict(&mut self, c: &Check, v: Value) -> Result<(), RtError> {
         let fail = |check: &'static str, detail: String| -> Result<(), RtError> {
             Err(RtError::CheckFailed { check, detail })
         };
+        let as_ptr = |v: Value| -> Result<PtrVal, RtError> {
+            v.as_ptr()
+                .ok_or_else(|| RtError::Unsupported("expected pointer value".into()))
+        };
         match c {
-            Check::Null { ptr } => {
-                self.counters.null_checks += 1;
-                let v = self.eval_ptr(ptr)?;
+            Check::Null { .. } => {
+                let v = as_ptr(v)?;
                 match v {
                     PtrVal::Null => fail("null", "null pointer dereference".into()),
                     PtrVal::IntVal(x) => fail("null", format!("integer {x:#x} used as pointer")),
                     _ => Ok(()),
                 }
             }
-            Check::SeqBounds { ptr, access_size } | Check::SeqToSafe { ptr, access_size } => {
+            Check::SeqBounds { access_size, .. } | Check::SeqToSafe { access_size, .. } => {
                 let name = if matches!(c, Check::SeqBounds { .. }) {
-                    self.counters.seq_bounds_checks += 1;
                     "seq_bounds"
                 } else {
-                    self.counters.seq_to_safe_checks += 1;
                     "seq_to_safe"
                 };
-                let v = self.eval_ptr(ptr)?;
+                let v = as_ptr(v)?;
                 match v {
                     PtrVal::Null => fail(name, "null sequence pointer".into()),
                     PtrVal::IntVal(x) => fail(name, format!("integer {x:#x} used as pointer")),
@@ -763,9 +926,8 @@ impl<'p> Interp<'p> {
                     PtrVal::Fn(_) => fail(name, "function pointer used as data".into()),
                 }
             }
-            Check::WildBounds { ptr, access_size } => {
-                self.counters.wild_bounds_checks += 1;
-                let v = self.eval_ptr(ptr)?;
+            Check::WildBounds { access_size, .. } => {
+                let v = as_ptr(v)?;
                 match v {
                     PtrVal::Null => fail("wild_bounds", "null wild pointer".into()),
                     PtrVal::IntVal(x) => {
@@ -787,20 +949,18 @@ impl<'p> Interp<'p> {
                     _ => Ok(()),
                 }
             }
-            Check::WildTag { ptr } => {
+            Check::WildTag { .. } => {
                 // The tag bitmap is realized by the memory model's
                 // provenance map: a word read as a pointer without a tag
                 // yields a disguised integer, which every later use-check
                 // rejects ("integer used as pointer"). This instruction
                 // therefore only pays the tag-consultation cost here; the
                 // enforcement is intrinsic to the loads.
-                self.counters.wild_tag_checks += 1;
-                let _ = self.eval_ptr(ptr)?;
+                let _ = as_ptr(v)?;
                 Ok(())
             }
-            Check::Rtti { ptr, target_node } => {
-                self.counters.rtti_checks += 1;
-                let v = self.eval_ptr(ptr)?;
+            Check::Rtti { target_node, .. } => {
+                let v = as_ptr(v)?;
                 match v {
                     PtrVal::Null => Ok(()), // null downcasts are fine
                     PtrVal::Rtti { node, .. } => {
@@ -829,17 +989,13 @@ impl<'p> Interp<'p> {
                     ),
                 }
             }
-            Check::NoStackEscape { value } => {
-                self.counters.escape_checks += 1;
+            Check::NoStackEscape { .. } => {
                 // Evaluated for cost parity; enforcement happens at the
                 // store itself (which knows the destination).
-                let _ = self.eval(value)?;
                 Ok(())
             }
-            Check::IndexBound { index, len } => {
-                self.counters.index_checks += 1;
-                let v = self
-                    .eval(index)?
+            Check::IndexBound { len, .. } => {
+                let v = v
                     .as_int()
                     .ok_or_else(|| RtError::Unsupported("non-integer index".into()))?;
                 if v < 0 || v as u64 >= *len {
@@ -852,12 +1008,6 @@ impl<'p> Interp<'p> {
                 }
             }
         }
-    }
-
-    fn eval_ptr(&mut self, e: &Exp) -> Result<PtrVal, RtError> {
-        self.eval(e)?
-            .as_ptr()
-            .ok_or_else(|| RtError::Unsupported("expected pointer value".into()))
     }
 
     // ----------------------------------------------------------- evaluation
@@ -883,23 +1033,90 @@ impl<'p> Interp<'p> {
         // Poll the wall-clock deadline sparsely: an `Instant::now()` per
         // instruction would dominate the interpreter loop.
         if self.counters.instrs & 0x3FFF == 0 {
-            if let Some(t) = self.deadline_at {
-                self.counters.limit_checks += 1;
-                if Instant::now() > t {
-                    return Err(RtError::LimitExceeded {
-                        limit: "deadline",
-                        detail: format!(
-                            "wall-clock deadline of {:?} passed",
-                            self.limits.deadline.unwrap_or_default()
-                        ),
-                    });
+            self.poll_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// The batched equivalent of `cost` consecutive [`Interp::step`] calls,
+    /// used by the bytecode engine: identical counter effects (instruction
+    /// count, per-mode shadow work, fuel accounting at the exact step the
+    /// tree engine would have failed on) for a single bounds test.
+    pub(crate) fn add_instrs(&mut self, cost: u32) -> Result<(), RtError> {
+        // Fast path for the dispatch loop: within fuel, no 0x4000-boundary
+        // poll, and a mode with no per-step shadow work.
+        let old = self.counters.instrs;
+        let want = old.saturating_add(cost as u64);
+        if want <= self.limits.fuel
+            && (want >> 14) == (old >> 14)
+            && !matches!(self.mode, ExecMode::Valgrind | ExecMode::Purify)
+        {
+            self.counters.instrs = want;
+            return Ok(());
+        }
+        self.add_instrs_slow(cost)
+    }
+
+    #[cold]
+    fn add_instrs_slow(&mut self, cost: u32) -> Result<(), RtError> {
+        if cost == 0 {
+            return Ok(());
+        }
+        let old = self.counters.instrs;
+        let want = old.saturating_add(cost as u64);
+        let fuel = self.limits.fuel;
+        // How many of the `cost` steps the tree engine would have completed:
+        // each step first counts itself (with its mode work), then fails if
+        // the total exceeds the fuel — so the failing step is still counted.
+        let taken = if want > fuel {
+            fuel.saturating_add(1).saturating_sub(old).min(cost as u64)
+        } else {
+            cost as u64
+        };
+        self.counters.instrs = old + taken;
+        match self.mode {
+            ExecMode::Valgrind => {
+                self.counters.jit_instrs += taken;
+                for _ in 0..taken {
+                    self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1);
                 }
+            }
+            ExecMode::Purify => self.counters.bt_instrs += taken,
+            _ => {}
+        }
+        // The tree engine fails the step that pushes `instrs` past the fuel
+        // even though that step is counted — so a batch whose *last* step is
+        // the failing one must error too, not just one cut short.
+        if want > fuel {
+            return Err(RtError::OutOfFuel);
+        }
+        // Poll once if the batch crossed a 0x4000-instruction boundary. (If
+        // several steps of one batch straddle the boundary *and* run out of
+        // fuel, the tree engine may have squeezed in one extra armed-deadline
+        // poll; deadline runs are wall-clock-dependent either way.)
+        if (old + taken) >> 14 > old >> 14 {
+            self.poll_deadline()?;
+        }
+        Ok(())
+    }
+
+    fn poll_deadline(&mut self) -> Result<(), RtError> {
+        if let Some(t) = self.deadline_at {
+            self.counters.limit_checks += 1;
+            if Instant::now() > t {
+                return Err(RtError::LimitExceeded {
+                    limit: "deadline",
+                    detail: format!(
+                        "wall-clock deadline of {:?} passed",
+                        self.limits.deadline.unwrap_or_default()
+                    ),
+                });
             }
         }
         Ok(())
     }
 
-    fn eval(&mut self, e: &Exp) -> Result<Value, RtError> {
+    pub(crate) fn eval(&mut self, e: &Exp) -> Result<Value, RtError> {
         self.step()?;
         match e {
             Exp::Const(Const::Int(v, _), _) => Ok(Value::Int(*v)),
@@ -964,7 +1181,7 @@ impl<'p> Interp<'p> {
 
     /// Builds a pointer value for `&lval`/`startof(lval)` according to the
     /// target pointer type's inferred kind.
-    fn make_ptr(
+    pub(crate) fn make_ptr(
         &mut self,
         p: Pointer,
         ptr_ty: TypeId,
@@ -1017,7 +1234,7 @@ impl<'p> Interp<'p> {
         })
     }
 
-    fn apply_unop(&mut self, op: UnOp, v: Value, ty: TypeId) -> Result<Value, RtError> {
+    pub(crate) fn apply_unop(&mut self, op: UnOp, v: Value, ty: TypeId) -> Result<Value, RtError> {
         Ok(match (op, v) {
             (UnOp::Neg, Value::Int(x)) => Value::Int(self.trunc_to(ty, x.wrapping_neg())),
             (UnOp::Neg, Value::Float(x)) => Value::Float(-x),
@@ -1027,7 +1244,7 @@ impl<'p> Interp<'p> {
         })
     }
 
-    fn apply_binop(
+    pub(crate) fn apply_binop(
         &mut self,
         op: BinOp,
         a: Value,
@@ -1141,7 +1358,7 @@ impl<'p> Interp<'p> {
     /// Size of a type that must be sized to execute this operation; a
     /// genuinely unsized or incomplete type surfaces as a graceful
     /// [`RtError::Unsupported`] instead of a silently guessed size.
-    fn sized(&self, ty: TypeId, what: &str) -> Result<u64, RtError> {
+    pub(crate) fn sized(&self, ty: TypeId, what: &str) -> Result<u64, RtError> {
         self.prog
             .types
             .size_of(ty)
@@ -1151,7 +1368,7 @@ impl<'p> Interp<'p> {
     /// Element size for pointer arithmetic and extent math. `void *`
     /// arithmetic deliberately uses 1-byte elements (the GNU C semantics the
     /// corpus relies on); any other unsized element type is an error.
-    fn elem_size(&self, ty: TypeId) -> Result<u64, RtError> {
+    pub(crate) fn elem_size(&self, ty: TypeId) -> Result<u64, RtError> {
         if matches!(self.prog.types.get(ty), Type::Void) {
             return Ok(1);
         }
@@ -1168,7 +1385,7 @@ impl<'p> Interp<'p> {
 
     // ---------------------------------------------------------------- casts
 
-    fn eval_cast(&mut self, id: CastId, v: Value) -> Result<Value, RtError> {
+    pub(crate) fn eval_cast(&mut self, id: CastId, v: Value) -> Result<Value, RtError> {
         let site = &self.prog.casts[id.idx()];
         let types = &self.prog.types;
         let from_ptr = types.ptr_parts(site.from);
@@ -1438,7 +1655,7 @@ impl<'p> Interp<'p> {
         Ok(cur)
     }
 
-    fn load_place(&mut self, place: Place, ty: TypeId) -> Result<Value, RtError> {
+    pub(crate) fn load_place(&mut self, place: Place, ty: TypeId) -> Result<Value, RtError> {
         match place {
             Place::Reg(l) => match self.frame()?.regs[l.idx()] {
                 Some(v) => Ok(v),
@@ -1479,7 +1696,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn store_local(&mut self, l: LocalId, ty: TypeId, v: Value) -> Result<(), RtError> {
+    pub(crate) fn store_local(&mut self, l: LocalId, ty: TypeId, v: Value) -> Result<(), RtError> {
         match self.frame()?.slots[l.idx()] {
             LocalSlot::Reg => {
                 let v = self.normalize_scalar(ty, v);
@@ -1512,7 +1729,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn store_lval(&mut self, lv: &Lval, ty: TypeId, v: Value) -> Result<(), RtError> {
+    pub(crate) fn store_lval(&mut self, lv: &Lval, ty: TypeId, v: Value) -> Result<(), RtError> {
         match self.resolve_lval(lv)? {
             Place::Reg(l) => {
                 let v = self.normalize_scalar(ty, v);
@@ -1520,43 +1737,71 @@ impl<'p> Interp<'p> {
                 Ok(())
             }
             Place::Mem(p) => {
-                // Stack-escape enforcement (cured mode): storing a stack
-                // pointer into a heap or global allocation is rejected.
-                if self.mode.is_cured() {
-                    if let Value::Ptr(pv) = &v {
-                        if let Some(tp) = pv.thin() {
-                            let val_kind = self.mem.allocation(tp.alloc).kind;
-                            let dst_kind = self.mem.allocation(p.alloc).kind;
-                            if matches!(val_kind, AllocKind::Stack { .. })
-                                && !matches!(dst_kind, AllocKind::Stack { .. })
-                            {
-                                return Err(RtError::CheckFailed {
-                                    check: "no_stack_escape",
-                                    detail: "stack pointer stored into the heap".into(),
-                                });
-                            }
-                        }
-                    }
-                    // WILD stores through a deref update the area's tags.
-                    if lv.is_deref() {
-                        if let LvBase::Deref(e) = &lv.base {
-                            if let (Some((_, q)), ExecMode::Cured { sol, .. }) =
-                                (self.prog.types.ptr_parts(e.ty()), self.mode)
-                            {
-                                if sol.kind(q) == PtrKind::Wild {
-                                    self.counters.tag_updates += 1;
-                                }
-                            }
+                // WILD stores through a deref update the area's tags.
+                let mut wild_tag = false;
+                if self.mode.is_cured() && lv.is_deref() {
+                    if let LvBase::Deref(e) = &lv.base {
+                        if let (Some((_, q)), ExecMode::Cured { sol, .. }) =
+                            (self.prog.types.ptr_parts(e.ty()), self.mode)
+                        {
+                            wild_tag = sol.kind(q) == PtrKind::Wild;
                         }
                     }
                 }
-                self.store_typed(p, ty, v)
+                self.store_mem_checked(p, ty, v, wild_tag)
             }
         }
     }
 
+    /// Stores a scalar into memory with cured-mode stack-escape enforcement.
+    /// `wild_tag` marks destinations reached through a WILD dereference,
+    /// which pay the tag-bitmap upkeep. Shared by both engines.
+    pub(crate) fn store_mem_checked(
+        &mut self,
+        p: Pointer,
+        ty: TypeId,
+        v: Value,
+        wild_tag: bool,
+    ) -> Result<(), RtError> {
+        self.store_precheck(p, &v, wild_tag)?;
+        self.store_typed(p, ty, v)
+    }
+
+    /// Pre-store enforcement shared by both engines: stack-escape rejection
+    /// and WILD tag-bitmap upkeep (cured mode only).
+    #[inline]
+    pub(crate) fn store_precheck(
+        &mut self,
+        p: Pointer,
+        v: &Value,
+        wild_tag: bool,
+    ) -> Result<(), RtError> {
+        // Stack-escape enforcement (cured mode): storing a stack
+        // pointer into a heap or global allocation is rejected.
+        if self.mode.is_cured() {
+            if let Value::Ptr(pv) = v {
+                if let Some(tp) = pv.thin() {
+                    let val_kind = self.mem.allocation(tp.alloc).kind;
+                    let dst_kind = self.mem.allocation(p.alloc).kind;
+                    if matches!(val_kind, AllocKind::Stack { .. })
+                        && !matches!(dst_kind, AllocKind::Stack { .. })
+                    {
+                        return Err(RtError::CheckFailed {
+                            check: "no_stack_escape",
+                            detail: "stack pointer stored into the heap".into(),
+                        });
+                    }
+                }
+            }
+            if wild_tag {
+                self.counters.tag_updates += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// The zero value of a scalar type (zeroing-allocator semantics).
-    fn zero_value(&self, ty: TypeId) -> Value {
+    pub(crate) fn zero_value(&self, ty: TypeId) -> Value {
         match self.prog.types.get(ty) {
             Type::Float(_) => Value::Float(0.0),
             Type::Ptr(..) => Value::NULL,
@@ -1565,7 +1810,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Normalizes a scalar value to its declared type (integer truncation).
-    fn normalize_scalar(&self, ty: TypeId, v: Value) -> Value {
+    pub(crate) fn normalize_scalar(&self, ty: TypeId, v: Value) -> Value {
         match (self.prog.types.get(ty), v) {
             (Type::Int(k), Value::Int(x)) => Value::Int(trunc_int(x, *k, &self.prog.types.machine)),
             (Type::Int(k), Value::Float(f)) => {
@@ -1656,7 +1901,12 @@ impl<'p> Interp<'p> {
     }
 
     /// Per-access shadow work for the baselines.
-    fn access_hook(&mut self, p: Pointer, size: u64, write: bool) -> Result<(), RtError> {
+    pub(crate) fn access_hook(
+        &mut self,
+        p: Pointer,
+        size: u64,
+        write: bool,
+    ) -> Result<(), RtError> {
         match self.mode {
             ExecMode::Purify => {
                 // Two status bits per byte: addressable | initialized.
@@ -1694,7 +1944,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Jones–Kelly: pointer dereferences consult the object registry.
-    fn deref_hook(&mut self, pv: &PtrVal) -> Result<(), RtError> {
+    pub(crate) fn deref_hook(&mut self, pv: &PtrVal) -> Result<(), RtError> {
         if let ExecMode::JonesKelly = self.mode {
             if let Some(p) = pv.thin() {
                 let va = self.mem.va_of(&PtrVal::Safe(p));
@@ -1708,22 +1958,30 @@ impl<'p> Interp<'p> {
     }
 
     /// Jones–Kelly: pointer arithmetic also consults the registry.
-    fn ptr_arith_hook(&mut self, pv: &PtrVal) -> Result<(), RtError> {
+    pub(crate) fn ptr_arith_hook(&mut self, pv: &PtrVal) -> Result<(), RtError> {
         self.deref_hook(pv)
     }
 }
 
-fn no_frame() -> RtError {
+pub(crate) fn no_frame() -> RtError {
     RtError::Internal("no active frame".into())
 }
 
-fn find_label(stmts: &[Stmt], label: &str) -> Option<usize> {
-    stmts
-        .iter()
-        .position(|s| matches!(s, Stmt::Label(l) if l == label))
+/// The expression a check evaluates (its only operand).
+pub(crate) fn check_operand(c: &Check) -> &Exp {
+    match c {
+        Check::Null { ptr }
+        | Check::SeqBounds { ptr, .. }
+        | Check::SeqToSafe { ptr, .. }
+        | Check::WildBounds { ptr, .. }
+        | Check::WildTag { ptr }
+        | Check::Rtti { ptr, .. } => ptr,
+        Check::NoStackEscape { value } => value,
+        Check::IndexBound { index, .. } => index,
+    }
 }
 
-fn compare_i(op: BinOp, a: i128, b: i128) -> bool {
+pub(crate) fn compare_i(op: BinOp, a: i128, b: i128) -> bool {
     match op {
         BinOp::Lt => a < b,
         BinOp::Gt => a > b,
@@ -1735,7 +1993,7 @@ fn compare_i(op: BinOp, a: i128, b: i128) -> bool {
     }
 }
 
-fn compare_f(op: BinOp, a: f64, b: f64) -> bool {
+pub(crate) fn compare_f(op: BinOp, a: f64, b: f64) -> bool {
     match op {
         BinOp::Lt => a < b,
         BinOp::Gt => a > b,

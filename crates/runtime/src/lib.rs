@@ -30,6 +30,7 @@
 //! assert_eq!(exit, 7);
 //! ```
 
+pub mod bytecode;
 pub mod cost;
 pub mod err;
 pub mod external;
@@ -40,7 +41,7 @@ pub mod value;
 
 pub use cost::{CostModel, Counters};
 pub use err::RtError;
-pub use interp::{ExecMode, Interp};
+pub use interp::{Engine, ExecMode, Interp};
 pub use limits::Limits;
 pub use mem::{AllocId, AllocKind, Memory, Pointer};
 pub use value::{PtrVal, Value};

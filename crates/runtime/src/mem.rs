@@ -90,6 +90,11 @@ pub struct Memory {
     pub peak_live_bytes: u64,
     /// Sandbox cap on total live bytes (see [`crate::Limits`]).
     heap_limit: u64,
+    /// Live stack allocations as `(frame seq, id)`, in allocation order.
+    /// Frames die LIFO and only the innermost frame allocates, so a frame's
+    /// entries are always a suffix — `kill_frame` pops them off the tail
+    /// instead of scanning every allocation ever made.
+    stack_index: Vec<(u64, AllocId)>,
 }
 
 impl Default for Memory {
@@ -99,6 +104,7 @@ impl Default for Memory {
             live_bytes: 0,
             peak_live_bytes: 0,
             heap_limit: u64::MAX,
+            stack_index: Vec::new(),
         }
     }
 }
@@ -146,6 +152,9 @@ impl Memory {
             kind,
             live: true,
         });
+        if let AllocKind::Stack { frame } = kind {
+            self.stack_index.push((frame, id));
+        }
         self.live_bytes += size;
         self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
         Ok(id)
@@ -189,15 +198,25 @@ impl Memory {
 
     /// Kills every stack allocation belonging to `frame` (function return).
     pub fn kill_frame(&mut self, frame: u64) {
-        for a in &mut self.allocs {
-            if a.live && matches!(a.kind, AllocKind::Stack { frame: fr } if fr == frame) {
+        while let Some(&(fr, id)) = self.stack_index.last() {
+            if fr != frame {
+                break;
+            }
+            self.stack_index.pop();
+            let a = &mut self.allocs[id.0 as usize];
+            if a.live {
                 a.live = false;
                 self.live_bytes = self.live_bytes.saturating_sub(a.size());
             }
         }
+        debug_assert!(
+            self.stack_index.iter().all(|&(fr, _)| fr != frame),
+            "stack allocations for frame {frame} were not a tail suffix"
+        );
     }
 
     /// Validates an access of `size` bytes at `p`.
+    #[inline]
     fn check_access(&self, p: Pointer, size: u64) -> Result<&Allocation, RtError> {
         let a = self
             .allocs
@@ -220,6 +239,7 @@ impl Memory {
         Ok(a)
     }
 
+    #[inline]
     fn check_access_mut(&mut self, p: Pointer, size: u64) -> Result<&mut Allocation, RtError> {
         self.check_access(p, size)?;
         Ok(&mut self.allocs[p.alloc.0 as usize])
@@ -231,16 +251,17 @@ impl Memory {
     /// # Errors
     ///
     /// Bounds/liveness errors, or [`RtError::UninitRead`].
+    #[inline]
     pub fn read_int(&self, p: Pointer, size: u64, signed: bool) -> Result<i128, RtError> {
         let a = self.check_access(p, size)?;
         let off = p.offset as usize;
-        if !a.init[off..off + size as usize].iter().all(|&b| b) {
+        let n = size as usize;
+        if !a.init[off..off + n].iter().all(|&b| b) {
             return Err(RtError::UninitRead);
         }
-        let mut raw: u128 = 0;
-        for i in (0..size as usize).rev() {
-            raw = (raw << 8) | a.bytes[off + i] as u128;
-        }
+        let mut buf = [0u8; 16];
+        buf[..n].copy_from_slice(&a.bytes[off..off + n]);
+        let raw = u128::from_le_bytes(buf);
         let v = if signed {
             let shift = 128 - size * 8;
             ((raw << shift) as i128) >> shift
@@ -256,16 +277,17 @@ impl Memory {
     /// # Errors
     ///
     /// Bounds/liveness errors.
+    #[inline]
     pub fn write_int(&mut self, p: Pointer, size: u64, v: i128) -> Result<(), RtError> {
         let a = self.check_access_mut(p, size)?;
         let off = p.offset as usize;
-        let mut raw = v as u128;
-        for i in 0..size as usize {
-            a.bytes[off + i] = (raw & 0xff) as u8;
-            a.init[off + i] = true;
-            raw >>= 8;
+        let n = size as usize;
+        let raw = (v as u128).to_le_bytes();
+        a.bytes[off..off + n].copy_from_slice(&raw[..n]);
+        a.init[off..off + n].fill(true);
+        if !a.prov.is_empty() {
+            clear_prov_overlap(&mut a.prov, p.offset as u64, size);
         }
-        clear_prov_overlap(&mut a.prov, p.offset as u64, size);
         Ok(())
     }
 

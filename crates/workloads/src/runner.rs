@@ -4,7 +4,7 @@
 use crate::Workload;
 use ccured::{CureError, Cured, Curer};
 use ccured_infer::InferOptions;
-use ccured_rt::{CostModel, Counters, ExecMode, Interp, RtError};
+use ccured_rt::{CostModel, Counters, Engine, ExecMode, Interp, RtError};
 
 /// The observable result of one execution.
 #[derive(Debug, Clone)]
@@ -35,8 +35,14 @@ pub struct CuredRun {
     pub stats: RunStats,
 }
 
-fn execute(prog: &ccured_cil::Program, mode: ExecMode<'_>, input: &[u8]) -> RunStats {
+fn execute(
+    prog: &ccured_cil::Program,
+    mode: ExecMode<'_>,
+    engine: Engine,
+    input: &[u8],
+) -> RunStats {
     let mut interp = Interp::new(prog, mode);
+    interp.set_engine(engine);
     interp.set_input(input.to_vec());
     let r = interp.run();
     let (exit, error) = match r {
@@ -72,8 +78,17 @@ fn lower(w: &Workload) -> Result<ccured_cil::Program, CureError> {
 ///
 /// Frontend errors only; run-time failures are reported in [`RunStats`].
 pub fn run_original(w: &Workload) -> Result<RunStats, CureError> {
+    run_original_on(w, Engine::default())
+}
+
+/// [`run_original`] on an explicit execution engine.
+///
+/// # Errors
+///
+/// Frontend errors only.
+pub fn run_original_on(w: &Workload, engine: Engine) -> Result<RunStats, CureError> {
     let prog = lower(w)?;
-    Ok(execute(&prog, ExecMode::Original, &w.input))
+    Ok(execute(&prog, ExecMode::Original, engine, &w.input))
 }
 
 /// Runs under a baseline instrumentation mode (Purify/Valgrind/JonesKelly).
@@ -82,8 +97,21 @@ pub fn run_original(w: &Workload) -> Result<RunStats, CureError> {
 ///
 /// Frontend errors only.
 pub fn run_baseline(w: &Workload, mode: ExecMode<'static>) -> Result<RunStats, CureError> {
+    run_baseline_on(w, mode, Engine::default())
+}
+
+/// [`run_baseline`] on an explicit execution engine.
+///
+/// # Errors
+///
+/// Frontend errors only.
+pub fn run_baseline_on(
+    w: &Workload,
+    mode: ExecMode<'static>,
+    engine: Engine,
+) -> Result<RunStats, CureError> {
     let prog = lower(w)?;
-    Ok(execute(&prog, mode, &w.input))
+    Ok(execute(&prog, mode, engine, &w.input))
 }
 
 /// Cures the workload and runs it (redundant-check elimination on).
@@ -117,7 +145,12 @@ pub fn run_cured_opt(
         curer.with_stdlib_wrappers();
     }
     let cured = curer.cure_source(&w.source)?;
-    let stats = execute(&cured.program, ExecMode::cured(&cured), &w.input);
+    let stats = execute(
+        &cured.program,
+        ExecMode::cured(&cured),
+        cured.engine,
+        &w.input,
+    );
     Ok(CuredRun { cured, stats })
 }
 

@@ -1,0 +1,342 @@
+//! Differential testing of the bytecode VM against the tree-walking
+//! reference interpreter.
+//!
+//! The tree engine (`--engine tree`) is the reference semantics; the VM
+//! must be *observably identical* on every axis the harnesses and the cost
+//! model can see: exit code or error, every byte of program output, and
+//! every event counter (instruction steps, loads/stores, per-kind check
+//! counts, fuel accounting). The corpus is the full golden workload suite
+//! plus 120 seeded fault-injection mutants, so both the happy paths and
+//! the check-failure/error paths are pinned.
+
+use ccured::{isolated, Curer};
+use ccured_cil::Program;
+use ccured_faultinject::{mutate, FaultClass};
+use ccured_rt::{Counters, Engine, ExecMode, Interp, Limits, RtError};
+use ccured_workloads::prng::SplitMix64;
+use ccured_workloads::{batch_corpus, micro, suite_corpus, Workload};
+
+/// Everything observable about one run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    result: Result<i64, RtError>,
+    output: Vec<u8>,
+    counters: Counters,
+}
+
+fn observe(
+    prog: &Program,
+    mode: ExecMode<'_>,
+    engine: Engine,
+    input: &[u8],
+    limits: Limits,
+    zero_init: bool,
+) -> Observed {
+    let mut interp = Interp::new(prog, mode);
+    interp.set_engine(engine);
+    interp.set_limits(limits);
+    interp.set_zero_init(zero_init);
+    interp.set_input(input.to_vec());
+    let result = interp.run();
+    Observed {
+        result,
+        output: interp.output().to_vec(),
+        counters: interp.counters,
+    }
+}
+
+/// Runs both engines and asserts byte-for-byte agreement.
+fn assert_engines_agree(
+    what: &str,
+    prog: &Program,
+    mode: ExecMode<'_>,
+    input: &[u8],
+    limits: Limits,
+    zero_init: bool,
+) -> Observed {
+    let tree = observe(prog, mode, Engine::Tree, input, limits, zero_init);
+    let vm = observe(prog, mode, Engine::Vm, input, limits, zero_init);
+    assert_eq!(
+        tree.result, vm.result,
+        "{what}: engines disagree on the result"
+    );
+    assert_eq!(
+        tree.output, vm.output,
+        "{what}: engines disagree on program output"
+    );
+    assert_eq!(
+        tree.counters, vm.counters,
+        "{what}: engines disagree on counters"
+    );
+    vm
+}
+
+fn lower(w: &Workload) -> Program {
+    let full = if w.with_wrappers {
+        format!(
+            "{}\n{}",
+            ccured::wrappers::stdlib_wrapper_source(),
+            w.source
+        )
+    } else {
+        w.source.clone()
+    };
+    let tu = ccured_ast::parse_translation_unit(&full).expect("parse");
+    ccured_cil::lower_translation_unit(&tu).expect("lower")
+}
+
+fn cure(w: &Workload) -> ccured::Cured {
+    let mut curer = Curer::new();
+    if w.with_wrappers {
+        curer.with_stdlib_wrappers();
+    }
+    curer.cure_source(&w.source).expect("cure")
+}
+
+fn golden_workloads() -> Vec<Workload> {
+    let mut ws = suite_corpus();
+    for w in batch_corpus() {
+        if !ws.iter().any(|x| x.name == w.name) {
+            ws.push(w);
+        }
+    }
+    ws
+}
+
+/// The full golden corpus, cured, under both engines: identical exit codes,
+/// output and counters — and the expected exit code actually reached.
+#[test]
+fn golden_corpus_cured_is_identical_across_engines() {
+    for w in golden_workloads() {
+        let cured = cure(&w);
+        let got = assert_engines_agree(
+            &w.name,
+            &cured.program,
+            ExecMode::cured(&cured),
+            &w.input,
+            Limits::default(),
+            false,
+        );
+        assert_eq!(
+            got.result.as_ref().copied().expect("runs clean"),
+            w.expect_exit,
+            "{}: unexpected exit",
+            w.name
+        );
+        assert!(got.counters.total_checks() > 0, "{}: no checks ran", w.name);
+    }
+}
+
+/// Original (uncured) semantics under both engines — the engine switch is
+/// orthogonal to the instrumentation mode.
+#[test]
+fn golden_corpus_original_is_identical_across_engines() {
+    for w in golden_workloads() {
+        let prog = lower(&w);
+        assert_engines_agree(
+            &w.name,
+            &prog,
+            ExecMode::Original,
+            &w.input,
+            Limits::default(),
+            false,
+        );
+    }
+}
+
+/// The baseline instrumentation modes carry per-step shadow work (including
+/// the Valgrind JIT-dispatch PRNG), which the VM batches; the counters must
+/// still match exactly.
+#[test]
+fn baseline_modes_are_identical_across_engines() {
+    let ws = [
+        micro::safe_deref(60),
+        micro::seq_index(24),
+        micro::wild_loop(8),
+    ];
+    for w in &ws {
+        let prog = lower(w);
+        for (label, mode) in [
+            ("purify", ExecMode::Purify),
+            ("valgrind", ExecMode::Valgrind),
+            ("joneskelly", ExecMode::JonesKelly),
+        ] {
+            assert_engines_agree(
+                &format!("{} ({label})", w.name),
+                &prog,
+                mode,
+                &w.input,
+                Limits::default(),
+                false,
+            );
+        }
+    }
+}
+
+/// Fuel exhaustion must hit at the exact same step on both engines, for
+/// fuel values that cut execution off at arbitrary points — including
+/// mid-statement, mid-expression and inside check operands.
+#[test]
+fn fuel_exhaustion_is_step_exact_across_engines() {
+    let w = micro::seq_index(16);
+    let cured = cure(&w);
+    for fuel in [1u64, 7, 50, 333, 1000, 4096, 20_000] {
+        let limits = Limits {
+            fuel,
+            ..Limits::default()
+        };
+        let got = assert_engines_agree(
+            &format!("{} fuel={fuel}", w.name),
+            &cured.program,
+            ExecMode::cured(&cured),
+            &w.input,
+            limits,
+            false,
+        );
+        if got.result == Err(RtError::OutOfFuel) {
+            // The failing step is counted (fuel + 1) — unless it fell inside
+            // a check operand, whose instruction snapshot is restored on the
+            // way out (then the count sits at or below the fuel line).
+            assert!(
+                got.counters.instrs <= fuel + 1,
+                "fuel={fuel}: counted past the failing step ({})",
+                got.counters.instrs
+            );
+        }
+    }
+}
+
+/// 120 seeded fault-injection mutants (same seeding discipline as the
+/// crash-test harness), each cured and run under both engines: identical
+/// results, outputs and counters — hence identical Caught/Escaped/Masked
+/// verdicts.
+#[test]
+fn faultinject_mutants_are_identical_across_engines() {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    const MUTANTS: usize = 120;
+    let ws = [
+        micro::seq_index(8),
+        micro::safe_deref(6),
+        micro::ptr_store(4),
+        micro::rtti_dispatch(6),
+    ];
+    let bases: Vec<(String, Vec<u8>, Program)> = ws
+        .iter()
+        .map(|w| (w.name.clone(), w.input.clone(), lower(w)))
+        .collect();
+    let limits = Limits {
+        fuel: 2_000_000,
+        max_stack_depth: 96,
+        max_heap_bytes: 32 << 20,
+        deadline: None,
+    };
+    let ncls = FaultClass::ALL.len();
+    let mut compared = 0usize;
+    let mut caught = 0usize;
+    for id in 0..MUTANTS {
+        let mut rng = SplitMix64::new(0xD1F ^ (id as u64).wrapping_mul(GOLDEN));
+        let (name, input, base) = &bases[(id / ncls) % bases.len()];
+        let pref = id % ncls;
+        let mut seeded = None;
+        for k in 0..ncls {
+            let class = FaultClass::ALL[(pref + k) % ncls];
+            let mut prog = base.clone();
+            if let Some(m) = mutate(&mut prog, class, &mut rng) {
+                seeded = Some((m, prog));
+                break;
+            }
+        }
+        let Some((mutation, prog)) = seeded else {
+            continue;
+        };
+        let Ok(cured) = isolated(|| Curer::new().cure_program(prog)) else {
+            continue; // a mutant the curer rejects has nothing to execute
+        };
+        let what = format!("mutant #{id} ({name}, {})", mutation.class);
+        let got = assert_engines_agree(
+            &what,
+            &cured.program,
+            ExecMode::cured(&cured),
+            input,
+            limits,
+            true,
+        );
+        compared += 1;
+        match &got.result {
+            Err(RtError::CheckFailed { .. }) => caught += 1,
+            Err(e) => assert!(
+                !e.is_memory_error(),
+                "{what}: fault escaped as a raw memory error on BOTH engines: {e}"
+            ),
+            Ok(_) => {}
+        }
+    }
+    assert!(
+        compared >= 100,
+        "need at least 100 executable mutants, got {compared}"
+    );
+    assert!(caught > 0, "no mutant was caught by a check");
+}
+
+/// Deep recursion exercises the VM's explicit frame stack (the tree engine
+/// recurses on the host stack); both must agree on counters and on where
+/// the stack limit trips.
+#[test]
+fn recursion_and_stack_limit_are_identical_across_engines() {
+    let src = "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+               int main(void) { return fib(17); }";
+    let w = Workload::new("fib", src).without_wrappers();
+    let cured = cure(&w);
+    let got = assert_engines_agree(
+        "fib",
+        &cured.program,
+        ExecMode::cured(&cured),
+        &[],
+        Limits::default(),
+        false,
+    );
+    assert_eq!(got.result.expect("fib runs"), 1597);
+
+    let deep = "int down(int n) { if (n == 0) return 0; return down(n - 1); }\n\
+                int main(void) { return down(100000); }";
+    let w = Workload::new("deep", deep).without_wrappers();
+    let cured = cure(&w);
+    let got = assert_engines_agree(
+        "deep",
+        &cured.program,
+        ExecMode::cured(&cured),
+        &[],
+        Limits::default(),
+        false,
+    );
+    assert!(
+        matches!(&got.result, Err(RtError::LimitExceeded { limit, .. }) if *limit == "stack_limit"),
+        "got {:?}",
+        got.result
+    );
+}
+
+/// Goto corner cases: backward/forward jumps, jumps out of nested blocks,
+/// and a goto whose label is not visible from the jump site (an
+/// `Unsupported` error in the reference engine).
+#[test]
+fn goto_semantics_are_identical_across_engines() {
+    let visible = "int main(void) {\n\
+                     int i = 0; int s = 0;\n\
+                     again: i++;\n\
+                     { if (i < 5) goto again; }\n\
+                     while (1) { s += i; if (s > 20) goto out; }\n\
+                     out: return s;\n\
+                   }";
+    let w = Workload::new("goto_ok", visible).without_wrappers();
+    let prog = lower(&w);
+    let got = assert_engines_agree(
+        "goto_ok",
+        &prog,
+        ExecMode::Original,
+        &[],
+        Limits::default(),
+        false,
+    );
+    assert_eq!(got.result.expect("runs"), 25);
+}
