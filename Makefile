@@ -1,6 +1,6 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test lint tables bench bench-interp bless doc examples smoke stress clean
+.PHONY: all test lint tables bench bench-interp bench-profile bless doc examples smoke profile-smoke stress clean
 
 all: test
 
@@ -21,6 +21,15 @@ smoke:
 	cargo run -q -p ccured-cli --bin ccured -- crash-test examples/c/quickstart.c --mutants 25
 	cargo run -q -p ccured-cli --bin ccured -- batch examples/c --jobs 4
 
+# Hot-site profiling on two examples, under both engines (the rankings
+# must be identical; the tree run is the cross-check).
+profile-smoke:
+	cargo run -q -p ccured-cli --bin ccured -- profile examples/c/quickstart.c --engine vm
+	cargo run -q -p ccured-cli --bin ccured -- profile examples/c/quickstart.c --engine tree
+	cargo run -q -p ccured-cli --bin ccured -- profile examples/c/seq_walk.c --top 5 --engine vm
+	cargo run -q -p ccured-cli --bin ccured -- profile examples/c/seq_walk.c --top 5 --engine tree
+	cargo run -q -p ccured-cli --bin ccured -- batch examples/c --jobs 4 --no-cache --profile
+
 # Regenerate the pretty-printer golden files after an intentional change
 # (review the diff before committing; see tests/tests/golden.rs).
 bless:
@@ -36,6 +45,10 @@ bench:
 # E13: tree-vs-VM throughput table; writes BENCH_interp.json.
 bench-interp:
 	cargo run --release -p ccured-bench --bin tables -- fig-interp
+
+# E14: hot-site check profiles; writes BENCH_profile.json.
+bench-profile:
+	cargo run --release -p ccured-bench --bin tables -- fig-profile
 
 doc:
 	cargo doc --workspace --no-deps

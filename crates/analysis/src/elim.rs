@@ -97,6 +97,15 @@ pub struct ElisionResult {
     pub stats: ElisionStats,
     /// Checks that provably always fail (kept in the program; reported).
     pub failures: Vec<StaticFailure>,
+    /// Deleted instructions per check site, keyed by the raw
+    /// [`SiteId`](ccured_cil::ir::SiteId) index. Sites the instrumentation
+    /// did not number ([`SiteId::NONE`](ccured_cil::ir::SiteId::NONE)) are
+    /// not recorded.
+    pub site_elides: BTreeMap<u32, u64>,
+    /// Why the first surviving check of each site was kept, keyed like
+    /// [`ElisionResult::site_elides`]. Feeds the profiler's "hot sites the
+    /// optimizer could not elide" report.
+    pub site_keeps: BTreeMap<u32, String>,
 }
 
 /// A trackable place: a whole scalar variable whose address is never taken.
@@ -353,7 +362,7 @@ impl Analysis for ElimAnalysis<'_> {
 
     fn transfer(&mut self, _id: InstrId, instr: &Instr, fact: &mut Facts) {
         match instr {
-            Instr::Check(c, _) => self.gen_check(c, fact),
+            Instr::Check(c, _, _) => self.gen_check(c, fact),
             Instr::Set(lv, e, _) => self.set_transfer(lv, e, fact),
             Instr::Call(ret, _, _, _) => self.call_transfer(ret, fact),
         }
@@ -369,6 +378,12 @@ pub fn eliminate_checks(prog: &mut Program) -> ElisionResult {
         let plan = plan_function(prog, fi, &tracked_globals);
         result.stats.add(&plan.stats);
         result.failures.extend(plan.failures);
+        for (site, n) in plan.site_elides {
+            *result.site_elides.entry(site).or_insert(0) += n;
+        }
+        for (site, why) in plan.site_keeps {
+            result.site_keeps.entry(site).or_insert(why);
+        }
         let body = &mut prog.functions[fi].body;
         let delete = plan.delete;
         for_each_instr_mut(body, &mut |id, _| !delete.contains(&id));
@@ -380,6 +395,8 @@ struct Plan {
     delete: HashSet<InstrId>,
     stats: ElisionStats,
     failures: Vec<StaticFailure>,
+    site_elides: BTreeMap<u32, u64>,
+    site_keeps: BTreeMap<u32, String>,
 }
 
 fn plan_function(prog: &Program, fi: usize, tracked_globals: &HashSet<u32>) -> Plan {
@@ -396,6 +413,8 @@ fn plan_function(prog: &Program, fi: usize, tracked_globals: &HashSet<u32>) -> P
         delete: HashSet::new(),
         stats: ElisionStats::default(),
         failures: Vec::new(),
+        site_elides: BTreeMap::new(),
+        site_keeps: BTreeMap::new(),
     };
     for (bi, block) in cfg.blocks.iter().enumerate() {
         // Unreachable blocks keep their checks: we have no facts there and
@@ -404,19 +423,35 @@ fn plan_function(prog: &Program, fi: usize, tracked_globals: &HashSet<u32>) -> P
             continue;
         };
         for (id, instr) in &block.instrs {
-            if let Instr::Check(c, span) = instr {
+            if let Instr::Check(c, span, site) = instr {
                 match decide(&analysis, func, c, &fact) {
-                    Decision::Keep => {}
+                    Decision::Keep => {
+                        if let Some(s) = site.index() {
+                            plan.site_keeps
+                                .entry(s as u32)
+                                .or_insert_with(|| keep_reason(&analysis, c, &fact));
+                        }
+                    }
                     Decision::Elide => {
                         plan.delete.insert(*id);
                         plan.stats.bump(c);
+                        if let Some(s) = site.index() {
+                            *plan.site_elides.entry(s as u32).or_insert(0) += 1;
+                        }
                     }
-                    Decision::AlwaysFails(message) => plan.failures.push(StaticFailure {
-                        func: func.name.clone(),
-                        check: c.name(),
-                        message,
-                        span: *span,
-                    }),
+                    Decision::AlwaysFails(message) => {
+                        if let Some(s) = site.index() {
+                            plan.site_keeps
+                                .entry(s as u32)
+                                .or_insert_with(|| format!("provably always fails: {message}"));
+                        }
+                        plan.failures.push(StaticFailure {
+                            func: func.name.clone(),
+                            check: c.name(),
+                            message,
+                            span: *span,
+                        });
+                    }
                 }
             }
             analysis.transfer(*id, instr, &mut fact);
@@ -488,6 +523,52 @@ fn decide(a: &ElimAnalysis<'_>, func: &Function, c: &Check, fact: &Facts) -> Dec
             Decision::Keep
         }
         Check::NoStackEscape { .. } => Decision::Keep,
+    }
+}
+
+/// Explains why [`decide`] returned [`Decision::Keep`] for `c` under `fact`
+/// — the profiler's "hot site the optimizer could not elide" annotation.
+/// Mirrors the `Keep` paths of [`decide`] exactly.
+fn keep_reason(a: &ElimAnalysis<'_>, c: &Check, fact: &Facts) -> String {
+    const UNTRACKED: &str =
+        "pointer is not a trackable scalar (address taken, aggregate field, or loaded through memory)";
+    match c {
+        Check::Null { ptr } => match a.stripped_place(ptr) {
+            None => UNTRACKED.into(),
+            Some(_) => "pointer not proven non-null on every incoming path".into(),
+        },
+        Check::SeqBounds { ptr, access_size } | Check::SeqToSafe { ptr, access_size } => {
+            match a.direct_place(ptr) {
+                None => UNTRACKED.into(),
+                Some(p) => match fact.bounds.get(&p) {
+                    Some(v) => format!(
+                        "an earlier bounds check only verified a {v}-byte access; this one needs {access_size} bytes"
+                    ),
+                    None => "no dominating bounds check on every incoming path".into(),
+                },
+            }
+        }
+        Check::WildBounds { ptr, access_size } => match a.direct_place(ptr) {
+            None => UNTRACKED.into(),
+            Some(p) => match fact.wild_bounds.get(&p) {
+                Some(v) => format!(
+                    "an earlier wild-bounds check only verified a {v}-byte access; this one needs {access_size} bytes"
+                ),
+                None => "no dominating wild-bounds check on every incoming path".into(),
+            },
+        },
+        Check::WildTag { ptr } => match a.direct_place(ptr) {
+            None => UNTRACKED.into(),
+            Some(_) => "no dominating tag check on every incoming path (memory writes invalidate tag facts)".into(),
+        },
+        Check::Rtti { ptr, .. } => match a.stripped_place(ptr) {
+            None => UNTRACKED.into(),
+            Some(_) => "no dominating downcast to the same target on every incoming path".into(),
+        },
+        Check::IndexBound { .. } => "index is not a compile-time constant".into(),
+        Check::NoStackEscape { .. } => {
+            "stack-escape checks depend on the run-time value stored and are never elided".into()
+        }
     }
 }
 
@@ -566,7 +647,7 @@ fn visit_stmts(body: &[Stmt], f: &mut impl FnMut(&Exp)) {
                                 visit_exp(a, f);
                             }
                         }
-                        Instr::Check(c, _) => match c {
+                        Instr::Check(c, _, _) => match c {
                             Check::Null { ptr }
                             | Check::SeqBounds { ptr, .. }
                             | Check::SeqToSafe { ptr, .. }
@@ -661,6 +742,7 @@ mod tests {
                 ptr: load(prog, name),
             },
             Span::DUMMY,
+            SiteId::NONE,
         )
     }
 
@@ -787,6 +869,7 @@ mod tests {
                     access_size: size,
                 },
                 Span::DUMMY,
+                SiteId::NONE,
             )
         };
         let c8 = mk(&prog, 8);
@@ -832,6 +915,7 @@ mod tests {
                 len: 4,
             },
             Span::DUMMY,
+            SiteId::NONE,
         );
         prog.functions[0].body.insert(0, Stmt::Instr(vec![c]));
         let r = eliminate_checks(&mut prog);
@@ -858,7 +942,7 @@ mod tests {
         let gid = prog.find_global("gp").unwrap();
         let gty = prog.globals[gid.idx()].ty;
         let gload = Exp::Load(Box::new(Lval::global(gid)), gty);
-        let chk = |e: &Exp| Instr::Check(Check::Null { ptr: e.clone() }, Span::DUMMY);
+        let chk = |e: &Exp| Instr::Check(Check::Null { ptr: e.clone() }, Span::DUMMY, SiteId::NONE);
         let call = prog.functions[fidx]
             .body
             .iter()
@@ -892,6 +976,7 @@ mod tests {
                 ptr: Exp::AddrOf(Box::new(Lval::local(LocalId(xi as u32))), ptr_ty),
             },
             Span::DUMMY,
+            SiteId::NONE,
         );
         prog.functions[0].body.insert(0, Stmt::Instr(vec![c]));
         let r = eliminate_checks(&mut prog);

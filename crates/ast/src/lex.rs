@@ -581,7 +581,9 @@ impl<'a> Lexer<'a> {
                         b'0'..=b'9' => d - b'0',
                         _ => (d | 0x20) - b'a' + 10,
                     };
-                    v = v.wrapping_mul(16).wrapping_add(d as u32);
+                    // Saturate instead of wrapping so a long escape still
+                    // trips the range diagnostic below.
+                    v = v.saturating_mul(16).saturating_add(d as u32);
                 }
                 if !any {
                     return Err(Diag::error(
@@ -589,7 +591,10 @@ impl<'a> Lexer<'a> {
                         "missing digits in hex escape",
                     ));
                 }
-                (v & 0xff) as u8
+                if v > 255 {
+                    return Err(Diag::error(self.span_from(lo), "hex escape out of range"));
+                }
+                v as u8
             }
             b'\\' => b'\\',
             b'\'' => b'\'',
@@ -1010,6 +1015,26 @@ mod tests {
     fn rejects_stray_characters() {
         assert!(lex("int @ x;").is_err());
         assert!(lex("$foo").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_escapes() {
+        // Octal above \377 (511 here) must not silently truncate to a byte.
+        let d = lex(r"'\777'").unwrap_err();
+        assert!(d.msg.contains("octal escape out of range"), "{d:?}");
+        assert!(d.span.hi > d.span.lo, "diagnostic carries a span");
+        // Hex escapes take arbitrarily many digits in C; anything above
+        // 0xff must error rather than wrap.
+        let d = lex(r#""\x100""#).unwrap_err();
+        assert!(d.msg.contains("hex escape out of range"), "{d:?}");
+        assert!(d.span.hi > d.span.lo);
+        // A huge escape must not wrap u32 back into range.
+        let d = lex(r#""\x100000041""#).unwrap_err();
+        assert!(d.msg.contains("hex escape out of range"), "{d:?}");
+        // The in-range boundary still lexes.
+        let ks = kinds(r#""\xff" '\377'"#);
+        assert!(matches!(&ks[0], TokenKind::StrLit(b) if b == b"\xff"));
+        assert!(matches!(&ks[1], TokenKind::CharLit(255)));
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct BatchConfig {
     /// `ccured_rt::Limits`). Runs of cured programs launched from a batch
     /// should reuse these limits.
     pub limits: Limits,
+    /// Execute every cured unit with per-site check profiling and attach
+    /// the ranked hot-site rows to its [`UnitOutcome`]. Observation-only:
+    /// verdicts, cured text, digests and cache behaviour are unchanged (a
+    /// cache hit re-cures the unit just to have a program to execute).
+    pub profile: bool,
 }
 
 impl BatchConfig {
@@ -54,6 +59,7 @@ impl BatchConfig {
             cache_dir: PathBuf::from(".ccured-cache"),
             use_cache: true,
             limits: Limits::default(),
+            profile: false,
         }
     }
 
@@ -154,13 +160,14 @@ pub fn run_batch(cfg: &BatchConfig, units: &[PathBuf]) -> io::Result<BatchReport
             let cache = cache.as_ref();
             let curer = &cfg.curer;
             let config_fp = config_fp.as_str();
+            let profile = cfg.profile.then_some(cfg.limits);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ccured-batch-{w}"))
                     .stack_size(stack_bytes)
                     .spawn_scoped(scope, move || {
                         while let Some(i) = next_unit(queues, w) {
-                            let out = cure_unit(&units[i], curer, config_fp, cache);
+                            let out = cure_unit(&units[i], curer, config_fp, cache, profile);
                             *slots[i].lock().unwrap() = Some(out);
                         }
                     })?,
@@ -211,7 +218,16 @@ fn next_unit(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
 }
 
 /// Cures one unit: cache probe, then an isolated live cure on a miss.
-fn cure_unit(path: &Path, curer: &Curer, config_fp: &str, cache: Option<&Cache>) -> UnitOutcome {
+/// `profile` carries the execution limits when the batch profiles check
+/// sites; it forces a live cure even on a hit (the cache stores cured
+/// *text*, but execution needs the in-memory program and site table).
+fn cure_unit(
+    path: &Path,
+    curer: &Curer,
+    config_fp: &str,
+    cache: Option<&Cache>,
+    profile: Option<Limits>,
+) -> UnitOutcome {
     let started = Instant::now();
     let display = path.display().to_string();
     let mut out = UnitOutcome {
@@ -223,6 +239,7 @@ fn cure_unit(path: &Path, curer: &Curer, config_fp: &str, cache: Option<&Cache>)
         report_digest: 0,
         cure_timings: StageTimings::default(),
         elapsed: std::time::Duration::ZERO,
+        site_profile: Vec::new(),
     };
 
     let source = match fs::read_to_string(path) {
@@ -242,36 +259,65 @@ fn cure_unit(path: &Path, curer: &Curer, config_fp: &str, cache: Option<&Cache>)
             out.report = Some(hit.report);
             out.report_digest = hit.report_digest;
             out.cure_timings = StageTimings::from_ns(hit.timings_ns);
-            out.elapsed = started.elapsed();
-            return out;
+            if profile.is_none() {
+                out.elapsed = started.elapsed();
+                return out;
+            }
         }
     }
 
     match isolated(|| curer.cure_source(&source)) {
         Ok(cured) => {
-            out.cured_text = ccured_cil::pretty::dump_program(&cured.program);
-            out.report_digest = fnv1a(cured.report.canonical().as_bytes());
-            out.report = Some(UnitReport::from_cure(&cured.report));
-            out.cure_timings = cured.timings;
-            if let Some(cache) = cache {
-                // A failed write only costs future hit-rate, not this run.
-                let _ = cache.store(
-                    key,
-                    &CachedUnit {
-                        cured_text: out.cured_text.clone(),
-                        report: out.report.unwrap(),
-                        report_digest: out.report_digest,
-                        timings_ns: out.cure_timings.as_ns(),
-                    },
-                );
+            if !out.from_cache {
+                out.cured_text = ccured_cil::pretty::dump_program(&cured.program);
+                out.report_digest = fnv1a(cured.report.canonical().as_bytes());
+                out.report = Some(UnitReport::from_cure(&cured.report));
+                out.cure_timings = cured.timings;
+                if let Some(cache) = cache {
+                    // A failed write only costs future hit-rate, not this run.
+                    let _ = cache.store(
+                        key,
+                        &CachedUnit {
+                            cured_text: out.cured_text.clone(),
+                            report: out.report.unwrap(),
+                            report_digest: out.report_digest,
+                            timings_ns: out.cure_timings.as_ns(),
+                        },
+                    );
+                }
+            }
+            if let Some(limits) = profile {
+                out.site_profile =
+                    isolated(|| Ok(profile_unit(&cured, limits))).unwrap_or_default();
             }
         }
-        Err(CureError::Frontend(d)) => out.verdict = Verdict::Frontend(d.to_string()),
-        Err(CureError::Link(issues)) => out.verdict = Verdict::Link(issues.len()),
-        Err(CureError::Internal(m)) => out.verdict = Verdict::Internal(m),
+        Err(e) if !out.from_cache => {
+            out.verdict = match e {
+                CureError::Frontend(d) => Verdict::Frontend(d.to_string()),
+                CureError::Link(issues) => Verdict::Link(issues.len()),
+                CureError::Internal(m) => Verdict::Internal(m),
+            }
+        }
+        // The curer is deterministic, so a re-cure of a cached unit cannot
+        // fail; if it somehow does, keep the cached verdict and skip the
+        // profile rather than contradicting the cache.
+        Err(_) => {}
     }
     out.elapsed = started.elapsed();
     out
+}
+
+/// Executes one cured unit with per-site profiling and returns the ranked
+/// hot-site rows. Observation-only: the run's outcome (check failure, fuel
+/// exhaustion, even a missing `main`) never alters the unit's verdict — the
+/// profile simply records whatever executed before the run stopped.
+fn profile_unit(cured: &ccured::Cured, limits: Limits) -> Vec<ccured_rt::SiteReport> {
+    let mut interp = ccured_rt::Interp::new(&cured.program, ccured_rt::ExecMode::cured(cured));
+    interp.set_limits(limits);
+    interp.enable_profile(cured.sites.len());
+    let _ = interp.run();
+    let profile = interp.profile().cloned().unwrap_or_default();
+    ccured_rt::profile::rank_sites(&cured.sites, &profile, &ccured_rt::CostModel::default())
 }
 
 #[cfg(test)]
@@ -367,6 +413,56 @@ mod tests {
         ablated.curer.optimize(false);
         let rekeyed = run_path(&ablated, &d).unwrap();
         assert_eq!(rekeyed.cache.hits, 0, "config is part of the key");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn profiled_batch_attaches_site_rows_even_on_cache_hits() {
+        let d = scratch("profile");
+        write(
+            &d,
+            "hot.c",
+            "int sum(int *a, int n) { int s; int i; s = 0; \
+             for (i = 0; i < n; i++) s += a[i]; return s; }\n\
+             int main(void) { int v[8]; int i; \
+             for (i = 0; i < 8; i++) v[i] = i; return sum(v, 8); }",
+        );
+        write(&d, "cold.c", "int main(void) { return 0; }");
+        let mut cfg = BatchConfig::new(Curer::new());
+        cfg.cache_dir = d.join("cache");
+        cfg.jobs = 1;
+        cfg.profile = true;
+        let cold = run_path(&cfg, &d).unwrap();
+        assert_eq!(cold.cured(), 2);
+        assert!(cold.profiled());
+        let hot_unit = cold
+            .units
+            .iter()
+            .find(|u| u.path.ends_with("hot.c"))
+            .unwrap();
+        assert!(!hot_unit.site_profile.is_empty());
+        assert!(hot_unit.site_profile[0].hits > 0, "hottest row executed");
+        let hot = cold.hot_sites(5);
+        assert!(!hot.is_empty() && hot[0].0.ends_with("hot.c"));
+
+        // A warm run serves the cure from cache yet still profiles, and the
+        // aggregate ranking is identical.
+        let warm = run_path(&cfg, &d).unwrap();
+        assert_eq!(warm.cache.hits, 2);
+        assert!(warm.units.iter().all(|u| u.from_cache));
+        let key = |rows: Vec<(&str, &ccured_rt::SiteReport)>| {
+            rows.iter()
+                .map(|(p, r)| (p.to_string(), r.site.id, r.hits, r.cost.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(warm.hot_sites(10)), key(cold.hot_sites(10)));
+        assert_eq!(warm.units[1].cured_text, cold.units[1].cured_text);
+
+        // Profiling off: no rows, nothing else changes.
+        cfg.profile = false;
+        let plain = run_path(&cfg, &d).unwrap();
+        assert!(!plain.profiled());
+        assert_eq!(plain.units[1].report, cold.units[1].report);
         let _ = fs::remove_dir_all(&d);
     }
 

@@ -23,8 +23,12 @@ pub fn hex(h: u64) -> String {
 }
 
 /// Parses [`hex`] output back to the hash value.
+///
+/// Strictly the inverse of [`hex`]: exactly 16 ASCII hex digits.
+/// `from_str_radix` alone would also accept a leading `+`, letting a
+/// malformed cache file name like `+fffffffffffffff` pass as a key.
 pub fn from_hex(s: &str) -> Option<u64> {
-    if s.len() != 16 {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
         return None;
     }
     u64::from_str_radix(s, 16).ok()
@@ -50,5 +54,11 @@ mod tests {
         }
         assert_eq!(from_hex("xyz"), None);
         assert_eq!(from_hex("00"), None, "wrong width rejected");
+        // Shapes from_str_radix would happily accept but hex() never emits.
+        assert_eq!(from_hex("+fffffffffffffff"), None, "sign rejected");
+        assert_eq!(from_hex("-fffffffffffffff"), None, "sign rejected");
+        assert_eq!(from_hex("deadbeef deadbee"), None, "space rejected");
+        assert_eq!(from_hex("00000000000000g0"), None, "non-hex rejected");
+        assert_eq!(from_hex("ＡＢ"), None, "non-ASCII rejected");
     }
 }

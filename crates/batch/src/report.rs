@@ -2,6 +2,7 @@
 
 use crate::cache::NSTAGES;
 use ccured::{CureReport, StageTimings};
+use ccured_rt::SiteReport;
 use std::time::Duration;
 
 /// Stage names in pipeline order, indexing the per-stage cache counters.
@@ -179,6 +180,10 @@ pub struct UnitOutcome {
     /// Wall-clock this run actually spent on the unit (on a hit: the cache
     /// probe; on a miss: the full cure).
     pub elapsed: Duration,
+    /// Ranked per-site check profile from executing the cured unit. Empty
+    /// unless the batch ran with `BatchConfig::profile` (and the unit
+    /// cured). Site ids are local to this unit's site table.
+    pub site_profile: Vec<SiteReport>,
 }
 
 /// Hit/miss/elapsed accounting for one pipeline stage.
@@ -316,6 +321,40 @@ impl BatchReport {
         self.cache.hit_rate()
     }
 
+    /// Whether any unit carries a site profile (the batch ran with
+    /// [`BatchConfig::profile`](crate::BatchConfig) on and something cured).
+    pub fn profiled(&self) -> bool {
+        self.units.iter().any(|u| !u.site_profile.is_empty())
+    }
+
+    /// The hottest check sites across every profiled unit, ranked by
+    /// attributed cost, then hits, then unit path and site id. The final
+    /// two keys make the order total, so the aggregate ranking is
+    /// deterministic regardless of `--jobs` or cache state. Site ids are
+    /// per-unit, so rows are keyed by (unit path, site); zero-hit sites
+    /// are skipped.
+    pub fn hot_sites(&self, top: usize) -> Vec<(&str, &SiteReport)> {
+        let mut rows: Vec<(&str, &SiteReport)> = self
+            .units
+            .iter()
+            .flat_map(|u| {
+                u.site_profile
+                    .iter()
+                    .filter(|r| r.hits > 0)
+                    .map(move |r| (u.path.as_str(), r))
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.cost
+                .total_cmp(&a.1.cost)
+                .then(b.1.hits.cmp(&a.1.hits))
+                .then(a.0.cmp(b.0))
+                .then(a.1.site.id.cmp(&b.1.site.id))
+        });
+        rows.truncate(top);
+        rows
+    }
+
     /// Human-readable table.
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -359,6 +398,26 @@ impl BatchReport {
             "pointer kinds (summed): {} SAFE, {} SEQ, {} WILD, {} RTTI; checks {} inserted / {} elided\n",
             t.safe, t.seq, t.wild, t.rtti, t.checks_inserted, t.checks_elided
         ));
+        if self.profiled() {
+            s.push_str("hottest check sites across the batch:\n");
+            s.push_str(&format!(
+                "  {:>4} {:>10} {:>10} {:>6}  {:<16} {:<5} site\n",
+                "rank", "cost", "hits", "fails", "check", "ptr"
+            ));
+            for (rank, (path, r)) in self.hot_sites(10).iter().enumerate() {
+                s.push_str(&format!(
+                    "  {:>4} {:>10.1} {:>10} {:>6}  {:<16} {:<5} {path}: {} @{}\n",
+                    rank + 1,
+                    r.cost,
+                    r.hits,
+                    r.fails,
+                    r.site.check,
+                    r.site.ptr_kind,
+                    r.site.func,
+                    r.site.span.lo
+                ));
+            }
+        }
         if self.cache.enabled {
             s.push_str(&format!(
                 "cache: {} lookups, {} hits ({:.1}%), {} misses, {} entries written\n",
@@ -452,6 +511,34 @@ impl BatchReport {
             t.wild,
             t.rtti
         ));
+        s.push_str(",\"hot_sites\":[");
+        for (i, (path, r)) in self.hot_sites(50).iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let reason = match &r.site.keep_reason {
+                Some(why) => json_str(why),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "{{\"path\":{},\"func\":{},\"span_lo\":{},\"check\":\"{}\",\"ptr_kind\":\"{}\",\
+                 \"static_count\":{},\"elided\":{},\"hits\":{},\"fails\":{},\"walk_steps\":{},\
+                 \"cost\":{:.1},\"keep_reason\":{}}}",
+                json_str(path),
+                json_str(&r.site.func),
+                r.site.span.lo,
+                r.site.check,
+                r.site.ptr_kind,
+                r.site.static_count,
+                r.site.elided,
+                r.hits,
+                r.fails,
+                r.walk_steps,
+                r.cost,
+                reason
+            ));
+        }
+        s.push(']');
         s.push_str(&format!(
             ",\"cache\":{{\"enabled\":{},\"lookups\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\"entries_written\":{},\"stages\":{{",
             self.cache.enabled,
@@ -520,7 +607,68 @@ mod tests {
             report_digest: 7,
             cure_timings: StageTimings::from_ns([10, 20, 30, 40, 50]),
             elapsed: Duration::from_nanos(100),
+            site_profile: Vec::new(),
         }
+    }
+
+    fn row(path_site: u32, check: &'static str, hits: u64, cost: f64) -> SiteReport {
+        SiteReport {
+            site: ccured::instrument::CheckSite {
+                id: ccured_cil::ir::SiteId(path_site),
+                func: "f".into(),
+                span: ccured_ast::Span::DUMMY,
+                check,
+                ptr_kind: "seq",
+                static_count: 1,
+                elided: 0,
+                keep_reason: None,
+            },
+            hits,
+            fails: 0,
+            walk_steps: 0,
+            cost,
+        }
+    }
+
+    #[test]
+    fn hot_sites_aggregate_across_units_deterministically() {
+        let mut a = unit("a.c", false, true);
+        let mut b = unit("b.c", false, true);
+        a.site_profile = vec![row(0, "seq_bounds", 4, 16.0), row(1, "null", 0, 0.0)];
+        b.site_profile = vec![
+            row(0, "seq_bounds", 4, 16.0),
+            row(1, "wild_bounds", 3, 27.0),
+        ];
+        let r = BatchReport::new(vec![b, a], 1, Duration::ZERO, false);
+        assert!(r.profiled());
+        let hot = r.hot_sites(10);
+        // Cost first; the 16.0 tie breaks on unit path; zero-hit rows drop.
+        let keyed: Vec<(&str, &str)> = hot.iter().map(|(p, r)| (*p, r.site.check)).collect();
+        assert_eq!(
+            keyed,
+            vec![
+                ("b.c", "wild_bounds"),
+                ("a.c", "seq_bounds"),
+                ("b.c", "seq_bounds"),
+            ]
+        );
+        assert_eq!(r.hot_sites(1).len(), 1, "top truncates");
+        let rendered = r.render();
+        assert!(
+            rendered.contains("hottest check sites across the batch"),
+            "{rendered}"
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"hot_sites\":[{\"path\":\"b.c\""), "{j}");
+        assert!(j.contains("\"check\":\"wild_bounds\""), "{j}");
+    }
+
+    #[test]
+    fn unprofiled_report_has_no_hot_site_section_but_keeps_json_field() {
+        let r = BatchReport::new(vec![unit("a.c", false, true)], 1, Duration::ZERO, false);
+        assert!(!r.profiled());
+        assert!(!r.render().contains("hottest check sites"));
+        assert!(r.to_json().contains("\"hot_sites\":[]"));
     }
 
     #[test]

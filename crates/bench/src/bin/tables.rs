@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|all] [--smoke]`
+//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|fig-profile|all] [--smoke]`
 //!
-//! `fig-interp` also writes `BENCH_interp.json` to the working directory;
+//! `fig-interp` and `fig-profile` write `BENCH_interp.json` /
+//! `BENCH_profile.json` to the working directory;
 //! `--smoke` shrinks its workloads for CI.
 //!
 //! Each table prints our measurement next to the paper's reported value
@@ -24,6 +25,7 @@ const TABLES: &[&str] = &[
     "ablation",
     "fig-batch",
     "fig-interp",
+    "fig-profile",
     "all",
 ];
 
@@ -72,6 +74,9 @@ fn main() {
     }
     if all || which == "fig-interp" {
         fig_interp_table(smoke);
+    }
+    if all || which == "fig-profile" {
+        fig_profile_table(smoke);
     }
 }
 
@@ -421,5 +426,50 @@ fn fig_interp_table(smoke: bool) {
     match std::fs::write("BENCH_interp.json", f.to_json()) {
         Ok(()) => println!("wrote BENCH_interp.json"),
         Err(e) => eprintln!("could not write BENCH_interp.json: {e}"),
+    }
+}
+
+fn fig_profile_table(smoke: bool) {
+    println!(
+        "== E14: hot-site check profiles (both engines agree){} ==\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let f = fig_profile(smoke);
+    let rows: Vec<Vec<String>> = f
+        .rows
+        .iter()
+        .map(|r| {
+            let hottest = r
+                .top
+                .first()
+                .map(|t| format!("{} in {} ({} hits)", t.check, t.func, t.hits))
+                .unwrap_or_else(|| "-".to_string());
+            vec![
+                r.name.clone(),
+                format!("{}/{}", r.hot_sites, r.sites),
+                r.total_hits.to_string(),
+                format!("{:.0}%", r.top_share * 100.0),
+                r.unelided_hot.to_string(),
+                hottest,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "hot/sites",
+                "checks run",
+                "top-3 cost",
+                "unelided hot",
+                "hottest site"
+            ],
+            &rows
+        )
+    );
+    match std::fs::write("BENCH_profile.json", f.to_json()) {
+        Ok(()) => println!("wrote BENCH_profile.json"),
+        Err(e) => eprintln!("could not write BENCH_profile.json: {e}"),
     }
 }

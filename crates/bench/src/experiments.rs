@@ -620,6 +620,18 @@ fn time_cured(
     input: &[u8],
     reps: u32,
 ) -> (std::time::Duration, u64) {
+    time_cured_with(cured, engine, input, reps, false)
+}
+
+/// As [`time_cured`], optionally with per-site profiling enabled (the
+/// E14 overhead measurement compares the two).
+fn time_cured_with(
+    cured: &ccured::Cured,
+    engine: ccured_rt::Engine,
+    input: &[u8],
+    reps: u32,
+    profile: bool,
+) -> (std::time::Duration, u64) {
     use ccured_rt::Interp;
     let mut best = std::time::Duration::MAX;
     let mut steps = 0;
@@ -627,8 +639,11 @@ fn time_cured(
         let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
         interp.set_engine(engine);
         interp.set_input(input.to_vec());
+        if profile {
+            interp.enable_profile(cured.sites.len());
+        }
         let t0 = std::time::Instant::now();
-        interp.run().expect("fig-interp workload runs clean");
+        interp.run().expect("bench workload runs clean");
         best = best.min(t0.elapsed());
         steps = interp.counters.instrs;
     }
@@ -698,6 +713,219 @@ pub fn fig_interp(smoke: bool) -> InterpFig {
     InterpFig { rows, reps }
 }
 
+/// E14 (`fig-profile`): one hot site in a workload's profile summary.
+#[derive(Debug, Clone)]
+pub struct ProfileSiteRow {
+    /// Function containing the site.
+    pub func: String,
+    /// Check kind name (`seq_bounds`, `null`, …).
+    pub check: &'static str,
+    /// Dynamic executions.
+    pub hits: u64,
+    /// Abstract cost attributed to the site.
+    pub cost: f64,
+    /// Why the eliminator kept it (None: nothing was kept to explain).
+    pub kept_because: Option<String>,
+}
+
+/// E14 (`fig-profile`): one workload's check-site profile summary.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Workload name.
+    pub name: String,
+    /// Static check sites after elision merging.
+    pub sites: usize,
+    /// Sites that executed at least once.
+    pub hot_sites: usize,
+    /// Dynamic checks executed.
+    pub total_hits: u64,
+    /// Total abstract cost attributed across all sites.
+    pub total_cost: f64,
+    /// Fraction of the attributed cost concentrated in the top 3 sites
+    /// (the paper's point: check cost is dominated by a handful of sites).
+    pub top_share: f64,
+    /// Hot sites the eliminator could not remove.
+    pub unelided_hot: usize,
+    /// The top 3 hot sites.
+    pub top: Vec<ProfileSiteRow>,
+}
+
+/// E14 (`fig-profile`): hot-site distribution over the corpus.
+#[derive(Debug, Clone)]
+pub struct ProfileFig {
+    /// Per-workload summaries.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl ProfileFig {
+    /// `BENCH_profile.json` — machine-readable record for CI artifacts.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut s = String::from("{\n  \"experiment\": \"fig-profile\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"sites\": {}, \"hot_sites\": {}, \"total_hits\": {}, \
+                 \"total_cost\": {:.1}, \"top_share\": {:.3}, \"unelided_hot\": {}, \"top\": [",
+                esc(&r.name),
+                r.sites,
+                r.hot_sites,
+                r.total_hits,
+                r.total_cost,
+                r.top_share,
+                r.unelided_hot
+            ));
+            for (j, t) in r.top.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let why = match &t.kept_because {
+                    Some(w) => format!("\"{}\"", esc(w)),
+                    None => "null".to_string(),
+                };
+                s.push_str(&format!(
+                    "{{\"func\": \"{}\", \"check\": \"{}\", \"hits\": {}, \"cost\": {:.1}, \"kept_because\": {}}}",
+                    esc(&t.func),
+                    t.check,
+                    t.hits,
+                    t.cost,
+                    why
+                ));
+            }
+            s.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Runs one cured workload on `engine` with profiling and returns the
+/// ranked site rows (run errors are impossible on this corpus).
+fn profile_cured(
+    cured: &ccured::Cured,
+    engine: ccured_rt::Engine,
+    input: &[u8],
+) -> Vec<ccured_rt::SiteReport> {
+    use ccured_rt::Interp;
+    let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
+    interp.set_engine(engine);
+    interp.set_input(input.to_vec());
+    interp.enable_profile(cured.sites.len());
+    interp.run().expect("fig-profile workload runs clean");
+    let prof = interp.profile().cloned().unwrap_or_default();
+    ccured_rt::profile::rank_sites(&cured.sites, &prof, &CostModel::default())
+}
+
+/// E14 (`fig-profile`): per-site check profiles over the same corpus as
+/// [`fig_interp`]. Every workload is profiled on *both* engines and the
+/// rankings are asserted identical — the differential guarantee the CLI
+/// `profile` subcommand relies on. `smoke` shrinks the workloads for CI.
+pub fn fig_profile(smoke: bool) -> ProfileFig {
+    let ws = if smoke {
+        vec![
+            micro::safe_deref(400),
+            micro::seq_index(200),
+            micro::wild_loop(60),
+            micro::rtti_dispatch(150),
+            micro::ptr_store(200),
+            olden::em3d(32, 4, 12),
+            olden::treeadd(9),
+            ptrdist::anagram(40),
+        ]
+    } else {
+        vec![
+            micro::safe_deref(4000),
+            micro::seq_index(1500),
+            micro::wild_loop(500),
+            micro::rtti_dispatch(1200),
+            micro::ptr_store(1500),
+            olden::em3d(64, 6, 48),
+            olden::treeadd(12),
+            ptrdist::anagram(80),
+            ptrdist::ks(30),
+            spec::compress_like(32, 8),
+            spec::ijpeg_oo(48, 40),
+        ]
+    };
+    let rows = ws
+        .iter()
+        .map(|w| {
+            let mut curer = ccured::Curer::new();
+            if w.with_wrappers {
+                curer.with_stdlib_wrappers();
+            }
+            let cured = curer.cure_source(&w.source).expect("fig-profile cure");
+            let vm = profile_cured(&cured, ccured_rt::Engine::Vm, &w.input);
+            let tree = profile_cured(&cured, ccured_rt::Engine::Tree, &w.input);
+            let key = |rows: &[ccured_rt::SiteReport]| {
+                rows.iter()
+                    .map(|r| (r.site.id, r.hits, r.fails, r.walk_steps, r.cost.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                key(&vm),
+                key(&tree),
+                "{}: engines disagree on the site ranking",
+                w.name
+            );
+            let total_cost: f64 = vm.iter().map(|r| r.cost).sum();
+            let top_cost: f64 = vm.iter().take(3).map(|r| r.cost).sum();
+            ProfileRow {
+                name: w.name.clone(),
+                sites: vm.len(),
+                hot_sites: vm.iter().filter(|r| r.hits > 0).count(),
+                total_hits: vm.iter().map(|r| r.hits).sum(),
+                total_cost,
+                top_share: if total_cost > 0.0 {
+                    top_cost / total_cost
+                } else {
+                    0.0
+                },
+                unelided_hot: vm
+                    .iter()
+                    .filter(|r| r.hits > 0 && r.site.keep_reason.is_some())
+                    .count(),
+                top: vm
+                    .iter()
+                    .filter(|r| r.hits > 0)
+                    .take(3)
+                    .map(|r| ProfileSiteRow {
+                        func: r.site.func.clone(),
+                        check: r.site.check,
+                        hits: r.hits,
+                        cost: r.cost,
+                        kept_because: r.site.keep_reason.clone(),
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    ProfileFig { rows }
+}
+
+/// E14: the wall-clock cost of *enabling* profiling — the geomean over the
+/// Figure 9 corpus of (profiled / plain) run time, each best-of-`reps` on
+/// the bytecode VM. The acceptance bar is <5% (asserted in release).
+pub fn profile_overhead(reps: u32) -> f64 {
+    let corpus = daemons::figure9_corpus();
+    let mut ln_sum = 0.0;
+    for w in &corpus {
+        let mut curer = ccured::Curer::new();
+        if w.with_wrappers {
+            curer.with_stdlib_wrappers();
+        }
+        let cured = curer.cure_source(&w.source).expect("profile-overhead cure");
+        let (plain, _) = time_cured_with(&cured, ccured_rt::Engine::Vm, &w.input, reps, false);
+        let (profiled, _) = time_cured_with(&cured, ccured_rt::Engine::Vm, &w.input, reps, true);
+        ln_sum += (profiled.as_secs_f64() / plain.as_secs_f64().max(1e-9)).ln();
+    }
+    (ln_sum / corpus.len().max(1) as f64).exp()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,6 +950,47 @@ mod tests {
         assert!(
             g >= 1.5,
             "bytecode VM must be ≥1.5× the tree engine (geomean), got {g:.2}×"
+        );
+    }
+
+    /// E14: the profile figure's internal cross-engine assertion must hold
+    /// over the smoke corpus, the corpus must actually exercise checks, and
+    /// the eliminator must leave some hot sites behind to explain.
+    #[test]
+    fn fig_profile_finds_hot_sites_and_engines_agree() {
+        let f = fig_profile(true);
+        assert!(
+            f.rows.iter().all(|r| r.total_hits > 0),
+            "corpus runs checks"
+        );
+        assert!(
+            f.rows.iter().any(|r| r.unelided_hot > 0),
+            "some hot sites survive the eliminator"
+        );
+        for r in &f.rows {
+            assert!(r.hot_sites <= r.sites);
+            assert!(r.top_share > 0.0 && r.top_share <= 1.0 + 1e-9, "{}", r.name);
+            assert!(!r.top.is_empty(), "{}: no top sites", r.name);
+        }
+        let j = f.to_json();
+        assert!(j.contains("\"experiment\": \"fig-profile\""), "{j}");
+        assert!(j.contains("\"kept_because\""), "{j}");
+    }
+
+    /// E14: enabling per-site profiling must cost <5% wall-clock over the
+    /// Figure 9 corpus (the whole point of the single-branch off switch and
+    /// the slot-bump hot path).
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "wall-clock overhead is only meaningful in release"
+    )]
+    fn profiling_overhead_under_five_percent() {
+        let o = profile_overhead(5);
+        assert!(
+            o < 1.05,
+            "profiling must cost <5% wall-clock, measured {:.1}%",
+            (o - 1.0) * 100.0
         );
     }
 

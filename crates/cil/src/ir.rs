@@ -290,8 +290,29 @@ pub enum Instr {
     /// `lval = callee(args)` / `callee(args)`
     Call(Option<Lval>, Callee, Vec<Exp>, Span),
     /// A run-time check inserted by the CCured instrumentation; aborts the
-    /// program with a memory-safety error if it fails.
-    Check(Check, Span),
+    /// program with a memory-safety error if it fails. The [`SiteId`] ties
+    /// the instruction to its check site for per-site profiling.
+    Check(Check, Span, SiteId),
+}
+
+/// A stable identifier for a check *site*: the (span, function, check kind,
+/// inferred pointer kind) tuple the instrumentation emitted a check for.
+/// Several check instructions can share one site (e.g. a macro-expanded
+/// dereference), and the optimizer's elisions are attributed back to it.
+/// Ids index the cure's site table in emission order, so equal programs
+/// cured with equal configurations always agree on the numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// "No site": checks built outside the instrumentation pass (unit
+    /// tests, synthetic IR). Profiling ignores them.
+    pub const NONE: SiteId = SiteId(u32::MAX);
+
+    /// The table index, or `None` for [`SiteId::NONE`].
+    pub fn index(self) -> Option<usize> {
+        (self != SiteId::NONE).then_some(self.0 as usize)
+    }
 }
 
 /// A CCured run-time check (paper Figures 10–11).

@@ -2136,7 +2136,7 @@ fn rewrite_instr(i: &mut Instr, map: &HashMap<u32, FuncId>) {
             rewrite_lval(lv, map);
             rewrite_exp(e, map);
         }
-        Instr::Check(_, _) => {}
+        Instr::Check(..) => {}
         Instr::Call(lv, callee, args, _) => {
             if let Some(lv) = lv {
                 rewrite_lval(lv, map);

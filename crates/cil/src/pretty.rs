@@ -137,7 +137,7 @@ fn dump_stmt(p: &Program, s: &Stmt, depth: usize, out: &mut String) {
 pub fn dump_instr(p: &Program, i: &Instr) -> String {
     match i {
         Instr::Set(lv, e, _) => format!("{} = {}", dump_lval(p, lv), dump_exp(p, e)),
-        Instr::Check(c, _) => format!("CHECK_{}", c.name().to_uppercase()),
+        Instr::Check(c, _, _) => format!("CHECK_{}", c.name().to_uppercase()),
         Instr::Call(ret, callee, args, _) => {
             let args: Vec<String> = args.iter().map(|a| dump_exp(p, a)).collect();
             let callee = match callee {

@@ -8,7 +8,8 @@
 //! ccured <file.c> [options]
 //! ccured explain <file.c> [--sym name] [options]
 //! ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
-//! ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--json]
+//! ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--profile] [--json]
+//! ccured profile <file.c> [--top N] [--json] [--engine vm|tree]
 //!
 //!   --run                 execute after curing (default mode: cured)
 //!   --mode <m>            original | cured | purify | valgrind | joneskelly
@@ -28,12 +29,15 @@
 //!   --split-everything    force the SPLIT representation everywhere
 //!   --split-at-boundaries seed SPLIT at external-call boundaries
 //!   --fuel <n>            instruction budget for --run
+//!   --top <n>             `profile`: rows in the hot-site table (default 10)
 //!   --mutants <n>         `crash-test`: number of mutants (default 60)
 //!   --seed <s>            `crash-test`: batch seed (default 1)
 //!   --json                `crash-test`/`batch`: machine-readable report
 //!   --jobs <n>            `batch`: worker threads (default: one per core)
 //!   --cache-dir <d>       `batch`: cache directory (default .ccured-cache)
 //!   --no-cache            `batch`: disable the content-addressed cache
+//!   --profile             `batch`: execute every cured unit and aggregate
+//!                         the hottest check sites across the batch
 //! ```
 //!
 //! `ccured explain` prints, for every WILD pointer (or the one named by
@@ -46,6 +50,14 @@
 //! runs it in the sandbox, and prints a per-class catch-rate matrix. Exit is
 //! 5 when any mutant **escapes** (a ground-truth memory error survives the
 //! cure — a soundness bug), 0 otherwise.
+//!
+//! `ccured profile` cures the file, runs it with per-site profiling
+//! enabled, and prints a ranked hot-site table: for every check site the
+//! dynamic hit/fail counts, the abstract cost attributed to it, a
+//! blame-style source excerpt, and — when the optimizer kept it — why it
+//! could not be elided. Rankings are deterministic and identical across
+//! `--engine vm` and `--engine tree`; `--json` emits the machine-readable
+//! form consumed by the `tables` bench binary.
 //!
 //! `ccured batch` cures every `.c` file under a directory (or listed in a
 //! manifest file) on a work-stealing thread pool, serving unchanged units
@@ -88,6 +100,11 @@ pub struct Options {
     pub crash_test: bool,
     /// `batch` subcommand: cure a directory/manifest of units in parallel.
     pub batch: bool,
+    /// `profile` subcommand: run with per-site check profiling and print
+    /// the ranked hot-site table.
+    pub profile: bool,
+    /// `--top`: rows in the profile table (default 10).
+    pub top: Option<usize>,
     /// `--jobs`: batch worker threads (None: one per core).
     pub jobs: Option<usize>,
     /// `--cache-dir`: batch cache directory.
@@ -162,6 +179,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             .ok_or_else(|| UsageError(format!("{flag} requires a value")))
     };
     let mut first_positional = true;
+    let mut profile_flag = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             // Subcommand form: `ccured explain <file.c> [--sym name]`.
@@ -178,6 +196,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "batch" if first_positional => {
                 first_positional = false;
                 o.batch = true;
+            }
+            // `ccured profile <file.c> [--top N] [--json] [--engine vm|tree]`.
+            "profile" if first_positional => {
+                first_positional = false;
+                o.profile = true;
+            }
+            // `--profile` (flag form): profile every unit of a batch.
+            "--profile" => {
+                profile_flag = true;
+                o.profile = true;
+            }
+            "--top" => {
+                let v = need(&mut it, "--top")?;
+                o.top = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--top: `{v}` is not a number")))?,
+                );
             }
             "--no-cache" => o.no_cache = true,
             "--cache-dir" => o.cache_dir = Some(need(&mut it, "--cache-dir")?),
@@ -270,9 +305,24 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--mutants/--seed only apply to the `crash-test` subcommand".into(),
         ));
     }
-    if o.json && !(o.crash_test || o.batch) {
+    if o.json && !(o.crash_test || o.batch || o.profile) {
         return Err(UsageError(
-            "--json only applies to the `crash-test` and `batch` subcommands".into(),
+            "--json only applies to the `crash-test`, `batch` and `profile` subcommands".into(),
+        ));
+    }
+    if o.top.is_some() && !o.profile {
+        return Err(UsageError(
+            "--top only applies to the `profile` subcommand".into(),
+        ));
+    }
+    if profile_flag && !o.batch {
+        return Err(UsageError(
+            "--profile only applies to the `batch` subcommand (use `ccured profile <file.c>` for one unit)".into(),
+        ));
+    }
+    if o.profile && o.mode != Mode::Cured {
+        return Err(UsageError(
+            "`profile` runs in cured mode (the checks being profiled only exist there)".into(),
         ));
     }
     if (o.jobs.is_some() || o.cache_dir.is_some() || o.no_cache) && !o.batch {
@@ -291,7 +341,8 @@ pub const USAGE: &str =
               [--split-everything] [--split-at-boundaries] [--fuel N] [--engine vm|tree]
        ccured explain <file.c> [--sym NAME] [other options]
        ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
-       ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--json]";
+       ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--profile] [--json]
+       ccured profile <file.c> [--top N] [--json] [--engine vm|tree]";
 
 /// What a driver invocation produced (for testing and for `main`).
 #[derive(Debug)]
@@ -398,6 +449,9 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
     if o.emit_ir {
         out.push_str(&ccured_cil::pretty::dump_program(&cured.program));
     }
+    if o.profile {
+        return Ok(run_profile(&cured, o, source, input, out));
+    }
     if o.run {
         return Ok(execute(
             &cured.program,
@@ -431,6 +485,7 @@ pub fn drive_batch(o: &Options) -> Result<Outcome, CureError> {
         cfg.cache_dir = d.into();
     }
     cfg.use_cache = !o.no_cache;
+    cfg.profile = o.profile;
     if let Some(f) = o.fuel {
         cfg.limits.fuel = f;
     }
@@ -594,6 +649,183 @@ fn execute(
     Outcome { exit, stdout: out }
 }
 
+/// Runs `cured` with per-site profiling enabled and appends the ranked
+/// hot-site report (or its `--json` form) to the program's own output.
+/// Profiling is observation-only, so exit code and program output are
+/// identical to a plain `--run`.
+fn run_profile(cured: &Cured, o: &Options, source: &str, input: &[u8], mut out: String) -> Outcome {
+    let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
+    interp.set_engine(o.engine);
+    interp.set_input(input.to_vec());
+    if let Some(f) = o.fuel {
+        interp.set_fuel(f);
+    }
+    interp.enable_profile(cured.sites.len());
+    let result = interp.run();
+    out.push_str(&String::from_utf8_lossy(interp.output()));
+    let exit = match result {
+        Ok(code) => code as i32,
+        Err(e) => {
+            out.push_str(&format!("ccured: runtime error: {e}\n"));
+            if e.is_check_failure() {
+                3
+            } else {
+                4
+            }
+        }
+    };
+    let profile = interp.profile().cloned().unwrap_or_default();
+    let rows =
+        ccured_rt::profile::rank_sites(&cured.sites, &profile, &ccured_rt::CostModel::default());
+    if o.json {
+        out.push_str(&profile_json(o, &rows, &profile));
+    } else {
+        render_profile(o, source, &rows, &profile, &mut out);
+    }
+    Outcome { exit, stdout: out }
+}
+
+/// `file:line:col in func` for a profile row, shifted out of the wrapper
+/// prelude like the review surface.
+fn site_location(
+    o: &Options,
+    map: &ccured_ast::SourceMap,
+    shift: u32,
+    site: &ccured::instrument::CheckSite,
+) -> (String, u32) {
+    if site.span == ccured_ast::Span::DUMMY {
+        return (format!("<{}>", site.func), 0);
+    }
+    let pos = map.lookup(site.span.lo);
+    if pos.line > shift {
+        (
+            format!(
+                "{}:{}:{} in {}",
+                o.file,
+                pos.line - shift,
+                pos.col,
+                site.func
+            ),
+            pos.line,
+        )
+    } else {
+        (format!("<wrappers> in {}", site.func), pos.line)
+    }
+}
+
+fn render_profile(
+    o: &Options,
+    source: &str,
+    rows: &[ccured_rt::SiteReport],
+    profile: &ccured_rt::Profile,
+    out: &mut String,
+) {
+    let full = with_prelude(o, source);
+    let shift = prelude_lines(o);
+    let map = ccured_ast::SourceMap::new(&o.file, full.clone());
+    let lines: Vec<&str> = full.lines().collect();
+    let top = o.top.unwrap_or(10);
+    out.push_str(&format!(
+        "check-site profile (engine={}): {} sites, {} dynamic checks\n",
+        o.engine.name(),
+        rows.len(),
+        profile.total_hits()
+    ));
+    out.push_str("rank       cost       hits  fails  check            ptr   site\n");
+    for (rank, r) in rows.iter().take(top).enumerate() {
+        let (loc, line) = site_location(o, &map, shift, &r.site);
+        out.push_str(&format!(
+            "{:>4} {:>10.1} {:>10} {:>6}  {:<16} {:<5} {}\n",
+            rank + 1,
+            r.cost,
+            r.hits,
+            r.fails,
+            r.site.check,
+            r.site.ptr_kind,
+            loc
+        ));
+        // Blame-style excerpt of the offending source line.
+        if line > 0 {
+            if let Some(text) = lines.get(line as usize - 1) {
+                out.push_str(&format!("     | {}\n", text.trim_end()));
+            }
+        }
+        if r.site.elided > 0 {
+            out.push_str(&format!(
+                "     = optimizer elided {} of {} static checks here\n",
+                r.site.elided, r.site.static_count
+            ));
+        }
+    }
+    // The eliminator's side of the story: the hot sites it had to keep.
+    let missed: Vec<&ccured_rt::SiteReport> = rows
+        .iter()
+        .filter(|r| r.hits > 0 && r.site.keep_reason.is_some())
+        .take(top)
+        .collect();
+    if !missed.is_empty() {
+        out.push_str("\nhot sites the optimizer could not elide, and why:\n");
+        for r in missed {
+            let (loc, _) = site_location(o, &map, shift, &r.site);
+            out.push_str(&format!(
+                "  {} ({}, {} hits): {}\n",
+                loc,
+                r.site.check,
+                r.hits,
+                r.site.keep_reason.as_deref().unwrap_or("")
+            ));
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Machine-readable profile export (consumed by the `tables` bench binary).
+fn profile_json(
+    o: &Options,
+    rows: &[ccured_rt::SiteReport],
+    profile: &ccured_rt::Profile,
+) -> String {
+    let top = o.top.unwrap_or(usize::MAX);
+    let mut s = format!(
+        "{{\"file\":\"{}\",\"engine\":\"{}\",\"sites\":{},\"total_hits\":{},\"rows\":[",
+        json_escape(&o.file),
+        o.engine.name(),
+        rows.len(),
+        profile.total_hits()
+    );
+    for (rank, r) in rows.iter().take(top).enumerate() {
+        if rank > 0 {
+            s.push(',');
+        }
+        let reason = match &r.site.keep_reason {
+            Some(why) => format!("\"{}\"", json_escape(why)),
+            None => "null".into(),
+        };
+        s.push_str(&format!(
+            "{{\"rank\":{},\"func\":\"{}\",\"span_lo\":{},\"check\":\"{}\",\"ptr_kind\":\"{}\",\
+             \"static_count\":{},\"elided\":{},\"hits\":{},\"fails\":{},\"walk_steps\":{},\
+             \"cost\":{:.1},\"keep_reason\":{}}}",
+            rank + 1,
+            json_escape(&r.site.func),
+            r.site.span.lo,
+            r.site.check,
+            r.site.ptr_kind,
+            r.site.static_count,
+            r.site.elided,
+            r.hits,
+            r.fails,
+            r.walk_steps,
+            r.cost,
+            reason
+        ));
+    }
+    s.push_str("]}\n");
+    s
+}
+
 fn render_report(cured: &Cured, out: &mut String) {
     let r = &cured.report;
     let (sf, sq, w, rt) = r.kind_counts.percentages();
@@ -732,6 +964,79 @@ mod tests {
     }
 
     #[test]
+    fn parses_profile_subcommand() {
+        let o = args("profile prog.c --top 5 --json --engine tree").unwrap();
+        assert!(o.profile && o.json);
+        assert_eq!(o.top, Some(5));
+        assert_eq!(o.engine, Engine::Tree);
+        assert_eq!(o.file, "prog.c");
+        assert!(args("prog.c --top 5").is_err(), "--top needs profile");
+        assert!(args("profile").is_err(), "profile still needs a file");
+        assert!(args("profile prog.c --top x").is_err());
+        assert!(
+            args("profile prog.c --mode original").is_err(),
+            "profile is cured-mode only"
+        );
+    }
+
+    #[test]
+    fn drive_profile_ranks_hot_sites_identically_on_both_engines() {
+        let src = "int main(void) { int a[8]; int i; int s; s = 0;\n\
+                   for (i = 0; i < 8; i++) a[i] = i;\n\
+                   for (i = 0; i < 8; i++) s = s + a[i];\n\
+                   return s; }";
+        let vm = drive(&args("profile t.c --engine vm").unwrap(), src, b"").unwrap();
+        let tree = drive(&args("profile t.c --engine tree").unwrap(), src, b"").unwrap();
+        assert_eq!(vm.exit, 28);
+        assert_eq!(tree.exit, 28);
+        assert!(vm.stdout.contains("check-site profile"), "{}", vm.stdout);
+        assert!(
+            vm.stdout.contains("t.c:"),
+            "source positions: {}",
+            vm.stdout
+        );
+        // Identical rankings across engines: only the engine name differs.
+        assert_eq!(
+            vm.stdout.replace("engine=vm", "engine=?"),
+            tree.stdout.replace("engine=tree", "engine=?")
+        );
+    }
+
+    #[test]
+    fn drive_profile_json_is_machine_readable() {
+        let src = "int main(void) { int a[4]; int i;\n\
+                   for (i = 0; i < 4; i++) a[i] = i;\n\
+                   return a[3]; }";
+        let r = drive(&args("profile t.c --json --top 3").unwrap(), src, b"").unwrap();
+        assert_eq!(r.exit, 3);
+        let json = r.stdout.lines().last().unwrap();
+        assert!(json.starts_with('{'), "{}", r.stdout);
+        assert!(json.contains("\"engine\":\"vm\""), "{json}");
+        assert!(json.contains("\"rows\":["), "{json}");
+        assert!(json.contains("\"hits\":"), "{json}");
+        assert!(json.contains("\"keep_reason\":"), "{json}");
+    }
+
+    #[test]
+    fn drive_profile_reports_unelidable_hot_sites() {
+        // p[i] through a SEQ pointer inside a loop: the bounds check stays
+        // (the pointer moves), so the report must explain why.
+        let src = "int sum(int *p, int n) { int s; int i; s = 0;\n\
+                   for (i = 0; i < n; i++) s = s + p[i];\n\
+                   return s; }\n\
+                   int main(void) { int a[6]; int i;\n\
+                   for (i = 0; i < 6; i++) a[i] = i;\n\
+                   return sum(a, 6); }";
+        let r = drive(&args("profile t.c").unwrap(), src, b"").unwrap();
+        assert_eq!(r.exit, 15);
+        assert!(
+            r.stdout.contains("could not elide"),
+            "eliminator section present: {}",
+            r.stdout
+        );
+    }
+
+    #[test]
     fn parses_batch_subcommand() {
         let o = args("batch examples/c --jobs 4 --cache-dir /tmp/cc --no-cache --json").unwrap();
         assert!(o.batch && o.json && o.no_cache);
@@ -743,6 +1048,8 @@ mod tests {
         assert!(args("batch").is_err(), "batch still needs a path");
         assert!(args("batch dir --jobs x").is_err());
         assert!(args("prog.c --json").is_err(), "--json needs a subcommand");
+        assert!(args("batch dir --profile").unwrap().profile);
+        assert!(args("prog.c --profile").is_err(), "--profile needs batch");
     }
 
     #[test]
@@ -775,6 +1082,17 @@ mod tests {
             warm.stdout
         );
         assert!(warm.stdout.contains("\"failed\":0"), "{}", warm.stdout);
+        // Profiled batch: cure still served from cache, hot sites appended.
+        let po = args(&format!("{argv} --profile")).unwrap();
+        let prof = drive_batch(&po).unwrap();
+        assert_eq!(prof.exit, 0, "{}", prof.stdout);
+        assert!(
+            prof.stdout.contains("hottest check sites across the batch"),
+            "{}",
+            prof.stdout
+        );
+        let pj = drive_batch(&args(&format!("{argv} --profile --json")).unwrap()).unwrap();
+        assert!(pj.stdout.contains("\"hot_sites\":[{"), "{}", pj.stdout);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -62,9 +62,51 @@ impl CheckCounts {
     }
 }
 
+/// The static identity behind a [`SiteId`]: where a check was emitted and
+/// what it guards. Rows are numbered in emission order, so two cures of the
+/// same program with the same configuration always agree on the table.
+/// `elided`/`keep_reason` start empty and are filled in by the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSite {
+    /// The id stamped on every instruction emitted for this site.
+    pub id: SiteId,
+    /// Enclosing function.
+    pub func: String,
+    /// Source span the checks of this site inherit.
+    pub span: ccured_ast::Span,
+    /// Check kind ([`Check::name`]).
+    pub check: &'static str,
+    /// Pointer kind the check guards (`safe`/`seq`/`wild`/`rtti`, or `-`
+    /// for checks not tied to a pointer representation).
+    pub ptr_kind: &'static str,
+    /// Check instructions emitted with this id (one source site can
+    /// instrument several accesses of the same expression).
+    pub static_count: u32,
+    /// How many of those instructions the optimizer deleted.
+    pub elided: u64,
+    /// Why the optimizer kept the surviving instructions (`None` until the
+    /// optimizer runs, or when it deleted every one).
+    pub keep_reason: Option<String>,
+}
+
+/// The inferred pointer kind a check guards, as rendered in profiles.
+pub fn check_ptr_kind(c: &Check) -> &'static str {
+    match c {
+        Check::Null { .. } => "safe",
+        Check::SeqBounds { .. } | Check::SeqToSafe { .. } => "seq",
+        Check::WildBounds { .. } | Check::WildTag { .. } => "wild",
+        Check::Rtti { .. } => "rtti",
+        Check::NoStackEscape { .. } | Check::IndexBound { .. } => "-",
+    }
+}
+
 /// Instruments every function body in `prog` in place; returns the static
-/// check counts.
-pub fn instrument(prog: &mut Program, sol: &Solution, hier: &Hierarchy) -> CheckCounts {
+/// check counts and the check-site table indexed by [`SiteId`].
+pub fn instrument(
+    prog: &mut Program,
+    sol: &Solution,
+    hier: &Hierarchy,
+) -> (CheckCounts, Vec<CheckSite>) {
     // `#pragma ccured_trusted(fn)` marks a function as part of the trusted
     // interface: its body gets no checks (the programmer vouches for it).
     let trusted: std::collections::HashSet<&str> = prog
@@ -75,7 +117,7 @@ pub fn instrument(prog: &mut Program, sol: &Solution, hier: &Hierarchy) -> Check
             _ => None,
         })
         .collect();
-    let (new_bodies, counts): (Vec<Option<Vec<Stmt>>>, CheckCounts) = {
+    let (new_bodies, counts, sites) = {
         let mut ctx = Ctx {
             prog,
             sol,
@@ -83,8 +125,10 @@ pub fn instrument(prog: &mut Program, sol: &Solution, hier: &Hierarchy) -> Check
             phys: PhysCtx::new(&prog.types),
             counts: CheckCounts::default(),
             span: ccured_ast::Span::DUMMY,
+            sites: Vec::new(),
+            site_ids: std::collections::HashMap::new(),
         };
-        let bodies = prog
+        let bodies: Vec<Option<Vec<Stmt>>> = prog
             .functions
             .iter()
             .map(|f| {
@@ -95,14 +139,14 @@ pub fn instrument(prog: &mut Program, sol: &Solution, hier: &Hierarchy) -> Check
                 }
             })
             .collect();
-        (bodies, ctx.counts)
+        (bodies, ctx.counts, ctx.sites)
     };
     for (f, body) in prog.functions.iter_mut().zip(new_bodies) {
         if let Some(body) = body {
             f.body = body;
         }
     }
-    counts
+    (counts, sites)
 }
 
 struct Ctx<'a> {
@@ -114,6 +158,11 @@ struct Ctx<'a> {
     // Span of the instruction currently being instrumented; inserted checks
     // inherit it so diagnostics and blame output have source positions.
     span: ccured_ast::Span,
+    // The site table under construction, and the dedup index over it keyed
+    // by (span, function, check kind) — the pointer kind is implied by the
+    // check kind and need not widen the key.
+    sites: Vec<CheckSite>,
+    site_ids: std::collections::HashMap<(ccured_ast::Span, String, &'static str), SiteId>,
 }
 
 impl<'a> Ctx<'a> {
@@ -171,9 +220,38 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn push(&mut self, c: Check, out: &mut Vec<Instr>) {
+    fn push(&mut self, f: &Function, c: Check, out: &mut Vec<Instr>) {
         self.counts.bump(&c);
-        out.push(Instr::Check(c, self.span));
+        let site = self.site_id(f, &c);
+        out.push(Instr::Check(c, self.span, site));
+    }
+
+    /// The stable site id for a check at the current span: existing row if
+    /// this (span, function, kind) was seen before, fresh row otherwise.
+    fn site_id(&mut self, f: &Function, c: &Check) -> SiteId {
+        use std::collections::hash_map::Entry;
+        match self.site_ids.entry((self.span, f.name.clone(), c.name())) {
+            Entry::Occupied(e) => {
+                let id = *e.get();
+                self.sites[id.0 as usize].static_count += 1;
+                id
+            }
+            Entry::Vacant(e) => {
+                let id = SiteId(self.sites.len() as u32);
+                e.insert(id);
+                self.sites.push(CheckSite {
+                    id,
+                    func: f.name.clone(),
+                    span: self.span,
+                    check: c.name(),
+                    ptr_kind: check_ptr_kind(c),
+                    static_count: 1,
+                    elided: 0,
+                    keep_reason: None,
+                });
+                id
+            }
+        }
     }
 
     /// Access size for a bounds check on `pointee`. `void` accesses are
@@ -203,7 +281,7 @@ impl<'a> Ctx<'a> {
                 // (Appendix A: write checks).
                 let stored_to_memory = lv.is_deref() || matches!(lv.base, LvBase::Global(_));
                 if stored_to_memory && self.prog.types.is_ptr(e.ty()) {
-                    self.push(Check::NoStackEscape { value: e.clone() }, out);
+                    self.push(f, Check::NoStackEscape { value: e.clone() }, out);
                 }
             }
             Instr::Call(ret, callee, args, _) => {
@@ -215,7 +293,7 @@ impl<'a> Ctx<'a> {
                 }
                 if let Callee::Ptr(e) = callee {
                     self.checks_for_exp(f, e, out);
-                    self.push(Check::Null { ptr: e.clone() }, out);
+                    self.push(f, Check::Null { ptr: e.clone() }, out);
                 }
             }
             Instr::Check(..) => {}
@@ -231,7 +309,7 @@ impl<'a> Ctx<'a> {
                     if let LvBase::Deref(p) = &lv.base {
                         if let Some((_, q)) = self.prog.types.ptr_parts(p.ty()) {
                             if self.sol.kind(q) == PtrKind::Wild {
-                                self.push(Check::WildTag { ptr: (**p).clone() }, out);
+                                self.push(f, Check::WildTag { ptr: (**p).clone() }, out);
                             }
                         }
                     }
@@ -247,7 +325,7 @@ impl<'a> Ctx<'a> {
             }
             Exp::Cast(id, x, _) => {
                 self.checks_for_exp(f, x, out);
-                self.cast_checks(*id, x, out);
+                self.cast_checks(f, *id, x, out);
             }
             Exp::Const(..) | Exp::FnAddr(..) | Exp::SizeOf(..) => {}
         }
@@ -260,10 +338,11 @@ impl<'a> Ctx<'a> {
                 let size = self.access_size(pointee);
                 match self.sol.kind(q) {
                     PtrKind::Safe => {
-                        self.push(Check::Null { ptr: (**p).clone() }, out);
+                        self.push(f, Check::Null { ptr: (**p).clone() }, out);
                     }
                     PtrKind::Seq => {
                         self.push(
+                            f,
                             Check::SeqBounds {
                                 ptr: (**p).clone(),
                                 access_size: size,
@@ -273,6 +352,7 @@ impl<'a> Ctx<'a> {
                     }
                     PtrKind::Wild => {
                         self.push(
+                            f,
                             Check::WildBounds {
                                 ptr: (**p).clone(),
                                 access_size: size,
@@ -311,6 +391,7 @@ impl<'a> Ctx<'a> {
                         );
                         if !statically_ok {
                             self.push(
+                                f,
                                 Check::IndexBound {
                                     index: i.clone(),
                                     len: n,
@@ -326,7 +407,7 @@ impl<'a> Ctx<'a> {
         let _ = lval_type; // typing retained via the walk above
     }
 
-    fn cast_checks(&mut self, id: CastId, x: &Exp, out: &mut Vec<Instr>) {
+    fn cast_checks(&mut self, f: &Function, id: CastId, x: &Exp, out: &mut Vec<Instr>) {
         let site = &self.prog.casts[id.idx()];
         if site.trusted || site.alloc {
             return;
@@ -345,6 +426,7 @@ impl<'a> Ctx<'a> {
         if kf == PtrKind::Seq && kt == PtrKind::Safe {
             let size = self.access_size(tb);
             self.push(
+                f,
                 Check::SeqToSafe {
                     ptr: x.clone(),
                     access_size: size,
@@ -359,6 +441,7 @@ impl<'a> Ctx<'a> {
                 .node_of(self.prog, tb)
                 .expect("downcast target type is registered in the hierarchy");
             self.push(
+                f,
                 Check::Rtti {
                     ptr: x.clone(),
                     target_node: node,
@@ -380,8 +463,16 @@ mod tests {
         let mut prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
         let res = infer(&prog, &InferOptions::default());
         let hier = Hierarchy::build(&prog);
-        let counts = instrument(&mut prog, &res.solution, &hier);
+        let (counts, _) = instrument(&mut prog, &res.solution, &hier);
         (prog, counts)
+    }
+
+    fn sites_of(src: &str) -> Vec<CheckSite> {
+        let tu = ccured_ast::parse_translation_unit(src).expect("parse");
+        let mut prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
+        let res = infer(&prog, &InferOptions::default());
+        let hier = Hierarchy::build(&prog);
+        instrument(&mut prog, &res.solution, &hier).1
     }
 
     #[test]
@@ -513,5 +604,73 @@ mod tests {
                 + c.index_bound
         );
         assert!(c.total() >= 4);
+    }
+
+    #[test]
+    fn site_table_is_dense_and_matches_emitted_checks() {
+        let src = "int f(int *p, int i) { int a[4]; a[i] = *p; return a[i] + p[i]; }";
+        let (prog, c) = instrumented(src);
+        let sites = sites_of(src);
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i, "table index is the id");
+            assert!(s.id.index().is_some());
+            assert!(s.static_count >= 1);
+        }
+        let static_total: u32 = sites.iter().map(|s| s.static_count).sum();
+        assert_eq!(static_total as usize, c.total(), "every check has a site");
+        // Every emitted instruction carries an id that resolves in the table.
+        let mut stamped = 0usize;
+        for f in &prog.functions {
+            visit_site_ids(&f.body, &mut |site| {
+                assert!((site.0 as usize) < sites.len());
+                stamped += 1;
+            });
+        }
+        assert_eq!(stamped, c.total());
+    }
+
+    fn visit_site_ids(body: &[Stmt], f: &mut impl FnMut(SiteId)) {
+        for s in body {
+            match s {
+                Stmt::Instr(is) => {
+                    for i in is {
+                        if let Instr::Check(_, _, site) = i {
+                            f(*site);
+                        }
+                    }
+                }
+                Stmt::If(_, t, e) => {
+                    visit_site_ids(t, f);
+                    visit_site_ids(e, f);
+                }
+                Stmt::Loop(b) | Stmt::Block(b) => visit_site_ids(b, f),
+                Stmt::Switch(_, arms) => {
+                    for a in arms {
+                        visit_site_ids(&a.body, f);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn site_table_is_deterministic() {
+        let src = "int f(int *p, int i) { int a[4]; a[i] = *p; return a[i] + p[i]; }\n\
+                   int g(int *q) { return *q; }";
+        assert_eq!(sites_of(src), sites_of(src));
+    }
+
+    #[test]
+    fn sites_record_function_kind_and_ptr_kind() {
+        let sites = sites_of("int f(int *p) { return *p; }");
+        let null = sites
+            .iter()
+            .find(|s| s.check == "null")
+            .expect("null-check site");
+        assert_eq!(null.func, "f");
+        assert_eq!(null.ptr_kind, "safe");
+        assert_eq!(null.elided, 0, "optimizer has not run");
+        assert!(null.keep_reason.is_none());
     }
 }

@@ -2,7 +2,7 @@
 //! instrument → optimize → audit.
 
 use crate::hierarchy::Hierarchy;
-use crate::instrument::{instrument, CheckCounts};
+use crate::instrument::{instrument, CheckCounts, CheckSite};
 use crate::wrappers::{apply_wrappers, check_link, LinkIssue};
 use ccured_analysis::{eliminate_checks, ElisionResult, ElisionStats, StaticFailure};
 use ccured_cil::ir::Program;
@@ -216,6 +216,10 @@ impl std::str::FromStr for Engine {
 pub struct Cured {
     /// The instrumented program.
     pub program: Program,
+    /// The check-site table built by the instrumentation, indexed by
+    /// [`SiteId`](ccured_cil::ir::SiteId); the per-site substrate of
+    /// `ccured profile`. Not part of [`CureReport::canonical`].
+    pub sites: Vec<CheckSite>,
     /// Pointer-kind solution consulted by the runtime for representations.
     pub solution: Solution,
     /// The physical-subtype hierarchy for RTTI checks.
@@ -405,7 +409,7 @@ impl Curer {
 
         let t = Instant::now();
         let hierarchy = Hierarchy::build(&prog);
-        let checks_inserted = instrument(&mut prog, &result.solution, &hierarchy);
+        let (checks_inserted, mut sites) = instrument(&mut prog, &result.solution, &hierarchy);
         let instrument_time = t.elapsed();
         // Redundant-check elimination (the real CCured's optimizer): facts
         // established by earlier checks delete dominated ones.
@@ -416,6 +420,18 @@ impl Curer {
             ElisionResult::default()
         };
         let optimize_time = t.elapsed();
+
+        // Attribute the optimizer's work back to the site table so the
+        // profiler can report what was deleted statically and why the rest
+        // had to stay.
+        for s in &mut sites {
+            if let Some(n) = elision.site_elides.get(&s.id.0) {
+                s.elided = *n;
+            }
+            if let Some(why) = elision.site_keeps.get(&s.id.0) {
+                s.keep_reason = Some(why.clone());
+            }
+        }
 
         // Canonical report ordering: every user-visible vector is sorted by
         // (span, symbol) so parallel batch workers and hash-map iteration
@@ -445,6 +461,7 @@ impl Curer {
 
         Ok(Cured {
             program: prog,
+            sites,
             solution: result.solution,
             hierarchy,
             provenance: result.provenance,

@@ -556,10 +556,10 @@ impl<'p> Cc<'_, 'p> {
                 }
                 Ok(())
             }
-            Instr::Check(c, _) => {
-                self.emit(OpKind::CheckBegin(c));
+            Instr::Check(c, _, site) => {
+                self.emit(OpKind::CheckBegin(c, *site));
                 self.exp(check_operand(c))?;
-                self.emit(OpKind::CheckEnd(c));
+                self.emit(OpKind::CheckEnd(c, *site));
                 Ok(())
             }
         }

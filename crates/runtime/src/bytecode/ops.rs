@@ -9,7 +9,7 @@
 
 use crate::err::RtError;
 use crate::value::Value;
-use ccured_cil::ir::{BinOp, CastId, Check, FuncId, LocalId, UnOp};
+use ccured_cil::ir::{BinOp, CastId, Check, FuncId, LocalId, SiteId, UnOp};
 use ccured_cil::types::{IntKind, QualId, TypeId};
 
 /// Scalar normalization, resolved from the declared type at compile time.
@@ -255,9 +255,9 @@ pub(crate) enum OpKind<'p> {
     /// Enter a check: snapshot (instrs, loads) and count the check. The
     /// operand re-evaluation that follows is cost-neutral, exactly like the
     /// tree engine's `exec_check`.
-    CheckBegin(&'p Check),
+    CheckBegin(&'p Check, SiteId),
     /// Pop the operand value, restore the snapshot, judge the check.
-    CheckEnd(&'p Check),
+    CheckEnd(&'p Check, SiteId),
     /// Return from the function (popping the return value if present).
     Ret {
         /// Whether a return value is on the stack.

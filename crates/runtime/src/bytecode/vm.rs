@@ -426,21 +426,21 @@ impl<'p> Interp<'p> {
                     };
                     continue;
                 }
-                OpKind::CheckBegin(c) => {
-                    let c = *c;
+                OpKind::CheckBegin(c, site) => {
+                    let (c, site) = (*c, *site);
                     // Snapshot first (after this op's own cost was charged,
                     // mirroring `exec_check` running after the instr step).
                     self.vm_check_save = Some((self.counters.instrs, self.counters.loads));
-                    self.bump_check_counter(c);
+                    self.bump_check_counter(c, site);
                 }
-                OpKind::CheckEnd(c) => {
-                    let c = *c;
+                OpKind::CheckEnd(c, site) => {
+                    let (c, site) = (*c, *site);
                     let v = vals.pop().ok_or_else(underflow)?;
                     if let Some((instrs, loads)) = self.vm_check_save.take() {
                         self.counters.instrs = instrs;
                         self.counters.loads = loads;
                     }
-                    self.check_verdict(c, v)?;
+                    self.check_verdict(c, v, site)?;
                 }
                 OpKind::AddrAsVal => {
                     let p = addrs.pop().ok_or_else(underflow)?;

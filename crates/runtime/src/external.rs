@@ -353,12 +353,21 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             (int_arg(args, 0)? as u8 as char).is_ascii_lowercase() as i128,
         ))),
         "toupper" => {
-            let c = int_arg(args, 0)? as u8;
-            Ok(Some(Value::Int(c.to_ascii_uppercase() as i128)))
+            // C: the argument is an `unsigned char` value or EOF; anything
+            // else (notably EOF = -1) passes through unchanged rather than
+            // wrapping to 255.
+            let c = int_arg(args, 0)?;
+            Ok(Some(Value::Int(match u8::try_from(c) {
+                Ok(b) => b.to_ascii_uppercase() as i128,
+                Err(_) => c,
+            })))
         }
         "tolower" => {
-            let c = int_arg(args, 0)? as u8;
-            Ok(Some(Value::Int(c.to_ascii_lowercase() as i128)))
+            let c = int_arg(args, 0)?;
+            Ok(Some(Value::Int(match u8::try_from(c) {
+                Ok(b) => b.to_ascii_lowercase() as i128,
+                Err(_) => c,
+            })))
         }
         "abs" | "labs" => Ok(Some(Value::Int(int_arg(args, 0)?.abs()))),
         "atoi" | "atol" => {
@@ -397,7 +406,14 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
         }
         "snprintf" => {
             let buf = thin_arg(args, 0)?;
-            let cap = int_arg(args, 1)? as usize;
+            let cap = int_arg(args, 1)?;
+            // The size parameter is a size_t; a negative value sign-extended
+            // through `as usize` would become a huge capacity. Refuse it the
+            // way glibc does (EOVERFLOW): write nothing, return -1.
+            if cap < 0 {
+                return Ok(Some(Value::Int(-1)));
+            }
+            let cap = cap as usize;
             let fmt = it.mem.read_c_string(thin_arg(args, 2)?)?;
             let rendered = format_c(it, &fmt, &args[3..])?;
             let n = rendered.len();
@@ -438,7 +454,13 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
         }
         "net_recv" => {
             let buf = thin_arg(args, 0)?;
-            let cap = int_arg(args, 1)? as usize;
+            let cap = int_arg(args, 1)?;
+            // A negative capacity must not wrap into a huge usize and drain
+            // the whole input stream; fail the call like recv(2) (EINVAL).
+            if cap < 0 {
+                return Ok(Some(Value::Int(-1)));
+            }
+            let cap = cap as usize;
             let avail = it.input.len() - it.input_pos;
             let n = avail.min(cap);
             let data = it.input[it.input_pos..it.input_pos + n].to_vec();
@@ -1129,6 +1151,57 @@ mod tests {
         assert_eq!(i.run().unwrap(), 4);
         assert_eq!(i.output(), b"PING");
         assert!(i.counters.io_ops >= 2);
+    }
+
+    #[test]
+    fn toupper_tolower_pass_eof_through() {
+        let src = "extern int toupper(int c);\n\
+                   extern int tolower(int c);\n\
+                   int main(void) {\n\
+                     if (toupper(-1) != -1) return 1;\n\
+                     if (tolower(-1) != -1) return 2;\n\
+                     if (toupper(300) != 300) return 3;\n\
+                     if (toupper('a') != 'A') return 4;\n\
+                     if (tolower('Z') != 'z') return 5;\n\
+                     if (toupper('A') != 'A') return 6;\n\
+                     return 0;\n\
+                   }";
+        let (r, _) = run(src);
+        assert_eq!(r.unwrap(), 0);
+    }
+
+    #[test]
+    fn snprintf_rejects_negative_size() {
+        let src = r#"extern int snprintf(char *buf, long n, char *fmt, ...);
+                   int main(void) {
+                     char buf[8];
+                     buf[0] = '!';
+                     int r = snprintf(buf, -1, "%d", 1234567);
+                     if (r != -1) return 1;
+                     if (buf[0] != '!') return 2; /* nothing written */
+                     r = snprintf(buf, 8, "%d", 123);
+                     if (r != 3) return 3;
+                     return 0;
+                   }"#;
+        let (r, _) = run(src);
+        assert_eq!(r.unwrap(), 0);
+    }
+
+    #[test]
+    fn net_recv_rejects_negative_capacity() {
+        let src = "extern long net_recv(char *buf, long cap);\n\
+                   int main(void) {\n\
+                     char buf[8];\n\
+                     long n = net_recv(buf, -4);\n\
+                     if (n != -1) return 1;\n\
+                     n = net_recv(buf, 8);\n\
+                     return (int)n; /* the stream was not drained */\n\
+                   }";
+        let tu = ccured_ast::parse_translation_unit(src).unwrap();
+        let prog = ccured_cil::lower_translation_unit(&tu).unwrap();
+        let mut i = Interp::new(&prog, ExecMode::Original);
+        i.set_input(b"PING".to_vec());
+        assert_eq!(i.run().unwrap(), 4);
     }
 
     #[test]

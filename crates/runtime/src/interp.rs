@@ -140,6 +140,9 @@ pub struct Interp<'p> {
     /// Snapshot of (instrs, loads) while a VM check operand re-evaluates,
     /// restored when the check completes or its evaluation aborts.
     pub(crate) vm_check_save: Option<(u64, u64)>,
+    /// Per-site hit/fail/walk-step counters; `None` (the default) keeps
+    /// profiling overhead at a single branch per check.
+    pub(crate) profile: Option<Box<crate::profile::Profile>>,
     /// Purify/Valgrind shadow bytes per allocation.
     shadow: HashMap<u32, Vec<u8>>,
     /// Jones–Kelly object registry: VA base -> size.
@@ -180,6 +183,7 @@ impl<'p> Interp<'p> {
             fn_info: HashMap::new(),
             compiled: Vec::new(),
             vm_check_save: None,
+            profile: None,
             shadow: HashMap::new(),
             registry: BTreeMap::new(),
             node_cache: HashMap::new(),
@@ -200,6 +204,18 @@ impl<'p> Interp<'p> {
     /// The engine `run`/`call_by_name` will dispatch to.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Enables per-site profiling (Profile mode) with `n_sites` slots —
+    /// pass the length of the cure's site table. Observation-only: output,
+    /// counters, and verdicts are unaffected. Off by default.
+    pub fn enable_profile(&mut self, n_sites: usize) {
+        self.profile = Some(Box::new(crate::profile::Profile::new(n_sites)));
+    }
+
+    /// The per-site profile accumulated so far, if profiling is enabled.
+    pub fn profile(&self) -> Option<&crate::profile::Profile> {
+        self.profile.as_deref()
     }
 
     /// Caps the number of evaluation steps.
@@ -491,7 +507,7 @@ impl<'p> Interp<'p> {
                                     scan_exp(a, need);
                                 }
                             }
-                            Instr::Check(c, _) => scan_check(c, need),
+                            Instr::Check(c, _, _) => scan_check(c, need),
                         }
                     }
                 }
@@ -807,7 +823,7 @@ impl<'p> Interp<'p> {
                 }
                 Ok(())
             }
-            Instr::Check(c, _) => self.exec_check(c),
+            Instr::Check(c, _, site) => self.exec_check(c, *site),
         }
     }
 
@@ -842,28 +858,32 @@ impl<'p> Interp<'p> {
 
     // --------------------------------------------------------------- checks
 
-    fn exec_check(&mut self, c: &Check) -> Result<(), RtError> {
+    fn exec_check(&mut self, c: &Check, site: SiteId) -> Result<(), RtError> {
         // Check operands are re-evaluations of values the surrounding code
         // just computed; in compiled CCured they stay in registers. Only the
         // check-specific cost counters should accrue.
         let instrs_before = self.counters.instrs;
         let loads_before = self.counters.loads;
-        let r = self.exec_check_inner(c);
+        let r = self.exec_check_inner(c, site);
         self.counters.instrs = instrs_before;
         self.counters.loads = loads_before;
         r
     }
 
-    fn exec_check_inner(&mut self, c: &Check) -> Result<(), RtError> {
-        self.bump_check_counter(c);
+    fn exec_check_inner(&mut self, c: &Check, site: SiteId) -> Result<(), RtError> {
+        self.bump_check_counter(c, site);
         let v = self.eval(check_operand(c))?;
-        self.check_verdict(c, v)
+        self.check_verdict(c, v, site)
     }
 
     /// Counts the check in the per-kind cost counters (before the operand is
     /// evaluated, matching compiled CCured where the check instruction itself
-    /// is the unit of cost). Shared by both engines.
-    pub(crate) fn bump_check_counter(&mut self, c: &Check) {
+    /// is the unit of cost) and, in Profile mode, as a hit of its site.
+    /// Shared by both engines.
+    pub(crate) fn bump_check_counter(&mut self, c: &Check, site: SiteId) {
+        if let (Some(prof), Some(i)) = (self.profile.as_deref_mut(), site.index()) {
+            prof.slot(i).hits += 1;
+        }
         match c {
             Check::Null { .. } => self.counters.null_checks += 1,
             Check::SeqBounds { .. } => self.counters.seq_bounds_checks += 1,
@@ -877,7 +897,31 @@ impl<'p> Interp<'p> {
     }
 
     /// Judges an already-evaluated check operand. Shared by both engines.
-    pub(crate) fn check_verdict(&mut self, c: &Check, v: Value) -> Result<(), RtError> {
+    /// In Profile mode the verdict and any RTTI walk steps are also
+    /// attributed to the check's site — observation only, the result is
+    /// passed through untouched.
+    pub(crate) fn check_verdict(
+        &mut self,
+        c: &Check,
+        v: Value,
+        site: SiteId,
+    ) -> Result<(), RtError> {
+        if self.profile.is_none() {
+            return self.check_verdict_inner(c, v);
+        }
+        let steps_before = self.counters.rtti_walk_steps;
+        let r = self.check_verdict_inner(c, v);
+        let steps = self.counters.rtti_walk_steps - steps_before;
+        let failed = matches!(r, Err(RtError::CheckFailed { .. }));
+        if let (Some(prof), Some(i)) = (self.profile.as_deref_mut(), site.index()) {
+            let slot = prof.slot(i);
+            slot.walk_steps += steps;
+            slot.fails += u64::from(failed);
+        }
+        r
+    }
+
+    fn check_verdict_inner(&mut self, c: &Check, v: Value) -> Result<(), RtError> {
         let fail = |check: &'static str, detail: String| -> Result<(), RtError> {
             Err(RtError::CheckFailed { check, detail })
         };

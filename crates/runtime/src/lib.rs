@@ -37,6 +37,7 @@ pub mod external;
 pub mod interp;
 pub mod limits;
 pub mod mem;
+pub mod profile;
 pub mod value;
 
 pub use cost::{CostModel, Counters};
@@ -44,4 +45,5 @@ pub use err::RtError;
 pub use interp::{Engine, ExecMode, Interp};
 pub use limits::Limits;
 pub use mem::{AllocId, AllocKind, Memory, Pointer};
+pub use profile::{Profile, SiteCounters, SiteReport};
 pub use value::{PtrVal, Value};
