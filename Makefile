@@ -1,6 +1,6 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test lint tables bench bench-interp bench-profile bless doc examples smoke profile-smoke stress clean
+.PHONY: all test lint tables bench bench-interp bench-profile bench-opt2 bless doc examples smoke profile-smoke stress clean
 
 all: test
 
@@ -20,6 +20,9 @@ smoke:
 	cargo run -q -p ccured-cli --bin ccured -- explain examples/c/bad_cast.c
 	cargo run -q -p ccured-cli --bin ccured -- crash-test examples/c/quickstart.c --mutants 25
 	cargo run -q -p ccured-cli --bin ccured -- batch examples/c --jobs 4
+	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --report --run --counters
+	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --no-loop-opt --run --counters
+	cargo test -q -p ccured-integration --test opt2
 
 # Hot-site profiling on two examples, under both engines (the rankings
 # must be identical; the tree run is the cross-check).
@@ -49,6 +52,10 @@ bench-interp:
 # E14: hot-site check profiles; writes BENCH_profile.json.
 bench-profile:
 	cargo run --release -p ccured-bench --bin tables -- fig-profile
+
+# E15: loop-optimizer executed-check cost; writes BENCH_opt2.json.
+bench-opt2:
+	cargo run --release -p ccured-bench --bin tables -- fig-opt2
 
 doc:
 	cargo doc --workspace --no-deps

@@ -7,8 +7,8 @@
 //! contract — [`for_each_instr_mut`] replays the same numbering over a
 //! mutable body so a rewrite pass can act on decisions made against the CFG.
 
-use ccured_cil::ir::{Function, Instr, Stmt};
-use std::collections::HashMap;
+use ccured_cil::ir::{Exp, Function, Instr, Stmt};
+use std::collections::{BTreeSet, HashMap};
 
 /// Index of a basic block in [`Cfg::blocks`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,6 +27,19 @@ impl BlockId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InstrId(pub u32);
 
+/// A conditional terminator: the block ends in a two-way branch on `cond`.
+/// Recorded so edge-sensitive analyses (the value-range domain) can refine
+/// facts differently along the taken and fall-through edges.
+#[derive(Debug, Clone)]
+pub struct Branch {
+    /// The branch condition, as written.
+    pub cond: Exp,
+    /// Successor taken when `cond` is non-zero.
+    pub on_true: BlockId,
+    /// Successor taken when `cond` is zero.
+    pub on_false: BlockId,
+}
+
 /// A basic block: straight-line instructions plus successor edges.
 #[derive(Debug, Clone, Default)]
 pub struct BasicBlock {
@@ -34,6 +47,8 @@ pub struct BasicBlock {
     pub instrs: Vec<(InstrId, Instr)>,
     /// Successor blocks.
     pub succs: Vec<BlockId>,
+    /// The conditional terminator, when the block ends in an `if`.
+    pub branch: Option<Branch>,
 }
 
 /// A function body flattened into basic blocks.
@@ -80,6 +95,119 @@ impl Cfg {
     /// Total number of instructions across all blocks.
     pub fn instr_count(&self) -> usize {
         self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Blocks reachable from the entry.
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut work = vec![self.entry];
+        while let Some(b) = work.pop() {
+            if std::mem::replace(&mut seen[b.idx()], true) {
+                continue;
+            }
+            work.extend(self.blocks[b.idx()].succs.iter().copied());
+        }
+        seen
+    }
+
+    /// Dominator sets over the reachable subgraph, by iterative dataflow
+    /// (`dom(b) = {b} ∪ ⋂ dom(preds)`). Unreachable blocks get an empty
+    /// set — they dominate nothing and produce no back edges.
+    pub fn dominators(&self) -> Vec<BTreeSet<BlockId>> {
+        let n = self.blocks.len();
+        let reach = self.reachable();
+        let preds = self.preds();
+        let all: BTreeSet<BlockId> = (0..n as u32)
+            .map(BlockId)
+            .filter(|b| reach[b.idx()])
+            .collect();
+        let mut dom: Vec<BTreeSet<BlockId>> = (0..n)
+            .map(|i| {
+                if !reach[i] {
+                    BTreeSet::new()
+                } else if BlockId(i as u32) == self.entry {
+                    std::iter::once(self.entry).collect()
+                } else {
+                    all.clone()
+                }
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let b = BlockId(i as u32);
+                if !reach[i] || b == self.entry {
+                    continue;
+                }
+                let mut next: Option<BTreeSet<BlockId>> = None;
+                for p in preds[i].iter().filter(|p| reach[p.idx()]) {
+                    next = Some(match next {
+                        None => dom[p.idx()].clone(),
+                        Some(acc) => acc.intersection(&dom[p.idx()]).copied().collect(),
+                    });
+                }
+                let mut next = next.unwrap_or_default();
+                next.insert(b);
+                if next != dom[i] {
+                    dom[i] = next;
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    /// Natural loops: one per back edge `tail → head` (where `head`
+    /// dominates `tail`), with loops sharing a head merged. The body is the
+    /// head plus every block that reaches a tail without passing through
+    /// the head. Sorted by head id, so the numbering is deterministic.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let dom = self.dominators();
+        let preds = self.preds();
+        let mut by_head: HashMap<BlockId, BTreeSet<BlockId>> = HashMap::new();
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let tail = BlockId(i as u32);
+            for &head in &blk.succs {
+                if !dom[i].contains(&head) {
+                    continue;
+                }
+                let body = by_head.entry(head).or_default();
+                body.insert(head);
+                // Walk predecessors backwards from the tail, stopping at
+                // the head.
+                let mut work = vec![tail];
+                while let Some(b) = work.pop() {
+                    if b == head || !body.insert(b) {
+                        continue;
+                    }
+                    work.extend(preds[b.idx()].iter().copied());
+                }
+            }
+        }
+        let mut loops: Vec<NaturalLoop> = by_head
+            .into_iter()
+            .map(|(head, body)| NaturalLoop { head, body })
+            .collect();
+        loops.sort_by_key(|l| l.head);
+        loops
+    }
+}
+
+/// A natural loop: the target of one or more back edges plus every block
+/// on a path from the loop body back to it.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The unique entry (dominating) block of the loop.
+    pub head: BlockId,
+    /// All blocks in the loop, including the head.
+    pub body: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` is inside the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
     }
 }
 
@@ -151,12 +279,17 @@ impl Builder {
                     self.blocks[b.idx()].instrs.push((id, i.clone()));
                 }
             }
-            Stmt::If(_, t, e) => {
+            Stmt::If(cond, t, e) => {
                 let from = self.cur_block();
                 let then_b = self.new_block();
                 let else_b = self.new_block();
                 self.edge(from, then_b);
                 self.edge(from, else_b);
+                self.blocks[from.idx()].branch = Some(Branch {
+                    cond: cond.clone(),
+                    on_true: then_b,
+                    on_false: else_b,
+                });
                 self.cur = Some(then_b);
                 self.stmts(t);
                 let then_end = self.cur;
@@ -392,6 +525,62 @@ mod tests {
             .enumerate()
             .any(|(i, b)| !b.instrs.is_empty() && preds[i].is_empty() && i != 0);
         assert!(dead, "code after goto is predecessor-less");
+    }
+
+    #[test]
+    fn if_block_records_its_branch() {
+        let (_, cfg) = build(
+            "int main(void) { int x; x = 1; if (x < 2) { x = 2; } else { x = 3; } return x; }",
+        );
+        let entry = &cfg.blocks[cfg.entry.idx()];
+        let br = entry.branch.as_ref().expect("entry ends in a branch");
+        assert_eq!(entry.succs.len(), 2);
+        assert!(entry.succs.contains(&br.on_true));
+        assert!(entry.succs.contains(&br.on_false));
+        assert_ne!(br.on_true, br.on_false);
+    }
+
+    #[test]
+    fn while_loop_is_one_natural_loop() {
+        let (_, cfg) =
+            build("int main(void) { int i; i = 0; while (i < 4) { i = i + 1; } return i; }");
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1, "one while loop");
+        let l = &loops[0];
+        assert!(l.contains(l.head));
+        assert!(l.body.len() >= 2, "head plus at least the body block");
+        // The head must dominate every block in the loop body.
+        let dom = cfg.dominators();
+        for b in &l.body {
+            assert!(dom[b.idx()].contains(&l.head), "head dominates {b:?}");
+        }
+    }
+
+    #[test]
+    fn nested_loops_are_distinguished() {
+        let (_, cfg) = build(
+            "int main(void) { int i; int j; int s; s = 0;\n\
+             for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) s = s + 1;\n\
+             return s; }",
+        );
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2, "outer and inner loop");
+        let (a, b) = (&loops[0], &loops[1]);
+        let (outer, inner) = if a.body.len() > b.body.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        for blk in &inner.body {
+            assert!(outer.contains(*blk), "inner loop nests inside outer");
+        }
+        assert!(!inner.contains(outer.head), "outer head outside inner loop");
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let (_, cfg) = build("int main(void) { int x; x = 1; return x; }");
+        assert!(cfg.natural_loops().is_empty());
     }
 
     #[test]

@@ -8,16 +8,20 @@
 //! "unreachable" value inside every fact type.
 
 use crate::cfg::{BlockId, Cfg, InstrId};
-use ccured_cil::ir::Instr;
+use ccured_cil::ir::{Exp, Instr};
 use std::collections::VecDeque;
 
 /// A meet-semilattice of dataflow facts.
 ///
 /// For a must-analysis the meet is set intersection: a fact survives a join
 /// point only when it holds on every incoming path. `meet` must be
-/// commutative, associative, and idempotent, and the lattice must have no
-/// infinite descending chains reachable from the facts a program generates
-/// (all our facts are finite sets drawn from the program text).
+/// associative and idempotent, and the lattice must have no infinite
+/// descending chains reachable from the facts a program generates (all our
+/// facts are finite sets drawn from the program text). One sanctioned
+/// deviation from commutativity: a meet may *widen* — compare against the
+/// old fact (`self`) and jump straight to a coarser value when a component
+/// keeps growing, as the value-range domain does. Widening only accelerates
+/// descent, so the fixpoint stays a sound (if less precise) solution.
 pub trait Lattice: Clone + PartialEq {
     /// Greatest lower bound of two facts.
     fn meet(&self, other: &Self) -> Self;
@@ -33,6 +37,16 @@ pub trait Analysis {
 
     /// Transforms `fact` (the state *before* `instr`) into the state after.
     fn transfer(&mut self, id: InstrId, instr: &Instr, fact: &mut Self::Fact);
+
+    /// Refines `fact` along a conditional edge: `cond` is the branch
+    /// condition of the block just left, and `taken` says whether this edge
+    /// is the true (`if` body) or false (`else`) side. The refinement must
+    /// only *strengthen* the fact with what the branch outcome proves (e.g.
+    /// `i < n` bounds `i`'s range on the true edge). The default is a
+    /// no-op.
+    fn refine_edge(&mut self, cond: &Exp, taken: bool, fact: &mut Self::Fact) {
+        let _ = (cond, taken, fact);
+    }
 }
 
 /// Runs `analysis` forward over `cfg` to fixpoint.
@@ -59,7 +73,18 @@ pub fn forward<A: Analysis>(cfg: &Cfg, analysis: &mut A) -> Vec<Option<A::Fact>>
         for (id, instr) in &cfg.blocks[b.idx()].instrs {
             analysis.transfer(*id, instr, &mut fact);
         }
+        let branch = &cfg.blocks[b.idx()].branch;
         for &s in &cfg.blocks[b.idx()].succs {
+            let mut fact = fact.clone();
+            if let Some(br) = branch {
+                if br.on_true != br.on_false {
+                    if s == br.on_true {
+                        analysis.refine_edge(&br.cond, true, &mut fact);
+                    } else if s == br.on_false {
+                        analysis.refine_edge(&br.cond, false, &mut fact);
+                    }
+                }
+            }
             let merged = match &entry[s.idx()] {
                 None => fact.clone(),
                 Some(old) => old.meet(&fact),

@@ -73,6 +73,9 @@ impl ElisionStats {
             Check::Rtti { .. } => self.rtti += 1,
             Check::IndexBound { .. } => self.index_bound += 1,
             Check::NoStackEscape { .. } => {}
+            // Loop-optimizer artifacts are placed after elimination and are
+            // never deleted by this pass.
+            Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => {}
         }
     }
 }
@@ -108,11 +111,102 @@ pub struct ElisionResult {
     pub site_keeps: BTreeMap<u32, String>,
 }
 
-/// A trackable place: a whole scalar variable whose address is never taken.
+/// A trackable place: a whole scalar variable. Address-taken locals are
+/// tracked too — the escape pre-pass records them in
+/// [`ElimAnalysis::aliased_locals`], and any store through memory (or any
+/// call) kills their facts, so a stale fact can never survive a write
+/// through an alias.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Place {
+pub(crate) enum Place {
     Local(u32),
     Global(u32),
+}
+
+/// An inclusive integer interval, with `i128::MIN`/`i128::MAX` standing in
+/// for −∞/+∞. The value-range domain lets index facts survive arithmetic:
+/// `i = i + 2` shifts the interval instead of destroying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Range {
+    pub lo: i128,
+    pub hi: i128,
+}
+
+impl Range {
+    const FULL: Range = Range {
+        lo: i128::MIN,
+        hi: i128::MAX,
+    };
+
+    fn exact(v: i128) -> Range {
+        Range { lo: v, hi: v }
+    }
+
+    fn is_full(&self) -> bool {
+        *self == Range::FULL
+    }
+
+    /// Whether every value of `self` lies inside `[lo, hi]`.
+    fn within(&self, lo: i128, hi: i128) -> bool {
+        self.lo >= lo && self.hi <= hi
+    }
+
+    fn intersect(&self, o: &Range) -> Range {
+        Range {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    /// Join with widening against the previously stored interval: a bound
+    /// that grows jumps straight to its infinity, so each stored bound
+    /// changes at most twice and the fixpoint terminates. (This is the
+    /// sanctioned non-commutative meet documented on
+    /// [`Lattice`](crate::dataflow::Lattice): `self` is the old fact.)
+    fn widen_join(&self, new: &Range) -> Range {
+        Range {
+            lo: if new.lo < self.lo { i128::MIN } else { self.lo },
+            hi: if new.hi > self.hi { i128::MAX } else { self.hi },
+        }
+    }
+
+    fn add(&self, o: &Range) -> Range {
+        let lo = self.lo.checked_add(o.lo);
+        let hi = self.hi.checked_add(o.hi);
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => Range { lo, hi },
+            _ => Range::FULL,
+        }
+    }
+
+    fn sub(&self, o: &Range) -> Range {
+        let lo = self.lo.checked_sub(o.hi);
+        let hi = self.hi.checked_sub(o.lo);
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => Range { lo, hi },
+            _ => Range::FULL,
+        }
+    }
+
+    fn mul(&self, o: &Range) -> Range {
+        let corners = [
+            self.lo.checked_mul(o.lo),
+            self.lo.checked_mul(o.hi),
+            self.hi.checked_mul(o.lo),
+            self.hi.checked_mul(o.hi),
+        ];
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for c in corners {
+            match c {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => return Range::FULL,
+            }
+        }
+        Range { lo, hi }
+    }
 }
 
 /// The must-facts holding at a program point.
@@ -130,6 +224,8 @@ struct Facts {
     wild_tag: BTreeSet<Place>,
     /// Verified RTTI downcast target node per place.
     rtti: BTreeMap<Place, u32>,
+    /// Known value intervals of integer places (absent = unknown).
+    ranges: BTreeMap<Place, Range>,
 }
 
 fn meet_sets(a: &BTreeSet<Place>, b: &BTreeSet<Place>) -> BTreeSet<Place> {
@@ -156,6 +252,14 @@ impl Lattice for Facts {
                 .filter(|(k, v)| other.rtti.get(k) == Some(v))
                 .map(|(k, v)| (*k, *v))
                 .collect(),
+            ranges: self
+                .ranges
+                .iter()
+                .filter_map(|(k, old)| {
+                    let r = old.widen_join(other.ranges.get(k)?);
+                    (!r.is_full()).then_some((*k, r))
+                })
+                .collect(),
         }
     }
 }
@@ -168,24 +272,29 @@ impl Facts {
         self.wild_bounds.remove(&p);
         self.wild_tag.remove(&p);
         self.rtti.remove(&p);
+        self.ranges.remove(&p);
     }
 
     /// A store through a pointer or into an aggregate/untracked variable:
-    /// globals may alias the written memory, and WILD heap facts (tags,
-    /// area headers) can no longer be trusted.
-    fn kill_memory_write(&mut self) {
-        let keep = |p: &Place| matches!(p, Place::Local(_));
+    /// globals and address-taken locals may alias the written memory (the
+    /// escape pre-pass computed `aliased`), and WILD heap facts (tags,
+    /// area headers) can no longer be trusted. Only facts about locals
+    /// whose address is never taken survive.
+    fn kill_memory_write(&mut self, aliased: &HashSet<u32>) {
+        let keep = |p: &Place| matches!(p, Place::Local(l) if !aliased.contains(l));
         self.nonnull.retain(keep);
         self.null.retain(keep);
-        self.bounds.retain(|p, _| matches!(p, Place::Local(_)));
-        self.rtti.retain(|p, _| matches!(p, Place::Local(_)));
+        self.bounds.retain(|p, _| keep(p));
+        self.rtti.retain(|p, _| keep(p));
+        self.ranges.retain(|p, _| keep(p));
         self.wild_tag.clear();
         self.wild_bounds.clear();
     }
 
-    /// A call: the callee may write any global or any heap cell.
-    fn kill_call(&mut self) {
-        self.kill_memory_write();
+    /// A call: the callee may write any global or any heap cell — including
+    /// any local whose address has escaped.
+    fn kill_call(&mut self, aliased: &HashSet<u32>) {
+        self.kill_memory_write(aliased);
     }
 
     fn copy_all(&mut self, src: Place, dst: Place) {
@@ -206,6 +315,9 @@ impl Facts {
         }
         if let Some(v) = self.rtti.get(&src).copied() {
             self.rtti.insert(dst, v);
+        }
+        if let Some(v) = self.ranges.get(&src).copied() {
+            self.ranges.insert(dst, v);
         }
     }
 
@@ -232,8 +344,10 @@ fn strip_casts(e: &Exp) -> &Exp {
 
 struct ElimAnalysis<'a> {
     prog: &'a Program,
-    /// Locals of the current function whose address is never taken.
-    tracked_locals: HashSet<u32>,
+    /// Locals of the current function whose address is taken somewhere in
+    /// the body (the escape pre-pass). Their facts are tracked between
+    /// memory writes but die at every store through memory and every call.
+    aliased_locals: HashSet<u32>,
     /// Globals whose address is never taken anywhere in the program.
     tracked_globals: &'a HashSet<u32>,
 }
@@ -244,7 +358,7 @@ impl ElimAnalysis<'_> {
             return None;
         }
         match &lv.base {
-            LvBase::Local(l) if self.tracked_locals.contains(&l.0) => Some(Place::Local(l.0)),
+            LvBase::Local(l) => Some(Place::Local(l.0)),
             LvBase::Global(g) if self.tracked_globals.contains(&g.0) => Some(Place::Global(g.0)),
             _ => None,
         }
@@ -265,6 +379,62 @@ impl ElimAnalysis<'_> {
 
     fn is_ptr(&self, t: ccured_cil::types::TypeId) -> bool {
         self.prog.types.ptr_parts(t).is_some()
+    }
+
+    /// The representable interval of an integer type, or `None` for
+    /// non-integer types.
+    fn int_bounds(&self, t: ccured_cil::types::TypeId) -> Option<(i128, i128)> {
+        match self.prog.types.get(t) {
+            ccured_cil::types::Type::Int(k) => {
+                let bits = self.prog.types.machine.int_size(*k) * 8;
+                Some(if k.is_signed() {
+                    (-(1i128 << (bits - 1)), (1i128 << (bits - 1)) - 1)
+                } else {
+                    (0, (1i128 << bits) - 1)
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The conservative value interval of `e` under `fact`. Arithmetic whose
+    /// interval escapes the expression's own type is widened to the full
+    /// range (the evaluator wraps; a wrapped value is anywhere), so the
+    /// returned interval always contains the run-time value.
+    fn exp_range(&self, e: &Exp, fact: &Facts) -> Range {
+        let r = match e {
+            Exp::Const(Const::Int(v, _), _) => Range::exact(*v),
+            Exp::Load(lv, _) => {
+                return self
+                    .place_of_lval(lv)
+                    .and_then(|p| fact.ranges.get(&p).copied())
+                    .unwrap_or(Range::FULL)
+            }
+            Exp::Cast(_, inner, t) => {
+                let r = self.exp_range(inner, fact);
+                return match self.int_bounds(*t) {
+                    Some((lo, hi)) if r.within(lo, hi) => r,
+                    _ => Range::FULL,
+                };
+            }
+            Exp::Binop(op, a, b, _) => {
+                let ra = self.exp_range(a, fact);
+                let rb = self.exp_range(b, fact);
+                match op {
+                    BinOp::Add => ra.add(&rb),
+                    BinOp::Sub => ra.sub(&rb),
+                    BinOp::Mul => ra.mul(&rb),
+                    _ => Range::FULL,
+                }
+            }
+            _ => Range::FULL,
+        };
+        // Wrap safety: trust the interval only when it fits the type the
+        // expression evaluates at.
+        match self.int_bounds(e.ty()) {
+            Some((lo, hi)) if r.within(lo, hi) => r,
+            _ => Range::FULL,
+        }
     }
 
     /// Applies the fact consequences of a *passing* check. Sound because a
@@ -304,18 +474,39 @@ impl ElimAnalysis<'_> {
                     fact.rtti.insert(p, *target_node);
                 }
             }
-            Check::NoStackEscape { .. } | Check::IndexBound { .. } => {}
+            Check::IndexBound { index, len } => {
+                // A passing index check proves `0 ≤ index < len`.
+                if let Some(p) = self.direct_place(index) {
+                    let cur = fact.ranges.get(&p).copied().unwrap_or(Range::FULL);
+                    let proved = Range {
+                        lo: 0,
+                        hi: *len as i128 - 1,
+                    };
+                    fact.ranges.insert(p, cur.intersect(&proved));
+                }
+            }
+            Check::NoStackEscape { .. } => {}
+            // A passing guarded check certifies exactly what its original
+            // would have; probes and resets certify nothing (a probe's
+            // failure does not abort).
+            Check::Guarded { inner, .. } => self.gen_check(inner, fact),
+            Check::Probe { .. } | Check::GuardReset { .. } => {}
         }
     }
 
     fn set_transfer(&self, lv: &Lval, e: &Exp, fact: &mut Facts) {
         let Some(dst) = self.place_of_lval(lv) else {
             // Store through a pointer, into an aggregate, or into an
-            // address-taken/untracked variable.
-            fact.kill_memory_write();
+            // untracked global.
+            fact.kill_memory_write(&self.aliased_locals);
             return;
         };
+        // Evaluate the range before the kill: `i = i + 1` reads the old i.
+        let range = self.exp_range(e, fact);
         fact.kill(dst);
+        if !range.is_full() && self.int_bounds(e.ty()).is_some() {
+            fact.ranges.insert(dst, range);
+        }
         let stripped = strip_casts(e);
         if stripped.is_zero() {
             fact.null.insert(dst);
@@ -343,14 +534,60 @@ impl ElimAnalysis<'_> {
     }
 
     fn call_transfer(&self, ret: &Option<Lval>, fact: &mut Facts) {
-        fact.kill_call();
+        fact.kill_call(&self.aliased_locals);
         if let Some(lv) = ret {
             match self.place_of_lval(lv) {
                 Some(dst) => fact.kill(dst),
-                None => fact.kill_memory_write(),
+                None => fact.kill_memory_write(&self.aliased_locals),
             }
         }
     }
+
+    /// Narrows `p`'s interval with `[lo, hi]`.
+    fn narrow(&self, fact: &mut Facts, p: Place, lo: i128, hi: i128) {
+        let cur = fact.ranges.get(&p).copied().unwrap_or(Range::FULL);
+        let n = cur.intersect(&Range { lo, hi });
+        if !n.is_full() {
+            fact.ranges.insert(p, n);
+        }
+    }
+
+    /// Refines one side of a comparison `a OP b` along a branch edge. Only
+    /// *direct* loads are refined — a cast may have wrapped the value, so
+    /// the comparison outcome says nothing about the un-cast variable.
+    fn refine_cmp(&self, op: BinOp, a: &Exp, b: &Exp, taken: bool, fact: &mut Facts) {
+        let Some(p) = self.direct_place(a) else {
+            return;
+        };
+        let rb = self.exp_range(b, fact);
+        let (lo, hi) = match (op, taken) {
+            // a < b holds: a ≤ max(b) − 1. Fails: a ≥ min(b).
+            (BinOp::Lt, true) => (i128::MIN, rb.hi.saturating_sub(1)),
+            (BinOp::Lt, false) => (rb.lo, i128::MAX),
+            (BinOp::Le, true) => (i128::MIN, rb.hi),
+            (BinOp::Le, false) => (rb.lo.saturating_add(1), i128::MAX),
+            (BinOp::Gt, true) => (rb.lo.saturating_add(1), i128::MAX),
+            (BinOp::Gt, false) => (i128::MIN, rb.hi),
+            (BinOp::Ge, true) => (rb.lo, i128::MAX),
+            (BinOp::Ge, false) => (i128::MIN, rb.hi.saturating_sub(1)),
+            (BinOp::Eq, true) | (BinOp::Ne, false) => (rb.lo, rb.hi),
+            _ => return,
+        };
+        self.narrow(fact, p, lo, hi);
+    }
+}
+
+/// Flips a comparison operator so `a OP b ⇔ b OP' a`.
+fn mirror(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Ge => BinOp::Le,
+        BinOp::Eq => BinOp::Eq,
+        BinOp::Ne => BinOp::Ne,
+        _ => return None,
+    })
 }
 
 impl Analysis for ElimAnalysis<'_> {
@@ -365,6 +602,15 @@ impl Analysis for ElimAnalysis<'_> {
             Instr::Check(c, _, _) => self.gen_check(c, fact),
             Instr::Set(lv, e, _) => self.set_transfer(lv, e, fact),
             Instr::Call(ret, _, _, _) => self.call_transfer(ret, fact),
+        }
+    }
+
+    fn refine_edge(&mut self, cond: &Exp, taken: bool, fact: &mut Facts) {
+        if let Exp::Binop(op, a, b, _) = cond {
+            self.refine_cmp(*op, a, b, taken, fact);
+            if let Some(m) = mirror(*op) {
+                self.refine_cmp(m, b, a, taken, fact);
+            }
         }
     }
 }
@@ -382,7 +628,9 @@ pub fn eliminate_checks(prog: &mut Program) -> ElisionResult {
             *result.site_elides.entry(site).or_insert(0) += n;
         }
         for (site, why) in plan.site_keeps {
-            result.site_keeps.entry(site).or_insert(why);
+            // Last writer wins: the reason recorded for a site must be the
+            // one computed at the final fixpoint, not a stale early answer.
+            result.site_keeps.insert(site, why);
         }
         let body = &mut prog.functions[fi].body;
         let delete = plan.delete;
@@ -404,7 +652,7 @@ fn plan_function(prog: &Program, fi: usize, tracked_globals: &HashSet<u32>) -> P
     let cfg = Cfg::build(func);
     let mut analysis = ElimAnalysis {
         prog,
-        tracked_locals: tracked_locals(func),
+        aliased_locals: aliased_locals(func),
         tracked_globals,
     };
     let entries = forward(&cfg, &mut analysis);
@@ -427,9 +675,8 @@ fn plan_function(prog: &Program, fi: usize, tracked_globals: &HashSet<u32>) -> P
                 match decide(&analysis, func, c, &fact) {
                     Decision::Keep => {
                         if let Some(s) = site.index() {
-                            plan.site_keeps
-                                .entry(s as u32)
-                                .or_insert_with(|| keep_reason(&analysis, c, &fact));
+                            let why = keep_reason(&analysis, c, &fact);
+                            plan.site_keeps.insert(s as u32, why);
                         }
                     }
                     Decision::Elide => {
@@ -442,8 +689,7 @@ fn plan_function(prog: &Program, fi: usize, tracked_globals: &HashSet<u32>) -> P
                     Decision::AlwaysFails(message) => {
                         if let Some(s) = site.index() {
                             plan.site_keeps
-                                .entry(s as u32)
-                                .or_insert_with(|| format!("provably always fails: {message}"));
+                                .insert(s as u32, format!("provably always fails: {message}"));
                         }
                         plan.failures.push(StaticFailure {
                             func: func.name.clone(),
@@ -520,9 +766,27 @@ fn decide(a: &ElimAnalysis<'_>, func: &Function, c: &Check, fact: &Facts) -> Dec
                 // A constant in-bounds index cannot fail.
                 return Decision::Elide;
             }
+            if let Some(p) = a.direct_place(index) {
+                if let Some(r) = fact.ranges.get(&p) {
+                    let len = *len as i128;
+                    if r.within(0, len - 1) {
+                        // The interval proves every value in bounds.
+                        return Decision::Elide;
+                    }
+                    if r.hi < 0 || r.lo >= len {
+                        return Decision::AlwaysFails(format!(
+                            "index is always out of bounds for an array of length {len}: its value lies in [{}, {}]",
+                            r.lo, r.hi
+                        ));
+                    }
+                }
+            }
             Decision::Keep
         }
         Check::NoStackEscape { .. } => Decision::Keep,
+        // Loop-optimizer artifacts: placed after this pass ran; never
+        // rejudged.
+        Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => Decision::Keep,
     }
 }
 
@@ -565,10 +829,28 @@ fn keep_reason(a: &ElimAnalysis<'_>, c: &Check, fact: &Facts) -> String {
             None => UNTRACKED.into(),
             Some(_) => "no dominating downcast to the same target on every incoming path".into(),
         },
-        Check::IndexBound { .. } => "index is not a compile-time constant".into(),
+        Check::IndexBound { index, len } => match a.direct_place(index) {
+            None => "index is not a compile-time constant".into(),
+            Some(p) => match fact.ranges.get(&p) {
+                Some(r) => format!(
+                    "index is not a compile-time constant and its value range [{}, {}] is not contained in [0, {}]",
+                    r.lo,
+                    r.hi,
+                    *len as i128 - 1
+                ),
+                None => "index is not a compile-time constant and its value range is unknown".into(),
+            },
+        },
         Check::NoStackEscape { .. } => {
             "stack-escape checks depend on the run-time value stored and are never elided".into()
         }
+        Check::Probe { slot, .. } => format!(
+            "loop-optimizer probe for guard slot {slot} (runs at most once per loop entry)"
+        ),
+        Check::Guarded { slot, .. } => format!(
+            "residual of a hoisted/widened check (skipped while guard slot {slot} holds)"
+        ),
+        Check::GuardReset { .. } => "loop-optimizer guard reset (no run-time cost)".into(),
     }
 }
 
@@ -579,15 +861,14 @@ fn place_name(a: &ElimAnalysis<'_>, func: &Function, p: Place) -> String {
     }
 }
 
-/// Locals of `func` whose address is never taken.
-fn tracked_locals(func: &Function) -> HashSet<u32> {
+/// Locals of `func` whose address is taken somewhere in the body — the
+/// escape pre-pass shared by the eliminator and the loop optimizer.
+pub(crate) fn aliased_locals(func: &Function) -> HashSet<u32> {
     let mut taken = HashSet::new();
     visit_stmts(&func.body, &mut |e| {
         mark_addr_taken(e, &mut taken, &mut HashSet::new())
     });
-    (0..func.locals.len() as u32)
-        .filter(|l| !taken.contains(l))
-        .collect()
+    taken
 }
 
 /// Globals whose address is never taken anywhere in the program.
@@ -647,16 +928,7 @@ fn visit_stmts(body: &[Stmt], f: &mut impl FnMut(&Exp)) {
                                 visit_exp(a, f);
                             }
                         }
-                        Instr::Check(c, _, _) => match c {
-                            Check::Null { ptr }
-                            | Check::SeqBounds { ptr, .. }
-                            | Check::SeqToSafe { ptr, .. }
-                            | Check::WildBounds { ptr, .. }
-                            | Check::WildTag { ptr }
-                            | Check::Rtti { ptr, .. } => visit_exp(ptr, f),
-                            Check::NoStackEscape { value } => visit_exp(value, f),
-                            Check::IndexBound { index, .. } => visit_exp(index, f),
-                        },
+                        Instr::Check(c, _, _) => visit_check(c, f),
                     }
                 }
             }
@@ -675,6 +947,28 @@ fn visit_stmts(body: &[Stmt], f: &mut impl FnMut(&Exp)) {
             }
             _ => {}
         }
+    }
+}
+
+/// Calls `f` on every expression inside a check, recursing through the
+/// loop-optimizer wrappers.
+pub(crate) fn visit_check(c: &Check, f: &mut impl FnMut(&Exp)) {
+    match c {
+        Check::Null { ptr }
+        | Check::SeqBounds { ptr, .. }
+        | Check::SeqToSafe { ptr, .. }
+        | Check::WildBounds { ptr, .. }
+        | Check::WildTag { ptr }
+        | Check::Rtti { ptr, .. } => visit_exp(ptr, f),
+        Check::NoStackEscape { value } => visit_exp(value, f),
+        Check::IndexBound { index, .. } => visit_exp(index, f),
+        Check::Probe { inner, .. } => {
+            for c in inner {
+                visit_check(c, f);
+            }
+        }
+        Check::Guarded { inner, .. } => visit_check(inner, f),
+        Check::GuardReset { .. } => {}
     }
 }
 
@@ -985,14 +1279,137 @@ mod tests {
     }
 
     #[test]
-    fn address_taken_local_is_untracked() {
+    fn address_taken_local_is_tracked_between_memory_writes() {
+        // &p escapes, but between the two checks nothing writes memory, so
+        // the second check is still provably redundant (the escape pre-pass
+        // tracks p and kills it only at stores through memory and calls).
         let mut prog = lower("int f(int *p) { int **pp; pp = &p; return 0; }");
         let c1 = Stmt::Instr(vec![null_check(&prog, "p")]);
         let c2 = Stmt::Instr(vec![null_check(&prog, "p")]);
         prog.functions[0].body.splice(0..0, [c1, c2]);
         let r = eliminate_checks(&mut prog);
-        assert_eq!(r.stats.null, 0, "&p escapes: p is not trackable");
+        assert_eq!(r.stats.null, 1, "no write can intervene: still redundant");
+        assert_eq!(count_checks(&prog), 1);
+    }
+
+    #[test]
+    fn write_through_alias_invalidates_stale_fact() {
+        // check p; *pp = q (pp aliases p); check p — the second check must
+        // survive: the store through pp may have overwritten p with q,
+        // whose nullness is unknown. This is the satellite regression for
+        // the old `kill_memory_write` that kept facts for *all* locals.
+        let mut prog = lower(
+            "int f(int *p, int *q) {\n\
+               int **pp;\n\
+               pp = &p;\n\
+               *pp = q;\n\
+               return 0;\n\
+             }",
+        );
+        // Find the store-through-pp instruction (a Set whose destination
+        // derefs).
+        let store = prog.functions[0]
+            .body
+            .iter()
+            .position(|s| {
+                matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(
+                    i,
+                    Instr::Set(lv, _, _) if matches!(lv.base, LvBase::Deref(_))
+                )))
+            })
+            .expect("store through alias");
+        let c2 = Stmt::Instr(vec![null_check(&prog, "p")]);
+        let c1 = Stmt::Instr(vec![null_check(&prog, "p")]);
+        prog.functions[0].body.insert(store + 1, c2);
+        prog.functions[0].body.insert(store, c1);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.null, 0, "the aliasing store kills the nonnull fact");
         assert_eq!(count_checks(&prog), 2);
+    }
+
+    fn index_check(prog: &Program, name: &str, len: u64) -> Instr {
+        Instr::Check(
+            Check::IndexBound {
+                index: load(prog, name),
+                len,
+            },
+            Span::DUMMY,
+            SiteId::NONE,
+        )
+    }
+
+    #[test]
+    fn range_facts_survive_arithmetic() {
+        // i = 1; i = i + 2; a[i] with len 4: the interval [3, 3] proves the
+        // index in bounds even though i is not a constant expression at the
+        // check.
+        let mut prog = lower("int f(void) { int i; i = 1; i = i + 2; return i; }");
+        let c = Stmt::Instr(vec![index_check(&prog, "i", 4)]);
+        let last_set = prog.functions[0]
+            .body
+            .iter()
+            .rposition(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Set(..)))),
+            )
+            .expect("assignment");
+        prog.functions[0].body.insert(last_set + 1, c);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.index_bound, 1, "interval [3,3] is within [0,3]");
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn branch_refinement_bounds_the_index() {
+        // f(int i): nothing is known about i, but inside
+        // `if (0 <= i) if (i < 4) ...` the branch edges pin i to [0, 3].
+        let mut prog = lower(
+            "int f(int i) {\n\
+               if (0 <= i) { if (i < 4) { i = i + 0; } }\n\
+               return i;\n\
+             }",
+        );
+        let chk = index_check(&prog, "i", 4);
+        fn push_into_innermost_if(body: &mut [Stmt], chk: &Instr) -> bool {
+            for s in body {
+                if let Stmt::If(_, t, _) = s {
+                    if push_into_innermost_if(t, chk) {
+                        return true;
+                    }
+                    t.insert(0, Stmt::Instr(vec![chk.clone()]));
+                    return true;
+                }
+                if let Stmt::Block(b) = s {
+                    if push_into_innermost_if(b, chk) {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        assert!(push_into_innermost_if(&mut prog.functions[0].body, &chk));
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(
+            r.stats.index_bound, 1,
+            "both guarding branches prove 0 <= i < 4"
+        );
+    }
+
+    #[test]
+    fn range_disjoint_from_array_is_a_static_failure() {
+        let mut prog = lower("int f(void) { int i; i = 9; return i; }");
+        let c = Stmt::Instr(vec![index_check(&prog, "i", 4)]);
+        let set = prog.functions[0]
+            .body
+            .iter()
+            .position(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Set(..)))),
+            )
+            .expect("assignment");
+        prog.functions[0].body.insert(set + 1, c);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].message.contains("out of bounds"));
+        assert_eq!(count_checks(&prog), 1, "the failing check is kept");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Loop-invariant check hoisting.
+//!
+//! A null or RTTI check whose operand is loop-invariant gives the same
+//! verdict on every iteration: its verdict is a function of the operand
+//! *value* alone (null compares the pointer word against zero; the RTTI
+//! check walks the hierarchy from the node carried *inside* the fat
+//! value), and an invariant operand evaluates to the same value on every
+//! iteration of the subtree. So the check needs to actually run only once
+//! per loop entry.
+//!
+//! The pass rewrites each such check into a [`Check::Probe`] /
+//! [`Check::Guarded`] pair in place (see [`crate::loops`]): the probe runs
+//! the original check on the first iteration that reaches the site, and
+//! the residual is skipped while the guard holds. Soundness is immediate —
+//! the one probed evaluation *is* the first per-iteration check, and
+//! invariance makes every later evaluation equal to it. If the probe fails
+//! the guard latches "fail" and the residual runs every iteration exactly
+//! like the unoptimized program, aborting at the original site with the
+//! original blame.
+//!
+//! WILD checks are never hoisted: their verdicts depend on the area's tag
+//! bits, which stores in the loop can change.
+
+use crate::loops::{exp_invariant, guard_check_at, FnCx, OptAction, SubtreeInfo};
+use ccured_cil::ir::{Check, Instr, Stmt, SwitchArm};
+
+/// Hoists every loop-invariant null/RTTI check in the subtree, appending
+/// the allocated guard slots to `slots` (their resets are planted before
+/// the loop by the caller).
+pub(crate) fn hoist_invariant_checks(
+    cx: &mut FnCx,
+    body: &mut [Stmt],
+    info: &SubtreeInfo,
+    slots: &mut Vec<u32>,
+) {
+    for s in body.iter_mut() {
+        match s {
+            Stmt::Instr(instrs) => hoist_in_instrs(cx, instrs, info, slots),
+            Stmt::If(_, t, e) => {
+                hoist_invariant_checks(cx, t, info, slots);
+                hoist_invariant_checks(cx, e, info, slots);
+            }
+            Stmt::Loop(b) | Stmt::Block(b) => hoist_invariant_checks(cx, b, info, slots),
+            Stmt::Switch(_, arms) => {
+                for SwitchArm { body, .. } in arms.iter_mut() {
+                    hoist_invariant_checks(cx, body, info, slots);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn hoist_in_instrs(
+    cx: &mut FnCx,
+    instrs: &mut Vec<Instr>,
+    info: &SubtreeInfo,
+    slots: &mut Vec<u32>,
+) {
+    let mut j = 0;
+    while j < instrs.len() {
+        let hoistable = match &instrs[j] {
+            Instr::Check(Check::Null { ptr } | Check::Rtti { ptr, .. }, _, _) => {
+                exp_invariant(cx, info, ptr)
+            }
+            _ => false,
+        };
+        if hoistable {
+            let Instr::Check(c, _, site) = &instrs[j] else {
+                unreachable!();
+            };
+            let (site, inner) = (*site, c.clone());
+            let slot = cx.alloc_slot();
+            guard_check_at(instrs, j, slot, vec![inner]);
+            slots.push(slot);
+            cx.record(site, OptAction::Hoisted);
+            j += 1; // step over the planted probe and its residual
+        }
+        j += 1;
+    }
+}

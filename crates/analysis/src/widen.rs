@@ -1,0 +1,224 @@
+//! SEQ bounds-check widening for monotone strided loops.
+//!
+//! For the canonical counted-loop shape the frontend lowers `for`/`while`
+//! loops into, the per-iteration SEQ bounds check `CHECK_SEQ(b + i)` is
+//! replaced by a [`Check::Probe`] that runs exactly twice' worth of checks
+//! on the first iteration — the original check (at the entry index) plus a
+//! check of the *last* index the loop can reach — and latches a guard that
+//! skips the per-iteration residual for the rest of the trip.
+//!
+//! # The matched shape
+//!
+//! ```text
+//! loop {
+//!   if (i < bound) {} else { break; }   // spine[0]: the guard
+//!   ... straight-line instrs, no writes to i ...
+//!   CHECK_SEQ(base + i, size)           // the widened check
+//!   ...
+//!   i = i + 1                           // the only write to i anywhere
+//! }
+//! ```
+//!
+//! with `i` an unaliased local, `base` loop-invariant, and `bound` either
+//! an integer constant or a direct load of an unaliased local the subtree
+//! never assigns. Casts are looked through only when value-preserving
+//! (see [`crate::loops::strip_preserving_casts`]).
+//!
+//! # Soundness
+//!
+//! Let `i₀` be `i`'s value when the probe runs (the first iteration that
+//! reaches the check). The probe verifies `base + i₀` (the original check,
+//! so the entry offset is in bounds) and `base + (bound − 1)` (the last
+//! index the guard can ever let through). Because the subtree's only write
+//! to `i` is a single `+1` step and every path to the access re-passes the
+//! `i < bound` guard, every later access index lies in `[i₀, bound − 1]`.
+//! A SEQ region is one contiguous `[b, e)` interval and the offset is
+//! monotone in the index, so both endpoints in bounds implies every
+//! intermediate index is in bounds. If either endpoint check fails the
+//! guard latches "fail" and the residual runs per-iteration, aborting at
+//! the first actually-out-of-bounds index with the original site blame —
+//! a conservatively-widened probe can never abort a program the
+//! unoptimized one would not.
+//!
+//! `bound − 1` cannot wrap: the subtraction is evaluated at `bound`'s own
+//! integer type, and it underflows only when `bound` is the type's
+//! minimum — but then `i < bound` is unsatisfiable, the body never runs,
+//! and the probe (which sits *inside* the loop) never executes.
+//!
+//! The prefix between the guard and the check must be straight-line
+//! instructions: a label there could let an in-loop goto re-enter between
+//! guard and access without re-checking `i < bound`.
+
+use crate::loops::{
+    direct_local_load, exp_invariant, guard_check_at, strip_preserving_casts, FnCx, OptAction,
+    SubtreeInfo,
+};
+use ccured_cil::ir::{BinOp, Check, Const, Exp, Instr, LvBase, Stmt};
+use ccured_cil::types::Type;
+
+/// Tries to widen the first matching per-iteration SEQ bounds check of
+/// this loop. Returns the allocated guard slot on success.
+pub(crate) fn try_widen(cx: &mut FnCx, body: &mut [Stmt], info: &SubtreeInfo) -> Option<u32> {
+    // spine[0]: `if (i < bound) {} else { break; }`.
+    let Some(Stmt::If(cond, then_b, else_b)) = body.first() else {
+        return None;
+    };
+    if !then_b.is_empty() || !matches!(else_b.as_slice(), [Stmt::Break]) {
+        return None;
+    }
+    let Exp::Binop(BinOp::Lt, lhs, bound, _) = cond else {
+        return None;
+    };
+    let (idx_local, _) = direct_local_load(cx.types, lhs)?;
+    if cx.aliased.contains(&idx_local) {
+        return None;
+    }
+    let bound = strip_preserving_casts(cx.types, bound);
+    let bound_ok = match bound {
+        Exp::Const(Const::Int(..), _) => true,
+        _ => matches!(direct_local_load(cx.types, bound),
+            Some((l, _)) if !info.assigned.contains(&l) && !cx.aliased.contains(&l)),
+    };
+    if !bound_ok {
+        return None;
+    }
+    let Type::Int(bound_kind) = cx.types.get(bound.ty()) else {
+        return None;
+    };
+    let bound_kind = *bound_kind;
+
+    // The single-increment rule: exactly one write to i in the whole
+    // subtree, and it is the canonical `i = i + 1` step.
+    if !single_unit_increment(cx, body, idx_local) {
+        return None;
+    }
+
+    // Find the check along the straight-line prefix after the guard.
+    let (pos, at, base, ptr_ty, access_size) = find_check(cx, body, info, idx_local)?;
+
+    // Build the endpoint check: `base + (bound - 1)` at the original
+    // access size. The subtraction happens at `bound`'s own type (wrap
+    // analyzed in the module docs).
+    let endpoint_idx = Exp::Binop(
+        BinOp::Sub,
+        Box::new(bound.clone()),
+        Box::new(Exp::int(1, bound_kind, bound.ty())),
+        bound.ty(),
+    );
+    let endpoint = Check::SeqBounds {
+        ptr: Exp::Binop(
+            BinOp::PlusPI,
+            Box::new(base),
+            Box::new(endpoint_idx),
+            ptr_ty,
+        ),
+        access_size,
+    };
+
+    let Stmt::Instr(instrs) = &mut body[pos] else {
+        unreachable!("find_check only returns Instr positions");
+    };
+    let Instr::Check(original, _, site) = &instrs[at] else {
+        unreachable!("find_check only returns check instructions");
+    };
+    let (site, original) = (*site, original.clone());
+    let slot = cx.alloc_slot();
+    guard_check_at(instrs, at, slot, vec![original, endpoint]);
+    cx.record(site, OptAction::Widened);
+    Some(slot)
+}
+
+/// Locates the first `CHECK_SEQ(base + i)` reachable from the guard
+/// through straight-line instructions with no intervening write to `i`.
+/// Returns `(spine position, instr index, base clone, ptr type, size)`.
+fn find_check(
+    cx: &FnCx,
+    body: &[Stmt],
+    info: &SubtreeInfo,
+    idx_local: u32,
+) -> Option<(usize, usize, Exp, ccured_cil::types::TypeId, u64)> {
+    for (pos, s) in body.iter().enumerate().skip(1) {
+        let Stmt::Instr(instrs) = s else {
+            // Anything else (a label, a branch) ends the provably
+            // straight-line prefix.
+            return None;
+        };
+        for (at, instr) in instrs.iter().enumerate() {
+            match instr {
+                Instr::Set(lv, _, _) | Instr::Call(Some(lv), _, _, _) if matches!(&lv.base, LvBase::Local(l) if l.0 == idx_local) =>
+                {
+                    // The increment (or another write) precedes any
+                    // matchable check on this path.
+                    return None;
+                }
+                Instr::Check(Check::SeqBounds { ptr, access_size }, _, _) => {
+                    let Exp::Binop(BinOp::PlusPI, base, idx, ptr_ty) =
+                        strip_preserving_casts(cx.types, ptr)
+                    else {
+                        continue;
+                    };
+                    let matches_idx =
+                        matches!(direct_local_load(cx.types, idx), Some((l, _)) if l == idx_local);
+                    if matches_idx && exp_invariant(cx, info, base) {
+                        return Some((pos, at, (**base).clone(), *ptr_ty, *access_size));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Does the subtree write `i` exactly once, via the canonical
+/// `i = i + 1`?
+fn single_unit_increment(cx: &FnCx, body: &[Stmt], idx_local: u32) -> bool {
+    let mut writes = Vec::new();
+    collect_writes(body, idx_local, &mut writes);
+    let [Some(e)] = writes.as_slice() else {
+        return false;
+    };
+    let Exp::Binop(BinOp::Add, a, b, _) = strip_preserving_casts(cx.types, e) else {
+        return false;
+    };
+    matches!(direct_local_load(cx.types, a), Some((l, _)) if l == idx_local)
+        && matches!(
+            strip_preserving_casts(cx.types, b),
+            Exp::Const(Const::Int(1, _), _)
+        )
+}
+
+/// Collects the RHS of every write to `idx_local` in the subtree
+/// (`None` for call results, which are never the canonical step).
+fn collect_writes<'a>(body: &'a [Stmt], idx_local: u32, out: &mut Vec<Option<&'a Exp>>) {
+    for s in body {
+        match s {
+            Stmt::Instr(instrs) => {
+                for i in instrs {
+                    match i {
+                        Instr::Set(lv, e, _) if matches!(&lv.base, LvBase::Local(l) if l.0 == idx_local) =>
+                        {
+                            out.push(Some(e));
+                        }
+                        Instr::Call(Some(lv), _, _, _) if matches!(&lv.base, LvBase::Local(l) if l.0 == idx_local) =>
+                        {
+                            out.push(None);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Stmt::If(_, t, e) => {
+                collect_writes(t, idx_local, out);
+                collect_writes(e, idx_local, out);
+            }
+            Stmt::Loop(b) | Stmt::Block(b) => collect_writes(b, idx_local, out),
+            Stmt::Switch(_, arms) => {
+                for arm in arms {
+                    collect_writes(&arm.body, idx_local, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}

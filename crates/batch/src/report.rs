@@ -622,6 +622,7 @@ mod tests {
                 static_count: 1,
                 elided: 0,
                 keep_reason: None,
+                opt_action: None,
             },
             hits,
             fails: 0,

@@ -1,9 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|fig-profile|all] [--smoke]`
+//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|fig-profile|fig-opt2|all] [--smoke]`
 //!
-//! `fig-interp` and `fig-profile` write `BENCH_interp.json` /
-//! `BENCH_profile.json` to the working directory;
+//! `fig-interp`, `fig-profile` and `fig-opt2` write `BENCH_interp.json` /
+//! `BENCH_profile.json` / `BENCH_opt2.json` to the working directory;
 //! `--smoke` shrinks its workloads for CI.
 //!
 //! Each table prints our measurement next to the paper's reported value
@@ -26,6 +26,7 @@ const TABLES: &[&str] = &[
     "fig-batch",
     "fig-interp",
     "fig-profile",
+    "fig-opt2",
     "all",
 ];
 
@@ -77,6 +78,9 @@ fn main() {
     }
     if all || which == "fig-profile" {
         fig_profile_table(smoke);
+    }
+    if all || which == "fig-opt2" {
+        fig_opt2_table(smoke);
     }
 }
 
@@ -471,5 +475,51 @@ fn fig_profile_table(smoke: bool) {
     match std::fs::write("BENCH_profile.json", f.to_json()) {
         Ok(()) => println!("wrote BENCH_profile.json"),
         Err(e) => eprintln!("could not write BENCH_profile.json: {e}"),
+    }
+}
+
+fn fig_opt2_table(smoke: bool) {
+    println!(
+        "== E15: loop-optimizer executed-check cost, no-opt vs elim-only vs full{} ==\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let f = fig_opt2(smoke);
+    let rows: Vec<Vec<String>> = f
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                if r.strided { "yes" } else { "" }.to_string(),
+                format!("{:.0}", r.noopt),
+                format!("{:.0}", r.elim),
+                format!("{:.0}", r.full),
+                format!("{:.0}%", r.reduction() * 100.0),
+                format!("{}/{}", r.hoisted, r.widened),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "strided",
+                "no-opt",
+                "elim-only",
+                "full",
+                "reduction",
+                "hoist/widen"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "geomean executed-check-cost reduction, strided subset: {:.1}% (target ≥15%)",
+        f.geomean_reduction_strided() * 100.0
+    );
+    match std::fs::write("BENCH_opt2.json", f.to_json()) {
+        Ok(()) => println!("wrote BENCH_opt2.json"),
+        Err(e) => eprintln!("could not write BENCH_opt2.json: {e}"),
     }
 }

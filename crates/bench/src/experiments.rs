@@ -926,6 +926,158 @@ pub fn profile_overhead(reps: u32) -> f64 {
     (ln_sum / corpus.len().max(1) as f64).exp()
 }
 
+/// E15 (`fig-opt2`): one workload's executed-check cost under the three
+/// optimizer configurations.
+#[derive(Debug, Clone)]
+pub struct Opt2Row {
+    /// Workload name.
+    pub name: String,
+    /// Whether this is one of the strided workloads the ≥15% headline
+    /// claim is asserted over (monotone induction-variable SEQ loops).
+    pub strided: bool,
+    /// Executed-check cycles with no static optimization (`--no-opt`).
+    pub noopt: f64,
+    /// Executed-check cycles with elimination only (`--no-loop-opt`,
+    /// the PR-5 baseline the loop passes are measured against).
+    pub elim: f64,
+    /// Executed-check cycles with the full optimizer (default).
+    pub full: f64,
+    /// Checks hoisted to loop-entry probes (static count).
+    pub hoisted: u64,
+    /// Per-iteration bounds checks widened to whole-trip probes.
+    pub widened: u64,
+}
+
+impl Opt2Row {
+    /// Fractional executed-check-cost reduction of the loop passes over
+    /// the elimination-only baseline (`0.30` = 30% fewer check cycles).
+    pub fn reduction(&self) -> f64 {
+        if self.elim <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.full / self.elim
+        }
+    }
+}
+
+/// E15 (`fig-opt2`): the whole comparison.
+#[derive(Debug, Clone)]
+pub struct Opt2Fig {
+    /// Per-workload costs.
+    pub rows: Vec<Opt2Row>,
+}
+
+impl Opt2Fig {
+    /// Geometric mean of the loop passes' cost reduction over the strided
+    /// subset — the headline E15 claim (target ≥ 15%).
+    pub fn geomean_reduction_strided(&self) -> f64 {
+        let strided: Vec<&Opt2Row> = self.rows.iter().filter(|r| r.strided).collect();
+        if strided.is_empty() {
+            return 0.0;
+        }
+        let ln_sum: f64 = strided
+            .iter()
+            .map(|r| (r.full / r.elim.max(1e-9)).max(1e-9).ln())
+            .sum();
+        1.0 - (ln_sum / strided.len() as f64).exp()
+    }
+
+    /// `BENCH_opt2.json` — machine-readable record for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"experiment\": \"fig-opt2\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"strided\": {}, \"noopt_check_cycles\": {:.1}, \
+                 \"elim_check_cycles\": {:.1}, \"full_check_cycles\": {:.1}, \
+                 \"reduction\": {:.3}, \"hoisted\": {}, \"widened\": {}}}{}\n",
+                r.name,
+                r.strided,
+                r.noopt,
+                r.elim,
+                r.full,
+                r.reduction(),
+                r.hoisted,
+                r.widened,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"geomean_reduction_strided\": {:.3}\n}}\n",
+            self.geomean_reduction_strided()
+        ));
+        s
+    }
+}
+
+/// E15 (`fig-opt2`): executed-check cost of no-opt vs elimination-only vs
+/// the full loop optimizer (hoisting + widening), over the strided
+/// microbenchmarks and a slice of the Figure 9 system corpus. Costs come
+/// from the deterministic per-kind check counters × [`CostModel`], so the
+/// figure is exactly reproducible; the three runs of each workload are
+/// also asserted observationally identical (the differential suite in
+/// `tests/tests/opt2.rs` does this exhaustively).
+pub fn fig_opt2(smoke: bool) -> Opt2Fig {
+    use ccured_workloads::olden;
+    let (strided, rest) = if smoke {
+        (
+            vec![micro::seq_index(50), micro::ptr_store(25)],
+            vec![
+                micro::safe_deref(100),
+                micro::rtti_dispatch(50),
+                olden::treeadd(8),
+                daemons::ftpd(4, false),
+                daemons::sendmail_like(6, false),
+            ],
+        )
+    } else {
+        (
+            vec![micro::seq_index(400), micro::ptr_store(200)],
+            vec![
+                micro::safe_deref(800),
+                micro::rtti_dispatch(400),
+                olden::treeadd(10),
+                olden::em3d(32, 4, 12),
+                daemons::ftpd(8, false),
+                daemons::sendmail_like(12, false),
+                daemons::openssh_like(30, false),
+            ],
+        )
+    };
+    let model = CostModel::default();
+    let opts = InferOptions::default();
+    let mut rows = Vec::new();
+    for (ws, is_strided) in [(strided, true), (rest, false)] {
+        for w in ws {
+            let noopt = runner::run_cured_loop_opt(&w, &opts, false, false)
+                .expect("fig-opt2 cure (no-opt)");
+            let elim = runner::run_cured_loop_opt(&w, &opts, true, false)
+                .expect("fig-opt2 cure (elim-only)");
+            let full =
+                runner::run_cured_loop_opt(&w, &opts, true, true).expect("fig-opt2 cure (full)");
+            assert_eq!(
+                full.stats.output, noopt.stats.output,
+                "{}: optimizer changed program output",
+                w.name
+            );
+            assert_eq!(
+                full.stats.error, noopt.stats.error,
+                "{}: optimizer changed the verdict",
+                w.name
+            );
+            rows.push(Opt2Row {
+                name: w.name.clone(),
+                strided: is_strided,
+                noopt: model.check_cycles(&noopt.stats.counters),
+                elim: model.check_cycles(&elim.stats.counters),
+                full: model.check_cycles(&full.stats.counters),
+                hoisted: full.cured.report.checks_hoisted,
+                widened: full.cured.report.checks_widened,
+            });
+        }
+    }
+    Opt2Fig { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -991,6 +1143,53 @@ mod tests {
             o < 1.05,
             "profiling must cost <5% wall-clock, measured {:.1}%",
             (o - 1.0) * 100.0
+        );
+    }
+
+    /// E15: the loop passes never add executed-check cost anywhere, win
+    /// strictly on every strided workload, and the report attributes the
+    /// wins (widened > 0 where the win came from widening).
+    #[test]
+    fn fig_opt2_never_regresses_and_attributes_wins() {
+        let f = fig_opt2(true);
+        for r in &f.rows {
+            assert!(
+                r.full <= r.elim + 1e-9,
+                "{}: loop passes added check cost ({} > {})",
+                r.name,
+                r.full,
+                r.elim
+            );
+            assert!(
+                r.elim <= r.noopt + 1e-9,
+                "{}: eliminator added check cost",
+                r.name
+            );
+            if r.strided {
+                assert!(r.widened > 0, "{}: strided loop must widen", r.name);
+                assert!(r.full < r.elim, "{}: widening must win", r.name);
+            }
+        }
+        let j = f.to_json();
+        assert!(j.contains("\"experiment\": \"fig-opt2\""), "{j}");
+        assert!(j.contains("\"geomean_reduction_strided\""), "{j}");
+    }
+
+    /// E15 headline: ≥15% geometric-mean executed-check-cost reduction on
+    /// the strided workloads, full-size corpus. The metric is
+    /// deterministic (counters × cost model), but the full corpus is too
+    /// slow for debug CI, so the smoke-size shape test above carries the
+    /// always-on coverage.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "full-size corpus is only run in release")]
+    fn fig_opt2_strided_reduction_at_least_fifteen_percent() {
+        let f = fig_opt2(false);
+        let g = f.geomean_reduction_strided();
+        assert!(
+            g >= 0.15,
+            "loop optimizer must cut ≥15% of executed-check cost on strided \
+             workloads (geomean), got {:.1}%",
+            g * 100.0
         );
     }
 

@@ -370,6 +370,38 @@ pub enum Check {
         /// The static array length.
         len: u64,
     },
+    /// Loop-optimizer probe: placed by the hoisting/widening passes
+    /// immediately before a [`Check::Guarded`] residual. When the frame's
+    /// guard `slot` is unset it evaluates every `inner` check; if all pass
+    /// the slot is latched to "pass" (and exactly one check event of
+    /// `inner[0]`'s kind is counted), otherwise to "fail" (counting
+    /// nothing — the residual checks then run per-iteration and account
+    /// exactly like the unoptimized program). A probe never aborts.
+    Probe {
+        /// Frame-local guard slot shared with the residual check.
+        slot: u32,
+        /// The checks whose conjunction the guard summarizes. For hoisting
+        /// this is the residual check itself; for SEQ widening it is the
+        /// per-iteration check plus the last-index endpoint check.
+        inner: Vec<Check>,
+    },
+    /// A check wrapped by the loop optimizer: skipped (free of charge)
+    /// while the frame's guard `slot` is latched "pass", executed exactly
+    /// like the original `inner` check otherwise — so a failing widened
+    /// range still blames the precise per-iteration site.
+    Guarded {
+        /// Frame-local guard slot set by the matching [`Check::Probe`].
+        slot: u32,
+        /// The original check, unchanged.
+        inner: Box<Check>,
+    },
+    /// Unlatches a guard slot. Placed immediately before the loop a probe
+    /// lives in, so re-entering the loop re-establishes the guard (the
+    /// probed operands may have changed between entries).
+    GuardReset {
+        /// The guard slot to unlatch.
+        slot: u32,
+    },
 }
 
 impl Check {
@@ -384,6 +416,20 @@ impl Check {
             Check::Rtti { .. } => "rtti",
             Check::NoStackEscape { .. } => "no_stack_escape",
             Check::IndexBound { .. } => "index_bound",
+            Check::Probe { .. } => "probe",
+            Check::Guarded { .. } => "guarded",
+            Check::GuardReset { .. } => "guard_reset",
+        }
+    }
+
+    /// The check this one accounts as: `Guarded` and `Probe` stand in for
+    /// the original check they wrap (counters, profiles and reports
+    /// attribute their events to that kind), everything else for itself.
+    pub fn accounted(&self) -> &Check {
+        match self {
+            Check::Guarded { inner, .. } => inner.accounted(),
+            Check::Probe { inner, .. } => inner.first().map_or(self, Check::accounted),
+            _ => self,
         }
     }
 }

@@ -143,6 +143,10 @@ pub struct Options {
     pub no_rtti: bool,
     /// Disable redundant-check elimination.
     pub no_opt: bool,
+    /// Disable only the loop optimizer (hoisting + widening), keeping the
+    /// flow-sensitive eliminator on — the ablation between PR-5 and PR-6
+    /// optimization levels.
+    pub no_loop_opt: bool,
     /// Force SPLIT everywhere.
     pub split_everything: bool,
     /// Seed SPLIT at boundaries.
@@ -233,6 +237,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--original-ccured" => o.original_ccured = true,
             "--no-rtti" => o.no_rtti = true,
             "--no-opt" => o.no_opt = true,
+            "--no-loop-opt" => o.no_loop_opt = true,
             "--sym" => o.sym = Some(need(&mut it, "--sym")?),
             "--json" => o.json = true,
             "--mutants" => {
@@ -445,6 +450,9 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
         let full = with_prelude(o, source);
         let map = ccured_ast::SourceMap::new(&o.file, full);
         render_explanations(&cured, o, &map, &mut out);
+        if o.explain && o.sym.is_none() {
+            render_opt_actions(&cured, o, &map, &mut out);
+        }
     }
     if o.emit_ir {
         out.push_str(&ccured_cil::pretty::dump_program(&cured.program));
@@ -534,6 +542,7 @@ fn curer(o: &Options) -> Curer {
         c.rtti(false);
     }
     c.optimize(!o.no_opt);
+    c.loop_optimize(!o.no_loop_opt);
     c.split_everything(o.split_everything);
     c.split_at_boundaries(o.split_at_boundaries);
     c.strict_link(o.strict_link);
@@ -601,6 +610,37 @@ fn render_explanations(cured: &Cured, o: &Options, map: &ccured_ast::SourceMap, 
                 out.push_str("explain: no WILD pointers — nothing to explain\n");
             }
         }
+    }
+}
+
+/// Lists the check sites the loop optimizer rewrote (hoisted/widened),
+/// with their final keep-reasons — the `ccured explain` view of the
+/// second-generation optimizer's work.
+fn render_opt_actions(cured: &Cured, o: &Options, map: &ccured_ast::SourceMap, out: &mut String) {
+    let shift = prelude_lines(o);
+    let acted: Vec<&ccured::instrument::CheckSite> = cured
+        .sites
+        .iter()
+        .filter(|s| s.opt_action.is_some())
+        .collect();
+    if acted.is_empty() {
+        return;
+    }
+    out.push_str(&format!(
+        "\ncheck optimization ({} sites rewritten by the loop optimizer):\n",
+        acted.len()
+    ));
+    for s in acted {
+        let (loc, _) = site_location(o, map, shift, s);
+        // The keep-reason of a rewritten site is "<action>: <how>"; the
+        // action is already printed, so show only the how.
+        let reason = s.keep_reason.as_deref().unwrap_or("");
+        let how = reason.split_once(": ").map_or(reason, |(_, r)| r);
+        out.push_str(&format!(
+            "  {loc}: {} check {} — {how}\n",
+            s.check,
+            s.opt_action.unwrap_or("?"),
+        ));
     }
 }
 
@@ -756,6 +796,9 @@ fn render_profile(
                 r.site.elided, r.site.static_count
             ));
         }
+        if let Some(a) = r.site.opt_action {
+            out.push_str(&format!("     = loop optimizer: {a}\n"));
+        }
     }
     // The eliminator's side of the story: the hot sites it had to keep.
     let missed: Vec<&ccured_rt::SiteReport> = rows
@@ -804,10 +847,14 @@ fn profile_json(
             Some(why) => format!("\"{}\"", json_escape(why)),
             None => "null".into(),
         };
+        let action = match r.site.opt_action {
+            Some(a) => format!("\"{a}\""),
+            None => "null".into(),
+        };
         s.push_str(&format!(
             "{{\"rank\":{},\"func\":\"{}\",\"span_lo\":{},\"check\":\"{}\",\"ptr_kind\":\"{}\",\
              \"static_count\":{},\"elided\":{},\"hits\":{},\"fails\":{},\"walk_steps\":{},\
-             \"cost\":{:.1},\"keep_reason\":{}}}",
+             \"cost\":{:.1},\"keep_reason\":{},\"opt_action\":{}}}",
             rank + 1,
             json_escape(&r.site.func),
             r.site.span.lo,
@@ -819,7 +866,8 @@ fn profile_json(
             r.fails,
             r.walk_steps,
             r.cost,
-            reason
+            reason,
+            action
         ));
     }
     s.push_str("]}\n");
@@ -869,6 +917,12 @@ fn render_report(cured: &Cured, out: &mut String) {
         e.rtti,
         e.index_bound
     ));
+    if r.checks_hoisted + r.checks_widened > 0 {
+        out.push_str(&format!(
+            "loop optimizer: {} checks hoisted (run once per loop entry), {} widened (whole-trip range probe)\n",
+            r.checks_hoisted, r.checks_widened
+        ));
+    }
     if !r.wrappers_applied.is_empty() {
         out.push_str(&format!(
             "wrappers applied: {}\n",

@@ -58,6 +58,8 @@ impl CheckCounts {
             Check::Rtti { .. } => self.rtti += 1,
             Check::NoStackEscape { .. } => self.no_stack_escape += 1,
             Check::IndexBound { .. } => self.index_bound += 1,
+            // Synthesized by the loop optimizer, never by instrumentation.
+            Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => {}
         }
     }
 }
@@ -87,6 +89,9 @@ pub struct CheckSite {
     /// Why the optimizer kept the surviving instructions (`None` until the
     /// optimizer runs, or when it deleted every one).
     pub keep_reason: Option<String>,
+    /// What the loop optimizer did to the surviving instructions
+    /// (`"hoisted"` / `"widened"`, `None` when untouched).
+    pub opt_action: Option<&'static str>,
 }
 
 /// The inferred pointer kind a check guards, as rendered in profiles.
@@ -97,6 +102,10 @@ pub fn check_ptr_kind(c: &Check) -> &'static str {
         Check::WildBounds { .. } | Check::WildTag { .. } => "wild",
         Check::Rtti { .. } => "rtti",
         Check::NoStackEscape { .. } | Check::IndexBound { .. } => "-",
+        // Guard machinery reports the kind of the check it stands in for.
+        Check::Guarded { inner, .. } => check_ptr_kind(inner),
+        Check::Probe { inner, .. } => inner.first().map_or("-", check_ptr_kind),
+        Check::GuardReset { .. } => "-",
     }
 }
 
@@ -248,6 +257,7 @@ impl<'a> Ctx<'a> {
                     static_count: 1,
                     elided: 0,
                     keep_reason: None,
+                    opt_action: None,
                 });
                 id
             }

@@ -4,7 +4,7 @@
 use crate::hierarchy::Hierarchy;
 use crate::instrument::{instrument, CheckCounts, CheckSite};
 use crate::wrappers::{apply_wrappers, check_link, LinkIssue};
-use ccured_analysis::{eliminate_checks, ElisionResult, ElisionStats, StaticFailure};
+use ccured_analysis::{optimize_program, ElisionStats, OptResult, StaticFailure};
 use ccured_cil::ir::Program;
 use ccured_infer::solve::AnnotationViolation;
 use ccured_infer::{infer, CastCensus, InferOptions, KindCounts, Provenance, Solution};
@@ -135,6 +135,12 @@ pub struct CureReport {
     pub checks_inserted: CheckCounts,
     /// Static counts of checks the optimizer proved redundant and deleted.
     pub checks_elided: ElisionStats,
+    /// Check instructions the loop optimizer rewrote to run once per loop
+    /// entry (loop-invariant null/RTTI hoisting).
+    pub checks_hoisted: u64,
+    /// Per-iteration SEQ bounds checks the loop optimizer folded into one
+    /// whole-trip range probe.
+    pub checks_widened: u64,
     /// Checks provable to *always* fail at run time (compile-time
     /// diagnostics; the checks themselves are kept so behaviour is
     /// unchanged).
@@ -254,6 +260,7 @@ pub struct Curer {
     options: InferOptions,
     strict_link: bool,
     optimize: bool,
+    loop_opt: bool,
     prelude: Option<String>,
     engine: Engine,
 }
@@ -272,6 +279,7 @@ impl Curer {
             options: InferOptions::default(),
             strict_link: false,
             optimize: true,
+            loop_opt: true,
             prelude: None,
             engine: Engine::default(),
         }
@@ -284,6 +292,7 @@ impl Curer {
             options: InferOptions::original_ccured(),
             strict_link: false,
             optimize: true,
+            loop_opt: true,
             prelude: None,
             engine: Engine::default(),
         }
@@ -326,6 +335,14 @@ impl Curer {
         self
     }
 
+    /// Enables/disables the second-generation loop optimizer (invariant
+    /// check hoisting + SEQ bounds widening; on by default, and a no-op
+    /// when [`Curer::optimize`] is off).
+    pub fn loop_optimize(&mut self, on: bool) -> &mut Self {
+        self.loop_opt = on;
+        self
+    }
+
     /// Selects the execution engine recorded on the [`Cured`] artifact
     /// (default [`Engine::Vm`]; `tree` is the reference oracle). Does not
     /// affect the cure output or the cache fingerprint.
@@ -352,13 +369,14 @@ impl Curer {
     /// equal fingerprints produce byte-identical cures for equal sources.
     pub fn config_fingerprint(&self) -> String {
         format!(
-            "rtti={} phys={} split_bound={} split_all={} strict_link={} optimize={} prelude={:?}",
+            "rtti={} phys={} split_bound={} split_all={} strict_link={} optimize={} loop_opt={} prelude={:?}",
             self.options.rtti,
             self.options.physical_subtyping,
             self.options.split_at_boundaries,
             self.options.split_everything,
             self.strict_link,
             self.optimize,
+            self.loop_opt,
             self.prelude.as_deref().unwrap_or("")
         )
     }
@@ -411,15 +429,18 @@ impl Curer {
         let hierarchy = Hierarchy::build(&prog);
         let (checks_inserted, mut sites) = instrument(&mut prog, &result.solution, &hierarchy);
         let instrument_time = t.elapsed();
-        // Redundant-check elimination (the real CCured's optimizer): facts
-        // established by earlier checks delete dominated ones.
+        // The static optimizer: redundant-check elimination (the real
+        // CCured's optimizer — facts established by earlier checks delete
+        // dominated ones), then loop-invariant hoisting and SEQ bounds
+        // widening over the survivors.
         let t = Instant::now();
-        let mut elision = if self.optimize {
-            eliminate_checks(&mut prog)
+        let opt = if self.optimize {
+            optimize_program(&mut prog, self.loop_opt)
         } else {
-            ElisionResult::default()
+            OptResult::default()
         };
         let optimize_time = t.elapsed();
+        let mut elision = opt.elision;
 
         // Attribute the optimizer's work back to the site table so the
         // profiler can report what was deleted statically and why the rest
@@ -430,6 +451,9 @@ impl Curer {
             }
             if let Some(why) = elision.site_keeps.get(&s.id.0) {
                 s.keep_reason = Some(why.clone());
+            }
+            if let Some(a) = opt.actions.get(&s.id.0) {
+                s.opt_action = Some(a.name());
             }
         }
 
@@ -450,6 +474,8 @@ impl Curer {
             census: result.census,
             checks_inserted,
             checks_elided: elision.stats,
+            checks_hoisted: opt.hoisted,
+            checks_widened: opt.widened,
             static_failures: elision.failures,
             wrappers_applied,
             trusted_casts,

@@ -557,9 +557,17 @@ impl<'p> Cc<'_, 'p> {
                 Ok(())
             }
             Instr::Check(c, _, site) => {
-                self.emit(OpKind::CheckBegin(c, *site));
-                self.exp(check_operand(c))?;
-                self.emit(OpKind::CheckEnd(c, *site));
+                match check_operand(c) {
+                    Some(operand) => {
+                        self.emit(OpKind::CheckBegin(c, *site));
+                        self.exp(operand)?;
+                        self.emit(OpKind::CheckEnd(c, *site));
+                    }
+                    // Guard machinery (probe/guarded/reset) has no single
+                    // operand; the VM hands the whole check to the shared
+                    // structural executor.
+                    None => self.emit(OpKind::Hook(c, *site)),
+                }
                 Ok(())
             }
         }

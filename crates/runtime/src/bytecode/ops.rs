@@ -258,6 +258,11 @@ pub(crate) enum OpKind<'p> {
     CheckBegin(&'p Check, SiteId),
     /// Pop the operand value, restore the snapshot, judge the check.
     CheckEnd(&'p Check, SiteId),
+    /// Execute a guard-machinery check (probe/guarded/reset) through the
+    /// shared structural executor: these have no single operand to inline,
+    /// and routing them through `exec_check` keeps both engines' guard
+    /// semantics and counters identical by construction.
+    Hook(&'p Check, SiteId),
     /// Return from the function (popping the return value if present).
     Ret {
         /// Whether a return value is on the stack.

@@ -442,6 +442,13 @@ impl<'p> Interp<'p> {
                     }
                     self.check_verdict(c, v, site)?;
                 }
+                OpKind::Hook(c, site) => {
+                    let (c, site) = (*c, *site);
+                    // Shared structural executor: guard state lives on the
+                    // frame, and `exec_check` restores (instrs, loads)
+                    // itself, so both engines agree by construction.
+                    self.exec_check(c, site)?;
+                }
                 OpKind::AddrAsVal => {
                     let p = addrs.pop().ok_or_else(underflow)?;
                     vals.push(Value::Ptr(PtrVal::Safe(p)));

@@ -198,6 +198,22 @@ impl CostModel {
             + self.limit_check * c.limit_checks as f64
     }
 
+    /// Abstract cycles spent executing CCured checks only (including RTTI
+    /// walk steps) — the metric the E15 loop-optimizer bench reduces.
+    /// Memory and call traffic is invariant under the loop passes, so the
+    /// total [`cycles`](Self::cycles) figure would dilute the signal.
+    pub fn check_cycles(&self, c: &Counters) -> f64 {
+        self.null_check * c.null_checks as f64
+            + self.seq_bounds_check * c.seq_bounds_checks as f64
+            + self.seq_to_safe_check * c.seq_to_safe_checks as f64
+            + self.wild_bounds_check * c.wild_bounds_checks as f64
+            + self.wild_tag_check * c.wild_tag_checks as f64
+            + self.rtti_check * c.rtti_checks as f64
+            + self.rtti_walk_step * c.rtti_walk_steps as f64
+            + self.escape_check * c.escape_checks as f64
+            + self.index_check * c.index_checks as f64
+    }
+
     /// Overhead ratio of `instrumented` relative to `baseline`.
     pub fn ratio(&self, instrumented: &Counters, baseline: &Counters) -> f64 {
         let b = self.cycles(baseline);

@@ -85,6 +85,9 @@ pub(crate) struct Frame {
     pub(crate) regs: Vec<Option<Value>>,
     pub(crate) slots: Vec<LocalSlot>,
     pub(crate) info: Rc<FnInfo>,
+    /// Loop-optimizer guard slots: 0 unset, 1 latched "pass", 2 latched
+    /// "fail". Grown on demand by the first probe/reset touching a slot.
+    pub(crate) guards: Vec<u8>,
 }
 
 /// A resolved storage location.
@@ -485,6 +488,13 @@ impl<'p> Interp<'p> {
                 | Check::Rtti { ptr, .. } => scan_exp(ptr, need),
                 Check::NoStackEscape { value } => scan_exp(value, need),
                 Check::IndexBound { index, .. } => scan_exp(index, need),
+                Check::Probe { inner, .. } => {
+                    for c in inner {
+                        scan_check(c, need);
+                    }
+                }
+                Check::Guarded { inner, .. } => scan_check(inner, need),
+                Check::GuardReset { .. } => {}
             }
         }
         fn scan_stmt(s: &Stmt, need: &mut Vec<bool>) {
@@ -646,6 +656,7 @@ impl<'p> Interp<'p> {
             regs,
             slots,
             info,
+            guards: Vec::new(),
         });
         self.counters.calls += 1;
         self.counters.peak_stack_depth =
@@ -858,7 +869,7 @@ impl<'p> Interp<'p> {
 
     // --------------------------------------------------------------- checks
 
-    fn exec_check(&mut self, c: &Check, site: SiteId) -> Result<(), RtError> {
+    pub(crate) fn exec_check(&mut self, c: &Check, site: SiteId) -> Result<(), RtError> {
         // Check operands are re-evaluations of values the surrounding code
         // just computed; in compiled CCured they stay in registers. Only the
         // check-specific cost counters should accrue.
@@ -871,9 +882,89 @@ impl<'p> Interp<'p> {
     }
 
     fn exec_check_inner(&mut self, c: &Check, site: SiteId) -> Result<(), RtError> {
+        match c {
+            Check::Probe { slot, inner } => return self.exec_probe(*slot, inner, site),
+            Check::GuardReset { slot } => {
+                self.set_guard(*slot, 0)?;
+                return Ok(());
+            }
+            Check::Guarded { slot, inner } => {
+                if self.guard(*slot)? == 1 {
+                    // Latched "pass": the probe already proved this check
+                    // for every index of the current trip, at zero cost.
+                    return Ok(());
+                }
+                // Unset (flow skipped the probe) or latched "fail": behave
+                // exactly like the original check, including blame.
+                return self.exec_check_inner(inner, site);
+            }
+            _ => {}
+        }
         self.bump_check_counter(c, site);
-        let v = self.eval(check_operand(c))?;
+        let operand = check_operand(c).expect("plain checks have an operand");
+        let v = self.eval(operand)?;
         self.check_verdict(c, v, site)
+    }
+
+    /// Runs a loop-optimizer probe: trial-evaluates the summarized checks
+    /// with **no** counter or profile footprint, then latches the guard.
+    /// On all-pass, exactly one check event of `inner[0]`'s kind is charged
+    /// (the probe stands in for the first per-iteration check); on any
+    /// failure — check verdicts and resource errors alike — nothing is
+    /// charged and the guard latches "fail", so the residual re-runs the
+    /// check with the unoptimized program's exact accounting, blame, and
+    /// error point. A probe itself never aborts.
+    fn exec_probe(&mut self, slot: u32, inner: &[Check], site: SiteId) -> Result<(), RtError> {
+        if self.guard(slot)? != 0 {
+            return Ok(());
+        }
+        let saved = self.counters;
+        let mut all_pass = true;
+        for c in inner {
+            let r = match check_operand(c) {
+                Some(e) => match self.eval(e) {
+                    Ok(v) => self.check_verdict_inner(c, v),
+                    Err(err) => Err(err),
+                },
+                None => Err(RtError::Internal("probe of an operand-free check".into())),
+            };
+            if r.is_err() {
+                all_pass = false;
+                break;
+            }
+        }
+        // Whole-Counters restore: operand evaluation can bump side counters
+        // (fat conversions, RTTI walk steps) that the generic exec_check
+        // wrapper does not reset.
+        self.counters = saved;
+        if all_pass {
+            self.set_guard(slot, 1)?;
+            if let Some(first) = inner.first() {
+                self.bump_check_counter(first, site);
+            }
+        } else {
+            self.set_guard(slot, 2)?;
+        }
+        Ok(())
+    }
+
+    fn guard(&self, slot: u32) -> Result<u8, RtError> {
+        Ok(self
+            .frame()?
+            .guards
+            .get(slot as usize)
+            .copied()
+            .unwrap_or(0))
+    }
+
+    fn set_guard(&mut self, slot: u32, v: u8) -> Result<(), RtError> {
+        let f = self.frame_mut()?;
+        let i = slot as usize;
+        if f.guards.len() <= i {
+            f.guards.resize(i + 1, 0);
+        }
+        f.guards[i] = v;
+        Ok(())
     }
 
     /// Counts the check in the per-kind cost counters (before the operand is
@@ -893,6 +984,35 @@ impl<'p> Interp<'p> {
             Check::Rtti { .. } => self.counters.rtti_checks += 1,
             Check::NoStackEscape { .. } => self.counters.escape_checks += 1,
             Check::IndexBound { .. } => self.counters.index_checks += 1,
+            // Guard machinery accounts as the check it stands in for (a
+            // probe with no inner checks counts nothing, like a reset).
+            Check::Probe { .. } | Check::Guarded { .. } => {
+                let accounted = c.accounted();
+                if !matches!(
+                    accounted,
+                    Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. }
+                ) {
+                    self.bump_check_counter_kind(accounted);
+                }
+            }
+            Check::GuardReset { .. } => {}
+        }
+    }
+
+    /// The per-kind counter bump alone, for accounting a guard-machinery
+    /// event as its underlying check kind (profile hits are handled by the
+    /// caller).
+    fn bump_check_counter_kind(&mut self, c: &Check) {
+        match c {
+            Check::Null { .. } => self.counters.null_checks += 1,
+            Check::SeqBounds { .. } => self.counters.seq_bounds_checks += 1,
+            Check::SeqToSafe { .. } => self.counters.seq_to_safe_checks += 1,
+            Check::WildBounds { .. } => self.counters.wild_bounds_checks += 1,
+            Check::WildTag { .. } => self.counters.wild_tag_checks += 1,
+            Check::Rtti { .. } => self.counters.rtti_checks += 1,
+            Check::NoStackEscape { .. } => self.counters.escape_checks += 1,
+            Check::IndexBound { .. } => self.counters.index_checks += 1,
+            Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => {}
         }
     }
 
@@ -1051,6 +1171,12 @@ impl<'p> Interp<'p> {
                     Ok(())
                 }
             }
+            // Guard machinery is executed structurally in
+            // `exec_check_inner`/`exec_probe` and never reaches the
+            // single-operand verdict path.
+            Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => Err(
+                RtError::Internal("guard-machinery check in the verdict path".into()),
+            ),
         }
     }
 
@@ -2011,17 +2137,20 @@ pub(crate) fn no_frame() -> RtError {
     RtError::Internal("no active frame".into())
 }
 
-/// The expression a check evaluates (its only operand).
-pub(crate) fn check_operand(c: &Check) -> &Exp {
+/// The expression a check evaluates (its only operand). The loop-optimizer
+/// guard machinery (`Probe`/`Guarded`/`GuardReset`) has no single operand
+/// of its own and is executed structurally instead.
+pub(crate) fn check_operand(c: &Check) -> Option<&Exp> {
     match c {
         Check::Null { ptr }
         | Check::SeqBounds { ptr, .. }
         | Check::SeqToSafe { ptr, .. }
         | Check::WildBounds { ptr, .. }
         | Check::WildTag { ptr }
-        | Check::Rtti { ptr, .. } => ptr,
-        Check::NoStackEscape { value } => value,
-        Check::IndexBound { index, .. } => index,
+        | Check::Rtti { ptr, .. } => Some(ptr),
+        Check::NoStackEscape { value } => Some(value),
+        Check::IndexBound { index, .. } => Some(index),
+        Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => None,
     }
 }
 

@@ -134,13 +134,31 @@ pub fn run_cured_opt(
     opts: &InferOptions,
     optimize: bool,
 ) -> Result<CuredRun, CureError> {
+    run_cured_loop_opt(w, opts, optimize, optimize)
+}
+
+/// Like [`run_cured_opt`], with independent control over the loop
+/// optimizer (hoisting + widening). `optimize=true, loop_opt=false` is the
+/// elim-only configuration the opt2 differential suite and the E15 bench
+/// compare against.
+///
+/// # Errors
+///
+/// Cure errors (frontend or strict-link).
+pub fn run_cured_loop_opt(
+    w: &Workload,
+    opts: &InferOptions,
+    optimize: bool,
+    loop_opt: bool,
+) -> Result<CuredRun, CureError> {
     let mut curer = Curer::new();
     curer
         .rtti(opts.rtti)
         .physical_subtyping(opts.physical_subtyping)
         .split_at_boundaries(opts.split_at_boundaries)
         .split_everything(opts.split_everything)
-        .optimize(optimize);
+        .optimize(optimize)
+        .loop_optimize(loop_opt);
     if w.with_wrappers {
         curer.with_stdlib_wrappers();
     }

@@ -1,0 +1,272 @@
+//! Differential soundness suite for the second-generation loop optimizer
+//! (`ccured-analysis`: invariant-check hoisting + SEQ bounds widening).
+//!
+//! Three configurations of the same workload are compared:
+//!
+//! * **no-opt**    — no static optimization at all (`--no-opt`);
+//! * **elim-only** — redundant-check elimination, loop passes off
+//!   (`--no-loop-opt`, the PR-5 baseline);
+//! * **full**      — elimination + hoisting + widening (the default).
+//!
+//! All three must agree on every observable axis: program output, exit
+//! code, error verdict, and the memory/call traffic counters. The loop
+//! passes may only change *check* counters, and only downward: total
+//! executed checks under `full` is never more than under `elim-only`, and
+//! strictly less on the strided microbenchmarks. When a widened whole-trip
+//! probe fails, the per-iteration residual must re-run and blame the exact
+//! same site, at the exact same iteration, with the exact same error as the
+//! unoptimized program.
+
+use ccured::Curer;
+use ccured_infer::InferOptions;
+use ccured_rt::{Engine, ExecMode, Interp, Profile};
+use ccured_workloads::{batch_corpus, daemons, micro, runner, suite_corpus, Workload};
+
+/// The three optimizer configurations, as `(optimize, loop_opt)` pairs.
+const CONFIGS: [(&str, bool, bool); 3] = [
+    ("no-opt", false, false),
+    ("elim-only", true, false),
+    ("full", true, true),
+];
+
+fn corpus() -> Vec<Workload> {
+    let mut ws = suite_corpus();
+    for w in batch_corpus() {
+        if !ws.iter().any(|x| x.name == w.name) {
+            ws.push(w);
+        }
+    }
+    ws.push(daemons::ftpd(2, false));
+    ws.push(daemons::sendmail_like(3, false));
+    ws
+}
+
+/// A while-loop that re-dereferences a loop-invariant SAFE pointer: the
+/// eliminator keeps one null check per iteration (nothing dominates the
+/// loop header), which is exactly what hoisting converts into a single
+/// entry probe.
+fn hoist_workload(iters: u32) -> Workload {
+    let src = format!(
+        "int drain(int *p, int n) {{\n\
+           int s = 0;\n\
+           int i = 0;\n\
+           while (i < n) {{ s = s + *p; i = i + 1; }}\n\
+           return s;\n\
+         }}\n\
+         int main(void) {{\n\
+           int c = 7;\n\
+           return drain(&c, {iters}) == 7 * {iters} ? 0 : 1;\n\
+         }}"
+    );
+    Workload::new("hoist_invariant", src).without_wrappers()
+}
+
+/// A strided SEQ loop that runs off the end of its buffer at iteration 64:
+/// the widened whole-trip probe fails at loop entry, so the per-iteration
+/// residual must take over and fire at the precise overflowing index.
+fn oob_stride_workload() -> Workload {
+    let src = "int sum(int *a, int n) {\n\
+               int s = 0;\n\
+               for (int i = 0; i < n; i++) s = s + a[i];\n\
+               return s;\n\
+             }\n\
+             int main(void) {\n\
+               int buf[64];\n\
+               for (int i = 0; i < 64; i++) buf[i] = 1;\n\
+               return sum(buf, 80);\n\
+             }"
+    .to_string();
+    Workload::new("oob_stride", src).without_wrappers()
+}
+
+/// Runs `w` under all three configurations, asserts observable
+/// equivalence, and returns total executed checks per configuration in
+/// [`CONFIGS`] order.
+fn tri_differential(w: &Workload) -> [u64; 3] {
+    let opts = InferOptions::default();
+    let runs: Vec<_> = CONFIGS
+        .iter()
+        .map(|(name, optimize, loop_opt)| {
+            let r = runner::run_cured_loop_opt(w, &opts, *optimize, *loop_opt)
+                .unwrap_or_else(|e| panic!("{}: cure ({name}) failed: {e}", w.name));
+            (*name, r)
+        })
+        .collect();
+    let (_, base) = &runs[0];
+    for (name, r) in &runs[1..] {
+        let what = format!("{} ({name} vs no-opt)", w.name);
+        assert_eq!(r.stats.error, base.stats.error, "{what}: verdicts differ");
+        assert_eq!(r.stats.exit, base.stats.exit, "{what}: exit codes differ");
+        assert_eq!(r.stats.output, base.stats.output, "{what}: outputs differ");
+        let (c, b) = (&r.stats.counters, &base.stats.counters);
+        assert_eq!(c.loads, b.loads, "{what}: load traffic changed");
+        assert_eq!(c.stores, b.stores, "{what}: store traffic changed");
+        assert_eq!(c.calls, b.calls, "{what}: call counts changed");
+        assert_eq!(
+            c.extern_calls, b.extern_calls,
+            "{what}: extern calls changed"
+        );
+        assert_eq!(c.io_ops, b.io_ops, "{what}: I/O changed");
+    }
+    let totals: Vec<u64> = runs
+        .iter()
+        .map(|(_, r)| r.stats.counters.total_checks())
+        .collect();
+    assert!(
+        totals[2] <= totals[1],
+        "{}: loop passes added checks ({} > {})",
+        w.name,
+        totals[2],
+        totals[1]
+    );
+    assert!(
+        totals[1] <= totals[0],
+        "{}: eliminator added checks ({} > {})",
+        w.name,
+        totals[1],
+        totals[0]
+    );
+    [totals[0], totals[1], totals[2]]
+}
+
+#[test]
+fn golden_corpus_agrees_across_all_three_configurations() {
+    for w in corpus() {
+        tri_differential(&w);
+    }
+}
+
+#[test]
+fn strided_micros_execute_strictly_fewer_checks() {
+    for w in [micro::seq_index(20), micro::ptr_store(20)] {
+        let [_, elim_only, full] = tri_differential(&w);
+        assert!(
+            full < elim_only,
+            "{}: widening must win on strided loops ({full} vs {elim_only})",
+            w.name
+        );
+        let opt = runner::run_cured_loop_opt(&w, &InferOptions::default(), true, true).unwrap();
+        assert!(
+            opt.cured.report.checks_widened > 0,
+            "{}: report must attribute the win to widening",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn invariant_pointer_checks_hoist_to_one_per_loop_entry() {
+    let w = hoist_workload(40);
+    let [_, elim_only, full] = tri_differential(&w);
+    assert!(
+        full < elim_only,
+        "hoisting must win ({full} vs {elim_only})"
+    );
+    let opts = InferOptions::default();
+    let opt = runner::run_cured_loop_opt(&w, &opts, true, true).unwrap();
+    let noloop = runner::run_cured_loop_opt(&w, &opts, true, false).unwrap();
+    assert!(
+        opt.cured.report.checks_hoisted > 0,
+        "report counts the hoist"
+    );
+    assert_eq!(noloop.cured.report.checks_hoisted, 0);
+    assert_eq!(noloop.cured.report.checks_widened, 0);
+    assert!(
+        opt.stats.counters.null_checks < noloop.stats.counters.null_checks,
+        "per-iteration null checks collapse to the entry probe: {} vs {}",
+        opt.stats.counters.null_checks,
+        noloop.stats.counters.null_checks
+    );
+}
+
+/// Cures with explicit optimizer configuration (the runner helper hides
+/// the `Cured` needed for profiled execution).
+fn cure_cfg(w: &Workload, optimize: bool, loop_opt: bool) -> ccured::Cured {
+    let mut curer = Curer::new();
+    curer.optimize(optimize);
+    curer.loop_optimize(loop_opt);
+    if w.with_wrappers {
+        curer.with_stdlib_wrappers();
+    }
+    curer.cure_source(&w.source).expect("cure")
+}
+
+fn run_profiled(
+    cured: &ccured::Cured,
+    engine: Engine,
+    input: &[u8],
+) -> (
+    Result<i64, ccured_rt::RtError>,
+    Vec<u8>,
+    ccured_rt::Counters,
+    Profile,
+) {
+    let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
+    interp.set_engine(engine);
+    interp.set_input(input.to_vec());
+    interp.enable_profile(cured.sites.len());
+    let result = interp.run();
+    let profile = interp.profile().cloned().expect("profile recorded");
+    (result, interp.output().to_vec(), interp.counters, profile)
+}
+
+/// The failing sites of a profiled run, as `(site_id, fails)` pairs.
+fn failing_sites(cured: &ccured::Cured, profile: &Profile) -> Vec<(u32, u64, &'static str)> {
+    cured
+        .sites
+        .iter()
+        .filter_map(|s| {
+            let i = s.id.index()?;
+            let c = profile.sites.get(i)?;
+            (c.fails > 0).then_some((s.id.0, c.fails, s.check))
+        })
+        .collect()
+}
+
+/// When the whole-trip probe fails, the residual per-iteration check must
+/// re-run and blame the exact site — same error, same failing site id,
+/// exactly one recorded failure — as the unoptimized program.
+#[test]
+fn failed_widened_probe_blames_the_precise_iteration() {
+    let w = oob_stride_workload();
+    let full = cure_cfg(&w, true, true);
+    let noopt = cure_cfg(&w, false, false);
+    assert!(full.report.checks_widened > 0, "the OOB loop must widen");
+
+    let (rf, outf, _, pf) = run_profiled(&full, Engine::default(), &w.input);
+    let (rn, outn, _, pn) = run_profiled(&noopt, Engine::default(), &w.input);
+    let ef = rf.expect_err("the cured run must stop the overrun");
+    let en = rn.expect_err("the unoptimized run must stop the overrun");
+    assert!(ef.is_check_failure(), "stopped by a check: {ef}");
+    assert_eq!(ef, en, "widening changed the failure verdict");
+    assert_eq!(outf, outn, "widening changed the output before the fault");
+
+    let ff = failing_sites(&full, &pf);
+    let fn_ = failing_sites(&noopt, &pn);
+    assert_eq!(ff.len(), 1, "exactly one site fails: {ff:?}");
+    assert_eq!(ff, fn_, "the blamed site must be identical to no-opt");
+    let (_, fails, check) = ff[0];
+    assert_eq!(fails, 1, "the residual fires once, at the precise index");
+    assert_eq!(check, "seq_bounds");
+}
+
+/// Both execution engines must agree exactly on optimized programs — the
+/// VM routes guard machinery through the structural executor, so counters,
+/// output, and verdicts are identical by construction.
+#[test]
+fn engines_agree_on_optimized_programs() {
+    for w in [
+        micro::seq_index(20),
+        micro::ptr_store(10),
+        hoist_workload(25),
+        oob_stride_workload(),
+    ] {
+        let cured = cure_cfg(&w, true, true);
+        let (rt, outt, ct, pt) = run_profiled(&cured, Engine::Tree, &w.input);
+        let (rv, outv, cv, pv) = run_profiled(&cured, Engine::Vm, &w.input);
+        assert_eq!(rt, rv, "{}: results differ across engines", w.name);
+        assert_eq!(outt, outv, "{}: outputs differ across engines", w.name);
+        assert_eq!(ct, cv, "{}: counters differ across engines", w.name);
+        assert_eq!(pt, pv, "{}: profiles differ across engines", w.name);
+    }
+}
