@@ -1,6 +1,6 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test lint tables bench bench-interp bench-profile bench-opt2 bless doc examples smoke profile-smoke stress clean
+.PHONY: all test lint tables bench bench-interp bench-profile bench-opt2 bench-serve bless doc examples smoke profile-smoke serve-smoke stress clean
 
 all: test
 
@@ -56,6 +56,17 @@ bench-profile:
 # E15: loop-optimizer executed-check cost; writes BENCH_opt2.json.
 bench-opt2:
 	cargo run --release -p ccured-bench --bin tables -- fig-opt2
+
+# E16: cure-service warm vs cold recure; writes BENCH_serve.json.
+bench-serve:
+	cargo run --release -p ccured-bench --bin tables -- fig-serve
+
+# Cure-service end-to-end smoke: daemon + CLI client, 200 mixed requests
+# including injected worker panics and a deadline-exceeding cure (also
+# run in CI; see ci/serve_smoke.py).
+serve-smoke:
+	cargo build --release -p ccured-cli
+	python3 ci/serve_smoke.py target/release/ccured
 
 doc:
 	cargo doc --workspace --no-deps

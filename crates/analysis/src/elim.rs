@@ -615,27 +615,55 @@ impl Analysis for ElimAnalysis<'_> {
     }
 }
 
+impl ElisionResult {
+    /// Folds another (per-function) result into this one. Site ids are
+    /// globally unique across a program, so per-site maps never collide
+    /// when merging results of distinct functions.
+    pub fn merge(&mut self, other: ElisionResult) {
+        self.stats.add(&other.stats);
+        self.failures.extend(other.failures);
+        for (site, n) in other.site_elides {
+            *self.site_elides.entry(site).or_insert(0) += n;
+        }
+        for (site, why) in other.site_keeps {
+            // Last writer wins: the reason recorded for a site must be the
+            // one computed at the final fixpoint, not a stale early answer.
+            self.site_keeps.insert(site, why);
+        }
+    }
+}
+
 /// Deletes provably redundant checks from every function body of `prog` and
 /// reports checks that provably always fail.
 pub fn eliminate_checks(prog: &mut Program) -> ElisionResult {
     let tracked_globals = tracked_globals(prog);
     let mut result = ElisionResult::default();
     for fi in 0..prog.functions.len() {
-        let plan = plan_function(prog, fi, &tracked_globals);
-        result.stats.add(&plan.stats);
-        result.failures.extend(plan.failures);
-        for (site, n) in plan.site_elides {
-            *result.site_elides.entry(site).or_insert(0) += n;
-        }
-        for (site, why) in plan.site_keeps {
-            // Last writer wins: the reason recorded for a site must be the
-            // one computed at the final fixpoint, not a stale early answer.
-            result.site_keeps.insert(site, why);
-        }
-        let body = &mut prog.functions[fi].body;
-        let delete = plan.delete;
-        for_each_instr_mut(body, &mut |id, _| !delete.contains(&id));
+        result.merge(eliminate_checks_in_function(prog, fi, &tracked_globals));
     }
+    result
+}
+
+/// Deletes provably redundant checks from one function body. The analysis
+/// is intraprocedural, so per-function results compose: running this over
+/// every function (with the shared `tracked_globals` set from
+/// [`tracked_globals`]) is exactly [`eliminate_checks`]. The incremental
+/// recure path uses this to re-optimize only changed functions.
+pub fn eliminate_checks_in_function(
+    prog: &mut Program,
+    fi: usize,
+    tracked_globals: &HashSet<u32>,
+) -> ElisionResult {
+    let plan = plan_function(prog, fi, tracked_globals);
+    let result = ElisionResult {
+        stats: plan.stats,
+        failures: plan.failures,
+        site_elides: plan.site_elides,
+        site_keeps: plan.site_keeps,
+    };
+    let body = &mut prog.functions[fi].body;
+    let delete = plan.delete;
+    for_each_instr_mut(body, &mut |id, _| !delete.contains(&id));
     result
 }
 
@@ -871,8 +899,11 @@ pub(crate) fn aliased_locals(func: &Function) -> HashSet<u32> {
     taken
 }
 
-/// Globals whose address is never taken anywhere in the program.
-fn tracked_globals(prog: &Program) -> HashSet<u32> {
+/// Globals whose address is never taken anywhere in the program — the
+/// whole-program input of the per-function passes. Checks only clone
+/// expressions that already exist, so this set is identical whether it is
+/// computed before or after instrumentation.
+pub fn tracked_globals(prog: &Program) -> HashSet<u32> {
     let mut taken_locals = HashSet::new();
     let mut taken = HashSet::new();
     for f in &prog.functions {

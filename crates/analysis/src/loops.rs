@@ -24,7 +24,7 @@
 //! on.
 
 use crate::cfg::Cfg;
-use crate::elim::{self, eliminate_checks, ElisionResult};
+use crate::elim::{self, ElisionResult};
 use ccured_cil::ir::{Check, Exp, Instr, LvBase, Lval, Offset, Program, SiteId, Stmt, SwitchArm};
 use ccured_cil::types::{Type, TypeId, TypeTable};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -65,11 +65,43 @@ pub struct OptResult {
     pub loops_seen: u64,
 }
 
+impl OptResult {
+    /// Folds another (per-function) result into this one. Site ids are
+    /// globally unique, so the per-site maps of distinct functions never
+    /// collide.
+    pub fn merge(&mut self, other: OptResult) {
+        self.elision.merge(other.elision);
+        self.actions.extend(other.actions);
+        self.hoisted += other.hoisted;
+        self.widened += other.widened;
+        self.loops_seen += other.loops_seen;
+    }
+}
+
 /// Runs the full static optimization pipeline over `prog` in place:
 /// check elimination, then (when `loop_opt`) loop-invariant hoisting and
 /// SEQ bounds widening over every natural loop.
 pub fn optimize_program(prog: &mut Program, loop_opt: bool) -> OptResult {
-    let elision = eliminate_checks(prog);
+    let tracked = elim::tracked_globals(prog);
+    let mut result = OptResult::default();
+    for fi in 0..prog.functions.len() {
+        result.merge(optimize_function(prog, fi, &tracked, loop_opt));
+    }
+    result
+}
+
+/// Runs the full static optimization pipeline over one function body:
+/// elimination, then (when `loop_opt`) the loop passes. Both passes are
+/// intraprocedural, so running this per function with the shared
+/// `tracked_globals` set composes to exactly [`optimize_program`] — the
+/// invariant the incremental recure path depends on.
+pub fn optimize_function(
+    prog: &mut Program,
+    fi: usize,
+    tracked_globals: &HashSet<u32>,
+    loop_opt: bool,
+) -> OptResult {
+    let elision = elim::eliminate_checks_in_function(prog, fi, tracked_globals);
     let mut result = OptResult {
         elision,
         ..OptResult::default()
@@ -82,23 +114,22 @@ pub fn optimize_program(prog: &mut Program, loop_opt: bool) -> OptResult {
         ref mut functions,
         ..
     } = *prog;
-    for func in functions.iter_mut() {
-        result.loops_seen += Cfg::build(func).natural_loops().len() as u64;
-        let mut cx = FnCx {
-            types,
-            aliased: elim::aliased_locals(func),
-            label_gotos: HashMap::new(),
-            next_slot: 0,
-            hoisted: 0,
-            widened: 0,
-            actions: BTreeMap::new(),
-        };
-        count_gotos(&func.body, &mut cx.label_gotos);
-        walk_stmts(&mut cx, &mut func.body);
-        result.hoisted += cx.hoisted;
-        result.widened += cx.widened;
-        result.actions.extend(cx.actions);
-    }
+    let func = &mut functions[fi];
+    result.loops_seen += Cfg::build(func).natural_loops().len() as u64;
+    let mut cx = FnCx {
+        types,
+        aliased: elim::aliased_locals(func),
+        label_gotos: HashMap::new(),
+        next_slot: 0,
+        hoisted: 0,
+        widened: 0,
+        actions: BTreeMap::new(),
+    };
+    count_gotos(&func.body, &mut cx.label_gotos);
+    walk_stmts(&mut cx, &mut func.body);
+    result.hoisted += cx.hoisted;
+    result.widened += cx.widened;
+    result.actions.extend(cx.actions);
     // The loop passes run after the eliminator's fixpoint, so their verdict
     // on a site supersedes the recorded keep-reason.
     for (site, action) in &result.actions {

@@ -51,16 +51,58 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory and runs a recovery
+    /// sweep: orphaned `.tmp` files (a writer that died between write and
+    /// rename) and corrupt or truncated `.unit` entries (a torn write from
+    /// a killed process, disk-full, or manual tampering) are deleted. The
+    /// sweep makes crash recovery *eager* — reads already treat corrupt
+    /// entries as misses, the sweep just stops them accumulating.
     ///
     /// # Errors
     ///
-    /// I/O errors creating the directory.
+    /// I/O errors creating the directory. Sweep failures (an entry that
+    /// cannot be read or removed) are ignored: the lazy corrupt-is-a-miss
+    /// path still guarantees correctness.
     pub fn open(dir: &Path) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        Ok(Cache {
+        let cache = Cache {
             dir: dir.to_path_buf(),
-        })
+        };
+        cache.sweep();
+        Ok(cache)
+    }
+
+    /// The startup recovery sweep (see [`Cache::open`]). Returns how many
+    /// files were deleted: `(orphaned_tmp, corrupt_entries)`.
+    pub fn sweep(&self) -> (u64, u64) {
+        let (mut tmp, mut corrupt) = (0u64, 0u64);
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return (0, 0);
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') && name.ends_with(".tmp") {
+                // Writers rename away their temp file on success; anything
+                // still here belongs to a writer that died mid-store.
+                if fs::remove_file(&path).is_ok() {
+                    tmp += 1;
+                }
+            } else if name.ends_with(".unit") {
+                let bad = match fs::read(&path) {
+                    Ok(bytes) => parse_entry(&bytes).is_none(),
+                    Err(_) => true,
+                };
+                if bad && fs::remove_file(&path).is_ok() {
+                    corrupt += 1;
+                }
+            }
+        }
+        (tmp, corrupt)
     }
 
     /// The stable cache key for one unit: source text + curer configuration
@@ -224,6 +266,33 @@ mod tests {
         let mut bytes = render_entry(&u);
         bytes.extend_from_slice(b"extra");
         assert!(parse_entry(&bytes).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_and_corrupt_entries() {
+        let dir = tmpdir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        // A healthy entry, an orphaned temp file, a truncated entry, and a
+        // zero-byte entry.
+        let good_key = Cache::unit_key("good", "cfg");
+        {
+            let c = Cache { dir: dir.clone() };
+            c.store(good_key, &sample()).unwrap();
+        }
+        fs::write(dir.join(".deadbeef.1234.0.tmp"), b"half-written").unwrap();
+        let mut torn = render_entry(&sample());
+        torn.truncate(torn.len() / 2);
+        fs::write(dir.join("0123456789abcdef.unit"), torn).unwrap();
+        fs::write(dir.join("fedcba9876543210.unit"), b"").unwrap();
+
+        let c = Cache::open(&dir).unwrap();
+        assert_eq!(c.load(good_key), Some(sample()), "healthy entry survives");
+        assert!(!dir.join(".deadbeef.1234.0.tmp").exists(), "tmp swept");
+        assert!(!dir.join("0123456789abcdef.unit").exists(), "torn swept");
+        assert!(!dir.join("fedcba9876543210.unit").exists(), "empty swept");
+        // Idempotent: a second sweep finds nothing.
+        assert_eq!(c.sweep(), (0, 0));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -134,6 +134,16 @@ pub fn run_batch(cfg: &BatchConfig, units: &[PathBuf]) -> io::Result<BatchReport
     };
     let config_fp = cfg.curer.config_fingerprint();
     let jobs = cfg.effective_jobs(units.len());
+    // The wall-clock budget rides on `Limits` (it bounds the cure the same
+    // way fuel bounds execution) and is deliberately outside the config
+    // fingerprint: a deadline can only abort a cure, never change the
+    // output of one that completes, so cache entries stay valid across
+    // deadline changes.
+    let curer = {
+        let mut c = cfg.curer.clone();
+        c.deadline(cfg.limits.deadline);
+        c
+    };
 
     // Round-robin seeding: unit i starts on worker i % jobs.
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
@@ -158,7 +168,7 @@ pub fn run_batch(cfg: &BatchConfig, units: &[PathBuf]) -> io::Result<BatchReport
             let queues = &queues;
             let slots = &slots;
             let cache = cache.as_ref();
-            let curer = &cfg.curer;
+            let curer = &curer;
             let config_fp = config_fp.as_str();
             let profile = cfg.profile.then_some(cfg.limits);
             handles.push(
@@ -168,14 +178,39 @@ pub fn run_batch(cfg: &BatchConfig, units: &[PathBuf]) -> io::Result<BatchReport
                     .spawn_scoped(scope, move || {
                         while let Some(i) = next_unit(queues, w) {
                             let out = cure_unit(&units[i], curer, config_fp, cache, profile);
-                            *slots[i].lock().unwrap() = Some(out);
+                            // A sibling that panicked mid-store poisons the
+                            // slot mutex; the data is a plain Option, so
+                            // recover it rather than cascading the panic.
+                            *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
                         }
                     })?,
             );
         }
+        let mut worker_died = false;
         for h in handles {
-            h.join()
-                .map_err(|_| io::Error::other("batch worker panicked outside a cure"))?;
+            // Cures run inside `ccured::isolated`, so a panicking join means
+            // a worker died *outside* a cure (infrastructure bug or fault
+            // injection). The batch still completes: whatever the dead
+            // worker left queued is drained by a recovery pass below.
+            worker_died |= h.join().is_err();
+        }
+        if worker_died {
+            let queues = &queues;
+            let slots = &slots;
+            let cache = cache.as_ref();
+            let curer = &curer;
+            let config_fp = config_fp.as_str();
+            let profile = cfg.profile.then_some(cfg.limits);
+            let h = std::thread::Builder::new()
+                .name("ccured-batch-recover".to_string())
+                .stack_size(stack_bytes)
+                .spawn_scoped(scope, move || {
+                    while let Some(i) = next_unit(queues, 0) {
+                        let out = cure_unit(&units[i], curer, config_fp, cache, profile);
+                        *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
+                    }
+                })?;
+            let _ = h.join();
         }
         Ok(())
     })?;
@@ -183,10 +218,26 @@ pub fn run_batch(cfg: &BatchConfig, units: &[PathBuf]) -> io::Result<BatchReport
 
     let outcomes: Vec<UnitOutcome> = slots
         .into_iter()
-        .map(|s| {
+        .zip(units)
+        .map(|(s, path)| {
+            // Every queued unit normally records an outcome; if a worker
+            // died between claiming a unit and storing its result, report
+            // that unit as an internal error instead of aborting the batch.
             s.into_inner()
-                .unwrap()
-                .expect("every queued unit produced an outcome")
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_else(|| UnitOutcome {
+                    path: path.display().to_string(),
+                    verdict: Verdict::Internal(
+                        "batch worker died before recording an outcome".to_string(),
+                    ),
+                    from_cache: false,
+                    cured_text: String::new(),
+                    report: None,
+                    report_digest: 0,
+                    cure_timings: StageTimings::default(),
+                    elapsed: std::time::Duration::ZERO,
+                    site_profile: Vec::new(),
+                })
         })
         .collect();
     Ok(BatchReport::new(outcomes, jobs, wall, cfg.use_cache))
@@ -203,14 +254,24 @@ pub fn run_path(cfg: &BatchConfig, path: &Path) -> io::Result<BatchReport> {
 }
 
 /// Pop from our own deque's front, else steal from a sibling's back.
+/// Queue mutexes hold plain indices, so a poisoned lock (a sibling
+/// panicked while holding it) is recovered, not propagated.
 fn next_unit(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    if let Some(i) = queues[me].lock().unwrap().pop_front() {
+    if let Some(i) = queues[me]
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .pop_front()
+    {
         return Some(i);
     }
     let n = queues.len();
     for d in 1..n {
         let victim = (me + d) % n;
-        if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+        if let Some(i) = queues[victim]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_back()
+        {
             return Some(i);
         }
     }
@@ -296,6 +357,7 @@ fn cure_unit(
                 CureError::Frontend(d) => Verdict::Frontend(d.to_string()),
                 CureError::Link(issues) => Verdict::Link(issues.len()),
                 CureError::Internal(m) => Verdict::Internal(m),
+                CureError::Timeout { .. } => Verdict::ResourceExhausted(e.to_string()),
             }
         }
         // The curer is deterministic, so a re-cure of a cached unit cannot
@@ -311,7 +373,7 @@ fn cure_unit(
 /// hot-site rows. Observation-only: the run's outcome (check failure, fuel
 /// exhaustion, even a missing `main`) never alters the unit's verdict — the
 /// profile simply records whatever executed before the run stopped.
-fn profile_unit(cured: &ccured::Cured, limits: Limits) -> Vec<ccured_rt::SiteReport> {
+pub(crate) fn profile_unit(cured: &ccured::Cured, limits: Limits) -> Vec<ccured_rt::SiteReport> {
     let mut interp = ccured_rt::Interp::new(&cured.program, ccured_rt::ExecMode::cured(cured));
     interp.set_limits(limits);
     interp.enable_profile(cured.sites.len());

@@ -42,7 +42,11 @@ pub mod cache;
 pub mod engine;
 pub mod hash;
 pub mod report;
+#[cfg(unix)]
+pub mod serve;
 
 pub use cache::{Cache, CachedUnit};
 pub use engine::{discover_units, run_batch, run_path, BatchConfig};
 pub use report::{BatchReport, CacheStats, StageStat, UnitOutcome, UnitReport, Verdict};
+#[cfg(unix)]
+pub use serve::{request, ServeConfig, Server};

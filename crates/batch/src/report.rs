@@ -129,6 +129,10 @@ pub enum Verdict {
     Link(usize),
     /// The curer panicked (caught by `ccured::isolated`).
     Internal(String),
+    /// The cure blew its wall-clock budget (`--deadline-ms`): a
+    /// structured, terminal outcome with its own exit code, so one
+    /// pathological unit cannot wedge a batch or a serve worker.
+    ResourceExhausted(String),
 }
 
 impl Verdict {
@@ -145,6 +149,7 @@ impl Verdict {
             Verdict::Frontend(_) => "frontend-error",
             Verdict::Link(_) => "link-error",
             Verdict::Internal(_) => "internal-error",
+            Verdict::ResourceExhausted(_) => "resource-exhausted",
         }
     }
 
@@ -152,7 +157,10 @@ impl Verdict {
     pub fn detail(&self) -> String {
         match self {
             Verdict::Cured => String::new(),
-            Verdict::Unreadable(m) | Verdict::Frontend(m) | Verdict::Internal(m) => m.clone(),
+            Verdict::Unreadable(m)
+            | Verdict::Frontend(m)
+            | Verdict::Internal(m)
+            | Verdict::ResourceExhausted(m) => m.clone(),
             Verdict::Link(n) => format!("{n} link-audit issues"),
         }
     }
@@ -571,7 +579,7 @@ impl BatchReport {
 }
 
 /// JSON string literal with the escapes the report can actually produce.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

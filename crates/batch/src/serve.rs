@@ -1,0 +1,852 @@
+//! `ccured serve` — a fault-tolerant, long-lived cure daemon.
+//!
+//! A batch run pays the pool spin-up, cache open, and (on every changed
+//! unit) a full cure per invocation. The daemon keeps everything
+//! resident instead: a worker pool, the content-addressed whole-unit
+//! cache, and — the piece batch cannot exploit — a shared
+//! [`ccured::FnCache`], so a warm server re-cures only the *functions*
+//! an edit touched and splices cached renderings around them,
+//! byte-identical to a cold cure.
+//!
+//! ## Protocol
+//!
+//! One UTF-8 request line per reply line over a unix domain socket:
+//!
+//! | request            | reply (single JSON line)                        |
+//! |--------------------|-------------------------------------------------|
+//! | `cure <path>`      | verdict, digest, check counts, fn hit/miss      |
+//! | `profile <path>`   | cure + execute, top hot check sites             |
+//! | `explain <path>`   | static failures and optimizer attribution       |
+//! | `status`           | lifetime counters, cache stats, worker health   |
+//! | `reset`            | clears quarantine and the function cache        |
+//! | `shutdown`         | acknowledges, then stops the server             |
+//!
+//! Every reply is **terminal**: `{"status":"ok",...}`,
+//! `{"status":"error",...}`, or `{"status":"busy"}` — a client never
+//! hangs on a wedged worker.
+//!
+//! ## Robustness model
+//!
+//! * **Per-request isolation** — every cure runs inside
+//!   [`ccured::isolated`] under the configured wall-clock deadline
+//!   ([`ccured::Curer::deadline`]); a pathological unit becomes a
+//!   structured error, not a wedged worker.
+//! * **Retry with backoff** — transient failures (worker panics
+//!   surfaced as `Internal`, deadline overruns) are retried with capped
+//!   exponential backoff; frontend and link errors are permanent and
+//!   returned immediately. A timed-out cure's completed functions stay
+//!   in the function cache, so the retry starts further along.
+//! * **Load shedding** — when the request queue is at capacity the
+//!   server answers `busy` immediately instead of queueing unboundedly.
+//! * **Supervision** — a supervisor thread respawns any worker that
+//!   dies outside a cure (e.g. injected faults); the in-flight
+//!   request's reply channel drops, which the connection handler turns
+//!   into a terminal error for that client.
+//! * **Quarantine** — a unit whose requests repeatedly kill workers or
+//!   fail is quarantined: further requests for it are refused with a
+//!   terminal error until a `reset`.
+//!
+//! Concurrency note: each unit has its own function cache (a cache
+//! models one whole program, so sharing one across units would thrash).
+//! A worker checks the unit's cache out of the shared map for the
+//! duration of the cure, so cures for different units run fully in
+//! parallel; two simultaneous cures of the *same* unit both complete,
+//! one merely warming a cache the other's check-in discards.
+
+#![cfg(unix)]
+
+use crate::cache::{Cache, CachedUnit};
+use crate::engine::profile_unit;
+use crate::hash::{fnv1a, hex};
+use crate::report::{json_str, UnitReport};
+use ccured::{isolated, CureError, Curer, FnCache};
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration for one serve instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The curer every request is cured with. Its deadline (if any) is
+    /// taken from `limits.deadline`, exactly as in a batch run.
+    pub curer: Curer,
+    /// Socket path; created on start, removed on stop.
+    pub socket: PathBuf,
+    /// Whole-unit cache directory (`None` disables the disk cache; the
+    /// in-memory function cache is always on).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads processing requests. 0 means 2.
+    pub workers: usize,
+    /// Per-request resource bounds: `deadline` bounds each cure,
+    /// `max_stack_depth` sizes worker stacks, all four bound `profile`
+    /// executions.
+    pub limits: ccured_rt::Limits,
+    /// Queue capacity before the server sheds load with `busy`.
+    pub queue_cap: usize,
+    /// Retries for transient failures (0 = no retry).
+    pub max_retries: u32,
+    /// Base backoff between retries; doubles per attempt, capped at
+    /// 8 × base.
+    pub backoff: Duration,
+    /// Consecutive terminal failures before a unit is quarantined.
+    pub quarantine_threshold: u32,
+    /// Fault injection: a worker thread panics (outside the cure's
+    /// isolation) when the request's source contains this substring.
+    /// Exercises the supervisor/respawn path; tests only.
+    pub fault_poison: Option<String>,
+}
+
+impl ServeConfig {
+    /// A serve configuration with the default curer and limits.
+    pub fn new(socket: PathBuf) -> Self {
+        ServeConfig {
+            curer: Curer::new(),
+            socket,
+            cache_dir: Some(PathBuf::from(".ccured-cache")),
+            workers: 0,
+            limits: ccured_rt::Limits::default(),
+            queue_cap: 1024,
+            max_retries: 2,
+            backoff: Duration::from_millis(10),
+            quarantine_threshold: 3,
+            fault_poison: None,
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            2
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// One queued request: the raw line plus the channel the worker answers
+/// on. If the worker dies mid-request the sender drops and the
+/// connection handler observes `RecvError` — a guaranteed terminal
+/// reply for the client.
+struct Job {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+/// Lifetime counters, all atomic so a panicking worker can never poison
+/// them.
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    cured: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    respawns: AtomicU64,
+    unit_hits: AtomicU64,
+    unit_misses: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// State shared by handlers, workers, and the supervisor.
+struct Shared {
+    cfg: ServeConfig,
+    curer: Curer,
+    config_fp: String,
+    cache: Option<Cache>,
+    /// One function cache per unit path. A [`FnCache`] models a single
+    /// whole program (a new environment fingerprint clears it), so sharing
+    /// one across units would thrash; per-unit caches also let cures for
+    /// different units run concurrently — a worker checks its unit's cache
+    /// out of the map, cures without holding the map lock, and puts it
+    /// back.
+    fn_caches: Mutex<HashMap<String, FnCache>>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Consecutive-failure counts per request target; at
+    /// `quarantine_threshold` the unit is refused until `reset`.
+    quarantine: Mutex<HashMap<String, u32>>,
+    stats: Stats,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    /// Locks a mutex, recovering from poisoning: every protected value
+    /// here (queue of jobs, counters map, the function cache) stays
+    /// internally consistent across a panic, and the daemon must keep
+    /// serving after one.
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Checks the unit's function cache out of the map so the cure runs
+    /// without holding the map lock. Concurrent requests for the *same*
+    /// unit each get a cache (the second a fresh one); the last check-in
+    /// wins, which costs warmth, never correctness.
+    fn take_fn_cache(&self, path: &str) -> FnCache {
+        self.lock(&self.fn_caches)
+            .remove(path)
+            .unwrap_or_else(|| FnCache::with_hasher(fnv1a))
+    }
+
+    fn put_fn_cache(&self, path: &str, cache: FnCache) {
+        self.lock(&self.fn_caches).insert(path.to_string(), cache);
+    }
+}
+
+/// A running cure daemon. Dropping the handle stops it.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket and starts the acceptor, worker pool, and
+    /// supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/permission errors, cache-directory creation errors.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let cache = match &cfg.cache_dir {
+            Some(d) => Some(Cache::open(d)?),
+            None => None,
+        };
+        let _ = fs::remove_file(&cfg.socket);
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+
+        let mut curer = cfg.curer.clone();
+        curer.deadline(cfg.limits.deadline);
+        let config_fp = cfg.curer.config_fingerprint();
+        let shared = Arc::new(Shared {
+            curer,
+            config_fp,
+            cache,
+            fn_caches: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            quarantine: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            cfg,
+        });
+
+        let workers = shared.cfg.effective_workers();
+        let stack = (shared.cfg.limits.max_stack_depth * 64 * 1024).max(8 << 20);
+        let handles: Vec<std::thread::JoinHandle<()>> = (0..workers)
+            .map(|w| spawn_worker(&shared, w, stack))
+            .collect::<io::Result<_>>()?;
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ccured-serve-supervisor".to_string())
+                .spawn(move || supervise(shared, handles, stack))?
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ccured-serve-accept".to_string())
+                .spawn(move || accept_loop(shared, listener))?
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.shared.cfg.socket
+    }
+
+    /// Whether the server has begun shutting down.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and joins every thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        let _ = fs::remove_file(&self.shared.cfg.socket);
+    }
+
+    /// Blocks until the server shuts down (a `shutdown` request or
+    /// [`Server::stop`] from another thread).
+    pub fn wait(&mut self) {
+        while !self.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.stop();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Sends one request line and returns the one-line reply — the client
+/// side of the protocol, used by `ccured client` and the tests.
+///
+/// # Errors
+///
+/// Connection or I/O errors; a server-side failure is an `"error"`
+/// reply, not an `Err`.
+pub fn request(socket: &Path, line: &str) -> io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    Ok(reply.trim_end().to_string())
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    idx: usize,
+    stack: usize,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("ccured-serve-worker-{idx}"))
+        .stack_size(stack)
+        .spawn(move || worker_loop(shared))
+}
+
+/// Respawns dead workers until shutdown, then joins the pool.
+fn supervise(shared: Arc<Shared>, mut handles: Vec<std::thread::JoinHandle<()>>, stack: usize) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for slot in handles.iter_mut() {
+            if slot.is_finished() && !shared.shutdown.load(Ordering::SeqCst) {
+                if let Ok(fresh) = spawn_worker(&shared, usize::MAX, stack) {
+                    let dead = std::mem::replace(slot, fresh);
+                    let _ = dead.join(); // collect the panic payload
+                    shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    shared.queue_cv.notify_all();
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: UnixListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("ccured-serve-conn".to_string())
+                    .spawn(move || handle_connection(shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Keep this short: an idle accept poll is pure latency on
+                // the front of every request, and the warm fast path it
+                // delays is itself well under a millisecond.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads request lines until EOF; every line gets exactly one terminal
+/// reply line, whatever happens to the worker that serves it.
+fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = dispatch(&shared, line);
+        if writer.write_all(reply.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Routes one request line to a terminal reply: control requests answer
+/// inline; cure-family requests go through the queue to a worker.
+fn dispatch(shared: &Arc<Shared>, line: String) -> String {
+    // Control-plane requests never queue: they must work even when every
+    // worker is wedged or the queue is full.
+    match line.as_str() {
+        "status" => return status_json(shared),
+        "reset" => {
+            shared.lock(&shared.quarantine).clear();
+            shared.lock(&shared.fn_caches).clear();
+            return r#"{"status":"ok","kind":"reset"}"#.to_string();
+        }
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            return r#"{"status":"ok","kind":"shutdown"}"#.to_string();
+        }
+        _ => {}
+    }
+
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+        return r#"{"status":"busy","reason":"shutting down"}"#.to_string();
+    }
+
+    let target = line.split_once(' ').map(|(_, p)| p.trim().to_string());
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.lock(&shared.queue);
+        if q.len() >= shared.cfg.queue_cap {
+            // Load shedding: an explicit busy beats an unbounded queue.
+            shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+            return r#"{"status":"busy","reason":"queue full"}"#.to_string();
+        }
+        q.push_back(Job { line, reply: tx });
+    }
+    shared.queue_cv.notify_one();
+
+    // A worker that panics drops the sender mid-request; turn that into
+    // a terminal error (and the supervisor respawns the worker). The
+    // request's target unit takes the blame: a unit that keeps killing
+    // workers quarantines just like one that keeps failing.
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(reply) => reply,
+        Err(_) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(path) = &target {
+                note_failure(shared, path);
+            }
+            r#"{"status":"error","error":"worker died while serving this request"}"#.to_string()
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.lock(&shared.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        };
+        let reply = serve_request(&shared, &job.line);
+        // The client may have given up (recv timeout); a dead receiver
+        // is not a worker problem.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Parses and serves one data-plane request.
+fn serve_request(shared: &Arc<Shared>, line: &str) -> String {
+    let (cmd, arg) = match line.split_once(' ') {
+        Some((c, a)) => (c, a.trim()),
+        None => (line, ""),
+    };
+    match (cmd, arg.is_empty()) {
+        ("cure", false) => cure_request(shared, arg),
+        ("profile", false) => profile_request(shared, arg),
+        ("explain", false) => explain_request(shared, arg),
+        _ => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            format!(
+                r#"{{"status":"error","error":{}}}"#,
+                json_str(&format!(
+                    "unknown request `{line}` (expected cure|profile|explain|status|reset|shutdown <path>)"
+                ))
+            )
+        }
+    }
+}
+
+/// Reads the unit, honoring quarantine and the fault-injection flag.
+fn read_unit(shared: &Arc<Shared>, path: &str) -> Result<String, String> {
+    if let Some(n) = shared.lock(&shared.quarantine).get(path) {
+        if *n >= shared.cfg.quarantine_threshold {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                r#"{{"status":"error","kind":"quarantined","path":{},"error":{}}}"#,
+                json_str(path),
+                json_str(&format!(
+                    "unit quarantined after {n} consecutive failures; `reset` to retry"
+                ))
+            ));
+        }
+    }
+    let source = fs::read_to_string(path).map_err(|e| {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        format!(
+            r#"{{"status":"error","kind":"unreadable","path":{},"error":{}}}"#,
+            json_str(path),
+            json_str(&e.to_string())
+        )
+    })?;
+    if let Some(poison) = &shared.cfg.fault_poison {
+        if source.contains(poison.as_str()) {
+            // Deliberately OUTSIDE `ccured::isolated`: this kills the
+            // worker thread itself, exercising the supervisor respawn
+            // and the reply-channel-drop path end to end.
+            panic!("injected fault: poisoned unit `{path}`");
+        }
+    }
+    Ok(source)
+}
+
+/// Classifies a cure error: transient failures are worth a retry.
+fn transient(e: &CureError) -> bool {
+    matches!(e, CureError::Internal(_) | CureError::Timeout { .. })
+}
+
+/// Notes a terminal failure against `path`; at the threshold the unit
+/// is quarantined.
+fn note_failure(shared: &Arc<Shared>, path: &str) {
+    *shared
+        .lock(&shared.quarantine)
+        .entry(path.to_string())
+        .or_insert(0) += 1;
+}
+
+fn cure_request(shared: &Arc<Shared>, path: &str) -> String {
+    let source = match read_unit(shared, path) {
+        Ok(s) => s,
+        Err(reply) => return reply,
+    };
+    let started = Instant::now();
+    let key = Cache::unit_key(&source, &shared.config_fp);
+
+    // Fast path: a byte-identical unit served straight from the resident
+    // whole-unit cache — no locks, no cure.
+    if let Some(cache) = &shared.cache {
+        if let Some(hit) = cache.load(key) {
+            shared.stats.unit_hits.fetch_add(1, Ordering::Relaxed);
+            shared.stats.cured.fetch_add(1, Ordering::Relaxed);
+            shared.lock(&shared.quarantine).remove(path);
+            return format!(
+                r#"{{"status":"ok","kind":"cure","path":{},"from_cache":true,"digest":{},"checks_inserted":{},"fn_hits":0,"fn_misses":0,"elapsed_ns":{}}}"#,
+                json_str(path),
+                json_str(&hex(hit.report_digest)),
+                hit.report.checks_inserted,
+                started.elapsed().as_nanos()
+            );
+        }
+    }
+    shared.stats.unit_misses.fetch_add(1, Ordering::Relaxed);
+
+    // Incremental cure with capped exponential backoff on transient
+    // failures. The unit's function cache persists across requests — that
+    // IS the warm path — and across retry attempts, so a timed-out cure's
+    // completed functions make the retry start further along.
+    let mut fn_cache = shared.take_fn_cache(path);
+    let mut attempt = 0u32;
+    let outcome = loop {
+        let result =
+            ccured::cure_source_incremental_isolated(&shared.curer, &source, &mut fn_cache);
+        match result {
+            Ok(incr) => break Ok(incr),
+            Err(e) if transient(&e) && attempt < shared.cfg.max_retries => {
+                attempt += 1;
+                shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = shared.cfg.backoff * 2u32.pow(attempt - 1).min(8);
+                std::thread::sleep(backoff);
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    shared.put_fn_cache(path, fn_cache);
+
+    match outcome {
+        Ok(incr) => {
+            let digest = fnv1a(incr.report.canonical().as_bytes());
+            if let Some(cache) = &shared.cache {
+                // A failed write only costs future hit rate.
+                let _ = cache.store(
+                    key,
+                    &CachedUnit {
+                        cured_text: incr.text.clone(),
+                        report: UnitReport::from_cure(&incr.report),
+                        report_digest: digest,
+                        timings_ns: incr.timings.as_ns(),
+                    },
+                );
+            }
+            shared.stats.cured.fetch_add(1, Ordering::Relaxed);
+            shared.lock(&shared.quarantine).remove(path);
+            format!(
+                r#"{{"status":"ok","kind":"cure","path":{},"from_cache":false,"digest":{},"checks_inserted":{},"fn_hits":{},"fn_misses":{},"retries":{attempt},"elapsed_ns":{}}}"#,
+                json_str(path),
+                json_str(&hex(digest)),
+                incr.report.checks_inserted.total(),
+                incr.fn_hits,
+                incr.fn_misses,
+                started.elapsed().as_nanos()
+            )
+        }
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            note_failure(shared, path);
+            let kind = match &e {
+                CureError::Frontend(_) => "frontend-error",
+                CureError::Link(_) => "link-error",
+                CureError::Internal(_) => "internal-error",
+                CureError::Timeout { .. } => "resource-exhausted",
+            };
+            format!(
+                r#"{{"status":"error","kind":"{kind}","path":{},"retries":{attempt},"error":{}}}"#,
+                json_str(path),
+                json_str(&e.to_string())
+            )
+        }
+    }
+}
+
+fn profile_request(shared: &Arc<Shared>, path: &str) -> String {
+    let source = match read_unit(shared, path) {
+        Ok(s) => s,
+        Err(reply) => return reply,
+    };
+    // Profiling needs the in-memory program and site table, so this is a
+    // full (isolated, deadline-bounded) cure plus a sandboxed execution.
+    match isolated(|| shared.curer.cure_source(&source)) {
+        Ok(cured) => {
+            let rows = isolated(|| Ok(profile_unit(&cured, shared.cfg.limits))).unwrap_or_default();
+            shared.stats.cured.fetch_add(1, Ordering::Relaxed);
+            shared.lock(&shared.quarantine).remove(path);
+            let mut s = format!(
+                r#"{{"status":"ok","kind":"profile","path":{},"sites":["#,
+                json_str(path)
+            );
+            for (i, r) in rows.iter().take(10).enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    r#"{{"func":{},"check":"{}","hits":{},"cost":{:.1}}}"#,
+                    json_str(&r.site.func),
+                    r.site.check,
+                    r.hits,
+                    r.cost
+                ));
+            }
+            s.push_str("]}");
+            s
+        }
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            note_failure(shared, path);
+            format!(
+                r#"{{"status":"error","kind":"cure-failed","path":{},"error":{}}}"#,
+                json_str(path),
+                json_str(&e.to_string())
+            )
+        }
+    }
+}
+
+fn explain_request(shared: &Arc<Shared>, path: &str) -> String {
+    let source = match read_unit(shared, path) {
+        Ok(s) => s,
+        Err(reply) => return reply,
+    };
+    let mut fn_cache = shared.take_fn_cache(path);
+    let result = ccured::cure_source_incremental_isolated(&shared.curer, &source, &mut fn_cache);
+    shared.put_fn_cache(path, fn_cache);
+    match result {
+        Ok(incr) => {
+            shared.stats.cured.fetch_add(1, Ordering::Relaxed);
+            shared.lock(&shared.quarantine).remove(path);
+            let r = &incr.report;
+            let mut s = format!(
+                r#"{{"status":"ok","kind":"explain","path":{},"wild":{},"checks_inserted":{},"checks_elided":{},"hoisted":{},"widened":{},"static_failures":["#,
+                json_str(path),
+                r.kind_counts.wild,
+                r.checks_inserted.total(),
+                r.checks_elided.total(),
+                r.checks_hoisted,
+                r.checks_widened
+            );
+            for (i, f) in r.static_failures.iter().take(20).enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    r#"{{"func":{},"check":"{}","message":{}}}"#,
+                    json_str(&f.func),
+                    f.check,
+                    json_str(&f.message)
+                ));
+            }
+            s.push_str("]}");
+            s
+        }
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            note_failure(shared, path);
+            format!(
+                r#"{{"status":"error","kind":"cure-failed","path":{},"error":{}}}"#,
+                json_str(path),
+                json_str(&e.to_string())
+            )
+        }
+    }
+}
+
+fn status_json(shared: &Arc<Shared>) -> String {
+    // Sum over the per-unit caches (ones checked out by an in-flight cure
+    // are simply not counted this instant).
+    let (fn_entries, fn_hits, fn_misses, fn_invalidations) = {
+        let caches = shared.lock(&shared.fn_caches);
+        caches.values().fold((0, 0, 0, 0), |acc, c| {
+            (
+                acc.0 + c.len(),
+                acc.1 + c.hits(),
+                acc.2 + c.misses(),
+                acc.3 + c.invalidations(),
+            )
+        })
+    };
+    let quarantined = shared
+        .lock(&shared.quarantine)
+        .values()
+        .filter(|n| **n >= shared.cfg.quarantine_threshold)
+        .count();
+    let s = &shared.stats;
+    format!(
+        r#"{{"status":"ok","kind":"status","requests":{},"cured":{},"errors":{},"busy":{},"retries":{},"respawns":{},"quarantined":{quarantined},"queue_depth":{},"workers":{},"unit_cache":{{"hits":{},"misses":{}}},"fn_cache":{{"entries":{fn_entries},"hits":{fn_hits},"misses":{fn_misses},"invalidations":{fn_invalidations}}},"uptime_ms":{}}}"#,
+        s.requests.load(Ordering::Relaxed),
+        s.cured.load(Ordering::Relaxed),
+        s.errors.load(Ordering::Relaxed),
+        s.busy.load(Ordering::Relaxed),
+        s.retries.load(Ordering::Relaxed),
+        s.respawns.load(Ordering::Relaxed),
+        shared.lock(&shared.queue).len(),
+        shared.cfg.effective_workers(),
+        s.unit_hits.load(Ordering::Relaxed),
+        s.unit_misses.load(Ordering::Relaxed),
+        shared.started.elapsed().as_millis()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ccured-serve-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn start(dir: &Path) -> Server {
+        let mut cfg = ServeConfig::new(dir.join("s.sock"));
+        cfg.cache_dir = Some(dir.join("cache"));
+        cfg.workers = 2;
+        Server::start(cfg).unwrap()
+    }
+
+    #[test]
+    fn serves_cure_status_and_shuts_down() {
+        let d = scratch("basic");
+        let unit = d.join("u.c");
+        fs::write(
+            &unit,
+            "int main(void) { int x; int *p; p = &x; *p = 3; return *p; }",
+        )
+        .unwrap();
+        let mut srv = start(&d);
+        let sock = srv.socket().to_path_buf();
+
+        let r1 = request(&sock, &format!("cure {}", unit.display())).unwrap();
+        assert!(r1.contains(r#""status":"ok""#), "{r1}");
+        assert!(r1.contains(r#""from_cache":false"#), "{r1}");
+        // Same bytes: whole-unit cache hit.
+        let r2 = request(&sock, &format!("cure {}", unit.display())).unwrap();
+        assert!(r2.contains(r#""from_cache":true"#), "{r2}");
+        // Same digest both ways.
+        let digest = |r: &str| {
+            r.split(r#""digest":""#)
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(digest(&r1), digest(&r2));
+
+        let st = request(&sock, "status").unwrap();
+        assert!(st.contains(r#""kind":"status""#), "{st}");
+        assert!(st.contains(r#""unit_cache":{"hits":1,"misses":1}"#), "{st}");
+
+        let bad = request(&sock, "cure /nonexistent.c").unwrap();
+        assert!(bad.contains(r#""kind":"unreadable""#), "{bad}");
+        let unknown = request(&sock, "frobnicate x").unwrap();
+        assert!(unknown.contains(r#""status":"error""#), "{unknown}");
+
+        let down = request(&sock, "shutdown").unwrap();
+        assert!(down.contains(r#""kind":"shutdown""#), "{down}");
+        srv.wait();
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn function_level_warm_path_recures_only_the_edit() {
+        let d = scratch("incr");
+        let unit = d.join("u.c");
+        let v = |k: u32| {
+            format!(
+                "int f(int *p) {{ return *p + {k}; }}\n\
+                 int g(int *p) {{ return *p * 2; }}\n\
+                 int main(void) {{ int x; x = 1; return f(&x) + g(&x); }}\n"
+            )
+        };
+        fs::write(&unit, v(0)).unwrap();
+        let mut srv = start(&d);
+        let sock = srv.socket().to_path_buf();
+        let r = request(&sock, &format!("cure {}", unit.display())).unwrap();
+        assert!(r.contains(r#""fn_misses":3"#), "{r}");
+        fs::write(&unit, v(1)).unwrap();
+        let r = request(&sock, &format!("cure {}", unit.display())).unwrap();
+        assert!(r.contains(r#""fn_hits":2"#), "{r}");
+        assert!(r.contains(r#""fn_misses":1"#), "{r}");
+        srv.stop();
+        let _ = fs::remove_dir_all(&d);
+    }
+}

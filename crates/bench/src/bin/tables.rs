@@ -27,6 +27,7 @@ const TABLES: &[&str] = &[
     "fig-interp",
     "fig-profile",
     "fig-opt2",
+    "fig-serve",
     "all",
 ];
 
@@ -82,6 +83,56 @@ fn main() {
     if all || which == "fig-opt2" {
         fig_opt2_table(smoke);
     }
+    if all || which == "fig-serve" {
+        fig_serve_table(smoke);
+    }
+}
+
+#[cfg(unix)]
+fn fig_serve_table(smoke: bool) {
+    println!(
+        "== E16: cure daemon, cold vs resident-cache warm paths{} ==\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let f = match fig_serve(smoke) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fig-serve failed: {e}");
+            return;
+        }
+    };
+    let ms = |d: std::time::Duration| format!("{:.1} ms", d.as_secs_f64() * 1e3);
+    let rows = vec![
+        vec!["cold (empty caches)".to_string(), ms(f.cold), ratio(1.0)],
+        vec![
+            "warm, unchanged sources (unit cache)".to_string(),
+            ms(f.warm_identical),
+            ratio(f.identical_speedup()),
+        ],
+        vec![
+            "warm, one function appended (fn cache)".to_string(),
+            ms(f.warm_touched),
+            ratio(f.touched_speedup()),
+        ],
+    ];
+    println!(
+        "{} units over the socket; touched-pass function reuse {:.0}% ({} hits / {} misses); digests match cold batch: {}\n",
+        f.units,
+        f.fn_hit_rate() * 100.0,
+        f.fn_hits,
+        f.fn_misses,
+        f.digests_match
+    );
+    println!("{}", render(&["configuration", "wall", "speedup"], &rows));
+    match std::fs::write("BENCH_serve.json", f.to_json()) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}
+
+#[cfg(not(unix))]
+fn fig_serve_table(_smoke: bool) {
+    eprintln!("fig-serve requires unix domain sockets; skipped on this platform");
 }
 
 fn pct_str(p: (u32, u32, u32, u32)) -> String {

@@ -1078,6 +1078,173 @@ pub fn fig_opt2(smoke: bool) -> Opt2Fig {
     Opt2Fig { rows }
 }
 
+/// E16 (`fig-serve`): the cure daemon's warm paths against its own cold
+/// pass over the micro+Olden corpus.
+#[derive(Debug, Clone)]
+pub struct ServeFig {
+    /// Units in the corpus.
+    pub units: usize,
+    /// Wall-clock of the cold pass (empty unit and function caches).
+    pub cold: std::time::Duration,
+    /// Wall-clock of re-requesting identical sources (whole-unit cache
+    /// hits — the CI/rebuild shape).
+    pub warm_identical: std::time::Duration,
+    /// Wall-clock after appending one function to every unit
+    /// (function-level incremental recure — the editor save-loop shape).
+    pub warm_touched: std::time::Duration,
+    /// Function-cache hits across the touched pass.
+    pub fn_hits: u64,
+    /// Function-cache misses across the touched pass (the new functions).
+    pub fn_misses: u64,
+    /// Whether every touched-pass report digest matched a cold full batch
+    /// over the same (modified) tree — the byte-identity guarantee.
+    pub digests_match: bool,
+}
+
+impl ServeFig {
+    /// `cold / warm_identical` — what the resident unit cache buys.
+    pub fn identical_speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm_identical.as_secs_f64().max(1e-9)
+    }
+
+    /// `cold / warm_touched` — what function-level incrementality buys on
+    /// a real edit.
+    pub fn touched_speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm_touched.as_secs_f64().max(1e-9)
+    }
+
+    /// Share of function cures the touched pass skipped.
+    pub fn fn_hit_rate(&self) -> f64 {
+        self.fn_hits as f64 / ((self.fn_hits + self.fn_misses) as f64).max(1.0)
+    }
+
+    /// `BENCH_serve.json` — machine-readable record for CI artifacts.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": \"fig-serve\",\n  \"units\": {},\n  \
+             \"cold_us\": {},\n  \"warm_identical_us\": {},\n  \"warm_touched_us\": {},\n  \
+             \"identical_speedup\": {:.3},\n  \"touched_speedup\": {:.3},\n  \
+             \"fn_hits\": {},\n  \"fn_misses\": {},\n  \"fn_hit_rate\": {:.3},\n  \
+             \"digests_match\": {}\n}}\n",
+            self.units,
+            self.cold.as_micros(),
+            self.warm_identical.as_micros(),
+            self.warm_touched.as_micros(),
+            self.identical_speedup(),
+            self.touched_speedup(),
+            self.fn_hits,
+            self.fn_misses,
+            self.fn_hit_rate(),
+            self.digests_match
+        )
+    }
+}
+
+#[cfg(unix)]
+fn serve_field(json: &str, name: &str) -> Option<u64> {
+    json.split(&format!("\"{name}\":"))
+        .nth(1)?
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// E16 (`fig-serve`): measure the daemon over [`batch_corpus`] via real
+/// socket requests. `smoke` shrinks the corpus for CI.
+///
+/// # Errors
+///
+/// I/O errors writing the corpus, starting the daemon, or talking to it.
+#[cfg(unix)]
+pub fn fig_serve(smoke: bool) -> std::io::Result<ServeFig> {
+    use ccured_batch::{request, run_batch, BatchConfig, ServeConfig, Server};
+    use std::time::Instant;
+
+    let dir = std::env::temp_dir().join(format!("ccured-fig-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = (|| {
+        let mut corpus = batch_corpus();
+        if smoke {
+            corpus.truncate(4);
+        }
+        let units = ccured_workloads::write_units(&dir.join("src"), &corpus)?;
+
+        let mut cfg = ServeConfig::new(dir.join("cc.sock"));
+        cfg.cache_dir = Some(dir.join("cache"));
+        cfg.workers = 2;
+        let mut srv = Server::start(cfg)?;
+        let sock = srv.socket().to_path_buf();
+        let cure = |u: &std::path::PathBuf| request(&sock, &format!("cure {}", u.display()));
+
+        let t = Instant::now();
+        for u in &units {
+            let r = cure(u)?;
+            assert!(r.contains("\"status\":\"ok\""), "{}: {r}", u.display());
+        }
+        let cold = t.elapsed();
+
+        // Identical bytes: resident whole-unit cache hits.
+        let t = Instant::now();
+        for u in &units {
+            let r = cure(u)?;
+            assert!(r.contains("\"from_cache\":true"), "{}: {r}", u.display());
+        }
+        let warm_identical = t.elapsed();
+
+        // The editor save-loop: one appended function per unit, everything
+        // else unchanged — the daemon re-cures only the new functions.
+        for u in &units {
+            let src = std::fs::read_to_string(u)?;
+            std::fs::write(
+                u,
+                format!("{src}\nint ccured_fig_serve_extra(int v) {{ return v + 1; }}\n"),
+            )?;
+        }
+        let (mut fn_hits, mut fn_misses) = (0u64, 0u64);
+        let mut warm_digests = Vec::new();
+        let t = Instant::now();
+        for u in &units {
+            let r = cure(u)?;
+            assert!(r.contains("\"status\":\"ok\""), "{}: {r}", u.display());
+            fn_hits += serve_field(&r, "fn_hits").unwrap_or(0);
+            fn_misses += serve_field(&r, "fn_misses").unwrap_or(0);
+            warm_digests.push(
+                r.split("\"digest\":\"")
+                    .nth(1)
+                    .and_then(|s| s.split('"').next())
+                    .unwrap_or("")
+                    .to_string(),
+            );
+        }
+        let warm_touched = t.elapsed();
+        srv.stop();
+
+        // Byte-identity spot check: the warm digests must equal a cold
+        // full batch over the modified tree.
+        let mut bcfg = BatchConfig::new(ccured::Curer::new());
+        bcfg.use_cache = false;
+        let ground = run_batch(&bcfg, &units)?;
+        let digests_match = ground
+            .units
+            .iter()
+            .zip(&warm_digests)
+            .all(|(u, d)| format!("{:016x}", u.report_digest) == *d);
+
+        Ok(ServeFig {
+            units: units.len(),
+            cold,
+            warm_identical,
+            warm_touched,
+            fn_hits,
+            fn_misses,
+            digests_match,
+        })
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1224,6 +1391,46 @@ mod tests {
             f.warm_speedup() >= 5.0,
             "warm-cache rerun must be ≥5× faster, got {:.2}×",
             f.warm_speedup()
+        );
+    }
+
+    /// E16 shape: both warm paths work, functions are reused, and the
+    /// incremental recure is digest-identical to a cold batch.
+    #[cfg(unix)]
+    #[test]
+    fn fig_serve_shape_smoke() {
+        let f = fig_serve(true).expect("fig-serve runs");
+        assert!(f.units >= 2);
+        assert!(f.digests_match, "warm recure diverged from cold batch");
+        assert!(f.fn_hits > 0, "no function reuse on the touched pass");
+        assert_eq!(
+            f.fn_misses, f.units as u64,
+            "exactly the appended function re-cures per unit"
+        );
+    }
+
+    /// E16 floor: the resident unit cache must make an unchanged re-request
+    /// ≥3× faster than the cold cure, and function-level incrementality
+    /// must beat the cold pass outright on a one-function edit. Wall-clock
+    /// ratios are only meaningful in release.
+    #[cfg(unix)]
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "wall-clock ratio is only meaningful in release"
+    )]
+    fn fig_serve_warm_beats_cold() {
+        let f = fig_serve(false).expect("fig-serve runs");
+        assert!(f.digests_match, "warm recure diverged from cold batch");
+        assert!(
+            f.identical_speedup() >= 3.0,
+            "unit-cache warm path must be ≥3× faster, got {:.2}×",
+            f.identical_speedup()
+        );
+        assert!(
+            f.touched_speedup() >= 1.05,
+            "incremental recure must beat the cold pass, got {:.2}×",
+            f.touched_speedup()
         );
     }
 

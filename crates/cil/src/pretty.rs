@@ -3,8 +3,20 @@
 use crate::ir::*;
 use std::fmt::Write as _;
 
-/// Renders a whole program.
+/// Renders a whole program: the declaration header followed by every
+/// function block. Defined as the concatenation of [`dump_decls`] and
+/// [`dump_function`] so per-function renders can be spliced back together
+/// byte-identically (the incremental recure path relies on this).
 pub fn dump_program(p: &Program) -> String {
+    let mut out = dump_decls(p);
+    for f in &p.functions {
+        out.push_str(&dump_function(p, f));
+    }
+    out
+}
+
+/// Renders the program header: global and extern declaration lines.
+pub fn dump_decls(p: &Program) -> String {
     let mut out = String::new();
     for g in &p.globals {
         let _ = writeln!(
@@ -20,23 +32,27 @@ pub fn dump_program(p: &Program) -> String {
             let _ = writeln!(out, "extern {}: {}", e.name, p.types.display(e.ty));
         }
     }
-    for f in &p.functions {
-        let _ = writeln!(out, "fn {}: {} {{", f.name, p.types.display(f.ty));
-        for (i, l) in f.locals.iter().enumerate() {
-            let kind = if l.is_param {
-                "param"
-            } else if l.is_temp {
-                "temp"
-            } else {
-                "local"
-            };
-            let _ = writeln!(out, "  {kind} %{i} {}: {}", l.name, p.types.display(l.ty));
-        }
-        for s in &f.body {
-            dump_stmt(p, s, 1, &mut out);
-        }
-        out.push_str("}\n");
+    out
+}
+
+/// Renders one function block exactly as it appears in [`dump_program`].
+pub fn dump_function(p: &Program, f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {}: {} {{", f.name, p.types.display(f.ty));
+    for (i, l) in f.locals.iter().enumerate() {
+        let kind = if l.is_param {
+            "param"
+        } else if l.is_temp {
+            "temp"
+        } else {
+            "local"
+        };
+        let _ = writeln!(out, "  {kind} %{i} {}: {}", l.name, p.types.display(l.ty));
     }
+    for s in &f.body {
+        dump_stmt(p, s, 1, &mut out);
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -247,6 +263,23 @@ mod tests {
         assert!(d.contains("global g"));
         assert!(d.contains("fn add"));
         assert!(d.contains("return"));
+    }
+
+    #[test]
+    fn dump_program_is_the_splice_of_decls_and_functions() {
+        let tu = ccured_ast::parse_translation_unit(
+            "int g = 3;\n\
+             extern int puts(char *s);\n\
+             int add(int a, int b) { return a + b; }\n\
+             int twice(int a) { return add(a, a); }",
+        )
+        .unwrap();
+        let p = lower_translation_unit(&tu).unwrap();
+        let mut spliced = super::dump_decls(&p);
+        for f in &p.functions {
+            spliced.push_str(&super::dump_function(&p, f));
+        }
+        assert_eq!(spliced, super::dump_program(&p));
     }
 
     #[test]

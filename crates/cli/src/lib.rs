@@ -9,7 +9,11 @@
 //! ccured explain <file.c> [--sym name] [options]
 //! ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
 //! ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--profile] [--json]
+//!                             [--deadline-ms N]
 //! ccured profile <file.c> [--top N] [--json] [--engine vm|tree]
+//! ccured serve <socket> [--workers N] [--cache-dir D] [--no-cache] [--deadline-ms N]
+//!                       [--queue-cap N] [--fault-poison SUBSTR]
+//! ccured client <socket> <request...>
 //!
 //!   --run                 execute after curing (default mode: cured)
 //!   --mode <m>            original | cured | purify | valgrind | joneskelly
@@ -63,8 +67,18 @@
 //! manifest file) on a work-stealing thread pool, serving unchanged units
 //! from the content-addressed cache (`ccured-batch`). Cure flags
 //! (`--wrappers`, `--no-opt`, `--original-ccured`, …) apply to every unit
-//! and participate in the cache key. Exit is 1 when any unit fails to
-//! cure, 0 otherwise.
+//! and participate in the cache key. `--deadline-ms` bounds each unit's
+//! cure wall-clock; a unit that blows its budget gets the terminal
+//! `resource-exhausted` verdict. Exit is 7 when any unit exhausted its
+//! budget, 1 when any other unit failed, 0 otherwise.
+//!
+//! `ccured serve` starts the long-lived cure daemon (`ccured-batch`'s
+//! `serve` module) on a unix socket: a resident worker pool, the
+//! content-addressed whole-unit cache, and a shared function-level cache
+//! so a warm server re-cures only the functions an edit touched. `ccured
+//! client <socket> <request...>` sends one request line and prints the
+//! one-line JSON reply; its exit code is 0 for `ok`, 1 for `error`, 6 for
+//! `busy`, and 4 when the daemon cannot be reached.
 //!
 //! The library half exists so the argument parser and driver can be unit
 //! tested; `main.rs` is a thin wrapper.
@@ -103,6 +117,21 @@ pub struct Options {
     /// `profile` subcommand: run with per-site check profiling and print
     /// the ranked hot-site table.
     pub profile: bool,
+    /// `serve` subcommand: start the long-lived cure daemon.
+    pub serve: bool,
+    /// `client` subcommand: send one request line to a running daemon.
+    pub client: bool,
+    /// `client`: the request line (remaining positional words, joined).
+    pub request: Option<String>,
+    /// `--workers`: serve worker threads (None: daemon default).
+    pub workers: Option<usize>,
+    /// `--queue-cap`: serve request-queue capacity before `busy` shedding.
+    pub queue_cap: Option<usize>,
+    /// `--deadline-ms`: per-unit cure wall-clock budget (`batch`/`serve`).
+    pub deadline_ms: Option<u64>,
+    /// `--fault-poison`: serve fault injection — a worker panics when a
+    /// requested unit's source contains this substring (tests/CI only).
+    pub fault_poison: Option<String>,
     /// `--top`: rows in the profile table (default 10).
     pub top: Option<usize>,
     /// `--jobs`: batch worker threads (None: one per core).
@@ -206,6 +235,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                 first_positional = false;
                 o.profile = true;
             }
+            // `ccured serve <socket> [--workers N] [--deadline-ms N] ...`.
+            "serve" if first_positional => {
+                first_positional = false;
+                o.serve = true;
+            }
+            // `ccured client <socket> <request...>`.
+            "client" if first_positional => {
+                first_positional = false;
+                o.client = true;
+            }
             // `--profile` (flag form): profile every unit of a batch.
             "--profile" => {
                 profile_flag = true;
@@ -220,6 +259,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             }
             "--no-cache" => o.no_cache = true,
             "--cache-dir" => o.cache_dir = Some(need(&mut it, "--cache-dir")?),
+            "--workers" => {
+                let v = need(&mut it, "--workers")?;
+                o.workers = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--workers: `{v}` is not a number")))?,
+                );
+            }
+            "--queue-cap" => {
+                let v = need(&mut it, "--queue-cap")?;
+                o.queue_cap = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--queue-cap: `{v}` is not a number")))?,
+                );
+            }
+            "--deadline-ms" => {
+                let v = need(&mut it, "--deadline-ms")?;
+                o.deadline_ms =
+                    Some(v.parse().map_err(|_| {
+                        UsageError(format!("--deadline-ms: `{v}` is not a number"))
+                    })?);
+            }
+            "--fault-poison" => o.fault_poison = Some(need(&mut it, "--fault-poison")?),
             "--jobs" => {
                 let v = need(&mut it, "--jobs")?;
                 o.jobs = Some(
@@ -291,6 +352,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                 first_positional = false;
                 if o.file.is_empty() {
                     o.file = file.to_string();
+                } else if o.client {
+                    // `client <socket> <request...>`: everything after the
+                    // socket path is the request line.
+                    match &mut o.request {
+                        Some(r) => {
+                            r.push(' ');
+                            r.push_str(file);
+                        }
+                        None => o.request = Some(file.to_string()),
+                    }
                 } else {
                     return Err(UsageError(format!("unexpected extra argument `{file}`")));
                 }
@@ -330,9 +401,25 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "`profile` runs in cured mode (the checks being profiled only exist there)".into(),
         ));
     }
-    if (o.jobs.is_some() || o.cache_dir.is_some() || o.no_cache) && !o.batch {
+    if (o.jobs.is_some() || o.cache_dir.is_some() || o.no_cache) && !(o.batch || o.serve) {
         return Err(UsageError(
-            "--jobs/--cache-dir/--no-cache only apply to the `batch` subcommand".into(),
+            "--jobs/--cache-dir/--no-cache only apply to the `batch` and `serve` subcommands"
+                .into(),
+        ));
+    }
+    if o.deadline_ms.is_some() && !(o.batch || o.serve) {
+        return Err(UsageError(
+            "--deadline-ms only applies to the `batch` and `serve` subcommands".into(),
+        ));
+    }
+    if (o.workers.is_some() || o.queue_cap.is_some() || o.fault_poison.is_some()) && !o.serve {
+        return Err(UsageError(
+            "--workers/--queue-cap/--fault-poison only apply to the `serve` subcommand".into(),
+        ));
+    }
+    if o.client && o.request.is_none() {
+        return Err(UsageError(
+            "client needs a request, e.g. `ccured client /tmp/cc.sock status`".into(),
         ));
     }
     Ok(o)
@@ -347,7 +434,11 @@ pub const USAGE: &str =
        ccured explain <file.c> [--sym NAME] [other options]
        ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
        ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--profile] [--json]
-       ccured profile <file.c> [--top N] [--json] [--engine vm|tree]";
+                   [--deadline-ms N]
+       ccured profile <file.c> [--top N] [--json] [--engine vm|tree]
+       ccured serve <socket> [--workers N] [--cache-dir D] [--no-cache] [--deadline-ms N]
+                   [--queue-cap N] [--fault-poison SUBSTR]
+       ccured client <socket> <request...>   (cure|profile|explain <path> | status|reset|shutdown)";
 
 /// What a driver invocation produced (for testing and for `main`).
 #[derive(Debug)]
@@ -497,6 +588,9 @@ pub fn drive_batch(o: &Options) -> Result<Outcome, CureError> {
     if let Some(f) = o.fuel {
         cfg.limits.fuel = f;
     }
+    if let Some(ms) = o.deadline_ms {
+        cfg.limits = cfg.limits.with_deadline_ms(ms);
+    }
     let report = ccured_batch::run_path(&cfg, std::path::Path::new(&o.file))
         .map_err(|e| CureError::Internal(format!("batch: {e}")))?;
     let stdout = if o.json {
@@ -506,10 +600,92 @@ pub fn drive_batch(o: &Options) -> Result<Outcome, CureError> {
     } else {
         report.render()
     };
+    // Deadline overruns get their own exit code so CI can distinguish "this
+    // unit is broken" (1) from "this unit got slower than the budget" (7).
+    let exhausted = report
+        .units
+        .iter()
+        .any(|u| matches!(u.verdict, ccured_batch::Verdict::ResourceExhausted(_)));
     Ok(Outcome {
-        exit: if report.failed() == 0 { 0 } else { 1 },
+        exit: if exhausted {
+            7
+        } else if report.failed() == 0 {
+            0
+        } else {
+            1
+        },
         stdout,
     })
+}
+
+/// Runs the `serve` subcommand: starts the cure daemon on the socket named
+/// by `o.file` and blocks until a `shutdown` request arrives.
+///
+/// # Errors
+///
+/// [`CureError::Internal`] when the socket cannot be bound or the cache
+/// directory cannot be created.
+#[cfg(unix)]
+pub fn drive_serve(o: &Options) -> Result<Outcome, CureError> {
+    let mut cfg = ccured_batch::ServeConfig::new(std::path::PathBuf::from(&o.file));
+    cfg.curer = curer(o);
+    if let Some(w) = o.workers {
+        cfg.workers = w;
+    }
+    if let Some(c) = o.queue_cap {
+        cfg.queue_cap = c;
+    }
+    if let Some(f) = o.fuel {
+        cfg.limits.fuel = f;
+    }
+    if let Some(ms) = o.deadline_ms {
+        cfg.limits = cfg.limits.with_deadline_ms(ms);
+    }
+    cfg.cache_dir = if o.no_cache {
+        None
+    } else {
+        Some(std::path::PathBuf::from(
+            o.cache_dir.as_deref().unwrap_or(".ccured-cache"),
+        ))
+    };
+    cfg.fault_poison = o.fault_poison.clone();
+    let mut server =
+        ccured_batch::Server::start(cfg).map_err(|e| CureError::Internal(format!("serve: {e}")))?;
+    // Announce readiness immediately (stderr, like a status line): the
+    // Outcome's stdout would only appear after shutdown.
+    eprintln!("ccured serve: listening on {}", o.file);
+    server.wait();
+    Ok(Outcome {
+        exit: 0,
+        stdout: String::new(),
+    })
+}
+
+/// Runs the `client` subcommand: sends the request line to the daemon and
+/// prints the one-line JSON reply. Exit codes: 0 `ok`, 1 `error`, 6
+/// `busy`, 4 connection failure.
+#[cfg(unix)]
+pub fn drive_client(o: &Options) -> Outcome {
+    let line = o.request.as_deref().unwrap_or("status");
+    match ccured_batch::request(std::path::Path::new(&o.file), line) {
+        Ok(reply) => {
+            let exit = if reply.contains(r#""status":"ok""#) {
+                0
+            } else if reply.contains(r#""status":"busy""#) {
+                6
+            } else {
+                1
+            };
+            Outcome {
+                exit,
+                stdout: format!("{reply}\n"),
+            }
+        }
+        Err(e) => Outcome {
+            exit: 4,
+            stdout: format!("ccured client: cannot reach `{}`: {e}\n", o.file),
+        },
+    }
 }
 
 /// The exact text the pipeline parses: the wrapper prelude (when enabled)
@@ -1148,6 +1324,71 @@ mod tests {
         let pj = drive_batch(&args(&format!("{argv} --profile --json")).unwrap()).unwrap();
         assert!(pj.stdout.contains("\"hot_sites\":[{"), "{}", pj.stdout);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_serve_and_client_subcommands() {
+        let o = args(
+            "serve /tmp/cc.sock --workers 3 --queue-cap 64 --deadline-ms 500 --fault-poison BOOM",
+        )
+        .unwrap();
+        assert!(o.serve);
+        assert_eq!(o.file, "/tmp/cc.sock");
+        assert_eq!(o.workers, Some(3));
+        assert_eq!(o.queue_cap, Some(64));
+        assert_eq!(o.deadline_ms, Some(500));
+        assert_eq!(o.fault_poison.as_deref(), Some("BOOM"));
+        let c = args("client /tmp/cc.sock cure /src/a.c").unwrap();
+        assert!(c.client);
+        assert_eq!(c.file, "/tmp/cc.sock");
+        assert_eq!(c.request.as_deref(), Some("cure /src/a.c"));
+        assert!(
+            args("client /tmp/cc.sock").is_err(),
+            "client needs a request"
+        );
+        assert!(args("serve").is_err(), "serve needs a socket");
+        assert!(args("prog.c --workers 2").is_err(), "--workers needs serve");
+        assert!(
+            args("prog.c --deadline-ms 5").is_err(),
+            "--deadline-ms needs batch/serve"
+        );
+        assert!(args("batch dir --deadline-ms 5").unwrap().deadline_ms == Some(5));
+        assert!(args("serve /s.sock --workers x").is_err());
+    }
+
+    #[test]
+    fn drive_batch_deadline_exhaustion_exits_7() {
+        let dir = std::env::temp_dir().join(format!("ccured-cli-ddl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.c"), "int main(void) { return 0; }").unwrap();
+        // A zero budget trips at the first stage boundary on any machine.
+        let o = args(&format!(
+            "batch {} --no-cache --deadline-ms 0",
+            dir.display()
+        ))
+        .unwrap();
+        let r = drive_batch(&o).unwrap();
+        assert_eq!(r.exit, 7, "{}", r.stdout);
+        assert!(r.stdout.contains("resource-exhausted"), "{}", r.stdout);
+        // With a generous budget the same batch is clean.
+        let o = args(&format!(
+            "batch {} --no-cache --deadline-ms 60000",
+            dir.display()
+        ))
+        .unwrap();
+        let r = drive_batch(&o).unwrap();
+        assert_eq!(r.exit, 0, "{}", r.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn drive_client_unreachable_daemon_exits_4() {
+        let o = args("client /nonexistent-ccured.sock status").unwrap();
+        let r = drive_client(&o);
+        assert_eq!(r.exit, 4);
+        assert!(r.stdout.contains("cannot reach"), "{}", r.stdout);
     }
 
     #[test]

@@ -11,6 +11,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The daemon and its client address a socket, not a source file.
+    #[cfg(unix)]
+    if opts.serve {
+        return match ccured_cli::drive_serve(&opts) {
+            Ok(outcome) => {
+                print!("{}", outcome.stdout);
+                ExitCode::from((outcome.exit & 0xff) as u8)
+            }
+            Err(e) => {
+                eprintln!("ccured: {e}");
+                ExitCode::from(4)
+            }
+        };
+    }
+    #[cfg(unix)]
+    if opts.client {
+        let outcome = ccured_cli::drive_client(&opts);
+        print!("{}", outcome.stdout);
+        return ExitCode::from((outcome.exit & 0xff) as u8);
+    }
     // Batch mode reads its own inputs (the positional arg is a directory
     // or manifest, not a single source file).
     if opts.batch {

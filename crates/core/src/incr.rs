@@ -1,0 +1,753 @@
+//! Function-level incremental recuring.
+//!
+//! A long-lived cure service (`ccured serve`) sees the same translation
+//! unit over and over with small edits. Whole-unit caching (the batch
+//! cache) only helps when the unit is byte-identical; this module caches
+//! at *function* granularity instead, so touching one function re-runs
+//! instrumentation and optimization for that function only, and splices
+//! the cached renderings of every other function around it.
+//!
+//! What makes this sound:
+//!
+//! * Pointer-kind inference is whole-program, so the warm path always
+//!   re-runs parse → lower → wrappers → infer → link audit. Only the
+//!   *back half* of the pipeline — instrumentation and the check
+//!   optimizer — is cached, and both are intraprocedural
+//!   ([`crate::instrument::instrument_function`],
+//!   [`ccured_analysis::optimize_function`]).
+//! * A cache entry is keyed by a fingerprint of **everything the back
+//!   half reads** for that function: the function's pre-instrumentation
+//!   rendering, instruction spans (relative to the function start),
+//!   every pointer qualifier's inferred kind collected positionally
+//!   (ids shift across edits; positions do not), cast metadata, and the
+//!   signatures of called/addressed functions. A separate *environment*
+//!   fingerprint covers the whole-unit inputs (config, declarations,
+//!   aggregate layouts, pragmas, the RTTI hierarchy, tracked globals);
+//!   when it changes the whole cache is invalidated.
+//! * [`ccured_cil::pretty::dump_program`] is defined as
+//!   `dump_decls + Σ dump_function`, so splicing cached per-function
+//!   renderings reproduces the cold rendering byte-for-byte; check
+//!   counts and elision stats are per-function sums, and static-failure
+//!   spans are cached relative to the function start and rebased on hit.
+//!
+//! The differential test in `tests/` asserts the end-to-end property:
+//! a warm incremental cure is byte-identical (text and canonical
+//! report) to a cold [`Curer::cure_source`] at any edit.
+
+use crate::hierarchy::Hierarchy;
+use crate::instrument::{instrument_function, CheckCounts};
+use crate::pipeline::{
+    declared_kind_counts, isolated, key_of_failure, sort_link_issues, CureError, CureReport, Curer,
+    StageTimings,
+};
+use crate::wrappers::{apply_wrappers, check_link};
+use ccured_analysis::{optimize_function, StaticFailure};
+use ccured_cil::ir::{Callee, Check, Exp, FnRef, Function, Instr, Lval, Offset, Program, Stmt};
+use ccured_cil::pretty::{dump_decls, dump_function};
+use ccured_cil::types::{Type, TypeId};
+use ccured_infer::{infer, Solution};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// FNV-1a 64-bit, the default content hash (same algorithm the batch
+/// cache uses for unit keys; kept local so `ccured` does not depend on
+/// the batch crate).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A static failure with its span stored relative to the owning
+/// function's span start, so the cached entry survives the function
+/// moving wholesale within the file (the common case: an edit above
+/// it). [`ccured_ast::Span::DUMMY`] round-trips via `None` — rebasing
+/// arithmetic must never manufacture a non-dummy span from a dummy one.
+#[derive(Debug, Clone)]
+struct RelFailure {
+    check: &'static str,
+    message: String,
+    /// `(lo, hi)` relative to `Function::span.lo`; `None` for DUMMY.
+    rel: Option<(u32, u32)>,
+}
+
+impl RelFailure {
+    fn from_absolute(f: &StaticFailure, base: u32) -> RelFailure {
+        RelFailure {
+            check: f.check,
+            message: f.message.clone(),
+            rel: if f.span == ccured_ast::Span::DUMMY {
+                None
+            } else {
+                (f.span.lo >= base && f.span.hi >= base)
+                    .then(|| (f.span.lo - base, f.span.hi - base))
+            },
+        }
+    }
+
+    fn to_absolute(&self, func: &str, base: u32) -> StaticFailure {
+        StaticFailure {
+            func: func.to_string(),
+            check: self.check,
+            message: self.message.clone(),
+            span: match self.rel {
+                None => ccured_ast::Span::DUMMY,
+                Some((lo, hi)) => ccured_ast::Span {
+                    lo: base + lo,
+                    hi: base + hi,
+                },
+            },
+        }
+    }
+}
+
+/// One cached back-half result: everything the report and the rendered
+/// program need from instrumenting and optimizing a single function.
+#[derive(Debug, Clone)]
+struct FnEntry {
+    /// `dump_function` of the instrumented, optimized function.
+    text: String,
+    /// Static check counts inserted into this function.
+    counts: CheckCounts,
+    /// Checks the optimizer deleted in this function.
+    elided: ccured_analysis::ElisionStats,
+    /// Check instructions hoisted / widened by the loop optimizer.
+    hoisted: u64,
+    widened: u64,
+    /// Static always-fail diagnostics, spans relative to the function.
+    failures: Vec<RelFailure>,
+}
+
+/// The per-function result cache behind [`Curer::cure_source_incremental`].
+///
+/// Owns nothing about *which* unit it serves: entries are keyed by
+/// content fingerprints, and an environment fingerprint guards against
+/// cross-configuration or cross-declaration reuse. One cache can serve
+/// many units (the cure daemon keeps exactly one, shared across
+/// requests under a mutex).
+pub struct FnCache {
+    entries: HashMap<u64, FnEntry>,
+    hasher: fn(&[u8]) -> u64,
+    env_fp: Option<u64>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl Default for FnCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FnCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnCache")
+            .field("entries", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("invalidations", &self.invalidations)
+            .finish()
+    }
+}
+
+impl FnCache {
+    /// An empty cache using the built-in FNV-1a content hash.
+    pub fn new() -> Self {
+        Self::with_hasher(fnv1a)
+    }
+
+    /// An empty cache with a caller-supplied content hash (the daemon
+    /// passes the batch crate's hash so both caches agree on keys'
+    /// provenance in diagnostics).
+    pub fn with_hasher(hasher: fn(&[u8]) -> u64) -> Self {
+        FnCache {
+            entries: HashMap::new(),
+            hasher,
+            env_fp: None,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Cached function entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime function-level hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime function-level misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Times the environment fingerprint changed and dropped all entries.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Drops every entry (the daemon's `reset` request).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.env_fp = None;
+    }
+
+    /// Ensures the cache is keyed under `env`; wipes it when the
+    /// environment changed since the last cure.
+    fn enter_env(&mut self, env: u64) {
+        if self.env_fp != Some(env) {
+            if self.env_fp.is_some() {
+                self.invalidations += 1;
+            }
+            self.entries.clear();
+            self.env_fp = Some(env);
+        }
+    }
+}
+
+/// Result of an incremental cure: the rendered program plus the same
+/// report a cold cure produces (byte-identical canonical form), with
+/// cache-effectiveness counters for this call.
+#[derive(Debug, Clone)]
+pub struct IncrementalCured {
+    /// The rendered instrumented program — byte-identical to
+    /// `dump_program` of the cold cure's program.
+    pub text: String,
+    /// The cure report — canonical form byte-identical to the cold one.
+    pub report: CureReport,
+    /// Functions whose back half was spliced from cache in this call.
+    pub fn_hits: usize,
+    /// Functions whose back half was recomputed in this call.
+    pub fn_misses: usize,
+    /// Stage timings for this call (the per-function loop is attributed
+    /// to `instrument`; `optimize` is folded in and reported as zero).
+    pub timings: StageTimings,
+}
+
+/// Collects the effective kind / RTTI / SPLIT triple of every pointer
+/// qualifier reachable from `t`, in deterministic walk order. Kinds are
+/// recorded *positionally* — qualifier ids shift when unrelated code is
+/// edited, positions within one declared type do not.
+fn push_type_quals(prog: &Program, sol: &Solution, t: TypeId, out: &mut String) {
+    fn walk(prog: &Program, sol: &Solution, t: TypeId, out: &mut String, depth: usize) {
+        if depth > 64 {
+            return; // cyclic via comps; comp fields are fingerprinted in the env
+        }
+        match prog.types.get(t) {
+            Type::Ptr(base, q) => {
+                let _ = write!(
+                    out,
+                    "|{:?}{}{}",
+                    sol.effective(*q),
+                    if sol.is_rtti(*q) { "r" } else { "" },
+                    if sol.is_split(*q) { "s" } else { "" }
+                );
+                walk(prog, sol, *base, out, depth + 1);
+            }
+            Type::Array(elem, _) => walk(prog, sol, *elem, out, depth + 1),
+            Type::Func(sig) => {
+                walk(prog, sol, sig.ret, out, depth + 1);
+                for p in &sig.params {
+                    walk(prog, sol, *p, out, depth + 1);
+                }
+            }
+            Type::Void | Type::Int(_) | Type::Float(_) | Type::Comp(_) => {}
+        }
+    }
+    walk(prog, sol, t, out, 0);
+}
+
+/// The whole-unit environment fingerprint: everything outside a single
+/// function's body that instrumentation or optimization can read. Two
+/// cures under equal environments may share per-function entries.
+fn env_fingerprint(curer: &Curer, prog: &Program, sol: &Solution, hier: &Hierarchy) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "config {}", curer.config_fingerprint());
+    let _ = writeln!(s, "version {}", env!("CARGO_PKG_VERSION"));
+    s.push_str("decls\n");
+    s.push_str(&dump_decls(prog));
+    for g in &prog.globals {
+        push_type_quals(prog, sol, g.ty, &mut s);
+        let _ = write!(
+            s,
+            "|g{:?}{}",
+            sol.effective(g.addr_qual),
+            if sol.is_split(g.addr_qual) { "s" } else { "" }
+        );
+    }
+    s.push('\n');
+    for c in prog.types.comps() {
+        let _ = write!(
+            s,
+            "comp {} u={} sz={} al={}",
+            c.name, c.is_union, c.size, c.align
+        );
+        for f in &c.fields {
+            let _ = write!(s, " {}@{}:{}", f.name, f.offset, prog.types.display(f.ty));
+            push_type_quals(prog, sol, f.ty, &mut s);
+            let _ = write!(s, "|f{:?}", sol.effective(f.addr_qual));
+        }
+        s.push('\n');
+    }
+    for e in &prog.externals {
+        let _ = write!(s, "extern {}:{}", e.name, prog.types.display(e.ty));
+        push_type_quals(prog, sol, e.ty, &mut s);
+        s.push('\n');
+    }
+    let _ = writeln!(s, "pragmas {:?}", prog.pragmas);
+    let _ = writeln!(s, "hierarchy {hier:?}");
+    let mut tracked: Vec<u32> = ccured_analysis::tracked_globals(prog).into_iter().collect();
+    tracked.sort_unstable();
+    let _ = writeln!(s, "tracked {tracked:?}");
+    s
+}
+
+/// Appends the fingerprint contributions of one expression tree:
+/// qualifier kinds of every node's type, cast metadata, and the
+/// signatures of referenced functions.
+fn push_exp(prog: &Program, sol: &Solution, e: &Exp, out: &mut String) {
+    push_type_quals(prog, sol, e.ty(), out);
+    match e {
+        Exp::Const(..) | Exp::FnAddr(FnRef::Ext(_), _) => {}
+        Exp::FnAddr(FnRef::Def(fid), _) => {
+            let callee = &prog.functions[fid.idx()];
+            let _ = write!(out, "|fn&{}:{}", callee.name, prog.types.display(callee.ty));
+            push_type_quals(prog, sol, callee.ty, out);
+        }
+        Exp::Load(lv, _) | Exp::AddrOf(lv, _) | Exp::StartOf(lv, _) => {
+            push_lval(prog, sol, lv, out);
+        }
+        Exp::Unop(_, x, _) => push_exp(prog, sol, x, out),
+        Exp::Binop(_, a, b, _) => {
+            push_exp(prog, sol, a, out);
+            push_exp(prog, sol, b, out);
+        }
+        Exp::Cast(id, x, _) => {
+            let c = &prog.casts[id.idx()];
+            let _ = write!(
+                out,
+                "|cast {}=>{} t={} a={} i={} z={}",
+                prog.types.display(c.from),
+                prog.types.display(c.to),
+                c.trusted,
+                c.alloc,
+                c.implicit,
+                c.from_zero
+            );
+            push_type_quals(prog, sol, c.from, out);
+            push_type_quals(prog, sol, c.to, out);
+            push_exp(prog, sol, x, out);
+        }
+        Exp::SizeOf(t, n, _) => {
+            let _ = write!(out, "|sizeof {} {}", prog.types.display(*t), n);
+        }
+    }
+}
+
+fn push_lval(prog: &Program, sol: &Solution, lv: &Lval, out: &mut String) {
+    match &lv.base {
+        ccured_cil::ir::LvBase::Local(_) | ccured_cil::ir::LvBase::Global(_) => {}
+        ccured_cil::ir::LvBase::Deref(e) => push_exp(prog, sol, e, out),
+    }
+    for off in &lv.offsets {
+        if let Offset::Index(e) = off {
+            push_exp(prog, sol, e, out);
+        }
+    }
+}
+
+fn push_instr(prog: &Program, sol: &Solution, i: &Instr, base: u32, out: &mut String) {
+    let span = match i {
+        Instr::Set(_, _, sp) | Instr::Call(_, _, _, sp) | Instr::Check(_, sp, _) => *sp,
+    };
+    // Relative instruction spans: static-failure diagnostics inherit
+    // them, and the cached entry stores failures relative to the same
+    // base — so span-only edits inside the function must miss.
+    if span == ccured_ast::Span::DUMMY {
+        out.push_str("|@dummy");
+    } else if span.lo >= base {
+        let _ = write!(
+            out,
+            "|@{}+{}",
+            span.lo - base,
+            span.hi.saturating_sub(span.lo)
+        );
+    } else {
+        let _ = write!(out, "|@abs{}:{}", span.lo, span.hi);
+    }
+    match i {
+        Instr::Set(lv, e, _) => {
+            push_lval(prog, sol, lv, out);
+            if let Some(t) = lval_ty(prog, lv) {
+                push_type_quals(prog, sol, t, out);
+            }
+            push_exp(prog, sol, e, out);
+        }
+        Instr::Call(ret, callee, args, _) => {
+            if let Some(lv) = ret {
+                push_lval(prog, sol, lv, out);
+                if let Some(t) = lval_ty(prog, lv) {
+                    push_type_quals(prog, sol, t, out);
+                }
+            }
+            match callee {
+                Callee::Func(fid) => {
+                    let f = &prog.functions[fid.idx()];
+                    let _ = write!(out, "|call {}:{}", f.name, prog.types.display(f.ty));
+                    push_type_quals(prog, sol, f.ty, out);
+                }
+                Callee::Extern(x) => {
+                    let e = &prog.externals[x.idx()];
+                    let _ = write!(out, "|xcall {}:{}", e.name, prog.types.display(e.ty));
+                    push_type_quals(prog, sol, e.ty, out);
+                }
+                Callee::Ptr(e) => push_exp(prog, sol, e, out),
+            }
+            for a in args {
+                push_exp(prog, sol, a, out);
+            }
+        }
+        // Pre-instrumentation bodies contain no checks; synthetic IR
+        // (tests) might — fingerprint the check's operand conservatively.
+        Instr::Check(c, _, _) => {
+            let _ = write!(out, "|chk {}", c.name());
+            if let Check::Null { ptr }
+            | Check::SeqBounds { ptr, .. }
+            | Check::SeqToSafe { ptr, .. }
+            | Check::WildBounds { ptr, .. }
+            | Check::WildTag { ptr, .. } = c
+            {
+                push_exp(prog, sol, ptr, out);
+            }
+        }
+    }
+}
+
+/// The declared type of an lvalue as the fingerprint needs it: the
+/// *base* declared type. Local bases return `None` — every local's type
+/// is already fingerprinted by the locals walk; offsets' field types
+/// are covered by the env fingerprint, index expressions by
+/// [`push_exp`].
+fn lval_ty(prog: &Program, lv: &Lval) -> Option<TypeId> {
+    match &lv.base {
+        ccured_cil::ir::LvBase::Local(_) => None,
+        ccured_cil::ir::LvBase::Global(g) => Some(prog.globals[g.idx()].ty),
+        ccured_cil::ir::LvBase::Deref(e) => Some(e.ty()),
+    }
+}
+
+fn push_stmts(prog: &Program, sol: &Solution, stmts: &[Stmt], base: u32, out: &mut String) {
+    for s in stmts {
+        match s {
+            Stmt::Instr(is) => {
+                for i in is {
+                    push_instr(prog, sol, i, base, out);
+                }
+            }
+            Stmt::If(c, t, e) => {
+                push_exp(prog, sol, c, out);
+                push_stmts(prog, sol, t, base, out);
+                push_stmts(prog, sol, e, base, out);
+            }
+            Stmt::Loop(b) | Stmt::Block(b) => push_stmts(prog, sol, b, base, out),
+            Stmt::Return(Some(e)) => push_exp(prog, sol, e, out),
+            Stmt::Switch(e, arms) => {
+                push_exp(prog, sol, e, out);
+                for a in arms {
+                    push_stmts(prog, sol, &a.body, base, out);
+                }
+            }
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Goto(_) | Stmt::Label(_) => {}
+        }
+    }
+}
+
+/// The per-function fingerprint: the function's pre-instrumentation
+/// rendering plus every inferred fact its instrumentation and
+/// optimization consult. Function name is part of the rendering, so two
+/// same-bodied functions in one unit get distinct keys only through
+/// their names — which is exactly the granularity the splice needs.
+fn fn_fingerprint(curer: &Curer, prog: &Program, sol: &Solution, f: &Function) -> String {
+    let mut s = dump_function(prog, f);
+    let trusted = prog
+        .pragmas
+        .iter()
+        .any(|p| matches!(p, ccured_cil::ir::CcuredPragma::TrustedFn(n) if n == &f.name));
+    let _ = write!(
+        s,
+        "\n#trusted={trusted} opt={} loop={}",
+        curer.optimize, curer.loop_opt
+    );
+    push_type_quals(prog, sol, f.ty, &mut s);
+    for l in &f.locals {
+        push_type_quals(prog, sol, l.ty, &mut s);
+        let _ = write!(
+            s,
+            "|l{:?}{}",
+            sol.effective(l.addr_qual),
+            if sol.is_split(l.addr_qual) { "s" } else { "" }
+        );
+    }
+    s.push('\n');
+    push_stmts(prog, sol, &f.body, f.span.lo, &mut s);
+    s
+}
+
+impl Curer {
+    /// Cures a C source string with function-level incremental reuse.
+    ///
+    /// The front half of the pipeline (parse, lower, wrappers,
+    /// whole-program inference, link audit) always runs — inference is
+    /// whole-program and cannot be cached per function. The back half
+    /// (instrumentation + check optimization) runs only for functions
+    /// whose fingerprint misses `cache`; hits splice the cached
+    /// rendering and counts. The result is byte-identical to a cold
+    /// [`Curer::cure_source`]: same rendered text, same canonical
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Curer::cure_source`], plus [`CureError::Timeout`] at
+    /// function boundaries when a [`Curer::deadline`] is set.
+    pub fn cure_source_incremental(
+        &self,
+        src: &str,
+        cache: &mut FnCache,
+    ) -> Result<IncrementalCured, CureError> {
+        let start = Instant::now();
+        let full = match &self.prelude {
+            Some(p) => format!("{p}\n{src}"),
+            None => src.to_string(),
+        };
+        let t = Instant::now();
+        let tu = ccured_ast::parse_translation_unit(&full)?;
+        let parse = t.elapsed();
+        self.check_deadline(start, "parse")?;
+        let t = Instant::now();
+        let mut prog = ccured_cil::lower_translation_unit(&tu)?;
+        let lower = t.elapsed();
+        self.check_deadline(start, "lower")?;
+
+        let t = Instant::now();
+        let mut wrappers_applied = apply_wrappers(&mut prog);
+        let result = infer(&prog, &self.options);
+        let meta = ccured_infer::split::compute_meta_types(&prog, &result.solution);
+        let mut link_issues = check_link(&prog, &result.solution, &meta);
+        sort_link_issues(&mut link_issues);
+        if self.strict_link && !link_issues.is_empty() {
+            return Err(CureError::Link(link_issues));
+        }
+        let infer_time = t.elapsed();
+        self.check_deadline(start, "infer")?;
+
+        let t = Instant::now();
+        let hierarchy = Hierarchy::build(&prog);
+        let sol = &result.solution;
+        cache.enter_env((cache.hasher)(
+            env_fingerprint(self, &prog, sol, &hierarchy).as_bytes(),
+        ));
+
+        // Whole-program inputs of the per-function back half, identical
+        // pre/post instrumentation (checks only clone existing exprs).
+        let tracked = ccured_analysis::tracked_globals(&prog);
+        let kind_counts = declared_kind_counts(&prog, sol);
+        let trusted_casts = prog.casts.iter().filter(|c| c.trusted).count();
+
+        let mut text = dump_decls(&prog);
+        let mut checks_inserted = CheckCounts::default();
+        let mut elided = ccured_analysis::ElisionStats::default();
+        let mut hoisted = 0u64;
+        let mut widened = 0u64;
+        let mut static_failures: Vec<StaticFailure> = Vec::new();
+        let (mut fn_hits, mut fn_misses) = (0usize, 0usize);
+
+        for fi in 0..prog.functions.len() {
+            self.check_deadline(start, "incremental")?;
+            let key = {
+                let f = &prog.functions[fi];
+                (cache.hasher)(fn_fingerprint(self, &prog, sol, f).as_bytes())
+            };
+            let (fname, span_lo) = {
+                let f = &prog.functions[fi];
+                (f.name.clone(), f.span.lo)
+            };
+            if cache.entries.contains_key(&key) {
+                fn_hits += 1;
+                cache.hits += 1;
+            } else {
+                fn_misses += 1;
+                cache.misses += 1;
+                let counts = instrument_function(&mut prog, fi, sol, &hierarchy);
+                let opt = if self.optimize {
+                    optimize_function(&mut prog, fi, &tracked, self.loop_opt)
+                } else {
+                    ccured_analysis::OptResult::default()
+                };
+                let rendered = dump_function(&prog, &prog.functions[fi]);
+                cache.entries.insert(
+                    key,
+                    FnEntry {
+                        text: rendered,
+                        counts,
+                        elided: opt.elision.stats,
+                        hoisted: opt.hoisted,
+                        widened: opt.widened,
+                        failures: opt
+                            .elision
+                            .failures
+                            .iter()
+                            .map(|f| RelFailure::from_absolute(f, span_lo))
+                            .collect(),
+                    },
+                );
+            }
+            let entry = &cache.entries[&key];
+            text.push_str(&entry.text);
+            checks_inserted.add(&entry.counts);
+            elided.add(&entry.elided);
+            hoisted += entry.hoisted;
+            widened += entry.widened;
+            static_failures.extend(
+                entry
+                    .failures
+                    .iter()
+                    .map(|f| f.to_absolute(&fname, span_lo)),
+            );
+        }
+        let back_half = t.elapsed();
+
+        // Identical canonical ordering to the cold path.
+        static_failures.sort_by(|a, b| key_of_failure(a).cmp(&key_of_failure(b)));
+        wrappers_applied.sort();
+        let mut annotation_violations = result.annotation_violations;
+        annotation_violations.sort_by_key(|v| v.qual.0);
+
+        let report = CureReport {
+            kind_counts,
+            census: result.census,
+            checks_inserted,
+            checks_elided: elided,
+            checks_hoisted: hoisted,
+            checks_widened: widened,
+            static_failures,
+            wrappers_applied,
+            trusted_casts,
+            split_quals: sol.split_count(),
+            annotation_violations,
+            link_issues,
+            solver_iterations: result.iterations,
+        };
+
+        Ok(IncrementalCured {
+            text,
+            report,
+            fn_hits,
+            fn_misses,
+            timings: StageTimings {
+                parse,
+                lower,
+                infer: infer_time,
+                instrument: back_half,
+                optimize: std::time::Duration::ZERO,
+            },
+        })
+    }
+}
+
+/// [`Curer::cure_source_incremental`] with panic isolation, mirroring
+/// what the daemon's workers run per request.
+pub fn cure_source_incremental_isolated(
+    curer: &Curer,
+    src: &str,
+    cache: &mut FnCache,
+) -> Result<IncrementalCured, CureError> {
+    isolated(move || curer.cure_source_incremental(src, cache))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccured_cil::pretty::dump_program;
+
+    fn demo_source(body_mark: &str) -> String {
+        format!(
+            "int g = 7;\n\
+             int sum(int *a, int n) {{ int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }}\n\
+             int scale(int *a, int n, int k) {{ for (int i = 0; i < n; i++) a[i] = a[i] * k {body_mark}; return 0; }}\n\
+             int main(void) {{ int buf[4]; buf[0] = 1; return sum(buf, 4) + scale(buf, 4, 2); }}\n"
+        )
+    }
+
+    #[test]
+    fn warm_recure_is_byte_identical_to_cold() {
+        let curer = Curer::new();
+        let mut cache = FnCache::new();
+        let v1 = demo_source("+ 0");
+        let v2 = demo_source("+ 1");
+
+        let warm0 = curer.cure_source_incremental(&v1, &mut cache).unwrap();
+        assert_eq!(warm0.fn_hits, 0);
+        let warm = curer.cure_source_incremental(&v2, &mut cache).unwrap();
+        let cold = curer.cure_source(&v2).unwrap();
+        assert_eq!(warm.text, dump_program(&cold.program));
+        assert_eq!(warm.report.canonical(), cold.report.canonical());
+        // Only the edited function (and none other) re-cured.
+        assert_eq!(warm.fn_misses, 1, "exactly the edited function misses");
+        assert_eq!(warm.fn_hits, 2);
+    }
+
+    #[test]
+    fn identical_source_is_a_full_function_hit() {
+        let curer = Curer::new();
+        let mut cache = FnCache::new();
+        let src = demo_source("+ 0");
+        curer.cure_source_incremental(&src, &mut cache).unwrap();
+        let again = curer.cure_source_incremental(&src, &mut cache).unwrap();
+        assert_eq!(again.fn_misses, 0);
+        assert_eq!(again.fn_hits, 3);
+    }
+
+    #[test]
+    fn config_change_invalidates_the_cache() {
+        let mut curer = Curer::new();
+        let mut cache = FnCache::new();
+        let src = demo_source("+ 0");
+        curer.cure_source_incremental(&src, &mut cache).unwrap();
+        curer.loop_optimize(false);
+        let warm = curer.cure_source_incremental(&src, &mut cache).unwrap();
+        assert_eq!(warm.fn_hits, 0, "changed config must not reuse entries");
+        assert_eq!(cache.invalidations(), 1);
+        let cold = Curer::new().loop_optimize(false).cure_source(&src).unwrap();
+        assert_eq!(warm.text, dump_program(&cold.program));
+        assert_eq!(warm.report.canonical(), cold.report.canonical());
+    }
+
+    #[test]
+    fn static_failure_spans_rebase_across_moves() {
+        let curer = Curer::new();
+        let mut cache = FnCache::new();
+        // `bad` indexes out of bounds statically; shifting it down the
+        // file must keep its diagnostic span pointing at the new site.
+        let v1 = "int bad(void) { int a[2]; return a[5]; }\n".to_string();
+        let v2 = format!("int pad(void) {{ return 42; }}\n{v1}");
+        let w1 = curer.cure_source_incremental(&v1, &mut cache).unwrap();
+        assert!(!w1.report.static_failures.is_empty());
+        let w2 = curer.cure_source_incremental(&v2, &mut cache).unwrap();
+        let cold = curer.cure_source(&v2).unwrap();
+        assert_eq!(w2.report.canonical(), cold.report.canonical());
+    }
+}

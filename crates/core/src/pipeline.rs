@@ -23,6 +23,15 @@ pub enum CureError {
     /// one hostile input cannot abort a whole batch (fault injection,
     /// fuzzing).
     Internal(String),
+    /// The cure blew its wall-clock budget ([`Curer::deadline`]). A
+    /// pathological unit becomes a structured, terminal error instead of a
+    /// wedged worker; callers (batch, serve) may retry it with backoff.
+    Timeout {
+        /// Pipeline stage that noticed the overrun.
+        stage: &'static str,
+        /// The configured budget.
+        budget: Duration,
+    },
 }
 
 impl fmt::Display for CureError {
@@ -37,6 +46,10 @@ impl fmt::Display for CureError {
                 Ok(())
             }
             CureError::Internal(d) => write!(f, "internal curer error: {d}"),
+            CureError::Timeout { stage, budget } => write!(
+                f,
+                "cure deadline exceeded: budget {budget:?} spent by stage `{stage}`"
+            ),
         }
     }
 }
@@ -257,12 +270,13 @@ pub struct Cured {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Curer {
-    options: InferOptions,
-    strict_link: bool,
-    optimize: bool,
-    loop_opt: bool,
-    prelude: Option<String>,
-    engine: Engine,
+    pub(crate) options: InferOptions,
+    pub(crate) strict_link: bool,
+    pub(crate) optimize: bool,
+    pub(crate) loop_opt: bool,
+    pub(crate) prelude: Option<String>,
+    pub(crate) engine: Engine,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl Default for Curer {
@@ -282,6 +296,7 @@ impl Curer {
             loop_opt: true,
             prelude: None,
             engine: Engine::default(),
+            deadline: None,
         }
     }
 
@@ -295,6 +310,7 @@ impl Curer {
             loop_opt: true,
             prelude: None,
             engine: Engine::default(),
+            deadline: None,
         }
     }
 
@@ -351,6 +367,36 @@ impl Curer {
         self
     }
 
+    /// Sets a wall-clock budget for each cure entry point. When the budget
+    /// is spent, the pipeline stops at the next stage boundary (or, on the
+    /// incremental path, the next function boundary) with
+    /// [`CureError::Timeout`] — a pathological unit becomes a structured
+    /// error instead of a wedged worker.
+    ///
+    /// The deadline is deliberately **not** part of
+    /// [`Curer::config_fingerprint`]: it can only abort a cure, never
+    /// change the output of one that completes, so cache entries stay
+    /// valid across deadline changes. A zero budget trips deterministically
+    /// at the first boundary (used by tests to exercise the path without
+    /// wall-clock flakiness).
+    pub fn deadline(&mut self, d: Option<Duration>) -> &mut Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Fails with [`CureError::Timeout`] when the budget set by
+    /// [`Curer::deadline`] is already spent at a stage boundary.
+    pub(crate) fn check_deadline(
+        &self,
+        start: Instant,
+        stage: &'static str,
+    ) -> Result<(), CureError> {
+        match self.deadline {
+            Some(budget) if start.elapsed() >= budget => Err(CureError::Timeout { stage, budget }),
+            _ => Ok(()),
+        }
+    }
+
     /// Prepends the standard-library wrapper prelude
     /// ([`crate::wrappers::stdlib_wrapper_source`]) to cured sources.
     pub fn with_stdlib_wrappers(&mut self) -> &mut Self {
@@ -388,6 +434,7 @@ impl Curer {
     /// [`CureError::Frontend`] on parse/type errors; [`CureError::Link`] in
     /// strict mode when the link audit fails.
     pub fn cure_source(&self, src: &str) -> Result<Cured, CureError> {
+        let start = Instant::now();
         let full = match &self.prelude {
             Some(p) => format!("{p}\n{src}"),
             None => src.to_string(),
@@ -395,10 +442,12 @@ impl Curer {
         let t = Instant::now();
         let tu = ccured_ast::parse_translation_unit(&full)?;
         let parse = t.elapsed();
+        self.check_deadline(start, "parse")?;
         let t = Instant::now();
         let prog = ccured_cil::lower_translation_unit(&tu)?;
         let lower = t.elapsed();
-        let mut cured = self.cure_program(prog)?;
+        self.check_deadline(start, "lower")?;
+        let mut cured = self.cure_program_with_deadline(prog, start)?;
         cured.timings.parse = parse;
         cured.timings.lower = lower;
         Ok(cured)
@@ -409,7 +458,18 @@ impl Curer {
     /// # Errors
     ///
     /// [`CureError::Link`] in strict mode when the link audit fails.
-    pub fn cure_program(&self, mut prog: Program) -> Result<Cured, CureError> {
+    pub fn cure_program(&self, prog: Program) -> Result<Cured, CureError> {
+        self.cure_program_with_deadline(prog, Instant::now())
+    }
+
+    /// [`Curer::cure_program`] with an externally-started clock, so the
+    /// budget set by [`Curer::deadline`] covers the whole entry point
+    /// (parse and lower included when called from [`Curer::cure_source`]).
+    fn cure_program_with_deadline(
+        &self,
+        mut prog: Program,
+        start: Instant,
+    ) -> Result<Cured, CureError> {
         // Wrappers first: redirected calls change what the inference sees
         // at library boundaries.
         let t = Instant::now();
@@ -424,11 +484,13 @@ impl Curer {
             return Err(CureError::Link(link_issues));
         }
         let infer_time = t.elapsed();
+        self.check_deadline(start, "infer")?;
 
         let t = Instant::now();
         let hierarchy = Hierarchy::build(&prog);
         let (checks_inserted, mut sites) = instrument(&mut prog, &result.solution, &hierarchy);
         let instrument_time = t.elapsed();
+        self.check_deadline(start, "instrument")?;
         // The static optimizer: redundant-check elimination (the real
         // CCured's optimizer — facts established by earlier checks delete
         // dominated ones), then loop-invariant hoisting and SEQ bounds
@@ -440,6 +502,7 @@ impl Curer {
             OptResult::default()
         };
         let optimize_time = t.elapsed();
+        self.check_deadline(start, "optimize")?;
         let mut elision = opt.elision;
 
         // Attribute the optimizer's work back to the site table so the
@@ -553,7 +616,7 @@ impl Cured {
     }
 }
 
-fn key_of_failure(f: &StaticFailure) -> (u32, u32, String, &'static str, String) {
+pub(crate) fn key_of_failure(f: &StaticFailure) -> (u32, u32, String, &'static str, String) {
     (
         f.span.lo,
         f.span.hi,
@@ -563,7 +626,7 @@ fn key_of_failure(f: &StaticFailure) -> (u32, u32, String, &'static str, String)
     )
 }
 
-fn sort_link_issues(issues: &mut [LinkIssue]) {
+pub(crate) fn sort_link_issues(issues: &mut [LinkIssue]) {
     issues.sort_by(|a, b| {
         (&a.caller, &a.external, &a.detail).cmp(&(&b.caller, &b.external, &b.detail))
     });
@@ -573,7 +636,7 @@ fn sort_link_issues(issues: &mut [LinkIssue]) {
 /// and struct fields — matching the paper's "% of static pointer
 /// declarations" metric (compiler temporaries are excluded; they would
 /// dilute the percentages).
-fn declared_kind_counts(prog: &Program, sol: &Solution) -> KindCounts {
+pub(crate) fn declared_kind_counts(prog: &Program, sol: &Solution) -> KindCounts {
     use ccured_cil::types::{Type, TypeId};
     let mut counts = KindCounts::default();
     let mut bump = |sol: &Solution, q: ccured_cil::types::QualId| match sol.effective(q) {

@@ -69,6 +69,14 @@ impl Limits {
             deadline: None,
         }
     }
+
+    /// These limits with a wall-clock deadline of `ms` milliseconds (the
+    /// `--deadline-ms` CLI flag; `0` means a zero budget, which trips at
+    /// the first boundary — useful for deterministic tests).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Duration::from_millis(ms));
+        self
+    }
 }
 
 #[cfg(test)]
