@@ -1,6 +1,6 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test lint tables bench bench-interp bench-profile bench-opt2 bench-serve bless doc examples smoke profile-smoke serve-smoke stress clean
+.PHONY: all test lint tables bench bench-interp bench-profile bench-opt2 bench-serve bench-synth bless doc examples smoke profile-smoke serve-smoke synth-smoke stress clean
 
 all: test
 
@@ -23,6 +23,7 @@ smoke:
 	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --report --run --counters
 	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --no-loop-opt --run --counters
 	cargo test -q -p ccured-integration --test opt2
+	$(MAKE) synth-smoke
 
 # Hot-site profiling on two examples, under both engines (the rankings
 # must be identical; the tree run is the cross-check).
@@ -60,6 +61,19 @@ bench-opt2:
 # E16: cure-service warm vs cold recure; writes BENCH_serve.json.
 bench-serve:
 	cargo run --release -p ccured-bench --bin tables -- fig-serve
+
+# E17: generative differential soundness campaign; writes BENCH_synth.json.
+bench-synth:
+	cargo run --release -p ccured-bench --bin tables -- fig-synth
+
+# Generative soundness smoke: synthesize a small corpus across every
+# profile, then run a campaign (cure + tree-vs-VM differential + seeded
+# faults on both engines). Exit 5 = escape, 8 = divergence (also in CI).
+synth-smoke:
+	cargo run -q -p ccured-cli --bin ccured -- synth target/synth-smoke/corpus --units 10 --seed 1
+	cargo run -q -p ccured-cli --bin ccured -- batch target/synth-smoke/corpus --jobs 4 --no-cache
+	cargo run -q -p ccured-cli --bin ccured -- campaign target/synth-smoke/campaign --units 50 --mutants-per-unit 2 --seed 1 --json > BENCH_campaign_smoke.json
+	rm -rf target/synth-smoke
 
 # Cure-service end-to-end smoke: daemon + CLI client, 200 mixed requests
 # including injected worker panics and a deadline-exceeding cure (also

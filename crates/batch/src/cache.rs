@@ -13,6 +13,12 @@
 //! Corrupt or version-skewed entries are treated as misses and rewritten;
 //! writers go through a unique temp file + rename so concurrent workers can
 //! never expose a torn entry.
+//!
+//! Entries are sharded into 256 subdirectories named by the first two hex
+//! characters of the key (`.ccured-cache/ab/ab….unit`), keeping directory
+//! fanout flat on large corpora. Valid entries from the old flat layout
+//! are migrated into their shard by the startup sweep, so warm caches
+//! survive the layout change.
 
 use crate::hash::{fnv1a, from_hex, hex};
 use crate::report::UnitReport;
@@ -72,8 +78,11 @@ impl Cache {
         Ok(cache)
     }
 
-    /// The startup recovery sweep (see [`Cache::open`]). Returns how many
-    /// files were deleted: `(orphaned_tmp, corrupt_entries)`.
+    /// The startup recovery sweep (see [`Cache::open`]). Walks the shard
+    /// subdirectories and the top level; valid entries still sitting flat
+    /// at the top level (the pre-sharding layout) are moved into their
+    /// shard. Returns how many files were deleted:
+    /// `(orphaned_tmp, corrupt_entries)`.
     pub fn sweep(&self) -> (u64, u64) {
         let (mut tmp, mut corrupt) = (0u64, 0u64);
         let Ok(entries) = fs::read_dir(&self.dir) else {
@@ -81,25 +90,30 @@ impl Cache {
         };
         for entry in entries.flatten() {
             let path = entry.path();
-            if !path.is_file() {
-                continue;
-            }
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.starts_with('.') && name.ends_with(".tmp") {
-                // Writers rename away their temp file on success; anything
-                // still here belongs to a writer that died mid-store.
-                if fs::remove_file(&path).is_ok() {
-                    tmp += 1;
+            if path.is_dir() {
+                if name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    sweep_dir(&path, &mut tmp, &mut corrupt);
                 }
-            } else if name.ends_with(".unit") {
-                let bad = match fs::read(&path) {
-                    Ok(bytes) => parse_entry(&bytes).is_none(),
-                    Err(_) => true,
-                };
-                if bad && fs::remove_file(&path).is_ok() {
+            } else if name.ends_with(".unit") && from_hex(name.trim_end_matches(".unit")).is_some()
+            {
+                // A flat entry from the pre-sharding layout: migrate it if
+                // it still parses, delete it otherwise.
+                let ok = fs::read(&path).is_ok_and(|bytes| parse_entry(&bytes).is_some());
+                if ok {
+                    let shard = self.dir.join(&name[..2]);
+                    if fs::create_dir_all(&shard).is_ok() {
+                        let _ = fs::rename(&path, shard.join(&*name));
+                    }
+                } else if fs::remove_file(&path).is_ok() {
                     corrupt += 1;
                 }
+            } else if name.starts_with('.')
+                && name.ends_with(".tmp")
+                && fs::remove_file(&path).is_ok()
+            {
+                tmp += 1;
             }
         }
         (tmp, corrupt)
@@ -116,8 +130,13 @@ impl Cache {
         fnv1a(composite.as_bytes())
     }
 
+    /// The shard subdirectory for a key: the first two hex characters.
+    fn shard(&self, key: u64) -> PathBuf {
+        self.dir.join(&hex(key)[..2])
+    }
+
     fn entry_path(&self, key: u64) -> PathBuf {
-        self.dir.join(format!("{}.unit", hex(key)))
+        self.shard(key).join(format!("{}.unit", hex(key)))
     }
 
     /// Looks up an entry; any malformed/mismatched entry reads as a miss.
@@ -134,12 +153,44 @@ impl Cache {
     pub fn store(&self, key: u64, unit: &CachedUnit) -> io::Result<()> {
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = self
-            .dir
-            .join(format!(".{}.{}.{}.tmp", hex(key), std::process::id(), seq));
+        let shard = self.shard(key);
+        fs::create_dir_all(&shard)?;
+        // The temp file lives inside the shard so the rename stays within
+        // one directory (atomic on every platform we care about).
+        let tmp = shard.join(format!(".{}.{}.{}.tmp", hex(key), std::process::id(), seq));
         fs::write(&tmp, render_entry(unit))?;
         fs::rename(&tmp, self.entry_path(key))?;
         Ok(())
+    }
+}
+
+/// Sweeps one shard directory: orphaned temp files and corrupt entries.
+fn sweep_dir(dir: &Path, tmp: &mut u64, corrupt: &mut u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') && name.ends_with(".tmp") {
+            // Writers rename away their temp file on success; anything
+            // still here belongs to a writer that died mid-store.
+            if fs::remove_file(&path).is_ok() {
+                *tmp += 1;
+            }
+        } else if name.ends_with(".unit") {
+            let bad = match fs::read(&path) {
+                Ok(bytes) => parse_entry(&bytes).is_none(),
+                Err(_) => true,
+            };
+            if bad && fs::remove_file(&path).is_ok() {
+                *corrupt += 1;
+            }
+        }
     }
 }
 
@@ -292,6 +343,40 @@ mod tests {
         assert!(!dir.join("fedcba9876543210.unit").exists(), "empty swept");
         // Idempotent: a second sweep finds nothing.
         assert_eq!(c.sweep(), (0, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_shard_by_key_prefix_and_flat_entries_migrate() {
+        let dir = tmpdir("shard");
+        let c = Cache::open(&dir).unwrap();
+        let key = Cache::unit_key("shard me", "cfg");
+        c.store(key, &sample()).unwrap();
+        let h = hex(key);
+        assert!(
+            dir.join(&h[..2]).join(format!("{h}.unit")).is_file(),
+            "entry lives under its two-hex shard"
+        );
+
+        // A valid entry in the pre-sharding flat layout: the open sweep
+        // moves it into its shard and it loads as a hit.
+        let legacy = Cache::unit_key("legacy entry", "cfg");
+        let lh = hex(legacy);
+        fs::write(dir.join(format!("{lh}.unit")), render_entry(&sample())).unwrap();
+        let c = Cache::open(&dir).unwrap();
+        assert!(!dir.join(format!("{lh}.unit")).exists(), "flat file gone");
+        assert!(
+            dir.join(&lh[..2]).join(format!("{lh}.unit")).is_file(),
+            "migrated into its shard"
+        );
+        assert_eq!(c.load(legacy), Some(sample()), "warm across the layout");
+
+        // Orphaned temp files and corrupt entries inside a shard are swept.
+        let shard = dir.join(&h[..2]);
+        fs::write(shard.join(".feedface.77.9.tmp"), b"dead writer").unwrap();
+        fs::write(shard.join("00aa00aa00aa00aa.unit"), b"garbage").unwrap();
+        assert_eq!(c.sweep(), (1, 1));
+        assert_eq!(c.load(key), Some(sample()), "healthy entry survives");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|fig-profile|fig-opt2|all] [--smoke]`
+//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|fig-profile|fig-opt2|fig-serve|fig-synth|all] [--smoke]`
 //!
 //! `fig-interp`, `fig-profile` and `fig-opt2` write `BENCH_interp.json` /
 //! `BENCH_profile.json` / `BENCH_opt2.json` to the working directory;
@@ -28,6 +28,7 @@ const TABLES: &[&str] = &[
     "fig-profile",
     "fig-opt2",
     "fig-serve",
+    "fig-synth",
     "all",
 ];
 
@@ -86,6 +87,33 @@ fn main() {
     if all || which == "fig-serve" {
         fig_serve_table(smoke);
     }
+    if all || which == "fig-synth" {
+        fig_synth_table(smoke);
+    }
+}
+
+fn fig_synth_table(smoke: bool) {
+    println!(
+        "== E17: generative differential soundness campaign{} ==\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let f = match fig_synth(smoke) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fig-synth failed: {e}");
+            return;
+        }
+    };
+    print!("{}", f.report.render());
+    println!(
+        "\nworst pointer-kind deviation from target: {:.1} points (tolerance {:.0})\n",
+        f.max_deviation(),
+        ccured_synth::KIND_TOLERANCE_PCT
+    );
+    match std::fs::write("BENCH_synth.json", f.to_json()) {
+        Ok(()) => println!("wrote BENCH_synth.json"),
+        Err(e) => eprintln!("could not write BENCH_synth.json: {e}"),
+    }
 }
 
 #[cfg(unix)]
@@ -116,12 +144,17 @@ fn fig_serve_table(smoke: bool) {
         ],
     ];
     println!(
-        "{} units over the socket; touched-pass function reuse {:.0}% ({} hits / {} misses); digests match cold batch: {}\n",
+        "{} units over the socket; touched-pass function reuse {:.0}% ({} hits / {} misses); digests match cold batch: {}",
         f.units,
         f.fn_hit_rate() * 100.0,
         f.fn_hits,
         f.fn_misses,
         f.digests_match
+    );
+    println!(
+        "reply latency: p50 {} / p99 {}\n",
+        ms(f.reply_p50),
+        ms(f.reply_p99)
     );
     println!("{}", render(&["configuration", "wall", "speedup"], &rows));
     match std::fs::write("BENCH_serve.json", f.to_json()) {

@@ -1099,6 +1099,10 @@ pub struct ServeFig {
     /// Whether every touched-pass report digest matched a cold full batch
     /// over the same (modified) tree — the byte-identity guarantee.
     pub digests_match: bool,
+    /// Median per-request reply latency across all three passes.
+    pub reply_p50: std::time::Duration,
+    /// 99th-percentile per-request reply latency across all three passes.
+    pub reply_p99: std::time::Duration,
 }
 
 impl ServeFig {
@@ -1125,6 +1129,7 @@ impl ServeFig {
              \"cold_us\": {},\n  \"warm_identical_us\": {},\n  \"warm_touched_us\": {},\n  \
              \"identical_speedup\": {:.3},\n  \"touched_speedup\": {:.3},\n  \
              \"fn_hits\": {},\n  \"fn_misses\": {},\n  \"fn_hit_rate\": {:.3},\n  \
+             \"reply_p50_us\": {},\n  \"reply_p99_us\": {},\n  \
              \"digests_match\": {}\n}}\n",
             self.units,
             self.cold.as_micros(),
@@ -1135,6 +1140,8 @@ impl ServeFig {
             self.fn_hits,
             self.fn_misses,
             self.fn_hit_rate(),
+            self.reply_p50.as_micros(),
+            self.reply_p99.as_micros(),
             self.digests_match
         )
     }
@@ -1175,7 +1182,14 @@ pub fn fig_serve(smoke: bool) -> std::io::Result<ServeFig> {
         cfg.workers = 2;
         let mut srv = Server::start(cfg)?;
         let sock = srv.socket().to_path_buf();
-        let cure = |u: &std::path::PathBuf| request(&sock, &format!("cure {}", u.display()));
+        // Every request's wall-clock feeds the reply-latency percentiles.
+        let latencies = std::cell::RefCell::new(Vec::new());
+        let cure = |u: &std::path::PathBuf| {
+            let t = Instant::now();
+            let r = request(&sock, &format!("cure {}", u.display()));
+            latencies.borrow_mut().push(t.elapsed());
+            r
+        };
 
         let t = Instant::now();
         for u in &units {
@@ -1231,6 +1245,10 @@ pub fn fig_serve(smoke: bool) -> std::io::Result<ServeFig> {
             .zip(&warm_digests)
             .all(|(u, d)| format!("{:016x}", u.report_digest) == *d);
 
+        let mut lat = latencies.into_inner();
+        lat.sort_unstable();
+        let pct = |p: usize| lat[(lat.len() - 1) * p / 100];
+
         Ok(ServeFig {
             units: units.len(),
             cold,
@@ -1239,10 +1257,54 @@ pub fn fig_serve(smoke: bool) -> std::io::Result<ServeFig> {
             fn_hits,
             fn_misses,
             digests_match,
+            reply_p50: pct(50),
+            reply_p99: pct(99),
         })
     })();
     let _ = std::fs::remove_dir_all(&dir);
     result
+}
+
+/// E17 (`fig-synth`): a generative differential-soundness campaign over a
+/// synthesized corpus (see `ccured-synth`): all four profiles, batch cure,
+/// tree-vs-VM differential, and the fault-injection matrix per unit.
+#[derive(Debug, Clone)]
+pub struct SynthFig {
+    /// The full campaign report (histograms, outcome matrix, verdicts).
+    pub report: ccured_synth::CampaignReport,
+}
+
+impl SynthFig {
+    /// Worst per-profile pointer-kind deviation from target, in points.
+    pub fn max_deviation(&self) -> f64 {
+        self.report
+            .profiles
+            .iter()
+            .map(ccured_synth::ProfileStat::max_deviation)
+            .fold(0.0, f64::max)
+    }
+
+    /// `BENCH_synth.json` — the campaign report is already the record.
+    pub fn to_json(&self) -> String {
+        self.report.to_json()
+    }
+}
+
+/// E17: run the campaign. `smoke` shrinks the corpus for CI; the full size
+/// clears the 500-unit acceptance bar with all six fault classes seeded.
+///
+/// # Errors
+///
+/// I/O errors writing the generated corpus to the scratch directory.
+pub fn fig_synth(smoke: bool) -> std::io::Result<SynthFig> {
+    let dir = std::env::temp_dir().join(format!("ccured-fig-synth-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ccured_synth::CampaignConfig::new(dir.clone());
+    cfg.units = if smoke { 16 } else { 520 };
+    cfg.mutants_per_unit = if smoke { 2 } else { 4 };
+    let report = ccured_synth::run_campaign(&cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(SynthFig { report: report? })
 }
 
 #[cfg(test)]
@@ -1406,6 +1468,26 @@ mod tests {
         assert_eq!(
             f.fn_misses, f.units as u64,
             "exactly the appended function re-cures per unit"
+        );
+    }
+
+    /// E17 shape: a smoke-size campaign must be sound (no escapes, no
+    /// engine divergences, every unit cures) and land its pointer-kind
+    /// histograms within tolerance of the requested profiles.
+    #[test]
+    fn fig_synth_smoke_campaign_is_sound_and_on_target() {
+        let f = fig_synth(true).expect("fig-synth runs");
+        assert!(f.report.ok(), "campaign unsound:\n{}", f.report.render());
+        assert!(
+            f.report.histograms_within(ccured_synth::KIND_TOLERANCE_PCT),
+            "histograms off target by {:.1} points:\n{}",
+            f.max_deviation(),
+            f.report.render()
+        );
+        let j = f.to_json();
+        assert!(
+            j.contains("\"sound\": true") || j.contains("\"sound\":true"),
+            "{j}"
         );
     }
 

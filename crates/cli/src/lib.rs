@@ -14,6 +14,9 @@
 //! ccured serve <socket> [--workers N] [--cache-dir D] [--no-cache] [--deadline-ms N]
 //!                       [--queue-cap N] [--fault-poison SUBSTR]
 //! ccured client <socket> <request...>
+//! ccured synth <out-dir> [--profile P] [--units N] [--seed S]
+//! ccured campaign [out-dir] [--profile P] [--units N] [--seed S] [--mutants-per-unit K]
+//!                 [--jobs N] [--cache-dir D] [--no-cache] [--json]
 //!
 //!   --run                 execute after curing (default mode: cured)
 //!   --mode <m>            original | cured | purify | valgrind | joneskelly
@@ -35,13 +38,17 @@
 //!   --fuel <n>            instruction budget for --run
 //!   --top <n>             `profile`: rows in the hot-site table (default 10)
 //!   --mutants <n>         `crash-test`: number of mutants (default 60)
-//!   --seed <s>            `crash-test`: batch seed (default 1)
-//!   --json                `crash-test`/`batch`: machine-readable report
+//!   --seed <s>            `crash-test`/`synth`/`campaign`: batch seed (default 1)
+//!   --json                `crash-test`/`batch`/`campaign`: machine-readable report
 //!   --jobs <n>            `batch`: worker threads (default: one per core)
 //!   --cache-dir <d>       `batch`: cache directory (default .ccured-cache)
 //!   --no-cache            `batch`: disable the content-addressed cache
 //!   --profile             `batch`: execute every cured unit and aggregate
 //!                         the hottest check sites across the batch
+//!   --profile <p>         `synth`/`campaign`: generation profile
+//!                         (mixed|openssl|bind|openssh; campaign default: all)
+//!   --units <n>           `synth`/`campaign`: units to generate
+//!   --mutants-per-unit <k> `campaign`: seeded faults per unit (default 2)
 //! ```
 //!
 //! `ccured explain` prints, for every WILD pointer (or the one named by
@@ -71,6 +78,14 @@
 //! cure wall-clock; a unit that blows its budget gets the terminal
 //! `resource-exhausted` verdict. Exit is 7 when any unit exhausted its
 //! budget, 1 when any other unit failed, 0 otherwise.
+//!
+//! `ccured synth` writes a deterministic, seedable corpus of generated C
+//! units to a directory (`ccured-synth`); `ccured campaign` generates a
+//! corpus, batch-cures it, runs every unit differentially on both engines,
+//! and crash-tests every unit with seeded faults. Exit is 5 when any
+//! mutant escapes the cure, 8 when the engines diverge (or a generated
+//! unit fails to cure), 0 otherwise — so an overnight campaign is a
+//! one-flag CI gate.
 //!
 //! `ccured serve` starts the long-lived cure daemon (`ccured-batch`'s
 //! `serve` module) on a unix socket: a resident worker pool, the
@@ -121,6 +136,16 @@ pub struct Options {
     pub serve: bool,
     /// `client` subcommand: send one request line to a running daemon.
     pub client: bool,
+    /// `synth` subcommand: write a generated corpus to a directory.
+    pub synth: bool,
+    /// `campaign` subcommand: generate + cure + differential + crash-test.
+    pub campaign: bool,
+    /// `--units`: synth/campaign corpus size.
+    pub units: Option<usize>,
+    /// `--mutants-per-unit`: campaign seeded faults per unit.
+    pub mutants_per_unit: Option<usize>,
+    /// `--profile <name>` (synth/campaign): generation profile.
+    pub profile_name: Option<String>,
     /// `client`: the request line (remaining positional words, joined).
     pub request: Option<String>,
     /// `--workers`: serve worker threads (None: daemon default).
@@ -245,10 +270,40 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                 first_positional = false;
                 o.client = true;
             }
+            // `ccured synth <out-dir> [--profile P] [--units N] [--seed S]`.
+            "synth" if first_positional => {
+                first_positional = false;
+                o.synth = true;
+            }
+            // `ccured campaign [out-dir] [--profile P] [--units N] ...`.
+            "campaign" if first_positional => {
+                first_positional = false;
+                o.campaign = true;
+            }
+            // `--profile` is overloaded: for `synth`/`campaign` it names a
+            // generation profile and consumes a value; elsewhere it is the
+            // batch site-profiling flag. The subcommand word always comes
+            // first positionally, so the meaning is settled by now.
+            "--profile" if o.synth || o.campaign => {
+                o.profile_name = Some(need(&mut it, "--profile")?);
+            }
             // `--profile` (flag form): profile every unit of a batch.
             "--profile" => {
                 profile_flag = true;
                 o.profile = true;
+            }
+            "--units" => {
+                let v = need(&mut it, "--units")?;
+                o.units = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("--units: `{v}` is not a number")))?,
+                );
+            }
+            "--mutants-per-unit" => {
+                let v = need(&mut it, "--mutants-per-unit")?;
+                o.mutants_per_unit = Some(v.parse().map_err(|_| {
+                    UsageError(format!("--mutants-per-unit: `{v}` is not a number"))
+                })?);
             }
             "--top" => {
                 let v = need(&mut it, "--top")?;
@@ -368,7 +423,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             }
         }
     }
-    if o.file.is_empty() {
+    if o.file.is_empty() && !o.campaign {
+        // `campaign` may omit the out-dir (a scratch directory is used);
+        // everything else, including `synth`, needs its positional.
         return Err(UsageError(format!("no input file\n{USAGE}")));
     }
     if o.sym.is_some() && !o.explain {
@@ -376,14 +433,29 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--sym only applies to the `explain` subcommand".into(),
         ));
     }
-    if (o.mutants.is_some() || o.seed.is_some()) && !o.crash_test {
+    if o.mutants.is_some() && !o.crash_test {
         return Err(UsageError(
-            "--mutants/--seed only apply to the `crash-test` subcommand".into(),
+            "--mutants only applies to the `crash-test` subcommand".into(),
         ));
     }
-    if o.json && !(o.crash_test || o.batch || o.profile) {
+    if o.seed.is_some() && !(o.crash_test || o.synth || o.campaign) {
         return Err(UsageError(
-            "--json only applies to the `crash-test`, `batch` and `profile` subcommands".into(),
+            "--seed only applies to the `crash-test`, `synth` and `campaign` subcommands".into(),
+        ));
+    }
+    if o.units.is_some() && !(o.synth || o.campaign) {
+        return Err(UsageError(
+            "--units only applies to the `synth` and `campaign` subcommands".into(),
+        ));
+    }
+    if o.mutants_per_unit.is_some() && !o.campaign {
+        return Err(UsageError(
+            "--mutants-per-unit only applies to the `campaign` subcommand".into(),
+        ));
+    }
+    if o.json && !(o.crash_test || o.batch || o.profile || o.campaign) {
+        return Err(UsageError(
+            "--json only applies to the `crash-test`, `batch`, `profile` and `campaign` subcommands".into(),
         ));
     }
     if o.top.is_some() && !o.profile {
@@ -401,9 +473,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "`profile` runs in cured mode (the checks being profiled only exist there)".into(),
         ));
     }
-    if (o.jobs.is_some() || o.cache_dir.is_some() || o.no_cache) && !(o.batch || o.serve) {
+    if (o.jobs.is_some() || o.cache_dir.is_some() || o.no_cache)
+        && !(o.batch || o.serve || o.campaign)
+    {
         return Err(UsageError(
-            "--jobs/--cache-dir/--no-cache only apply to the `batch` and `serve` subcommands"
+            "--jobs/--cache-dir/--no-cache only apply to the `batch`, `serve` and `campaign` subcommands"
                 .into(),
         ));
     }
@@ -438,7 +512,10 @@ pub const USAGE: &str =
        ccured profile <file.c> [--top N] [--json] [--engine vm|tree]
        ccured serve <socket> [--workers N] [--cache-dir D] [--no-cache] [--deadline-ms N]
                    [--queue-cap N] [--fault-poison SUBSTR]
-       ccured client <socket> <request...>   (cure|profile|explain <path> | status|reset|shutdown)";
+       ccured client <socket> <request...>   (cure|profile|explain <path> | status|reset|shutdown)
+       ccured synth <out-dir> [--profile mixed|openssl|bind|openssh] [--units N] [--seed S]
+       ccured campaign [out-dir] [--profile P] [--units N] [--seed S] [--mutants-per-unit K]
+                   [--jobs N] [--cache-dir D] [--no-cache] [--json]";
 
 /// What a driver invocation produced (for testing and for `main`).
 #[derive(Debug)]
@@ -686,6 +763,111 @@ pub fn drive_client(o: &Options) -> Outcome {
             stdout: format!("ccured client: cannot reach `{}`: {e}\n", o.file),
         },
     }
+}
+
+/// Runs the `synth` subcommand: writes a generated corpus of `.c` units
+/// under `o.file` (the out-dir), one file per unit, reproducible from
+/// `--seed`.
+///
+/// # Errors
+///
+/// [`CureError::Internal`] for an unknown profile name or filesystem
+/// failures.
+pub fn drive_synth(o: &Options) -> Result<Outcome, CureError> {
+    let profile = match o.profile_name.as_deref() {
+        Some(name) => ccured_synth::Profile::named(name).ok_or_else(|| {
+            CureError::Internal(format!(
+                "synth: unknown profile `{name}` (expected mixed|openssl|bind|openssh)"
+            ))
+        })?,
+        None => ccured_synth::profiles::mixed(),
+    };
+    let units = o.units.unwrap_or(50);
+    let seed = o.seed.unwrap_or(1);
+    let dir = std::path::Path::new(&o.file);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CureError::Internal(format!("synth: cannot create `{}`: {e}", o.file)))?;
+    let workloads = ccured_synth::generate(&profile, units, seed);
+    for w in &workloads {
+        let path = dir.join(format!("{}.c", w.name));
+        std::fs::write(&path, &w.source).map_err(|e| {
+            CureError::Internal(format!("synth: cannot write `{}`: {e}", path.display()))
+        })?;
+    }
+    Ok(Outcome {
+        exit: 0,
+        stdout: format!(
+            "synth: wrote {} units (profile {}, seed {seed}) to {}\n",
+            workloads.len(),
+            profile.name,
+            o.file
+        ),
+    })
+}
+
+/// Runs the `campaign` subcommand: generates a corpus, batch-cures it,
+/// differentially runs every unit on both engines, and crash-tests every
+/// unit with seeded faults. Exit codes: 5 when any mutant escaped the cure
+/// (soundness bug), 8 when the engines diverged or a generated unit failed
+/// to cure, 0 when the campaign is sound.
+///
+/// # Errors
+///
+/// [`CureError::Internal`] for an unknown profile name or infrastructure
+/// failures (the out-dir cannot be created, units cannot be written).
+pub fn drive_campaign(o: &Options) -> Result<Outcome, CureError> {
+    let out_dir = if o.file.is_empty() {
+        std::env::temp_dir().join(format!("ccured-campaign-{}", std::process::id()))
+    } else {
+        std::path::PathBuf::from(&o.file)
+    };
+    let mut cfg = ccured_synth::CampaignConfig::new(out_dir);
+    if let Some(name) = o.profile_name.as_deref() {
+        let profile = ccured_synth::Profile::named(name).ok_or_else(|| {
+            CureError::Internal(format!(
+                "campaign: unknown profile `{name}` (expected mixed|openssl|bind|openssh)"
+            ))
+        })?;
+        cfg.profiles = vec![profile];
+    }
+    if let Some(u) = o.units {
+        cfg.units = u;
+    }
+    if let Some(k) = o.mutants_per_unit {
+        cfg.mutants_per_unit = k;
+    }
+    if let Some(s) = o.seed {
+        cfg.seed = s;
+    }
+    if let Some(j) = o.jobs {
+        cfg.jobs = j;
+    }
+    if let Some(d) = &o.cache_dir {
+        cfg.cache_dir = d.into();
+    }
+    cfg.use_cache = !o.no_cache;
+    if let Some(f) = o.fuel {
+        cfg.limits.fuel = f;
+    }
+    let rep = ccured_synth::run_campaign(&cfg)
+        .map_err(|e| CureError::Internal(format!("campaign: {e}")))?;
+    let stdout = if o.json {
+        let mut j = rep.to_json();
+        j.push('\n');
+        j
+    } else {
+        rep.render()
+    };
+    // Escapes are soundness bugs (same code as crash-test); divergences and
+    // cure failures get their own code so CI can tell the failure apart.
+    let exit = if !rep.escapes.is_empty() {
+        5
+    } else if !rep.divergences.is_empty() || !rep.cure_failures.is_empty() {
+        8
+    } else {
+        0
+    };
+    Ok(Outcome { exit, stdout })
 }
 
 /// The exact text the pipeline parses: the wrapper prelude (when enabled)
@@ -1354,6 +1536,99 @@ mod tests {
         );
         assert!(args("batch dir --deadline-ms 5").unwrap().deadline_ms == Some(5));
         assert!(args("serve /s.sock --workers x").is_err());
+    }
+
+    #[test]
+    fn parses_synth_and_campaign_subcommands() {
+        let s = args("synth /tmp/out --profile openssl --units 12 --seed 9").unwrap();
+        assert!(s.synth);
+        assert_eq!(s.file, "/tmp/out");
+        assert_eq!(s.profile_name.as_deref(), Some("openssl"));
+        assert_eq!(s.units, Some(12));
+        assert_eq!(s.seed, Some(9));
+        assert!(args("synth").is_err(), "synth needs an out-dir");
+        let c = args("campaign --units 8 --mutants-per-unit 3 --seed 5 --jobs 2 --json").unwrap();
+        assert!(c.campaign && c.json);
+        assert!(c.file.is_empty(), "campaign out-dir is optional");
+        assert_eq!(c.units, Some(8));
+        assert_eq!(c.mutants_per_unit, Some(3));
+        let cd = args("campaign work --profile bind --no-cache").unwrap();
+        assert_eq!(cd.file, "work");
+        assert_eq!(cd.profile_name.as_deref(), Some("bind"));
+        assert!(cd.no_cache);
+        assert!(
+            args("prog.c --units 4").is_err(),
+            "--units needs synth/campaign"
+        );
+        assert!(
+            args("prog.c --seed 4").is_err(),
+            "--seed needs a subcommand"
+        );
+        assert!(
+            args("synth out --mutants-per-unit 2").is_err(),
+            "--mutants-per-unit needs campaign"
+        );
+        // `--profile` keeps its flag meaning outside synth/campaign, and
+        // requires a value inside them.
+        assert!(args("batch dir --profile").unwrap().profile);
+        assert!(
+            args("synth out --profile").is_err(),
+            "synth --profile needs a value"
+        );
+    }
+
+    #[test]
+    fn drive_synth_writes_a_deterministic_corpus() {
+        let base = std::env::temp_dir().join(format!("ccured-cli-synth-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (a, b) = (base.join("a"), base.join("b"));
+        for dir in [&a, &b] {
+            let o = args(&format!("synth {} --units 3 --seed 7", dir.display())).unwrap();
+            let r = drive_synth(&o).unwrap();
+            assert_eq!(r.exit, 0);
+            assert!(r.stdout.contains("wrote 3 units"), "{}", r.stdout);
+        }
+        let mut names: Vec<_> = std::fs::read_dir(&a)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), 3);
+        for n in &names {
+            let x = std::fs::read(a.join(n)).unwrap();
+            let y = std::fs::read(b.join(n)).unwrap();
+            assert_eq!(x, y, "same seed, same bytes: {n:?}");
+        }
+        assert!(
+            drive_synth(&args("synth /tmp/x --profile nope").unwrap()).is_err(),
+            "unknown profile rejected"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn drive_campaign_small_run_is_sound() {
+        let dir = std::env::temp_dir().join(format!("ccured-cli-camp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let o = args(&format!(
+            "campaign {} --units 4 --mutants-per-unit 1 --seed 11",
+            dir.display()
+        ))
+        .unwrap();
+        let r = drive_campaign(&o).unwrap();
+        assert_eq!(r.exit, 0, "{}", r.stdout);
+        assert!(r.stdout.contains("SOUND"), "{}", r.stdout);
+        let j = drive_campaign(
+            &args(&format!(
+                "campaign {} --units 4 --mutants-per-unit 1 --seed 11 --json",
+                dir.display()
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(j.exit, 0, "{}", j.stdout);
+        assert!(j.stdout.contains("\"sound\":true"), "{}", j.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,10 +31,17 @@ fn main() -> ExitCode {
         print!("{}", outcome.stdout);
         return ExitCode::from((outcome.exit & 0xff) as u8);
     }
-    // Batch mode reads its own inputs (the positional arg is a directory
-    // or manifest, not a single source file).
-    if opts.batch {
-        return match ccured_cli::drive_batch(&opts) {
+    // Batch, synth, and campaign generate or read their own inputs (the
+    // positional arg is a directory or manifest, not a single source file).
+    if opts.batch || opts.synth || opts.campaign {
+        let result = if opts.batch {
+            ccured_cli::drive_batch(&opts)
+        } else if opts.synth {
+            ccured_cli::drive_synth(&opts)
+        } else {
+            ccured_cli::drive_campaign(&opts)
+        };
+        return match result {
             Ok(outcome) => {
                 print!("{}", outcome.stdout);
                 ExitCode::from((outcome.exit & 0xff) as u8)

@@ -44,6 +44,11 @@ pub struct CrashTest {
     /// Execution engine for both runs (the differential suite holds the
     /// two engines to identical verdicts, so the default VM is safe here).
     pub engine: Engine,
+    /// Rotates the round-robin fault-class preference: mutant `id` prefers
+    /// class `(id + class_offset) % NCLASSES`. Campaigns that seed only a
+    /// couple of mutants per unit vary this per unit so the whole matrix
+    /// still covers every class.
+    pub class_offset: usize,
 }
 
 impl CrashTest {
@@ -61,6 +66,7 @@ impl CrashTest {
                 deadline: None,
             },
             engine: Engine::default(),
+            class_offset: 0,
         }
     }
 
@@ -73,6 +79,12 @@ impl CrashTest {
     /// Selects the execution engine (`tree` is the reference oracle).
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Rotates the class-preference cycle (see [`CrashTest::class_offset`]).
+    pub fn with_class_offset(mut self, offset: usize) -> Self {
+        self.class_offset = offset;
         self
     }
 }
@@ -101,7 +113,7 @@ pub fn crash_test(ws: &[Workload], cfg: &CrashTest) -> Result<CrashTestReport, C
     for id in 0..cfg.mutants {
         let mut rng = SplitMix64::new(cfg.seed ^ (id as u64).wrapping_mul(GOLDEN));
         let (wname, input, base) = &bases[(id / ncls) % bases.len()];
-        let pref = id % ncls;
+        let pref = (id + cfg.class_offset) % ncls;
 
         // Prefer the round-robin class; when the program offers no site for
         // it (surgical operators can come up empty), fall through the other

@@ -1,0 +1,468 @@
+//! The deterministic C unit generator.
+//!
+//! Units are assembled from *blocks* with exactly known pointer-kind
+//! contributions, calibrated against the inference engine:
+//!
+//! - a SAFE block is an identity-alias chain (`int *p1 = p0; ...`) over a
+//!   global cell — every link is one declared SAFE pointer;
+//! - a SEQ block walks a global array with one of five loop shapes and
+//!   extends the parameter with `+1` arithmetic links — the parameter and
+//!   every link infer SEQ;
+//! - a WILD block reinterprets a `double` array as `long`s (a bad cast)
+//!   and aliases the result — the whole chain infects WILD;
+//! - an RTTI block is a kind-tagged struct family (`struct_fanout`
+//!   variants, each extending its prefix by `struct_depth` fields) with
+//!   dispatch functions whose parameter infers RTTI and whose per-branch
+//!   downcast locals infer SAFE (one RTTI + `fanout` SAFE per dispatcher).
+//!
+//! A per-unit pointer budget is split across kinds by the profile's target
+//! percentages with fractional error carried between consecutive units
+//! (error diffusion), so a generated corpus's aggregate histogram tracks
+//! the requested targets to within a pointer or two — well inside the 10%
+//! tolerance the campaign asserts.
+//!
+//! Every unit is self-checking: the generator mirrors the C arithmetic in
+//! Rust and emits `return s == EXPECTED ? 0 : 1;`, so original runs, cured
+//! runs, and both engines must all exit 0 — any other exit is a signal,
+//! not noise.
+
+use crate::profiles::Profile;
+use ccured_workloads::prng::SplitMix64;
+use ccured_workloads::Workload;
+use std::fmt::Write as _;
+
+/// Odd constant from SplitMix64's stream derivation; spreads consecutive
+/// unit indices into unrelated seeds.
+pub(crate) const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Length of the global arrays SEQ blocks walk (divisible by 4 for the
+/// nested shape).
+const ARR_LEN: u32 = 16;
+
+/// Length of the `double` array WILD blocks reinterpret.
+const WILD_LEN: u32 = 8;
+
+/// The loop shapes SEQ blocks cycle through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopShape {
+    /// `for (i = 0; i < n; i++)`
+    Up,
+    /// `for (i = n - 1; i >= 0; i = i - 1)` — a widening negative.
+    Down,
+    /// `for (i = 0; i < n; i = i + 2)` — a widening negative.
+    Stride2,
+    /// Row-major nested pair over 4-element rows.
+    Nested,
+    /// `while (i < n)` with a unit step.
+    While,
+}
+
+impl LoopShape {
+    /// All shapes, in [`Profile::loop_mix`] weight order.
+    pub const ALL: [LoopShape; 5] = [
+        LoopShape::Up,
+        LoopShape::Down,
+        LoopShape::Stride2,
+        LoopShape::Nested,
+        LoopShape::While,
+    ];
+
+    /// Indices of `a[0..n]` the shape visits (the array is filled with 1s,
+    /// so this is also the loop's contribution to the checksum).
+    fn visited(self, n: u32) -> u32 {
+        match self {
+            LoopShape::Stride2 => n.div_ceil(2),
+            _ => n,
+        }
+    }
+}
+
+/// Fractional pointer-kind budget carried between consecutive units, so
+/// rounding error never accumulates across a corpus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Carry {
+    safe: f64,
+    seq: f64,
+    wild: f64,
+    rtti: f64,
+}
+
+/// Generates `units` self-checking units for `profile` from `seed`.
+/// Deterministic: the same `(profile, units, seed)` reproduces every byte.
+pub fn generate(profile: &Profile, units: usize, seed: u64) -> Vec<Workload> {
+    let mut carry = Carry::default();
+    (0..units)
+        .map(|i| generate_unit(profile, seed, i, &mut carry))
+        .collect()
+}
+
+/// Generates one unit. `carry` diffuses fractional kind budgets between
+/// consecutive calls; pass a fresh default to generate a unit standalone.
+pub fn generate_unit(profile: &Profile, seed: u64, index: usize, carry: &mut Carry) -> Workload {
+    let mut rng = SplitMix64::new(seed ^ (index as u64).wrapping_mul(GOLDEN));
+    let (lo, hi) = profile.ptrs_per_unit;
+    let budget = rng.range(lo as i64, hi as i64 + 1) as f64;
+    let (f_sf, f_sq, f_w, f_rt) = profile.kind_fractions();
+
+    // Error-diffused integer allocation, most constrained kind first.
+    let ideal_rt = budget * f_rt + carry.rtti;
+    let n_rt = ideal_rt.round().max(0.0) as u32;
+    carry.rtti = ideal_rt - n_rt as f64;
+
+    let ideal_w = budget * f_w + carry.wild;
+    let n_w = if f_w > 0.0 && rng.below(100) < profile.wild_pressure as u64 {
+        // Cap a long-deferred WILD carry at half the unit's budget; the
+        // remainder keeps diffusing.
+        ideal_w.round().clamp(0.0, budget / 2.0) as u32
+    } else {
+        0
+    };
+    carry.wild = ideal_w - n_w as f64;
+
+    // Each dispatcher's per-branch downcast locals infer SAFE; they come
+    // out of the SAFE budget so the aggregate stays on target.
+    let safe_from_rtti = n_rt * profile.struct_fanout;
+    let ideal_sf = budget * f_sf + carry.safe;
+    let n_sf = (ideal_sf.round() as i64 - safe_from_rtti as i64).max(0) as u32;
+    carry.safe = ideal_sf - (n_sf + safe_from_rtti) as f64;
+
+    let ideal_sq = budget * f_sq + carry.seq;
+    let n_sq = ideal_sq.round().max(0.0) as u32;
+    carry.seq = ideal_sq - n_sq as f64;
+
+    emit_unit(profile, index, n_sf, n_sq, n_w, n_rt, &mut rng)
+}
+
+/// Splits a kind budget into chain lengths in `[min_len, max_len]`.
+fn chains(total: u32, min_len: u32, max_len: u32, rng: &mut SplitMix64) -> Vec<u32> {
+    let mut left = total;
+    let mut out = Vec::new();
+    while left > 0 {
+        let len = rng.range(min_len as i64, max_len as i64 + 1) as u32;
+        let len = len.min(left);
+        out.push(len);
+        left -= len;
+    }
+    out
+}
+
+/// Emits an alias-chain body: `<ty> *p1 = p0; ...`, with an explicit
+/// identity cast on `cast_density`% of the links.
+fn chain_links(
+    body: &mut String,
+    ty: &str,
+    base: &str,
+    len: u32,
+    arith: bool,
+    density: u32,
+    rng: &mut SplitMix64,
+) {
+    for k in 1..len {
+        let prev = if k == 1 {
+            base.to_string()
+        } else {
+            format!("{base}{k}", base = chain_name(base), k = k - 1)
+        };
+        let rhs = if arith {
+            format!("{prev} + 1")
+        } else {
+            prev.clone()
+        };
+        let rhs = if rng.below(100) < density as u64 {
+            if arith {
+                format!("({ty} *)({rhs})")
+            } else {
+                format!("({ty} *){rhs}")
+            }
+        } else {
+            rhs
+        };
+        let _ = writeln!(body, "  {ty} *{}{} = {};", chain_name(base), k, rhs);
+    }
+}
+
+/// Chain-link variable stem for a base variable (`p0` links are `p1..`,
+/// `a` links are `q1..`, `w0` links are `w1..`).
+fn chain_name(base: &str) -> &'static str {
+    match base {
+        "p0" => "p",
+        "a" => "q",
+        _ => "w",
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_unit(
+    profile: &Profile,
+    index: usize,
+    n_sf: u32,
+    n_sq: u32,
+    n_w: u32,
+    n_rt: u32,
+    rng: &mut SplitMix64,
+) -> Workload {
+    let u = index;
+    let density = profile.cast_density;
+    let mut decls = String::new();
+    let mut funcs = String::new();
+    let mut main_setup = String::new();
+    let mut main_calls = String::new();
+    let mut expected: i64 = 0;
+
+    // --- RTTI family: one tagged struct hierarchy, n_rt dispatchers. ---
+    if n_rt > 0 {
+        let fanout = profile.struct_fanout;
+        let depth = profile.struct_depth;
+        let _ = writeln!(decls, "struct Shape_u{u} {{ int kind; int pad; }};");
+        for t in 0..fanout {
+            let mut fields = String::new();
+            for f in 0..(t + 1) * depth {
+                let _ = write!(fields, " int f{f};");
+            }
+            let _ = writeln!(decls, "struct V{t}_u{u} {{ int kind; int pad;{fields} }};");
+        }
+        for d in 0..n_rt {
+            let _ = writeln!(funcs, "int dispatch{d}_u{u}(struct Shape_u{u} *s) {{");
+            for t in 0..fanout {
+                let last = (t + 1) * depth - 1;
+                if t + 1 < fanout {
+                    let _ = writeln!(
+                        funcs,
+                        "  if (s->kind == {t}) {{ struct V{t}_u{u} *v = (struct V{t}_u{u} *)s; return v->f{last}; }}"
+                    );
+                } else {
+                    let _ = writeln!(
+                        funcs,
+                        "  struct V{t}_u{u} *v = (struct V{t}_u{u} *)s;\n  return v->f{last};"
+                    );
+                }
+            }
+            let _ = writeln!(funcs, "}}");
+        }
+        // The caller owns one local of each variant and exercises every
+        // dispatcher against every variant.
+        let _ = writeln!(funcs, "int rtti_use_u{u}(void) {{");
+        for t in 0..fanout {
+            let _ = write!(
+                funcs,
+                "  struct V{t}_u{u} x{t}; x{t}.kind = {t}; x{t}.pad = 0;"
+            );
+            for f in 0..(t + 1) * depth {
+                let val = if f == (t + 1) * depth - 1 { t + 1 } else { 0 };
+                let _ = write!(funcs, " x{t}.f{f} = {val};");
+            }
+            let _ = writeln!(funcs);
+        }
+        let _ = writeln!(funcs, "  int s = 0;");
+        for d in 0..n_rt {
+            for t in 0..fanout {
+                let _ = writeln!(
+                    funcs,
+                    "  s += dispatch{d}_u{u}((struct Shape_u{u} *)&x{t});"
+                );
+            }
+        }
+        let _ = writeln!(funcs, "  return s;\n}}");
+        let calls = 1 + rng.below(2) as i64;
+        call_block(&mut main_calls, &format!("rtti_use_u{u}()"), calls, u, 900);
+        // Each dispatcher returns variant t's last field, set to t+1.
+        let per_call: i64 = i64::from(n_rt) * i64::from(fanout * (fanout + 1) / 2);
+        expected += per_call * calls;
+    }
+
+    // --- SAFE alias chains over global cells. ---
+    for (b, len) in chains(n_sf, 3, 6, rng).into_iter().enumerate() {
+        let cell = format!("g_cell_u{u}_{b}");
+        let val = i64::from(b as u32 % 7) + 1;
+        let _ = writeln!(decls, "int {cell};");
+        let _ = writeln!(funcs, "int safe{b}_u{u}(int *p0) {{");
+        chain_links(&mut funcs, "int", "p0", len, false, density, rng);
+        let last = if len == 1 {
+            "p0".to_string()
+        } else {
+            format!("p{}", len - 1)
+        };
+        let _ = writeln!(funcs, "  return *{last};\n}}");
+        let _ = writeln!(main_setup, "  {cell} = {val};");
+        let calls = 1 + rng.below(3) as i64;
+        call_block(
+            &mut main_calls,
+            &format!("safe{b}_u{u}(&{cell})"),
+            calls,
+            u,
+            b as u32,
+        );
+        expected += val * calls;
+    }
+
+    // --- SEQ array walks, loop shape per block from the profile mix. ---
+    for (b, len) in chains(n_sq, 2, 4, rng).into_iter().enumerate() {
+        let arr = format!("g_arr_u{u}_{b}");
+        let shape = profile.pick_loop(rng.next_u64());
+        let _ = writeln!(decls, "int {arr}[{ARR_LEN}];");
+        let _ = writeln!(funcs, "int seq{b}_u{u}(int *a, int n) {{");
+        let _ = writeln!(funcs, "  int s = 0;\n  int i;");
+        chain_links(&mut funcs, "int", "a", len, true, density, rng);
+        match shape {
+            LoopShape::Up => {
+                let _ = writeln!(funcs, "  for (i = 0; i < n; i++) s += a[i];");
+            }
+            LoopShape::Down => {
+                let _ = writeln!(funcs, "  for (i = n - 1; i >= 0; i = i - 1) s += a[i];");
+            }
+            LoopShape::Stride2 => {
+                let _ = writeln!(funcs, "  for (i = 0; i < n; i = i + 2) s += a[i];");
+            }
+            LoopShape::Nested => {
+                let _ = writeln!(
+                    funcs,
+                    "  int k;\n  for (i = 0; i < n; i = i + 4)\n    for (k = 0; k < 4; k = k + 1) s += a[i + k];"
+                );
+            }
+            LoopShape::While => {
+                let _ = writeln!(
+                    funcs,
+                    "  i = 0;\n  while (i < n) {{ s += a[i]; i = i + 1; }}"
+                );
+            }
+        }
+        for k in 1..len {
+            let _ = writeln!(funcs, "  s += *q{k};");
+        }
+        let _ = writeln!(funcs, "  return s;\n}}");
+        let _ = writeln!(
+            main_setup,
+            "  for (i = 0; i < {ARR_LEN}; i++) {arr}[i] = 1;"
+        );
+        let calls = 1 + rng.below(3) as i64;
+        call_block(
+            &mut main_calls,
+            &format!("seq{b}_u{u}({arr}, {ARR_LEN})"),
+            calls,
+            u,
+            100 + b as u32,
+        );
+        let per_call = i64::from(shape.visited(ARR_LEN)) + i64::from(len - 1);
+        expected += per_call * calls;
+    }
+
+    // --- WILD blocks: a bad cast plus an alias chain. ---
+    for (b, len) in chains(n_w, 2, 3, rng).into_iter().enumerate() {
+        let _ = writeln!(funcs, "int wild{b}_u{u}(void) {{");
+        let _ = writeln!(
+            funcs,
+            "  double d[{WILD_LEN}];\n  int i;\n  for (i = 0; i < {WILD_LEN}; i++) d[i] = 1.0;"
+        );
+        let _ = writeln!(funcs, "  long *w0 = (long *)d;");
+        chain_links(&mut funcs, "long", "w0", len, false, density, rng);
+        let _ = writeln!(funcs, "  int s = 0;");
+        let _ = writeln!(
+            funcs,
+            "  for (i = 0; i < {WILD_LEN}; i++) s += w0[i] != 0 ? 1 : 0;"
+        );
+        for k in 1..len {
+            let _ = writeln!(funcs, "  s += w{k}[0] != 0 ? 1 : 0;");
+        }
+        let _ = writeln!(funcs, "  return s;\n}}");
+        let calls = 1 + rng.below(2) as i64;
+        call_block(
+            &mut main_calls,
+            &format!("wild{b}_u{u}()"),
+            calls,
+            u,
+            200 + b as u32,
+        );
+        expected += (i64::from(WILD_LEN) + i64::from(len - 1)) * calls;
+    }
+
+    let name = format!("synth_{}_{index:04}", profile.name);
+    let source = format!(
+        "/* {name}: generated unit (profile {}, pointer plan safe={} seq={} wild={} rtti={}) */\n\
+         {decls}{funcs}\
+         int main(void) {{\n  int s = 0;\n  int i;\n{main_setup}{main_calls}  \
+         return s == {expected} ? 0 : 1;\n}}\n",
+        profile.name,
+        n_sf + n_rt * profile.struct_fanout,
+        n_sq,
+        n_w,
+        n_rt,
+    );
+    Workload::new(name, source).without_wrappers()
+}
+
+/// Emits `s += <call>;`, wrapped in a repeat loop when `calls > 1`. Each
+/// repeat loop gets a unique counter so main never reuses one.
+fn call_block(main_calls: &mut String, call: &str, calls: i64, unit: usize, tag: u32) {
+    if calls <= 1 {
+        let _ = writeln!(main_calls, "  s += {call};");
+    } else {
+        let r = format!("r{unit}_{tag}");
+        let _ = writeln!(main_calls, "  {{ int {r};");
+        let _ = writeln!(
+            main_calls,
+            "    for ({r} = 0; {r} < {calls}; {r} = {r} + 1) s += {call}; }}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use ccured_workloads::runner;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profiles::mixed();
+        let a = generate(&p, 6, 42);
+        let b = generate(&p, 6, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.source, y.source);
+        }
+        let c = generate(&p, 6, 43);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.source != y.source),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn generated_units_self_check_in_every_mode() {
+        for p in profiles::all() {
+            for w in generate(&p, 3, 7) {
+                let orig = runner::run_original(&w).expect("frontend");
+                assert!(orig.ok(), "{}: original: {:?}", w.name, orig.error);
+                assert_eq!(orig.exit, 0, "{}: checksum mismatch\n{}", w.name, w.source);
+                let cured = runner::run_cured(&w, &ccured_infer_defaults()).expect("cure");
+                assert!(
+                    cured.stats.ok(),
+                    "{}: cured: {:?}",
+                    w.name,
+                    cured.stats.error
+                );
+                assert_eq!(cured.stats.exit, 0, "{}", w.name);
+                assert_eq!(orig.output, cured.stats.output, "{}", w.name);
+            }
+        }
+    }
+
+    fn ccured_infer_defaults() -> ccured_infer::InferOptions {
+        ccured_infer::InferOptions::default()
+    }
+
+    #[test]
+    fn wild_pressure_concentrates_but_preserves_the_aggregate() {
+        let p = profiles::mixed();
+        let ws = generate(&p, 24, 11);
+        let wildless = ws.iter().filter(|w| !w.source.contains("wild0_")).count();
+        assert!(
+            wildless > 0,
+            "some units must stay WILD-free under pressure"
+        );
+        assert!(
+            ws.iter().any(|w| w.source.contains("wild0_")),
+            "the aggregate WILD share must land somewhere"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Generative C workload synthesis and differential soundness campaigns.
+//!
+//! The paper validated CCured on a fixed corpus of real programs; this
+//! crate turns that test volume into a dial. [`gen`] is a deterministic,
+//! seedable generator that emits arbitrarily many well-formed,
+//! self-checking C units matching a configurable [`profiles::Profile`] —
+//! pointer-kind mix, cast density, struct-hierarchy depth/fanout, loop
+//! shapes, and WILD pressure, the same statistics
+//! `ccured_workloads::PaperStats` records for the paper corpus (including
+//! OpenSSL/bind/OpenSSH-shaped profiles). [`campaign`] pipes a generated
+//! corpus through the parallel batch curer, a tree-vs-VM differential
+//! check, and the fault-injection crash-test matrix, and scores the
+//! measured pointer-kind histograms against the requested targets.
+//!
+//! Everything is reproducible from a single seed: the same
+//! `(profiles, units, seed)` triple regenerates every source byte, every
+//! mutant, and every verdict.
+
+pub mod campaign;
+pub mod gen;
+pub mod profiles;
+
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, ClassStat, Divergence, Escape, ProfileStat,
+    KIND_TOLERANCE_PCT,
+};
+pub use gen::{generate, generate_unit, Carry, LoopShape};
+pub use profiles::Profile;

@@ -1,0 +1,178 @@
+//! Named generation profiles: the statistical targets one family of
+//! synthesized units is shaped to hit.
+//!
+//! A profile pins down the same statistics [`ccured_workloads::PaperStats`]
+//! records for the paper corpus — the pointer-kind mix, cast density,
+//! struct-hierarchy shape, loop shapes, and WILD pressure — so the
+//! campaign can check the *measured* inference histogram of a generated
+//! corpus against the *requested* targets. The OpenSSL/bind/OpenSSH
+//! profiles reuse the pointer-kind percentages the paper reports for those
+//! programs (the same tuples `daemons.rs` attaches as `PaperStats`), which
+//! previously had no synthetic workload behind them.
+
+use crate::gen::LoopShape;
+
+/// Statistical targets for one family of generated units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Profile name (also the unit-name prefix: `synth_<name>_<index>`).
+    pub name: &'static str,
+    /// Target pointer-kind percentages `(safe, seq, wild, rtti)` over
+    /// *declared* pointers, matching `PaperStats::pct`. Interpreted as
+    /// weights, so paper tuples that round to 101 are fine as-is.
+    pub kind_pct: (u32, u32, u32, u32),
+    /// Percentage of alias-chain links written through an explicit
+    /// (identity) cast rather than a plain assignment.
+    pub cast_density: u32,
+    /// Variants in each RTTI dispatch family (struct-hierarchy fanout).
+    pub struct_fanout: u32,
+    /// Fields each successive variant adds over its prefix
+    /// (struct-hierarchy depth).
+    pub struct_depth: u32,
+    /// Percentage of units eligible to carry WILD blocks. Lower pressure
+    /// concentrates the same aggregate WILD share into fewer, wilder units.
+    pub wild_pressure: u32,
+    /// Per-unit declared-pointer budget `(min, max)`, inclusive.
+    pub ptrs_per_unit: (u32, u32),
+    /// Relative weights for the five loop shapes, in [`LoopShape::ALL`]
+    /// order (up, down, stride-2, nested, while).
+    pub loop_mix: [u32; 5],
+}
+
+impl Profile {
+    /// Looks a profile up by name.
+    pub fn named(name: &str) -> Option<Profile> {
+        all().into_iter().find(|p| p.name == name)
+    }
+
+    /// The kind-percentage weights normalized to fractions summing to 1.
+    pub fn kind_fractions(&self) -> (f64, f64, f64, f64) {
+        let (sf, sq, w, rt) = self.kind_pct;
+        let total = (sf + sq + w + rt).max(1) as f64;
+        (
+            sf as f64 / total,
+            sq as f64 / total,
+            w as f64 / total,
+            rt as f64 / total,
+        )
+    }
+
+    /// Weighted loop-shape choice for one generated loop.
+    pub(crate) fn pick_loop(&self, roll: u64) -> LoopShape {
+        let total: u32 = self.loop_mix.iter().sum::<u32>().max(1);
+        let mut point = (roll % total as u64) as u32;
+        for (i, w) in self.loop_mix.iter().enumerate() {
+            if point < *w {
+                return LoopShape::ALL[i];
+            }
+            point -= w;
+        }
+        LoopShape::Up
+    }
+}
+
+/// The default mixed-diet profile: every pointer kind and loop shape is
+/// represented, WILD pressure spread over roughly a third of the units.
+pub fn mixed() -> Profile {
+    Profile {
+        name: "mixed",
+        kind_pct: (58, 27, 5, 10),
+        cast_density: 50,
+        struct_fanout: 3,
+        struct_depth: 1,
+        wild_pressure: 35,
+        ptrs_per_unit: (16, 28),
+        loop_mix: [3, 2, 2, 2, 1],
+    }
+}
+
+/// OpenSSL-shaped units: the paper's (67, 27, 0, 6) kind split with deeper
+/// struct hierarchies behind the RTTI share.
+pub fn openssl() -> Profile {
+    Profile {
+        name: "openssl",
+        kind_pct: (67, 27, 0, 6),
+        cast_density: 60,
+        struct_fanout: 3,
+        struct_depth: 2,
+        wild_pressure: 0,
+        ptrs_per_unit: (18, 30),
+        loop_mix: [4, 1, 2, 1, 1],
+    }
+}
+
+/// bind-shaped units: the paper's (79, 21, 0, 0) split and the heaviest
+/// cast traffic in the corpus (bind's 82k pointer casts).
+pub fn bind() -> Profile {
+    Profile {
+        name: "bind",
+        kind_pct: (79, 21, 0, 0),
+        cast_density: 85,
+        struct_fanout: 4,
+        struct_depth: 2,
+        wild_pressure: 0,
+        ptrs_per_unit: (18, 30),
+        loop_mix: [3, 2, 1, 2, 2],
+    }
+}
+
+/// OpenSSH-shaped units: the paper's (70, 28, 0, 3) split, light casts.
+pub fn openssh() -> Profile {
+    Profile {
+        name: "openssh",
+        kind_pct: (70, 28, 0, 3),
+        cast_density: 35,
+        struct_fanout: 2,
+        struct_depth: 1,
+        wild_pressure: 0,
+        ptrs_per_unit: (16, 26),
+        loop_mix: [3, 2, 1, 1, 3],
+    }
+}
+
+/// Every named profile, campaign order.
+pub fn all() -> Vec<Profile> {
+    vec![mixed(), openssl(), bind(), openssh()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_lookup_round_trips() {
+        for p in all() {
+            assert_eq!(Profile::named(p.name), Some(p.clone()), "{}", p.name);
+        }
+        assert!(Profile::named("no-such-profile").is_none());
+    }
+
+    #[test]
+    fn profiles_are_well_formed() {
+        for p in all() {
+            let (sf, sq, w, rt) = p.kind_pct;
+            let sum = sf + sq + w + rt;
+            assert!((100..=101).contains(&sum), "{}: pct sum {sum}", p.name);
+            assert!(p.ptrs_per_unit.0 <= p.ptrs_per_unit.1, "{}", p.name);
+            assert!(p.ptrs_per_unit.0 >= 8, "{}: budget too small", p.name);
+            assert!(p.struct_fanout >= 2 || rt == 0, "{}", p.name);
+            assert!(
+                w == 0 || p.wild_pressure > 0,
+                "{}: wild unreachable",
+                p.name
+            );
+            assert!(p.loop_mix.iter().sum::<u32>() > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn loop_pick_covers_all_weighted_shapes() {
+        let p = mixed();
+        let mut seen = [false; 5];
+        for roll in 0..100 {
+            let s = p.pick_loop(roll);
+            seen[LoopShape::ALL.iter().position(|x| *x == s).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

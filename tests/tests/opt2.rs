@@ -179,6 +179,86 @@ fn invariant_pointer_checks_hoist_to_one_per_loop_entry() {
     );
 }
 
+/// Loop shapes the widener must refuse — its soundness argument only
+/// covers the canonical `i < bound` / `i = i + 1` counted loop over an
+/// unaliased index. Each negative must still agree across all three
+/// configurations, report zero widened checks, keep its per-iteration SEQ
+/// bounds checks byte-for-byte identical to the `--no-loop-opt` baseline,
+/// and pass its own self-check.
+#[test]
+fn widening_negatives_are_left_untouched() {
+    // Down-counting: the step is `i = i - 1`, the guard is `i >= 0`.
+    let down = Workload::new(
+        "widen_neg_down",
+        "int sum_down(int *a, int n) {\n\
+           int s = 0;\n\
+           for (int i = n - 1; i >= 0; i = i - 1) s = s + a[i];\n\
+           return s;\n\
+         }\n\
+         int main(void) {\n\
+           int buf[16];\n\
+           for (int i = 15; i >= 0; i = i - 1) buf[i] = 2;\n\
+           return sum_down(buf, 16) == 32 ? 0 : 1;\n\
+         }",
+    )
+    .without_wrappers();
+    // Non-unit stride: the step is `i = i + 2`; the whole-trip endpoint
+    // argument does not apply, so the widener must not fire.
+    let stride2 = Workload::new(
+        "widen_neg_stride2",
+        "int sum_even(int *a, int n) {\n\
+           int s = 0;\n\
+           for (int i = 0; i < n; i = i + 2) s = s + a[i];\n\
+           return s;\n\
+         }\n\
+         int main(void) {\n\
+           int buf[16];\n\
+           for (int i = 15; i >= 0; i = i - 1) buf[i] = 3;\n\
+           return sum_even(buf, 16) == 24 ? 0 : 1;\n\
+         }",
+    )
+    .without_wrappers();
+    // Aliased index: `i`'s address escapes and the step writes through the
+    // alias, so nothing about `i`'s trajectory is knowable statically.
+    let alias = Workload::new(
+        "widen_neg_alias",
+        "int sum_alias(int *a, int n) {\n\
+           int s = 0;\n\
+           int i = 0;\n\
+           int *pi = &i;\n\
+           while (i < n) { s = s + a[i]; *pi = *pi + 1; }\n\
+           return s;\n\
+         }\n\
+         int main(void) {\n\
+           int buf[12];\n\
+           for (int i = 11; i >= 0; i = i - 1) buf[i] = 5;\n\
+           return sum_alias(buf, 12) == 60 ? 0 : 1;\n\
+         }",
+    )
+    .without_wrappers();
+
+    let opts = InferOptions::default();
+    for w in [down, stride2, alias] {
+        tri_differential(&w);
+        let full = runner::run_cured_loop_opt(&w, &opts, true, true).unwrap();
+        let noloop = runner::run_cured_loop_opt(&w, &opts, true, false).unwrap();
+        assert_eq!(
+            full.cured.report.checks_widened, 0,
+            "{}: the widener must refuse this loop",
+            w.name
+        );
+        assert_eq!(full.stats.exit, 0, "{}: self-check failed", w.name);
+        assert_eq!(full.stats.exit, noloop.stats.exit, "{}", w.name);
+        assert_eq!(full.stats.error, noloop.stats.error, "{}", w.name);
+        assert_eq!(full.stats.output, noloop.stats.output, "{}", w.name);
+        assert_eq!(
+            full.stats.counters.seq_bounds_checks, noloop.stats.counters.seq_bounds_checks,
+            "{}: per-iteration SEQ checks must be untouched",
+            w.name
+        );
+    }
+}
+
 /// Cures with explicit optimizer configuration (the runner helper hides
 /// the `Cured` needed for profiled execution).
 fn cure_cfg(w: &Workload, optimize: bool, loop_opt: bool) -> ccured::Cured {

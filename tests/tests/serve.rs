@@ -215,13 +215,23 @@ fn corrupt_cache_entries_are_misses_never_errors() {
     let r = request(&sock, &format!("cure {}", unit.display())).unwrap();
     assert!(r.contains("\"status\":\"ok\""), "{r}");
     assert!(r.contains("\"from_cache\":false"), "garbage is a miss: {r}");
-    // Now corrupt the freshly written entry in place: the next cure must
-    // still be an `ok` (a miss re-cures and rewrites), never an error.
-    for e in std::fs::read_dir(&cache_dir).unwrap().flatten() {
-        if e.path().extension().is_some_and(|x| x == "unit") {
-            std::fs::write(e.path(), b"torn to bits").unwrap();
+    // Now corrupt the freshly written entry in place (it lives under a
+    // two-hex shard subdirectory): the next cure must still be an `ok` (a
+    // miss re-cures and rewrites), never an error.
+    let mut corrupted = 0;
+    let mut stack = vec![cache_dir.clone()];
+    while let Some(d) = stack.pop() {
+        for e in std::fs::read_dir(&d).unwrap().flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "unit") {
+                std::fs::write(&p, b"torn to bits").unwrap();
+                corrupted += 1;
+            }
         }
     }
+    assert!(corrupted > 0, "found the sharded entry to corrupt");
     let r = request(&sock, &format!("cure {}", unit.display())).unwrap();
     assert!(r.contains("\"status\":\"ok\""), "{r}");
     assert!(
@@ -335,7 +345,7 @@ fn soak_thousands_of_mixed_requests_all_get_terminal_replies() {
             let broken = broken.clone();
             let empty = empty.clone();
             std::thread::spawn(move || {
-                let mut terminal = 0usize;
+                let mut latencies = Vec::with_capacity(PER_CLIENT);
                 for i in 0..PER_CLIENT {
                     let line = match (c + i) % 5 {
                         0 => format!("cure {}", good.display()),
@@ -344,21 +354,42 @@ fn soak_thousands_of_mixed_requests_all_get_terminal_replies() {
                         3 => "status".to_string(),
                         _ => format!("explain {}", good.display()),
                     };
+                    let t = std::time::Instant::now();
                     let reply = request(&sock, &line).expect("reply");
+                    latencies.push(t.elapsed());
                     assert!(
                         reply.contains("\"status\":\"ok\"")
                             || reply.contains("\"status\":\"error\"")
                             || reply.contains("\"status\":\"busy\""),
                         "non-terminal reply to `{line}`: {reply}"
                     );
-                    terminal += 1;
                 }
-                terminal
+                latencies
             })
         })
         .collect();
-    let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
-    assert_eq!(total, CLIENTS * PER_CLIENT);
+    let mut latencies: Vec<std::time::Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client"))
+        .collect();
+    assert_eq!(latencies.len(), CLIENTS * PER_CLIENT);
+
+    // Reply-latency distribution: the soak is the worst traffic the daemon
+    // sees in tests, so its percentiles bound the interactive experience.
+    // The limits are deliberately loose (debug build, loaded CI boxes) —
+    // they exist to catch unbounded-queueing regressions, not to bench.
+    latencies.sort_unstable();
+    let pct = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+    let (p50, p99) = (pct(50), pct(99));
+    assert!(p50 <= p99, "percentiles are ordered");
+    assert!(
+        p50 < std::time::Duration::from_secs(1),
+        "p50 reply latency {p50:?} over the soak budget"
+    );
+    assert!(
+        p99 < std::time::Duration::from_secs(10),
+        "p99 reply latency {p99:?} over the soak budget"
+    );
 
     let st = request(&sock, "status").unwrap();
     assert!(
