@@ -1,6 +1,6 @@
 # Convenience targets for ccured-rs.
 
-.PHONY: all test lint tables bench bench-interp bench-profile bench-opt2 bench-serve bench-synth bless doc examples smoke profile-smoke serve-smoke synth-smoke stress clean
+.PHONY: all test lint tables bench bench-interp bench-profile bench-opt2 bench-serve bench-synth bench-hot bless doc examples smoke profile-smoke serve-smoke synth-smoke stress clean
 
 all: test
 
@@ -22,6 +22,9 @@ smoke:
 	cargo run -q -p ccured-cli --bin ccured -- batch examples/c --jobs 4
 	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --report --run --counters
 	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --no-loop-opt --run --counters
+	cargo run -q -p ccured-cli --bin ccured -- profile examples/c/seq_walk.c --json > target/seq_walk.profile.json
+	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --run --counters --pgo target/seq_walk.profile.json
+	cargo run -q -p ccured-cli --bin ccured -- examples/c/seq_walk.c --run --counters --no-tier
 	cargo test -q -p ccured-integration --test opt2
 	$(MAKE) synth-smoke
 
@@ -65,6 +68,11 @@ bench-serve:
 # E17: generative differential soundness campaign; writes BENCH_synth.json.
 bench-synth:
 	cargo run --release -p ccured-bench --bin tables -- fig-synth
+
+# E18: profile-guided tiered VM, tree vs untiered vs tiered; writes
+# BENCH_hot.json.
+bench-hot:
+	cargo run --release -p ccured-bench --bin tables -- fig-hot
 
 # Generative soundness smoke: synthesize a small corpus across every
 # profile, then run a campaign (cure + tree-vs-VM differential + seeded

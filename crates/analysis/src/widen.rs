@@ -1,79 +1,137 @@
 //! SEQ bounds-check widening for monotone strided loops.
 //!
-//! For the canonical counted-loop shape the frontend lowers `for`/`while`
-//! loops into, the per-iteration SEQ bounds check `CHECK_SEQ(b + i)` is
-//! replaced by a [`Check::Probe`] that runs exactly twice' worth of checks
-//! on the first iteration — the original check (at the entry index) plus a
-//! check of the *last* index the loop can reach — and latches a guard that
-//! skips the per-iteration residual for the rest of the trip.
+//! For the counted-loop shapes the frontend lowers `for`/`while` loops
+//! into, the per-iteration SEQ bounds check `CHECK_SEQ(b + i)` is replaced
+//! by a [`Check::Probe`] that runs exactly twice' worth of checks on the
+//! first iteration — the original check (at the entry index) plus a check
+//! of the *extreme* index the guard can ever admit — and latches a guard
+//! that skips the per-iteration residual for the rest of the trip.
 //!
-//! # The matched shape
+//! The pass is direction- and stride-agnostic: the guard and the step are
+//! canonicalized into an induction form `(direction, stride, extreme)`
+//! first, and the same two-endpoint probe argument applies to every form.
+//!
+//! # The matched shapes
 //!
 //! ```text
 //! loop {
-//!   if (i < bound) {} else { break; }   // spine[0]: the guard
+//!   if (i REL bound) {} else { break; }  // spine[0]: the guard
 //!   ... straight-line instrs, no writes to i ...
-//!   CHECK_SEQ(base + i, size)           // the widened check
+//!   CHECK_SEQ(base + i, size)            // the widened check
 //!   ...
-//!   i = i + 1                           // the only write to i anywhere
+//!   i = i ± c                            // the only write to i anywhere
 //! }
 //! ```
 //!
-//! with `i` an unaliased local, `base` loop-invariant, and `bound` either
-//! an integer constant or a direct load of an unaliased local the subtree
-//! never assigns. Casts are looked through only when value-preserving
-//! (see [`crate::loops::strip_preserving_casts`]).
+//! * `REL` is `<` or `<=` (an up-counting loop) or `>` or `>=` (a
+//!   down-counting loop); the index may sit on either side (`i < n` and
+//!   `n > i` canonicalize identically).
+//! * the step is a single constant stride `c >= 1` whose direction agrees
+//!   with the guard (`+c` under `<`/`<=`, `-c` under `>`/`>=`); steps
+//!   written as `i = i + (-c)` or `i = c + i` canonicalize too.
+//! * `i` is an unaliased local, `base` is loop-invariant, and `bound` is
+//!   either an integer constant or a direct load of an unaliased local the
+//!   subtree never assigns. Casts are looked through only when
+//!   value-preserving (see [`crate::loops::strip_preserving_casts`]).
 //!
 //! # Soundness
 //!
 //! Let `i₀` be `i`'s value when the probe runs (the first iteration that
-//! reaches the check). The probe verifies `base + i₀` (the original check,
-//! so the entry offset is in bounds) and `base + (bound − 1)` (the last
-//! index the guard can ever let through). Because the subtree's only write
-//! to `i` is a single `+1` step and every path to the access re-passes the
-//! `i < bound` guard, every later access index lies in `[i₀, bound − 1]`.
-//! A SEQ region is one contiguous `[b, e)` interval and the offset is
-//! monotone in the index, so both endpoints in bounds implies every
-//! intermediate index is in bounds. If either endpoint check fails the
-//! guard latches "fail" and the residual runs per-iteration, aborting at
-//! the first actually-out-of-bounds index with the original site blame —
-//! a conservatively-widened probe can never abort a program the
-//! unoptimized one would not.
+//! reaches the check), and let `E` be the extreme index the guard can
+//! admit: `bound − 1` under `<`, `bound` under `<=` or `>=`, `bound + 1`
+//! under `>`. The probe verifies `base + i₀` (the original check, so the
+//! entry offset is in bounds) and `base + E`. Because the subtree's only
+//! write to `i` is the single monotone step and every path to the access
+//! re-passes the guard, every later access index lies between `i₀` and
+//! `E` — for any stride: a stride-`c` orbit visits a subset of the indices
+//! the stride-1 orbit would, never more. A SEQ region is one contiguous
+//! `[b, e)` interval and the offset is monotone in the index, so both
+//! endpoints in bounds implies every intermediate index is in bounds. If
+//! either endpoint check fails the guard latches "fail" and the residual
+//! runs per-iteration, aborting at the first actually-out-of-bounds index
+//! with the original site blame — a conservatively-widened probe can never
+//! abort a program the unoptimized one would not.
 //!
-//! `bound − 1` cannot wrap: the subtraction is evaluated at `bound`'s own
-//! integer type, and it underflows only when `bound` is the type's
-//! minimum — but then `i < bound` is unsatisfiable, the body never runs,
-//! and the probe (which sits *inside* the loop) never executes.
+//! # Wrap analysis
+//!
+//! Two distinct wraps are reasoned about:
+//!
+//! * **The endpoint expression.** `bound − 1` underflows only when `bound`
+//!   is its type's minimum and `bound + 1` overflows only at the maximum —
+//!   but then the guard (`i < min` resp. `i > max`) is unsatisfiable, the
+//!   body never runs, and the probe (which sits *inside* the loop) never
+//!   executes. The `<=`/`>=` endpoints involve no arithmetic at all. When
+//!   a *variable* bound takes the extreme value at run time, the wrapped
+//!   endpoint at worst makes the probe fail, which only disables the
+//!   optimization.
+//! * **The induction variable.** If `i ± c` can wrap past its type's
+//!   range, a guard-passing value could jump to the far end of the index
+//!   space and reach offsets the two endpoints never covered. The pass
+//!   therefore requires a no-wrap proof:
+//!   - a **signed** step type carries the standard C license: signed
+//!     overflow of the induction step is undefined behavior, so the pass
+//!     assumes it does not occur (the assumption every optimizing C
+//!     compiler makes). A guest program that *does* overflow a signed
+//!     index inside a widened loop executes under UB and may see the
+//!     probe pass where the per-iteration check would have aborted.
+//!   - an **unsigned** step type has defined wraparound, so the proof must
+//!     be static: with `B` the bound's maximal (up) or minimal (down)
+//!     possible value — its constant value, or its own type's range when
+//!     variable — the pass demands `E(B) + c <= max(step type)` going up
+//!     and `E(B) − c >= 0` going down. This admits the common
+//!     `while (i > 0) i--` and every constant-bound loop, and rejects
+//!     forms like `for (unsigned char i = 0; i <= 255; i++)` whose guard
+//!     can never exit.
+//!
+//!   In both cases the step's result type must span exactly the index
+//!   local's declared range, so the store-back normalization cannot
+//!   introduce a second, unanalyzed wrap point.
 //!
 //! The prefix between the guard and the check must be straight-line
 //! instructions: a label there could let an in-loop goto re-enter between
-//! guard and access without re-checking `i < bound`.
+//! guard and access without re-checking the guard.
 
 use crate::loops::{
-    direct_local_load, exp_invariant, guard_check_at, strip_preserving_casts, FnCx, OptAction,
-    SubtreeInfo,
+    direct_local_load, exp_invariant, guard_check_at, int_bounds, strip_preserving_casts, FnCx,
+    OptAction, SubtreeInfo,
 };
 use ccured_cil::ir::{BinOp, Check, Const, Exp, Instr, LvBase, Stmt};
 use ccured_cil::types::Type;
 
+/// Which way the induction variable moves.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Up,
+    Down,
+}
+
+/// The canonicalized guard: index local, direction, and the offset from
+/// `bound` to the extreme admissible index (`-1`, `0`, or `+1`).
+struct Guard<'e> {
+    idx_local: u32,
+    /// The index local's declared integer range (from the guard's load).
+    idx_range: (i128, i128),
+    dir: Dir,
+    bound: &'e Exp,
+    /// `E = bound + adj`: the extreme index the guard can admit.
+    adj: i128,
+}
+
 /// Tries to widen the first matching per-iteration SEQ bounds check of
 /// this loop. Returns the allocated guard slot on success.
 pub(crate) fn try_widen(cx: &mut FnCx, body: &mut [Stmt], info: &SubtreeInfo) -> Option<u32> {
-    // spine[0]: `if (i < bound) {} else { break; }`.
+    // spine[0]: `if (i REL bound) {} else { break; }`.
     let Some(Stmt::If(cond, then_b, else_b)) = body.first() else {
         return None;
     };
     if !then_b.is_empty() || !matches!(else_b.as_slice(), [Stmt::Break]) {
         return None;
     }
-    let Exp::Binop(BinOp::Lt, lhs, bound, _) = cond else {
-        return None;
-    };
-    let (idx_local, _) = direct_local_load(cx.types, lhs)?;
-    if cx.aliased.contains(&idx_local) {
+    let guard = canonical_guard(cx, cond)?;
+    if cx.aliased.contains(&guard.idx_local) {
         return None;
     }
-    let bound = strip_preserving_casts(cx.types, bound);
+    let bound = strip_preserving_casts(cx.types, guard.bound);
     let bound_ok = match bound {
         Exp::Const(Const::Int(..), _) => true,
         _ => matches!(direct_local_load(cx.types, bound),
@@ -87,24 +145,42 @@ pub(crate) fn try_widen(cx: &mut FnCx, body: &mut [Stmt], info: &SubtreeInfo) ->
     };
     let bound_kind = *bound_kind;
 
-    // The single-increment rule: exactly one write to i in the whole
-    // subtree, and it is the canonical `i = i + 1` step.
-    if !single_unit_increment(cx, body, idx_local) {
-        return None;
+    // The single-step rule: exactly one write to i in the whole subtree,
+    // a constant stride in the guard's direction.
+    let (stride, step_signed, step_range) = induction_step(cx, body, &guard)?;
+
+    // No-wrap proof for the induction variable (see the module docs).
+    if !step_signed {
+        let (bound_lo, bound_hi) = match bound {
+            Exp::Const(Const::Int(v, _), _) => (*v, *v),
+            _ => int_bounds(cx.types, bound.ty())?,
+        };
+        // Saturating arithmetic: saturation only makes the comparison
+        // fail, i.e. conservatively refuses the widening.
+        let ok = match guard.dir {
+            Dir::Up => bound_hi.saturating_add(guard.adj).saturating_add(stride) <= step_range.1,
+            Dir::Down => bound_lo.saturating_add(guard.adj).saturating_sub(stride) >= step_range.0,
+        };
+        if !ok {
+            return None;
+        }
     }
 
     // Find the check along the straight-line prefix after the guard.
-    let (pos, at, base, ptr_ty, access_size) = find_check(cx, body, info, idx_local)?;
+    let (pos, at, base, ptr_ty, access_size) = find_check(cx, body, info, guard.idx_local)?;
 
-    // Build the endpoint check: `base + (bound - 1)` at the original
-    // access size. The subtraction happens at `bound`'s own type (wrap
-    // analyzed in the module docs).
-    let endpoint_idx = Exp::Binop(
-        BinOp::Sub,
-        Box::new(bound.clone()),
-        Box::new(Exp::int(1, bound_kind, bound.ty())),
-        bound.ty(),
-    );
+    // Build the endpoint check: `base + E` at the original access size,
+    // with `E` the extreme admissible index. The `±1` adjustment happens
+    // at `bound`'s own type (wrap analyzed in the module docs).
+    let endpoint_idx = match guard.adj {
+        0 => bound.clone(),
+        adj => Exp::Binop(
+            if adj < 0 { BinOp::Sub } else { BinOp::Add },
+            Box::new(bound.clone()),
+            Box::new(Exp::int(1, bound_kind, bound.ty())),
+            bound.ty(),
+        ),
+    };
     let endpoint = Check::SeqBounds {
         ptr: Exp::Binop(
             BinOp::PlusPI,
@@ -126,6 +202,49 @@ pub(crate) fn try_widen(cx: &mut FnCx, body: &mut [Stmt], info: &SubtreeInfo) ->
     guard_check_at(instrs, at, slot, vec![original, endpoint]);
     cx.record(site, OptAction::Widened);
     Some(slot)
+}
+
+/// Canonicalizes the guard condition into index-on-the-left form, trying
+/// both operand orders (`i < n` and `n > i` describe the same loop).
+fn canonical_guard<'e>(cx: &FnCx, cond: &'e Exp) -> Option<Guard<'e>> {
+    let Exp::Binop(op, lhs, rhs, _) = cond else {
+        return None;
+    };
+    let forms = [(lhs, *op, rhs), (rhs, flip(*op)?, lhs)];
+    for (idx_e, op, bound) in forms {
+        let Some((idx_local, load)) = direct_local_load(cx.types, idx_e) else {
+            continue;
+        };
+        let Some(idx_range) = int_bounds(cx.types, load.ty()) else {
+            continue;
+        };
+        let (dir, adj) = match op {
+            BinOp::Lt => (Dir::Up, -1),
+            BinOp::Le => (Dir::Up, 0),
+            BinOp::Ge => (Dir::Down, 0),
+            BinOp::Gt => (Dir::Down, 1),
+            _ => return None,
+        };
+        return Some(Guard {
+            idx_local,
+            idx_range,
+            dir,
+            bound,
+            adj,
+        });
+    }
+    None
+}
+
+/// The comparison with its operands swapped (`a REL b` == `b REL' a`).
+fn flip(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        _ => return None,
+    })
 }
 
 /// Locates the first `CHECK_SEQ(base + i)` reachable from the guard
@@ -170,22 +289,58 @@ fn find_check(
     None
 }
 
-/// Does the subtree write `i` exactly once, via the canonical
-/// `i = i + 1`?
-fn single_unit_increment(cx: &FnCx, body: &[Stmt], idx_local: u32) -> bool {
+/// Does the subtree write `i` exactly once, via a constant stride in the
+/// guard's direction? Returns `(stride, step type is signed, step type
+/// range)` with `stride >= 1`.
+fn induction_step(cx: &FnCx, body: &[Stmt], guard: &Guard) -> Option<(i128, bool, (i128, i128))> {
     let mut writes = Vec::new();
-    collect_writes(body, idx_local, &mut writes);
+    collect_writes(body, guard.idx_local, &mut writes);
     let [Some(e)] = writes.as_slice() else {
-        return false;
+        return None;
     };
-    let Exp::Binop(BinOp::Add, a, b, _) = strip_preserving_casts(cx.types, e) else {
-        return false;
+    let Exp::Binop(op, a, b, step_ty) = strip_preserving_casts(cx.types, e) else {
+        return None;
     };
-    matches!(direct_local_load(cx.types, a), Some((l, _)) if l == idx_local)
-        && matches!(
-            strip_preserving_casts(cx.types, b),
-            Exp::Const(Const::Int(1, _), _)
-        )
+    // `i = i ± c` or `i = c + i`.
+    let is_idx =
+        |e: &Exp| matches!(direct_local_load(cx.types, e), Some((l, _)) if l == guard.idx_local);
+    let c = match (op, is_idx(a), is_idx(b)) {
+        (BinOp::Add | BinOp::Sub, true, _) => match strip_preserving_casts(cx.types, b) {
+            Exp::Const(Const::Int(v, _), _) => {
+                if *op == BinOp::Sub {
+                    v.checked_neg()?
+                } else {
+                    *v
+                }
+            }
+            _ => return None,
+        },
+        (BinOp::Add, _, true) => match strip_preserving_casts(cx.types, a) {
+            Exp::Const(Const::Int(v, _), _) => *v,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let (dir, stride) = match c {
+        0 => return None,
+        c if c > 0 => (Dir::Up, c),
+        c => (Dir::Down, c.checked_neg()?),
+    };
+    if dir != guard.dir {
+        return None;
+    }
+    // The step's result type must span exactly the index local's declared
+    // range: the store-back to `i` normalizes to `i`'s type, and a
+    // mismatch would add a wrap point the proof above never examined.
+    let step_range = int_bounds(cx.types, *step_ty)?;
+    if step_range != guard.idx_range {
+        return None;
+    }
+    let signed = match cx.types.get(*step_ty) {
+        Type::Int(k) => k.is_signed(),
+        _ => return None,
+    };
+    Some((stride, signed, step_range))
 }
 
 /// Collects the RHS of every write to `idx_local` in the subtree

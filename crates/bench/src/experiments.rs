@@ -650,24 +650,26 @@ fn time_cured_with(
     (best, steps)
 }
 
-/// E13 (`fig-interp`): tree-vs-VM throughput over the micro + Olden +
-/// Ptrdist corpus, cured once per workload and executed on both engines.
+/// The Figure-9-shaped corpus shared by the engine-throughput figures
+/// (E13 `fig-interp`, E18 `fig-hot`), with the best-of repetition count.
 /// `smoke` shrinks the workloads for CI.
-pub fn fig_interp(smoke: bool) -> InterpFig {
+fn interp_corpus(smoke: bool) -> (Vec<ccured_workloads::Workload>, u32) {
     use ccured_workloads::{olden, ptrdist, spec};
-    let (ws, reps) = if smoke {
+    if smoke {
+        // Sized so each timed run is in the milliseconds: long enough to
+        // amortize lazy compilation and tier warm-up, short enough for CI.
         (
             vec![
-                micro::safe_deref(400),
-                micro::seq_index(200),
-                micro::wild_loop(60),
-                micro::rtti_dispatch(150),
-                micro::ptr_store(200),
-                olden::em3d(32, 4, 12),
-                olden::treeadd(9),
-                ptrdist::anagram(40),
+                micro::safe_deref(6000),
+                micro::seq_index(600),
+                micro::wild_loop(360),
+                micro::rtti_dispatch(2400),
+                micro::ptr_store(600),
+                olden::em3d(48, 5, 24),
+                olden::treeadd(12),
+                ptrdist::anagram(60),
             ],
-            2,
+            5,
         )
     } else {
         (
@@ -686,7 +688,14 @@ pub fn fig_interp(smoke: bool) -> InterpFig {
             ],
             3,
         )
-    };
+    }
+}
+
+/// E13 (`fig-interp`): tree-vs-VM throughput over the micro + Olden +
+/// Ptrdist corpus, cured once per workload and executed on both engines.
+/// `smoke` shrinks the workloads for CI.
+pub fn fig_interp(smoke: bool) -> InterpFig {
+    let (ws, reps) = interp_corpus(smoke);
     let rows = ws
         .iter()
         .map(|w| {
@@ -711,6 +720,163 @@ pub fn fig_interp(smoke: bool) -> InterpFig {
         })
         .collect();
     InterpFig { rows, reps }
+}
+
+/// E18 (`fig-hot`): one workload's three-way engine comparison — the
+/// tree-walking reference, the untiered single-tier VM (the E13
+/// configuration) and the profile-guided tiered VM.
+#[derive(Debug, Clone)]
+pub struct HotRow {
+    /// Workload name.
+    pub name: String,
+    /// Guest instruction steps (identical across all three configurations).
+    pub steps: u64,
+    /// Best-of-`reps` wall-clock on the tree-walking reference engine.
+    pub tree: std::time::Duration,
+    /// Best-of-`reps` wall-clock on the VM with tiering off.
+    pub vm_untiered: std::time::Duration,
+    /// Best-of-`reps` wall-clock on the VM with the default tier schedule.
+    pub vm_tiered: std::time::Duration,
+}
+
+impl HotRow {
+    /// `tree / vm_untiered` — the single-tier baseline speedup.
+    pub fn speedup_untiered(&self) -> f64 {
+        self.tree.as_secs_f64() / self.vm_untiered.as_secs_f64().max(1e-9)
+    }
+
+    /// `tree / vm_tiered` — what hot recompilation buys on top.
+    pub fn speedup_tiered(&self) -> f64 {
+        self.tree.as_secs_f64() / self.vm_tiered.as_secs_f64().max(1e-9)
+    }
+}
+
+/// E18 (`fig-hot`): the whole comparison.
+#[derive(Debug, Clone)]
+pub struct HotFig {
+    /// Per-workload timings.
+    pub rows: Vec<HotRow>,
+    /// Timing repetitions per configuration (best-of).
+    pub reps: u32,
+}
+
+impl HotFig {
+    /// Geometric mean of the untiered-VM speedups (the E13 baseline,
+    /// re-measured in the same run so the two geomeans are comparable).
+    pub fn geomean_untiered(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        (self
+            .rows
+            .iter()
+            .map(|r| r.speedup_untiered().ln())
+            .sum::<f64>()
+            / n)
+            .exp()
+    }
+
+    /// Geometric mean of the tiered-VM speedups.
+    pub fn geomean_tiered(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        (self
+            .rows
+            .iter()
+            .map(|r| r.speedup_tiered().ln())
+            .sum::<f64>()
+            / n)
+            .exp()
+    }
+
+    /// `BENCH_hot.json` — machine-readable record for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"experiment\": \"fig-hot\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"steps\": {}, \"tree_us\": {}, \"vm_untiered_us\": {}, \
+                 \"vm_tiered_us\": {}, \"speedup_untiered\": {:.3}, \"speedup_tiered\": {:.3}}}{}\n",
+                r.name,
+                r.steps,
+                r.tree.as_micros(),
+                r.vm_untiered.as_micros(),
+                r.vm_tiered.as_micros(),
+                r.speedup_untiered(),
+                r.speedup_tiered(),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"reps\": {},\n  \"geomean_untiered_speedup\": {:.3},\n  \
+             \"geomean_tiered_speedup\": {:.3}\n}}\n",
+            self.reps,
+            self.geomean_untiered(),
+            self.geomean_tiered()
+        ));
+        s
+    }
+}
+
+/// As [`time_cured`], but on the VM with an explicit tier schedule (E18
+/// pins the untiered and tiered configurations instead of the default).
+fn time_cured_vm(
+    cured: &ccured::Cured,
+    input: &[u8],
+    reps: u32,
+    tier: ccured_rt::TierMode,
+) -> (std::time::Duration, u64) {
+    use ccured_rt::Interp;
+    let mut best = std::time::Duration::MAX;
+    let mut steps = 0;
+    for _ in 0..reps.max(1) {
+        let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
+        interp.set_engine(ccured_rt::Engine::Vm);
+        interp.set_tiering(tier);
+        interp.set_input(input.to_vec());
+        let t0 = std::time::Instant::now();
+        interp.run().expect("bench workload runs clean");
+        best = best.min(t0.elapsed());
+        steps = interp.counters.instrs;
+    }
+    (best, steps)
+}
+
+/// E18 (`fig-hot`): tree vs untiered VM vs profile-guided tiered VM over
+/// the same Figure-9 corpus as E13, cured once per workload. The step
+/// counts are asserted identical across all three configurations — the
+/// tiered runs must win on wall-clock alone, never by skipping work.
+pub fn fig_hot(smoke: bool) -> HotFig {
+    let (ws, reps) = interp_corpus(smoke);
+    let rows = ws
+        .iter()
+        .map(|w| {
+            let mut curer = ccured::Curer::new();
+            if w.with_wrappers {
+                curer.with_stdlib_wrappers();
+            }
+            let cured = curer.cure_source(&w.source).expect("fig-hot cure");
+            let (tree, tree_steps) = time_cured(&cured, ccured_rt::Engine::Tree, &w.input, reps);
+            let (flat, flat_steps) =
+                time_cured_vm(&cured, &w.input, reps, ccured_rt::TierMode::Off);
+            let (tiered, tiered_steps) =
+                time_cured_vm(&cured, &w.input, reps, ccured_rt::TierMode::default());
+            assert_eq!(
+                tree_steps, flat_steps,
+                "{}: untiered VM disagrees on instruction steps",
+                w.name
+            );
+            assert_eq!(
+                tree_steps, tiered_steps,
+                "{}: tiered VM disagrees on instruction steps",
+                w.name
+            );
+            HotRow {
+                name: w.name.clone(),
+                steps: tiered_steps,
+                tree,
+                vm_untiered: flat,
+                vm_tiered: tiered,
+            }
+        })
+        .collect();
+    HotFig { rows, reps }
 }
 
 /// E14 (`fig-profile`): one hot site in a workload's profile summary.
@@ -1332,6 +1498,55 @@ mod tests {
             g >= 1.5,
             "bytecode VM must be ≥1.5× the tree engine (geomean), got {g:.2}×"
         );
+    }
+
+    /// E18: the profile-guided tiered VM must clear a *higher* bar than
+    /// E13's single-tier floor — ≥2.2× geomean over the tree engine on
+    /// the Figure-9 corpus — and must strictly beat the untiered VM
+    /// measured in the same run (so the win is attributable to hot
+    /// recompilation, not to timing drift between runs).
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "wall-clock ratio is only meaningful in release"
+    )]
+    fn fig_hot_tiered_vm_clears_floor() {
+        let f = fig_hot(true);
+        for r in &f.rows {
+            assert!(r.steps > 0, "{}: no guest steps recorded", r.name);
+        }
+        let tiered = f.geomean_tiered();
+        let untiered = f.geomean_untiered();
+        println!("E18 floor: tiered {tiered:.2}x, untiered {untiered:.2}x (floor 2.2x)");
+        assert!(
+            tiered >= 2.2,
+            "tiered VM must be ≥2.2× the tree engine (geomean), got {tiered:.2}×"
+        );
+        assert!(
+            tiered > untiered,
+            "tiered VM must beat the untiered VM: {tiered:.2}× vs {untiered:.2}×"
+        );
+    }
+
+    /// E18: the JSON record carries both geomeans (the CI artifact is the
+    /// comparison, not a single number).
+    #[test]
+    fn fig_hot_json_records_both_geomeans() {
+        let f = HotFig {
+            rows: vec![HotRow {
+                name: "w".into(),
+                steps: 10,
+                tree: std::time::Duration::from_micros(900),
+                vm_untiered: std::time::Duration::from_micros(450),
+                vm_tiered: std::time::Duration::from_micros(300),
+            }],
+            reps: 2,
+        };
+        let j = f.to_json();
+        assert!(j.contains("\"experiment\": \"fig-hot\""), "{j}");
+        assert!(j.contains("\"geomean_untiered_speedup\": 2.000"), "{j}");
+        assert!(j.contains("\"geomean_tiered_speedup\": 3.000"), "{j}");
+        assert!(j.contains("\"vm_tiered_us\": 300"), "{j}");
     }
 
     /// E14: the profile figure's internal cross-engine assertion must hold

@@ -36,6 +36,10 @@
 //!   --split-everything    force the SPLIT representation everywhere
 //!   --split-at-boundaries seed SPLIT at external-call boundaries
 //!   --fuel <n>            instruction budget for --run
+//!   --pgo <file>          seed VM tiering from a saved `ccured profile
+//!                         --json` report (hot functions compile optimized
+//!                         from their first call)
+//!   --no-tier             disable profile-guided tiering in the VM
 //!   --top <n>             `profile`: rows in the hot-site table (default 10)
 //!   --mutants <n>         `crash-test`: number of mutants (default 60)
 //!   --seed <s>            `crash-test`/`synth`/`campaign`: batch seed (default 1)
@@ -210,6 +214,14 @@ pub struct Options {
     /// Execution engine (`vm` is the default; `tree` is the reference
     /// tree-walking oracle).
     pub engine: Engine,
+    /// `--pgo FILE`: seed the VM's tiering decisions from a saved
+    /// `ccured profile --json` report, so functions and check sites that
+    /// were hot in the recorded run compile straight to the optimized
+    /// tier on their first call.
+    pub pgo: Option<String>,
+    /// `--no-tier`: disable profile-guided tiering in the bytecode VM
+    /// (every function gets the single-tier fused compile).
+    pub no_tier: bool,
 }
 
 /// A usage/parse error.
@@ -392,6 +404,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                 o.engine = v.parse().map_err(|e: String| UsageError(e))?;
             }
             "--input" => o.input = Some(need(&mut it, "--input")?),
+            "--pgo" => o.pgo = Some(need(&mut it, "--pgo")?),
+            "--no-tier" => o.no_tier = true,
             "--fuel" => {
                 let v = need(&mut it, "--fuel")?;
                 o.fuel = Some(
@@ -491,6 +505,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--workers/--queue-cap/--fault-poison only apply to the `serve` subcommand".into(),
         ));
     }
+    if (o.pgo.is_some() || o.no_tier) && !(o.run || o.profile) {
+        return Err(UsageError(
+            "--pgo/--no-tier only apply when executing (--run or the `profile` subcommand)".into(),
+        ));
+    }
+    if o.pgo.is_some() && o.mode != Mode::Cured {
+        return Err(UsageError(
+            "--pgo only applies to cured mode (the tier plan names check sites)".into(),
+        ));
+    }
     if o.client && o.request.is_none() {
         return Err(UsageError(
             "client needs a request, e.g. `ccured client /tmp/cc.sock status`".into(),
@@ -505,11 +529,12 @@ pub const USAGE: &str =
               [--input FILE] [--report] [--review] [--counters] [--emit-ir] [--wrappers]
               [--strict-link] [--original-ccured] [--no-rtti] [--no-opt]
               [--split-everything] [--split-at-boundaries] [--fuel N] [--engine vm|tree]
+              [--pgo FILE] [--no-tier]
        ccured explain <file.c> [--sym NAME] [other options]
        ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
        ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--profile] [--json]
                    [--deadline-ms N]
-       ccured profile <file.c> [--top N] [--json] [--engine vm|tree]
+       ccured profile <file.c> [--top N] [--json] [--engine vm|tree] [--pgo FILE] [--no-tier]
        ccured serve <socket> [--workers N] [--cache-dir D] [--no-cache] [--deadline-ms N]
                    [--queue-cap N] [--fault-poison SUBSTR]
        ccured client <socket> <request...>   (cure|profile|explain <path> | status|reset|shutdown)
@@ -572,7 +597,7 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
             Mode::JonesKelly => ExecMode::JonesKelly,
             Mode::Cured => unreachable!(),
         };
-        return Ok(execute(&prog, mode, o, input, out));
+        return Ok(execute(&prog, mode, o, None, input, out));
     }
 
     let cured = curer(o).cure_source(source)?;
@@ -625,14 +650,16 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
     if o.emit_ir {
         out.push_str(&ccured_cil::pretty::dump_program(&cured.program));
     }
-    if o.profile {
-        return Ok(run_profile(&cured, o, source, input, out));
-    }
-    if o.run {
+    if o.profile || o.run {
+        let plan = load_tier_plan(o, &cured)?;
+        if o.profile {
+            return Ok(run_profile(&cured, o, plan, source, input, out));
+        }
         return Ok(execute(
             &cured.program,
             ExecMode::cured(&cured),
             o,
+            plan,
             input,
             out,
         ));
@@ -1002,15 +1029,46 @@ fn render_opt_actions(cured: &Cured, o: &Options, map: &ccured_ast::SourceMap, o
     }
 }
 
+/// Loads `--pgo FILE` and distills it into a [`ccured_rt::TierPlan`]:
+/// functions and check sites that were hot in the saved run compile
+/// straight to the VM's optimized tier on their first call.
+///
+/// # Errors
+///
+/// [`CureError::Internal`] when the file is unreadable or is not a
+/// profile this build can read (missing or mismatched `schema` tag).
+fn load_tier_plan(o: &Options, cured: &Cured) -> Result<Option<ccured_rt::TierPlan>, CureError> {
+    let Some(path) = &o.pgo else { return Ok(None) };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CureError::Internal(format!("--pgo: cannot read `{path}`: {e}")))?;
+    let prof = ccured_rt::Profile::from_pgo_json(&text)
+        .map_err(|e| CureError::Internal(format!("--pgo `{path}`: {e}")))?;
+    Ok(Some(ccured_rt::tier_plan(&cured.sites, &prof)))
+}
+
+/// Applies the tiering flags to a fresh interpreter. Observation-only
+/// with respect to program semantics: output, exit code, counters and
+/// verdicts are byte-identical whatever the tier schedule.
+fn apply_tiering(interp: &mut Interp<'_>, o: &Options, plan: Option<ccured_rt::TierPlan>) {
+    if o.no_tier {
+        interp.set_tiering(ccured_rt::TierMode::Off);
+    }
+    if let Some(p) = plan {
+        interp.set_tier_plan(p);
+    }
+}
+
 fn execute(
     prog: &ccured_cil::Program,
     mode: ExecMode<'_>,
     o: &Options,
+    plan: Option<ccured_rt::TierPlan>,
     input: &[u8],
     mut out: String,
 ) -> Outcome {
     let mut interp = Interp::new(prog, mode);
     interp.set_engine(o.engine);
+    apply_tiering(&mut interp, o, plan);
     interp.set_input(input.to_vec());
     if let Some(f) = o.fuel {
         interp.set_fuel(f);
@@ -1051,9 +1109,17 @@ fn execute(
 /// hot-site report (or its `--json` form) to the program's own output.
 /// Profiling is observation-only, so exit code and program output are
 /// identical to a plain `--run`.
-fn run_profile(cured: &Cured, o: &Options, source: &str, input: &[u8], mut out: String) -> Outcome {
+fn run_profile(
+    cured: &Cured,
+    o: &Options,
+    plan: Option<ccured_rt::TierPlan>,
+    source: &str,
+    input: &[u8],
+    mut out: String,
+) -> Outcome {
     let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
     interp.set_engine(o.engine);
+    apply_tiering(&mut interp, o, plan);
     interp.set_input(input.to_vec());
     if let Some(f) = o.fuel {
         interp.set_fuel(f);
@@ -1191,7 +1257,8 @@ fn profile_json(
 ) -> String {
     let top = o.top.unwrap_or(usize::MAX);
     let mut s = format!(
-        "{{\"file\":\"{}\",\"engine\":\"{}\",\"sites\":{},\"total_hits\":{},\"rows\":[",
+        "{{\"schema\":\"{}\",\"file\":\"{}\",\"engine\":\"{}\",\"sites\":{},\"total_hits\":{},\"rows\":[",
+        ccured_rt::PGO_SCHEMA,
         json_escape(&o.file),
         o.engine.name(),
         rows.len(),
@@ -1209,11 +1276,16 @@ fn profile_json(
             Some(a) => format!("\"{a}\""),
             None => "null".into(),
         };
+        let site_id = match r.site.id.index() {
+            Some(i) => i.to_string(),
+            None => "null".into(),
+        };
         s.push_str(&format!(
-            "{{\"rank\":{},\"func\":\"{}\",\"span_lo\":{},\"check\":\"{}\",\"ptr_kind\":\"{}\",\
+            "{{\"rank\":{},\"site\":{},\"func\":\"{}\",\"span_lo\":{},\"check\":\"{}\",\"ptr_kind\":\"{}\",\
              \"static_count\":{},\"elided\":{},\"hits\":{},\"fails\":{},\"walk_steps\":{},\
              \"cost\":{:.1},\"keep_reason\":{},\"opt_action\":{}}}",
             rank + 1,
+            site_id,
             json_escape(&r.site.func),
             r.site.span.lo,
             r.site.check,

@@ -22,19 +22,44 @@
 //! outward through lexically enclosing slices (which is exactly the chain
 //! of `run_block` activations the tree `Flow::Goto` would unwind).
 
-use super::ops::{CompiledFn, Op, OpKind, RegNorm, SwitchTable, ZeroKind};
+use super::ops::{CompiledFn, Op, OpKind, RegNorm, SwitchTable, Tier, ZeroKind};
 use crate::err::RtError;
 use crate::interp::{check_operand, ExecMode, Interp};
 use crate::value::{PtrVal, Value};
 use ccured_cil::ir::*;
 use ccured_cil::types::{Type, TypeId};
 use ccured_infer::PtrKind;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// How aggressively to peephole-fuse the op stream.
+///
+/// The Cc walk itself is deterministic — all three levels compile the same
+/// raw stream — so the levels differ only in which adjacent runs collapse
+/// into superinstructions, never in observable behavior. `None` is the
+/// baseline tier: raw indices survive as instruction indices, which is
+/// what makes on-stack replacement into a fused stream a pure
+/// `osr_map[pc]` lookup.
+#[derive(Clone, Copy)]
+pub(crate) enum FuseLevel<'s> {
+    /// No fusion; backward jumps become [`OpKind::JumpBack`] heat probes.
+    None,
+    /// The static pair/triple set (the single-tier default).
+    Base,
+    /// The hot-tier set: deeper quads, check fusion for the sites in
+    /// `hot_sites` (every site when `None`), and a second pass fusing
+    /// guard hooks into their neighbors.
+    Extended { hot_sites: Option<&'s HashSet<u32>> },
+}
 
 /// Compiles `f` into bytecode. `mem_locals` is the function's
 /// register/memory slot assignment (from `FnInfo`), which fixes at compile
 /// time whether a local access becomes a register op or a memory op.
-pub(crate) fn compile<'p>(it: &Interp<'p>, f: FuncId, mem_locals: &[bool]) -> CompiledFn<'p> {
+pub(crate) fn compile<'p>(
+    it: &Interp<'p>,
+    f: FuncId,
+    mem_locals: &[bool],
+    level: FuseLevel<'_>,
+) -> CompiledFn<'p> {
     let prog: &'p Program = it.prog;
     let func: &'p Function = &prog.functions[f.idx()];
     let mut cc = Cc {
@@ -66,12 +91,37 @@ pub(crate) fn compile<'p>(it: &Interp<'p>, f: FuncId, mem_locals: &[bool]) -> Co
     cc.emit(OpKind::RetDefault(default));
     // Peephole-fuse adjacent ops into superinstructions (jump operands are
     // still label slots, so fusing only moves instruction indices), remap
-    // the labels, then patch label slots to instruction indices.
-    let (mut ops, map) = fuse(cc.ops, &cc.labels);
+    // the labels, then patch label slots to instruction indices. The
+    // raw-index -> stream-index map doubles as the OSR translation table.
+    let n = cc.ops.len();
+    let (mut ops, osr_map, tier) = match level {
+        FuseLevel::None => {
+            let map: Vec<u32> = (0..=n as u32).collect();
+            (cc.ops, map, Tier::Baseline)
+        }
+        FuseLevel::Base => {
+            let (ops, map) = fuse(cc.ops, &cc.labels, None, false);
+            (ops, map, Tier::Opt)
+        }
+        FuseLevel::Extended { hot_sites } => {
+            let (ops1, map1) = fuse(cc.ops, &cc.labels, hot_sites, true);
+            // The second pass needs the label table in pass-1 indices to
+            // keep its own jump-target guard exact.
+            let mut labels1 = cc.labels.clone();
+            for l in &mut labels1 {
+                if *l != u32::MAX {
+                    *l = map1[*l as usize];
+                }
+            }
+            let (ops2, map2) = fuse_hooks(ops1, &labels1);
+            let map: Vec<u32> = map1.iter().map(|&m| map2[m as usize]).collect();
+            (ops2, map, Tier::Opt)
+        }
+    };
     let mut labels = cc.labels;
     for l in &mut labels {
         if *l != u32::MAX {
-            *l = map[*l as usize];
+            *l = osr_map[*l as usize];
         }
     }
     let exit_pc = labels[exit as usize];
@@ -88,7 +138,12 @@ pub(crate) fn compile<'p>(it: &Interp<'p>, f: FuncId, mem_locals: &[bool]) -> Co
             OpKind::Jump(t) | OpKind::BranchIfZero(t) => *t = resolve(*t),
             OpKind::CmpBranch { target, .. }
             | OpKind::RegCmpBranch { target, .. }
-            | OpKind::PushCmpBranch { target, .. } => *target = resolve(*target),
+            | OpKind::PushCmpBranch { target, .. }
+            | OpKind::RegRegCmpBranch { target, .. }
+            | OpKind::RegImmCmpBranch { target, .. }
+            | OpKind::LoadIntCmpBranch { target, .. }
+            | OpKind::LoadIntImmCmpBranch { target, .. }
+            | OpKind::RegCmpBranchHook { target, .. } => *target = resolve(*target),
             OpKind::Switch(tbl) => {
                 for (_, t) in &mut tbl.cases {
                     *t = resolve(*t);
@@ -98,7 +153,29 @@ pub(crate) fn compile<'p>(it: &Interp<'p>, f: FuncId, mem_locals: &[bool]) -> Co
             _ => {}
         }
     }
-    CompiledFn { ops }
+    if matches!(tier, Tier::Baseline) {
+        // Backward jumps (loop back edges, backward gotos) become heat
+        // probes. In an unfused stream pc == raw index, so "backward" is
+        // decidable only now, after targets resolved to indices.
+        for (i, op) in ops.iter_mut().enumerate() {
+            if let OpKind::Jump(t) = op.kind {
+                if (t as usize) <= i {
+                    op.kind = OpKind::JumpBack(t);
+                }
+            }
+        }
+    }
+    CompiledFn { ops, tier, osr_map }
+}
+
+/// Whether a check site is eligible for check fusion under the hot-site
+/// selection. No selection (`None`) admits everything; synthetic sites
+/// (`SiteId::NONE`) can never appear in a profile, so they stay eligible.
+fn site_hot(hot: Option<&HashSet<u32>>, site: SiteId) -> bool {
+    match (hot, site.index()) {
+        (None, _) | (Some(_), None) => true,
+        (Some(set), Some(i)) => set.contains(&(i as u32)),
+    }
 }
 
 /// The peephole pass: fuses adjacent pairs/triples into the
@@ -109,7 +186,16 @@ pub(crate) fn compile<'p>(it: &Interp<'p>, f: FuncId, mem_locals: &[bool]) -> Co
 /// and charged between its sub-steps, preserving the tree engine's exact
 /// fuel-exhaustion point. Returns the fused stream and an old-index ->
 /// new-index map for label remapping.
-fn fuse<'p>(ops: Vec<Op<'p>>, labels: &[u32]) -> (Vec<Op<'p>>, Vec<u32>) {
+///
+/// With `extended` set (the hot tier), the deeper quad/quint patterns and
+/// the profile-gated check fusions are tried before the base set; longest
+/// match wins.
+fn fuse<'p>(
+    ops: Vec<Op<'p>>,
+    labels: &[u32],
+    hot_sites: Option<&HashSet<u32>>,
+    extended: bool,
+) -> (Vec<Op<'p>>, Vec<u32>) {
     let n = ops.len();
     let mut is_target = vec![false; n + 1];
     for &l in labels {
@@ -126,140 +212,425 @@ fn fuse<'p>(ops: Vec<Op<'p>>, labels: &[u32]) -> (Vec<Op<'p>>, Vec<u32>) {
         map[i] = new_idx;
         let op = src[i].take().expect("each op consumed once");
         let (fused, consumed): (Option<OpKind<'p>>, usize) = {
+            // Lookahead windows are cumulative: a jump target anywhere in
+            // the window kills it and everything past it, so no fusion can
+            // span a label.
             let o1 = if i + 1 < n && !is_target[i + 1] {
                 src[i + 1].as_ref()
             } else {
                 None
             };
-            let o2 = if i + 2 < n && !is_target[i + 2] {
+            let o2 = if o1.is_some() && i + 2 < n && !is_target[i + 2] {
                 src[i + 2].as_ref()
+            } else {
+                None
+            };
+            let o3 = if o2.is_some() && i + 3 < n && !is_target[i + 3] {
+                src[i + 3].as_ref()
+            } else {
+                None
+            };
+            let o4 = if o3.is_some() && i + 4 < n && !is_target[i + 4] {
+                src[i + 4].as_ref()
             } else {
                 None
             };
             let c2 = o1.map_or(0, |o| o.cost);
             let c3 = o2.map_or(0, |o| o.cost);
-            match (&op.kind, o1.map(|o| &o.kind), o2.map(|o| &o.kind)) {
-                // Triples first: a full comparison-and-branch condition.
-                (
-                    OpKind::LoadReg(l, zk),
-                    Some(OpKind::BinCmp(c)),
-                    Some(OpKind::BranchIfZero(t)),
-                ) => (
-                    Some(OpKind::RegCmpBranch {
-                        l: *l,
-                        zk: *zk,
-                        op: *c,
-                        target: *t,
-                        c2,
-                        c3,
-                    }),
-                    2,
-                ),
-                (
-                    OpKind::Push(Value::Int(v)),
-                    Some(OpKind::BinCmp(c)),
-                    Some(OpKind::BranchIfZero(t)),
-                ) => (
-                    Some(OpKind::PushCmpBranch {
-                        v: *v,
-                        op: *c,
-                        target: *t,
-                        c2,
-                        c3,
-                    }),
-                    2,
-                ),
-                // Pairs: fold the right operand into the consumer…
-                (OpKind::LoadReg(l, zk), Some(OpKind::BinArith { op, trunc }), _) => (
-                    Some(OpKind::RegBinArith {
-                        l: *l,
-                        zk: *zk,
-                        op: *op,
-                        trunc: *trunc,
-                        c2,
-                    }),
-                    1,
-                ),
-                (OpKind::LoadReg(l, zk), Some(OpKind::BinCmp(c)), _) => (
-                    Some(OpKind::RegBinCmp {
-                        l: *l,
-                        zk: *zk,
-                        op: *c,
-                        c2,
-                    }),
-                    1,
-                ),
-                (OpKind::LoadReg(s, zk), Some(OpKind::StoreReg(d, norm)), _) => (
-                    Some(OpKind::RegStoreReg {
-                        src: *s,
-                        zk: *zk,
-                        dst: *d,
-                        norm: *norm,
-                        c2,
-                    }),
-                    1,
-                ),
-                (OpKind::Push(Value::Int(v)), Some(OpKind::BinArith { op, trunc }), _) => (
-                    Some(OpKind::PushBinArith {
-                        v: *v,
-                        op: *op,
-                        trunc: *trunc,
-                        c2,
-                    }),
-                    1,
-                ),
-                (OpKind::Push(Value::Int(v)), Some(OpKind::BinCmp(c)), _) => {
-                    (Some(OpKind::PushBinCmp { v: *v, op: *c, c2 }), 1)
+            let c4 = o3.map_or(0, |o| o.cost);
+            let c5 = o4.map_or(0, |o| o.cost);
+            let ext: (Option<OpKind<'p>>, usize) = if extended {
+                match (
+                    &op.kind,
+                    o1.map(|o| &o.kind),
+                    o2.map(|o| &o.kind),
+                    o3.map(|o| &o.kind),
+                    o4.map(|o| &o.kind),
+                ) {
+                    // A whole CHECK_SEQ(p + i): the single hottest shape
+                    // in the fig9 corpus, gated on the site being hot.
+                    (
+                        OpKind::CheckBegin(c, site),
+                        Some(OpKind::LoadReg(p, zp)),
+                        Some(OpKind::LoadReg(ix, zi)),
+                        Some(OpKind::PtrAdd { elem, neg }),
+                        Some(OpKind::CheckEnd(..)),
+                    ) if site_hot(hot_sites, *site) => (
+                        Some(OpKind::CheckSeqIdx {
+                            c,
+                            site: *site,
+                            p: *p,
+                            zp: *zp,
+                            i: *ix,
+                            zi: *zi,
+                            elem: *elem,
+                            neg: *neg,
+                            c2,
+                            c3,
+                            c4,
+                            c5,
+                        }),
+                        4,
+                    ),
+                    // A register-register loop/if guard.
+                    (
+                        OpKind::LoadReg(a, za),
+                        Some(OpKind::LoadReg(b, zb)),
+                        Some(OpKind::BinCmp(cop)),
+                        Some(OpKind::BranchIfZero(t)),
+                        _,
+                    ) => (
+                        Some(OpKind::RegRegCmpBranch {
+                            a: *a,
+                            za: *za,
+                            b: *b,
+                            zb: *zb,
+                            op: *cop,
+                            target: *t,
+                            c2,
+                            c3,
+                            c4,
+                        }),
+                        3,
+                    ),
+                    // The canonical `i = i + 1` quad.
+                    (
+                        OpKind::LoadReg(l, zk),
+                        Some(OpKind::Push(Value::Int(v))),
+                        Some(OpKind::BinArith { op: aop, trunc }),
+                        Some(OpKind::StoreReg(dst, norm)),
+                        _,
+                    ) => (
+                        Some(OpKind::RegImmArithStore {
+                            l: *l,
+                            zk: *zk,
+                            v: *v,
+                            op: *aop,
+                            trunc: *trunc,
+                            dst: *dst,
+                            norm: *norm,
+                            c2,
+                            c3,
+                            c4,
+                        }),
+                        3,
+                    ),
+                    // A whole check of a register operand, site-gated.
+                    (
+                        OpKind::CheckBegin(c, site),
+                        Some(OpKind::LoadReg(l, zk)),
+                        Some(OpKind::CheckEnd(..)),
+                        _,
+                        _,
+                    ) if site_hot(hot_sites, *site) => (
+                        Some(OpKind::CheckReg {
+                            c,
+                            site: *site,
+                            l: *l,
+                            zk: *zk,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    (
+                        OpKind::LoadReg(a, za),
+                        Some(OpKind::LoadReg(b, zb)),
+                        Some(OpKind::BinArith { op: aop, trunc }),
+                        _,
+                        _,
+                    ) => (
+                        Some(OpKind::RegRegArith {
+                            a: *a,
+                            za: *za,
+                            b: *b,
+                            zb: *zb,
+                            op: *aop,
+                            trunc: *trunc,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    // The `p + i` of an indexed access.
+                    (
+                        OpKind::LoadReg(p, zp),
+                        Some(OpKind::LoadReg(ix, zi)),
+                        Some(OpKind::PtrAdd { elem, neg }),
+                        _,
+                        _,
+                    ) => (
+                        Some(OpKind::RegRegPtrAdd {
+                            p: *p,
+                            zp: *zp,
+                            i: *ix,
+                            zi: *zi,
+                            elem: *elem,
+                            neg: *neg,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    (
+                        OpKind::LoadReg(l, zk),
+                        Some(OpKind::Push(Value::Int(v))),
+                        Some(OpKind::BinArith { op: aop, trunc }),
+                        _,
+                        _,
+                    ) => (
+                        Some(OpKind::RegImmArith {
+                            l: *l,
+                            zk: *zk,
+                            v: *v,
+                            op: *aop,
+                            trunc: *trunc,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    // `s = s + a[i]`'s tail: load, accumulate, store.
+                    (
+                        OpKind::LoadInt { size, signed },
+                        Some(OpKind::BinArith { op: aop, trunc }),
+                        Some(OpKind::StoreReg(l, norm)),
+                        _,
+                        _,
+                    ) => (
+                        Some(OpKind::LoadIntArithStore {
+                            size: *size,
+                            signed: *signed,
+                            op: *aop,
+                            trunc: *trunc,
+                            l: *l,
+                            norm: *norm,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    // A register-vs-immediate guard: the list-walk
+                    // `p != 0` / `t == 0` shape.
+                    (
+                        OpKind::LoadReg(l, zk),
+                        Some(OpKind::Push(Value::Int(v))),
+                        Some(OpKind::BinCmp(cop)),
+                        Some(OpKind::BranchIfZero(t)),
+                        _,
+                    ) => (
+                        Some(OpKind::RegImmCmpBranch {
+                            l: *l,
+                            zk: *zk,
+                            v: *v,
+                            op: *cop,
+                            target: *t,
+                            c2,
+                            c3,
+                            c4,
+                        }),
+                        3,
+                    ),
+                    // A memory-bound loop guard: `i < n->degree`.
+                    (
+                        OpKind::LoadInt { size, signed },
+                        Some(OpKind::BinCmp(cop)),
+                        Some(OpKind::BranchIfZero(t)),
+                        _,
+                        _,
+                    ) => (
+                        Some(OpKind::LoadIntCmpBranch {
+                            size: *size,
+                            signed: *signed,
+                            op: *cop,
+                            target: *t,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    // A tag-dispatch guard: `s->kind == K`.
+                    (
+                        OpKind::LoadInt { size, signed },
+                        Some(OpKind::Push(Value::Int(v))),
+                        Some(OpKind::BinCmp(cop)),
+                        Some(OpKind::BranchIfZero(t)),
+                        _,
+                    ) => (
+                        Some(OpKind::LoadIntImmCmpBranch {
+                            size: *size,
+                            signed: *signed,
+                            v: *v,
+                            op: *cop,
+                            target: *t,
+                            c2,
+                            c3,
+                            c4,
+                        }),
+                        3,
+                    ),
+                    // A register pointer stored straight to memory:
+                    // `slots[i] = cell`.
+                    (OpKind::LoadReg(l, zk), Some(OpKind::StorePtr { q, wild_tag }), _, _, _) => (
+                        Some(OpKind::RegStorePtr {
+                            l: *l,
+                            zk: *zk,
+                            q: *q,
+                            wild_tag: *wild_tag,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    // A float load feeding its operator:
+                    // `acc - coeffs[i] * from[i]->value`'s inner loads.
+                    (
+                        OpKind::LoadFloat { size },
+                        Some(OpKind::BinArith { op: aop, trunc }),
+                        _,
+                        _,
+                        _,
+                    ) => (
+                        Some(OpKind::LoadFloatArith {
+                            size: *size,
+                            op: *aop,
+                            trunc: *trunc,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    _ => (None, 0),
                 }
-                (OpKind::Push(Value::Int(v)), Some(OpKind::StoreReg(l, norm)), _) => (
-                    Some(OpKind::PushStoreReg {
-                        v: *v,
-                        l: *l,
-                        norm: *norm,
-                        c2,
-                    }),
-                    1,
-                ),
-                (OpKind::LoadInt { size, signed }, Some(OpKind::BinArith { op, trunc }), _) => (
-                    Some(OpKind::LoadIntArith {
-                        size: *size,
-                        signed: *signed,
-                        op: *op,
-                        trunc: *trunc,
-                        c2,
-                    }),
-                    1,
-                ),
-                (OpKind::LoadInt { size, signed }, Some(OpKind::StoreReg(l, norm)), _) => (
-                    Some(OpKind::LoadIntStoreReg {
-                        size: *size,
-                        signed: *signed,
-                        l: *l,
-                        norm: *norm,
-                        c2,
-                    }),
-                    1,
-                ),
-                // …and the consumers of a finished comparison/arithmetic.
-                (OpKind::BinCmp(c), Some(OpKind::BranchIfZero(t)), _) => (
-                    Some(OpKind::CmpBranch {
-                        op: *c,
-                        target: *t,
-                        c2,
-                    }),
-                    1,
-                ),
-                (OpKind::BinArith { op, trunc }, Some(OpKind::StoreReg(l, norm)), _) => (
-                    Some(OpKind::ArithStoreReg {
-                        op: *op,
-                        trunc: *trunc,
-                        l: *l,
-                        norm: *norm,
-                        c2,
-                    }),
-                    1,
-                ),
-                _ => (None, 0),
+            } else {
+                (None, 0)
+            };
+            if ext.0.is_some() {
+                ext
+            } else {
+                match (&op.kind, o1.map(|o| &o.kind), o2.map(|o| &o.kind)) {
+                    // Triples first: a full comparison-and-branch condition.
+                    (
+                        OpKind::LoadReg(l, zk),
+                        Some(OpKind::BinCmp(c)),
+                        Some(OpKind::BranchIfZero(t)),
+                    ) => (
+                        Some(OpKind::RegCmpBranch {
+                            l: *l,
+                            zk: *zk,
+                            op: *c,
+                            target: *t,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    (
+                        OpKind::Push(Value::Int(v)),
+                        Some(OpKind::BinCmp(c)),
+                        Some(OpKind::BranchIfZero(t)),
+                    ) => (
+                        Some(OpKind::PushCmpBranch {
+                            v: *v,
+                            op: *c,
+                            target: *t,
+                            c2,
+                            c3,
+                        }),
+                        2,
+                    ),
+                    // Pairs: fold the right operand into the consumer…
+                    (OpKind::LoadReg(l, zk), Some(OpKind::BinArith { op, trunc }), _) => (
+                        Some(OpKind::RegBinArith {
+                            l: *l,
+                            zk: *zk,
+                            op: *op,
+                            trunc: *trunc,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    (OpKind::LoadReg(l, zk), Some(OpKind::BinCmp(c)), _) => (
+                        Some(OpKind::RegBinCmp {
+                            l: *l,
+                            zk: *zk,
+                            op: *c,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    (OpKind::LoadReg(s, zk), Some(OpKind::StoreReg(d, norm)), _) => (
+                        Some(OpKind::RegStoreReg {
+                            src: *s,
+                            zk: *zk,
+                            dst: *d,
+                            norm: *norm,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    (OpKind::Push(Value::Int(v)), Some(OpKind::BinArith { op, trunc }), _) => (
+                        Some(OpKind::PushBinArith {
+                            v: *v,
+                            op: *op,
+                            trunc: *trunc,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    (OpKind::Push(Value::Int(v)), Some(OpKind::BinCmp(c)), _) => {
+                        (Some(OpKind::PushBinCmp { v: *v, op: *c, c2 }), 1)
+                    }
+                    (OpKind::Push(Value::Int(v)), Some(OpKind::StoreReg(l, norm)), _) => (
+                        Some(OpKind::PushStoreReg {
+                            v: *v,
+                            l: *l,
+                            norm: *norm,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    (OpKind::LoadInt { size, signed }, Some(OpKind::BinArith { op, trunc }), _) => {
+                        (
+                            Some(OpKind::LoadIntArith {
+                                size: *size,
+                                signed: *signed,
+                                op: *op,
+                                trunc: *trunc,
+                                c2,
+                            }),
+                            1,
+                        )
+                    }
+                    (OpKind::LoadInt { size, signed }, Some(OpKind::StoreReg(l, norm)), _) => (
+                        Some(OpKind::LoadIntStoreReg {
+                            size: *size,
+                            signed: *signed,
+                            l: *l,
+                            norm: *norm,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    // …and the consumers of a finished comparison/arithmetic.
+                    (OpKind::BinCmp(c), Some(OpKind::BranchIfZero(t)), _) => (
+                        Some(OpKind::CmpBranch {
+                            op: *c,
+                            target: *t,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    (OpKind::BinArith { op, trunc }, Some(OpKind::StoreReg(l, norm)), _) => (
+                        Some(OpKind::ArithStoreReg {
+                            op: *op,
+                            trunc: *trunc,
+                            l: *l,
+                            norm: *norm,
+                            c2,
+                        }),
+                        1,
+                    ),
+                    _ => (None, 0),
+                }
             }
         };
         match fused {
@@ -284,6 +655,87 @@ fn fuse<'p>(ops: Vec<Op<'p>>, labels: &[u32]) -> (Vec<Op<'p>>, Vec<u32>) {
     if std::env::var_os("CCURED_FUSE_DEBUG").is_some() {
         eprintln!("fuse: {} ops -> {}", n, out.len());
     }
+    (out, map)
+}
+
+/// The hot tier's second pass: fuses guard-machinery `Hook`s into their
+/// neighbors. The widener always inserts a `Probe` immediately before the
+/// `Guarded` residual it covers, so (Hook, Hook) adjacency is the common
+/// win; (RegCmpBranch, Hook) catches a hook on a branch's fall-through.
+/// Labels must already be in pass-1 indices; same target-spanning rule
+/// and cost protocol as [`fuse`].
+fn fuse_hooks<'p>(ops: Vec<Op<'p>>, labels: &[u32]) -> (Vec<Op<'p>>, Vec<u32>) {
+    let n = ops.len();
+    let mut is_target = vec![false; n + 1];
+    for &l in labels {
+        if l != u32::MAX {
+            is_target[l as usize] = true;
+        }
+    }
+    let mut src: Vec<Option<Op<'p>>> = ops.into_iter().map(Some).collect();
+    let mut out: Vec<Op<'p>> = Vec::with_capacity(n);
+    let mut map = vec![0u32; n + 1];
+    let mut i = 0;
+    while i < n {
+        let new_idx = out.len() as u32;
+        map[i] = new_idx;
+        let op = src[i].take().expect("each op consumed once");
+        let fused: Option<OpKind<'p>> = {
+            let o1 = if i + 1 < n && !is_target[i + 1] {
+                src[i + 1].as_ref()
+            } else {
+                None
+            };
+            let c = o1.map_or(0, |o| o.cost);
+            match (&op.kind, o1.map(|o| &o.kind)) {
+                (OpKind::Hook(a, sa), Some(OpKind::Hook(b, sb))) => Some(OpKind::HookHook {
+                    a,
+                    sa: *sa,
+                    b,
+                    sb: *sb,
+                    c2: c,
+                }),
+                (
+                    OpKind::RegCmpBranch {
+                        l,
+                        zk,
+                        op: cop,
+                        target,
+                        c2,
+                        c3,
+                    },
+                    Some(OpKind::Hook(h, hs)),
+                ) => Some(OpKind::RegCmpBranchHook {
+                    l: *l,
+                    zk: *zk,
+                    op: *cop,
+                    target: *target,
+                    c2: *c2,
+                    c3: *c3,
+                    h,
+                    hs: *hs,
+                    c4: c,
+                }),
+                _ => None,
+            }
+        };
+        match fused {
+            Some(kind) => {
+                src[i + 1] = None;
+                map[i + 1] = new_idx;
+                out.push(Op {
+                    cost: op.cost,
+                    kind,
+                });
+                i += 2;
+            }
+            None => {
+                out.push(op);
+                i += 1;
+            }
+        }
+    }
+    map[n] = out.len() as u32;
     (out, map)
 }
 

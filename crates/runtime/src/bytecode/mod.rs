@@ -28,3 +28,4 @@ mod vm;
 
 pub(crate) use compile::compile;
 pub(crate) use ops::CompiledFn;
+pub(crate) use vm::FramePlan;

@@ -75,6 +75,17 @@ pub(crate) struct Op<'p> {
     pub(crate) kind: OpKind<'p>,
 }
 
+/// Which compilation tier produced a [`CompiledFn`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Tier {
+    /// Cheap cold-function compile: no fusion, backward jumps are
+    /// [`OpKind::JumpBack`] heat probes, op indices equal raw emit indices.
+    Baseline,
+    /// Peephole-optimized (the legacy single-tier stream, or the extended
+    /// hot-tier stream). Terminal: never recompiled again.
+    Opt,
+}
+
 /// A compiled function: a linear instruction stream with all jump targets
 /// resolved to instruction indices and all type/layout decisions (register
 /// vs memory locals, field offsets, element sizes, check kinds, WILD-store
@@ -82,6 +93,14 @@ pub(crate) struct Op<'p> {
 pub(crate) struct CompiledFn<'p> {
     /// The instruction stream; execution starts at index 0.
     pub(crate) ops: Vec<Op<'p>>,
+    /// Which tier compiled this stream.
+    pub(crate) tier: Tier,
+    /// Raw (unfused) op index -> index in this stream. Baseline code is
+    /// unfused, so its pc values *are* raw indices; a hot recompile's map
+    /// translates them for on-stack replacement at a back edge. Jump
+    /// targets are always label positions, which fusion never spans, so
+    /// the mapped index is always an op start.
+    pub(crate) osr_map: Vec<u32>,
 }
 
 /// Pre-resolved `switch` dispatch: sorted case values and a default target.
@@ -426,5 +445,308 @@ pub(crate) enum OpKind<'p> {
         norm: RegNorm,
         /// Cost of the fused `StoreReg`.
         c2: u32,
+    },
+
+    // ---- tiering ------------------------------------------------------
+    /// A backward `Jump` in baseline-tier code: identical control flow,
+    /// plus a per-function heat bump that can trigger hot recompilation
+    /// with on-stack replacement (the target is a raw index, translated
+    /// through the hot stream's `osr_map`). Only the baseline compile
+    /// emits this op.
+    JumpBack(u32),
+
+    // ---- extended (hot-tier) superinstructions ------------------------
+    //
+    // Compiled only by the hot tier (and by `--pgo`-planned functions).
+    // Same cost protocol as the base set: the carrier keeps the first
+    // constituent's cost, later constituents' costs are charged between
+    // the sub-steps.
+    /// `LoadReg` + `LoadReg` + `BinCmp` + `BranchIfZero`: a whole
+    /// register-register loop/if condition in one dispatch.
+    RegRegCmpBranch {
+        /// Left-operand register.
+        a: LocalId,
+        /// Zero served for an uninitialized covered read of `a`.
+        za: ZeroKind,
+        /// Right-operand register.
+        b: LocalId,
+        /// Zero served for an uninitialized covered read of `b`.
+        zb: ZeroKind,
+        /// The comparison.
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        target: u32,
+        /// Cost of the fused second `LoadReg`.
+        c2: u32,
+        /// Cost of the fused `BinCmp`.
+        c3: u32,
+        /// Cost of the fused `BranchIfZero`.
+        c4: u32,
+    },
+    /// `LoadReg` + `LoadReg` + `BinArith`: register-register arithmetic.
+    RegRegArith {
+        /// Left-operand register.
+        a: LocalId,
+        /// Zero served for an uninitialized covered read of `a`.
+        za: ZeroKind,
+        /// Right-operand register.
+        b: LocalId,
+        /// Zero served for an uninitialized covered read of `b`.
+        zb: ZeroKind,
+        /// The operator.
+        op: BinOp,
+        /// Integer result truncation.
+        trunc: Option<IntKind>,
+        /// Cost of the fused second `LoadReg`.
+        c2: u32,
+        /// Cost of the fused `BinArith`.
+        c3: u32,
+    },
+    /// `LoadReg` + `LoadReg` + `PtrAdd`: the `p + i` of an indexed access.
+    RegRegPtrAdd {
+        /// Pointer register.
+        p: LocalId,
+        /// Zero served for an uninitialized covered read of `p`.
+        zp: ZeroKind,
+        /// Index register.
+        i: LocalId,
+        /// Zero served for an uninitialized covered read of `i`.
+        zi: ZeroKind,
+        /// Static element size in bytes.
+        elem: u64,
+        /// `MinusPI` (subtract) instead of `PlusPI`.
+        neg: bool,
+        /// Cost of the fused second `LoadReg`.
+        c2: u32,
+        /// Cost of the fused `PtrAdd`.
+        c3: u32,
+    },
+    /// `LoadReg` + `Push(Int)` + `BinArith`: register-immediate
+    /// arithmetic.
+    RegImmArith {
+        /// Left-operand register.
+        l: LocalId,
+        /// Zero served for an uninitialized covered read.
+        zk: ZeroKind,
+        /// Immediate right operand.
+        v: i128,
+        /// The operator.
+        op: BinOp,
+        /// Integer result truncation.
+        trunc: Option<IntKind>,
+        /// Cost of the fused `Push`.
+        c2: u32,
+        /// Cost of the fused `BinArith`.
+        c3: u32,
+    },
+    /// `LoadReg` + `Push(Int)` + `BinArith` + `StoreReg`: the canonical
+    /// `i = i + 1` quad in one dispatch.
+    RegImmArithStore {
+        /// Left-operand register.
+        l: LocalId,
+        /// Zero served for an uninitialized covered read.
+        zk: ZeroKind,
+        /// Immediate right operand.
+        v: i128,
+        /// The operator.
+        op: BinOp,
+        /// Integer result truncation.
+        trunc: Option<IntKind>,
+        /// Destination register.
+        dst: LocalId,
+        /// Destination normalization.
+        norm: RegNorm,
+        /// Cost of the fused `Push`.
+        c2: u32,
+        /// Cost of the fused `BinArith`.
+        c3: u32,
+        /// Cost of the fused `StoreReg`.
+        c4: u32,
+    },
+    /// `LoadInt` + `BinArith` + `StoreReg`: accumulate a memory integer
+    /// into a register (`s = s + a[i]`'s tail).
+    LoadIntArithStore {
+        /// Byte width of the load.
+        size: u64,
+        /// Sign-extend on load.
+        signed: bool,
+        /// The operator.
+        op: BinOp,
+        /// Integer result truncation.
+        trunc: Option<IntKind>,
+        /// Destination register.
+        l: LocalId,
+        /// Destination normalization.
+        norm: RegNorm,
+        /// Cost of the fused `BinArith`.
+        c2: u32,
+        /// Cost of the fused `StoreReg`.
+        c3: u32,
+    },
+    /// `LoadReg` + `Push(Int)` + `BinCmp` + `BranchIfZero`: a whole
+    /// register-vs-immediate guard in one dispatch — the list-walk
+    /// `p != 0` / `t == 0` shape.
+    RegImmCmpBranch {
+        /// Left-operand register.
+        l: LocalId,
+        /// Zero served for an uninitialized covered read.
+        zk: ZeroKind,
+        /// Immediate right operand.
+        v: i128,
+        /// The comparison.
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        target: u32,
+        /// Cost of the fused `Push`.
+        c2: u32,
+        /// Cost of the fused `BinCmp`.
+        c3: u32,
+        /// Cost of the fused `BranchIfZero`.
+        c4: u32,
+    },
+    /// `LoadInt` + `BinCmp` + `BranchIfZero`: a memory-bound loop guard
+    /// (`i < n->degree`) in one dispatch.
+    LoadIntCmpBranch {
+        /// Byte width of the load.
+        size: u64,
+        /// Sign-extend on load.
+        signed: bool,
+        /// The comparison.
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        target: u32,
+        /// Cost of the fused `BinCmp`.
+        c2: u32,
+        /// Cost of the fused `BranchIfZero`.
+        c3: u32,
+    },
+    /// `LoadInt` + `Push(Int)` + `BinCmp` + `BranchIfZero`: a whole
+    /// tag-dispatch guard (`s->kind == K`) in one dispatch.
+    LoadIntImmCmpBranch {
+        /// Byte width of the load.
+        size: u64,
+        /// Sign-extend on load.
+        signed: bool,
+        /// Immediate right operand.
+        v: i128,
+        /// The comparison.
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        target: u32,
+        /// Cost of the fused `Push`.
+        c2: u32,
+        /// Cost of the fused `BinCmp`.
+        c3: u32,
+        /// Cost of the fused `BranchIfZero`.
+        c4: u32,
+    },
+    /// `LoadReg` + `StorePtr`: a register pointer stored straight to
+    /// memory (`slots[i] = cell`) in one dispatch.
+    RegStorePtr {
+        /// Value register.
+        l: LocalId,
+        /// Zero served for an uninitialized covered read.
+        zk: ZeroKind,
+        /// Declared qualifier (split-representation metadata accounting).
+        q: QualId,
+        /// Destination was reached through a WILD dereference.
+        wild_tag: bool,
+        /// Cost of the fused `StorePtr`.
+        c2: u32,
+    },
+    /// `LoadFloat` + `BinArith`: a float operand loaded from memory
+    /// straight into its operator (the float analog of `LoadIntArith`).
+    LoadFloatArith {
+        /// Byte width of the load.
+        size: u64,
+        /// The operator.
+        op: BinOp,
+        /// Integer result truncation.
+        trunc: Option<IntKind>,
+        /// Cost of the fused `BinArith`.
+        c2: u32,
+    },
+    /// `CheckBegin` + `LoadReg` + `CheckEnd`: a whole check of a register
+    /// operand (profile-selected: only sites the tier plan or the live
+    /// site heat rank hot compile to this form).
+    CheckReg {
+        /// The check.
+        c: &'p Check,
+        /// Its site.
+        site: SiteId,
+        /// Operand register.
+        l: LocalId,
+        /// Zero served for an uninitialized covered read.
+        zk: ZeroKind,
+        /// Cost of the fused `LoadReg`.
+        c2: u32,
+        /// Cost of the fused `CheckEnd`.
+        c3: u32,
+    },
+    /// `CheckBegin` + `LoadReg` + `LoadReg` + `PtrAdd` + `CheckEnd`: a
+    /// whole `CHECK_SEQ(p + i)` in one dispatch (profile-selected).
+    CheckSeqIdx {
+        /// The check.
+        c: &'p Check,
+        /// Its site.
+        site: SiteId,
+        /// Pointer register.
+        p: LocalId,
+        /// Zero served for an uninitialized covered read of `p`.
+        zp: ZeroKind,
+        /// Index register.
+        i: LocalId,
+        /// Zero served for an uninitialized covered read of `i`.
+        zi: ZeroKind,
+        /// Static element size in bytes.
+        elem: u64,
+        /// `MinusPI` (subtract) instead of `PlusPI`.
+        neg: bool,
+        /// Cost of the fused first `LoadReg`.
+        c2: u32,
+        /// Cost of the fused second `LoadReg`.
+        c3: u32,
+        /// Cost of the fused `PtrAdd`.
+        c4: u32,
+        /// Cost of the fused `CheckEnd`.
+        c5: u32,
+    },
+    /// `Hook` + `Hook`: adjacent guard-machinery checks — most notably
+    /// the widener's probe + guarded-residual pair — in one dispatch.
+    HookHook {
+        /// First check.
+        a: &'p Check,
+        /// Its site.
+        sa: SiteId,
+        /// Second check.
+        b: &'p Check,
+        /// Its site.
+        sb: SiteId,
+        /// Cost of the fused second `Hook`.
+        c2: u32,
+    },
+    /// Check+branch fusion: a fused compare-and-branch whose fall-through
+    /// lands directly on a guard-machinery `Hook` (the hook is skipped —
+    /// cost and all — when the branch is taken, exactly like unfused
+    /// execution jumping past it).
+    RegCmpBranchHook {
+        /// Right-operand register of the comparison.
+        l: LocalId,
+        /// Zero served for an uninitialized covered read.
+        zk: ZeroKind,
+        /// The comparison.
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        target: u32,
+        /// Cost of the fused `BinCmp`.
+        c2: u32,
+        /// Cost of the fused `BranchIfZero`.
+        c3: u32,
+        /// The fall-through check.
+        h: &'p Check,
+        /// Its site.
+        hs: SiteId,
+        /// Cost of the fused `Hook`.
+        c4: u32,
     },
 }

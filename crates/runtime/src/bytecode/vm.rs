@@ -10,17 +10,42 @@
 //! diverge if compilation placed an op or a cost wrong, which is what the
 //! differential suite pins down.
 
-use super::ops::{CompiledFn, OpKind, ZeroKind};
+use super::compile::FuseLevel;
+use super::ops::{CompiledFn, OpKind, RegNorm, Tier, ZeroKind};
 use crate::err::RtError;
-use crate::interp::{compare_f, compare_i, no_frame, trunc_int, ExecMode, Interp, Place};
-use crate::mem::Pointer;
+use crate::interp::{
+    compare_f, compare_i, no_frame, trunc_int, ExecMode, Frame, Interp, LocalSlot, Place, TierMode,
+};
+use crate::mem::{AllocKind, Pointer};
 use crate::value::{PtrVal, Value};
 use ccured_cil::ir::{BinOp, FnRef, FuncId, LocalId};
+use ccured_cil::types::Type;
 use std::rc::Rc;
 
-/// A suspended caller: where to resume when the callee returns.
+/// Precomputed frame layout for the VM's fast call path — everything
+/// `push_frame` re-derives from the type tables on every call, resolved
+/// once per function: which locals get memory slots (and their sizes),
+/// and the store normalization of each register parameter. Functions the
+/// plan cannot describe exactly (an unsized local) fall back to the
+/// generic `push_frame` wholesale; parameters it cannot describe (memory
+/// or aggregate bindings) fall back per-parameter to `store_local`.
+pub(crate) struct FramePlan {
+    /// Per local: `Some(size)` = memory slot of that size, `None` = register.
+    slot_sizes: Vec<Option<u64>>,
+    /// Per parameter: `Some(norm)` = register scalar, stored directly;
+    /// `None` = generic `store_local` (memory slot, aggregate copy).
+    params: Vec<Option<RegNorm>>,
+    /// The shared per-function facts, cloned into each frame.
+    info: Rc<crate::interp::FnInfo>,
+}
+
+/// A suspended caller: where to resume when the callee returns. Holding
+/// the `Rc` (not an index into the cache) is what makes mid-run hot
+/// recompilation safe: a suspended activation resumes in the exact code
+/// object it was compiled against, at its own pc.
 struct VmFrame<'p> {
     code: Rc<CompiledFn<'p>>,
+    func: FuncId,
     pc: u32,
     val_base: usize,
     addr_base: usize,
@@ -31,19 +56,261 @@ fn underflow() -> RtError {
 }
 
 impl<'p> Interp<'p> {
-    /// The compiled bytecode for `f`, compiling and caching on first use.
+    /// The compiled bytecode for `f`: the tier-selection point, called on
+    /// every guest entry to `f`. Untiered, it compiles once with the base
+    /// fusion set. Tiered, each entry bumps the function's heat; cold
+    /// functions get the cheap unfused baseline, and a function crossing
+    /// the threshold (or named hot by the `--pgo` plan) is (re)compiled
+    /// with the extended superinstruction set. Already-running activations
+    /// keep their old code object; only new entries see the hot one.
     pub(crate) fn compiled_fn(&mut self, f: FuncId) -> Rc<CompiledFn<'p>> {
         let idx = f.0 as usize;
+        let threshold = match self.tier_mode {
+            TierMode::Off => {
+                if let Some(Some(code)) = self.compiled.get(idx) {
+                    return Rc::clone(code);
+                }
+                let info = self.fn_info(f);
+                let code = Rc::new(super::compile(self, f, &info.mem_locals, FuseLevel::Base));
+                self.cache_compiled(idx, &code);
+                return code;
+            }
+            TierMode::On { threshold } => u64::from(threshold),
+        };
+        // Promoted functions are on the fast path: no heat bookkeeping, a
+        // steady-state tiered call costs the same as an untiered one.
         if let Some(Some(code)) = self.compiled.get(idx) {
-            return Rc::clone(code);
+            if code.tier == Tier::Opt {
+                return Rc::clone(code);
+            }
+        }
+        let heat = self.bump_heat(idx);
+        match self.compiled.get(idx).and_then(|c| c.as_ref()) {
+            Some(code) if heat < threshold => Rc::clone(code),
+            Some(_) => self.hot_fn(f),
+            None if heat >= threshold || self.plan_hot(f) => self.hot_fn(f),
+            None => {
+                let info = self.fn_info(f);
+                let code = Rc::new(super::compile(self, f, &info.mem_locals, FuseLevel::None));
+                self.cache_compiled(idx, &code);
+                code
+            }
+        }
+    }
+
+    /// Refreshes the per-check hot-site tracking flag for the code object
+    /// the dispatch loop is about to execute. Site heat only matters while
+    /// baseline code warms up (it feeds the hot recompiler's check-fusion
+    /// selection); once a function is promoted its fusion choices are
+    /// final, so hot code runs with tracking off — the same per-check cost
+    /// as the untiered VM.
+    #[inline]
+    fn note_code_tier(&mut self, code: &CompiledFn<'p>) {
+        self.tier_track = matches!(self.tier_mode, TierMode::On { .. }) && code.tier != Tier::Opt;
+    }
+
+    /// The frame plan for `f`, built on first use. `None` means the
+    /// function has a local the plan cannot size statically; callers use
+    /// the generic `push_frame` for it (preserving its exact error and
+    /// counter behaviour).
+    fn frame_plan(&mut self, f: FuncId) -> Option<Rc<FramePlan>> {
+        let idx = f.0 as usize;
+        if let Some(Some(entry)) = self.frame_plans.get(idx) {
+            return entry.clone();
         }
         let info = self.fn_info(f);
-        let code = Rc::new(super::compile(self, f, &info.mem_locals));
+        let func = &self.prog.functions[f.idx()];
+        let mut slot_sizes = Vec::with_capacity(func.locals.len());
+        let mut sizable = true;
+        for (i, l) in func.locals.iter().enumerate() {
+            if info.mem_locals[i] {
+                match self.sized(l.ty, "stack local") {
+                    Ok(size) => slot_sizes.push(Some(size.max(1))),
+                    Err(_) => {
+                        sizable = false;
+                        break;
+                    }
+                }
+            } else {
+                slot_sizes.push(None);
+            }
+        }
+        let entry = if sizable {
+            let params = func
+                .locals
+                .iter()
+                .take(func.param_count)
+                .enumerate()
+                .map(|(i, l)| {
+                    if info.mem_locals[i] {
+                        return None;
+                    }
+                    // The same declared-type table `StoreReg` compilation
+                    // uses; `RegNorm::apply` mirrors `normalize_scalar`.
+                    Some(match self.prog.types.get(l.ty) {
+                        Type::Int(k) => RegNorm::Int(*k),
+                        Type::Float(ccured_cil::types::FloatKind::Float) => RegNorm::Float32,
+                        Type::Float(_) => RegNorm::Float64,
+                        _ => RegNorm::Pass,
+                    })
+                })
+                .collect();
+            Some(Rc::new(FramePlan {
+                slot_sizes,
+                params,
+                info,
+            }))
+        } else {
+            None
+        };
+        if self.frame_plans.len() <= idx {
+            self.frame_plans.resize(idx + 1, None);
+        }
+        self.frame_plans[idx] = Some(entry.clone());
+        entry
+    }
+
+    /// `push_frame` specialized for the VM: same counters, same allocation
+    /// order, same errors — but the type-table walks are precomputed in
+    /// the [`FramePlan`], the frame buffers come from a recycling pool, and
+    /// the arguments are bound straight from the tail of the caller's
+    /// operand stack, so a steady-state call allocates nothing.
+    fn vm_push_frame(
+        &mut self,
+        f: FuncId,
+        vals: &mut Vec<Value>,
+        argc: usize,
+    ) -> Result<(), RtError> {
+        let Some(plan) = self.frame_plan(f) else {
+            let args = vals.split_off(vals.len() - argc);
+            return self.push_frame(f, args);
+        };
+        self.counters.limit_checks += 1;
+        if self.frames.len() >= self.limits.max_stack_depth {
+            return Err(RtError::LimitExceeded {
+                limit: "stack_limit",
+                detail: format!(
+                    "call depth exceeded the {}-frame stack cap",
+                    self.limits.max_stack_depth
+                ),
+            });
+        }
+        let seq = self.next_frame_seq;
+        self.next_frame_seq += 1;
+        let (mut regs, mut slots, mut guards) = self.frame_pool.pop().unwrap_or_default();
+        regs.clear();
+        slots.clear();
+        guards.clear();
+        for sz in &plan.slot_sizes {
+            match sz {
+                None => slots.push(LocalSlot::Reg),
+                Some(size) => {
+                    let id = self.mem.alloc(*size, AllocKind::Stack { frame: seq })?;
+                    self.register_alloc(id);
+                    slots.push(LocalSlot::Mem(id));
+                }
+            }
+            regs.push(None);
+        }
+        self.frames.push(Frame {
+            func: f,
+            seq,
+            regs,
+            slots,
+            info: Rc::clone(&plan.info),
+            guards,
+        });
+        self.counters.calls += 1;
+        self.counters.peak_stack_depth =
+            self.counters.peak_stack_depth.max(self.frames.len() as u64);
+        let base = vals.len() - argc;
+        for i in 0..argc.min(plan.params.len()) {
+            let v = vals[base + i];
+            match plan.params[i] {
+                Some(norm) => {
+                    let v = norm.apply(v, &self.prog.types.machine);
+                    let fr = self.frames.last_mut().ok_or_else(no_frame)?;
+                    fr.regs[i] = Some(v);
+                }
+                None => {
+                    let ty = self.prog.functions[f.idx()].locals[i].ty;
+                    self.store_local(LocalId(i as u32), ty, v)?;
+                }
+            }
+        }
+        vals.truncate(base);
+        Ok(())
+    }
+
+    /// Returns a popped frame's buffers to the recycling pool (bounded, so
+    /// a deep-recursion spike does not pin memory forever).
+    #[inline]
+    fn recycle_frame(&mut self, fr: Frame) {
+        if self.frame_pool.len() < 64 {
+            self.frame_pool.push((fr.regs, fr.slots, fr.guards));
+        }
+    }
+
+    /// The hot-tier code for `f`, recompiling with the extended
+    /// superinstruction set unless already promoted (recursion through a
+    /// promoted function must not recompile, or invalidate, anything).
+    fn hot_fn(&mut self, f: FuncId) -> Rc<CompiledFn<'p>> {
+        let idx = f.0 as usize;
+        if let Some(Some(code)) = self.compiled.get(idx) {
+            if code.tier == Tier::Opt {
+                return Rc::clone(code);
+            }
+        }
+        let info = self.fn_info(f);
+        // `hot_site_set` is the sites observed executing this run plus the
+        // `--pgo` plan's, maintained incrementally as heat accrues.
+        let code = Rc::new(super::compile(
+            self,
+            f,
+            &info.mem_locals,
+            FuseLevel::Extended {
+                hot_sites: Some(&self.hot_site_set),
+            },
+        ));
+        self.cache_compiled(idx, &code);
+        self.tier_stats.promotions += 1;
+        code
+    }
+
+    /// Whether the `--pgo` plan promotes `f` on first touch.
+    fn plan_hot(&self, f: FuncId) -> bool {
+        self.tier_plan
+            .as_ref()
+            .is_some_and(|p| p.hot_funcs.contains(&self.prog.functions[f.idx()].name))
+    }
+
+    /// A baseline back edge fired: bump heat and hand back the hot code
+    /// when `f` just crossed the threshold (the caller OSRs into it).
+    fn vm_back_edge(&mut self, f: FuncId) -> Option<Rc<CompiledFn<'p>>> {
+        let TierMode::On { threshold } = self.tier_mode else {
+            return None;
+        };
+        let heat = self.bump_heat(f.0 as usize);
+        if heat >= u64::from(threshold) {
+            Some(self.hot_fn(f))
+        } else {
+            None
+        }
+    }
+
+    fn bump_heat(&mut self, idx: usize) -> u64 {
+        if self.heat.len() <= idx {
+            self.heat.resize(idx + 1, 0);
+        }
+        self.heat[idx] += 1;
+        self.heat[idx]
+    }
+
+    fn cache_compiled(&mut self, idx: usize, code: &Rc<CompiledFn<'p>>) {
         if self.compiled.len() <= idx {
             self.compiled.resize(idx + 1, None);
         }
-        self.compiled[idx] = Some(Rc::clone(&code));
-        code
+        self.compiled[idx] = Some(Rc::clone(code));
     }
 
     /// Runs `f` on the bytecode engine — the VM counterpart of
@@ -184,8 +451,12 @@ impl<'p> Interp<'p> {
         let mut last: Option<Value> = None;
         let mut val_base = 0usize;
         let mut addr_base = 0usize;
-        self.push_frame(f, args)?;
+        let argc = args.len();
+        vals.extend(args);
+        self.vm_push_frame(f, &mut vals, argc)?;
         let mut code = self.compiled_fn(f);
+        self.note_code_tier(&code);
+        let mut cur_f = f;
         let mut pc = 0usize;
         loop {
             let op = &code.ops[pc];
@@ -406,6 +677,23 @@ impl<'p> Interp<'p> {
                     pc = *t as usize;
                     continue;
                 }
+                OpKind::JumpBack(t) => {
+                    // A baseline back edge. In an unfused stream pc == raw
+                    // index, and back edges only target label positions, so
+                    // when the function just went hot the raw target maps
+                    // through `osr_map` to an op start in the fused stream
+                    // — on-stack replacement is a plain jump.
+                    let t = *t as usize;
+                    if let Some(hot) = self.vm_back_edge(cur_f) {
+                        self.tier_stats.osr += 1;
+                        pc = hot.osr_map[t] as usize;
+                        self.note_code_tier(&hot);
+                        code = hot;
+                        continue;
+                    }
+                    pc = t;
+                    continue;
+                }
                 OpKind::BranchIfZero(t) => {
                     let t = *t as usize;
                     let v = vals.pop().ok_or_else(underflow)?;
@@ -471,18 +759,20 @@ impl<'p> Interp<'p> {
                     if vals.len() < val_base + argc {
                         return Err(underflow());
                     }
-                    let args = vals.split_off(vals.len() - argc);
-                    self.push_frame(f, args)?;
+                    self.vm_push_frame(f, &mut vals, argc)?;
                     let callee = self.compiled_fn(f);
                     stack.push(VmFrame {
                         code,
+                        func: cur_f,
                         pc: (pc + 1) as u32,
                         val_base,
                         addr_base,
                     });
                     val_base = vals.len();
                     addr_base = addrs.len();
+                    self.note_code_tier(&callee);
                     code = callee;
+                    cur_f = f;
                     pc = 0;
                     continue;
                 }
@@ -491,11 +781,12 @@ impl<'p> Interp<'p> {
                     if vals.len() < val_base + argc {
                         return Err(underflow());
                     }
-                    let args = vals.split_off(vals.len() - argc);
+                    let base = vals.len() - argc;
                     let prog = self.prog;
                     let name = prog.externals[x].name.as_str();
                     self.counters.extern_calls += 1;
-                    last = crate::external::call(self, name, &args)?;
+                    last = crate::external::call(self, name, &vals[base..])?;
+                    vals.truncate(base);
                 }
                 OpKind::CallPtr { argc } => {
                     let argc = *argc as usize;
@@ -503,28 +794,32 @@ impl<'p> Interp<'p> {
                     if vals.len() < val_base + argc {
                         return Err(underflow());
                     }
-                    let args = vals.split_off(vals.len() - argc);
                     match fv.as_ptr() {
                         Some(PtrVal::Fn(FnRef::Def(f))) => {
-                            self.push_frame(f, args)?;
+                            self.vm_push_frame(f, &mut vals, argc)?;
                             let callee = self.compiled_fn(f);
                             stack.push(VmFrame {
                                 code,
+                                func: cur_f,
                                 pc: (pc + 1) as u32,
                                 val_base,
                                 addr_base,
                             });
                             val_base = vals.len();
                             addr_base = addrs.len();
+                            self.note_code_tier(&callee);
                             code = callee;
+                            cur_f = f;
                             pc = 0;
                             continue;
                         }
                         Some(PtrVal::Fn(FnRef::Ext(x))) => {
+                            let base = vals.len() - argc;
                             let prog = self.prog;
                             let name = prog.externals[x.idx()].name.as_str();
                             self.counters.extern_calls += 1;
-                            last = crate::external::call(self, name, &args)?;
+                            last = crate::external::call(self, name, &vals[base..])?;
+                            vals.truncate(base);
                         }
                         Some(PtrVal::Null) => return Err(RtError::NullDeref),
                         _ => return Err(RtError::NotAFunction),
@@ -538,13 +833,17 @@ impl<'p> Interp<'p> {
                     };
                     let seq = self.frame()?.seq;
                     self.mem.kill_frame(seq);
-                    self.frames.pop();
+                    if let Some(fr) = self.frames.pop() {
+                        self.recycle_frame(fr);
+                    }
                     vals.truncate(val_base);
                     addrs.truncate(addr_base);
                     last = v;
                     match stack.pop() {
                         Some(fr) => {
+                            self.note_code_tier(&fr.code);
                             code = fr.code;
+                            cur_f = fr.func;
                             pc = fr.pc as usize;
                             val_base = fr.val_base;
                             addr_base = fr.addr_base;
@@ -557,13 +856,17 @@ impl<'p> Interp<'p> {
                     let v = *v;
                     let seq = self.frame()?.seq;
                     self.mem.kill_frame(seq);
-                    self.frames.pop();
+                    if let Some(fr) = self.frames.pop() {
+                        self.recycle_frame(fr);
+                    }
                     vals.truncate(val_base);
                     addrs.truncate(addr_base);
                     last = v;
                     match stack.pop() {
                         Some(fr) => {
+                            self.note_code_tier(&fr.code);
                             code = fr.code;
+                            cur_f = fr.func;
                             pc = fr.pc as usize;
                             val_base = fr.val_base;
                             addr_base = fr.addr_base;
@@ -745,6 +1048,400 @@ impl<'p> Interp<'p> {
                     }
                     let v = norm.apply(Value::Int(x), &self.prog.types.machine);
                     self.vm_store_reg(*l, v)?;
+                }
+
+                // ---- extended (hot-tier) superinstructions --------------
+                //
+                // Same protocol as above, two constituents deeper.
+                OpKind::RegRegCmpBranch {
+                    a,
+                    za,
+                    b,
+                    zb,
+                    op,
+                    target,
+                    c2,
+                    c3,
+                    c4,
+                } => {
+                    let av = self.vm_read_reg(*a, *za)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let bv = self.vm_read_reg(*b, *zb)?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let r = self.vm_cmp(*op, av, bv)?;
+                    if *c4 != 0 {
+                        self.add_instrs(*c4)?;
+                    }
+                    if !r {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                OpKind::RegRegArith {
+                    a,
+                    za,
+                    b,
+                    zb,
+                    op,
+                    trunc,
+                    c2,
+                    c3,
+                } => {
+                    let av = self.vm_read_reg(*a, *za)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let bv = self.vm_read_reg(*b, *zb)?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let r = self.vm_arith(*op, av, bv, *trunc)?;
+                    vals.push(r);
+                }
+                OpKind::RegRegPtrAdd {
+                    p,
+                    zp,
+                    i,
+                    zi,
+                    elem,
+                    neg,
+                    c2,
+                    c3,
+                } => {
+                    let pv_v = self.vm_read_reg(*p, *zp)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let iv = self.vm_read_reg(*i, *zi)?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let pv = pv_v.as_ptr().ok_or_else(|| {
+                        RtError::Unsupported("pointer arithmetic on non-pointer".into())
+                    })?;
+                    let n = iv.as_int().ok_or_else(|| {
+                        RtError::Unsupported("pointer arithmetic with non-integer".into())
+                    })?;
+                    let delta = (n as i64).wrapping_mul(*elem as i64);
+                    let delta = if *neg { -delta } else { delta };
+                    self.ptr_arith_hook(&pv)?;
+                    vals.push(Value::Ptr(pv.offset_by(delta)));
+                }
+                OpKind::RegImmArith {
+                    l,
+                    zk,
+                    v,
+                    op,
+                    trunc,
+                    c2,
+                    c3,
+                } => {
+                    let a = self.vm_read_reg(*l, *zk)?;
+                    // The folded `Push` does no work, but its step (`c2`)
+                    // is still charged at its position.
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let r = self.vm_arith(*op, a, Value::Int(*v), *trunc)?;
+                    vals.push(r);
+                }
+                OpKind::RegImmArithStore {
+                    l,
+                    zk,
+                    v,
+                    op,
+                    trunc,
+                    dst,
+                    norm,
+                    c2,
+                    c3,
+                    c4,
+                } => {
+                    let a = self.vm_read_reg(*l, *zk)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let r = self.vm_arith(*op, a, Value::Int(*v), *trunc)?;
+                    if *c4 != 0 {
+                        self.add_instrs(*c4)?;
+                    }
+                    let r = norm.apply(r, &self.prog.types.machine);
+                    self.vm_store_reg(*dst, r)?;
+                }
+                OpKind::LoadIntArithStore {
+                    size,
+                    signed,
+                    op,
+                    trunc,
+                    l,
+                    norm,
+                    c2,
+                    c3,
+                } => {
+                    let p = addrs.pop().ok_or_else(underflow)?;
+                    self.access_hook(p, *size, false)?;
+                    self.counters.loads += 1;
+                    let b = self.mem.read_int(p, *size, *signed)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let a = vals.pop().ok_or_else(underflow)?;
+                    let r = self.vm_arith(*op, a, Value::Int(b), *trunc)?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let r = norm.apply(r, &self.prog.types.machine);
+                    self.vm_store_reg(*l, r)?;
+                }
+                OpKind::RegImmCmpBranch {
+                    l,
+                    zk,
+                    v,
+                    op,
+                    target,
+                    c2,
+                    c3,
+                    c4,
+                } => {
+                    let a = self.vm_read_reg(*l, *zk)?;
+                    // The folded `Push` does no work, but its step (`c2`)
+                    // is still charged at its position.
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let r = self.vm_cmp(*op, a, Value::Int(*v))?;
+                    if *c4 != 0 {
+                        self.add_instrs(*c4)?;
+                    }
+                    if !r {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                OpKind::LoadIntCmpBranch {
+                    size,
+                    signed,
+                    op,
+                    target,
+                    c2,
+                    c3,
+                } => {
+                    let p = addrs.pop().ok_or_else(underflow)?;
+                    self.access_hook(p, *size, false)?;
+                    self.counters.loads += 1;
+                    let b = self.mem.read_int(p, *size, *signed)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let a = vals.pop().ok_or_else(underflow)?;
+                    let r = self.vm_cmp(*op, a, Value::Int(b))?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    if !r {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                OpKind::LoadIntImmCmpBranch {
+                    size,
+                    signed,
+                    v,
+                    op,
+                    target,
+                    c2,
+                    c3,
+                    c4,
+                } => {
+                    let p = addrs.pop().ok_or_else(underflow)?;
+                    self.access_hook(p, *size, false)?;
+                    self.counters.loads += 1;
+                    let a = self.mem.read_int(p, *size, *signed)?;
+                    // The folded `Push` does no work, but its step (`c2`)
+                    // is still charged at its position.
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let r = self.vm_cmp(*op, Value::Int(a), Value::Int(*v))?;
+                    if *c4 != 0 {
+                        self.add_instrs(*c4)?;
+                    }
+                    if !r {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                OpKind::RegStorePtr {
+                    l,
+                    zk,
+                    q,
+                    wild_tag,
+                    c2,
+                } => {
+                    let v = self.vm_read_reg(*l, *zk)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let p = addrs.pop().ok_or_else(underflow)?;
+                    self.store_precheck(p, &v, *wild_tag)?;
+                    self.access_hook(p, self.word, true)?;
+                    self.counters.stores += 1;
+                    let pv = match v {
+                        Value::Ptr(pv) => pv,
+                        Value::Int(0) => PtrVal::Null,
+                        Value::Int(x) => PtrVal::IntVal(x as u64),
+                        Value::Float(_) => {
+                            return Err(RtError::Unsupported("float stored as pointer".into()))
+                        }
+                    };
+                    if let ExecMode::Cured { sol, .. } = self.mode {
+                        if sol.is_split(*q) {
+                            self.counters.meta_ops += 1;
+                        }
+                    }
+                    self.mem.write_ptr(p, pv, self.word)?;
+                }
+                OpKind::LoadFloatArith {
+                    size,
+                    op,
+                    trunc,
+                    c2,
+                } => {
+                    let p = addrs.pop().ok_or_else(underflow)?;
+                    self.access_hook(p, *size, false)?;
+                    self.counters.loads += 1;
+                    let b = self.mem.read_float(p, *size)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let a = vals.pop().ok_or_else(underflow)?;
+                    let r = self.vm_arith(*op, a, Value::Float(b), *trunc)?;
+                    vals.push(r);
+                }
+                OpKind::HookHook { a, sa, b, sb, c2 } => {
+                    self.exec_check(a, *sa)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    self.exec_check(b, *sb)?;
+                }
+                OpKind::CheckReg {
+                    c,
+                    site,
+                    l,
+                    zk,
+                    c2,
+                    c3,
+                } => {
+                    let (c, site) = (*c, *site);
+                    self.vm_check_save = Some((self.counters.instrs, self.counters.loads));
+                    self.bump_check_counter(c, site);
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let v = self.vm_read_reg(*l, *zk)?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    if let Some((instrs, loads)) = self.vm_check_save.take() {
+                        self.counters.instrs = instrs;
+                        self.counters.loads = loads;
+                    }
+                    self.check_verdict(c, v, site)?;
+                }
+                OpKind::CheckSeqIdx {
+                    c,
+                    site,
+                    p,
+                    zp,
+                    i,
+                    zi,
+                    elem,
+                    neg,
+                    c2,
+                    c3,
+                    c4,
+                    c5,
+                } => {
+                    let (c, site) = (*c, *site);
+                    self.vm_check_save = Some((self.counters.instrs, self.counters.loads));
+                    self.bump_check_counter(c, site);
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let pv_v = self.vm_read_reg(*p, *zp)?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    let iv = self.vm_read_reg(*i, *zi)?;
+                    if *c4 != 0 {
+                        self.add_instrs(*c4)?;
+                    }
+                    let pv = pv_v.as_ptr().ok_or_else(|| {
+                        RtError::Unsupported("pointer arithmetic on non-pointer".into())
+                    })?;
+                    let n = iv.as_int().ok_or_else(|| {
+                        RtError::Unsupported("pointer arithmetic with non-integer".into())
+                    })?;
+                    let delta = (n as i64).wrapping_mul(*elem as i64);
+                    let delta = if *neg { -delta } else { delta };
+                    self.ptr_arith_hook(&pv)?;
+                    let v = Value::Ptr(pv.offset_by(delta));
+                    if *c5 != 0 {
+                        self.add_instrs(*c5)?;
+                    }
+                    if let Some((instrs, loads)) = self.vm_check_save.take() {
+                        self.counters.instrs = instrs;
+                        self.counters.loads = loads;
+                    }
+                    self.check_verdict(c, v, site)?;
+                }
+                OpKind::RegCmpBranchHook {
+                    l,
+                    zk,
+                    op,
+                    target,
+                    c2,
+                    c3,
+                    h,
+                    hs,
+                    c4,
+                } => {
+                    let b = self.vm_read_reg(*l, *zk)?;
+                    if *c2 != 0 {
+                        self.add_instrs(*c2)?;
+                    }
+                    let a = vals.pop().ok_or_else(underflow)?;
+                    let r = self.vm_cmp(*op, a, b)?;
+                    if *c3 != 0 {
+                        self.add_instrs(*c3)?;
+                    }
+                    if !r {
+                        // Taken branch jumps past the hook: neither its
+                        // step (`c4`) nor its body runs, like unfused code.
+                        pc = *target as usize;
+                        continue;
+                    }
+                    if *c4 != 0 {
+                        self.add_instrs(*c4)?;
+                    }
+                    self.exec_check(h, *hs)?;
                 }
             }
             pc += 1;

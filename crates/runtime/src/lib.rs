@@ -42,8 +42,8 @@ pub mod value;
 
 pub use cost::{CostModel, Counters};
 pub use err::RtError;
-pub use interp::{Engine, ExecMode, Interp};
+pub use interp::{Engine, ExecMode, Interp, TierMode, TierStats, DEFAULT_TIER_THRESHOLD};
 pub use limits::Limits;
 pub use mem::{AllocId, AllocKind, Memory, Pointer};
-pub use profile::{Profile, SiteCounters, SiteReport};
+pub use profile::{tier_plan, Profile, SiteCounters, SiteReport, TierPlan, PGO_SCHEMA};
 pub use value::{PtrVal, Value};

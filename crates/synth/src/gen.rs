@@ -47,9 +47,11 @@ const WILD_LEN: u32 = 8;
 pub enum LoopShape {
     /// `for (i = 0; i < n; i++)`
     Up,
-    /// `for (i = n - 1; i >= 0; i = i - 1)` — a widening negative.
+    /// `for (i = n - 1; i >= 0; i = i - 1)` — widened since the
+    /// direction-agnostic canonicalization.
     Down,
-    /// `for (i = 0; i < n; i = i + 2)` — a widening negative.
+    /// `for (i = 0; i < n; i = i + 2)` — widened since stride
+    /// generalization.
     Stride2,
     /// Row-major nested pair over 4-element rows.
     Nested,

@@ -1,0 +1,503 @@
+//! Differential tests for the profile-guided tiered VM.
+//!
+//! Tiering is a pure execution-strategy choice: whether a function runs in
+//! the cheap baseline compile, gets hot-recompiled with the extended
+//! superinstruction set mid-run, or is promoted up front by a `--pgo`
+//! plan, every observable — exit code or error, program output, every
+//! event counter, the exact step where fuel runs out — must be
+//! byte-identical to the tree-walking reference engine and to the
+//! untiered VM. These tests pin that invariant across tier schedules,
+//! mid-run transitions (including on-stack replacement at loop
+//! back-edges), goto-heavy control flow, fault-injected mutants, and the
+//! PGO JSON round trip.
+
+use ccured::{isolated, Curer};
+use ccured_cil::Program;
+use ccured_faultinject::{mutate, FaultClass};
+use ccured_rt::{
+    tier_plan, Counters, Engine, ExecMode, Interp, Limits, Profile, RtError, TierMode, TierPlan,
+    PGO_SCHEMA,
+};
+use ccured_workloads::prng::SplitMix64;
+use ccured_workloads::{batch_corpus, micro, suite_corpus, Workload};
+
+/// Everything observable about one run, plus the tier activity that
+/// produced it (which must *not* be observable in the first group).
+#[derive(Debug)]
+struct Observed {
+    result: Result<i64, RtError>,
+    output: Vec<u8>,
+    counters: Counters,
+    promotions: u64,
+    osr: u64,
+}
+
+/// One run under an explicit tier schedule. `tier` is `None` for the tree
+/// engine (where tiering does not exist) and for the VM's default mode.
+fn observe(
+    prog: &Program,
+    mode: ExecMode<'_>,
+    engine: Engine,
+    tier: Option<TierMode>,
+    plan: Option<TierPlan>,
+    input: &[u8],
+    limits: Limits,
+) -> Observed {
+    let mut interp = Interp::new(prog, mode);
+    interp.set_engine(engine);
+    if let Some(t) = tier {
+        interp.set_tiering(t);
+    }
+    if let Some(p) = plan {
+        interp.set_tier_plan(p);
+    }
+    interp.set_limits(limits);
+    interp.set_zero_init(true);
+    interp.set_input(input.to_vec());
+    let result = interp.run();
+    let stats = interp.tier_stats();
+    Observed {
+        result,
+        output: interp.output().to_vec(),
+        counters: interp.counters,
+        promotions: stats.promotions,
+        osr: stats.osr,
+    }
+}
+
+fn assert_same(what: &str, a: &Observed, b: &Observed) {
+    assert_eq!(a.result, b.result, "{what}: results differ");
+    assert_eq!(a.output, b.output, "{what}: program output differs");
+    assert_eq!(a.counters, b.counters, "{what}: counters differ");
+}
+
+fn cure(w: &Workload) -> ccured::Cured {
+    let mut curer = Curer::new();
+    if w.with_wrappers {
+        curer.with_stdlib_wrappers();
+    }
+    curer.cure_source(&w.source).expect("cure")
+}
+
+fn lower(w: &Workload) -> Program {
+    let full = if w.with_wrappers {
+        format!(
+            "{}\n{}",
+            ccured::wrappers::stdlib_wrapper_source(),
+            w.source
+        )
+    } else {
+        w.source.clone()
+    };
+    let tu = ccured_ast::parse_translation_unit(&full).expect("parse");
+    ccured_cil::lower_translation_unit(&tu).expect("lower")
+}
+
+fn golden_workloads() -> Vec<Workload> {
+    let mut ws = suite_corpus();
+    for w in batch_corpus() {
+        if !ws.iter().any(|x| x.name == w.name) {
+            ws.push(w);
+        }
+    }
+    ws
+}
+
+/// The tier schedules worth sweeping: never promote, promote lazily
+/// (default), promote aggressively mid-run, promote at first call.
+const SCHEDULES: [(&str, TierMode); 4] = [
+    ("untiered", TierMode::Off),
+    ("default", TierMode::On { threshold: 8 }),
+    ("eager", TierMode::On { threshold: 2 }),
+    ("first-call", TierMode::On { threshold: 0 }),
+];
+
+/// Every tier schedule is observably identical to the tree engine on the
+/// full golden corpus — and the sweep must actually exercise hot
+/// recompilation somewhere, or it proves nothing.
+#[test]
+fn tier_schedules_are_invisible_on_the_golden_corpus() {
+    let mut promoted = 0u64;
+    let mut osr = 0u64;
+    for w in golden_workloads() {
+        let cured = cure(&w);
+        let tree = observe(
+            &cured.program,
+            ExecMode::cured(&cured),
+            Engine::Tree,
+            None,
+            None,
+            &w.input,
+            Limits::default(),
+        );
+        for (label, mode) in SCHEDULES {
+            let vm = observe(
+                &cured.program,
+                ExecMode::cured(&cured),
+                Engine::Vm,
+                Some(mode),
+                None,
+                &w.input,
+                Limits::default(),
+            );
+            assert_same(&format!("{} ({label})", w.name), &tree, &vm);
+            promoted += vm.promotions;
+            osr += vm.osr;
+        }
+    }
+    assert!(promoted > 0, "sweep never hot-recompiled a function");
+    assert!(osr > 0, "sweep never replaced a function on stack");
+}
+
+/// Fuel exhaustion must land on the exact constituent step even when the
+/// budget runs out *inside* a hot-recompiled superinstruction (including
+/// the fused check sequences): a fine-grained fuel sweep around the
+/// promotion point of a hot loop must agree with the tree engine on every
+/// axis at every cutoff.
+#[test]
+fn fuel_exhaustion_in_hot_code_is_step_exact() {
+    let w = micro::seq_index(16);
+    let cured = cure(&w);
+    // With the default threshold the loop warms up in the baseline tier
+    // (accumulating per-site heat) and is OSR-promoted mid-loop with the
+    // executed check sites fused — the remaining iterations run through
+    // extended superinstructions.
+    let full = observe(
+        &cured.program,
+        ExecMode::cured(&cured),
+        Engine::Vm,
+        Some(TierMode::On { threshold: 4 }),
+        None,
+        &w.input,
+        Limits::default(),
+    );
+    assert!(full.promotions > 0, "the loop never got hot");
+    let budget = full.counters.instrs;
+    let mut exhausted = 0usize;
+    let sweep = (1..=160).chain((1..=16).map(|k| k * budget / 16));
+    for fuel in sweep {
+        let limits = Limits {
+            fuel,
+            ..Limits::default()
+        };
+        let tree = observe(
+            &cured.program,
+            ExecMode::cured(&cured),
+            Engine::Tree,
+            None,
+            None,
+            &w.input,
+            limits,
+        );
+        let vm = observe(
+            &cured.program,
+            ExecMode::cured(&cured),
+            Engine::Vm,
+            Some(TierMode::On { threshold: 4 }),
+            None,
+            &w.input,
+            limits,
+        );
+        assert_same(&format!("fuel={fuel}"), &tree, &vm);
+        if vm.result == Err(RtError::OutOfFuel) {
+            exhausted += 1;
+            assert!(
+                vm.counters.instrs <= fuel + 1,
+                "fuel={fuel}: counted past the failing step ({})",
+                vm.counters.instrs
+            );
+        }
+    }
+    assert!(exhausted > 0, "the sweep never ran out of fuel");
+}
+
+/// A function crossing the hotness threshold mid-run is recompiled and
+/// resumed via on-stack replacement without dropping or double-charging a
+/// single check: counters match the untiered VM and the tree engine
+/// exactly, and the run demonstrably promoted and OSR-ed.
+#[test]
+fn mid_run_promotion_preserves_every_check() {
+    let src = "int sum(int *p, int n) { int i; int s = 0;\n\
+               for (i = 0; i < n; i++) s += p[i];\n\
+               return s; }\n\
+               int main(void) {\n\
+                 int a[32]; int i; int t = 0;\n\
+                 for (i = 0; i < 32; i++) a[i] = i;\n\
+                 for (i = 0; i < 24; i++) t += sum(a, i);\n\
+                 return t & 255;\n\
+               }";
+    let w = Workload::new("tier_transition", src).without_wrappers();
+    let cured = cure(&w);
+    let tree = observe(
+        &cured.program,
+        ExecMode::cured(&cured),
+        Engine::Tree,
+        None,
+        None,
+        &[],
+        Limits::default(),
+    );
+    let flat = observe(
+        &cured.program,
+        ExecMode::cured(&cured),
+        Engine::Vm,
+        Some(TierMode::Off),
+        None,
+        &[],
+        Limits::default(),
+    );
+    let tiered = observe(
+        &cured.program,
+        ExecMode::cured(&cured),
+        Engine::Vm,
+        Some(TierMode::On { threshold: 8 }),
+        None,
+        &[],
+        Limits::default(),
+    );
+    assert_same("tier_transition (untiered)", &tree, &flat);
+    assert_same("tier_transition (tiered)", &tree, &tiered);
+    assert!(tree.result.is_ok(), "workload must run clean");
+    // `sum` crosses the threshold by call count, `main` by loop
+    // back-edges — so the run exercises both entry promotion and OSR.
+    assert!(tiered.promotions >= 2, "expected both functions to get hot");
+    assert!(tiered.osr >= 1, "expected an on-stack replacement");
+}
+
+/// Goto-heavy control flow: backward jumps, jumps out of nested blocks and
+/// re-entered loop headers mean many ops are jump targets, which bounds
+/// what fusion may do and forces OSR entries at raw label positions. A
+/// jump may never land mid-superinstruction — any such bug shows up here
+/// as diverging counters or results under aggressive tiering.
+#[test]
+fn goto_heavy_flow_survives_every_tier_schedule() {
+    let src = "int main(void) {\n\
+                 int a[8]; int i; int s; int k;\n\
+                 for (i = 0; i < 8; i++) a[i] = i + 1;\n\
+                 s = 0; k = 0; i = 0;\n\
+               top: s += a[i]; i++;\n\
+                 if (i < 8) goto top;\n\
+                 k++; i = 0;\n\
+                 if (k < 9) goto top;\n\
+                 while (s > 40) { s -= 7; if (s < 60) goto fin; }\n\
+               fin: return s;\n\
+               }";
+    let w = Workload::new("goto_hot", src).without_wrappers();
+    let cured = cure(&w);
+    let tree = observe(
+        &cured.program,
+        ExecMode::cured(&cured),
+        Engine::Tree,
+        None,
+        None,
+        &[],
+        Limits::default(),
+    );
+    assert!(tree.result.is_ok(), "goto workload must run clean");
+    let mut osr = 0u64;
+    for (label, mode) in SCHEDULES {
+        let vm = observe(
+            &cured.program,
+            ExecMode::cured(&cured),
+            Engine::Vm,
+            Some(mode),
+            None,
+            &[],
+            Limits::default(),
+        );
+        assert_same(&format!("goto_hot ({label})"), &tree, &vm);
+        osr += vm.osr;
+    }
+    assert!(osr > 0, "the backward gotos never triggered OSR");
+}
+
+/// Serializes a profile the way `ccured profile --json` does (schema tag
+/// plus per-row site ids and counters) — the fields `--pgo` reads back.
+fn pgo_json(profile: &Profile) -> String {
+    let mut s = format!("{{\"schema\":\"{PGO_SCHEMA}\",\"rows\":[");
+    for (i, c) in profile.sites.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"rank\":{},\"site\":{i},\"hits\":{},\"fails\":{},\"walk_steps\":{}}}",
+            i + 1,
+            c.hits,
+            c.fails,
+            c.walk_steps
+        ));
+    }
+    s.push_str("]}\n");
+    s
+}
+
+/// A recorded profile, serialized to the `--pgo` JSON shape and parsed
+/// back, must produce the *same* tier plan as the in-memory profile — and
+/// seeding a fresh interpreter with that plan promotes the hot functions
+/// up front without changing anything observable.
+#[test]
+fn pgo_plan_round_trips_through_json() {
+    let w = micro::seq_index(24);
+    let cured = cure(&w);
+    let mut interp = Interp::new(&cured.program, ExecMode::cured(&cured));
+    interp.set_engine(Engine::Vm);
+    interp.set_input(w.input.clone());
+    interp.enable_profile(cured.sites.len());
+    interp.run().expect("profiling run");
+    let recorded = interp.profile().cloned().expect("profile recorded");
+
+    let direct = tier_plan(&cured.sites, &recorded);
+    let parsed = Profile::from_pgo_json(&pgo_json(&recorded)).expect("round trip");
+    let via_json = tier_plan(&cured.sites, &parsed);
+    assert_eq!(direct, via_json, "JSON round trip changed the tier plan");
+    assert!(
+        !direct.hot_funcs.is_empty() && !direct.hot_sites.is_empty(),
+        "the profiled run must mark something hot"
+    );
+
+    // Plan-seeded execution: heat can never trigger (threshold u32::MAX),
+    // so any promotion is the plan's doing — and the run stays identical.
+    let tree = observe(
+        &cured.program,
+        ExecMode::cured(&cured),
+        Engine::Tree,
+        None,
+        None,
+        &w.input,
+        Limits::default(),
+    );
+    let planned = observe(
+        &cured.program,
+        ExecMode::cured(&cured),
+        Engine::Vm,
+        Some(TierMode::On {
+            threshold: u32::MAX,
+        }),
+        Some(via_json),
+        &w.input,
+        Limits::default(),
+    );
+    assert_same("pgo-seeded run", &tree, &planned);
+    assert!(
+        planned.promotions > 0,
+        "the plan never promoted a function (heat alone cannot at this threshold)"
+    );
+}
+
+/// The tier plan is a pure function of (site table, profile), and the
+/// profile itself is engine-independent — so plans distilled from a tree
+/// run and a VM run are identical.
+#[test]
+fn either_engine_profiles_to_the_same_tier_plan() {
+    for w in [micro::seq_index(12), micro::safe_deref(10)] {
+        let cured = cure(&w);
+        let mut plans = Vec::new();
+        for engine in [Engine::Tree, Engine::Vm] {
+            let mut interp = Interp::new(&cured.program, ExecMode::cured(&cured));
+            interp.set_engine(engine);
+            interp.set_input(w.input.clone());
+            interp.enable_profile(cured.sites.len());
+            interp.run().expect("profiling run");
+            let prof = interp.profile().cloned().expect("profile recorded");
+            plans.push(tier_plan(&cured.sites, &prof));
+        }
+        assert_eq!(
+            plans[0], plans[1],
+            "{}: engines disagree on tiering decisions",
+            w.name
+        );
+    }
+}
+
+/// Fault-injected mutants under an aggressive tier schedule: the check
+/// that catches (or the error that surfaces) must be identical across the
+/// tree engine, the untiered VM and the tiered VM — the safety verdict
+/// may never depend on which tier the faulty code was executing in.
+#[test]
+fn faultinject_mutants_are_identical_across_tiers() {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    const MUTANTS: usize = 120;
+    let ws = [
+        micro::seq_index(8),
+        micro::safe_deref(6),
+        micro::ptr_store(4),
+        micro::rtti_dispatch(6),
+    ];
+    let bases: Vec<(String, Vec<u8>, Program)> = ws
+        .iter()
+        .map(|w| (w.name.clone(), w.input.clone(), lower(w)))
+        .collect();
+    let limits = Limits {
+        fuel: 2_000_000,
+        max_stack_depth: 96,
+        max_heap_bytes: 32 << 20,
+        deadline: None,
+    };
+    let ncls = FaultClass::ALL.len();
+    let mut compared = 0usize;
+    let mut caught = 0usize;
+    for id in 0..MUTANTS {
+        let mut rng = SplitMix64::new(0x5107 ^ (id as u64).wrapping_mul(GOLDEN));
+        let (name, input, base) = &bases[(id / ncls) % bases.len()];
+        let pref = id % ncls;
+        let mut seeded = None;
+        for k in 0..ncls {
+            let class = FaultClass::ALL[(pref + k) % ncls];
+            let mut prog = base.clone();
+            if let Some(m) = mutate(&mut prog, class, &mut rng) {
+                seeded = Some((m, prog));
+                break;
+            }
+        }
+        let Some((mutation, prog)) = seeded else {
+            continue;
+        };
+        let Ok(cured) = isolated(|| Curer::new().cure_program(prog)) else {
+            continue;
+        };
+        let what = format!("mutant #{id} ({name}, {})", mutation.class);
+        let tree = observe(
+            &cured.program,
+            ExecMode::cured(&cured),
+            Engine::Tree,
+            None,
+            None,
+            input,
+            limits,
+        );
+        let flat = observe(
+            &cured.program,
+            ExecMode::cured(&cured),
+            Engine::Vm,
+            Some(TierMode::Off),
+            None,
+            input,
+            limits,
+        );
+        let tiered = observe(
+            &cured.program,
+            ExecMode::cured(&cured),
+            Engine::Vm,
+            Some(TierMode::On { threshold: 2 }),
+            None,
+            input,
+            limits,
+        );
+        assert_same(&format!("{what} (untiered)"), &tree, &flat);
+        assert_same(&format!("{what} (tiered)"), &tree, &tiered);
+        compared += 1;
+        match &tiered.result {
+            Err(RtError::CheckFailed { .. }) => caught += 1,
+            Err(e) => assert!(
+                !e.is_memory_error(),
+                "{what}: fault escaped as a raw memory error on ALL engines: {e}"
+            ),
+            Ok(_) => {}
+        }
+    }
+    assert!(
+        compared >= 100,
+        "need at least 100 executable mutants, got {compared}"
+    );
+    assert!(caught > 0, "no mutant was caught by a check");
+}

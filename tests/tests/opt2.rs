@@ -179,17 +179,12 @@ fn invariant_pointer_checks_hoist_to_one_per_loop_entry() {
     );
 }
 
-/// Loop shapes the widener must refuse — its soundness argument only
-/// covers the canonical `i < bound` / `i = i + 1` counted loop over an
-/// unaliased index. Each negative must still agree across all three
-/// configurations, report zero widened checks, keep its per-iteration SEQ
-/// bounds checks byte-for-byte identical to the `--no-loop-opt` baseline,
-/// and pass its own self-check.
-#[test]
-fn widening_negatives_are_left_untouched() {
-    // Down-counting: the step is `i = i - 1`, the guard is `i >= 0`.
-    let down = Workload::new(
-        "widen_neg_down",
+/// Down-counting loop: guard `i >= 0`, step `i = i - 1`. The generalized
+/// widener canonicalizes the direction and probes the entry index plus the
+/// guard's extreme admissible index (here `0`).
+fn down_count_workload() -> Workload {
+    Workload::new(
+        "widen_down",
         "int sum_down(int *a, int n) {\n\
            int s = 0;\n\
            for (int i = n - 1; i >= 0; i = i - 1) s = s + a[i];\n\
@@ -201,11 +196,14 @@ fn widening_negatives_are_left_untouched() {
            return sum_down(buf, 16) == 32 ? 0 : 1;\n\
          }",
     )
-    .without_wrappers();
-    // Non-unit stride: the step is `i = i + 2`; the whole-trip endpoint
-    // argument does not apply, so the widener must not fire.
-    let stride2 = Workload::new(
-        "widen_neg_stride2",
+    .without_wrappers()
+}
+
+/// Non-unit stride: step `i = i + 2`. A stride-2 orbit visits a subset of
+/// the stride-1 indices, so the same two-endpoint probe covers it.
+fn stride2_workload() -> Workload {
+    Workload::new(
+        "widen_stride2",
         "int sum_even(int *a, int n) {\n\
            int s = 0;\n\
            for (int i = 0; i < n; i = i + 2) s = s + a[i];\n\
@@ -217,7 +215,50 @@ fn widening_negatives_are_left_untouched() {
            return sum_even(buf, 16) == 24 ? 0 : 1;\n\
          }",
     )
-    .without_wrappers();
+    .without_wrappers()
+}
+
+/// Down-counting and non-unit-stride loops are widening positives now that
+/// the induction form is canonicalized: the report must attribute the win,
+/// the per-iteration SEQ checks must collapse, and every observable must
+/// stay identical to the `--no-loop-opt` baseline.
+#[test]
+fn generalized_widening_covers_down_count_and_strided_loops() {
+    let opts = InferOptions::default();
+    for w in [down_count_workload(), stride2_workload()] {
+        let [_, elim_only, full_checks] = tri_differential(&w);
+        assert!(
+            full_checks < elim_only,
+            "{}: widening must win ({full_checks} vs {elim_only})",
+            w.name
+        );
+        let full = runner::run_cured_loop_opt(&w, &opts, true, true).unwrap();
+        let noloop = runner::run_cured_loop_opt(&w, &opts, true, false).unwrap();
+        assert!(
+            full.cured.report.checks_widened > 0,
+            "{}: the generalized widener must fire",
+            w.name
+        );
+        assert_eq!(full.stats.exit, 0, "{}: self-check failed", w.name);
+        assert_eq!(full.stats.exit, noloop.stats.exit, "{}", w.name);
+        assert_eq!(full.stats.error, noloop.stats.error, "{}", w.name);
+        assert_eq!(full.stats.output, noloop.stats.output, "{}", w.name);
+        assert!(
+            full.stats.counters.seq_bounds_checks < noloop.stats.counters.seq_bounds_checks,
+            "{}: per-iteration SEQ checks must collapse ({} vs {})",
+            w.name,
+            full.stats.counters.seq_bounds_checks,
+            noloop.stats.counters.seq_bounds_checks
+        );
+    }
+}
+
+/// Loop shapes the widener must still refuse. The aliased-index case must
+/// agree across all three configurations, report zero widened checks, keep
+/// its per-iteration SEQ bounds checks byte-for-byte identical to the
+/// `--no-loop-opt` baseline, and pass its own self-check.
+#[test]
+fn widening_negatives_are_left_untouched() {
     // Aliased index: `i`'s address escapes and the step writes through the
     // alias, so nothing about `i`'s trajectory is knowable statically.
     let alias = Workload::new(
@@ -238,7 +279,8 @@ fn widening_negatives_are_left_untouched() {
     .without_wrappers();
 
     let opts = InferOptions::default();
-    for w in [down, stride2, alias] {
+    {
+        let w = alias;
         tri_differential(&w);
         let full = runner::run_cured_loop_opt(&w, &opts, true, true).unwrap();
         let noloop = runner::run_cured_loop_opt(&w, &opts, true, false).unwrap();
