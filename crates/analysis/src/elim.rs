@@ -38,6 +38,8 @@ pub struct ElisionStats {
     pub rtti: u64,
     /// Elided constant-index bounds checks.
     pub index_bound: u64,
+    /// Elided temporal lock-and-key checks.
+    pub temporal: u64,
 }
 
 impl ElisionStats {
@@ -50,6 +52,7 @@ impl ElisionStats {
             + self.wild_tag
             + self.rtti
             + self.index_bound
+            + self.temporal
     }
 
     /// Accumulates another function's stats.
@@ -61,6 +64,7 @@ impl ElisionStats {
         self.wild_tag += o.wild_tag;
         self.rtti += o.rtti;
         self.index_bound += o.index_bound;
+        self.temporal += o.temporal;
     }
 
     fn bump(&mut self, c: &Check) {
@@ -72,6 +76,7 @@ impl ElisionStats {
             Check::WildTag { .. } => self.wild_tag += 1,
             Check::Rtti { .. } => self.rtti += 1,
             Check::IndexBound { .. } => self.index_bound += 1,
+            Check::Temporal { .. } => self.temporal += 1,
             Check::NoStackEscape { .. } => {}
             // Loop-optimizer artifacts are placed after elimination and are
             // never deleted by this pass.
@@ -226,6 +231,10 @@ struct Facts {
     rtti: BTreeMap<Place, u32>,
     /// Known value intervals of integer places (absent = unknown).
     ranges: BTreeMap<Place, Range>,
+    /// Places whose temporal capability key is verified valid. Unlike every
+    /// other fact, a *call* is what invalidates these (the callee may
+    /// `free`), so [`Facts::kill_call`] clears the whole set.
+    temporal: BTreeSet<Place>,
 }
 
 fn meet_sets(a: &BTreeSet<Place>, b: &BTreeSet<Place>) -> BTreeSet<Place> {
@@ -260,6 +269,7 @@ impl Lattice for Facts {
                     (!r.is_full()).then_some((*k, r))
                 })
                 .collect(),
+            temporal: meet_sets(&self.temporal, &other.temporal),
         }
     }
 }
@@ -273,6 +283,7 @@ impl Facts {
         self.wild_tag.remove(&p);
         self.rtti.remove(&p);
         self.ranges.remove(&p);
+        self.temporal.remove(&p);
     }
 
     /// A store through a pointer or into an aggregate/untracked variable:
@@ -287,14 +298,21 @@ impl Facts {
         self.bounds.retain(|p, _| keep(p));
         self.rtti.retain(|p, _| keep(p));
         self.ranges.retain(|p, _| keep(p));
+        // A store cannot free, so a temporal key verified for an unaliased
+        // local stays valid; an aliased place may have been overwritten
+        // with a different (possibly dead) pointer.
+        self.temporal.retain(keep);
         self.wild_tag.clear();
         self.wild_bounds.clear();
     }
 
     /// A call: the callee may write any global or any heap cell — including
-    /// any local whose address has escaped.
+    /// any local whose address has escaped — and, crucially for temporal
+    /// safety, may `free` *any* heap allocation, so every temporal fact
+    /// dies regardless of aliasing.
     fn kill_call(&mut self, aliased: &HashSet<u32>) {
         self.kill_memory_write(aliased);
+        self.temporal.clear();
     }
 
     fn copy_all(&mut self, src: Place, dst: Place) {
@@ -319,6 +337,9 @@ impl Facts {
         if let Some(v) = self.ranges.get(&src).copied() {
             self.ranges.insert(dst, v);
         }
+        if self.temporal.contains(&src) {
+            self.temporal.insert(dst);
+        }
     }
 
     /// Copy across a pointer cast: only value facts survive (the fat
@@ -330,6 +351,11 @@ impl Facts {
         }
         if self.null.contains(&src) {
             self.null.insert(dst);
+        }
+        // A cast preserves the address, hence the allocation the pointer
+        // names — temporal validity travels with it.
+        if self.temporal.contains(&src) {
+            self.temporal.insert(dst);
         }
     }
 }
@@ -483,6 +509,11 @@ impl ElimAnalysis<'_> {
                         hi: *len as i128 - 1,
                     };
                     fact.ranges.insert(p, cur.intersect(&proved));
+                }
+            }
+            Check::Temporal { ptr } => {
+                if let Some(p) = self.stripped_place(ptr) {
+                    fact.temporal.insert(p);
                 }
             }
             Check::NoStackEscape { .. } => {}
@@ -811,6 +842,10 @@ fn decide(a: &ElimAnalysis<'_>, func: &Function, c: &Check, fact: &Facts) -> Dec
             }
             Decision::Keep
         }
+        Check::Temporal { ptr } => match a.stripped_place(ptr) {
+            Some(p) if fact.temporal.contains(&p) => Decision::Elide,
+            _ => Decision::Keep,
+        },
         Check::NoStackEscape { .. } => Decision::Keep,
         // Loop-optimizer artifacts: placed after this pass ran; never
         // rejudged.
@@ -868,6 +903,13 @@ fn keep_reason(a: &ElimAnalysis<'_>, c: &Check, fact: &Facts) -> String {
                 ),
                 None => "index is not a compile-time constant and its value range is unknown".into(),
             },
+        },
+        Check::Temporal { ptr } => match a.stripped_place(ptr) {
+            None => UNTRACKED.into(),
+            Some(_) => {
+                "no dominating temporal check on every incoming path (an intervening call may free the allocation)"
+                    .into()
+            }
         },
         Check::NoStackEscape { .. } => {
             "stack-escape checks depend on the run-time value stored and are never elided".into()
@@ -990,7 +1032,8 @@ pub(crate) fn visit_check(c: &Check, f: &mut impl FnMut(&Exp)) {
         | Check::SeqToSafe { ptr, .. }
         | Check::WildBounds { ptr, .. }
         | Check::WildTag { ptr }
-        | Check::Rtti { ptr, .. } => visit_exp(ptr, f),
+        | Check::Rtti { ptr, .. }
+        | Check::Temporal { ptr } => visit_exp(ptr, f),
         Check::NoStackEscape { value } => visit_exp(value, f),
         Check::IndexBound { index, .. } => visit_exp(index, f),
         Check::Probe { inner, .. } => {
@@ -1110,6 +1153,73 @@ mod tests {
         assert_eq!(r.stats.null, 1, "the second identical check is redundant");
         assert_eq!(count_checks(&prog), 1);
         assert!(r.failures.is_empty());
+    }
+
+    fn temporal_check(prog: &Program, name: &str) -> Instr {
+        Instr::Check(
+            Check::Temporal {
+                ptr: load(prog, name),
+            },
+            Span::DUMMY,
+            SiteId::NONE,
+        )
+    }
+
+    #[test]
+    fn dominated_temporal_check_is_elided() {
+        let mut prog = lower("int f(int *p) { return 0; }");
+        let c1 = temporal_check(&prog, "p");
+        let c2 = temporal_check(&prog, "p");
+        prog.functions[0].body.insert(0, Stmt::Instr(vec![c1, c2]));
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.temporal, 1, "back-to-back key checks are redundant");
+        assert_eq!(count_checks(&prog), 1);
+    }
+
+    #[test]
+    fn any_call_kills_the_temporal_fact_but_not_nullness() {
+        // temporal+null before a call, temporal+null after: the callee may
+        // `free` p's allocation (temporal check survives elimination), but
+        // it cannot change what the unaliased local p points to (the second
+        // null check is still dominated).
+        let mut prog = lower("extern int g(void);\nint f(int *p, int x) { x = g(); return x; }");
+        let call = prog.functions[0]
+            .body
+            .iter()
+            .position(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Call(..)))),
+            )
+            .expect("call stmt");
+        let before = Stmt::Instr(vec![temporal_check(&prog, "p"), null_check(&prog, "p")]);
+        let after = Stmt::Instr(vec![temporal_check(&prog, "p"), null_check(&prog, "p")]);
+        prog.functions[0].body.insert(call + 1, after);
+        prog.functions[0].body.insert(call, before);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.temporal, 0, "the callee may free p's allocation");
+        assert_eq!(r.stats.null, 1, "nullness of an unaliased local survives");
+        assert_eq!(count_checks(&prog), 3);
+    }
+
+    #[test]
+    fn memory_write_spares_unaliased_temporal_fact() {
+        // A store through some *other* pointer cannot free an allocation,
+        // and cannot retarget the unaliased local p — the second key check
+        // stays redundant across `*q = 1`.
+        let mut prog = lower("int f(int *p, int *q) { *q = 1; return 0; }");
+        let store = prog.functions[0]
+            .body
+            .iter()
+            .position(
+                |s| matches!(s, Stmt::Instr(is) if is.iter().any(|i| matches!(i, Instr::Set(lv, ..) if !matches!(lv.base, ccured_cil::ir::LvBase::Local(_))))),
+            )
+            .expect("indirect store stmt");
+        let before = Stmt::Instr(vec![temporal_check(&prog, "p")]);
+        let after = Stmt::Instr(vec![temporal_check(&prog, "p")]);
+        prog.functions[0].body.insert(store + 1, after);
+        prog.functions[0].body.insert(store, before);
+        let r = eliminate_checks(&mut prog);
+        assert_eq!(r.stats.temporal, 1, "a plain store frees nothing");
+        assert_eq!(count_checks(&prog), 1);
     }
 
     #[test]

@@ -63,6 +63,12 @@ fn hoist_in_instrs(
             Instr::Check(Check::Null { ptr } | Check::Rtti { ptr, .. }, _, _) => {
                 exp_invariant(cx, info, ptr)
             }
+            // A temporal verdict is a function of the operand value *and*
+            // the key table, which only a call can change (`free` is an
+            // external call) — never hoist across a loop that calls.
+            Instr::Check(Check::Temporal { ptr }, _, _) => {
+                info.calls == 0 && exp_invariant(cx, info, ptr)
+            }
             _ => false,
         };
         if hoistable {

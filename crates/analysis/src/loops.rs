@@ -191,6 +191,10 @@ pub(crate) struct SubtreeInfo {
     pub labels: HashSet<String>,
     /// Goto counts per label, from gotos inside the subtree.
     pub gotos: HashMap<String, usize>,
+    /// Calls (defined or external) anywhere in the subtree. Temporal checks
+    /// are only hoistable out of call-free loops: any callee may `free` and
+    /// flip the verdict between iterations.
+    pub calls: usize,
 }
 
 fn walk_stmts(cx: &mut FnCx, stmts: &mut Vec<Stmt>) {
@@ -264,6 +268,7 @@ pub(crate) fn subtree_info(stmts: &[Stmt]) -> SubtreeInfo {
         assigned: HashSet::new(),
         labels: HashSet::new(),
         gotos: HashMap::new(),
+        calls: 0,
     };
     collect_info(stmts, &mut info);
     info
@@ -277,6 +282,7 @@ fn collect_info(stmts: &[Stmt], info: &mut SubtreeInfo) {
                     match i {
                         Instr::Set(lv, _, _) => note_assign(lv, info),
                         Instr::Call(ret, _, _, _) => {
+                            info.calls += 1;
                             if let Some(lv) = ret {
                                 note_assign(lv, info);
                             }

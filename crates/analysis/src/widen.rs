@@ -96,7 +96,25 @@ use crate::loops::{
     OptAction, SubtreeInfo,
 };
 use ccured_cil::ir::{BinOp, Check, Const, Exp, Instr, LvBase, Stmt};
-use ccured_cil::types::Type;
+use ccured_cil::types::{Type, TypeTable};
+
+/// The integer value of `e` when it is a compile-time constant, looking
+/// through casts that preserve this *specific* value: the frontend lowers
+/// `unsigned i = 0; i > 0` with the literal as `(uint)(0)`, and while
+/// int→uint is not value-preserving in general, it is for `0`. Each cast
+/// along the chain must keep the value representable — a truncating
+/// constant cast (`(unsigned char)(300)`) conservatively refuses.
+fn const_int_value(types: &TypeTable, e: &Exp) -> Option<i128> {
+    match e {
+        Exp::Const(Const::Int(v, _), _) => Some(*v),
+        Exp::Cast(_, inner, t) => {
+            let v = const_int_value(types, inner)?;
+            let (lo, hi) = int_bounds(types, *t)?;
+            (lo <= v && v <= hi).then_some(v)
+        }
+        _ => None,
+    }
+}
 
 /// Which way the induction variable moves.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -132,11 +150,10 @@ pub(crate) fn try_widen(cx: &mut FnCx, body: &mut [Stmt], info: &SubtreeInfo) ->
         return None;
     }
     let bound = strip_preserving_casts(cx.types, guard.bound);
-    let bound_ok = match bound {
-        Exp::Const(Const::Int(..), _) => true,
-        _ => matches!(direct_local_load(cx.types, bound),
-            Some((l, _)) if !info.assigned.contains(&l) && !cx.aliased.contains(&l)),
-    };
+    let bound_const = const_int_value(cx.types, bound);
+    let bound_ok = bound_const.is_some()
+        || matches!(direct_local_load(cx.types, bound),
+            Some((l, _)) if !info.assigned.contains(&l) && !cx.aliased.contains(&l));
     if !bound_ok {
         return None;
     }
@@ -151,9 +168,9 @@ pub(crate) fn try_widen(cx: &mut FnCx, body: &mut [Stmt], info: &SubtreeInfo) ->
 
     // No-wrap proof for the induction variable (see the module docs).
     if !step_signed {
-        let (bound_lo, bound_hi) = match bound {
-            Exp::Const(Const::Int(v, _), _) => (*v, *v),
-            _ => int_bounds(cx.types, bound.ty())?,
+        let (bound_lo, bound_hi) = match bound_const {
+            Some(v) => (v, v),
+            None => int_bounds(cx.types, bound.ty())?,
         };
         // Saturating arithmetic: saturation only makes the comparison
         // fail, i.e. conservatively refuses the widening.
@@ -305,20 +322,15 @@ fn induction_step(cx: &FnCx, body: &[Stmt], guard: &Guard) -> Option<(i128, bool
     let is_idx =
         |e: &Exp| matches!(direct_local_load(cx.types, e), Some((l, _)) if l == guard.idx_local);
     let c = match (op, is_idx(a), is_idx(b)) {
-        (BinOp::Add | BinOp::Sub, true, _) => match strip_preserving_casts(cx.types, b) {
-            Exp::Const(Const::Int(v, _), _) => {
-                if *op == BinOp::Sub {
-                    v.checked_neg()?
-                } else {
-                    *v
-                }
+        (BinOp::Add | BinOp::Sub, true, _) => {
+            let v = const_int_value(cx.types, b)?;
+            if *op == BinOp::Sub {
+                v.checked_neg()?
+            } else {
+                v
             }
-            _ => return None,
-        },
-        (BinOp::Add, _, true) => match strip_preserving_casts(cx.types, a) {
-            Exp::Const(Const::Int(v, _), _) => *v,
-            _ => return None,
-        },
+        }
+        (BinOp::Add, _, true) => const_int_value(cx.types, a)?,
         _ => return None,
     };
     let (dir, stride) = match c {

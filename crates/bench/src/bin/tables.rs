@@ -1,11 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|fig-profile|fig-opt2|fig-serve|fig-synth|fig-hot|all] [--smoke]`
+//! Usage: `tables [fig8|fig9|casts|ijpeg|bind|suites|split|security|ablation|fig-batch|fig-interp|fig-profile|fig-opt2|fig-serve|fig-synth|fig-hot|fig-temporal|all] [--smoke]`
 //!
-//! `fig-interp`, `fig-profile`, `fig-opt2` and `fig-hot` write
-//! `BENCH_interp.json` / `BENCH_profile.json` / `BENCH_opt2.json` /
-//! `BENCH_hot.json` to the working directory; `--smoke` shrinks their
-//! workloads for CI.
+//! `fig-interp`, `fig-profile`, `fig-opt2`, `fig-hot` and `fig-temporal`
+//! write `BENCH_interp.json` / `BENCH_profile.json` / `BENCH_opt2.json` /
+//! `BENCH_hot.json` / `BENCH_temporal.json` to the working directory;
+//! `--smoke` shrinks their workloads for CI.
 //!
 //! Each table prints our measurement next to the paper's reported value
 //! (absolute numbers are not comparable — the substrate is an interpreter —
@@ -31,6 +31,7 @@ const TABLES: &[&str] = &[
     "fig-serve",
     "fig-synth",
     "fig-hot",
+    "fig-temporal",
     "all",
 ];
 
@@ -94,6 +95,62 @@ fn main() {
     }
     if all || which == "fig-hot" {
         fig_hot_table(smoke);
+    }
+    if all || which == "fig-temporal" {
+        fig_temporal_table(smoke);
+    }
+}
+
+fn fig_temporal_table(smoke: bool) {
+    println!(
+        "== E19: temporal lock-and-key check overhead (--temporal){} ==\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let f = fig_temporal(smoke);
+    let us = |d: std::time::Duration| format!("{:.0} us", d.as_secs_f64() * 1e6);
+    let rows: Vec<Vec<String>> = f
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}/{}", r.steps_plain, r.steps_temporal),
+                r.temporal_checks.to_string(),
+                us(r.tree_plain),
+                us(r.tree_temporal),
+                us(r.vm_plain),
+                us(r.vm_temporal),
+                format!("{:.2}x", r.overhead_tree()),
+                format!("{:.2}x", r.overhead_vm()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "steps plain/temporal",
+                "key checks",
+                "tree",
+                "tree+t",
+                "vm",
+                "vm+t",
+                "tree ovh",
+                "vm ovh"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "geomean temporal overhead: tree {:.2}x, vm {:.2}x (best of {} runs; ceiling 1.5x)",
+        f.geomean_overhead_tree(),
+        f.geomean_overhead_vm(),
+        f.reps
+    );
+    match std::fs::write("BENCH_temporal.json", f.to_json()) {
+        Ok(()) => println!("wrote BENCH_temporal.json"),
+        Err(e) => eprintln!("could not write BENCH_temporal.json: {e}"),
     }
 }
 

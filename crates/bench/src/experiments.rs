@@ -722,6 +722,178 @@ pub fn fig_interp(smoke: bool) -> InterpFig {
     InterpFig { rows, reps }
 }
 
+/// E19 (`fig-temporal`): one workload's spatial-only vs temporal
+/// (`--temporal`) comparison on both engines.
+#[derive(Debug, Clone)]
+pub struct TemporalRow {
+    /// Workload name.
+    pub name: String,
+    /// Guest steps of the spatial-only cure (identical on both engines).
+    pub steps_plain: u64,
+    /// Guest steps with temporal checks emitted (the delta is the emitted
+    /// lock-and-key checks that survive the eliminator).
+    pub steps_temporal: u64,
+    /// Executed temporal key checks (engine-independent).
+    pub temporal_checks: u64,
+    /// Best-of-`reps` wall-clock, spatial-only cure, tree engine.
+    pub tree_plain: std::time::Duration,
+    /// Best-of-`reps` wall-clock, temporal cure, tree engine.
+    pub tree_temporal: std::time::Duration,
+    /// Best-of-`reps` wall-clock, spatial-only cure, bytecode VM.
+    pub vm_plain: std::time::Duration,
+    /// Best-of-`reps` wall-clock, temporal cure, bytecode VM.
+    pub vm_temporal: std::time::Duration,
+}
+
+impl TemporalRow {
+    /// `temporal / plain` on the tree engine — what `--temporal` costs.
+    pub fn overhead_tree(&self) -> f64 {
+        self.tree_temporal.as_secs_f64() / self.tree_plain.as_secs_f64().max(1e-9)
+    }
+
+    /// `temporal / plain` on the bytecode VM.
+    pub fn overhead_vm(&self) -> f64 {
+        self.vm_temporal.as_secs_f64() / self.vm_plain.as_secs_f64().max(1e-9)
+    }
+}
+
+/// E19 (`fig-temporal`): the whole comparison.
+#[derive(Debug, Clone)]
+pub struct TemporalFig {
+    /// Per-workload timings.
+    pub rows: Vec<TemporalRow>,
+    /// Timing repetitions per configuration (best-of).
+    pub reps: u32,
+}
+
+impl TemporalFig {
+    /// Geometric mean of the tree-engine temporal overheads.
+    pub fn geomean_overhead_tree(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        (self
+            .rows
+            .iter()
+            .map(|r| r.overhead_tree().ln())
+            .sum::<f64>()
+            / n)
+            .exp()
+    }
+
+    /// Geometric mean of the VM temporal overheads.
+    pub fn geomean_overhead_vm(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        (self.rows.iter().map(|r| r.overhead_vm().ln()).sum::<f64>() / n).exp()
+    }
+
+    /// `BENCH_temporal.json` — machine-readable record for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"experiment\": \"fig-temporal\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"steps_plain\": {}, \"steps_temporal\": {}, \"temporal_checks\": {}, \"tree_plain_us\": {}, \"tree_temporal_us\": {}, \"vm_plain_us\": {}, \"vm_temporal_us\": {}, \"overhead_tree\": {:.3}, \"overhead_vm\": {:.3}}}{}\n",
+                r.name,
+                r.steps_plain,
+                r.steps_temporal,
+                r.temporal_checks,
+                r.tree_plain.as_micros(),
+                r.tree_temporal.as_micros(),
+                r.vm_plain.as_micros(),
+                r.vm_temporal.as_micros(),
+                r.overhead_tree(),
+                r.overhead_vm(),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"reps\": {},\n  \"geomean_overhead_tree\": {:.3},\n  \"geomean_overhead_vm\": {:.3}\n}}\n",
+            self.reps,
+            self.geomean_overhead_tree(),
+            self.geomean_overhead_vm()
+        ));
+        s
+    }
+}
+
+/// Times one cured run on `engine`, honouring the cure's temporal flag
+/// (unlike [`time_cured`], which benches spatial-only cures). Returns the
+/// best wall-clock of `reps` runs plus the engine-independent guest-step
+/// and executed-temporal-check counters.
+fn time_cured_temporal(
+    cured: &ccured::Cured,
+    engine: ccured_rt::Engine,
+    input: &[u8],
+    reps: u32,
+) -> (std::time::Duration, u64, u64) {
+    use ccured_rt::Interp;
+    let mut best = std::time::Duration::MAX;
+    let (mut steps, mut checks) = (0, 0);
+    for _ in 0..reps.max(1) {
+        let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
+        interp.set_engine(engine);
+        interp.set_temporal(cured.temporal);
+        interp.set_input(input.to_vec());
+        let t0 = std::time::Instant::now();
+        interp.run().expect("bench workload runs clean");
+        best = best.min(t0.elapsed());
+        steps = interp.counters.instrs;
+        checks = interp.counters.temporal_checks;
+    }
+    (best, steps, checks)
+}
+
+/// E19 (`fig-temporal`): temporal-check overhead over the Figure-9 corpus.
+/// Each workload is cured twice — spatial-only and with `--temporal` — and
+/// both cures run on both engines; the row's overhead is the wall-clock
+/// ratio per engine. `smoke` shrinks the workloads for CI.
+pub fn fig_temporal(smoke: bool) -> TemporalFig {
+    let (ws, reps) = interp_corpus(smoke);
+    let rows = ws
+        .iter()
+        .map(|w| {
+            let cure = |temporal: bool| {
+                let mut curer = ccured::Curer::new();
+                if w.with_wrappers {
+                    curer.with_stdlib_wrappers();
+                }
+                curer.temporal(temporal);
+                curer.cure_source(&w.source).expect("fig-temporal cure")
+            };
+            let plain = cure(false);
+            let temporal = cure(true);
+            let (tree_plain, tp_steps, _) =
+                time_cured_temporal(&plain, ccured_rt::Engine::Tree, &w.input, reps);
+            let (vm_plain, vp_steps, _) =
+                time_cured_temporal(&plain, ccured_rt::Engine::Vm, &w.input, reps);
+            let (tree_temporal, tt_steps, tt_checks) =
+                time_cured_temporal(&temporal, ccured_rt::Engine::Tree, &w.input, reps);
+            let (vm_temporal, vt_steps, vt_checks) =
+                time_cured_temporal(&temporal, ccured_rt::Engine::Vm, &w.input, reps);
+            assert_eq!(
+                tp_steps, vp_steps,
+                "{}: engines disagree on spatial-only steps",
+                w.name
+            );
+            assert_eq!(
+                (tt_steps, tt_checks),
+                (vt_steps, vt_checks),
+                "{}: engines disagree under --temporal",
+                w.name
+            );
+            TemporalRow {
+                name: w.name.clone(),
+                steps_plain: tp_steps,
+                steps_temporal: tt_steps,
+                temporal_checks: tt_checks,
+                tree_plain,
+                tree_temporal,
+                vm_plain,
+                vm_temporal,
+            }
+        })
+        .collect();
+    TemporalFig { rows, reps }
+}
+
 /// E18 (`fig-hot`): one workload's three-way engine comparison — the
 /// tree-walking reference, the untiered single-tier VM (the E13
 /// configuration) and the profile-guided tiered VM.
@@ -1547,6 +1719,82 @@ mod tests {
         assert!(j.contains("\"geomean_untiered_speedup\": 2.000"), "{j}");
         assert!(j.contains("\"geomean_tiered_speedup\": 3.000"), "{j}");
         assert!(j.contains("\"vm_tiered_us\": 300"), "{j}");
+    }
+
+    /// E19: the temporal cure must execute key checks on the corpus, add
+    /// guest steps only (never remove any), and agree across engines —
+    /// [`fig_temporal`] asserts the cross-engine step/check equality
+    /// internally, so this test is also that assertion's smoke run.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full corpus is release-sized; debug runs take minutes"
+    )]
+    fn fig_temporal_counts_checks_and_engines_agree() {
+        let f = fig_temporal(true);
+        assert!(
+            f.rows.iter().any(|r| r.temporal_checks > 0),
+            "corpus must execute temporal key checks"
+        );
+        for r in &f.rows {
+            assert!(r.steps_plain > 0, "{}: no guest steps recorded", r.name);
+            assert!(
+                r.steps_temporal >= r.steps_plain,
+                "{}: temporal cure removed guest steps ({} < {})",
+                r.name,
+                r.steps_temporal,
+                r.steps_plain
+            );
+        }
+    }
+
+    /// E19: temporal checking must stay cheap — a key compare per deref,
+    /// not a shadow-memory walk. The ceiling sits at 1.5× geomean per
+    /// engine (measured ~1.1–1.2×), well clear of the Valgrind-class
+    /// order-of-magnitude cost the paper contrasts against.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "wall-clock ratio is only meaningful in release"
+    )]
+    fn fig_temporal_overhead_under_ceiling() {
+        let f = fig_temporal(true);
+        let tree = f.geomean_overhead_tree();
+        let vm = f.geomean_overhead_vm();
+        println!("E19 ceiling: tree {tree:.2}x, vm {vm:.2}x (ceiling 1.5x)");
+        assert!(
+            tree <= 1.5,
+            "temporal overhead on the tree engine must be ≤1.5× (geomean), got {tree:.2}×"
+        );
+        assert!(
+            vm <= 1.5,
+            "temporal overhead on the VM must be ≤1.5× (geomean), got {vm:.2}×"
+        );
+    }
+
+    /// E19: the JSON record carries both per-engine geomeans and the raw
+    /// counters the overhead is computed from.
+    #[test]
+    fn fig_temporal_json_records_overheads() {
+        let f = TemporalFig {
+            rows: vec![TemporalRow {
+                name: "w".into(),
+                steps_plain: 100,
+                steps_temporal: 120,
+                temporal_checks: 20,
+                tree_plain: std::time::Duration::from_micros(800),
+                tree_temporal: std::time::Duration::from_micros(1000),
+                vm_plain: std::time::Duration::from_micros(400),
+                vm_temporal: std::time::Duration::from_micros(440),
+            }],
+            reps: 2,
+        };
+        let j = f.to_json();
+        assert!(j.contains("\"experiment\": \"fig-temporal\""), "{j}");
+        assert!(j.contains("\"geomean_overhead_tree\": 1.250"), "{j}");
+        assert!(j.contains("\"geomean_overhead_vm\": 1.100"), "{j}");
+        assert!(j.contains("\"temporal_checks\": 20"), "{j}");
+        assert!(j.contains("\"steps_temporal\": 120"), "{j}");
     }
 
     /// E14: the profile figure's internal cross-engine assertion must hold

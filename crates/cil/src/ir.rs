@@ -370,6 +370,15 @@ pub enum Check {
         /// The static array length.
         len: u64,
     },
+    /// Temporal lock-and-key comparison (`--temporal`): the pointer's
+    /// capability key — stamped at `malloc`/stack entry — must still be
+    /// valid, i.e. the allocation it names has not been freed. Emitted
+    /// before every dereference so use-after-free is caught by the cured
+    /// program's own checks rather than by the abstract machine.
+    Temporal {
+        /// The pointer being dereferenced.
+        ptr: Exp,
+    },
     /// Loop-optimizer probe: placed by the hoisting/widening passes
     /// immediately before a [`Check::Guarded`] residual. When the frame's
     /// guard `slot` is unset it evaluates every `inner` check; if all pass
@@ -416,6 +425,7 @@ impl Check {
             Check::Rtti { .. } => "rtti",
             Check::NoStackEscape { .. } => "no_stack_escape",
             Check::IndexBound { .. } => "index_bound",
+            Check::Temporal { .. } => "temporal",
             Check::Probe { .. } => "probe",
             Check::Guarded { .. } => "guarded",
             Check::GuardReset { .. } => "guard_reset",

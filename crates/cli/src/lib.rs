@@ -222,6 +222,13 @@ pub struct Options {
     /// `--no-tier`: disable profile-guided tiering in the bytecode VM
     /// (every function gets the single-tier fused compile).
     pub no_tier: bool,
+    /// `--temporal`: emit lock-and-key temporal checks (use-after-free and
+    /// double-free become ordinary check failures with blame, instead of
+    /// being silently neutralized by the GC-backed `free`).
+    pub temporal: bool,
+    /// `--emit-pgo FILE` (profile subcommand): also write the machine-
+    /// readable profile to FILE, ready to feed back via `--pgo`.
+    pub emit_pgo: Option<String>,
 }
 
 /// A usage/parse error.
@@ -406,6 +413,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--input" => o.input = Some(need(&mut it, "--input")?),
             "--pgo" => o.pgo = Some(need(&mut it, "--pgo")?),
             "--no-tier" => o.no_tier = true,
+            "--temporal" => o.temporal = true,
+            "--emit-pgo" => o.emit_pgo = Some(need(&mut it, "--emit-pgo")?),
             "--fuel" => {
                 let v = need(&mut it, "--fuel")?;
                 o.fuel = Some(
@@ -515,6 +524,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
             "--pgo only applies to cured mode (the tier plan names check sites)".into(),
         ));
     }
+    if o.temporal && o.mode != Mode::Cured {
+        return Err(UsageError(
+            "--temporal only applies to cured mode (the temporal checks are cure-inserted)".into(),
+        ));
+    }
+    if o.emit_pgo.is_some() && !o.profile {
+        return Err(UsageError(
+            "--emit-pgo only applies to the `profile` subcommand".into(),
+        ));
+    }
     if o.client && o.request.is_none() {
         return Err(UsageError(
             "client needs a request, e.g. `ccured client /tmp/cc.sock status`".into(),
@@ -529,12 +548,13 @@ pub const USAGE: &str =
               [--input FILE] [--report] [--review] [--counters] [--emit-ir] [--wrappers]
               [--strict-link] [--original-ccured] [--no-rtti] [--no-opt]
               [--split-everything] [--split-at-boundaries] [--fuel N] [--engine vm|tree]
-              [--pgo FILE] [--no-tier]
+              [--pgo FILE] [--no-tier] [--temporal]
        ccured explain <file.c> [--sym NAME] [other options]
-       ccured crash-test <file.c> [--mutants N] [--seed S] [--json]
+       ccured crash-test <file.c> [--mutants N] [--seed S] [--json] [--temporal]
        ccured batch <dir|manifest> [--jobs N] [--cache-dir D] [--no-cache] [--profile] [--json]
                    [--deadline-ms N]
        ccured profile <file.c> [--top N] [--json] [--engine vm|tree] [--pgo FILE] [--no-tier]
+                   [--emit-pgo FILE] [--temporal]
        ccured serve <socket> [--workers N] [--cache-dir D] [--no-cache] [--deadline-ms N]
                    [--queue-cap N] [--fault-poison SUBSTR]
        ccured client <socket> <request...>   (cure|profile|explain <path> | status|reset|shutdown)
@@ -563,7 +583,8 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
     if o.crash_test {
         let mut cfg =
             ccured_faultinject::CrashTest::new(o.mutants.unwrap_or(60), o.seed.unwrap_or(1))
-                .with_engine(o.engine);
+                .with_engine(o.engine)
+                .with_temporal(o.temporal);
         if let Some(f) = o.fuel {
             cfg.limits.fuel = f;
         }
@@ -651,7 +672,7 @@ pub fn drive(o: &Options, source: &str, input: &[u8]) -> Result<Outcome, CureErr
         out.push_str(&ccured_cil::pretty::dump_program(&cured.program));
     }
     if o.profile || o.run {
-        let plan = load_tier_plan(o, &cured)?;
+        let plan = load_tier_plan(o, &cured, &mut out)?;
         if o.profile {
             return Ok(run_profile(&cured, o, plan, source, input, out));
         }
@@ -935,6 +956,7 @@ fn curer(o: &Options) -> Curer {
     if o.wrappers {
         c.with_stdlib_wrappers();
     }
+    c.temporal(o.temporal);
     c
 }
 
@@ -1033,16 +1055,32 @@ fn render_opt_actions(cured: &Cured, o: &Options, map: &ccured_ast::SourceMap, o
 /// functions and check sites that were hot in the saved run compile
 /// straight to the VM's optimized tier on their first call.
 ///
+/// A profile that parses but no longer matches this unit's site table
+/// (the source was edited since it was recorded) is *stale*: a warning is
+/// appended to `out` and the run falls back to online heat detection, as
+/// if `--pgo` had not been given.
+///
 /// # Errors
 ///
 /// [`CureError::Internal`] when the file is unreadable or is not a
 /// profile this build can read (missing or mismatched `schema` tag).
-fn load_tier_plan(o: &Options, cured: &Cured) -> Result<Option<ccured_rt::TierPlan>, CureError> {
+fn load_tier_plan(
+    o: &Options,
+    cured: &Cured,
+    out: &mut String,
+) -> Result<Option<ccured_rt::TierPlan>, CureError> {
     let Some(path) = &o.pgo else { return Ok(None) };
     let text = std::fs::read_to_string(path)
         .map_err(|e| CureError::Internal(format!("--pgo: cannot read `{path}`: {e}")))?;
     let prof = ccured_rt::Profile::from_pgo_json(&text)
         .map_err(|e| CureError::Internal(format!("--pgo `{path}`: {e}")))?;
+    if let Err(why) = ccured_rt::profile::validate_pgo_against_sites(&text, &cured.sites) {
+        out.push_str(&format!(
+            "ccured: warning: --pgo `{path}` is stale and was ignored ({why}); \
+             falling back to online heat detection\n"
+        ));
+        return Ok(None);
+    }
     Ok(Some(ccured_rt::tier_plan(&cured.sites, &prof)))
 }
 
@@ -1068,6 +1106,7 @@ fn execute(
 ) -> Outcome {
     let mut interp = Interp::new(prog, mode);
     interp.set_engine(o.engine);
+    interp.set_temporal(o.temporal);
     apply_tiering(&mut interp, o, plan);
     interp.set_input(input.to_vec());
     if let Some(f) = o.fuel {
@@ -1089,7 +1128,7 @@ fn execute(
     if o.counters {
         let c = &interp.counters;
         out.push_str(&format!(
-            "-- counters: instrs={} loads={} stores={} checks={} (null={} seq={} wild={} rtti={} index={}) meta_ops={}\n",
+            "-- counters: instrs={} loads={} stores={} checks={} (null={} seq={} wild={} rtti={} index={} temporal={}) meta_ops={}\n",
             c.instrs,
             c.loads,
             c.stores,
@@ -1099,6 +1138,7 @@ fn execute(
             c.wild_bounds_checks + c.wild_tag_checks,
             c.rtti_checks,
             c.index_checks,
+            c.temporal_checks,
             c.meta_ops,
         ));
     }
@@ -1119,6 +1159,7 @@ fn run_profile(
 ) -> Outcome {
     let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
     interp.set_engine(o.engine);
+    interp.set_temporal(o.temporal);
     apply_tiering(&mut interp, o, plan);
     interp.set_input(input.to_vec());
     if let Some(f) = o.fuel {
@@ -1145,6 +1186,26 @@ fn run_profile(
         out.push_str(&profile_json(o, &rows, &profile));
     } else {
         render_profile(o, source, &rows, &profile, &mut out);
+    }
+    if let Some(path) = &o.emit_pgo {
+        // The emitted file is the full `--json` export (`ccured-profile/v1`):
+        // all rows, so `--pgo` round-trips losslessly.
+        let all = Options {
+            top: None,
+            ..o.clone()
+        };
+        match std::fs::write(path, profile_json(&all, &rows, &profile)) {
+            Ok(()) => out.push_str(&format!(
+                "profile written to `{path}` (feed back with --pgo)\n"
+            )),
+            Err(e) => {
+                out.push_str(&format!("ccured: error: --emit-pgo `{path}`: {e}\n"));
+                return Outcome {
+                    exit: 4,
+                    stdout: out,
+                };
+            }
+        }
     }
     Outcome { exit, stdout: out }
 }
@@ -1324,7 +1385,7 @@ fn render_report(cured: &Cured, out: &mut String) {
     ));
     let k = &r.checks_inserted;
     out.push_str(&format!(
-        "checks inserted: {} (null={} seq={} seq2safe={} wild={} tag={} rtti={} escape={} index={})\n",
+        "checks inserted: {} (null={} seq={} seq2safe={} wild={} tag={} rtti={} escape={} index={} temporal={})\n",
         k.total(),
         k.null,
         k.seq_bounds,
@@ -1333,11 +1394,12 @@ fn render_report(cured: &Cured, out: &mut String) {
         k.wild_tag,
         k.rtti,
         k.no_stack_escape,
-        k.index_bound
+        k.index_bound,
+        k.temporal
     ));
     let e = &r.checks_elided;
     out.push_str(&format!(
-        "checks elided: {} (null={} seq={} seq2safe={} wild={} tag={} rtti={} index={})\n",
+        "checks elided: {} (null={} seq={} seq2safe={} wild={} tag={} rtti={} index={} temporal={})\n",
         e.total(),
         e.null,
         e.seq_bounds,
@@ -1345,7 +1407,8 @@ fn render_report(cured: &Cured, out: &mut String) {
         e.wild_bounds,
         e.wild_tag,
         e.rtti,
-        e.index_bound
+        e.index_bound,
+        e.temporal
     ));
     if r.checks_hoisted + r.checks_widened > 0 {
         out.push_str(&format!(
@@ -1936,6 +1999,127 @@ mod tests {
         .unwrap();
         assert_eq!(split.exit, 6);
         assert!(!split.stdout.contains("meta_ops=0"), "{}", split.stdout);
+    }
+
+    #[test]
+    fn parses_temporal_and_emit_pgo_flags() {
+        let o = args("prog.c --run --temporal").unwrap();
+        assert!(o.temporal);
+        assert!(args("crash-test prog.c --temporal").unwrap().temporal);
+        assert!(args("profile prog.c --temporal").unwrap().temporal);
+        assert!(
+            args("prog.c --run --mode original --temporal").is_err(),
+            "--temporal is cured-mode only"
+        );
+        let p = args("profile prog.c --emit-pgo /tmp/p.json").unwrap();
+        assert_eq!(p.emit_pgo.as_deref(), Some("/tmp/p.json"));
+        assert!(
+            args("prog.c --run --emit-pgo /tmp/p.json").is_err(),
+            "--emit-pgo needs the profile subcommand"
+        );
+        assert!(args("profile prog.c --emit-pgo").is_err(), "missing value");
+    }
+
+    #[test]
+    fn drive_temporal_catches_use_after_free_on_both_engines() {
+        let src = "extern void *malloc(unsigned long n);\n\
+                   extern void free(void *p);\n\
+                   int main(void) {\n\
+                     int *p = (int *)malloc(4);\n\
+                     *p = 41;\n\
+                     free(p);\n\
+                     return *p + 1;\n\
+                   }";
+        // Without --temporal the GC-backed `free` masks the bug entirely.
+        let plain = drive(&args("t.c --run").unwrap(), src, b"").unwrap();
+        assert_eq!(plain.exit, 42, "{}", plain.stdout);
+        // With it, the dangling deref is an ordinary check failure.
+        let vm = drive(&args("t.c --run --temporal --counters").unwrap(), src, b"").unwrap();
+        let tree = drive(
+            &args("t.c --run --temporal --counters --engine tree").unwrap(),
+            src,
+            b"",
+        )
+        .unwrap();
+        assert_eq!(vm.exit, 3, "{}", vm.stdout);
+        assert!(vm.stdout.contains("use after free"), "{}", vm.stdout);
+        assert!(!vm.stdout.contains("temporal=0"), "{}", vm.stdout);
+        assert_eq!(vm.stdout, tree.stdout, "engines agree byte-for-byte");
+    }
+
+    #[test]
+    fn drive_temporal_rejects_double_free() {
+        let src = "extern void *malloc(unsigned long n);\n\
+                   extern void free(void *p);\n\
+                   int main(void) {\n\
+                     int *p = (int *)malloc(4);\n\
+                     *p = 1;\n\
+                     free(p);\n\
+                     free(p);\n\
+                     return 0;\n\
+                   }";
+        let plain = drive(&args("t.c --run").unwrap(), src, b"").unwrap();
+        assert_eq!(plain.exit, 0, "gc mode masks it: {}", plain.stdout);
+        let r = drive(&args("t.c --run --temporal").unwrap(), src, b"").unwrap();
+        assert_eq!(r.exit, 3, "{}", r.stdout);
+        assert!(r.stdout.contains("free rejected"), "{}", r.stdout);
+        assert!(r.stdout.contains("double free"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn drive_temporal_report_and_ir_show_the_new_checks() {
+        let src = "extern void *malloc(unsigned long n);\n\
+                   int main(void) { int *p = (int *)malloc(4); *p = 7; return *p; }";
+        let r = drive(
+            &args("t.c --report --emit-ir --temporal").unwrap(),
+            src,
+            b"",
+        )
+        .unwrap();
+        assert_eq!(r.exit, 0);
+        assert!(r.stdout.contains("CHECK_TEMPORAL"), "{}", r.stdout);
+        assert!(!r.stdout.contains("temporal=0)"), "{}", r.stdout);
+        // Without the flag nothing temporal is emitted.
+        let off = drive(&args("t.c --report --emit-ir").unwrap(), src, b"").unwrap();
+        assert!(!off.stdout.contains("CHECK_TEMPORAL"), "{}", off.stdout);
+    }
+
+    #[test]
+    fn emit_pgo_round_trips_and_stale_plans_fall_back() {
+        let dir = std::env::temp_dir().join(format!("ccured-cli-pgo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let pgo = dir.join("p.json");
+        let src = "int sum(int *p, int n) { int s; int i; s = 0;\n\
+                   for (i = 0; i < n; i++) s = s + p[i];\n\
+                   return s; }\n\
+                   int main(void) { int a[6]; int i;\n\
+                   for (i = 0; i < 6; i++) a[i] = i;\n\
+                   return sum(a, 6); }";
+        let argv = format!("profile t.c --emit-pgo {}", pgo.display());
+        let prof = drive(&args(&argv).unwrap(), src, b"").unwrap();
+        assert_eq!(prof.exit, 15, "{}", prof.stdout);
+        assert!(prof.stdout.contains("profile written"), "{}", prof.stdout);
+        let text = std::fs::read_to_string(&pgo).unwrap();
+        assert!(text.contains(ccured_rt::PGO_SCHEMA), "{text}");
+        // Same source: the plan matches the site table and is accepted.
+        let run = format!("t.c --run --pgo {}", pgo.display());
+        let fresh = drive(&args(&run).unwrap(), src, b"").unwrap();
+        assert_eq!(fresh.exit, 15);
+        assert!(!fresh.stdout.contains("stale"), "{}", fresh.stdout);
+        // Edited source (renamed function): the saved plan attributes sites
+        // to functions that no longer exist — warn and fall back to online
+        // heat instead of silently mis-tiering (or hard-failing) the run.
+        let edited = src.replace("sum", "total");
+        let stale = drive(&args(&run).unwrap(), &edited, b"").unwrap();
+        assert_eq!(stale.exit, 15, "{}", stale.stdout);
+        assert!(stale.stdout.contains("stale"), "{}", stale.stdout);
+        assert!(
+            stale.stdout.contains("falling back to online heat"),
+            "{}",
+            stale.stdout
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -591,7 +591,7 @@ impl Curer {
             } else {
                 fn_misses += 1;
                 cache.misses += 1;
-                let counts = instrument_function(&mut prog, fi, sol, &hierarchy);
+                let counts = instrument_function(&mut prog, fi, sol, &hierarchy, self.temporal);
                 let opt = if self.optimize {
                     optimize_function(&mut prog, fi, &tracked, self.loop_opt)
                 } else {

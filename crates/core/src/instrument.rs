@@ -33,6 +33,7 @@ pub struct CheckCounts {
     pub rtti: usize,
     pub no_stack_escape: usize,
     pub index_bound: usize,
+    pub temporal: usize,
 }
 
 impl CheckCounts {
@@ -46,6 +47,7 @@ impl CheckCounts {
             + self.rtti
             + self.no_stack_escape
             + self.index_bound
+            + self.temporal
     }
 
     /// Accumulates another set of counts (per-function instrumentation
@@ -59,6 +61,7 @@ impl CheckCounts {
         self.rtti += o.rtti;
         self.no_stack_escape += o.no_stack_escape;
         self.index_bound += o.index_bound;
+        self.temporal += o.temporal;
     }
 
     fn bump(&mut self, c: &Check) {
@@ -71,6 +74,7 @@ impl CheckCounts {
             Check::Rtti { .. } => self.rtti += 1,
             Check::NoStackEscape { .. } => self.no_stack_escape += 1,
             Check::IndexBound { .. } => self.index_bound += 1,
+            Check::Temporal { .. } => self.temporal += 1,
             // Synthesized by the loop optimizer, never by instrumentation.
             Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => {}
         }
@@ -114,7 +118,9 @@ pub fn check_ptr_kind(c: &Check) -> &'static str {
         Check::SeqBounds { .. } | Check::SeqToSafe { .. } => "seq",
         Check::WildBounds { .. } | Check::WildTag { .. } => "wild",
         Check::Rtti { .. } => "rtti",
-        Check::NoStackEscape { .. } | Check::IndexBound { .. } => "-",
+        // Temporal checks guard the allocation, not a particular fat
+        // representation; like index/escape checks they render kind-less.
+        Check::NoStackEscape { .. } | Check::IndexBound { .. } | Check::Temporal { .. } => "-",
         // Guard machinery reports the kind of the check it stands in for.
         Check::Guarded { inner, .. } => check_ptr_kind(inner),
         Check::Probe { inner, .. } => inner.first().map_or("-", check_ptr_kind),
@@ -128,6 +134,7 @@ pub fn instrument(
     prog: &mut Program,
     sol: &Solution,
     hier: &Hierarchy,
+    temporal: bool,
 ) -> (CheckCounts, Vec<CheckSite>) {
     // `#pragma ccured_trusted(fn)` marks a function as part of the trusted
     // interface: its body gets no checks (the programmer vouches for it).
@@ -149,6 +156,7 @@ pub fn instrument(
             span: ccured_ast::Span::DUMMY,
             sites: Vec::new(),
             site_ids: std::collections::HashMap::new(),
+            temporal,
         };
         let bodies: Vec<Option<Vec<Stmt>>> = prog
             .functions
@@ -184,6 +192,7 @@ pub fn instrument_function(
     fi: usize,
     sol: &Solution,
     hier: &Hierarchy,
+    temporal: bool,
 ) -> CheckCounts {
     let fname = prog.functions[fi].name.clone();
     let trusted = prog
@@ -203,6 +212,7 @@ pub fn instrument_function(
             span: ccured_ast::Span::DUMMY,
             sites: Vec::new(),
             site_ids: std::collections::HashMap::new(),
+            temporal,
         };
         let f = &prog.functions[fi];
         (ctx.rewrite_stmts(f, &f.body), ctx.counts)
@@ -225,6 +235,9 @@ struct Ctx<'a> {
     // check kind and need not widen the key.
     sites: Vec<CheckSite>,
     site_ids: std::collections::HashMap<(ccured_ast::Span, String, &'static str), SiteId>,
+    // `--temporal`: every dereference additionally gets a lock-and-key
+    // check after its spatial check.
+    temporal: bool,
 }
 
 impl<'a> Ctx<'a> {
@@ -424,6 +437,13 @@ impl<'a> Ctx<'a> {
                         );
                     }
                 }
+                // Temporal check *after* the spatial one: a null or
+                // out-of-bounds pointer is blamed spatially first, so
+                // enabling `--temporal` never changes which check an
+                // already-failing program dies on.
+                if self.temporal {
+                    self.push(f, Check::Temporal { ptr: (**p).clone() }, out);
+                }
             }
         }
         // Walk offsets for index checks (need the running type).
@@ -526,7 +546,7 @@ mod tests {
         let mut prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
         let res = infer(&prog, &InferOptions::default());
         let hier = Hierarchy::build(&prog);
-        let (counts, _) = instrument(&mut prog, &res.solution, &hier);
+        let (counts, _) = instrument(&mut prog, &res.solution, &hier, false);
         (prog, counts)
     }
 
@@ -535,7 +555,7 @@ mod tests {
         let mut prog = ccured_cil::lower_translation_unit(&tu).expect("lower");
         let res = infer(&prog, &InferOptions::default());
         let hier = Hierarchy::build(&prog);
-        instrument(&mut prog, &res.solution, &hier).1
+        instrument(&mut prog, &res.solution, &hier, false).1
     }
 
     #[test]

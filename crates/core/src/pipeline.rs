@@ -253,6 +253,9 @@ pub struct Cured {
     pub timings: StageTimings,
     /// The execution engine drivers should run this program on.
     pub engine: Engine,
+    /// Whether the cure emitted temporal lock-and-key checks — runners must
+    /// enable temporal semantics on the interpreter so `free` revokes keys.
+    pub temporal: bool,
 }
 
 /// Builder for the CCured transformation (non-consuming, [`Default`]).
@@ -274,6 +277,7 @@ pub struct Curer {
     pub(crate) strict_link: bool,
     pub(crate) optimize: bool,
     pub(crate) loop_opt: bool,
+    pub(crate) temporal: bool,
     pub(crate) prelude: Option<String>,
     pub(crate) engine: Engine,
     pub(crate) deadline: Option<Duration>,
@@ -294,6 +298,7 @@ impl Curer {
             strict_link: false,
             optimize: true,
             loop_opt: true,
+            temporal: false,
             prelude: None,
             engine: Engine::default(),
             deadline: None,
@@ -308,6 +313,7 @@ impl Curer {
             strict_link: false,
             optimize: true,
             loop_opt: true,
+            temporal: false,
             prelude: None,
             engine: Engine::default(),
             deadline: None,
@@ -356,6 +362,17 @@ impl Curer {
     /// when [`Curer::optimize`] is off).
     pub fn loop_optimize(&mut self, on: bool) -> &mut Self {
         self.loop_opt = on;
+        self
+    }
+
+    /// Enables temporal lock-and-key checking (`--temporal`): every pointer
+    /// carries a capability key stamped at allocation, `free` revokes it
+    /// (the bytes stay live under the cured GC semantics), and every
+    /// dereference gets a `CHECK_TEMPORAL` comparing the key — an ordinary
+    /// check instruction with a [`SiteId`], so the optimizer, profiler,
+    /// blame explainer, and both engines apply unchanged. Off by default.
+    pub fn temporal(&mut self, on: bool) -> &mut Self {
+        self.temporal = on;
         self
     }
 
@@ -415,7 +432,7 @@ impl Curer {
     /// equal fingerprints produce byte-identical cures for equal sources.
     pub fn config_fingerprint(&self) -> String {
         format!(
-            "rtti={} phys={} split_bound={} split_all={} strict_link={} optimize={} loop_opt={} prelude={:?}",
+            "rtti={} phys={} split_bound={} split_all={} strict_link={} optimize={} loop_opt={} temporal={} prelude={:?}",
             self.options.rtti,
             self.options.physical_subtyping,
             self.options.split_at_boundaries,
@@ -423,6 +440,7 @@ impl Curer {
             self.strict_link,
             self.optimize,
             self.loop_opt,
+            self.temporal,
             self.prelude.as_deref().unwrap_or("")
         )
     }
@@ -488,7 +506,8 @@ impl Curer {
 
         let t = Instant::now();
         let hierarchy = Hierarchy::build(&prog);
-        let (checks_inserted, mut sites) = instrument(&mut prog, &result.solution, &hierarchy);
+        let (checks_inserted, mut sites) =
+            instrument(&mut prog, &result.solution, &hierarchy, self.temporal);
         let instrument_time = t.elapsed();
         self.check_deadline(start, "instrument")?;
         // The static optimizer: redundant-check elimination (the real
@@ -563,6 +582,7 @@ impl Curer {
                 optimize: optimize_time,
             },
             engine: self.engine,
+            temporal: self.temporal,
         })
     }
 }

@@ -49,6 +49,10 @@ pub struct CrashTest {
     /// couple of mutants per unit vary this per unit so the whole matrix
     /// still covers every class.
     pub class_offset: usize,
+    /// Cure mutants with temporal lock-and-key checks (`--temporal`): a
+    /// premature `free` flips from Masked (GC keeps the bytes alive) to
+    /// Caught (the next dereference fails its `CHECK_TEMPORAL`).
+    pub temporal: bool,
 }
 
 impl CrashTest {
@@ -67,6 +71,7 @@ impl CrashTest {
             },
             engine: Engine::default(),
             class_offset: 0,
+            temporal: false,
         }
     }
 
@@ -85,6 +90,13 @@ impl CrashTest {
     /// Rotates the class-preference cycle (see [`CrashTest::class_offset`]).
     pub fn with_class_offset(mut self, offset: usize) -> Self {
         self.class_offset = offset;
+        self
+    }
+
+    /// Enables temporal lock-and-key checking on the cure and the cured run
+    /// (see [`CrashTest::temporal`]).
+    pub fn with_temporal(mut self, on: bool) -> Self {
+        self.temporal = on;
         self
     }
 }
@@ -138,36 +150,41 @@ pub fn crash_test(ws: &[Workload], cfg: &CrashTest) -> Result<CrashTestReport, C
                 ground_truth: "not run".into(),
                 gt_memory_error: false,
                 cured: "not run".into(),
+                uaf_traps: 0,
             });
             continue;
         };
 
-        // Ground truth: plain C semantics, no zeroing allocator.
-        let gt = run_prog(
+        // Ground truth: plain C semantics, no zeroing allocator, no
+        // temporal keys.
+        let (gt, _) = run_prog(
             &prog,
             ExecMode::Original,
             cfg.engine,
             input,
             cfg.limits,
             false,
+            false,
         );
         let gt_memory_error = matches!(&gt, Ok(Err(e)) if e.is_memory_error());
 
         // Cure (isolated: a curer panic becomes CureError::Internal), then
         // run the cured program with the zeroing allocator on.
-        let cured = isolated(|| Curer::new().cure_program(prog));
-        let (outcome, cured_str) = match &cured {
-            Err(e) => (Outcome::Invalid, format!("cure failed: {e}")),
+        let temporal = cfg.temporal;
+        let cured = isolated(move || Curer::new().temporal(temporal).cure_program(prog));
+        let (outcome, cured_str, uaf_traps) = match &cured {
+            Err(e) => (Outcome::Invalid, format!("cure failed: {e}"), 0),
             Ok(c) => {
-                let r = run_prog(
+                let (r, traps) = run_prog(
                     &c.program,
                     ExecMode::cured(c),
                     cfg.engine,
                     input,
                     cfg.limits,
                     true,
+                    c.temporal,
                 );
-                (classify(&r), fmt_run(&r))
+                (classify(&r), fmt_run(&r), traps)
             }
         };
 
@@ -180,6 +197,7 @@ pub fn crash_test(ws: &[Workload], cfg: &CrashTest) -> Result<CrashTestReport, C
             ground_truth: fmt_run(&gt),
             gt_memory_error,
             cured: cured_str,
+            uaf_traps,
         });
     }
     Ok(CrashTestReport {
@@ -221,9 +239,13 @@ fn lower(w: &Workload) -> Result<Program, CureError> {
     ccured_cil::lower_translation_unit(&tu).map_err(CureError::Frontend)
 }
 
-/// One sandboxed interpreter run. The outer `Err` is a panic payload — the
-/// hardened interpreter should never produce one, and the harness records
-/// it as [`Outcome::Invalid`] rather than crashing the batch.
+/// One sandboxed interpreter run, returning the result and the machine's
+/// ground-truth dead-memory trap count (the temporal experiments assert it
+/// stays zero: a `CHECK_TEMPORAL` must fire *before* the abstract machine
+/// would have trapped). The outer `Err` is a panic payload — the hardened
+/// interpreter should never produce one, and the harness records it as
+/// [`Outcome::Invalid`] rather than crashing the batch.
+#[allow(clippy::too_many_arguments)]
 fn run_prog(
     prog: &Program,
     mode: ExecMode<'_>,
@@ -231,22 +253,29 @@ fn run_prog(
     input: &[u8],
     limits: Limits,
     zero_init: bool,
-) -> Result<Result<i64, RtError>, String> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    temporal: bool,
+) -> (Result<Result<i64, RtError>, String>, u64) {
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut interp = Interp::new(prog, mode);
         interp.set_engine(engine);
         interp.set_limits(limits);
         interp.set_zero_init(zero_init);
+        interp.set_temporal(temporal);
         interp.set_input(input.to_vec());
-        interp.run()
-    }))
-    .map_err(|payload| {
-        payload
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string())
-    })
+        let res = interp.run();
+        (res, interp.uaf_traps())
+    }));
+    match r {
+        Ok((res, traps)) => (Ok(res), traps),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (Err(msg), 0)
+        }
+    }
 }
 
 /// The verdict, from the cured run alone.
@@ -308,6 +337,75 @@ mod tests {
                 "missing {class}:\n{}",
                 rep.render()
             );
+        }
+    }
+
+    #[test]
+    fn temporal_flips_premature_free_from_masked_to_caught() {
+        // The acceptance bar of the temporal experiment: without keys the
+        // GC-backed `free` masks every premature free; with `--temporal`
+        // every one of those mutants is Caught by an *emitted check* —
+        // the abstract machine's own dead-memory trap never fires.
+        let ws = [micro::safe_deref(4)];
+        let plain = crash_test(&ws, &CrashTest::new(30, 5)).expect("lower");
+        let cured = crash_test(&ws, &CrashTest::new(30, 5).with_temporal(true)).expect("lower");
+        assert!(plain.escaped().is_empty(), "{}", plain.render());
+        assert!(cured.escaped().is_empty(), "{}", cured.render());
+        // Only mutants whose fault actually executed can flip: an injector
+        // is free to plant the triple after `return`, and dead code stays
+        // Masked under any check regime. `gt_memory_error` is the
+        // discriminator — plain C semantics faulted, so the free ran.
+        let reached = |rep: &CrashTestReport, outcome| {
+            rep.runs
+                .iter()
+                .filter(|r| {
+                    r.class == FaultClass::PrematureFree
+                        && r.gt_memory_error
+                        && r.outcome == outcome
+                })
+                .count()
+        };
+        let masked_before = reached(&plain, Outcome::Masked);
+        assert!(masked_before > 0, "{}", plain.render());
+        assert_eq!(
+            reached(&cured, Outcome::Masked),
+            0,
+            "temporal checks must not leave a reached premature free masked:\n{}",
+            cured.render()
+        );
+        assert_eq!(
+            reached(&cured, Outcome::Caught),
+            masked_before,
+            "{}",
+            cured.render()
+        );
+        for r in &cured.runs {
+            assert_eq!(
+                r.uaf_traps, 0,
+                "mutant #{} reached the machine's dead-memory trap before \
+                 any emitted check fired:\n{}",
+                r.id, r.cured
+            );
+        }
+        // The checks blame the free, not the machine: every caught
+        // premature-free verdict is a temporal check failure.
+        for r in &cured.runs {
+            if r.class == FaultClass::PrematureFree && r.outcome == Outcome::Caught {
+                assert!(r.cured.contains("temporal"), "#{}: {}", r.id, r.cured);
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_batch_is_engine_independent() {
+        let ws = [micro::seq_index(8), micro::safe_deref(4)];
+        let cfg = CrashTest::new(20, 13).with_temporal(true);
+        let vm = crash_test(&ws, &cfg).expect("lower");
+        let tree = crash_test(&ws, &cfg.clone().with_engine(Engine::Tree)).expect("lower");
+        for (x, y) in vm.runs.iter().zip(&tree.runs) {
+            assert_eq!(x.outcome, y.outcome, "#{}", x.id);
+            assert_eq!(x.cured, y.cured, "#{}", x.id);
+            assert_eq!(x.uaf_traps, y.uaf_traps, "#{}", x.id);
         }
     }
 

@@ -65,6 +65,10 @@ pub struct MutantRun {
     pub gt_memory_error: bool,
     /// Rendering of the cured run's result.
     pub cured: String,
+    /// Ground-truth dead-memory traps the abstract machine counted during
+    /// the *cured* run. Under `--temporal` this must be zero on every
+    /// mutant: the emitted check fires before the machine would trap.
+    pub uaf_traps: u64,
 }
 
 /// Results of a whole crash-test batch.
@@ -251,6 +255,7 @@ mod tests {
             ground_truth: "gt".into(),
             gt_memory_error: outcome == Outcome::Caught,
             cured: "c".into(),
+            uaf_traps: 0,
         }
     }
 

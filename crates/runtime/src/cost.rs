@@ -37,6 +37,8 @@ pub struct Counters {
     pub rtti_walk_steps: u64,
     pub escape_checks: u64,
     pub index_checks: u64,
+    /// Temporal lock-and-key comparisons (`--temporal`).
+    pub temporal_checks: u64,
     /// WILD tag updates on stores through WILD pointers.
     pub tag_updates: u64,
     /// Fat-pointer representation conversions at casts.
@@ -75,6 +77,7 @@ impl Counters {
             + self.rtti_checks
             + self.escape_checks
             + self.index_checks
+            + self.temporal_checks
     }
 
     /// Dynamic `CHECK_NULL` + `CHECK_BOUNDS` events — the subset the
@@ -122,6 +125,9 @@ pub struct CostModel {
     pub rtti_walk_step: f64,
     pub escape_check: f64,
     pub index_check: f64,
+    /// Temporal lock-and-key comparison: a load of the allocation's key
+    /// slot plus a compare-and-branch.
+    pub temporal_check: f64,
     pub tag_update: f64,
     pub fat_convert: f64,
     pub meta_op: f64,
@@ -155,6 +161,7 @@ impl Default for CostModel {
             rtti_walk_step: 2.0,
             escape_check: 1.0,
             index_check: 0.4,
+            temporal_check: 2.0,
             tag_update: 9.0,
             fat_convert: 1.0,
             meta_op: 4.0,
@@ -188,6 +195,7 @@ impl CostModel {
             + self.rtti_walk_step * c.rtti_walk_steps as f64
             + self.escape_check * c.escape_checks as f64
             + self.index_check * c.index_checks as f64
+            + self.temporal_check * c.temporal_checks as f64
             + self.tag_update * c.tag_updates as f64
             + self.fat_convert * c.fat_converts as f64
             + self.meta_op * c.meta_ops as f64
@@ -212,6 +220,7 @@ impl CostModel {
             + self.rtti_walk_step * c.rtti_walk_steps as f64
             + self.escape_check * c.escape_checks as f64
             + self.index_check * c.index_checks as f64
+            + self.temporal_check * c.temporal_checks as f64
     }
 
     /// Overhead ratio of `instrumented` relative to `baseline`.

@@ -36,6 +36,10 @@ pub enum RtError {
     UseAfterFree,
     /// Access to a stack allocation whose frame has returned.
     UseAfterReturn,
+    /// `free` of a heap allocation that was already freed.
+    DoubleFree,
+    /// `free` of memory that was never a heap allocation (stack or global).
+    FreeOfNonHeap,
     /// Read of an uninitialized location.
     UninitRead,
     /// A non-pointer value was used as a pointer.
@@ -85,6 +89,8 @@ impl RtError {
                 | RtError::OutOfBounds { .. }
                 | RtError::UseAfterFree
                 | RtError::UseAfterReturn
+                | RtError::DoubleFree
+                | RtError::FreeOfNonHeap
                 | RtError::UninitRead
                 | RtError::InvalidPointer(_)
         )
@@ -115,6 +121,8 @@ impl fmt::Display for RtError {
             ),
             RtError::UseAfterFree => write!(f, "use after free"),
             RtError::UseAfterReturn => write!(f, "use of stack memory after return"),
+            RtError::DoubleFree => write!(f, "double free of heap allocation"),
+            RtError::FreeOfNonHeap => write!(f, "free of non-heap memory"),
             RtError::UninitRead => write!(f, "read of uninitialized memory"),
             RtError::InvalidPointer(d) => write!(f, "invalid pointer: {d}"),
             RtError::NotAFunction => write!(f, "called value is not a function"),
@@ -148,6 +156,8 @@ mod tests {
         .is_check_failure());
         assert!(RtError::NullDeref.is_memory_error());
         assert!(RtError::UseAfterFree.is_memory_error());
+        assert!(RtError::DoubleFree.is_memory_error());
+        assert!(RtError::FreeOfNonHeap.is_memory_error());
         assert!(!RtError::DivByZero.is_memory_error());
         assert!(!RtError::NullDeref.is_check_failure());
         assert!(RtError::OutOfFuel.is_resource_limit());

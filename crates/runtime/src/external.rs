@@ -137,6 +137,8 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
                 )?;
                 if !it.gc_mode() {
                     it.mem.free(p.alloc)?;
+                } else if it.temporal_enabled() {
+                    temporal_free(it, p.alloc)?;
                 }
             }
             Ok(Some(Value::Ptr(PtrVal::Safe(Pointer {
@@ -148,8 +150,16 @@ pub fn call(it: &mut Interp<'_>, name: &str, args: &[Value]) -> Result<Option<Va
             // CCured links against a conservative garbage collector: `free`
             // is a no-op in cured programs (dangling pointers stay valid,
             // eliminating use-after-free by construction). The original
-            // program keeps real `free` semantics.
+            // program keeps real `free` semantics. Under `--temporal` the
+            // bytes still stay live (GC), but the allocation's capability
+            // key is revoked so every later lock-and-key check fails.
             if it.gc_mode() {
+                if it.temporal_enabled() {
+                    let pv = ptr_arg(args, 0)?;
+                    if let Some(p) = pv.thin() {
+                        temporal_free(it, p.alloc)?;
+                    }
+                }
                 it.counters.extern_calls += 0; // already counted by caller
                 return Ok(None);
             }
@@ -864,6 +874,19 @@ fn field_offset(it: &Interp<'_>, comp: &str, field: &str) -> Result<i64, RtError
         .find(|f| f.name == field)
         .map(|f| f.offset as i64)
         .ok_or_else(|| RtError::Unsupported(format!("struct {comp} has no field `{field}`")))
+}
+
+/// `free`/`realloc` under `--temporal`: revokes the allocation's capability
+/// key. A bad free (double free, free of stack/global memory) is itself a
+/// temporal-check failure — the cured program aborts gracefully instead of
+/// surfacing a ground-truth memory error.
+fn temporal_free(it: &mut Interp<'_>, alloc: crate::mem::AllocId) -> Result<(), RtError> {
+    it.mem
+        .temporal_revoke(alloc)
+        .map_err(|e| RtError::CheckFailed {
+            check: "temporal",
+            detail: format!("free rejected: {e}"),
+        })
 }
 
 fn ptr_arg(args: &[Value], i: usize) -> Result<PtrVal, RtError> {

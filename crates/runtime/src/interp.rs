@@ -233,6 +233,9 @@ pub struct Interp<'p> {
     interval_rtti: bool,
     /// Overrides the default GC behaviour (None = cured implies GC).
     gc_override: Option<bool>,
+    /// `--temporal`: `free` revokes the allocation's capability key (the
+    /// bytes stay live under GC) and `CHECK_TEMPORAL` compares it.
+    temporal: bool,
     pub(crate) rng: u64,
 }
 
@@ -277,6 +280,7 @@ impl<'p> Interp<'p> {
             node_cache: HashMap::new(),
             interval_rtti: false,
             gc_override: None,
+            temporal: false,
             rng: 0x9E3779B97F4A7C15,
         }
     }
@@ -390,6 +394,27 @@ impl<'p> Interp<'p> {
     pub(crate) fn gc_mode(&self) -> bool {
         self.gc_override
             .unwrap_or(matches!(self.mode, ExecMode::Cured { .. }))
+    }
+
+    /// Enables temporal lock-and-key semantics (`--temporal`): `free`
+    /// revokes the freed allocation's capability key, and every
+    /// `CHECK_TEMPORAL` the cure emitted compares the key before the
+    /// dereference. Off by default — a temporal check on an interpreter
+    /// without this flag passes vacuously, so uncured callers are safe.
+    pub fn set_temporal(&mut self, on: bool) {
+        self.temporal = on;
+    }
+
+    /// Whether temporal lock-and-key semantics are in force.
+    pub fn temporal_enabled(&self) -> bool {
+        self.temporal
+    }
+
+    /// Ground-truth machine traps on dead memory so far (use-after-free /
+    /// use-after-return). The temporal experiments assert this stays zero:
+    /// the emitted check must fire before the machine would have trapped.
+    pub fn uaf_traps(&self) -> u64 {
+        self.mem.uaf_traps()
     }
 
     /// Provides bytes for the input builtins (`getchar`, `net_recv`, ...).
@@ -610,7 +635,8 @@ impl<'p> Interp<'p> {
                 | Check::SeqToSafe { ptr, .. }
                 | Check::WildBounds { ptr, .. }
                 | Check::WildTag { ptr }
-                | Check::Rtti { ptr, .. } => scan_exp(ptr, need),
+                | Check::Rtti { ptr, .. }
+                | Check::Temporal { ptr } => scan_exp(ptr, need),
                 Check::NoStackEscape { value } => scan_exp(value, need),
                 Check::IndexBound { index, .. } => scan_exp(index, need),
                 Check::Probe { inner, .. } => {
@@ -1122,6 +1148,7 @@ impl<'p> Interp<'p> {
             Check::Rtti { .. } => self.counters.rtti_checks += 1,
             Check::NoStackEscape { .. } => self.counters.escape_checks += 1,
             Check::IndexBound { .. } => self.counters.index_checks += 1,
+            Check::Temporal { .. } => self.counters.temporal_checks += 1,
             // Guard machinery accounts as the check it stands in for (a
             // probe with no inner checks counts nothing, like a reset).
             Check::Probe { .. } | Check::Guarded { .. } => {
@@ -1150,6 +1177,7 @@ impl<'p> Interp<'p> {
             Check::Rtti { .. } => self.counters.rtti_checks += 1,
             Check::NoStackEscape { .. } => self.counters.escape_checks += 1,
             Check::IndexBound { .. } => self.counters.index_checks += 1,
+            Check::Temporal { .. } => self.counters.temporal_checks += 1,
             Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => {}
         }
     }
@@ -1249,6 +1277,32 @@ impl<'p> Interp<'p> {
                         }
                     }
                     _ => Ok(()),
+                }
+            }
+            Check::Temporal { .. } => {
+                // Lock-and-key comparison: the pointer's capability key —
+                // stamped at allocation — must still be valid, i.e. the
+                // allocation has not been freed. Null and disguised
+                // integers are the spatial checks' business; here they
+                // pass vacuously so blame stays precise.
+                let v = as_ptr(v)?;
+                let p = match v {
+                    PtrVal::Safe(p)
+                    | PtrVal::Rtti { p, .. }
+                    | PtrVal::Seq { p, .. }
+                    | PtrVal::Wild { p, .. } => p,
+                    PtrVal::Null | PtrVal::IntVal(_) | PtrVal::Fn(_) => return Ok(()),
+                };
+                if self.temporal && !self.mem.temporal_valid(p.alloc) {
+                    fail(
+                        "temporal",
+                        format!(
+                            "capability key for allocation #{} was revoked (use after free)",
+                            p.alloc.0
+                        ),
+                    )
+                } else {
+                    Ok(())
                 }
             }
             Check::WildTag { .. } => {
@@ -2285,7 +2339,8 @@ pub(crate) fn check_operand(c: &Check) -> Option<&Exp> {
         | Check::SeqToSafe { ptr, .. }
         | Check::WildBounds { ptr, .. }
         | Check::WildTag { ptr }
-        | Check::Rtti { ptr, .. } => Some(ptr),
+        | Check::Rtti { ptr, .. }
+        | Check::Temporal { ptr } => Some(ptr),
         Check::NoStackEscape { value } => Some(value),
         Check::IndexBound { index, .. } => Some(index),
         Check::Probe { .. } | Check::Guarded { .. } | Check::GuardReset { .. } => None,

@@ -17,6 +17,7 @@
 
 use crate::err::RtError;
 use crate::value::PtrVal;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Identifier of one allocation.
@@ -66,6 +67,11 @@ pub struct Allocation {
     pub kind: AllocKind,
     /// False after free / frame return.
     pub live: bool,
+    /// Temporal capability key (the lock of the lock-and-key scheme):
+    /// a monotonic generation stamped at allocation, zeroed when the
+    /// allocation's lifetime ends (free, frame return). A pointer's key
+    /// matches iff this is still the generation it was stamped with.
+    key: u64,
 }
 
 impl Allocation {
@@ -77,6 +83,11 @@ impl Allocation {
     /// Number of provenance (pointer/tag) entries.
     pub fn prov_count(&self) -> usize {
         self.prov.len()
+    }
+
+    /// The allocation's current capability key (0 after revocation).
+    pub fn key(&self) -> u64 {
+        self.key
     }
 }
 
@@ -95,6 +106,13 @@ pub struct Memory {
     /// entries are always a suffix — `kill_frame` pops them off the tail
     /// instead of scanning every allocation ever made.
     stack_index: Vec<(u64, AllocId)>,
+    /// Monotonic generation counter for temporal capability keys.
+    next_key: u64,
+    /// Ground-truth machine traps on dead memory (use-after-free /
+    /// use-after-return). The temporal experiments assert this stays zero:
+    /// an emitted `CHECK_TEMPORAL` must fire *before* the abstract machine
+    /// would have trapped. A `Cell` because the read path is `&self`.
+    uaf_traps: Cell<u64>,
 }
 
 impl Default for Memory {
@@ -105,6 +123,8 @@ impl Default for Memory {
             peak_live_bytes: 0,
             heap_limit: u64::MAX,
             stack_index: Vec::new(),
+            next_key: 1,
+            uaf_traps: Cell::new(0),
         }
     }
 }
@@ -145,12 +165,15 @@ impl Memory {
             });
         }
         let id = AllocId(self.allocs.len() as u32);
+        let key = self.next_key;
+        self.next_key += 1;
         self.allocs.push(Allocation {
             bytes: vec![0; size as usize],
             init: vec![false; size as usize],
             prov: HashMap::new(),
             kind,
             live: true,
+            key,
         });
         if let AllocKind::Stack { frame } = kind {
             self.stack_index.push((frame, id));
@@ -181,19 +204,59 @@ impl Memory {
     ///
     /// # Errors
     ///
-    /// [`RtError::UseAfterFree`] on double free;
-    /// [`RtError::InvalidPointer`] when freeing a non-heap allocation.
+    /// [`RtError::FreeOfNonHeap`] when freeing stack or global memory;
+    /// [`RtError::DoubleFree`] when the allocation was already freed.
     pub fn free(&mut self, id: AllocId) -> Result<(), RtError> {
         let a = &mut self.allocs[id.0 as usize];
-        if !a.live {
-            return Err(RtError::UseAfterFree);
-        }
         if !matches!(a.kind, AllocKind::Heap) {
-            return Err(RtError::InvalidPointer("free of non-heap memory".into()));
+            return Err(RtError::FreeOfNonHeap);
+        }
+        if !a.live {
+            return Err(RtError::DoubleFree);
         }
         a.live = false;
+        a.key = 0;
         self.live_bytes = self.live_bytes.saturating_sub(a.size());
         Ok(())
+    }
+
+    /// Revokes a heap allocation's temporal capability key without freeing
+    /// the bytes — `free` under `--temporal` with GC semantics. The memory
+    /// stays live for the abstract machine (it never traps), but every
+    /// later lock-and-key comparison on a pointer into it fails.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::FreeOfNonHeap`] for stack/global memory;
+    /// [`RtError::DoubleFree`] when the key was already revoked.
+    pub fn temporal_revoke(&mut self, id: AllocId) -> Result<(), RtError> {
+        let a = self
+            .allocs
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| RtError::InvalidPointer("dangling allocation id".into()))?;
+        if !matches!(a.kind, AllocKind::Heap) {
+            return Err(RtError::FreeOfNonHeap);
+        }
+        if a.key == 0 || !a.live {
+            return Err(RtError::DoubleFree);
+        }
+        a.key = 0;
+        Ok(())
+    }
+
+    /// Whether the allocation's capability key is still valid: stamped at
+    /// allocation and not yet revoked by `free`/`temporal_revoke` or frame
+    /// death. Allocation ids are never reused, so validity is exactly
+    /// "the key generation stamped into the pointer still unlocks it".
+    pub fn temporal_valid(&self, id: AllocId) -> bool {
+        self.allocs
+            .get(id.0 as usize)
+            .is_some_and(|a| a.live && a.key != 0)
+    }
+
+    /// Machine traps on dead memory so far (see `uaf_traps` field docs).
+    pub fn uaf_traps(&self) -> u64 {
+        self.uaf_traps.get()
     }
 
     /// Kills every stack allocation belonging to `frame` (function return).
@@ -206,6 +269,7 @@ impl Memory {
             let a = &mut self.allocs[id.0 as usize];
             if a.live {
                 a.live = false;
+                a.key = 0;
                 self.live_bytes = self.live_bytes.saturating_sub(a.size());
             }
         }
@@ -223,6 +287,7 @@ impl Memory {
             .get(p.alloc.0 as usize)
             .ok_or_else(|| RtError::InvalidPointer("dangling allocation id".into()))?;
         if !a.live {
+            self.uaf_traps.set(self.uaf_traps.get() + 1);
             return Err(match a.kind {
                 AllocKind::Heap => RtError::UseAfterFree,
                 AllocKind::Stack { .. } => RtError::UseAfterReturn,
@@ -548,9 +613,69 @@ mod tests {
             offset: 0,
         };
         m.write_int(p, 4, 1).unwrap();
+        assert_eq!(m.uaf_traps(), 0);
         m.free(a).unwrap();
         assert_eq!(m.read_int(p, 4, true), Err(RtError::UseAfterFree));
-        assert_eq!(m.free(a), Err(RtError::UseAfterFree));
+        assert_eq!(m.uaf_traps(), 1);
+        assert_eq!(m.free(a), Err(RtError::DoubleFree));
+    }
+
+    #[test]
+    fn free_error_taxonomy_is_precise() {
+        // Each free-path failure has its own variant with its own message:
+        // double free is not "use after free", free of stack/global memory
+        // is not a generic invalid pointer.
+        let mut m = mem();
+        let h = m.alloc(8, AllocKind::Heap).unwrap();
+        m.free(h).unwrap();
+        let double = m.free(h).unwrap_err();
+        assert_eq!(double, RtError::DoubleFree);
+        assert_eq!(double.to_string(), "double free of heap allocation");
+        assert!(double.is_memory_error());
+
+        let s = m.alloc(8, AllocKind::Stack { frame: 1 }).unwrap();
+        let g = m.alloc(8, AllocKind::Global).unwrap();
+        for id in [s, g] {
+            let bad = m.free(id).unwrap_err();
+            assert_eq!(bad, RtError::FreeOfNonHeap);
+            assert_eq!(bad.to_string(), "free of non-heap memory");
+            assert!(bad.is_memory_error());
+        }
+        // Non-heap placement wins over liveness: freeing a dead stack slot
+        // still reports FreeOfNonHeap, not DoubleFree.
+        m.kill_frame(1);
+        assert_eq!(m.free(s), Err(RtError::FreeOfNonHeap));
+    }
+
+    #[test]
+    fn temporal_keys_stamp_and_revoke() {
+        let mut m = mem();
+        let a = m.alloc(8, AllocKind::Heap).unwrap();
+        let b = m.alloc(8, AllocKind::Heap).unwrap();
+        // Keys are distinct monotonic generations.
+        let (ka, kb) = (m.allocation(a).key(), m.allocation(b).key());
+        assert!(ka != 0 && kb != 0 && ka != kb);
+        assert!(m.temporal_valid(a) && m.temporal_valid(b));
+        // Revocation keeps the bytes live (GC semantics) but kills the key.
+        let p = Pointer {
+            alloc: a,
+            offset: 0,
+        };
+        m.write_int(p, 4, 7).unwrap();
+        m.temporal_revoke(a).unwrap();
+        assert!(!m.temporal_valid(a));
+        assert_eq!(m.allocation(a).key(), 0);
+        assert!(m.allocation(a).live, "temporal revoke must not free bytes");
+        assert_eq!(m.read_int(p, 4, true).unwrap(), 7);
+        assert_eq!(m.uaf_traps(), 0, "the machine never trapped");
+        // Second revocation is a double free; non-heap is rejected.
+        assert_eq!(m.temporal_revoke(a), Err(RtError::DoubleFree));
+        let s = m.alloc(4, AllocKind::Stack { frame: 2 }).unwrap();
+        assert_eq!(m.temporal_revoke(s), Err(RtError::FreeOfNonHeap));
+        // Frame death revokes the keys of its stack allocations.
+        assert!(m.temporal_valid(s));
+        m.kill_frame(2);
+        assert!(!m.temporal_valid(s));
     }
 
     #[test]

@@ -181,6 +181,45 @@ fn row_objects(text: &str) -> Result<Vec<&str>, String> {
     Err(malformed("unterminated `rows` array"))
 }
 
+/// Checks that a saved `ccured-profile/v1` file still describes `sites` —
+/// the unit may have been edited since the profile was recorded, silently
+/// shifting site ids onto different functions. Every row naming a site must
+/// name one that exists, and its `func` field (when present and comparable)
+/// must match the function the site table attributes that id to.
+///
+/// # Errors
+///
+/// A human-readable description of the first mismatch, for the caller to
+/// warn with before falling back to online heat. Never errs on rows without
+/// a site id (foreign/synthetic rows are skipped, matching
+/// [`Profile::from_pgo_json`]).
+pub fn validate_pgo_against_sites(text: &str, sites: &[CheckSite]) -> Result<(), String> {
+    for obj in row_objects(text)? {
+        let Some(site) = json_u64(obj, "site") else {
+            continue;
+        };
+        let Some(s) = sites.get(site as usize) else {
+            return Err(format!(
+                "profile row names site {site}, but this unit has only {} check sites \
+                 — the source changed since the profile was recorded",
+                sites.len()
+            ));
+        };
+        if let Some(func) = json_str(obj, "func") {
+            // Escaped names can't be compared textually; skip those rows
+            // rather than false-positive on them.
+            if !func.contains('\\') && func != s.func {
+                return Err(format!(
+                    "profile row attributes site {site} to `{func}`, but this unit's site \
+                     table says `{}` — the source changed since the profile was recorded",
+                    s.func
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The offline tiering decisions distilled from a saved profile: which
 /// functions go straight to the hot tier and which sites are eligible for
 /// check fusion.
@@ -239,6 +278,7 @@ pub fn check_unit_cost(model: &CostModel, kind: &str) -> f64 {
         "rtti" => model.rtti_check,
         "no_stack_escape" => model.escape_check,
         "index_bound" => model.index_check,
+        "temporal" => model.temporal_check,
         _ => 0.0,
     }
 }
@@ -360,6 +400,37 @@ mod tests {
         let missing = "{\"rows\":[]}";
         let e = Profile::from_pgo_json(missing).unwrap_err();
         assert!(e.contains(PGO_SCHEMA), "{e}");
+    }
+
+    #[test]
+    fn stale_pgo_is_rejected_after_source_edit() {
+        // A profile recorded before an edit: site 1 used to live in `g`.
+        let text = format!(
+            "{{\"schema\":\"{PGO_SCHEMA}\",\"rows\":[\
+             {{\"rank\":1,\"site\":0,\"func\":\"f\",\"hits\":5,\"fails\":0,\"walk_steps\":0}},\
+             {{\"rank\":2,\"site\":1,\"func\":\"g\",\"hits\":2,\"fails\":0,\"walk_steps\":0}}]}}"
+        );
+        // Round trip against the matching table: fine.
+        let mut s1 = site(1, "seq_bounds");
+        s1.func = "g".into();
+        let good = vec![site(0, "null"), s1];
+        validate_pgo_against_sites(&text, &good).expect("matching table validates");
+        assert_eq!(Profile::from_pgo_json(&text).unwrap().sites[1].hits, 2);
+
+        // After an edit, site 1 now belongs to `h`: same ids, wrong owner.
+        let mut s1h = site(1, "seq_bounds");
+        s1h.func = "h".into();
+        let edited = vec![site(0, "null"), s1h];
+        let e = validate_pgo_against_sites(&text, &edited).unwrap_err();
+        assert!(
+            e.contains("site 1") && e.contains("`g`") && e.contains("`h`"),
+            "{e}"
+        );
+
+        // After a bigger edit the unit only has one site left.
+        let shrunk = vec![site(0, "null")];
+        let e = validate_pgo_against_sites(&text, &shrunk).unwrap_err();
+        assert!(e.contains("only 1 check sites"), "{e}");
     }
 
     #[test]

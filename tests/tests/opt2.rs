@@ -301,6 +301,94 @@ fn widening_negatives_are_left_untouched() {
     }
 }
 
+/// Widened sites the loop optimizer recorded inside one function.
+fn widened_in(cured: &ccured::Cured, func: &str) -> usize {
+    cured
+        .sites
+        .iter()
+        .filter(|s| s.func == func && s.opt_action == Some("widened"))
+        .count()
+}
+
+/// No-wrap proofs at the numeric extremes: an unsigned induction variable
+/// whose widened endpoint would wrap past `uN::MAX` (or under `0`) must be
+/// refused, while the boundary-exact form stays admitted — so the
+/// negatives below are refusals of the *proof*, not a matcher that never
+/// fires on unsigned loops.
+#[test]
+fn unsigned_extreme_bounds_stay_widening_negative() {
+    // (a) `i <= n` with a variable unsigned bound: the bound's maximal
+    // possible value is u32::MAX, so the endpoint-plus-stride computation
+    // `E(B) + 1` exceeds the step type's range — refused.
+    let le_var = Workload::new(
+        "widen_neg_umax",
+        "int sum_le(int *a, unsigned n) {\n\
+           int s = 0;\n\
+           for (unsigned i = 0; i <= n; i = i + 1) s = s + a[i];\n\
+           return s;\n\
+         }\n\
+         int main(void) {\n\
+           int buf[8];\n\
+           for (int i = 0; i < 8; i++) buf[i] = 1;\n\
+           return sum_le(buf, 7) == 8 ? 0 : 1;\n\
+         }",
+    )
+    .without_wrappers();
+    // (b) unsigned down-count through zero: `i >= 0` never exits and the
+    // step from 0 wraps to u32::MAX, so `E(B) - 1` underflows — refused.
+    // The runtime wrap then faults on `a[u32::MAX]` identically in every
+    // configuration (the per-iteration residual is exactly the unoptimized
+    // check).
+    let ge_zero = Workload::new(
+        "widen_neg_uwrap",
+        "int drain(int *a) {\n\
+           int s = 0;\n\
+           for (unsigned i = 3; i >= 0; i = i - 1) s = s + a[i];\n\
+           return s;\n\
+         }\n\
+         int main(void) {\n\
+           int buf[4];\n\
+           for (int i = 0; i < 4; i++) buf[i] = 1;\n\
+           return drain(buf);\n\
+         }",
+    )
+    .without_wrappers();
+    let opts = InferOptions::default();
+    for (w, func) in [(le_var, "sum_le"), (ge_zero, "drain")] {
+        tri_differential(&w);
+        let full = runner::run_cured_loop_opt(&w, &opts, true, true).unwrap();
+        assert_eq!(
+            widened_in(&full.cured, func),
+            0,
+            "{}: the no-wrap proof must refuse this loop",
+            w.name
+        );
+    }
+    // Boundary positive: `i > 0` down to exactly zero satisfies
+    // `E(B) - stride >= 0` with no slack at all.
+    let gt_zero = Workload::new(
+        "widen_pos_uzero",
+        "int pos(int *a) {\n\
+           int s = 0;\n\
+           for (unsigned i = 7; i > 0; i = i - 1) s = s + a[i];\n\
+           return s;\n\
+         }\n\
+         int main(void) {\n\
+           int buf[8];\n\
+           for (int i = 0; i < 8; i++) buf[i] = 1;\n\
+           return pos(buf) == 7 ? 0 : 1;\n\
+         }",
+    )
+    .without_wrappers();
+    tri_differential(&gt_zero);
+    let full = runner::run_cured_loop_opt(&gt_zero, &InferOptions::default(), true, true).unwrap();
+    assert!(
+        widened_in(&full.cured, "pos") > 0,
+        "the boundary-exact unsigned down-count must still widen"
+    );
+    assert_eq!(full.stats.exit, 0, "self-check failed");
+}
+
 /// Cures with explicit optimizer configuration (the runner helper hides
 /// the `Cured` needed for profiled execution).
 fn cure_cfg(w: &Workload, optimize: bool, loop_opt: bool) -> ccured::Cured {
@@ -386,6 +474,132 @@ fn engines_agree_on_optimized_programs() {
         let cured = cure_cfg(&w, true, true);
         let (rt, outt, ct, pt) = run_profiled(&cured, Engine::Tree, &w.input);
         let (rv, outv, cv, pv) = run_profiled(&cured, Engine::Vm, &w.input);
+        assert_eq!(rt, rv, "{}: results differ across engines", w.name);
+        assert_eq!(outt, outv, "{}: outputs differ across engines", w.name);
+        assert_eq!(ct, cv, "{}: counters differ across engines", w.name);
+        assert_eq!(pt, pv, "{}: profiles differ across engines", w.name);
+    }
+}
+
+/// Cures with the temporal pipeline flag on top of the full optimizer.
+fn cure_temporal(w: &Workload, optimize: bool, loop_opt: bool) -> ccured::Cured {
+    let mut curer = Curer::new();
+    curer.optimize(optimize);
+    curer.loop_optimize(loop_opt);
+    curer.temporal(true);
+    if w.with_wrappers {
+        curer.with_stdlib_wrappers();
+    }
+    curer.cure_source(&w.source).expect("cure")
+}
+
+/// Like [`run_profiled`], with the runtime's temporal key table enabled.
+fn run_temporal(
+    cured: &ccured::Cured,
+    engine: Engine,
+    input: &[u8],
+) -> (
+    Result<i64, ccured_rt::RtError>,
+    Vec<u8>,
+    ccured_rt::Counters,
+    Profile,
+) {
+    let mut interp = Interp::new(&cured.program, ExecMode::cured(cured));
+    interp.set_engine(engine);
+    interp.set_temporal(true);
+    interp.set_input(input.to_vec());
+    interp.enable_profile(cured.sites.len());
+    let result = interp.run();
+    let profile = interp.profile().cloned().expect("profile recorded");
+    (result, interp.output().to_vec(), interp.counters, profile)
+}
+
+/// A key check on a loop-invariant pointer is only a loop invariant when
+/// nothing in the loop can `free` — so temporal checks hoist out of
+/// call-free loops and stay per-iteration the moment the body calls.
+#[test]
+fn temporal_checks_hoist_only_out_of_call_free_loops() {
+    // Call-free invariant loop: the temporal check hoists alongside the
+    // null check, and the hoist is visible in the executed counters.
+    let callfree = hoist_workload(30);
+    let full = cure_temporal(&callfree, true, true);
+    assert!(
+        full.sites
+            .iter()
+            .any(|s| s.check == "temporal" && s.opt_action == Some("hoisted")),
+        "call-free loop: the temporal check must hoist"
+    );
+    let noloop = cure_temporal(&callfree, true, false);
+    let (rf, _, cf, _) = run_temporal(&full, Engine::default(), &callfree.input);
+    let (rn, _, cn, _) = run_temporal(&noloop, Engine::default(), &callfree.input);
+    assert_eq!(rf, rn, "hoisting changed the verdict");
+    assert!(
+        cf.temporal_checks < cn.temporal_checks,
+        "per-iteration key checks collapse to the entry probe: {} vs {}",
+        cf.temporal_checks,
+        cn.temporal_checks
+    );
+
+    // Same loop shape with a call in the body: `id` *could* free the
+    // allocation (interprocedurally unknown), so every iteration re-checks.
+    let calling = Workload::new(
+        "temporal_call_loop",
+        "int id(int x) { return x; }\n\
+         int drain(int *p, int n) {\n\
+           int s = 0;\n\
+           int i = 0;\n\
+           while (i < n) { s = s + id(*p); i = i + 1; }\n\
+           return s;\n\
+         }\n\
+         int main(void) {\n\
+           int c = 5;\n\
+           return drain(&c, 6) == 30 ? 0 : 1;\n\
+         }",
+    )
+    .without_wrappers();
+    let cured = cure_temporal(&calling, true, true);
+    let loop_temporals: Vec<_> = cured
+        .sites
+        .iter()
+        .filter(|s| s.func == "drain" && s.check == "temporal")
+        .collect();
+    assert!(!loop_temporals.is_empty(), "the deref emits a key check");
+    for s in &loop_temporals {
+        assert_eq!(
+            s.opt_action, None,
+            "a calling loop must not hoist temporal checks"
+        );
+        let why = s.keep_reason.as_deref().unwrap_or("");
+        assert!(
+            why.contains("free"),
+            "keep-reason names the free hazard: {why:?}"
+        );
+    }
+    let (r, _, _, _) = run_temporal(&cured, Engine::default(), &calling.input);
+    assert_eq!(r, Ok(0), "self-check failed");
+}
+
+/// The acceptance bar on the engine axis: under `--temporal`, tree and
+/// tiered VM stay byte-identical in results, output, counters (including
+/// the new `temporal_checks`), and per-site profiles.
+#[test]
+fn engines_agree_on_temporal_programs() {
+    let uaf = Workload::new(
+        "temporal_uaf",
+        "extern void *malloc(unsigned long n);\n\
+         extern void free(void *p);\n\
+         int main(void) {\n\
+           int *p = (int *)malloc(4);\n\
+           *p = 9;\n\
+           free(p);\n\
+           return *p;\n\
+         }",
+    )
+    .without_wrappers();
+    for w in [micro::seq_index(16), hoist_workload(20), uaf] {
+        let cured = cure_temporal(&w, true, true);
+        let (rt, outt, ct, pt) = run_temporal(&cured, Engine::Tree, &w.input);
+        let (rv, outv, cv, pv) = run_temporal(&cured, Engine::Vm, &w.input);
         assert_eq!(rt, rv, "{}: results differ across engines", w.name);
         assert_eq!(outt, outv, "{}: outputs differ across engines", w.name);
         assert_eq!(ct, cv, "{}: counters differ across engines", w.name);
